@@ -1,0 +1,30 @@
+//! Figure 4(a) bench: NN-list tour-construction speed-up series, plus a
+//! wall-time benchmark of the CPU reference it divides by.
+
+use aco_bench::{fig4a, paper_params, ModePolicy, RunConfig};
+use aco_core::cpu::{AntSystem, OpCounter, TourPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 280, mode: ModePolicy::Auto, threads: 4 };
+    let table = fig4a(&cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "fig4a_speedup_nn_small");
+
+    let inst = aco_tsp::paper_instance("kroC100").expect("known instance");
+    let params = paper_params();
+
+    let mut g = c.benchmark_group("fig4a_cpu_reference");
+    g.sample_size(10);
+    g.bench_function("cpu_nn_construction_kroC100", |b| {
+        let mut aco = AntSystem::new(&inst, params.clone());
+        b.iter(|| {
+            let mut counter = OpCounter::default();
+            aco.construct_solutions(TourPolicy::NearestNeighborList, &mut counter)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 4(b) bench: data-parallel tour-construction speed-up vs the
+//! fully probabilistic sequential code.
+
+use aco_bench::{fig4b, paper_params, ModePolicy, RunConfig};
+use aco_core::gpu::tour::DataParallelTourKernel;
+use aco_core::gpu::ColonyBuffers;
+use aco_simt::{launch, DeviceSpec, GlobalMem, SimMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 100, mode: ModePolicy::Auto, threads: 2 };
+    let table = fig4b(&cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "fig4b_speedup_dp_small");
+
+    let inst = aco_tsp::paper_instance("att48").expect("known instance");
+    let params = paper_params();
+
+    let mut g = c.benchmark_group("fig4b_dp_kernel");
+    g.sample_size(10);
+    for dev in [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()] {
+        g.bench_function(dev.name, |b| {
+            b.iter(|| {
+                let mut gm = GlobalMem::new();
+                let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+                let ck = aco_core::gpu::choice::ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+                launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).expect("choice");
+                let k = DataParallelTourKernel { bufs, texture: true, seed: 5, iteration: 0, block_override: None };
+                launch(&dev, &k.config(), &k, &mut gm, SimMode::Full)
+                    .expect("valid launch")
+                    .time
+                    .total_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

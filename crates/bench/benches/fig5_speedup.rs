@@ -1,0 +1,24 @@
+//! Figure 5 bench: pheromone-update speed-up (best kernel vs sequential).
+
+use aco_bench::{fig5, ModePolicy, RunConfig};
+use aco_core::cpu::ant_system::model as cpu_model;
+use aco_core::cpu::CpuModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 442, mode: ModePolicy::Auto, threads: 4 };
+    let table = fig5(&cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "fig5_speedup_pheromone_small");
+
+    // Microbenchmark of the modeled CPU update pricing itself.
+    let mut g = c.benchmark_group("fig5_cpu_model");
+    g.bench_function("cpu_update_model_pr1002", |b| {
+        let model = CpuModel::default();
+        b.iter(|| model.time_ms(&cpu_model::update_counters(1002, 1002)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

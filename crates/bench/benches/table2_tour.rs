@@ -1,0 +1,41 @@
+//! Table II bench: regenerates the tour-construction table at small scale
+//! and benchmarks representative kernel launches (wall time of the
+//! simulator, which is the library's own hot path).
+
+use aco_bench::{table2, ModePolicy, RunConfig};
+use aco_core::gpu::{run_tour, ColonyBuffers, TourStrategy};
+use aco_simt::{DeviceSpec, GlobalMem, SimMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 100, mode: ModePolicy::Auto, threads: 2 };
+    let table = table2(&DeviceSpec::tesla_c1060(), &cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "table2_tour_construction_small");
+
+    let inst = aco_tsp::paper_instance("att48").expect("known instance");
+    let dev = DeviceSpec::tesla_c1060();
+    let params = aco_bench::paper_params();
+
+    let mut g = c.benchmark_group("table2_att48");
+    g.sample_size(10);
+    for strategy in [
+        TourStrategy::DeviceRng,
+        TourStrategy::NNListSharedTex,
+        TourStrategy::DataParallelTex,
+    ] {
+        g.bench_function(strategy.paper_row(), |b| {
+            b.iter(|| {
+                let mut gm = GlobalMem::new();
+                let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+                run_tour(&dev, &mut gm, bufs, strategy, 1.0, 2.0, 7, 0, SimMode::Full)
+                    .expect("valid launch")
+                    .total_ms()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table III bench: pheromone-update strategies on the Tesla C1060 model.
+
+use aco_bench::{table3, ModePolicy, RunConfig};
+use aco_core::gpu::{run_pheromone, ColonyBuffers, PheromoneStrategy};
+use aco_simt::{DeviceSpec, GlobalMem, SimMode};
+use aco_tsp::Tour;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 100, mode: ModePolicy::Auto, threads: 2 };
+    let table = table3(&cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "table3_pheromone_c1060_small");
+
+    let inst = aco_tsp::paper_instance("att48").expect("known instance");
+    let dev = DeviceSpec::tesla_c1060();
+    let params = aco_bench::paper_params();
+
+    let mut g = c.benchmark_group("table3_att48");
+    g.sample_size(10);
+    for strategy in [
+        PheromoneStrategy::AtomicShared,
+        PheromoneStrategy::Reduction,
+        PheromoneStrategy::Scatter,
+    ] {
+        g.bench_function(strategy.paper_row(), |b| {
+            b.iter(|| {
+                let mut gm = GlobalMem::new();
+                let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                let tours: Vec<Tour> = (0..48).map(|_| Tour::random(48, &mut rng)).collect();
+                bufs.upload_tours(&mut gm, &tours, inst.matrix());
+                run_pheromone(&dev, &mut gm, bufs, strategy, 0.5, SimMode::Full)
+                    .expect("valid launch")
+                    .time
+                    .total_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

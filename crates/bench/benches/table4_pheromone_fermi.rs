@@ -1,0 +1,42 @@
+//! Table IV bench: pheromone-update strategies on the Tesla M2050 model
+//! (native float atomics — the contrast with Table III).
+
+use aco_bench::{table4, ModePolicy, RunConfig};
+use aco_core::gpu::{run_pheromone, ColonyBuffers, PheromoneStrategy};
+use aco_simt::{DeviceSpec, GlobalMem, SimMode};
+use aco_tsp::Tour;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let cfg = RunConfig { max_n: 100, mode: ModePolicy::Auto, threads: 2 };
+    let table = table4(&cfg);
+    println!("{}", table.to_text());
+    let _ = table.write_csv(std::path::Path::new("results"), "table4_pheromone_m2050_small");
+
+    let inst = aco_tsp::paper_instance("kroC100").expect("known instance");
+    let dev = DeviceSpec::tesla_m2050();
+    let params = aco_bench::paper_params();
+
+    let mut g = c.benchmark_group("table4_kroC100");
+    g.sample_size(10);
+    for strategy in [PheromoneStrategy::AtomicShared, PheromoneStrategy::ScatterTiled] {
+        g.bench_function(strategy.paper_row(), |b| {
+            b.iter(|| {
+                let mut gm = GlobalMem::new();
+                let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                let tours: Vec<Tour> = (0..100).map(|_| Tour::random(100, &mut rng)).collect();
+                bufs.upload_tours(&mut gm, &tours, inst.matrix());
+                run_pheromone(&dev, &mut gm, bufs, strategy, 0.5, SimMode::Full)
+                    .expect("valid launch")
+                    .time
+                    .total_ms
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

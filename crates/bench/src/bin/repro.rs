@@ -1,0 +1,99 @@
+//! Regenerate every table and figure of Cecilia et al. 2011.
+//!
+//! ```text
+//! repro [table1|table2|table3|table4|fig4a|fig4b|fig5|quality|all]
+//!       [--max-n N] [--mode auto|full|sample:K] [--threads T] [--out DIR]
+//! ```
+//!
+//! Each experiment prints an aligned table (measured next to the paper's
+//! value where published) and writes a CSV under `--out` (default
+//! `results/`).
+
+use aco_bench::{ModePolicy, RunConfig, TableData};
+use aco_simt::DeviceSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [table1|table2|table3|table4|fig4a|fig4b|fig5|quality|ablation-block|ablation-nn|all]\n\
+         \x20            [--max-n N] [--mode auto|full|sample:K] [--threads T] [--out DIR]\n\
+         \n\
+         Defaults: all --max-n 2392 --mode auto --threads {} --out results/\n\
+         Tip: --max-n 442 finishes in well under a minute.",
+        default_threads()
+    );
+    std::process::exit(2);
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get().min(8)).unwrap_or(4)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_string();
+    let mut cfg = RunConfig { threads: default_threads(), ..RunConfig::default() };
+    let mut out_dir = std::path::PathBuf::from("results");
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-n" => {
+                cfg.max_n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                cfg.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--mode" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.mode = match v.as_str() {
+                    "auto" => ModePolicy::Auto,
+                    "full" => ModePolicy::Full,
+                    s if s.starts_with("sample:") => {
+                        let k = s["sample:".len()..].parse().unwrap_or_else(|_| usage());
+                        ModePolicy::Sample(k)
+                    }
+                    _ => usage(),
+                };
+            }
+            "--out" => {
+                out_dir = it.next().map(Into::into).unwrap_or_else(|| usage());
+            }
+            "-h" | "--help" => usage(),
+            t if !t.starts_with('-') => target = t.to_string(),
+            _ => usage(),
+        }
+    }
+
+    let emit = |name: &str, t: TableData| {
+        println!("{}", t.to_text());
+        match t.write_csv(&out_dir, name) {
+            Ok(p) => println!("  -> {}\n", p.display()),
+            Err(e) => eprintln!("  (could not write CSV: {e})\n"),
+        }
+    };
+
+    let run = |name: &str, cfg: &RunConfig| match name {
+        "table1" => println!("{}", aco_bench::table1()),
+        "table2" => emit("table2_tour_construction", aco_bench::table2(&DeviceSpec::tesla_c1060(), cfg)),
+        "table3" => emit("table3_pheromone_c1060", aco_bench::table3(cfg)),
+        "table4" => emit("table4_pheromone_m2050", aco_bench::table4(cfg)),
+        "fig4a" => emit("fig4a_speedup_nn", aco_bench::fig4a(cfg)),
+        "fig4b" => emit("fig4b_speedup_dp", aco_bench::fig4b(cfg)),
+        "fig5" => emit("fig5_speedup_pheromone", aco_bench::fig5(cfg)),
+        "quality" => emit("quality", aco_bench::quality(cfg)),
+        "ablation-block" => emit("ablation_block_layout", aco_bench::ablation_block(cfg)),
+        "ablation-nn" => emit("ablation_nn_depth", aco_bench::ablation_nn(cfg)),
+        _ => usage(),
+    };
+
+    let started = std::time::Instant::now();
+    if target == "all" {
+        for t in ["table1", "table2", "table3", "table4", "fig4a", "fig4b", "fig5", "quality"] {
+            eprintln!("== {t} ==");
+            run(t, &cfg);
+        }
+    } else {
+        run(&target, &cfg);
+    }
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness for the GPU-ACO reproduction.
+//!
+//! * [`paper`] — the published numbers of Cecilia et al. 2011 (Tables
+//!   II–IV, figure peaks), embedded for side-by-side comparison;
+//! * [`table`] — table assembly, text rendering, CSV output;
+//! * [`runner`] — one generator per table/figure, driving the SIMT
+//!   simulator and the CPU cost model.
+//!
+//! The `repro` binary (`cargo run -p aco-bench --release --bin repro`)
+//! regenerates everything; `cargo bench` runs the Criterion wrappers.
+
+pub mod paper;
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    ablation_block, ablation_nn, fig4a, fig4b, fig5, paper_params, quality, sim_mode_for, table1,
+    table2, table3, table4, ModePolicy, RunConfig,
+};
+pub use table::TableData;

@@ -1,0 +1,128 @@
+//! The paper's published numbers, embedded for side-by-side comparison.
+//!
+//! Sources: Tables II, III and IV of Cecilia et al. 2011 (execution times
+//! in milliseconds on the Tesla C1060 / Tesla M2050), plus the headline
+//! speed-up figures quoted in the text for Figures 4 and 5. `NaN` marks
+//! cells the paper does not report (Table III/IV stop at pr1002).
+
+/// Instance names in table column order.
+pub const INSTANCES: [&str; 7] = ["att48", "kroC100", "a280", "pcb442", "d657", "pr1002", "pr2392"];
+
+/// Instance sizes, aligned with [`INSTANCES`].
+pub const SIZES: [usize; 7] = [48, 100, 280, 442, 657, 1002, 2392];
+
+/// Table II row labels (tour construction, Tesla C1060).
+pub const TABLE2_ROWS: [&str; 8] = [
+    "1. Baseline Version",
+    "2. Choice Kernel",
+    "3. Without CURAND",
+    "4. NNList",
+    "5. NNList + Shared Memory",
+    "6. NNList + Shared&Texture Memory",
+    "7. Increasing Data Parallelism",
+    "8. Data Parallelism + Texture Memory",
+];
+
+/// Table II values in ms (8 versions x 7 instances, Tesla C1060).
+pub const TABLE2_MS: [[f64; 7]; 8] = [
+    [13.14, 56.89, 497.93, 1201.52, 2770.32, 6181.0, 63357.7],
+    [4.83, 17.56, 135.15, 334.28, 659.05, 1912.59, 18582.9],
+    [4.5, 15.78, 119.65, 296.31, 630.01, 1624.05, 15514.9],
+    [2.36, 6.39, 33.08, 72.79, 143.36, 338.88, 2312.98],
+    [1.81, 4.42, 21.42, 44.26, 84.15, 203.15, 2450.52],
+    [1.35, 3.51, 16.97, 38.39, 75.07, 178.3, 2105.77],
+    [0.36, 0.93, 13.89, 37.18, 125.17, 419.53, 5525.76],
+    [0.34, 0.91, 12.12, 36.57, 123.17, 417.72, 5461.06],
+];
+
+/// "Total speed-up attained" row of Table II (version 1 / version 8).
+pub const TABLE2_SPEEDUP: [f64; 7] = [38.09, 62.83, 41.09, 32.86, 22.49, 14.8, 11.6];
+
+/// Table III/IV row labels (pheromone update).
+pub const TABLE34_ROWS: [&str; 5] = [
+    "1. Atomic Ins. + Shared Memory",
+    "2. Atomic Ins.",
+    "3. Instruction & Thread Reduction",
+    "4. Scatter to Gather + Tilling",
+    "5. Scatter to Gather",
+];
+
+/// Table III values in ms (5 versions x 6 instances, Tesla C1060; the
+/// paper stops at pr1002).
+pub const TABLE3_MS: [[f64; 6]; 5] = [
+    [0.15, 0.35, 1.76, 3.45, 7.44, 17.45],
+    [0.16, 0.36, 1.99, 3.74, 7.74, 18.23],
+    [1.18, 3.8, 103.77, 496.44, 2304.54, 12345.4],
+    [1.03, 5.83, 242.02, 1489.88, 7092.57, 37499.2],
+    [2.01, 11.3, 489.91, 3022.85, 14460.4, 200201.0],
+];
+
+/// "Total slow-down incurred" row of Table III (version 5 / version 1).
+pub const TABLE3_SLOWDOWN: [f64; 6] = [12.73, 31.42, 278.7, 875.29, 1944.23, 11471.59];
+
+/// Table IV values in ms (Tesla M2050).
+pub const TABLE4_MS: [[f64; 6]; 5] = [
+    [0.04, 0.09, 0.43, 0.79, 1.85, 4.22],
+    [0.04, 0.09, 0.45, 0.88, 1.98, 4.37],
+    [0.83, 2.76, 88.25, 501.32, 2302.37, 12449.9],
+    [0.8, 4.45, 219.8, 1362.32, 6316.75, 33571.0],
+    [0.66, 4.5, 264.38, 1555.03, 7537.1, 40977.3],
+];
+
+/// "Total slow-downs attained" row of Table IV.
+pub const TABLE4_SLOWDOWN: [f64; 6] = [17.3, 50.73, 587.96, 1737.95, 3859.52, 9478.68];
+
+/// Figure 4(a) headline: NN-list tour-construction speed-up peaks
+/// (C1060, M2050), peaking near pr1002, CPU faster on the smallest sizes.
+pub const FIG4A_PEAK: (f64, f64) = (2.65, 3.0);
+
+/// Figure 4(b) headline: data-parallel speed-up vs the fully probabilistic
+/// sequential code.
+pub const FIG4B_PEAK: (f64, f64) = (22.0, 29.0);
+
+/// Figure 5 headline: pheromone-update speed-up of the best kernel.
+pub const FIG5_PEAK: (f64, f64) = (3.87, 18.77);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_speedup_row_is_consistent_with_the_cells() {
+        for c in 0..7 {
+            let ratio = TABLE2_MS[0][c] / TABLE2_MS[7][c];
+            let published = TABLE2_SPEEDUP[c];
+            let rel = (ratio - published).abs() / published;
+            assert!(rel < 0.02, "col {c}: {ratio:.2} vs {published}");
+        }
+    }
+
+    #[test]
+    fn table3_slowdown_row_is_consistent_with_the_cells() {
+        for c in 0..6 {
+            let ratio = TABLE3_MS[4][c] / TABLE3_MS[0][c];
+            let published = TABLE3_SLOWDOWN[c];
+            let rel = (ratio - published).abs() / published;
+            assert!(rel < 0.06, "col {c}: {ratio:.2} vs {published}");
+        }
+    }
+
+    #[test]
+    fn paper_orderings_hold_within_the_published_data() {
+        // Successive tour optimisations improve every instance (rows 1-4).
+        for c in 0..7 {
+            assert!(TABLE2_MS[1][c] < TABLE2_MS[0][c]);
+            assert!(TABLE2_MS[2][c] < TABLE2_MS[1][c]);
+            assert!(TABLE2_MS[3][c] < TABLE2_MS[2][c]);
+        }
+        // Data parallelism wins below pcb442, loses above (the crossover).
+        assert!(TABLE2_MS[7][0] < TABLE2_MS[5][0]);
+        assert!(TABLE2_MS[7][1] < TABLE2_MS[5][1]);
+        assert!(TABLE2_MS[7][5] > TABLE2_MS[5][5]);
+        // Atomics beat every scatter variant everywhere.
+        for c in 0..6 {
+            assert!(TABLE3_MS[0][c] < TABLE3_MS[2][c]);
+            assert!(TABLE4_MS[0][c] < TABLE4_MS[2][c]);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Table assembly, text rendering and CSV output.
+
+use std::fmt::Write as _;
+
+/// A labelled 2-D table of measurements, optionally paired with the
+/// paper's published values for side-by-side comparison.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table heading.
+    pub title: String,
+    /// Unit note printed under the heading.
+    pub unit: String,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// Column labels.
+    pub cols: Vec<String>,
+    /// Measured values, `values[row][col]`; `NaN` = not measured.
+    pub values: Vec<Vec<f64>>,
+    /// Paper values aligned with `values` (when published).
+    pub paper: Option<Vec<Vec<f64>>>,
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl TableData {
+    /// Assert the shape is consistent (used by constructors and tests).
+    pub fn validate(&self) {
+        assert_eq!(self.values.len(), self.rows.len(), "row count mismatch");
+        for r in &self.values {
+            assert_eq!(r.len(), self.cols.len(), "column count mismatch");
+        }
+        if let Some(p) = &self.paper {
+            assert_eq!(p.len(), self.rows.len());
+            for r in p {
+                assert_eq!(r.len(), self.cols.len());
+            }
+        }
+    }
+
+    /// Render as an aligned text table. With paper values present, each
+    /// cell shows `measured (paper)`.
+    pub fn to_text(&self) -> String {
+        self.validate();
+        let mut cells: Vec<Vec<String>> = Vec::new();
+        let mut header = vec![String::new()];
+        header.extend(self.cols.iter().cloned());
+        cells.push(header);
+        for (i, label) in self.rows.iter().enumerate() {
+            let mut row = vec![label.clone()];
+            for (j, &v) in self.values[i].iter().enumerate() {
+                let cell = match &self.paper {
+                    Some(p) if !p[i][j].is_nan() => {
+                        format!("{} ({})", fmt_val(v), fmt_val(p[i][j]))
+                    }
+                    _ => fmt_val(v),
+                };
+                row.push(cell);
+            }
+            cells.push(row);
+        }
+        let widths: Vec<usize> = (0..cells[0].len())
+            .map(|c| cells.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if !self.unit.is_empty() {
+            let _ = writeln!(out, "[{}]", self.unit);
+        }
+        for (k, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, s)| {
+                    if c == 0 {
+                        format!("{:<w$}", s, w = widths[0])
+                    } else {
+                        format!("{:>w$}", s, w = widths[c])
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+            if k == 0 {
+                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                let _ = writeln!(out, "{}", "-".repeat(total));
+            }
+        }
+        out
+    }
+
+    /// Render as CSV (`row,col,measured,paper`).
+    pub fn to_csv(&self) -> String {
+        self.validate();
+        let mut out = String::from("row,column,measured,paper\n");
+        for (i, rl) in self.rows.iter().enumerate() {
+            for (j, cl) in self.cols.iter().enumerate() {
+                let p = self
+                    .paper
+                    .as_ref()
+                    .map(|p| p[i][j])
+                    .filter(|v| !v.is_nan())
+                    .map(|v| v.to_string())
+                    .unwrap_or_default();
+                let m = if self.values[i][j].is_nan() {
+                    String::new()
+                } else {
+                    self.values[i][j].to_string()
+                };
+                let _ = writeln!(out, "\"{rl}\",\"{cl}\",{m},{p}");
+            }
+        }
+        out
+    }
+
+    /// Write the CSV next to the repository's `results/` directory.
+    pub fn write_csv(&self, dir: &std::path::Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableData {
+        TableData {
+            title: "T".into(),
+            unit: "ms".into(),
+            rows: vec!["a".into(), "b".into()],
+            cols: vec!["x".into(), "y".into()],
+            values: vec![vec![1.0, 22.5], vec![f64::NAN, 1234.0]],
+            paper: Some(vec![vec![1.1, 20.0], vec![f64::NAN, f64::NAN]]),
+        }
+    }
+
+    #[test]
+    fn text_contains_measured_and_paper() {
+        let t = sample().to_text();
+        assert!(t.contains("1.00 (1.10)"));
+        assert!(t.contains("22.5 (20.0)"));
+        assert!(t.contains("1234"));
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4);
+        assert_eq!(lines[0], "row,column,measured,paper");
+        assert!(lines[1].starts_with("\"a\",\"x\",1,1.1"));
+        // NaN measured -> empty field.
+        assert!(lines[3].starts_with("\"b\",\"x\",,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn validation_catches_ragged_rows() {
+        let mut t = sample();
+        t.values[0].pop();
+        t.validate();
+    }
+
+    #[test]
+    fn value_formatting_ranges() {
+        assert_eq!(fmt_val(0.123), "0.12");
+        assert_eq!(fmt_val(12.34), "12.3");
+        assert_eq!(fmt_val(1234.5), "1234");
+        assert_eq!(fmt_val(f64::NAN), "-");
+    }
+}

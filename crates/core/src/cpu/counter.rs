@@ -1,0 +1,138 @@
+//! CPU operation counting and cost model.
+//!
+//! The paper's Figures 4 and 5 report speed-ups of the GPU kernels over
+//! Stützle's sequential ANSI-C code measured on the authors' host CPU. We
+//! have neither their CPU nor their binary, so the sequential Rust port
+//! counts its abstract operations (ALU, flops, `pow` calls, loads/stores,
+//! RNG draws, branches) and a documented [`CpuModel`] converts the counts
+//! to milliseconds — the same counting methodology the simulated GPU side
+//! uses, which keeps the speed-up *ratios* meaningful.
+//!
+//! The model is calibrated to a 2009-era Intel Xeon (Nehalem class,
+//! ~2.66 GHz), the hardware that would have driven a Tesla C1060 box; the
+//! constants are deliberately conservative (sustained, not peak).
+
+/// Abstract operation counters for a phase of the sequential algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Integer/logic ops.
+    pub alu: u64,
+    /// Floating-point add/mul/div (double precision, as in ACOTSP).
+    pub flops: u64,
+    /// `pow()` library calls.
+    pub pow_calls: u64,
+    /// Memory loads (8-byte granularity in the model).
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// `ran01()` draws.
+    pub rng: u64,
+    /// Conditional branches (mispredict-prone inner-loop ones).
+    pub branches: u64,
+}
+
+impl OpCounter {
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, o: &OpCounter) {
+        self.alu += o.alu;
+        self.flops += o.flops;
+        self.pow_calls += o.pow_calls;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.rng += o.rng;
+        self.branches += o.branches;
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OpCounter::default();
+    }
+}
+
+/// Host CPU model converting [`OpCounter`] to milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle on this pointer-chasing, branchy
+    /// integer/FP mix (well below the 4-wide peak).
+    pub ipc: f64,
+    /// Cycles per `pow()` call (glibc `pow` on doubles).
+    pub pow_cycles: f64,
+    /// Cycles per `ran01()` draw (LCG with a 64-bit multiply + modulo).
+    pub rng_cycles: f64,
+    /// Average cycles lost per inner-loop branch (mispredict amortized).
+    pub branch_cycles: f64,
+    /// Sustained memory bandwidth in GB/s for streaming the matrices.
+    pub mem_bandwidth_gbps: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            clock_ghz: 2.66,
+            ipc: 1.6,
+            pow_cycles: 60.0,
+            rng_cycles: 18.0,
+            branch_cycles: 1.5,
+            mem_bandwidth_gbps: 8.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Convert counters to milliseconds: compute and memory streams
+    /// overlap, so the slower one bounds the phase.
+    pub fn time_ms(&self, c: &OpCounter) -> f64 {
+        let compute_cycles = (c.alu + c.flops) as f64 / self.ipc
+            + c.pow_calls as f64 * self.pow_cycles
+            + c.rng as f64 * self.rng_cycles
+            + c.branches as f64 * self.branch_cycles;
+        let compute_ms = compute_cycles / (self.clock_ghz * 1e6);
+        let bytes = (c.loads + c.stores) as f64 * 8.0;
+        let memory_ms = bytes / (self.mem_bandwidth_gbps * 1e6);
+        compute_ms.max(memory_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_and_reset() {
+        let mut a = OpCounter { alu: 1, flops: 2, pow_calls: 3, loads: 4, stores: 5, rng: 6, branches: 7 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.alu, 2);
+        assert_eq!(a.branches, 14);
+        a.reset();
+        assert_eq!(a, OpCounter::default());
+    }
+
+    #[test]
+    fn compute_bound_phase() {
+        let m = CpuModel::default();
+        let c = OpCounter { flops: 2_660_000_000, ..Default::default() };
+        // 2.66e9 flops at IPC 1.6 on 2.66 GHz = 625 ms.
+        let t = m.time_ms(&c);
+        assert!((t - 625.0).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn memory_bound_phase() {
+        let m = CpuModel::default();
+        let c = OpCounter { loads: 1_000_000, ..Default::default() };
+        // 8 MB at 8 GB/s = 1 ms.
+        let t = m.time_ms(&c);
+        assert!((t - 1.0).abs() < 0.1, "got {t}");
+    }
+
+    #[test]
+    fn pow_dominates_when_called_per_step() {
+        let m = CpuModel::default();
+        let with_pow = OpCounter { pow_calls: 1_000_000, ..Default::default() };
+        let without = OpCounter { flops: 1_000_000, ..Default::default() };
+        assert!(m.time_ms(&with_pow) > 20.0 * m.time_ms(&without));
+    }
+}

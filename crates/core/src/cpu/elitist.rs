@@ -1,0 +1,173 @@
+//! Elitist and rank-based Ant System variants.
+//!
+//! Two further classic members of the ACO family (Dorigo & Stützle, 2004,
+//! ch. 3), composed from the [`AntSystem`] primitives — they differ from
+//! plain AS only in *who deposits and how much*:
+//!
+//! * **Elitist AS**: all ants deposit as usual, and the best-so-far tour
+//!   receives an extra `e / C_bs` reinforcement each iteration,
+//! * **Rank-based AS (ASrank)**: only the `w - 1` best ants of the
+//!   iteration deposit, weighted by rank (`(w - r)/C_r`), plus the
+//!   best-so-far tour with weight `w`.
+//!
+//! Both reuse the candidate-list construction, so their GPU mapping would
+//! reuse the paper's tour kernels unchanged — only the (cheap) update
+//! stage differs, which is why the paper's pheromone-stage analysis
+//! carries over directly.
+
+use aco_tsp::{Tour, TspInstance};
+
+use super::ant_system::{AntSystem, TourPolicy};
+use super::counter::OpCounter;
+use crate::params::AcoParams;
+
+/// Which deposit schedule to run on top of the Ant System.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Elitism {
+    /// Extra best-so-far deposit with this weight (`e`).
+    Elitist(f64),
+    /// Rank-based with `w` ranks.
+    RankBased(usize),
+}
+
+/// An Ant System with an elitist or rank-based update schedule.
+pub struct ElitistAntSystem<'a> {
+    aco: AntSystem<'a>,
+    schedule: Elitism,
+    policy: TourPolicy,
+    best: Option<(Tour, u64)>,
+}
+
+impl<'a> ElitistAntSystem<'a> {
+    /// Build a colony with the given deposit schedule.
+    pub fn new(inst: &'a TspInstance, params: AcoParams, schedule: Elitism) -> Self {
+        match schedule {
+            Elitism::Elitist(e) => assert!(e > 0.0, "elitist weight must be positive"),
+            Elitism::RankBased(w) => assert!(w >= 2, "rank-based needs w >= 2"),
+        }
+        ElitistAntSystem {
+            aco: AntSystem::new(inst, params),
+            schedule,
+            policy: TourPolicy::NearestNeighborList,
+            best: None,
+        }
+    }
+
+    /// Best solution so far.
+    pub fn best(&self) -> Option<(&Tour, u64)> {
+        self.best.as_ref().map(|(t, l)| (t, *l))
+    }
+
+    /// Pheromone matrix (for invariants/tests).
+    pub fn tau(&self) -> &[f64] {
+        self.aco.tau()
+    }
+
+    /// One iteration; returns the best-so-far length.
+    pub fn iterate(&mut self) -> u64 {
+        let mut c = OpCounter::default();
+        self.aco.refresh_choice(&mut c);
+        let mut sols = self.aco.construct_solutions(self.policy, &mut c);
+        sols.sort_by_key(|&(_, l)| l);
+        if self.best.as_ref().map_or(true, |&(_, b)| sols[0].1 < b) {
+            self.best = Some(sols[0].clone());
+        }
+        let (best_tour, best_len) = self.best.as_ref().expect("set above").clone();
+
+        self.aco.evaporate(&mut c);
+        match self.schedule {
+            Elitism::Elitist(e) => {
+                for (tour, len) in &sols {
+                    let dep = 1.0 / *len as f64;
+                    self.aco.deposit_weighted(tour, dep, &mut c);
+                }
+                self.aco.deposit_weighted(&best_tour, e / best_len as f64, &mut c);
+            }
+            Elitism::RankBased(w) => {
+                for (r, (tour, len)) in sols.iter().take(w - 1).enumerate() {
+                    let weight = (w - 1 - r) as f64;
+                    self.aco.deposit_weighted(tour, weight / *len as f64, &mut c);
+                }
+                self.aco.deposit_weighted(&best_tour, w as f64 / best_len as f64, &mut c);
+            }
+        }
+        best_len
+    }
+
+    /// Run `iters` iterations; returns the best length.
+    pub fn run(&mut self, iters: usize) -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..iters {
+            best = self.iterate();
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn elitist_improves_and_reinforces_best_edges() {
+        let inst = uniform_random("el", 45, 800.0, 13);
+        let mut el = ElitistAntSystem::new(
+            &inst,
+            AcoParams::default().nn(12).seed(4).ants(20),
+            Elitism::Elitist(10.0),
+        );
+        let first = el.iterate();
+        let last = el.run(20);
+        assert!(last <= first);
+        let (tour, len) = el.best().expect("ran");
+        assert!(tour.is_valid());
+        assert_eq!(len, tour.length(inst.matrix()));
+        // The best tour's edges must carry more pheromone than average.
+        let n = inst.n();
+        let tau = el.tau();
+        let avg: f64 = tau.iter().sum::<f64>() / tau.len() as f64;
+        let best_avg: f64 = tour
+            .edges()
+            .iter()
+            .map(|&(i, j)| tau[i as usize * n + j as usize])
+            .sum::<f64>()
+            / n as f64;
+        assert!(best_avg > 2.0 * avg, "best edges: {best_avg:.3e} vs average {avg:.3e}");
+    }
+
+    #[test]
+    fn rank_based_improves_and_stays_positive() {
+        let inst = uniform_random("rk", 45, 800.0, 14);
+        let mut rk = ElitistAntSystem::new(
+            &inst,
+            AcoParams::default().nn(12).seed(5).ants(20),
+            Elitism::RankBased(6),
+        );
+        let first = rk.iterate();
+        let last = rk.run(20);
+        assert!(last <= first);
+        assert!(rk.tau().iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn variants_are_comparable_to_plain_as() {
+        let inst = uniform_random("cmp", 50, 900.0, 15);
+        let params = AcoParams::default().nn(12).seed(6).ants(25);
+        let mut plain = AntSystem::new(&inst, params.clone());
+        let plain_best = plain.run(15, TourPolicy::NearestNeighborList) as f64;
+        for schedule in [Elitism::Elitist(25.0), Elitism::RankBased(6)] {
+            let mut v = ElitistAntSystem::new(&inst, params.clone(), schedule);
+            let b = v.run(15) as f64;
+            let gap = ((b - plain_best) / plain_best).abs();
+            assert!(gap < 0.15, "{schedule:?}: {b} vs plain {plain_best}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "w >= 2")]
+    fn rank_based_validates_w() {
+        let inst = uniform_random("bad", 10, 100.0, 1);
+        let _ = ElitistAntSystem::new(&inst, AcoParams::default().nn(5), Elitism::RankBased(1));
+    }
+}

@@ -1,0 +1,312 @@
+//! MAX-MIN Ant System (MMAS) — the second classic variant beyond AS,
+//! mentioned in the paper's related work (Jiening et al. implemented MMAS
+//! on a GPU) and covered here as an extension.
+//!
+//! Differences from the Ant System (Stützle & Hoos, 2000):
+//!
+//! * only the iteration-best (or periodically the best-so-far) ant
+//!   deposits,
+//! * pheromone is clamped to `[tau_min, tau_max]` with
+//!   `tau_max = 1/(rho * C_best)` and `tau_min = tau_max / (2n)`,
+//! * trails start at `tau_max` (optimistic initialisation),
+//! * stagnation triggers a trail re-initialisation.
+
+use aco_simt::rng::PmRng;
+use aco_tsp::{nearest_neighbor_tour, NearestNeighborLists, Tour, TspInstance};
+
+use super::counter::OpCounter;
+use crate::params::AcoParams;
+
+/// MMAS-specific knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmasParams {
+    /// Every `gb_every` iterations the best-so-far ant deposits instead of
+    /// the iteration-best one (0 = never).
+    pub gb_every: usize,
+    /// Re-initialise trails after this many iterations without improvement
+    /// (0 = never).
+    pub restart_after: usize,
+}
+
+impl Default for MmasParams {
+    fn default() -> Self {
+        MmasParams { gb_every: 25, restart_after: 100 }
+    }
+}
+
+/// The MAX-MIN Ant System solver.
+pub struct MaxMinAntSystem<'a> {
+    inst: &'a TspInstance,
+    params: AcoParams,
+    mmas: MmasParams,
+    n: usize,
+    m: usize,
+    tau: Vec<f64>,
+    eta: Vec<f64>,
+    choice: Vec<f64>,
+    nn: NearestNeighborLists,
+    rng: PmRng,
+    tau_max: f64,
+    tau_min: f64,
+    best: Option<(Tour, u64)>,
+    iterations: usize,
+    since_improvement: usize,
+}
+
+impl<'a> MaxMinAntSystem<'a> {
+    /// Set up an MMAS colony.
+    pub fn new(inst: &'a TspInstance, params: AcoParams, mmas: MmasParams) -> Self {
+        let n = inst.n();
+        let m = params.ants_for(n);
+        let nn = NearestNeighborLists::build(inst.matrix(), params.nn_size)
+            .expect("instance has >= 2 cities");
+        let c_nn = nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        let rho = params.rho as f64;
+        let tau_max = 1.0 / (rho * c_nn as f64);
+        let tau_min = tau_max / (2.0 * n as f64);
+        let mut eta = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let d = inst.dist(i, j);
+                eta[i * n + j] = if d == 0 { 10.0 } else { 1.0 / d as f64 };
+            }
+        }
+        let mut s = MaxMinAntSystem {
+            inst,
+            n,
+            m,
+            tau: vec![tau_max; n * n],
+            eta,
+            choice: vec![0.0; n * n],
+            nn,
+            rng: PmRng::new((params.seed % 0x7FFF_FFFF) as u32),
+            tau_max,
+            tau_min,
+            best: None,
+            iterations: 0,
+            since_improvement: 0,
+            params,
+            mmas,
+        };
+        s.recompute_choice();
+        s
+    }
+
+    /// Current `[tau_min, tau_max]` bounds.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.tau_min, self.tau_max)
+    }
+
+    /// Best solution found so far.
+    pub fn best(&self) -> Option<(&Tour, u64)> {
+        self.best.as_ref().map(|(t, l)| (t, *l))
+    }
+
+    /// Pheromone matrix.
+    pub fn tau(&self) -> &[f64] {
+        &self.tau
+    }
+
+    fn recompute_choice(&mut self) {
+        let (a, b) = (self.params.alpha as f64, self.params.beta as f64);
+        for i in 0..self.n * self.n {
+            self.choice[i] = self.tau[i].powf(a) * self.eta[i].powf(b);
+        }
+    }
+
+    fn construct_one(&mut self) -> (Tour, u64) {
+        // Candidate-list construction, same rule as the Ant System.
+        let n = self.n;
+        let nn_depth = self.nn.depth();
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut prob = vec![0.0f64; nn_depth];
+        let start = (self.rng.next_f64() * n as f64) as usize % n;
+        visited[start] = true;
+        order.push(start as u32);
+        let (mut cur, mut len) = (start, 0u64);
+        for _ in 1..n {
+            let cands = self.nn.neighbors(cur);
+            let row = &self.choice[cur * n..(cur + 1) * n];
+            let mut sum = 0.0;
+            for (k, &cand) in cands.iter().enumerate() {
+                let p = if visited[cand as usize] { 0.0 } else { row[cand as usize] };
+                prob[k] = p;
+                sum += p;
+            }
+            let next = if sum > 0.0 {
+                let r = self.rng.next_f64() * sum;
+                let mut cum = 0.0;
+                let mut pick = nn_depth - 1;
+                for (k, &p) in prob.iter().enumerate() {
+                    cum += p;
+                    if cum >= r && p > 0.0 {
+                        pick = k;
+                        break;
+                    }
+                }
+                if prob[pick] == 0.0 {
+                    pick = (0..nn_depth).find(|&q| prob[q] > 0.0).expect("sum > 0");
+                }
+                cands[pick] as usize
+            } else {
+                let mut best = usize::MAX;
+                let mut best_v = f64::NEG_INFINITY;
+                for j in 0..n {
+                    if !visited[j] && row[j] > best_v {
+                        best_v = row[j];
+                        best = j;
+                    }
+                }
+                best
+            };
+            visited[next] = true;
+            order.push(next as u32);
+            len += self.inst.dist(cur, next) as u64;
+            cur = next;
+        }
+        len += self.inst.dist(cur, start) as u64;
+        (Tour::new_unchecked(order), len)
+    }
+
+    fn clamp(&mut self) {
+        for t in self.tau.iter_mut() {
+            *t = t.clamp(self.tau_min, self.tau_max);
+        }
+    }
+
+    /// One MMAS iteration; returns the best-so-far length.
+    pub fn iterate(&mut self) -> u64 {
+        self.iterations += 1;
+        let mut iter_best: Option<(Tour, u64)> = None;
+        for _ in 0..self.m {
+            let (tour, len) = self.construct_one();
+            if iter_best.as_ref().map_or(true, |&(_, b)| len < b) {
+                iter_best = Some((tour, len));
+            }
+        }
+        let iter_best = iter_best.expect("m >= 1 ants");
+
+        let improved = self.best.as_ref().map_or(true, |&(_, b)| iter_best.1 < b);
+        if improved {
+            // Tighter bounds as the best tour improves.
+            self.best = Some(iter_best.clone());
+            let rho = self.params.rho as f64;
+            self.tau_max = 1.0 / (rho * iter_best.1 as f64);
+            self.tau_min = self.tau_max / (2.0 * self.n as f64);
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+
+        // Evaporation.
+        let keep = 1.0 - self.params.rho as f64;
+        for t in self.tau.iter_mut() {
+            *t *= keep;
+        }
+
+        // Deposit: iteration-best, or best-so-far on the schedule.
+        let use_gb = self.mmas.gb_every > 0 && self.iterations % self.mmas.gb_every == 0;
+        let (tour, len) = if use_gb {
+            self.best.as_ref().expect("set above").clone()
+        } else {
+            iter_best
+        };
+        let dep = 1.0 / len as f64;
+        for k in 0..self.n {
+            let i = tour.order()[k] as usize;
+            let j = tour.order()[(k + 1) % self.n] as usize;
+            self.tau[i * self.n + j] += dep;
+            self.tau[j * self.n + i] += dep;
+        }
+
+        self.clamp();
+
+        // Stagnation restart.
+        if self.mmas.restart_after > 0 && self.since_improvement >= self.mmas.restart_after {
+            self.tau.fill(self.tau_max);
+            self.since_improvement = 0;
+        }
+
+        self.recompute_choice();
+        self.best.as_ref().map(|&(_, l)| l).expect("set above")
+    }
+
+    /// Run `iters` iterations; returns the best length.
+    pub fn run(&mut self, iters: usize) -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..iters {
+            best = self.iterate();
+        }
+        best
+    }
+
+    /// Operation counters for an MMAS update (extension of the paper's
+    /// cost analysis: deposit is `O(n)` instead of `O(m n)`).
+    pub fn update_counters(n: usize) -> OpCounter {
+        let cells = (n * n) as u64;
+        OpCounter {
+            loads: cells + 4 * n as u64,
+            stores: cells + 2 * n as u64,
+            flops: cells + 2 * n as u64,
+            alu: 4 * n as u64,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn bounds_hold_after_every_iteration() {
+        let inst = uniform_random("mmas", 40, 800.0, 31);
+        let mut mmas = MaxMinAntSystem::new(
+            &inst,
+            AcoParams::default().nn(15).seed(4),
+            MmasParams::default(),
+        );
+        for _ in 0..10 {
+            mmas.iterate();
+            let (lo, hi) = mmas.bounds();
+            assert!(lo > 0.0 && hi > lo);
+            for &t in mmas.tau() {
+                assert!(t >= lo * (1.0 - 1e-12) && t <= hi * (1.0 + 1e-12), "tau {t} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn improves_and_stays_valid() {
+        let inst = uniform_random("mmas", 50, 1000.0, 32);
+        let mut mmas = MaxMinAntSystem::new(
+            &inst,
+            AcoParams::default().nn(15).seed(8).ants(25),
+            MmasParams::default(),
+        );
+        let first = mmas.iterate();
+        let last = mmas.run(25);
+        assert!(last <= first);
+        let (tour, len) = mmas.best().expect("ran");
+        assert!(tour.is_valid());
+        assert_eq!(len, tour.length(inst.matrix()));
+    }
+
+    #[test]
+    fn restart_resets_trails() {
+        let inst = uniform_random("mmas", 30, 500.0, 33);
+        let mut mmas = MaxMinAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(2).ants(5),
+            MmasParams { gb_every: 0, restart_after: 1 },
+        );
+        mmas.run(5);
+        // With restart_after = 1, trails were re-initialised recently; all
+        // values close to tau_max or clamped shortly after.
+        let (_, hi) = mmas.bounds();
+        let above_half = mmas.tau().iter().filter(|&&t| t > hi * 0.4).count();
+        assert!(above_half > 0, "restart should lift trails toward tau_max");
+    }
+}

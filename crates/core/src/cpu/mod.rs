@@ -1,0 +1,14 @@
+//! CPU-side algorithms: the sequential ACOTSP-style Ant System baseline the
+//! paper measures against, its operation-counting cost model, a
+//! multi-threaded colony, and the ACS / MMAS variants the paper names as
+//! future work.
+
+pub mod acs;
+pub mod ant_system;
+pub mod counter;
+pub mod elitist;
+pub mod mmas;
+pub mod parallel;
+
+pub use ant_system::{AntSystem, IterationReport, PhaseCounters, TourPolicy};
+pub use counter::{CpuModel, OpCounter};

@@ -1,0 +1,112 @@
+//! Multi-threaded CPU colony.
+//!
+//! Ants are embarrassingly parallel within an iteration (the paper's
+//! premise); this module fans construction out over OS threads with
+//! per-ant decorrelated seeds, so the result is identical for any thread
+//! count — a property the tests pin down. Pheromone update stays
+//! sequential (it is O(n²) and memory-bound).
+
+use aco_simt::rng::PmRng;
+use aco_tsp::Tour;
+
+use super::ant_system::{AntSystem, TourPolicy};
+
+/// Construct all `m` tours with `threads` workers. Deterministic in
+/// `(seed, iteration)` regardless of `threads`.
+pub fn construct_parallel(
+    aco: &AntSystem<'_>,
+    policy: TourPolicy,
+    iteration: u64,
+    threads: usize,
+) -> Vec<(Tour, u64)> {
+    let m = aco.m();
+    let threads = threads.clamp(1, m);
+    let seed_of = |ant: usize| PmRng::thread_seed(aco.params().seed ^ (iteration << 20), ant as u64);
+
+    if threads == 1 {
+        return (0..m).map(|a| aco.construct_with_seed(seed_of(a), policy)).collect();
+    }
+
+    let mut out: Vec<Option<(Tour, u64)>> = (0..m).map(|_| None).collect();
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (w, slot) in out.chunks_mut(chunk).enumerate() {
+            let aco_ref = &aco;
+            scope.spawn(move || {
+                for (k, s) in slot.iter_mut().enumerate() {
+                    let ant = w * chunk + k;
+                    *s = Some(aco_ref.construct_with_seed(seed_of(ant), policy));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|s| s.expect("every ant constructed")).collect()
+}
+
+/// A full parallel iteration: parallel construction + sequential update.
+/// Returns the iteration-best length.
+pub fn iterate_parallel(
+    aco: &mut AntSystem<'_>,
+    policy: TourPolicy,
+    iteration: u64,
+    threads: usize,
+) -> u64 {
+    let sols = construct_parallel(aco, policy, iteration, threads);
+    let best = sols.iter().map(|&(_, l)| l).min().expect("m >= 1");
+    let mut c = super::counter::OpCounter::default();
+    aco.update_pheromone(&sols, &mut c);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let inst = uniform_random("par", 40, 800.0, 41);
+        let aco = AntSystem::new(&inst, AcoParams::default().nn(12).seed(77).ants(16));
+        let one = construct_parallel(&aco, TourPolicy::NearestNeighborList, 0, 1);
+        let four = construct_parallel(&aco, TourPolicy::NearestNeighborList, 0, 4);
+        let many = construct_parallel(&aco, TourPolicy::NearestNeighborList, 0, 16);
+        let lens = |v: &Vec<(Tour, u64)>| v.iter().map(|&(_, l)| l).collect::<Vec<_>>();
+        assert_eq!(lens(&one), lens(&four));
+        assert_eq!(lens(&one), lens(&many));
+    }
+
+    #[test]
+    fn different_iterations_give_different_tours() {
+        let inst = uniform_random("par", 40, 800.0, 42);
+        let aco = AntSystem::new(&inst, AcoParams::default().nn(12).seed(7).ants(8));
+        let a = construct_parallel(&aco, TourPolicy::NearestNeighborList, 0, 4);
+        let b = construct_parallel(&aco, TourPolicy::NearestNeighborList, 1, 4);
+        let la: Vec<u64> = a.iter().map(|&(_, l)| l).collect();
+        let lb: Vec<u64> = b.iter().map(|&(_, l)| l).collect();
+        assert_ne!(la, lb);
+    }
+
+    #[test]
+    fn parallel_iterations_converge() {
+        let inst = uniform_random("par", 60, 1000.0, 43);
+        let mut aco = AntSystem::new(&inst, AcoParams::default().nn(15).seed(3));
+        let mut bests = Vec::new();
+        for it in 0..15 {
+            bests.push(iterate_parallel(&mut aco, TourPolicy::NearestNeighborList, it, 4));
+        }
+        let first = bests[0];
+        let min_late = *bests[5..].iter().min().expect("non-empty");
+        assert!(min_late <= first, "search should not degrade: {min_late} vs {first}");
+    }
+
+    #[test]
+    fn all_tours_valid_in_parallel() {
+        let inst = uniform_random("par", 35, 700.0, 44);
+        let aco = AntSystem::new(&inst, AcoParams::default().nn(10).seed(5).ants(12));
+        for (t, l) in construct_parallel(&aco, TourPolicy::FullProbabilistic, 3, 3) {
+            assert!(t.is_valid());
+            assert_eq!(l, t.length(inst.matrix()));
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! GPU Ant Colony System — the paper's named future work.
+//!
+//! "We will also implement other ACO algorithms, such as the Ant Colony
+//! System, which can also be efficiently implemented on the GPU"
+//! (Section VI). This module does exactly that, reusing the simulator
+//! substrate:
+//!
+//! * **Tour kernel** (task-parallel, candidate lists): the pseudo-random
+//!   proportional rule — with probability `q0` take the best candidate,
+//!   otherwise roulette — plus ACS's *local pheromone update*
+//!   (`tau = (1-xi) tau + xi tau0`) applied to every crossed edge as the
+//!   ants move. Concurrent ants race on popular edges exactly as a real
+//!   CUDA port would; the simulator resolves stores in lane order, and the
+//!   rule's convex-combination form keeps any interleaving well-defined.
+//! * **Global update kernel**: one thread per tour position of the
+//!   best-so-far ant only (`tau = (1-rho) tau + rho/C_bs`), a tiny launch
+//!   compared to the Ant System's full-matrix update.
+//!
+//! The heuristic weights live in a precomputed `eta^beta` table (the
+//! Choice kernel with `alpha = 0`), since ACS multiplies raw `tau` in.
+
+use aco_simt::prelude::*;
+use aco_simt::rng::PmRng;
+use aco_simt::SimtError;
+use aco_tsp::{Tour, TspInstance};
+
+use super::buffers::ColonyBuffers;
+use super::choice::ChoiceKernel;
+use crate::cpu::acs::AcsParams;
+use crate::params::AcoParams;
+
+/// ACS tour construction: pseudo-random proportional rule + local update.
+pub struct AcsTourKernel {
+    /// Device buffers; `choice` holds `eta^beta` (not `tau^a eta^b`).
+    pub bufs: ColonyBuffers,
+    /// Exploitation probability `q0`.
+    pub q0: f32,
+    /// Local evaporation `xi`.
+    pub xi: f32,
+    /// Initial pheromone `tau0 = 1/(n C_nn)`.
+    pub tau0: f32,
+    /// Colony seed.
+    pub seed: u64,
+    /// Iteration number.
+    pub iteration: u64,
+}
+
+impl AcsTourKernel {
+    /// Launch geometry: ACS colonies are small (10 ants classically), so
+    /// one modest block usually covers the colony.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.m.div_ceil(64), 64).regs(26)
+    }
+
+    /// `tau[idx] * eta_beta[idx]` for a candidate (2 loads + 1 mul).
+    fn value(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem, idx: &Reg<u32>) -> Reg<f32> {
+        let tau = ctx.ld_global_f32(gm, self.bufs.tau, idx);
+        let eb = ctx.ld_global_f32(gm, self.bufs.choice, idx);
+        ctx.fmul(&tau, &eb)
+    }
+
+    /// Best unvisited city over all cities (fallback path).
+    fn argmax_unvisited(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tid: &Reg<u32>,
+        cur: &Reg<u32>,
+    ) -> Reg<u32> {
+        let n = self.bufs.n;
+        let nreg = ctx.splat_u32(n);
+        let one = ctx.splat_f32(1.0);
+        let curn = ctx.imul(cur, &nreg);
+        let row = ctx.imul(tid, &nreg);
+        let mut best_v = ctx.splat_f32(-1.0);
+        let mut best_j = ctx.splat_u32(0);
+        for j in 0..n {
+            let jr = ctx.splat_u32(j);
+            let cidx = ctx.iadd(&curn, &jr);
+            let v = self.value(ctx, gm, &cidx);
+            let vidx = ctx.iadd(&row, &jr);
+            let vis = ctx.ld_global_u32(gm, self.bufs.visited, &vidx);
+            let visf = ctx.u2f(&vis);
+            let unvis = ctx.fsub(&one, &visf);
+            let vp1 = ctx.fadd(&v, &one);
+            let score = ctx.fmul(&vp1, &unvis);
+            let better = ctx.fgt(&score, &best_v);
+            best_v = ctx.select_f32(&better, &score, &best_v);
+            best_j = ctx.select_u32(&better, &jr, &best_j);
+        }
+        best_j
+    }
+}
+
+impl Kernel for AcsTourKernel {
+    fn name(&self) -> &'static str {
+        "acs_tour"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let nn = self.bufs.nn;
+        let stride = self.bufs.stride;
+        let tid = ctx.global_thread_idx();
+        let m = ctx.splat_u32(self.bufs.m);
+        let is_ant = ctx.ult(&tid, &m);
+
+        ctx.if_then(gm, &is_ant, |ctx, gm| {
+            let mut lcg = {
+                let base = ctx.block_idx * ctx.block_dim;
+                let seed = self.seed ^ self.iteration.wrapping_mul(0xA5A5_1234);
+                ctx.reg_from_fn_u32(|lane| PmRng::thread_seed(seed, (base as usize + lane) as u64))
+            };
+
+            let nreg = ctx.splat_u32(n);
+            let nnreg = ctx.splat_u32(nn);
+            let one_u = ctx.splat_u32(1);
+            let one_f = ctx.splat_f32(1.0);
+            let zero_f = ctx.splat_f32(0.0);
+            let q0 = ctx.splat_f32(self.q0);
+            let xi = ctx.splat_f32(self.xi);
+            let keep = ctx.splat_f32(1.0 - self.xi);
+            let tau0_reg = ctx.splat_f32(self.tau0);
+            let xtau0 = ctx.fmul(&xi, &tau0_reg);
+
+            // Start city.
+            let r0 = ctx.lcg_next_f32(&mut lcg);
+            let nf = ctx.splat_f32(n as f32);
+            let sf = ctx.fmul(&r0, &nf);
+            let raw = ctx.f2u(&sf);
+            let nm1 = ctx.splat_u32(n - 1);
+            let start = ctx.imin(&raw, &nm1);
+            let stride_reg = ctx.splat_u32(stride);
+            let base = ctx.imul(&tid, &stride_reg);
+            ctx.st_global_u32(gm, self.bufs.tours, &base, &start);
+            let vrow = ctx.imul(&tid, &nreg);
+            let vidx = ctx.iadd(&vrow, &start);
+            ctx.st_global_u32(gm, self.bufs.visited, &vidx, &one_u);
+
+            let mut cur = start.clone();
+            let mut len = ctx.splat_f32(0.0);
+
+            for step in 1..n {
+                let curn = ctx.imul(&cur, &nreg);
+                let curnn = ctx.imul(&cur, &nnreg);
+
+                // Candidate values (tau * eta^beta, tabu-masked).
+                let mut vals: Vec<Reg<f32>> = Vec::with_capacity(nn as usize);
+                let mut cands: Vec<Reg<u32>> = Vec::with_capacity(nn as usize);
+                let mut sum = ctx.splat_f32(0.0);
+                for c in 0..nn {
+                    let cr = ctx.splat_u32(c);
+                    let lidx = ctx.iadd(&curnn, &cr);
+                    let cand = ctx.ld_global_u32(gm, self.bufs.nn_list, &lidx);
+                    let cidx = ctx.iadd(&curn, &cand);
+                    let v = self.value(ctx, gm, &cidx);
+                    let vi = ctx.iadd(&vrow, &cand);
+                    let vis = ctx.ld_global_u32(gm, self.bufs.visited, &vi);
+                    let visf = ctx.u2f(&vis);
+                    let unvis = ctx.fsub(&one_f, &visf);
+                    let p = ctx.fmul(&v, &unvis);
+                    sum = ctx.fadd(&sum, &p);
+                    vals.push(p);
+                    cands.push(cand);
+                }
+
+                let feasible = ctx.fgt(&sum, &zero_f);
+                let mut next = ctx.splat_u32(0);
+
+                ctx.branch(&feasible);
+                ctx.with_mask(gm, &feasible, |ctx, _gm| {
+                    let q = ctx.lcg_next_f32(&mut lcg);
+                    let exploit = ctx.flt(&q, &q0);
+
+                    // Exploitation: branch-free argmax over candidates.
+                    let mut bx_v = ctx.splat_f32(-1.0);
+                    let mut bx_c = cands[0].clone();
+                    for c in 0..nn as usize {
+                        let better = ctx.fgt(&vals[c], &bx_v);
+                        bx_v = ctx.select_f32(&better, &vals[c], &bx_v);
+                        bx_c = ctx.select_u32(&better, &cands[c], &bx_c);
+                    }
+
+                    // Exploration: branch-free roulette.
+                    let r = ctx.lcg_next_f32(&mut lcg);
+                    let target = ctx.fmul(&r, &sum);
+                    let mut cum = ctx.splat_f32(0.0);
+                    let mut done = Mask::none(ctx.block_dim as usize);
+                    let mut rx_c = bx_c.clone();
+                    for c in 0..nn as usize {
+                        cum = ctx.fadd(&cum, &vals[c]);
+                        let crossed = ctx.fge(&cum, &target);
+                        let has_p = ctx.fgt(&vals[c], &zero_f);
+                        let newly = crossed.and_not(&done).and(&has_p);
+                        rx_c = ctx.select_u32(&newly, &cands[c], &rx_c);
+                        done = done.or(&newly);
+                        ctx.charge(Op::IAlu, 2);
+                    }
+
+                    let chosen = ctx.select_u32(&exploit, &bx_c, &rx_c);
+                    ctx.assign_u32(&mut next, &chosen);
+                });
+                let infeasible = feasible.not();
+                ctx.with_mask(gm, &infeasible, |ctx, gm| {
+                    let fixed = self.argmax_unvisited(ctx, gm, &tid, &cur);
+                    ctx.assign_u32(&mut next, &fixed);
+                });
+
+                // Move: record, mark, accumulate length.
+                let sr = ctx.splat_u32(step);
+                let pos = ctx.iadd(&base, &sr);
+                ctx.st_global_u32(gm, self.bufs.tours, &pos, &next);
+                let vi = ctx.iadd(&vrow, &next);
+                ctx.st_global_u32(gm, self.bufs.visited, &vi, &one_u);
+                let didx = ctx.iadd(&curn, &next);
+                let d = ctx.ld_global_f32(gm, self.bufs.dist, &didx);
+                len = ctx.fadd(&len, &d);
+
+                // ACS local update on the crossed edge, both directions:
+                // tau = (1-xi) tau + xi tau0. Plain read-modify-write —
+                // concurrent ants race benignly, as on real hardware.
+                let fwd = ctx.iadd(&curn, &next);
+                let t_f = ctx.ld_global_f32(gm, self.bufs.tau, &fwd);
+                let upd_f = ctx.fma(&t_f, &keep, &xtau0);
+                ctx.st_global_f32(gm, self.bufs.tau, &fwd, &upd_f);
+                let nextn = ctx.imul(&next, &nreg);
+                let bwd = ctx.iadd(&nextn, &cur);
+                let t_b = ctx.ld_global_f32(gm, self.bufs.tau, &bwd);
+                let upd_b = ctx.fma(&t_b, &keep, &xtau0);
+                ctx.st_global_f32(gm, self.bufs.tau, &bwd, &upd_b);
+
+                ctx.assign_u32(&mut cur, &next);
+            }
+
+            // Closing edge + its local update.
+            let curn = ctx.imul(&cur, &nreg);
+            let didx = ctx.iadd(&curn, &start);
+            let d = ctx.ld_global_f32(gm, self.bufs.dist, &didx);
+            len = ctx.fadd(&len, &d);
+
+            for p in n..stride {
+                let pr = ctx.splat_u32(p);
+                let pos = ctx.iadd(&base, &pr);
+                ctx.st_global_u32(gm, self.bufs.tours, &pos, &start);
+            }
+            ctx.st_global_f32(gm, self.bufs.lengths, &tid, &len);
+        });
+    }
+}
+
+/// ACS global update: the best-so-far ant's edges only.
+pub struct AcsGlobalUpdateKernel {
+    /// Device buffers.
+    pub bufs: ColonyBuffers,
+    /// Index of the best ant's tour row on the device.
+    pub best_ant: u32,
+    /// Exact best length (host-computed).
+    pub best_len: f32,
+    /// Global evaporation ρ.
+    pub rho: f32,
+}
+
+impl AcsGlobalUpdateKernel {
+    /// One thread per tour edge of the single best ant.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.n.div_ceil(128), 128).regs(12)
+    }
+}
+
+impl Kernel for AcsGlobalUpdateKernel {
+    fn name(&self) -> &'static str {
+        "acs_global_update"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let s = ctx.global_thread_idx();
+        let limit = ctx.splat_u32(n);
+        let in_range = ctx.ult(&s, &limit);
+        ctx.if_then(gm, &in_range, |ctx, gm| {
+            let base = ctx.splat_u32(self.best_ant * self.bufs.stride);
+            let i0 = ctx.iadd(&base, &s);
+            let one = ctx.splat_u32(1);
+            let i1 = ctx.iadd(&i0, &one);
+            let c0 = ctx.ld_global_u32(gm, self.bufs.tours, &i0);
+            let c1 = ctx.ld_global_u32(gm, self.bufs.tours, &i1);
+            let nreg = ctx.splat_u32(n);
+            let keep = ctx.splat_f32(1.0 - self.rho);
+            let dep = ctx.splat_f32(self.rho / self.best_len);
+            for (a, b) in [(&c0, &c1), (&c1, &c0)] {
+                let ra = ctx.imul(a, &nreg);
+                let idx = ctx.iadd(&ra, b);
+                let t = ctx.ld_global_f32(gm, self.bufs.tau, &idx);
+                let out = ctx.fma(&t, &keep, &dep);
+                ctx.st_global_f32(gm, self.bufs.tau, &idx, &out);
+            }
+        });
+    }
+}
+
+/// Full ACS colony on the simulated GPU.
+pub struct GpuAntColonySystem<'a> {
+    inst: &'a TspInstance,
+    params: AcoParams,
+    acs: AcsParams,
+    dev: DeviceSpec,
+    gm: GlobalMem,
+    bufs: ColonyBuffers,
+    tau0: f32,
+    iteration: u64,
+    best: Option<(Tour, u64)>,
+}
+
+impl<'a> GpuAntColonySystem<'a> {
+    /// Allocate an ACS colony (default 10 ants, per the book) on `dev`.
+    pub fn new(inst: &'a TspInstance, params: AcoParams, acs: AcsParams, dev: DeviceSpec) -> Self {
+        let mut params = params;
+        if params.num_ants.is_none() {
+            params.num_ants = Some(10);
+        }
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
+        // ACS initialisation: tau0 = 1/(n C_nn); eta^beta table in `choice`.
+        let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        let tau0 = 1.0 / (inst.n() as f32 * c_nn as f32);
+        gm.f32_mut(bufs.tau).fill(tau0);
+        let eta_kernel = ChoiceKernel { bufs, alpha: 0.0, beta: params.beta };
+        launch(&dev, &eta_kernel.config(), &eta_kernel, &mut gm, SimMode::Full)
+            .expect("choice kernel fits any device");
+        GpuAntColonySystem { inst, params, acs, dev, gm, bufs, tau0, iteration: 0, best: None }
+    }
+
+    /// Best solution so far (exact length).
+    pub fn best(&self) -> Option<(&Tour, u64)> {
+        self.best.as_ref().map(|(t, l)| (t, *l))
+    }
+
+    /// `tau0` in use.
+    pub fn tau0(&self) -> f32 {
+        self.tau0
+    }
+
+    /// Device pheromone matrix (host view, for tests).
+    pub fn tau(&self) -> &[f32] {
+        self.gm.f32(self.bufs.tau)
+    }
+
+    /// One ACS iteration; returns `(best_so_far, tour_ms, update_ms)`.
+    pub fn iterate(&mut self) -> Result<(u64, f64, f64), SimtError> {
+        self.bufs.clear_visited(&mut self.gm);
+        let tk = AcsTourKernel {
+            bufs: self.bufs,
+            q0: self.acs.q0 as f32,
+            xi: self.acs.xi as f32,
+            tau0: self.tau0,
+            seed: self.params.seed,
+            iteration: self.iteration,
+        };
+        let rt = launch(&self.dev, &tk.config(), &tk, &mut self.gm, SimMode::Full)?;
+
+        // Host-exact best tracking over the colony.
+        let n = self.bufs.n as usize;
+        let mut best_ant = 0u32;
+        let mut best_this_iter = u64::MAX;
+        for (a, t) in self.bufs.read_tours(&self.gm).into_iter().enumerate() {
+            let tour = Tour::new(t[..n].to_vec()).expect("device tours are permutations");
+            let len = tour.length(self.inst.matrix());
+            if len < best_this_iter {
+                best_this_iter = len;
+                best_ant = a as u32;
+            }
+            if self.best.as_ref().map_or(true, |&(_, b)| len < b) {
+                self.best = Some((tour, len));
+            }
+        }
+
+        // Global update uses the best-so-far tour; if it came from an
+        // earlier iteration, refresh its row on the device.
+        let (best_tour, best_len) = self.best.as_ref().expect("at least one ant ran").clone();
+        let stride = self.bufs.stride as usize;
+        {
+            let row = &mut self.gm.u32_mut(self.bufs.tours)
+                [best_ant as usize * stride..(best_ant as usize + 1) * stride];
+            row[..n].copy_from_slice(best_tour.order());
+            for cell in row[n..].iter_mut() {
+                *cell = best_tour.order()[0];
+            }
+        }
+        let uk = AcsGlobalUpdateKernel {
+            bufs: self.bufs,
+            best_ant,
+            best_len: best_len as f32,
+            rho: self.params.rho,
+        };
+        let ru = launch(&self.dev, &uk.config(), &uk, &mut self.gm, SimMode::Full)?;
+
+        self.iteration += 1;
+        Ok((best_len, rt.time.total_ms, ru.time.total_ms))
+    }
+
+    /// Run `iters` iterations; returns the best length.
+    pub fn run(&mut self, iters: usize) -> Result<u64, SimtError> {
+        let mut best = u64::MAX;
+        for _ in 0..iters {
+            best = self.iterate()?.0;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn gpu_acs_builds_valid_improving_tours() {
+        let inst = uniform_random("gacs", 40, 800.0, 3);
+        let mut acs = GpuAntColonySystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(9),
+            AcsParams::default(),
+            DeviceSpec::tesla_m2050(),
+        );
+        let (first, tour_ms, update_ms) = acs.iterate().expect("valid launch");
+        assert!(tour_ms > 0.0 && update_ms > 0.0);
+        let last = acs.run(15).expect("valid launch");
+        assert!(last <= first);
+        let (t, l) = acs.best().expect("ran");
+        assert!(t.is_valid());
+        assert_eq!(l, t.length(inst.matrix()));
+    }
+
+    #[test]
+    fn local_update_keeps_tau_at_or_above_tau0() {
+        let inst = uniform_random("gacs2", 30, 600.0, 5);
+        let mut acs = GpuAntColonySystem::new(
+            &inst,
+            AcoParams::default().nn(8).seed(2),
+            AcsParams::default(),
+            DeviceSpec::tesla_c1060(),
+        );
+        acs.run(5).expect("valid launch");
+        let tau0 = acs.tau0();
+        let lo = tau0 * (1.0 - 1e-4);
+        assert!(
+            acs.tau().iter().all(|&t| t >= lo),
+            "local rule is a convex combination with tau0; tau must not sink below it"
+        );
+    }
+
+    #[test]
+    fn acs_update_is_much_cheaper_than_as_full_matrix_update() {
+        // ACS deposits on one tour; AS touches all n^2 cells — the GPU cost
+        // gap should be large even on a small instance.
+        let inst = uniform_random("gacs3", 64, 900.0, 7);
+        let mut acs = GpuAntColonySystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(4),
+            AcsParams::default(),
+            DeviceSpec::tesla_m2050(),
+        );
+        let (_, _, acs_update_ms) = acs.iterate().expect("valid launch");
+
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(10));
+        let ev = super::super::pheromone::EvaporationKernel { bufs, rho: 0.5 };
+        let r = launch(&DeviceSpec::tesla_m2050(), &ev.config(), &ev, &mut gm, SimMode::Full)
+            .expect("valid launch");
+        // Just the AS evaporation pass already rivals the whole ACS update.
+        assert!(
+            acs_update_ms < r.time.total_ms * 4.0,
+            "ACS update {acs_update_ms} should be of the order of a single evaporation {}",
+            r.time.total_ms
+        );
+    }
+
+    #[test]
+    fn gpu_acs_quality_tracks_cpu_acs() {
+        let inst = uniform_random("gacs4", 45, 800.0, 11);
+        let mut gpu = GpuAntColonySystem::new(
+            &inst,
+            AcoParams::default().nn(12).seed(3),
+            AcsParams::default(),
+            DeviceSpec::tesla_m2050(),
+        );
+        let gpu_best = gpu.run(20).expect("valid launch") as f64;
+        let mut cpu = crate::cpu::acs::AntColonySystem::new(
+            &inst,
+            AcoParams::default().nn(12).seed(3),
+            AcsParams::default(),
+        );
+        let cpu_best = cpu.run(20) as f64;
+        let gap = ((gpu_best - cpu_best) / cpu_best).abs();
+        assert!(gap < 0.15, "GPU ACS {gpu_best} vs CPU ACS {cpu_best}");
+    }
+}

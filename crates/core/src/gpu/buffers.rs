@@ -1,0 +1,219 @@
+//! Device-memory layout of a colony.
+//!
+//! One [`ColonyBuffers`] bundle holds every device allocation the paper's
+//! kernels touch, in the exact flat layouts the CUDA code would use:
+//! row-major `n x n` matrices, a flat `n x nn` candidate list, and tours
+//! padded to a multiple of the pheromone tile θ (Section IV-B: "we solve
+//! this by applying padding in the ants tour array").
+
+use aco_simt::{DevicePtr, GlobalMem};
+use aco_tsp::{NearestNeighborLists, TspInstance};
+
+use crate::params::AcoParams;
+
+/// Tile size θ used by the tiled pheromone kernels and as the tour
+/// padding unit (the paper's "empirically demonstrated optimum thread
+/// block layout").
+pub const THETA: u32 = 256;
+
+/// All device allocations for one colony. `Copy` so kernels capture it.
+#[derive(Debug, Clone, Copy)]
+pub struct ColonyBuffers {
+    /// Cities.
+    pub n: u32,
+    /// Ants.
+    pub m: u32,
+    /// Candidate-list depth.
+    pub nn: u32,
+    /// Row stride of the per-ant tour array: `n + 1` (closing city) padded
+    /// up to a multiple of [`THETA`].
+    pub stride: u32,
+    /// `n x n` distances, f32 (the GPU-side copy of the integer matrix).
+    pub dist: DevicePtr<f32>,
+    /// `n x n` pheromone matrix τ.
+    pub tau: DevicePtr<f32>,
+    /// `n x n` choice info τ^α·η^β.
+    pub choice: DevicePtr<f32>,
+    /// `n x nn` nearest-neighbour lists.
+    pub nn_list: DevicePtr<u32>,
+    /// `m x stride` tours.
+    pub tours: DevicePtr<u32>,
+    /// `m` tour lengths (f32, as accumulated on the device).
+    pub lengths: DevicePtr<f32>,
+    /// `m x n` visited flags (task-kernel global tabu).
+    pub visited: DevicePtr<u32>,
+    /// `m x n` selection-probability scratch (baseline task kernels).
+    pub prob: DevicePtr<f32>,
+    /// `12 x m` CURAND-style RNG state words (48 bytes per thread).
+    pub curand: DevicePtr<u32>,
+}
+
+impl ColonyBuffers {
+    /// Allocate and upload everything for `inst` under `params`.
+    pub fn allocate(gm: &mut GlobalMem, inst: &TspInstance, params: &AcoParams) -> Self {
+        let n = inst.n();
+        let m = params.ants_for(n);
+        let nn_lists = NearestNeighborLists::build(inst.matrix(), params.nn_size)
+            .expect("instance has >= 2 cities");
+        let nn = nn_lists.depth();
+        let stride = ((n + 1) as u32).next_multiple_of(THETA);
+
+        let dist = gm.alloc_f32(n * n);
+        let dist_host: Vec<f32> = inst.matrix().as_flat().iter().map(|&d| d as f32).collect();
+        gm.write_f32(dist, &dist_host);
+
+        let tau = gm.alloc_f32(n * n);
+        let tau0 = initial_pheromone(inst, m);
+        gm.write_f32(tau, &vec![tau0; n * n]);
+
+        let choice = gm.alloc_f32(n * n);
+        let nn_list = gm.alloc_u32(n * nn);
+        gm.write_u32(nn_list, nn_lists.as_flat());
+
+        let tours = gm.alloc_u32(m * stride as usize);
+        let lengths = gm.alloc_f32(m);
+        let visited = gm.alloc_u32(m * n);
+        let prob = gm.alloc_f32(m * n);
+        let curand = gm.alloc_u32(12 * m);
+        // Seed CURAND state words deterministically (curand_init equivalent).
+        let curand_host: Vec<u32> = (0..12 * m)
+            .map(|i| aco_simt::rng::PmRng::thread_seed(params.seed ^ 0xC0DE, i as u64))
+            .collect();
+        gm.write_u32(curand, &curand_host);
+
+        ColonyBuffers {
+            n: n as u32,
+            m: m as u32,
+            nn: nn as u32,
+            stride,
+            dist,
+            tau,
+            choice,
+            nn_list,
+            tours,
+            lengths,
+            visited,
+            prob,
+            curand,
+        }
+    }
+
+    /// Clear the visited scratch (host-side `cudaMemset` before each
+    /// construction launch).
+    pub fn clear_visited(&self, gm: &mut GlobalMem) {
+        gm.u32_mut(self.visited).fill(0);
+    }
+
+    /// Read tours back as host vectors (one `Vec<u32>` of `n + 1` cities
+    /// per ant, closing city included).
+    pub fn read_tours(&self, gm: &GlobalMem) -> Vec<Vec<u32>> {
+        let all = gm.u32(self.tours);
+        (0..self.m as usize)
+            .map(|a| all[a * self.stride as usize..a * self.stride as usize + self.n as usize + 1].to_vec())
+            .collect()
+    }
+
+    /// Read the f32 tour lengths back.
+    pub fn read_lengths(&self, gm: &GlobalMem) -> Vec<f32> {
+        gm.f32(self.lengths).to_vec()
+    }
+
+    /// Upload host-built tours (with closing city and padding) and their
+    /// lengths — used by the pheromone-update experiments, which need
+    /// realistic tours without paying for a full construction launch.
+    pub fn upload_tours(&self, gm: &mut GlobalMem, tours: &[aco_tsp::Tour], matrix: &aco_tsp::DistanceMatrix) {
+        assert_eq!(tours.len(), self.m as usize, "one tour per ant");
+        let stride = self.stride as usize;
+        let n = self.n as usize;
+        {
+            let buf = gm.u32_mut(self.tours);
+            for (a, tour) in tours.iter().enumerate() {
+                let row = &mut buf[a * stride..(a + 1) * stride];
+                row[..n].copy_from_slice(tour.order());
+                let start = tour.order()[0];
+                for cell in row[n..].iter_mut() {
+                    *cell = start;
+                }
+            }
+        }
+        let lengths: Vec<f32> = tours.iter().map(|t| t.length(matrix) as f32).collect();
+        gm.write_f32(self.lengths, &lengths);
+    }
+}
+
+/// `tau0 = m / C_nn` (Ant System initialisation, as on the CPU side).
+pub fn initial_pheromone(inst: &TspInstance, m: usize) -> f32 {
+    let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+    m as f32 / c_nn as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+    use rand::SeedableRng;
+
+    #[test]
+    fn allocation_shapes() {
+        let inst = uniform_random("b", 48, 1000.0, 1);
+        let mut gm = GlobalMem::new();
+        let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(20));
+        assert_eq!(b.n, 48);
+        assert_eq!(b.m, 48);
+        assert_eq!(b.nn, 20);
+        assert_eq!(b.stride, 256); // 49 padded to one tile
+        assert_eq!(gm.f32(b.dist).len(), 48 * 48);
+        assert_eq!(gm.u32(b.nn_list).len(), 48 * 20);
+        assert_eq!(gm.u32(b.tours).len(), 48 * 256);
+        assert_eq!(gm.u32(b.curand).len(), 12 * 48);
+    }
+
+    #[test]
+    fn stride_covers_closing_city() {
+        let inst = uniform_random("b", 256, 1000.0, 2);
+        let mut gm = GlobalMem::new();
+        let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default());
+        // 257 entries needed -> two tiles.
+        assert_eq!(b.stride, 512);
+    }
+
+    #[test]
+    fn tau_initialised_to_m_over_cnn() {
+        let inst = uniform_random("b", 30, 500.0, 3);
+        let mut gm = GlobalMem::new();
+        let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().ants(10));
+        let tau0 = initial_pheromone(&inst, 10);
+        assert!(gm.f32(b.tau).iter().all(|&t| t == tau0));
+        assert!(tau0 > 0.0);
+    }
+
+    #[test]
+    fn upload_tours_pads_with_start_city() {
+        let inst = uniform_random("b", 10, 500.0, 5);
+        let mut gm = GlobalMem::new();
+        let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(5).ants(3));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let tours: Vec<aco_tsp::Tour> = (0..3).map(|_| aco_tsp::Tour::random(10, &mut rng)).collect();
+        b.upload_tours(&mut gm, &tours, inst.matrix());
+        let back = b.read_tours(&gm);
+        for (a, t) in back.iter().enumerate() {
+            assert_eq!(&t[..10], tours[a].order());
+            assert_eq!(t[10], tours[a].order()[0], "closing city");
+        }
+        let lens = b.read_lengths(&gm);
+        assert_eq!(lens[1], tours[1].length(inst.matrix()) as f32);
+        // Padding beyond the closing city repeats the start.
+        let raw = gm.u32(b.tours);
+        assert_eq!(raw[b.stride as usize - 1], tours[0].order()[0]);
+    }
+
+    #[test]
+    fn visited_clear_works() {
+        let inst = uniform_random("b", 20, 500.0, 4);
+        let mut gm = GlobalMem::new();
+        let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default());
+        gm.u32_mut(b.visited)[5] = 1;
+        b.clear_visited(&mut gm);
+        assert!(gm.u32(b.visited).iter().all(|&v| v == 0));
+    }
+}

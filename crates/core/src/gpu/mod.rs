@@ -1,0 +1,15 @@
+//! GPU designs for the ACO algorithm (Section IV of the paper), written
+//! against the [`aco_simt`] simulator.
+
+pub mod acs;
+pub mod buffers;
+pub mod choice;
+pub mod pheromone;
+pub mod system;
+pub mod tour;
+
+pub use acs::GpuAntColonySystem;
+pub use buffers::{ColonyBuffers, THETA};
+pub use pheromone::{run_pheromone, PheromoneRun, PheromoneStrategy};
+pub use system::{GpuAntSystem, GpuIterationReport};
+pub use tour::{run_tour, TourRun, TourStrategy};

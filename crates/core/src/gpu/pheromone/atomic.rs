@@ -1,0 +1,262 @@
+//! Atomic pheromone update (Tables III/IV, versions 1–2; Figure 2).
+//!
+//! Two launches per update:
+//!
+//! 1. [`EvaporationKernel`] — one thread per matrix cell applies
+//!    `tau *= (1 - rho)` (Equation 2).
+//! 2. [`AtomicDepositKernel`] — one thread per cell of an ant's (padded)
+//!    tour loads its edge `(i, j)` and performs
+//!    `atomicAdd(&tau[i][j], 1/C_k)` on both symmetric cells
+//!    (Equations 3–4). Version 1 stages the tour tile in shared memory
+//!    first; version 2 reads global memory directly.
+//!
+//! On the Tesla C1060 the float atomics are costed as their CAS-loop
+//! emulation (the paper: "those atomic operations are not supported by
+//! GPUs with CCC 1.x for floating point operations").
+
+use aco_simt::prelude::*;
+
+use crate::gpu::buffers::{ColonyBuffers, THETA};
+
+/// `tau *= (1 - rho)` over every cell.
+pub struct EvaporationKernel {
+    /// Device buffers.
+    pub bufs: ColonyBuffers,
+    /// Evaporation rate ρ.
+    pub rho: f32,
+}
+
+impl EvaporationKernel {
+    /// One thread per cell, θ-wide blocks.
+    pub fn config(&self) -> LaunchConfig {
+        let cells = self.bufs.n * self.bufs.n;
+        LaunchConfig::new(cells.div_ceil(THETA), THETA).regs(10)
+    }
+}
+
+impl Kernel for EvaporationKernel {
+    fn name(&self) -> &'static str {
+        "pheromone_evaporate"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let cells = self.bufs.n * self.bufs.n;
+        let idx = ctx.global_thread_idx();
+        let limit = ctx.splat_u32(cells);
+        let in_range = ctx.ult(&idx, &limit);
+        ctx.if_then(gm, &in_range, |ctx, gm| {
+            let tau = ctx.ld_global_f32(gm, self.bufs.tau, &idx);
+            let keep = ctx.splat_f32(1.0 - self.rho);
+            let out = ctx.fmul(&tau, &keep);
+            ctx.st_global_f32(gm, self.bufs.tau, &idx, &out);
+        });
+    }
+}
+
+/// Atomic deposit: one thread per (padded) tour cell.
+pub struct AtomicDepositKernel {
+    /// Device buffers.
+    pub bufs: ColonyBuffers,
+    /// Stage each tour tile in shared memory first (version 1).
+    pub use_shared: bool,
+}
+
+impl AtomicDepositKernel {
+    /// Tiles per tour (tours are padded to a multiple of θ).
+    pub fn tiles_per_tour(&self) -> u32 {
+        self.bufs.stride / THETA
+    }
+
+    /// One block per (ant, tile) pair.
+    pub fn config(&self) -> LaunchConfig {
+        let grid = self.bufs.m * self.tiles_per_tour();
+        let shared = if self.use_shared { (THETA + 1) * 4 } else { 0 };
+        LaunchConfig::new(grid, THETA).regs(14).shared(shared)
+    }
+}
+
+impl Kernel for AtomicDepositKernel {
+    fn name(&self) -> &'static str {
+        "pheromone_deposit_atomic"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let tiles = self.tiles_per_tour();
+        let stride = self.bufs.stride;
+        let n = self.bufs.n;
+        ctx.charge(Op::IDivMod, 2); // ant = blockIdx / tiles, tile = blockIdx % tiles
+        let ant = ctx.block_idx / tiles;
+        let tile = ctx.block_idx % tiles;
+        let lane = ctx.thread_idx();
+
+        let tour_base = ant * stride + tile * THETA;
+        let base_reg = ctx.splat_u32(tour_base);
+        let g_idx = ctx.iadd(&base_reg, &lane);
+
+        // Edge endpoints (c0, c1) for this thread's tour position.
+        let (c0, c1) = if self.use_shared {
+            let sh = ctx.shared_alloc_u32(THETA as usize + 1);
+            let t0 = ctx.ld_global_u32(gm, self.bufs.tours, &g_idx);
+            ctx.sh_st_u32(sh, &lane, &t0);
+            // Thread 0 fetches the tile boundary (clamped to the padded
+            // tour end; padding repeats the start city, so the extra edge
+            // is a harmless diagonal).
+            let lane0 = ctx.lane_mask(0);
+            let boundary = (tour_base + THETA).min(ant * stride + stride - 1);
+            let b_reg = ctx.splat_u32(boundary);
+            let theta_reg = ctx.splat_u32(THETA);
+            ctx.if_then(gm, &lane0, |ctx, gm| {
+                let v = ctx.ld_global_u32(gm, self.bufs.tours, &b_reg);
+                ctx.sh_st_u32(sh, &theta_reg, &v);
+            });
+            ctx.sync_threads();
+            let c0 = ctx.sh_ld_u32(sh, &lane);
+            let one = ctx.splat_u32(1);
+            let lp1 = ctx.iadd(&lane, &one);
+            let c1 = ctx.sh_ld_u32(sh, &lp1);
+            (c0, c1)
+        } else {
+            let c0 = ctx.ld_global_u32(gm, self.bufs.tours, &g_idx);
+            let next = {
+                // Clamp the last padded position's neighbour.
+                let limit = ctx.splat_u32(ant * stride + stride - 1);
+                let one = ctx.splat_u32(1);
+                let raw = ctx.iadd(&g_idx, &one);
+                ctx.imin(&raw, &limit)
+            };
+            let c1 = ctx.ld_global_u32(gm, self.bufs.tours, &next);
+            (c0, c1)
+        };
+
+        // delta = 1 / C_ant (uniform per block; broadcast load + SFU recip).
+        let ant_reg = ctx.splat_u32(ant);
+        let c_len = ctx.ld_global_f32(gm, self.bufs.lengths, &ant_reg);
+        let one_f = ctx.splat_f32(1.0);
+        let delta = ctx.fdiv(&one_f, &c_len);
+
+        // Symmetric atomic deposits.
+        let n_reg = ctx.splat_u32(n);
+        let r0 = ctx.imul(&c0, &n_reg);
+        let idx_fwd = ctx.iadd(&r0, &c1);
+        ctx.atomic_add_f32(gm, self.bufs.tau, &idx_fwd, &delta);
+        let r1 = ctx.imul(&c1, &n_reg);
+        let idx_bwd = ctx.iadd(&r1, &c0);
+        ctx.atomic_add_f32(gm, self.bufs.tau, &idx_bwd, &delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::tour::task::{RngKind, TabuPlacement, TaskOpts, TaskTourKernel};
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+
+    fn build_colony(n: usize, dev: &DeviceSpec) -> (GlobalMem, ColonyBuffers) {
+        let inst = uniform_random("ph", n, 1000.0, 3);
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(10));
+        let ck = crate::gpu::choice::ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+        launch(dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
+        bufs.clear_visited(&mut gm);
+        let tk = TaskTourKernel {
+            bufs,
+            opts: TaskOpts {
+                use_choice_table: true,
+                rng: RngKind::DeviceLcg,
+                use_nn_list: true,
+                tabu: TabuPlacement::Global,
+                texture: false,
+                block: 128,
+            },
+            alpha: 1.0,
+            beta: 2.0,
+            seed: 1,
+            iteration: 0,
+        };
+        launch(dev, &tk.config(dev), &tk, &mut gm, SimMode::Full).unwrap();
+        (gm, bufs)
+    }
+
+    #[test]
+    fn evaporation_scales_every_cell() {
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(30, &dev);
+        let before: Vec<f32> = gm.f32(bufs.tau).to_vec();
+        let ev = EvaporationKernel { bufs, rho: 0.5 };
+        launch(&dev, &ev.config(), &ev, &mut gm, SimMode::Full).unwrap();
+        for (a, b) in gm.f32(bufs.tau).iter().zip(before.iter()) {
+            assert!((a - b * 0.5).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn atomic_deposit_matches_reference_update() {
+        let dev = DeviceSpec::tesla_m2050();
+        let (mut gm, bufs) = build_colony(40, &dev);
+        let n = 40usize;
+
+        // Host reference: evaporate + deposit from the tours on device.
+        let tours = bufs.read_tours(&gm);
+        let lengths = bufs.read_lengths(&gm);
+        let mut want: Vec<f32> = gm.f32(bufs.tau).iter().map(|&t| t * 0.5).collect();
+        for (a, _t) in tours.iter().enumerate() {
+            let dep = 1.0 / lengths[a];
+            // Padded positions repeat the start, adding diagonal self-edges
+            // exactly as the device does: one thread per padded position,
+            // the last clamping its successor to the padded tour end.
+            let stride = bufs.stride as usize;
+            let full: Vec<u32> = {
+                let all = gm.u32(bufs.tours);
+                all[a * stride..(a + 1) * stride].to_vec()
+            };
+            for s in 0..stride {
+                let (i, j) = (full[s] as usize, full[(s + 1).min(stride - 1)] as usize);
+                want[i * n + j] += dep;
+                want[j * n + i] += dep;
+            }
+        }
+
+        let ev = EvaporationKernel { bufs, rho: 0.5 };
+        launch(&dev, &ev.config(), &ev, &mut gm, SimMode::Full).unwrap();
+        let dk = AtomicDepositKernel { bufs, use_shared: true };
+        launch(&dev, &dk.config(), &dk, &mut gm, SimMode::Full).unwrap();
+
+        for (idx, (&got, &w)) in gm.f32(bufs.tau).iter().zip(want.iter()).enumerate() {
+            let rel = (got - w).abs() / w.abs().max(1e-12);
+            assert!(rel < 1e-3, "cell {idx}: {got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn shared_staging_reduces_global_loads() {
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(48, &dev);
+        let with = AtomicDepositKernel { bufs, use_shared: true };
+        let r_with = launch(&dev, &with.config(), &with, &mut gm, SimMode::Full).unwrap();
+        let without = AtomicDepositKernel { bufs, use_shared: false };
+        let r_without = launch(&dev, &without.config(), &without, &mut gm, SimMode::Full).unwrap();
+        assert!(r_with.stats.ld_transactions < r_without.stats.ld_transactions);
+        // Version 1 <= version 2 in time, as in Tables III/IV.
+        assert!(r_with.time.total_ms <= r_without.time.total_ms * 1.05);
+    }
+
+    #[test]
+    fn c1060_emulated_atomics_cost_more_than_fermi() {
+        let c1060 = DeviceSpec::tesla_c1060();
+        let m2050 = DeviceSpec::tesla_m2050();
+        let (mut gm1, bufs1) = build_colony(48, &c1060);
+        let (mut gm2, bufs2) = build_colony(48, &m2050);
+        let k1 = AtomicDepositKernel { bufs: bufs1, use_shared: true };
+        let k2 = AtomicDepositKernel { bufs: bufs2, use_shared: true };
+        let r1 = launch(&c1060, &k1.config(), &k1, &mut gm1, SimMode::Full).unwrap();
+        let r2 = launch(&m2050, &k2.config(), &k2, &mut gm2, SimMode::Full).unwrap();
+        // Table III vs IV: the atomic rows are ~4x faster on the M2050.
+        assert!(
+            r1.time.total_ms > 2.0 * r2.time.total_ms,
+            "CAS emulation must hurt the C1060: {} vs {}",
+            r1.time.total_ms,
+            r2.time.total_ms
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Pheromone-update strategies — the five rows of Tables III and IV.
+
+pub mod atomic;
+pub mod scatter;
+
+use aco_simt::prelude::*;
+use aco_simt::SimtError;
+
+pub use atomic::{AtomicDepositKernel, EvaporationKernel};
+pub use scatter::{ScatterGatherKernel, ScatterMode};
+
+use super::buffers::ColonyBuffers;
+
+/// One row of Tables III/IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PheromoneStrategy {
+    /// 1. Atomic instructions + shared-memory staging.
+    AtomicShared,
+    /// 2. Atomic instructions.
+    Atomic,
+    /// 3. Instruction & thread reduction (tiled, half threads).
+    Reduction,
+    /// 4. Scatter to gather + tiling.
+    ScatterTiled,
+    /// 5. Scatter to gather.
+    Scatter,
+}
+
+impl PheromoneStrategy {
+    /// All rows, in table order.
+    pub const ALL: [PheromoneStrategy; 5] = [
+        PheromoneStrategy::AtomicShared,
+        PheromoneStrategy::Atomic,
+        PheromoneStrategy::Reduction,
+        PheromoneStrategy::ScatterTiled,
+        PheromoneStrategy::Scatter,
+    ];
+
+    /// The row label as printed in the paper.
+    pub fn paper_row(self) -> &'static str {
+        match self {
+            PheromoneStrategy::AtomicShared => "1. Atomic Ins. + Shared Memory",
+            PheromoneStrategy::Atomic => "2. Atomic Ins.",
+            PheromoneStrategy::Reduction => "3. Instruction & Thread Reduction",
+            PheromoneStrategy::ScatterTiled => "4. Scatter to Gather + Tilling",
+            PheromoneStrategy::Scatter => "5. Scatter to Gather",
+        }
+    }
+}
+
+/// Outcome of one pheromone update.
+#[derive(Debug, Clone)]
+pub struct PheromoneRun {
+    /// Total modeled time (evaporation + deposit for the atomic rows; the
+    /// single fused launch otherwise).
+    pub time: KernelTime,
+    /// Merged counters of the launches involved.
+    pub stats: KernelStats,
+}
+
+/// Run one Tables III/IV row on `dev`.
+pub fn run_pheromone(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: ColonyBuffers,
+    strategy: PheromoneStrategy,
+    rho: f32,
+    mode: SimMode,
+) -> Result<PheromoneRun, SimtError> {
+    match strategy {
+        PheromoneStrategy::AtomicShared | PheromoneStrategy::Atomic => {
+            let ev = EvaporationKernel { bufs, rho };
+            let r1 = launch(dev, &ev.config(), &ev, gm, mode)?;
+            let dep = AtomicDepositKernel {
+                bufs,
+                use_shared: strategy == PheromoneStrategy::AtomicShared,
+            };
+            let r2 = launch(dev, &dep.config(), &dep, gm, mode)?;
+            let mut stats = r1.stats;
+            stats.merge(&r2.stats);
+            Ok(PheromoneRun { time: r1.time.then(&r2.time), stats })
+        }
+        PheromoneStrategy::Reduction | PheromoneStrategy::ScatterTiled | PheromoneStrategy::Scatter => {
+            let k = ScatterGatherKernel {
+                bufs,
+                rho,
+                mode: match strategy {
+                    PheromoneStrategy::Reduction => ScatterMode::TiledReduced,
+                    PheromoneStrategy::ScatterTiled => ScatterMode::Tiled,
+                    _ => ScatterMode::Plain,
+                },
+            };
+            let r = launch(dev, &k.config(), &k, gm, mode)?;
+            Ok(PheromoneRun { time: r.time, stats: r.stats })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::choice::ChoiceKernel;
+    use crate::gpu::tour::{run_tour, TourStrategy};
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn table_iii_row_ordering_holds() {
+        // Paper: atomics fastest, plain scatter slowest, tiling in between.
+        let dev = DeviceSpec::tesla_c1060();
+        let inst = uniform_random("ord", 32, 800.0, 5);
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(8));
+        let ck = ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+        launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
+        run_tour(&dev, &mut gm, bufs, TourStrategy::NNList, 1.0, 2.0, 1, 0, SimMode::Full).unwrap();
+
+        let mut ms = Vec::new();
+        for s in PheromoneStrategy::ALL {
+            let r = run_pheromone(&dev, &mut gm, bufs, s, 0.5, SimMode::Full).unwrap();
+            ms.push((s, r.time.total_ms));
+        }
+        let t = |s: PheromoneStrategy| ms.iter().find(|&&(x, _)| x == s).expect("ran").1;
+        assert!(t(PheromoneStrategy::AtomicShared) <= t(PheromoneStrategy::Atomic) * 1.05);
+        assert!(t(PheromoneStrategy::Atomic) < t(PheromoneStrategy::Reduction));
+        assert!(t(PheromoneStrategy::Reduction) < t(PheromoneStrategy::ScatterTiled));
+        assert!(t(PheromoneStrategy::ScatterTiled) < t(PheromoneStrategy::Scatter));
+    }
+
+    #[test]
+    fn labels_match_tables() {
+        assert_eq!(PheromoneStrategy::ALL.len(), 5);
+        assert_eq!(PheromoneStrategy::Scatter.paper_row(), "5. Scatter to Gather");
+    }
+}

@@ -1,0 +1,407 @@
+//! Scatter-to-gather pheromone update (Tables III/IV, versions 3–5;
+//! Figure 3).
+//!
+//! The atomic-free family: one thread per pheromone cell *gathers* its own
+//! deposits by scanning every ant's tour and checking whether its edge
+//! appears. The paper derives the access counts this reproduces:
+//!
+//! * version 5 (plain): each of the `n²` threads performs `2·n²` global
+//!   loads — `l = 2·n⁴` total ("drastically increasing the number of
+//!   accesses to device memory");
+//! * version 4 (+ tiling): tour tiles are staged in shared memory
+//!   cooperatively, cutting global loads to `γ = 2·n⁴/θ`;
+//! * version 3 (+ instruction & thread reduction): the symmetric TSP needs
+//!   only the upper triangle — half the threads, `ρ = n⁴/θ`, each thread
+//!   writing both `(i,j)` and `(j,i)`.
+//!
+//! Evaporation is fused into the same kernel (each thread owns its cell).
+
+use aco_simt::prelude::*;
+
+use crate::gpu::buffers::{ColonyBuffers, THETA};
+
+/// Which scatter-to-gather row this launch models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterMode {
+    /// Version 5: direct global scans.
+    Plain,
+    /// Version 4: tour tiles staged in shared memory.
+    Tiled,
+    /// Version 3: tiled + upper-triangle threads writing both symmetric
+    /// cells.
+    TiledReduced,
+}
+
+/// The scatter-to-gather kernel (fused evaporation + gather deposit).
+pub struct ScatterGatherKernel {
+    /// Device buffers.
+    pub bufs: ColonyBuffers,
+    /// Evaporation rate ρ.
+    pub rho: f32,
+    /// Row selector.
+    pub mode: ScatterMode,
+}
+
+impl ScatterGatherKernel {
+    /// Cells owned by threads: all `n²`, or the upper triangle
+    /// (including the diagonal) for the reduced version.
+    pub fn cells(&self) -> u32 {
+        let n = self.bufs.n;
+        match self.mode {
+            ScatterMode::Plain | ScatterMode::Tiled => n * n,
+            ScatterMode::TiledReduced => n * (n + 1) / 2,
+        }
+    }
+
+    /// One thread per owned cell, θ-wide blocks.
+    pub fn config(&self) -> LaunchConfig {
+        let shared = match self.mode {
+            ScatterMode::Plain => 0,
+            _ => (THETA + 1) * 4,
+        };
+        LaunchConfig::new(self.cells().div_ceil(THETA), THETA)
+            .regs(16)
+            .shared(shared)
+    }
+
+    /// Map a linear upper-triangle index to `(i, j)`.
+    ///
+    /// The device pays one `sqrtf` (SFU) plus a handful of integer ops for
+    /// the closed-form row computation; those are charged explicitly. The
+    /// functional mapping is computed with an exact integer scan so row
+    /// boundaries never suffer float rounding. Cities fit in 16 bits
+    /// (TSPLIB tops out far below 65 536), so the pair is packed.
+    fn triangle_coords(&self, ctx: &mut BlockCtx, cell: &Reg<u32>) -> (Reg<u32>, Reg<u32>) {
+        ctx.charge(Op::Sfu, 1); // sqrtf of the discriminant
+        ctx.charge(Op::IAlu, 6); // row/column arithmetic
+        let n32 = self.bufs.n;
+        let ij = ctx.reg_from_fn_u32(|lane| {
+            let k = cell.lane(lane);
+            let (mut row, mut row_start) = (0u32, 0u32);
+            loop {
+                let row_len = n32 - row;
+                if k < row_start + row_len {
+                    break;
+                }
+                row_start += row_len;
+                row += 1;
+            }
+            let col = row + (k - row_start);
+            (row << 16) | col
+        });
+        let sixteen = ctx.splat_u32(16);
+        let mask = ctx.splat_u32(0xFFFF);
+        let row = ctx.ishr(&ij, &sixteen);
+        let col = ctx.iand(&ij, &mask);
+        (row, col)
+    }
+
+    /// Accumulate this cell's deposits by scanning all tours directly from
+    /// global memory (version 5).
+    fn gather_plain(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        i: &Reg<u32>,
+        j: &Reg<u32>,
+    ) -> Reg<f32> {
+        let n = self.bufs.n;
+        let m = self.bufs.m;
+        let stride = self.bufs.stride;
+        let mut acc = ctx.splat_f32(0.0);
+        for k in 0..m {
+            let ant_reg = ctx.splat_u32(k);
+            let c_len = ctx.ld_global_f32(gm, self.bufs.lengths, &ant_reg);
+            let one = ctx.splat_f32(1.0);
+            let delta = ctx.fdiv(&one, &c_len);
+            for s in 0..n {
+                let i0 = ctx.splat_u32(k * stride + s);
+                let i1 = ctx.splat_u32(k * stride + s + 1);
+                let c0 = ctx.ld_global_u32(gm, self.bufs.tours, &i0);
+                let c1 = ctx.ld_global_u32(gm, self.bufs.tours, &i1);
+                acc = self.match_accumulate(ctx, &acc, &c0, &c1, i, j, &delta);
+            }
+        }
+        acc
+    }
+
+    /// Accumulate deposits with tour tiles staged in shared memory
+    /// (versions 3–4).
+    fn gather_tiled(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        i: &Reg<u32>,
+        j: &Reg<u32>,
+        sh: ShPtr<u32>,
+    ) -> Reg<f32> {
+        let n = self.bufs.n;
+        let m = self.bufs.m;
+        let stride = self.bufs.stride;
+        let lane = ctx.thread_idx();
+        let mut acc = ctx.splat_f32(0.0);
+        for k in 0..m {
+            let ant_reg = ctx.splat_u32(k);
+            let c_len = ctx.ld_global_f32(gm, self.bufs.lengths, &ant_reg);
+            let one = ctx.splat_f32(1.0);
+            let delta = ctx.fdiv(&one, &c_len);
+            let tiles = stride / THETA;
+            for tile in 0..tiles {
+                let base = k * stride + tile * THETA;
+                // Cooperative, coalesced tile load.
+                let base_reg = ctx.splat_u32(base);
+                let g = ctx.iadd(&base_reg, &lane);
+                let v = ctx.ld_global_u32(gm, self.bufs.tours, &g);
+                ctx.sh_st_u32(sh, &lane, &v);
+                let lane0 = ctx.lane_mask(0);
+                let boundary = (base + THETA).min(k * stride + stride - 1);
+                let b_reg = ctx.splat_u32(boundary);
+                let theta_reg = ctx.splat_u32(THETA);
+                ctx.if_then(gm, &lane0, |ctx, gm| {
+                    let bv = ctx.ld_global_u32(gm, self.bufs.tours, &b_reg);
+                    ctx.sh_st_u32(sh, &theta_reg, &bv);
+                });
+                ctx.sync_threads();
+                // Scan the staged tile (broadcast shared reads).
+                let upto = if tile == tiles - 1 { n - tile * THETA } else { THETA };
+                for s in 0..upto {
+                    let c0s = ctx.sh_ld_u32_uniform(sh, s);
+                    let c1s = ctx.sh_ld_u32_uniform(sh, s + 1);
+                    let c0 = ctx.splat_u32(c0s);
+                    let c1 = ctx.splat_u32(c1s);
+                    acc = self.match_accumulate(ctx, &acc, &c0, &c1, i, j, &delta);
+                }
+                ctx.sync_threads();
+            }
+        }
+        acc
+    }
+
+    /// `acc += delta` when the edge `(c0, c1)` matches this cell in either
+    /// direction — branch-free, as the device code would be.
+    #[allow(clippy::too_many_arguments)]
+    fn match_accumulate(
+        &self,
+        ctx: &mut BlockCtx,
+        acc: &Reg<f32>,
+        c0: &Reg<u32>,
+        c1: &Reg<u32>,
+        i: &Reg<u32>,
+        j: &Reg<u32>,
+        delta: &Reg<f32>,
+    ) -> Reg<f32> {
+        let m1 = ctx.ueq(c0, i);
+        let m2 = ctx.ueq(c1, j);
+        let m3 = ctx.ueq(c0, j);
+        let m4 = ctx.ueq(c1, i);
+        let fwd = m1.and(&m2);
+        let bwd = m3.and(&m4);
+        let hit = fwd.or(&bwd);
+        ctx.charge(Op::IAlu, 3); // the and/and/or predicate ops
+        let zero = ctx.splat_f32(0.0);
+        let dd = ctx.select_f32(&hit, delta, &zero);
+        ctx.fadd(acc, &dd)
+    }
+}
+
+impl Kernel for ScatterGatherKernel {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            ScatterMode::Plain => "pheromone_scatter_gather",
+            ScatterMode::Tiled => "pheromone_scatter_gather_tiled",
+            ScatterMode::TiledReduced => "pheromone_reduction",
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let cell_raw = ctx.global_thread_idx();
+        let limit = ctx.splat_u32(self.cells());
+        let in_range = ctx.ult(&cell_raw, &limit);
+        // Out-of-range lanes of the last block clamp to a valid cell and
+        // keep running: the tiled variants need *every* lane of the block
+        // for the cooperative tile loads and barriers (an early exit would
+        // desynchronise `__syncthreads` in real CUDA too). Only the final
+        // read-modify-write is predicated.
+        let last = ctx.splat_u32(self.cells() - 1);
+        let cell = ctx.imin(&cell_raw, &last);
+
+        let sh = match self.mode {
+            ScatterMode::Plain => None,
+            _ => Some(ctx.shared_alloc_u32(THETA as usize + 1)),
+        };
+
+        // Cell coordinates.
+        let (i, j) = match self.mode {
+            ScatterMode::TiledReduced => self.triangle_coords(ctx, &cell),
+            _ => {
+                let n_reg = ctx.splat_u32(n);
+                ctx.charge(Op::IDivMod, 2);
+                let i = ctx.idiv(&cell, &n_reg);
+                let j = ctx.imod(&cell, &n_reg);
+                (i, j)
+            }
+        };
+
+        let acc = match self.mode {
+            ScatterMode::Plain => self.gather_plain(ctx, gm, &i, &j),
+            _ => self.gather_tiled(ctx, gm, &i, &j, sh.expect("allocated above")),
+        };
+
+        ctx.if_then(gm, &in_range, |ctx, gm| {
+            // Fused evaporation + deposit: tau = tau*(1-rho) + acc.
+            let n_reg = ctx.splat_u32(n);
+            let keep = ctx.splat_f32(1.0 - self.rho);
+            let ri = ctx.imul(&i, &n_reg);
+            let idx_fwd = ctx.iadd(&ri, &j);
+            let tau = ctx.ld_global_f32(gm, self.bufs.tau, &idx_fwd);
+            let out = ctx.fma(&tau, &keep, &acc);
+            ctx.st_global_f32(gm, self.bufs.tau, &idx_fwd, &out);
+
+            if self.mode == ScatterMode::TiledReduced {
+                // Mirror cell (skip the diagonal to avoid double-writing).
+                let off_diag = ctx.une(&i, &j);
+                ctx.if_then(gm, &off_diag, |ctx, gm| {
+                    let rj = ctx.imul(&j, &n_reg);
+                    let idx_bwd = ctx.iadd(&rj, &i);
+                    let tau_b = ctx.ld_global_f32(gm, self.bufs.tau, &idx_bwd);
+                    let out_b = ctx.fma(&tau_b, &keep, &acc);
+                    ctx.st_global_f32(gm, self.bufs.tau, &idx_bwd, &out_b);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::pheromone::atomic::EvaporationKernel;
+    use crate::gpu::tour::task::{RngKind, TabuPlacement, TaskOpts, TaskTourKernel};
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+
+    fn build_colony(n: usize, dev: &DeviceSpec) -> (GlobalMem, ColonyBuffers) {
+        let inst = uniform_random("sg", n, 1000.0, 17);
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(8));
+        let ck = crate::gpu::choice::ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+        launch(dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
+        bufs.clear_visited(&mut gm);
+        let tk = TaskTourKernel {
+            bufs,
+            opts: TaskOpts {
+                use_choice_table: true,
+                rng: RngKind::DeviceLcg,
+                use_nn_list: true,
+                tabu: TabuPlacement::Global,
+                texture: false,
+                block: 128,
+            },
+            alpha: 1.0,
+            beta: 2.0,
+            seed: 2,
+            iteration: 0,
+        };
+        launch(dev, &tk.config(dev), &tk, &mut gm, SimMode::Full).unwrap();
+        (gm, bufs)
+    }
+
+    /// Host reference: evaporate + deposit over the real (unpadded) edges.
+    fn reference_update(gm: &GlobalMem, bufs: &ColonyBuffers, rho: f32) -> Vec<f32> {
+        let n = bufs.n as usize;
+        let tours = bufs.read_tours(gm);
+        let lengths = bufs.read_lengths(gm);
+        let mut tau: Vec<f32> = gm.f32(bufs.tau).iter().map(|&t| t * (1.0 - rho)).collect();
+        for (a, t) in tours.iter().enumerate() {
+            let dep = 1.0 / lengths[a];
+            for s in 0..n {
+                let (i, j) = (t[s] as usize, t[s + 1] as usize);
+                tau[i * n + j] += dep;
+                tau[j * n + i] += dep;
+            }
+        }
+        tau
+    }
+
+    fn assert_tau_close(gm: &GlobalMem, bufs: &ColonyBuffers, want: &[f32], tol: f32) {
+        for (idx, (&got, &w)) in gm.f32(bufs.tau).iter().zip(want.iter()).enumerate() {
+            let rel = (got - w).abs() / w.abs().max(1e-12);
+            assert!(rel < tol, "cell {idx}: {got} vs {w}");
+        }
+    }
+
+    #[test]
+    fn plain_scatter_matches_reference() {
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(24, &dev);
+        let want = reference_update(&gm, &bufs, 0.5);
+        let k = ScatterGatherKernel { bufs, rho: 0.5, mode: ScatterMode::Plain };
+        launch(&dev, &k.config(), &k, &mut gm, SimMode::Full).unwrap();
+        assert_tau_close(&gm, &bufs, &want, 2e-3);
+    }
+
+    #[test]
+    fn tiled_scatter_matches_reference() {
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(24, &dev);
+        let want = reference_update(&gm, &bufs, 0.5);
+        let k = ScatterGatherKernel { bufs, rho: 0.5, mode: ScatterMode::Tiled };
+        launch(&dev, &k.config(), &k, &mut gm, SimMode::Full).unwrap();
+        assert_tau_close(&gm, &bufs, &want, 2e-3);
+    }
+
+    #[test]
+    fn reduced_scatter_matches_reference() {
+        let dev = DeviceSpec::tesla_m2050();
+        let (mut gm, bufs) = build_colony(24, &dev);
+        let want = reference_update(&gm, &bufs, 0.5);
+        let k = ScatterGatherKernel { bufs, rho: 0.5, mode: ScatterMode::TiledReduced };
+        launch(&dev, &k.config(), &k, &mut gm, SimMode::Full).unwrap();
+        assert_tau_close(&gm, &bufs, &want, 2e-3);
+    }
+
+    #[test]
+    fn access_count_ordering_matches_paper() {
+        // l = 2n^4 (plain)  >  gamma = 2n^4/theta (tiled)  >  rho = n^4/theta (reduced)
+        // (n = 64: large enough that block-granular tile staging shows the
+        // asymptotic half-threads saving, small enough to simulate fully.)
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(64, &dev);
+        let run_mode = |gm: &mut GlobalMem, mode| {
+            let k = ScatterGatherKernel { bufs, rho: 0.5, mode };
+            launch(&dev, &k.config(), &k, gm, SimMode::Full).unwrap()
+        };
+        let plain = run_mode(&mut gm, ScatterMode::Plain);
+        let tiled = run_mode(&mut gm, ScatterMode::Tiled);
+        let reduced = run_mode(&mut gm, ScatterMode::TiledReduced);
+        assert!(plain.stats.ld_transactions > 5.0 * tiled.stats.ld_transactions);
+        // Half the cells means half the blocks asymptotically; at n = 32
+        // the block counts only drop 4 -> 3 (whole blocks stage tours), so
+        // require the ratio to exceed that floor.
+        assert!(tiled.stats.ld_transactions > 1.2 * reduced.stats.ld_transactions);
+        assert!(plain.time.total_ms > tiled.time.total_ms);
+        assert!(tiled.time.total_ms > reduced.time.total_ms);
+    }
+
+    #[test]
+    fn scatter_is_slower_than_atomics_as_paper_concludes() {
+        // "those techniques are even more costly than applying atomic
+        // operations directly" (Section VI).
+        let dev = DeviceSpec::tesla_c1060();
+        let (mut gm, bufs) = build_colony(32, &dev);
+        let ev = EvaporationKernel { bufs, rho: 0.5 };
+        let r_ev = launch(&dev, &ev.config(), &ev, &mut gm, SimMode::Full).unwrap();
+        let at = crate::gpu::pheromone::atomic::AtomicDepositKernel { bufs, use_shared: true };
+        let r_at = launch(&dev, &at.config(), &at, &mut gm, SimMode::Full).unwrap();
+        let atomic_total = r_ev.time.total_ms + r_at.time.total_ms;
+        let sg = ScatterGatherKernel { bufs, rho: 0.5, mode: ScatterMode::Plain };
+        let r_sg = launch(&dev, &sg.config(), &sg, &mut gm, SimMode::Full).unwrap();
+        assert!(
+            r_sg.time.total_ms > 3.0 * atomic_total,
+            "scatter {} should dwarf atomics {}",
+            r_sg.time.total_ms,
+            atomic_total
+        );
+    }
+}

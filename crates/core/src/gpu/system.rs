@@ -1,0 +1,216 @@
+//! The full GPU Ant System — both stages on the (simulated) device.
+//!
+//! This is the paper's headline: "In this paper, we fully develop the ACO
+//! algorithm for the TSP on GPUs, so that both main phases are
+//! parallelised." One [`GpuAntSystem`] owns the device memory, runs
+//! `choice → construct → update` per iteration with any combination of
+//! [`TourStrategy`] and [`PheromoneStrategy`], tracks the best tour, and
+//! reports per-stage modeled times.
+
+use aco_simt::prelude::*;
+use aco_simt::SimtError;
+use aco_tsp::{Tour, TspInstance};
+
+use super::buffers::ColonyBuffers;
+use super::pheromone::{run_pheromone, PheromoneStrategy};
+use super::tour::{run_tour, TourRun, TourStrategy};
+use crate::params::AcoParams;
+
+/// Per-iteration report of the GPU colony.
+#[derive(Debug, Clone)]
+pub struct GpuIterationReport {
+    /// Modeled milliseconds of tour construction (incl. the Choice kernel).
+    pub tour_ms: f64,
+    /// Modeled milliseconds of the pheromone update.
+    pub pheromone_ms: f64,
+    /// Best (exact, host-recomputed) tour length this iteration.
+    pub iter_best: u64,
+    /// Best length so far.
+    pub best_so_far: u64,
+    /// Construction-stage detail.
+    pub tour_run: TourRun,
+}
+
+/// Ant System with both stages on the simulated GPU.
+pub struct GpuAntSystem<'a> {
+    inst: &'a TspInstance,
+    params: AcoParams,
+    dev: DeviceSpec,
+    gm: GlobalMem,
+    bufs: ColonyBuffers,
+    tour_strategy: TourStrategy,
+    pheromone_strategy: PheromoneStrategy,
+    iteration: u64,
+    best: Option<(Tour, u64)>,
+}
+
+impl<'a> GpuAntSystem<'a> {
+    /// Allocate a colony on `dev`.
+    pub fn new(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        dev: DeviceSpec,
+        tour_strategy: TourStrategy,
+        pheromone_strategy: PheromoneStrategy,
+    ) -> Self {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
+        GpuAntSystem {
+            inst,
+            params,
+            dev,
+            gm,
+            bufs,
+            tour_strategy,
+            pheromone_strategy,
+            iteration: 0,
+            best: None,
+        }
+    }
+
+    /// The device this colony runs on.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.dev
+    }
+
+    /// Device buffers (for inspection).
+    pub fn buffers(&self) -> ColonyBuffers {
+        self.bufs
+    }
+
+    /// Best tour so far (exact integer length).
+    pub fn best(&self) -> Option<(&Tour, u64)> {
+        self.best.as_ref().map(|(t, l)| (t, *l))
+    }
+
+    /// Run one full iteration at the given simulation fidelity.
+    ///
+    /// `SimMode::Full` keeps functional output exact (needed for quality
+    /// studies); sampled modes are for timing tables on large instances.
+    pub fn iterate(&mut self, mode: SimMode) -> Result<GpuIterationReport, SimtError> {
+        let tour_run = run_tour(
+            &self.dev,
+            &mut self.gm,
+            self.bufs,
+            self.tour_strategy,
+            self.params.alpha,
+            self.params.beta,
+            self.params.seed,
+            self.iteration,
+            mode,
+        )?;
+
+        // Host-exact best tracking (the device carries f32 lengths; the
+        // host recomputes the exact integer length, like `cudaMemcpy` +
+        // a validation pass would).
+        let mut iter_best = u64::MAX;
+        if matches!(mode, SimMode::Full) {
+            let n = self.bufs.n as usize;
+            for t in self.bufs.read_tours(&self.gm) {
+                let tour = Tour::new(t[..n].to_vec()).expect("device tours are permutations");
+                let len = tour.length(self.inst.matrix());
+                if len < iter_best {
+                    iter_best = len;
+                    if self.best.as_ref().map_or(true, |&(_, b)| len < b) {
+                        self.best = Some((tour, len));
+                    }
+                }
+            }
+        }
+
+        let ph = run_pheromone(
+            &self.dev,
+            &mut self.gm,
+            self.bufs,
+            self.pheromone_strategy,
+            self.params.rho,
+            mode,
+        )?;
+
+        self.iteration += 1;
+        Ok(GpuIterationReport {
+            tour_ms: tour_run.total_ms(),
+            pheromone_ms: ph.time.total_ms,
+            iter_best,
+            best_so_far: self.best.as_ref().map_or(u64::MAX, |&(_, l)| l),
+            tour_run,
+        })
+    }
+
+    /// Run `iters` full-fidelity iterations; returns the best length.
+    pub fn run(&mut self, iters: usize) -> Result<u64, SimtError> {
+        let mut best = u64::MAX;
+        for _ in 0..iters {
+            best = self.iterate(SimMode::Full)?.best_so_far;
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn full_gpu_iterations_track_best_and_converge() {
+        let inst = uniform_random("sys", 40, 800.0, 9);
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(5),
+            DeviceSpec::tesla_m2050(),
+            TourStrategy::DataParallelTex,
+            PheromoneStrategy::AtomicShared,
+        );
+        let first = sys.iterate(SimMode::Full).unwrap();
+        assert!(first.iter_best < u64::MAX);
+        assert!(first.tour_ms > 0.0 && first.pheromone_ms > 0.0);
+        let best = sys.run(8).unwrap();
+        assert!(best <= first.iter_best);
+        let (tour, len) = sys.best().expect("ran");
+        assert!(tour.is_valid());
+        assert_eq!(len, tour.length(inst.matrix()));
+    }
+
+    #[test]
+    fn strategies_agree_on_search_behaviour() {
+        // Different kernel strategies are different *schedules*, not
+        // different algorithms (modulo the data-parallel selection rule):
+        // all must reach a reasonable tour on a small instance.
+        let inst = uniform_random("sys2", 36, 700.0, 11);
+        let nn_len = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        for (ts, ps) in [
+            (TourStrategy::DeviceRng, PheromoneStrategy::Atomic),
+            (TourStrategy::NNList, PheromoneStrategy::Scatter),
+            (TourStrategy::DataParallel, PheromoneStrategy::Reduction),
+        ] {
+            let mut sys = GpuAntSystem::new(
+                &inst,
+                AcoParams::default().nn(10).seed(21),
+                DeviceSpec::tesla_c1060(),
+                ts,
+                ps,
+            );
+            let best = sys.run(10).unwrap();
+            assert!(
+                (best as f64) < 1.6 * nn_len as f64,
+                "{ts:?}/{ps:?} best {best} vs NN {nn_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_iterations_report_times_without_best() {
+        let inst = uniform_random("sys3", 64, 900.0, 13);
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10),
+            DeviceSpec::tesla_c1060(),
+            TourStrategy::NNList,
+            PheromoneStrategy::AtomicShared,
+        );
+        let rep = sys.iterate(SimMode::SampleBlocks(1)).unwrap();
+        assert!(rep.tour_ms > 0.0);
+        assert_eq!(rep.iter_best, u64::MAX); // functional output partial
+    }
+}

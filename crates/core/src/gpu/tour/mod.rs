@@ -1,0 +1,214 @@
+//! Tour-construction strategies — the eight rows of Table II.
+
+pub mod data_parallel;
+pub mod task;
+
+use aco_simt::prelude::*;
+use aco_simt::SimtError;
+
+pub use data_parallel::DataParallelTourKernel;
+pub use task::{RngKind, TabuPlacement, TaskOpts, TaskTourKernel};
+
+use super::buffers::ColonyBuffers;
+use super::choice::ChoiceKernel;
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TourStrategy {
+    /// 1. Task parallelism, heuristic recomputed per step, library RNG.
+    Baseline,
+    /// 2. + the Choice kernel (precomputed `choice_info`).
+    ChoiceKernel,
+    /// 3. + device-function LCG instead of CURAND.
+    DeviceRng,
+    /// 4. + nearest-neighbour candidate lists.
+    NNList,
+    /// 5. + tabu list in shared memory.
+    NNListShared,
+    /// 6. + texture-cached choice loads.
+    NNListSharedTex,
+    /// 7. Data parallelism (block per ant, thread per city).
+    DataParallel,
+    /// 8. Data parallelism + texture-cached choice loads.
+    DataParallelTex,
+}
+
+impl TourStrategy {
+    /// All rows, in table order.
+    pub const ALL: [TourStrategy; 8] = [
+        TourStrategy::Baseline,
+        TourStrategy::ChoiceKernel,
+        TourStrategy::DeviceRng,
+        TourStrategy::NNList,
+        TourStrategy::NNListShared,
+        TourStrategy::NNListSharedTex,
+        TourStrategy::DataParallel,
+        TourStrategy::DataParallelTex,
+    ];
+
+    /// The row label as printed in the paper.
+    pub fn paper_row(self) -> &'static str {
+        match self {
+            TourStrategy::Baseline => "1. Baseline Version",
+            TourStrategy::ChoiceKernel => "2. Choice Kernel",
+            TourStrategy::DeviceRng => "3. Without CURAND",
+            TourStrategy::NNList => "4. NNList",
+            TourStrategy::NNListShared => "5. NNList + Shared Memory",
+            TourStrategy::NNListSharedTex => "6. NNList + Shared&Texture Memory",
+            TourStrategy::DataParallel => "7. Increasing Data Parallelism",
+            TourStrategy::DataParallelTex => "8. Data Parallelism + Texture Memory",
+        }
+    }
+
+    /// Whether this row launches the Choice kernel each iteration.
+    pub fn uses_choice_kernel(self) -> bool {
+        !matches!(self, TourStrategy::Baseline)
+    }
+
+    /// Task-kernel configuration for rows 1–6 (`None` for 7–8).
+    pub fn task_opts(self) -> Option<TaskOpts> {
+        let base = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::DeviceLcg,
+            use_nn_list: false,
+            tabu: TabuPlacement::Global,
+            texture: false,
+            block: 128,
+        };
+        Some(match self {
+            TourStrategy::Baseline => TaskOpts {
+                use_choice_table: false,
+                rng: RngKind::CurandLike,
+                ..base
+            },
+            TourStrategy::ChoiceKernel => TaskOpts { rng: RngKind::CurandLike, ..base },
+            TourStrategy::DeviceRng => base,
+            TourStrategy::NNList => TaskOpts { use_nn_list: true, ..base },
+            TourStrategy::NNListShared => TaskOpts {
+                use_nn_list: true,
+                tabu: TabuPlacement::Shared,
+                block: 32,
+                ..base
+            },
+            TourStrategy::NNListSharedTex => TaskOpts {
+                use_nn_list: true,
+                tabu: TabuPlacement::Shared,
+                texture: true,
+                block: 32,
+                ..base
+            },
+            TourStrategy::DataParallel | TourStrategy::DataParallelTex => return None,
+        })
+    }
+}
+
+/// Everything a tour-construction launch produces.
+#[derive(Debug, Clone)]
+pub struct TourRun {
+    /// Time of the construction kernel itself.
+    pub tour_time: KernelTime,
+    /// Time of the Choice kernel, when the row uses it.
+    pub choice_time: Option<KernelTime>,
+    /// Construction-kernel counters.
+    pub stats: KernelStats,
+    /// Construction-kernel occupancy.
+    pub occupancy: aco_simt::Occupancy,
+}
+
+impl TourRun {
+    /// Total modeled milliseconds for the row (choice + construction, the
+    /// quantity Table II reports).
+    pub fn total_ms(&self) -> f64 {
+        self.tour_time.total_ms + self.choice_time.map_or(0.0, |t| t.total_ms)
+    }
+}
+
+/// Run one Table II row on `dev`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tour(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: ColonyBuffers,
+    strategy: TourStrategy,
+    alpha: f32,
+    beta: f32,
+    seed: u64,
+    iteration: u64,
+    mode: SimMode,
+) -> Result<TourRun, SimtError> {
+    let choice_time = if strategy.uses_choice_kernel() {
+        let ck = ChoiceKernel { bufs, alpha, beta };
+        // Always full fidelity: the construction kernel's control flow
+        // (roulette trip counts, fallback frequency) depends on a complete
+        // choice table, and the kernel itself is cheap (`n^2` threads of
+        // straight-line code).
+        let r = launch(dev, &ck.config(), &ck, gm, SimMode::Full)?;
+        Some(r.time)
+    } else {
+        None
+    };
+
+    let run = match strategy.task_opts() {
+        Some(opts) => {
+            bufs.clear_visited(gm);
+            let k = TaskTourKernel { bufs, opts, alpha, beta, seed, iteration };
+            let cfg = k.config(dev);
+            launch(dev, &cfg, &k, gm, mode)?
+        }
+        None => {
+            let k = DataParallelTourKernel {
+                bufs,
+                texture: strategy == TourStrategy::DataParallelTex,
+                seed,
+                iteration,
+                block_override: None,
+            };
+            let cfg = k.config();
+            launch(dev, &cfg, &k, gm, mode)?
+        }
+    };
+
+    Ok(TourRun {
+        tour_time: run.time,
+        choice_time,
+        stats: run.stats,
+        occupancy: run.occupancy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn all_rows_run_and_improve_monotonically_where_the_paper_says() {
+        let dev = DeviceSpec::tesla_c1060();
+        let inst = uniform_random("rows", 48, 1000.0, 3);
+        let mut times = Vec::new();
+        for s in TourStrategy::ALL {
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(12));
+            let r = run_tour(&dev, &mut gm, bufs, s, 1.0, 2.0, 7, 0, SimMode::Full).unwrap();
+            times.push((s, r.total_ms()));
+        }
+        // Table II, att48 column orderings the paper reports:
+        let ms = |s: TourStrategy| times.iter().find(|&&(x, _)| x == s).expect("ran").1;
+        assert!(ms(TourStrategy::ChoiceKernel) < ms(TourStrategy::Baseline));
+        assert!(ms(TourStrategy::DeviceRng) < ms(TourStrategy::ChoiceKernel));
+        assert!(ms(TourStrategy::NNList) < ms(TourStrategy::DeviceRng));
+        assert!(ms(TourStrategy::DataParallel) < ms(TourStrategy::NNListSharedTex));
+        assert!(ms(TourStrategy::DataParallelTex) <= ms(TourStrategy::DataParallel) * 1.05);
+    }
+
+    #[test]
+    fn row_labels_are_table_ii() {
+        assert_eq!(TourStrategy::Baseline.paper_row(), "1. Baseline Version");
+        assert_eq!(
+            TourStrategy::DataParallelTex.paper_row(),
+            "8. Data Parallelism + Texture Memory"
+        );
+        assert_eq!(TourStrategy::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,721 @@
+//! Task-based tour construction (Table II, versions 1–6).
+//!
+//! One CUDA thread per ant — the "traditional" approach the paper
+//! critiques. The kernel is parameterised so each Table II row is a
+//! configuration of the same code path:
+//!
+//! | row | configuration |
+//! |-----|----------------|
+//! | 1   | recompute `tau^alpha * eta^beta` per step, CURAND-style RNG, tabu in global memory |
+//! | 2   | + precomputed choice table (the Choice kernel) |
+//! | 3   | + device-function LCG instead of CURAND |
+//! | 4   | + nearest-neighbour candidate list |
+//! | 5   | + tabu list in shared memory (per-city ints when they fit, bit-packed otherwise — the paper's C1060 caveat) |
+//! | 6   | + choice loads through the texture cache |
+//!
+//! The structure matches ACOTSP's construction loop exactly: probability
+//! pass, roulette scan (a data-dependent `loop_while` — the warp
+//! divergence the paper blames), and the best-choice fallback when a
+//! candidate list is exhausted.
+
+use aco_simt::prelude::*;
+use aco_simt::rng::PmRng;
+
+use crate::gpu::buffers::ColonyBuffers;
+use crate::gpu::choice::ETA_ZERO_DIST;
+
+/// RNG source for the construction kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngKind {
+    /// Library-style generator with 48-byte state in global memory.
+    CurandLike,
+    /// Park–Miller LCG in registers (the sequential code's generator).
+    DeviceLcg,
+}
+
+/// Where the tabu list lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TabuPlacement {
+    /// `m x n` flags in global memory.
+    Global,
+    /// Per-block shared memory; ints when they fit, bits otherwise.
+    Shared,
+}
+
+/// Configuration of the task kernel (one Table II row).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskOpts {
+    /// Load `choice_info` instead of recomputing `tau^a * eta^b` per step.
+    pub use_choice_table: bool,
+    /// RNG source.
+    pub rng: RngKind,
+    /// Restrict the probabilistic choice to the candidate list.
+    pub use_nn_list: bool,
+    /// Tabu-list placement.
+    pub tabu: TabuPlacement,
+    /// Route read-only choice loads through the texture cache.
+    pub texture: bool,
+    /// Ants per thread block.
+    pub block: u32,
+}
+
+/// How the shared tabu list is actually laid out on a given device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TabuLayout {
+    Global,
+    /// One `u32` per city per ant in shared memory.
+    SharedInt,
+    /// Bit-packed: `ceil(n/32)` words per ant (paper: "32-bit registers
+    /// may be used on a bitwise basis"; extra index arithmetic per access).
+    SharedBits,
+}
+
+/// The task-parallel construction kernel.
+pub struct TaskTourKernel {
+    /// Device buffers.
+    pub bufs: ColonyBuffers,
+    /// Row configuration.
+    pub opts: TaskOpts,
+    /// Pheromone weight (only used when recomputing inline).
+    pub alpha: f32,
+    /// Heuristic weight.
+    pub beta: f32,
+    /// Colony seed.
+    pub seed: u64,
+    /// Iteration number (decorrelates per-iteration streams).
+    pub iteration: u64,
+}
+
+enum TabuState {
+    Global,
+    SharedInt(ShPtr<u32>),
+    SharedBits(ShPtr<u32>),
+}
+
+impl TaskTourKernel {
+    fn layout(&self, dev: &DeviceSpec) -> TabuLayout {
+        if self.opts.tabu == TabuPlacement::Global {
+            return TabuLayout::Global;
+        }
+        let n = self.bufs.n;
+        let block = self.opts.block;
+        if block * n * 4 <= dev.shared_mem_per_sm {
+            TabuLayout::SharedInt
+        } else if block * n.div_ceil(32) * 4 <= dev.shared_mem_per_sm {
+            TabuLayout::SharedBits
+        } else {
+            TabuLayout::Global
+        }
+    }
+
+    /// Shared bytes the block will allocate on `dev`.
+    fn shared_bytes(&self, dev: &DeviceSpec) -> u32 {
+        match self.layout(dev) {
+            TabuLayout::Global => 0,
+            TabuLayout::SharedInt => self.opts.block * self.bufs.n * 4,
+            TabuLayout::SharedBits => self.opts.block * self.bufs.n.div_ceil(32) * 4,
+        }
+    }
+
+    /// Launch geometry for this row on `dev`.
+    pub fn config(&self, dev: &DeviceSpec) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.m.div_ceil(self.opts.block), self.opts.block)
+            .regs(24)
+            .shared(self.shared_bytes(dev))
+    }
+
+    fn draw(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem, lcg: &mut Reg<u32>) -> Reg<f32> {
+        match self.opts.rng {
+            RngKind::DeviceLcg => ctx.lcg_next_f32(lcg),
+            RngKind::CurandLike => ctx.curand_next_f32(gm, self.bufs.curand),
+        }
+    }
+
+    /// `choice_info[cidx]`, either loaded (optionally via texture) or
+    /// recomputed from `tau` and `dist` (baseline row 1).
+    fn choice_value(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem, cidx: &Reg<u32>) -> Reg<f32> {
+        if self.opts.use_choice_table {
+            if self.opts.texture {
+                ctx.ld_tex_f32(gm, self.bufs.choice, cidx)
+            } else {
+                ctx.ld_global_f32(gm, self.bufs.choice, cidx)
+            }
+        } else {
+            let tau = ctx.ld_global_f32(gm, self.bufs.tau, cidx);
+            let d = ctx.ld_global_f32(gm, self.bufs.dist, cidx);
+            let zero = ctx.splat_f32(0.0);
+            let dz = ctx.fle(&d, &zero);
+            let one = ctx.splat_f32(1.0);
+            let eta_raw = ctx.fdiv(&one, &d);
+            let clamp = ctx.splat_f32(ETA_ZERO_DIST);
+            let eta = ctx.select_f32(&dz, &clamp, &eta_raw);
+            let a = ctx.splat_f32(self.alpha);
+            let b = ctx.splat_f32(self.beta);
+            // The baseline port calls libm `pow()` on doubles per step
+            // (it reuses the sequential code's arithmetic); GT200 runs
+            // double precision at 1/8 rate, so each call costs far more
+            // than the single-precision `__powf` of the Choice kernel.
+            ctx.charge(Op::Sfu, 14);
+            let ta = ctx.fpow(&tau, &a);
+            let eb = ctx.fpow(&eta, &b);
+            ctx.fmul(&ta, &eb)
+        }
+    }
+
+    /// 1.0 for unvisited cities, 0.0 for visited.
+    fn tabu_check(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tabu: &TabuState,
+        tid_global: &Reg<u32>,
+        tid_local: &Reg<u32>,
+        city: &Reg<u32>,
+    ) -> Reg<f32> {
+        let n = ctx.splat_u32(self.bufs.n);
+        let flag = match tabu {
+            TabuState::Global => {
+                let row = ctx.imul(tid_global, &n);
+                let idx = ctx.iadd(&row, city);
+                ctx.ld_global_u32(gm, self.bufs.visited, &idx)
+            }
+            TabuState::SharedInt(arr) => {
+                let row = ctx.imul(tid_local, &n);
+                let idx = ctx.iadd(&row, city);
+                ctx.sh_ld_u32(*arr, &idx)
+            }
+            TabuState::SharedBits(arr) => {
+                let words = ctx.splat_u32(self.bufs.n.div_ceil(32));
+                let five = ctx.splat_u32(5);
+                let word = ctx.ishr(city, &five);
+                let row = ctx.imul(tid_local, &words);
+                let idx = ctx.iadd(&row, &word);
+                let w = ctx.sh_ld_u32(*arr, &idx);
+                let thirty_one = ctx.splat_u32(31);
+                let bit = ctx.iand(city, &thirty_one);
+                let shifted = ctx.ishr(&w, &bit);
+                let one = ctx.splat_u32(1);
+                ctx.iand(&shifted, &one)
+            }
+        };
+        let fone = ctx.splat_f32(1.0);
+        let f = ctx.u2f(&flag);
+        ctx.fsub(&fone, &f)
+    }
+
+    fn tabu_set(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tabu: &TabuState,
+        tid_global: &Reg<u32>,
+        tid_local: &Reg<u32>,
+        city: &Reg<u32>,
+    ) {
+        let n = ctx.splat_u32(self.bufs.n);
+        match tabu {
+            TabuState::Global => {
+                let row = ctx.imul(tid_global, &n);
+                let idx = ctx.iadd(&row, city);
+                let one = ctx.splat_u32(1);
+                ctx.st_global_u32(gm, self.bufs.visited, &idx, &one);
+            }
+            TabuState::SharedInt(arr) => {
+                let row = ctx.imul(tid_local, &n);
+                let idx = ctx.iadd(&row, city);
+                let one = ctx.splat_u32(1);
+                ctx.sh_st_u32(*arr, &idx, &one);
+            }
+            TabuState::SharedBits(arr) => {
+                let words = ctx.splat_u32(self.bufs.n.div_ceil(32));
+                let five = ctx.splat_u32(5);
+                let word = ctx.ishr(city, &five);
+                let row = ctx.imul(tid_local, &words);
+                let idx = ctx.iadd(&row, &word);
+                let w = ctx.sh_ld_u32(*arr, &idx);
+                let thirty_one = ctx.splat_u32(31);
+                let bit = ctx.iand(city, &thirty_one);
+                let one = ctx.splat_u32(1);
+                let mask_bit = ctx.ishl(&one, &bit);
+                let neww = ctx.ior(&w, &mask_bit);
+                ctx.sh_st_u32(*arr, &idx, &neww);
+            }
+        }
+    }
+
+    /// Deterministic best unvisited city by choice value (the fallback of
+    /// the candidate-list rule, and the rounding guard of the full rule).
+    fn argmax_unvisited(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tabu: &TabuState,
+        tid_global: &Reg<u32>,
+        tid_local: &Reg<u32>,
+        cur: &Reg<u32>,
+    ) -> Reg<u32> {
+        let n = self.bufs.n;
+        let nreg = ctx.splat_u32(n);
+        let one = ctx.splat_f32(1.0);
+        let curn = ctx.imul(cur, &nreg);
+        let mut best_v = ctx.splat_f32(-1.0);
+        let mut best_j = ctx.splat_u32(0);
+        for j in 0..n {
+            let jr = ctx.splat_u32(j);
+            let cidx = ctx.iadd(&curn, &jr);
+            let v = self.choice_value(ctx, gm, &cidx);
+            let unvis = self.tabu_check(ctx, gm, tabu, tid_global, tid_local, &jr);
+            // score = (choice + 1) * unvis: any unvisited city strictly
+            // beats every visited one even when choice values reach 0.
+            let vp1 = ctx.fadd(&v, &one);
+            let v = ctx.fmul(&vp1, &unvis);
+            let better = ctx.fgt(&v, &best_v);
+            best_v = ctx.select_f32(&better, &v, &best_v);
+            best_j = ctx.select_u32(&better, &jr, &best_j);
+        }
+        best_j
+    }
+
+    /// Full random-proportional step (rows 1–3): probability pass into the
+    /// global scratch array, then the divergent roulette scan.
+    #[allow(clippy::too_many_arguments)]
+    fn select_full(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tabu: &TabuState,
+        tid_global: &Reg<u32>,
+        tid_local: &Reg<u32>,
+        cur: &Reg<u32>,
+        lcg: &mut Reg<u32>,
+    ) -> Reg<u32> {
+        let n = self.bufs.n;
+        let nreg = ctx.splat_u32(n);
+        let curn = ctx.imul(cur, &nreg);
+        let prob_base = ctx.imul(tid_global, &nreg);
+
+        let mut sum = ctx.splat_f32(0.0);
+        for j in 0..n {
+            let jr = ctx.splat_u32(j);
+            let cidx = ctx.iadd(&curn, &jr);
+            let raw = self.choice_value(ctx, gm, &cidx);
+            let unvis = self.tabu_check(ctx, gm, tabu, tid_global, tid_local, &jr);
+            let p = ctx.fmul(&raw, &unvis);
+            let pidx = ctx.iadd(&prob_base, &jr);
+            ctx.st_global_f32(gm, self.bufs.prob, &pidx, &p);
+            sum = ctx.fadd(&sum, &p);
+        }
+
+        let r = self.draw(ctx, gm, lcg);
+        let target = ctx.fmul(&r, &sum);
+
+        // Roulette scan: data-dependent trip count per lane = warp
+        // divergence ("this operation presents many warp divergences,
+        // leading to serialisation", Section IV-A).
+        let mut j = ctx.splat_u32(0);
+        let mut cum = ctx.ld_global_f32(gm, self.bufs.prob, &prob_base);
+        let one = ctx.splat_u32(1);
+        let nm1 = ctx.splat_u32(n - 1);
+        ctx.loop_while(gm, |ctx, gm| {
+            let below = ctx.flt(&cum, &target);
+            let more = ctx.ult(&j, &nm1);
+            let cont = below.and(&more);
+            ctx.if_then(gm, &cont.clone(), |ctx, gm| {
+                let jn = ctx.iadd(&j, &one);
+                ctx.assign_u32(&mut j, &jn);
+                let pidx = ctx.iadd(&prob_base, &j);
+                let p = ctx.ld_global_f32(gm, self.bufs.prob, &pidx);
+                let cn = ctx.fadd(&cum, &p);
+                ctx.assign_f32(&mut cum, &cn);
+            });
+            cont
+        });
+
+        // Rounding guard: a lane can land on a visited (zero-probability)
+        // city; fall back to the deterministic best.
+        let unvis = self.tabu_check(ctx, gm, tabu, tid_global, tid_local, &j);
+        let zero = ctx.splat_f32(0.0);
+        let bad = ctx.fle(&unvis, &zero);
+        let mut next = j;
+        ctx.if_then(gm, &bad, |ctx, gm| {
+            let fixed = self.argmax_unvisited(ctx, gm, tabu, tid_global, tid_local, cur);
+            ctx.assign_u32(&mut next, &fixed);
+        });
+        next
+    }
+
+    /// Candidate-list step (rows 4–6): branch-free roulette over the `nn`
+    /// candidates, divergent full-scan fallback when all are visited.
+    #[allow(clippy::too_many_arguments)]
+    fn select_nn(
+        &self,
+        ctx: &mut BlockCtx,
+        gm: &mut GlobalMem,
+        tabu: &TabuState,
+        tid_global: &Reg<u32>,
+        tid_local: &Reg<u32>,
+        cur: &Reg<u32>,
+        lcg: &mut Reg<u32>,
+    ) -> Reg<u32> {
+        let nn = self.bufs.nn;
+        let nreg = ctx.splat_u32(self.bufs.n);
+        let nnreg = ctx.splat_u32(nn);
+        let curn = ctx.imul(cur, &nreg);
+        let curnn = ctx.imul(cur, &nnreg);
+
+        let mut ps: Vec<Reg<f32>> = Vec::with_capacity(nn as usize);
+        let mut cands: Vec<Reg<u32>> = Vec::with_capacity(nn as usize);
+        let mut sum = ctx.splat_f32(0.0);
+        for c in 0..nn {
+            let cr = ctx.splat_u32(c);
+            let lidx = ctx.iadd(&curnn, &cr);
+            let cand = ctx.ld_global_u32(gm, self.bufs.nn_list, &lidx);
+            let cidx = ctx.iadd(&curn, &cand);
+            let v = self.choice_value(ctx, gm, &cidx);
+            let unvis = self.tabu_check(ctx, gm, tabu, tid_global, tid_local, &cand);
+            let p = ctx.fmul(&v, &unvis);
+            sum = ctx.fadd(&sum, &p);
+            ps.push(p);
+            cands.push(cand);
+        }
+
+        let zero = ctx.splat_f32(0.0);
+        let feasible = ctx.fgt(&sum, &zero);
+        let mut next = ctx.splat_u32(0);
+        ctx.branch(&feasible);
+        ctx.with_mask(
+            gm,
+            &feasible,
+            |ctx, gm| {
+                let r = self.draw(ctx, gm, lcg);
+                let target = ctx.fmul(&r, &sum);
+                let mut cum = ctx.splat_f32(0.0);
+                let mut done = Mask::none(ctx.block_dim as usize);
+                let mut chosen = cands[0].clone();
+                for c in 0..nn as usize {
+                    cum = ctx.fadd(&cum, &ps[c]);
+                    let crossed = ctx.fge(&cum, &target);
+                    let has_p = ctx.fgt(&ps[c], &zero);
+                    let newly = crossed.and_not(&done).and(&has_p);
+                    chosen = ctx.select_u32(&newly, &cands[c], &chosen);
+                    done = done.or(&newly);
+                    ctx.charge(Op::IAlu, 2); // predicate bookkeeping
+                }
+                // Rounding shortfall: pick the best-probability candidate.
+                let undone = done.not();
+                ctx.if_then(gm, &undone, |ctx, _| {
+                    let mut bv = ctx.splat_f32(-1.0);
+                    let mut bc = cands[0].clone();
+                    for c in 0..nn as usize {
+                        let better = ctx.fgt(&ps[c], &bv);
+                        bv = ctx.select_f32(&better, &ps[c], &bv);
+                        bc = ctx.select_u32(&better, &cands[c], &bc);
+                    }
+                    ctx.assign_u32(&mut chosen, &bc);
+                });
+                ctx.assign_u32(&mut next, &chosen);
+            },
+        );
+        let infeasible = feasible.not();
+        ctx.with_mask(gm, &infeasible, |ctx, gm| {
+            // All candidates visited: deterministic best over all
+            // cities — the divergent fallback.
+            let best = self.argmax_unvisited(ctx, gm, tabu, tid_global, tid_local, cur);
+            ctx.assign_u32(&mut next, &best);
+        });
+        next
+    }
+}
+
+impl Kernel for TaskTourKernel {
+    fn name(&self) -> &'static str {
+        "tour_task"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let stride = self.bufs.stride;
+        let layout = self.layout(ctx.device());
+
+        // Shared tabu allocation + zeroing (whole block participates).
+        let tabu = match layout {
+            TabuLayout::Global => TabuState::Global,
+            TabuLayout::SharedInt => {
+                let arr = ctx.shared_alloc_u32((self.opts.block * n) as usize);
+                let tl = ctx.thread_idx();
+                let nreg = ctx.splat_u32(n);
+                let row = ctx.imul(&tl, &nreg);
+                let zero = ctx.splat_u32(0);
+                for j in 0..n {
+                    let jr = ctx.splat_u32(j);
+                    let idx = ctx.iadd(&row, &jr);
+                    ctx.sh_st_u32(arr, &idx, &zero);
+                }
+                TabuState::SharedInt(arr)
+            }
+            TabuLayout::SharedBits => {
+                let words = n.div_ceil(32);
+                let arr = ctx.shared_alloc_u32((self.opts.block * words) as usize);
+                let tl = ctx.thread_idx();
+                let wreg = ctx.splat_u32(words);
+                let row = ctx.imul(&tl, &wreg);
+                let zero = ctx.splat_u32(0);
+                for w in 0..words {
+                    let wr = ctx.splat_u32(w);
+                    let idx = ctx.iadd(&row, &wr);
+                    ctx.sh_st_u32(arr, &idx, &zero);
+                }
+                TabuState::SharedBits(arr)
+            }
+        };
+
+        let tid_global = ctx.global_thread_idx();
+        let tid_local = ctx.thread_idx();
+        let m = ctx.splat_u32(self.bufs.m);
+        let is_ant = ctx.ult(&tid_global, &m);
+
+        ctx.if_then(gm, &is_ant, |ctx, gm| {
+            let mut lcg = {
+                let base = ctx.block_idx * ctx.block_dim;
+                let seed = self.seed ^ self.iteration.wrapping_mul(0x9E37_79B9);
+                ctx.reg_from_fn_u32(|lane| PmRng::thread_seed(seed, (base as usize + lane) as u64))
+            };
+
+            // Random start city.
+            let r0 = self.draw(ctx, gm, &mut lcg);
+            let nf = ctx.splat_f32(n as f32);
+            let sf = ctx.fmul(&r0, &nf);
+            let raw = ctx.f2u(&sf);
+            let nm1 = ctx.splat_u32(n - 1);
+            let start = ctx.imin(&raw, &nm1);
+
+            let stride_reg = ctx.splat_u32(stride);
+            let base = ctx.imul(&tid_global, &stride_reg);
+            ctx.st_global_u32(gm, self.bufs.tours, &base, &start);
+            self.tabu_set(ctx, gm, &tabu, &tid_global, &tid_local, &start);
+
+            let mut cur = start.clone();
+            let mut len = ctx.splat_f32(0.0);
+            let nreg = ctx.splat_u32(n);
+
+            for step in 1..n {
+                let next = if self.opts.use_nn_list {
+                    self.select_nn(ctx, gm, &tabu, &tid_global, &tid_local, &cur, &mut lcg)
+                } else {
+                    self.select_full(ctx, gm, &tabu, &tid_global, &tid_local, &cur, &mut lcg)
+                };
+
+                let sr = ctx.splat_u32(step);
+                let pos = ctx.iadd(&base, &sr);
+                ctx.st_global_u32(gm, self.bufs.tours, &pos, &next);
+                self.tabu_set(ctx, gm, &tabu, &tid_global, &tid_local, &next);
+
+                let row = ctx.imul(&cur, &nreg);
+                let didx = ctx.iadd(&row, &next);
+                let d = ctx.ld_global_f32(gm, self.bufs.dist, &didx);
+                len = ctx.fadd(&len, &d);
+                ctx.assign_u32(&mut cur, &next);
+            }
+
+            // Closing edge back to the start.
+            let row = ctx.imul(&cur, &nreg);
+            let didx = ctx.iadd(&row, &start);
+            let d = ctx.ld_global_f32(gm, self.bufs.dist, &didx);
+            len = ctx.fadd(&len, &d);
+
+            // Closing city + padding to the tile boundary (Section IV-B).
+            for p in n..stride {
+                let pr = ctx.splat_u32(p);
+                let pos = ctx.iadd(&base, &pr);
+                ctx.st_global_u32(gm, self.bufs.tours, &pos, &start);
+            }
+
+            ctx.st_global_f32(gm, self.bufs.lengths, &tid_global, &len);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::choice::ChoiceKernel;
+    use crate::params::AcoParams;
+    use aco_tsp::generator::uniform_random;
+    use aco_tsp::Tour;
+
+    fn run_variant(opts: TaskOpts, n: usize, dev: &DeviceSpec) -> (GlobalMem, ColonyBuffers, LaunchResult) {
+        let inst = uniform_random("task", n, 1000.0, 5);
+        let mut gm = GlobalMem::new();
+        let params = AcoParams::default().nn(12);
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        if opts.use_choice_table {
+            let ck = ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+            launch(dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
+        }
+        bufs.clear_visited(&mut gm);
+        let k = TaskTourKernel { bufs, opts, alpha: 1.0, beta: 2.0, seed: 42, iteration: 0 };
+        let cfg = k.config(dev);
+        let r = launch(dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        (gm, bufs, r)
+    }
+
+    fn assert_valid_tours(gm: &GlobalMem, bufs: &ColonyBuffers, inst_n: usize) {
+        for (a, t) in bufs.read_tours(gm).into_iter().enumerate() {
+            assert_eq!(t.len(), inst_n + 1);
+            assert_eq!(t[0], t[inst_n], "ant {a}: tour must close on its start");
+            let tour = Tour::new(t[..inst_n].to_vec()).unwrap_or_else(|e| {
+                panic!("ant {a}: invalid tour: {e}");
+            });
+            assert!(tour.is_valid());
+        }
+    }
+
+    #[test]
+    fn baseline_builds_valid_tours() {
+        let dev = DeviceSpec::tesla_c1060();
+        let opts = TaskOpts {
+            use_choice_table: false,
+            rng: RngKind::CurandLike,
+            use_nn_list: false,
+            tabu: TabuPlacement::Global,
+            texture: false,
+            block: 128,
+        };
+        let (gm, bufs, r) = run_variant(opts, 40, &dev);
+        assert_valid_tours(&gm, &bufs, 40);
+        assert!(r.stats.rng_calls > 0.0);
+        assert!(r.stats.divergent_branches > 0.0, "roulette scan must diverge");
+    }
+
+    #[test]
+    fn nn_list_variant_builds_valid_tours_and_is_cheaper() {
+        let dev = DeviceSpec::tesla_c1060();
+        let full = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::DeviceLcg,
+            use_nn_list: false,
+            tabu: TabuPlacement::Global,
+            texture: false,
+            block: 128,
+        };
+        let nn = TaskOpts { use_nn_list: true, ..full };
+        let (_, _, r_full) = run_variant(full, 48, &dev);
+        let (gm, bufs, r_nn) = run_variant(nn, 48, &dev);
+        assert_valid_tours(&gm, &bufs, 48);
+        assert!(
+            r_nn.time.total_ms < r_full.time.total_ms,
+            "NN list must beat the full scan: {} vs {}",
+            r_nn.time.total_ms,
+            r_full.time.total_ms
+        );
+    }
+
+    #[test]
+    fn shared_tabu_places_ints_for_small_instances() {
+        let dev = DeviceSpec::tesla_c1060();
+        let opts = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::DeviceLcg,
+            use_nn_list: true,
+            tabu: TabuPlacement::Shared,
+            texture: false,
+            block: 32,
+        };
+        let k = TaskTourKernel {
+            bufs: ColonyBuffers::allocate(
+                &mut GlobalMem::new(),
+                &uniform_random("x", 48, 100.0, 1),
+                &AcoParams::default().nn(10),
+            ),
+            opts,
+            alpha: 1.0,
+            beta: 2.0,
+            seed: 1,
+            iteration: 0,
+        };
+        // 32 ants x 48 cities x 4 B = 6 KB <= 16 KB -> int layout.
+        assert_eq!(k.layout(&dev), TabuLayout::SharedInt);
+        // Bigger instance on the same device -> bit layout.
+        let k2 = TaskTourKernel {
+            bufs: ColonyBuffers::allocate(
+                &mut GlobalMem::new(),
+                &uniform_random("x", 300, 100.0, 2),
+                &AcoParams::default().nn(10),
+            ),
+            ..k
+        };
+        assert_eq!(k2.layout(&dev), TabuLayout::SharedBits);
+        // Fermi's 48 KB keeps ints longer.
+        assert_eq!(k2.layout(&DeviceSpec::tesla_m2050()), TabuLayout::SharedInt);
+    }
+
+    #[test]
+    fn shared_tabu_variant_builds_valid_tours() {
+        let dev = DeviceSpec::tesla_c1060();
+        let opts = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::DeviceLcg,
+            use_nn_list: true,
+            tabu: TabuPlacement::Shared,
+            texture: true,
+            block: 32,
+        };
+        let (gm, bufs, r) = run_variant(opts, 60, &dev);
+        assert_valid_tours(&gm, &bufs, 60);
+        assert!(r.stats.shared_accesses > 0.0);
+        assert!(r.stats.tex_hits + r.stats.tex_misses > 0.0);
+    }
+
+    #[test]
+    fn device_lcg_beats_curand_like() {
+        let dev = DeviceSpec::tesla_c1060();
+        let curand = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::CurandLike,
+            use_nn_list: false,
+            tabu: TabuPlacement::Global,
+            texture: false,
+            block: 128,
+        };
+        let lcg = TaskOpts { rng: RngKind::DeviceLcg, ..curand };
+        let (_, _, r_curand) = run_variant(curand, 40, &dev);
+        let (_, _, r_lcg) = run_variant(lcg, 40, &dev);
+        assert!(
+            r_lcg.time.total_ms < r_curand.time.total_ms,
+            "device LCG must beat global-state RNG: {} vs {}",
+            r_lcg.time.total_ms,
+            r_curand.time.total_ms
+        );
+    }
+
+    #[test]
+    fn lengths_match_tours() {
+        let dev = DeviceSpec::tesla_m2050();
+        let opts = TaskOpts {
+            use_choice_table: true,
+            rng: RngKind::DeviceLcg,
+            use_nn_list: true,
+            tabu: TabuPlacement::Global,
+            texture: false,
+            block: 128,
+        };
+        let inst = uniform_random("task", 36, 1000.0, 9);
+        let mut gm = GlobalMem::new();
+        let params = AcoParams::default().nn(10);
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        let ck = ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+        launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
+        bufs.clear_visited(&mut gm);
+        let k = TaskTourKernel { bufs, opts, alpha: 1.0, beta: 2.0, seed: 3, iteration: 1 };
+        let cfg = k.config(&dev);
+        launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+
+        let lengths = bufs.read_lengths(&gm);
+        for (a, t) in bufs.read_tours(&gm).into_iter().enumerate() {
+            let tour = Tour::new(t[..36].to_vec()).expect("valid");
+            let exact = tour.length(inst.matrix()) as f32;
+            let rel = (lengths[a] - exact).abs() / exact;
+            assert!(rel < 1e-3, "ant {a}: device length {} vs exact {exact}", lengths[a]);
+        }
+    }
+}

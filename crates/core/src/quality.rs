@@ -1,0 +1,127 @@
+//! Solution-quality experiments.
+//!
+//! The paper states: "The quality of the actual solutions obtained is not
+//! deeply studied, although the results are similar to those obtained by
+//! the sequential code for all our implementations." This module makes
+//! that claim testable: run the CPU reference and a GPU strategy over
+//! multiple seeds and compare best-tour statistics.
+
+use aco_simt::DeviceSpec;
+use aco_tsp::TspInstance;
+
+use crate::cpu::{AntSystem, TourPolicy};
+use crate::gpu::{GpuAntSystem, PheromoneStrategy, TourStrategy};
+use crate::params::AcoParams;
+
+/// Summary statistics of a multi-seed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityStats {
+    /// Best length per seed.
+    pub bests: Vec<u64>,
+    /// Mean of `bests`.
+    pub mean: f64,
+    /// Sample standard deviation of `bests`.
+    pub stddev: f64,
+    /// Minimum over seeds.
+    pub min: u64,
+}
+
+impl QualityStats {
+    fn from_bests(bests: Vec<u64>) -> Self {
+        assert!(!bests.is_empty());
+        let mean = bests.iter().map(|&b| b as f64).sum::<f64>() / bests.len() as f64;
+        let var = if bests.len() > 1 {
+            bests.iter().map(|&b| (b as f64 - mean).powi(2)).sum::<f64>() / (bests.len() - 1) as f64
+        } else {
+            0.0
+        };
+        let min = *bests.iter().min().expect("non-empty");
+        QualityStats { bests, mean, stddev: var.sqrt(), min }
+    }
+}
+
+/// Run the sequential Ant System over `seeds` seeds.
+pub fn cpu_quality(
+    inst: &TspInstance,
+    params: &AcoParams,
+    policy: TourPolicy,
+    iterations: usize,
+    seeds: &[u64],
+) -> QualityStats {
+    let bests = seeds
+        .iter()
+        .map(|&s| {
+            let mut aco = AntSystem::new(inst, params.clone().seed(s));
+            aco.run(iterations, policy)
+        })
+        .collect();
+    QualityStats::from_bests(bests)
+}
+
+/// Run a GPU strategy over `seeds` seeds (full-fidelity simulation).
+pub fn gpu_quality(
+    inst: &TspInstance,
+    params: &AcoParams,
+    dev: &DeviceSpec,
+    tour: TourStrategy,
+    pheromone: PheromoneStrategy,
+    iterations: usize,
+    seeds: &[u64],
+) -> QualityStats {
+    let bests = seeds
+        .iter()
+        .map(|&s| {
+            let mut sys =
+                GpuAntSystem::new(inst, params.clone().seed(s), dev.clone(), tour, pheromone);
+            sys.run(iterations).expect("small instances always launch")
+        })
+        .collect();
+    QualityStats::from_bests(bests)
+}
+
+/// Relative gap between two means (b vs a), in percent.
+pub fn gap_percent(a: f64, b: f64) -> f64 {
+    (b - a) / a * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::generator::uniform_random;
+
+    #[test]
+    fn stats_are_computed_correctly() {
+        let s = QualityStats::from_bests(vec![10, 12, 14]);
+        assert_eq!(s.mean, 12.0);
+        assert_eq!(s.min, 10);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_quality_is_similar_to_cpu_quality() {
+        // The paper's "results are similar" claim, on a small instance
+        // with a handful of seeds (kept tight so the suite stays fast).
+        let inst = uniform_random("q", 40, 800.0, 3);
+        let params = AcoParams::default().nn(10);
+        let seeds = [1, 2, 3];
+        let cpu = cpu_quality(&inst, &params, TourPolicy::NearestNeighborList, 10, &seeds);
+        let gpu = gpu_quality(
+            &inst,
+            &params,
+            &DeviceSpec::tesla_m2050(),
+            TourStrategy::NNList,
+            PheromoneStrategy::AtomicShared,
+            10,
+            &seeds,
+        );
+        let gap = gap_percent(cpu.mean, gpu.mean).abs();
+        assert!(gap < 15.0, "CPU {} vs GPU {} ({gap:.1}% gap)", cpu.mean, gpu.mean);
+    }
+
+    #[test]
+    fn gap_percent_signs() {
+        assert!(gap_percent(100.0, 110.0) > 0.0);
+        assert!(gap_percent(100.0, 90.0) < 0.0);
+        assert_eq!(gap_percent(100.0, 100.0), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Device models.
+//!
+//! [`DeviceSpec`] captures every hardware parameter the simulator and the
+//! timing model consume. The two presets reproduce Table I of the paper
+//! (Tesla C1060, GT200, CC 1.3 — and Tesla M2050, Fermi, CC 2.0), augmented
+//! with microarchitectural constants that Table I implies but does not list
+//! (issue width, memory latency, launch overhead); each such constant cites
+//! its source in a comment.
+
+/// Compute capability, e.g. `(1, 3)` for the Tesla C1060.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ComputeCapability(pub u32, pub u32);
+
+impl ComputeCapability {
+    /// Fermi-or-later: per-warp coalescing through 128-byte L1 lines,
+    /// native float atomics, 32 shared-memory banks.
+    pub fn is_fermi(self) -> bool {
+        self.0 >= 2
+    }
+}
+
+/// A GPU model: everything the execution and timing models need.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    pub compute_capability: ComputeCapability,
+    /// Streaming multiprocessors. Table I: 30 (C1060), 14 (M2050).
+    pub sm_count: u32,
+    /// Scalar cores ("SPs") per SM. Table I: 8 / 32.
+    pub cores_per_sm: u32,
+    /// Shader (hot) clock in MHz. Table I: 1296 / 1147.
+    pub clock_mhz: u32,
+    /// Threads per warp. Table I: 32 for both.
+    pub warp_size: u32,
+    /// Table I: 512 / 1024.
+    pub max_threads_per_block: u32,
+    /// Table I: 1024 / 1536.
+    pub max_threads_per_sm: u32,
+    /// CUDA occupancy limit: 8 resident blocks per SM on both generations.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM. Table I: 16 K / 32 K.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM in bytes. Table I: 16 KB / 48 KB (Fermi
+    /// configured for the large-shared split, as the tabu-list kernels
+    /// prefer).
+    pub shared_mem_per_sm: u32,
+    /// Shared-memory banks: 16 (CC 1.x, conflicts per half-warp) or
+    /// 32 (CC 2.x, conflicts per warp).
+    pub shared_banks: u32,
+    /// Global memory size in bytes. Table I: 4 GB / 3 GB.
+    pub global_mem_bytes: u64,
+    /// DRAM bandwidth in GB/s. Table I: 102 / 144.
+    pub mem_bandwidth_gbps: f64,
+    /// Round-trip global-memory latency in shader cycles.
+    /// GT200 ≈ 500, Fermi ≈ 400 (both well-documented microbenchmark
+    /// figures; Volkov 2008, Wong et al. 2010).
+    pub mem_latency_cycles: u32,
+    /// Whether `atomicAdd` on `f32` exists in hardware. CC 1.x must
+    /// emulate it with an integer compare-and-swap loop (the paper calls
+    /// this out as the C1060's weakness in Section IV-B / Figure 5).
+    pub native_float_atomics: bool,
+    /// Whether global loads are cached in an L1 (Fermi) or not (GT200).
+    pub has_l1: bool,
+    /// L1 size per SM in bytes (Fermi 16 KB when shared=48 KB).
+    pub l1_bytes: u32,
+    /// Texture cache per SM in bytes (≈ 8 KB working set on both parts).
+    pub tex_cache_bytes: u32,
+    /// Shader cycles to issue one warp-instruction: GT200 pipelines a warp
+    /// over 8 cores in 4 cycles; Fermi's 32-core SM issues a warp per cycle.
+    pub issue_cycles_per_warp: u32,
+    /// Cycles per warp for special-function (transcendental) ops: the SFU
+    /// pool is 2 units/SM on GT200 (16 cycles/warp) and 4/SM on Fermi
+    /// (8 cycles/warp).
+    pub sfu_cycles_per_warp: u32,
+    /// Kernel launch overhead in microseconds (driver + setup; ≈ 7 µs on
+    /// PCIe-2 era parts, ≈ 4 µs on Fermi).
+    pub launch_overhead_us: f64,
+    /// Extra shader cycles a hardware atomic RMW occupies at the memory
+    /// partition, per (serialized) operation.
+    pub atomic_cycles: u32,
+    /// Cost multiplier for the CAS-loop software emulation of float
+    /// atomics on CC 1.x (load + compare + cas, retried on contention).
+    pub atomic_emulation_factor: u32,
+    /// DRAM partitions (GT200: 8, GF100: 6).
+    pub dram_partitions: u32,
+    /// *Partition camping* multiplier for warp-uniform (broadcast) global
+    /// loads: when every thread of every concurrently running block reads
+    /// the same address (the scatter-to-gather tour scan), all traffic
+    /// lands on one partition at a time and effective bandwidth collapses.
+    /// GT200 pays close to the full partition count; Fermi's L2 absorbs
+    /// most of it.
+    pub broadcast_camping: f64,
+}
+
+impl DeviceSpec {
+    /// Warps per block for a given block size (rounded up).
+    pub fn warps_per_block(&self, block_dim: u32) -> u32 {
+        block_dim.div_ceil(self.warp_size)
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Shader cycles per millisecond.
+    pub fn cycles_per_ms(&self) -> f64 {
+        self.clock_mhz as f64 * 1e3
+    }
+
+    /// Tesla C1060 (GT200, CC 1.3) exactly as in Table I of the paper.
+    pub fn tesla_c1060() -> Self {
+        DeviceSpec {
+            name: "Tesla C1060",
+            compute_capability: ComputeCapability(1, 3),
+            sm_count: 30,
+            cores_per_sm: 8,
+            clock_mhz: 1296,
+            warp_size: 32,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 16 * 1024,
+            shared_mem_per_sm: 16 * 1024,
+            shared_banks: 16,
+            global_mem_bytes: 4 << 30,
+            mem_bandwidth_gbps: 102.0,
+            mem_latency_cycles: 500,
+            native_float_atomics: false,
+            has_l1: false,
+            l1_bytes: 0,
+            tex_cache_bytes: 8 * 1024,
+            issue_cycles_per_warp: 4,
+            sfu_cycles_per_warp: 16,
+            launch_overhead_us: 7.0,
+            atomic_cycles: 40,
+            atomic_emulation_factor: 4,
+            dram_partitions: 8,
+            broadcast_camping: 3.0,
+        }
+    }
+
+    /// Tesla M2050 (Fermi, CC 2.0) exactly as in Table I of the paper,
+    /// configured with the 48 KB-shared / 16 KB-L1 split.
+    pub fn tesla_m2050() -> Self {
+        DeviceSpec {
+            name: "Tesla M2050",
+            compute_capability: ComputeCapability(2, 0),
+            sm_count: 14,
+            cores_per_sm: 32,
+            clock_mhz: 1147,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 32 * 1024,
+            shared_mem_per_sm: 48 * 1024,
+            shared_banks: 32,
+            global_mem_bytes: 3 << 30,
+            mem_bandwidth_gbps: 144.0,
+            mem_latency_cycles: 400,
+            native_float_atomics: true,
+            has_l1: true,
+            l1_bytes: 16 * 1024,
+            tex_cache_bytes: 8 * 1024,
+            issue_cycles_per_warp: 1,
+            sfu_cycles_per_warp: 8,
+            launch_overhead_us: 4.0,
+            atomic_cycles: 20,
+            atomic_emulation_factor: 1,
+            dram_partitions: 6,
+            broadcast_camping: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_c1060_values() {
+        let d = DeviceSpec::tesla_c1060();
+        assert_eq!(d.sm_count * d.cores_per_sm, 240); // "Total SPs 240"
+        assert_eq!(d.clock_mhz, 1296);
+        assert_eq!(d.max_threads_per_block, 512);
+        assert_eq!(d.max_threads_per_sm, 1024);
+        assert_eq!(d.registers_per_sm, 16 * 1024);
+        assert_eq!(d.shared_mem_per_sm, 16 * 1024);
+        assert_eq!(d.mem_bandwidth_gbps, 102.0);
+        assert!(!d.native_float_atomics);
+        assert!(!d.has_l1);
+        assert_eq!(d.max_warps_per_sm(), 32);
+    }
+
+    #[test]
+    fn table1_m2050_values() {
+        let d = DeviceSpec::tesla_m2050();
+        assert_eq!(d.sm_count * d.cores_per_sm, 448); // "Total SPs 448"
+        assert_eq!(d.clock_mhz, 1147);
+        assert_eq!(d.max_threads_per_block, 1024);
+        assert_eq!(d.max_threads_per_sm, 1536);
+        assert_eq!(d.registers_per_sm, 32 * 1024);
+        assert_eq!(d.mem_bandwidth_gbps, 144.0);
+        assert!(d.native_float_atomics);
+        assert!(d.has_l1);
+        assert_eq!(d.max_warps_per_sm(), 48);
+        assert!(d.compute_capability.is_fermi());
+    }
+
+    #[test]
+    fn warp_arithmetic() {
+        let d = DeviceSpec::tesla_c1060();
+        assert_eq!(d.warps_per_block(32), 1);
+        assert_eq!(d.warps_per_block(33), 2);
+        assert_eq!(d.warps_per_block(512), 16);
+        assert_eq!(d.cycles_per_ms(), 1_296_000.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulated device (global) memory.
+//!
+//! A [`GlobalMem`] is an arena of typed buffers laid out in a single
+//! virtual address space with 256-byte base alignment — the alignment
+//! `cudaMalloc` guarantees, which the coalescing model depends on.
+//! Element size is 4 bytes throughout (`f32`/`u32`/`i32`), matching the
+//! paper's data structures ("Notice that these accesses are 4 bytes each",
+//! Section IV-B).
+
+use std::marker::PhantomData;
+
+/// Typed handle to a device buffer. `Copy`, so kernels capture it freely.
+pub struct DevicePtr<T> {
+    pub(crate) id: u32,
+    _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DevicePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DevicePtr<T> {}
+impl<T> std::fmt::Debug for DevicePtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DevicePtr#{}", self.id)
+    }
+}
+
+enum Data {
+    F32(Vec<f32>),
+    U32(Vec<u32>),
+}
+
+struct Buffer {
+    base: u64,
+    data: Data,
+}
+
+/// Device memory arena.
+pub struct GlobalMem {
+    buffers: Vec<Buffer>,
+    next_base: u64,
+}
+
+/// `cudaMalloc` base alignment.
+const BASE_ALIGN: u64 = 256;
+
+impl Default for GlobalMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalMem {
+    /// Empty arena. Base addresses start away from zero so "address 0"
+    /// bugs surface loudly.
+    pub fn new() -> Self {
+        GlobalMem {
+            buffers: Vec::new(),
+            next_base: BASE_ALIGN,
+        }
+    }
+
+    fn push(&mut self, bytes: u64, data: Data) -> u32 {
+        let id = self.buffers.len() as u32;
+        let base = self.next_base;
+        self.buffers.push(Buffer { base, data });
+        self.next_base = (base + bytes).next_multiple_of(BASE_ALIGN);
+        id
+    }
+
+    /// Allocate an `f32` buffer of `len` elements, zero-initialised.
+    pub fn alloc_f32(&mut self, len: usize) -> DevicePtr<f32> {
+        let id = self.push(4 * len as u64, Data::F32(vec![0.0; len]));
+        DevicePtr { id, _pd: PhantomData }
+    }
+
+    /// Allocate a `u32` buffer of `len` elements, zero-initialised.
+    pub fn alloc_u32(&mut self, len: usize) -> DevicePtr<u32> {
+        let id = self.push(4 * len as u64, Data::U32(vec![0; len]));
+        DevicePtr { id, _pd: PhantomData }
+    }
+
+    /// Host-side view of an `f32` buffer (like `cudaMemcpy` D→H).
+    pub fn f32(&self, ptr: DevicePtr<f32>) -> &[f32] {
+        match &self.buffers[ptr.id as usize].data {
+            Data::F32(v) => v,
+            Data::U32(_) => unreachable!("typed handle guarantees the variant"),
+        }
+    }
+
+    /// Host-side mutable view of an `f32` buffer (like `cudaMemcpy` H→D).
+    pub fn f32_mut(&mut self, ptr: DevicePtr<f32>) -> &mut [f32] {
+        match &mut self.buffers[ptr.id as usize].data {
+            Data::F32(v) => v,
+            Data::U32(_) => unreachable!("typed handle guarantees the variant"),
+        }
+    }
+
+    /// Host-side view of a `u32` buffer.
+    pub fn u32(&self, ptr: DevicePtr<u32>) -> &[u32] {
+        match &self.buffers[ptr.id as usize].data {
+            Data::U32(v) => v,
+            Data::F32(_) => unreachable!("typed handle guarantees the variant"),
+        }
+    }
+
+    /// Host-side mutable view of a `u32` buffer.
+    pub fn u32_mut(&mut self, ptr: DevicePtr<u32>) -> &mut [u32] {
+        match &mut self.buffers[ptr.id as usize].data {
+            Data::U32(v) => v,
+            Data::F32(_) => unreachable!("typed handle guarantees the variant"),
+        }
+    }
+
+    /// Copy a host slice into a buffer (must match length).
+    pub fn write_f32(&mut self, ptr: DevicePtr<f32>, src: &[f32]) {
+        let dst = self.f32_mut(ptr);
+        assert_eq!(dst.len(), src.len(), "upload length mismatch");
+        dst.copy_from_slice(src);
+    }
+
+    /// Copy a host slice into a buffer (must match length).
+    pub fn write_u32(&mut self, ptr: DevicePtr<u32>, src: &[u32]) {
+        let dst = self.u32_mut(ptr);
+        assert_eq!(dst.len(), src.len(), "upload length mismatch");
+        dst.copy_from_slice(src);
+    }
+
+    /// Element count of a buffer.
+    pub fn len_f32(&self, ptr: DevicePtr<f32>) -> usize {
+        self.f32(ptr).len()
+    }
+
+    /// Element count of a buffer.
+    pub fn len_u32(&self, ptr: DevicePtr<u32>) -> usize {
+        self.u32(ptr).len()
+    }
+
+    /// Virtual byte address of element `idx` of a buffer (for coalescing).
+    #[inline]
+    pub(crate) fn addr(&self, id: u32, idx: usize) -> u64 {
+        self.buffers[id as usize].base + 4 * idx as u64
+    }
+
+    #[inline]
+    pub(crate) fn load_f32(&self, ptr: DevicePtr<f32>, idx: usize) -> f32 {
+        let v = self.f32(ptr);
+        match v.get(idx) {
+            Some(&x) => x,
+            None => panic!(
+                "device OOB load: f32 buffer #{} has {} elements, index {idx}",
+                ptr.id,
+                v.len()
+            ),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn load_u32(&self, ptr: DevicePtr<u32>, idx: usize) -> u32 {
+        let v = self.u32(ptr);
+        match v.get(idx) {
+            Some(&x) => x,
+            None => panic!(
+                "device OOB load: u32 buffer #{} has {} elements, index {idx}",
+                ptr.id,
+                v.len()
+            ),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn store_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
+        let v = self.f32_mut(ptr);
+        let len = v.len();
+        match v.get_mut(idx) {
+            Some(x) => *x = val,
+            None => panic!(
+                "device OOB store: f32 buffer #{} has {len} elements, index {idx}",
+                ptr.id
+            ),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn store_u32(&mut self, ptr: DevicePtr<u32>, idx: usize, val: u32) {
+        let v = self.u32_mut(ptr);
+        let len = v.len();
+        match v.get_mut(idx) {
+            Some(x) => *x = val,
+            None => panic!(
+                "device OOB store: u32 buffer #{} has {len} elements, index {idx}",
+                ptr.id
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut gm = GlobalMem::new();
+        let a = gm.alloc_f32(4);
+        let b = gm.alloc_u32(3);
+        gm.write_f32(a, &[1.0, 2.0, 3.0, 4.0]);
+        gm.write_u32(b, &[7, 8, 9]);
+        assert_eq!(gm.f32(a), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(gm.u32(b), &[7, 8, 9]);
+        assert_eq!(gm.len_f32(a), 4);
+        assert_eq!(gm.len_u32(b), 3);
+    }
+
+    #[test]
+    fn buffers_are_aligned_and_disjoint() {
+        let mut gm = GlobalMem::new();
+        let a = gm.alloc_f32(5); // 20 bytes
+        let b = gm.alloc_f32(1);
+        let base_a = gm.addr(a.id, 0);
+        let base_b = gm.addr(b.id, 0);
+        assert_eq!(base_a % 256, 0);
+        assert_eq!(base_b % 256, 0);
+        assert!(base_b >= base_a + 20);
+        assert_eq!(gm.addr(a.id, 3), base_a + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB load")]
+    fn oob_load_panics() {
+        let mut gm = GlobalMem::new();
+        let a = gm.alloc_f32(2);
+        gm.load_f32(a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "OOB store")]
+    fn oob_store_panics() {
+        let mut gm = GlobalMem::new();
+        let a = gm.alloc_u32(2);
+        gm.store_u32(a, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn upload_length_checked() {
+        let mut gm = GlobalMem::new();
+        let a = gm.alloc_f32(2);
+        gm.write_f32(a, &[1.0]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Kernel launches.
+//!
+//! A launch walks the grid block by block (deterministically), assigns
+//! blocks to SMs round-robin, executes each block in lockstep through a
+//! [`BlockCtx`], and turns the accumulated [`KernelStats`] into a
+//! [`KernelTime`].
+//!
+//! Large grids can be *block-sampled*: a deterministic, evenly spaced
+//! subset of blocks executes and the counters are scaled by the inverse
+//! sampling fraction. This is the standard architecture-simulation
+//! technique for workloads whose blocks are statistically homogeneous —
+//! which every kernel in this reproduction is (all ants do the same work
+//! in expectation). Functional output is then partial; sampled launches
+//! are for timing studies, and the integration tests cross-validate
+//! sampled against full counters on small instances.
+
+use crate::block::BlockCtx;
+use crate::cache::Cache;
+use crate::device::DeviceSpec;
+use crate::global::GlobalMem;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::stats::KernelStats;
+use crate::timing::{estimate, KernelTime};
+use crate::SimtError;
+
+/// Grid/block shape plus declared per-kernel resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Blocks in the grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Declared registers per thread (occupancy input).
+    pub regs_per_thread: u32,
+    /// Declared shared memory per block in bytes (occupancy input and the
+    /// block's allocation budget).
+    pub shared_bytes: u32,
+}
+
+impl LaunchConfig {
+    /// A simple config with default resource estimates (16 regs, no shared).
+    pub fn new(grid: u32, block: u32) -> Self {
+        LaunchConfig { grid, block, regs_per_thread: 16, shared_bytes: 0 }
+    }
+
+    /// Builder: declared register usage.
+    pub fn regs(mut self, r: u32) -> Self {
+        self.regs_per_thread = r;
+        self
+    }
+
+    /// Builder: declared shared-memory usage.
+    pub fn shared(mut self, bytes: u32) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+}
+
+/// Execution fidelity of a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Execute every block (full functional + timing fidelity).
+    Full,
+    /// Execute at most this many evenly spaced blocks and extrapolate the
+    /// counters (timing fidelity; partial functional output).
+    SampleBlocks(u32),
+}
+
+/// A kernel: straight-line SPMD code over one block.
+pub trait Kernel {
+    /// Kernel name (reports and errors).
+    fn name(&self) -> &'static str;
+    /// Execute one block.
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem);
+}
+
+/// Everything a launch produces.
+#[derive(Debug, Clone)]
+pub struct LaunchResult {
+    /// Extrapolated event counters.
+    pub stats: KernelStats,
+    /// Occupancy of the configuration.
+    pub occupancy: Occupancy,
+    /// Modeled execution time.
+    pub time: KernelTime,
+    /// Blocks actually executed.
+    pub executed_blocks: u32,
+    /// Counter extrapolation factor (`grid / executed`).
+    pub scale: f64,
+}
+
+/// Validate a launch configuration against the device limits.
+pub fn validate(dev: &DeviceSpec, cfg: &LaunchConfig) -> Result<(), SimtError> {
+    if cfg.grid == 0 {
+        return Err(SimtError::BadLaunch("grid must have at least one block".into()));
+    }
+    if cfg.block == 0 || cfg.block > dev.max_threads_per_block {
+        return Err(SimtError::BadLaunch(format!(
+            "block size {} outside 1..={} for {}",
+            cfg.block, dev.max_threads_per_block, dev.name
+        )));
+    }
+    if cfg.shared_bytes > dev.shared_mem_per_sm {
+        return Err(SimtError::BadLaunch(format!(
+            "shared memory {} B exceeds {} B per block on {}",
+            cfg.shared_bytes, dev.shared_mem_per_sm, dev.name
+        )));
+    }
+    if cfg.regs_per_thread * cfg.block > dev.registers_per_sm {
+        return Err(SimtError::BadLaunch(format!(
+            "register demand {}x{} exceeds the {}-register file on {}",
+            cfg.regs_per_thread, cfg.block, dev.registers_per_sm, dev.name
+        )));
+    }
+    Ok(())
+}
+
+/// Launch `kernel` on `dev` over `gm`.
+pub fn launch(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    kernel: &dyn Kernel,
+    gm: &mut GlobalMem,
+    mode: SimMode,
+) -> Result<LaunchResult, SimtError> {
+    validate(dev, cfg)?;
+
+    let occ = occupancy(dev, cfg.block, cfg.regs_per_thread, cfg.shared_bytes, cfg.grid);
+
+    // Which blocks execute?
+    let blocks: Vec<u32> = match mode {
+        SimMode::Full => (0..cfg.grid).collect(),
+        SimMode::SampleBlocks(k) => {
+            let k = k.clamp(1, cfg.grid);
+            // Evenly spaced, deterministic sample covering the grid.
+            (0..k).map(|i| (i as u64 * cfg.grid as u64 / k as u64) as u32).collect()
+        }
+    };
+    let executed = blocks.len() as u32;
+    let scale = cfg.grid as f64 / executed as f64;
+
+    let mut stats = KernelStats::for_sms(dev.sm_count as usize);
+    let mut tex_caches: Vec<Cache> = (0..dev.sm_count)
+        .map(|_| Cache::new(dev.tex_cache_bytes as u64, 32, 8))
+        .collect();
+    let mut l1_caches: Vec<Cache> = (0..dev.sm_count)
+        .map(|_| Cache::new(if dev.has_l1 { dev.l1_bytes as u64 } else { 0 }, 128, 8))
+        .collect();
+
+    for &b in &blocks {
+        let sm = (b % dev.sm_count) as usize;
+        let mut ctx = BlockCtx::new(
+            dev,
+            b,
+            cfg.grid,
+            cfg.block,
+            sm,
+            cfg.shared_bytes,
+            &mut stats,
+            &mut tex_caches[sm],
+            &mut l1_caches[sm],
+        );
+        kernel.run_block(&mut ctx, gm);
+    }
+
+    if scale != 1.0 {
+        stats.scale(scale);
+        // Sampled blocks land on a handful of simulated SMs; after
+        // extrapolation the per-SM maximum would be distorted by sampling
+        // collisions. Blocks of one launch are homogeneous (the sampling
+        // premise), so redistribute the scaled issue cycles evenly over
+        // the SMs the full grid would occupy.
+        let busy = occ.busy_sms.max(1) as usize;
+        let total: f64 = stats.issue_cycles_per_sm.iter().sum();
+        stats.issue_cycles_per_sm.fill(0.0);
+        for c in stats.issue_cycles_per_sm.iter_mut().take(busy) {
+            *c = total / busy as f64;
+        }
+    }
+    let time = estimate(dev, &occ, &stats);
+    Ok(LaunchResult { stats, occupancy: occ, time, executed_blocks: executed, scale })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::DevicePtr;
+
+    /// y[i] = a * x[i] + y[i] over `n` elements.
+    struct Saxpy {
+        a: f32,
+        x: DevicePtr<f32>,
+        y: DevicePtr<f32>,
+        n: u32,
+    }
+
+    impl Kernel for Saxpy {
+        fn name(&self) -> &'static str {
+            "saxpy"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+            let i = ctx.global_thread_idx();
+            let n = ctx.splat_u32(self.n);
+            let in_range = ctx.ult(&i, &n);
+            ctx.if_then(gm, &in_range.clone(), |ctx, gm| {
+                let x = ctx.ld_global_f32(gm, self.x, &i);
+                let y = ctx.ld_global_f32(gm, self.y, &i);
+                let a = ctx.splat_f32(self.a);
+                let r = ctx.fma(&a, &x, &y);
+                ctx.st_global_f32(gm, self.y, &i, &r);
+            });
+        }
+    }
+
+    fn setup(n: usize) -> (GlobalMem, DevicePtr<f32>, DevicePtr<f32>) {
+        let mut gm = GlobalMem::new();
+        let x = gm.alloc_f32(n);
+        let y = gm.alloc_f32(n);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        gm.write_f32(x, &xs);
+        gm.write_f32(y, &ys);
+        (gm, x, y)
+    }
+
+    #[test]
+    fn saxpy_computes_and_counts() {
+        let dev = DeviceSpec::tesla_c1060();
+        let n = 1000;
+        let (mut gm, x, y) = setup(n);
+        let k = Saxpy { a: 3.0, x, y, n: n as u32 };
+        let cfg = LaunchConfig::new((n as u32).div_ceil(128), 128);
+        let r = launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        for i in 0..n {
+            assert_eq!(gm.f32(y)[i], 3.0 * i as f32 + 2.0 * i as f32);
+        }
+        assert_eq!(r.executed_blocks, 8);
+        assert_eq!(r.scale, 1.0);
+        assert!(r.stats.ld_transactions > 0.0);
+        assert!(r.stats.dram_bytes >= (2 * 4 * n) as f64); // >= useful bytes
+        assert!(r.time.total_ms > 0.0);
+    }
+
+    #[test]
+    fn coalesced_saxpy_moves_close_to_useful_bytes() {
+        let dev = DeviceSpec::tesla_c1060();
+        let n = 4096;
+        let (mut gm, x, y) = setup(n);
+        let k = Saxpy { a: 1.0, x, y, n: n as u32 };
+        let cfg = LaunchConfig::new((n as u32).div_ceil(256), 256);
+        let r = launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        let useful = (3 * 4 * n) as f64; // 2 loads + 1 store per element
+        assert!(
+            r.stats.dram_bytes <= useful * 1.1,
+            "coalesced kernel should not amplify traffic: {} vs {}",
+            r.stats.dram_bytes,
+            useful
+        );
+    }
+
+    #[test]
+    fn sampling_extrapolates_counters() {
+        let dev = DeviceSpec::tesla_c1060();
+        let n = 128 * 64; // 64 blocks of 128
+        let (mut gm, x, y) = setup(n);
+        let k = Saxpy { a: 2.0, x, y, n: n as u32 };
+        let cfg = LaunchConfig::new(64, 128);
+
+        let full = launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        let (mut gm2, x2, y2) = setup(n);
+        let k2 = Saxpy { a: 2.0, x: x2, y: y2, n: n as u32 };
+        let sampled = launch(&dev, &cfg, &k2, &mut gm2, SimMode::SampleBlocks(8)).unwrap();
+
+        assert_eq!(sampled.executed_blocks, 8);
+        assert_eq!(sampled.scale, 8.0);
+        let rel = (sampled.stats.dram_bytes - full.stats.dram_bytes).abs() / full.stats.dram_bytes;
+        assert!(rel < 0.05, "sampled dram bytes off by {rel}");
+        let relt = (sampled.time.total_ms - full.time.total_ms).abs() / full.time.total_ms;
+        assert!(relt < 0.10, "sampled time off by {relt}");
+    }
+
+    #[test]
+    fn fermi_l1_reduces_repeat_traffic() {
+        // Two saxpy launches over the same small array: on Fermi the
+        // second pass inside one launch isn't modeled, but within a launch
+        // repeated loads of the same lines (grid bigger than data) hit L1.
+        struct RepeatLoad {
+            x: DevicePtr<f32>,
+        }
+        impl Kernel for RepeatLoad {
+            fn name(&self) -> &'static str {
+                "repeat"
+            }
+            fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+                let t = ctx.thread_idx();
+                // Every block reads the same 128 words.
+                for _ in 0..4 {
+                    let _ = ctx.ld_global_f32(gm, self.x, &t);
+                }
+            }
+        }
+        let mut gm = GlobalMem::new();
+        let x = gm.alloc_f32(128);
+        let k = RepeatLoad { x };
+        let cfg = LaunchConfig::new(14, 128); // one block per SM
+        let fermi = DeviceSpec::tesla_m2050();
+        let r = launch(&fermi, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        assert!(r.stats.l1_hits > 0.0);
+        // 4 loads x 4 lines x 14 blocks = 224 line accesses, 4 lines
+        // missed per SM -> 56 misses.
+        assert_eq!(r.stats.l1_misses, 56.0);
+        let c1060 = DeviceSpec::tesla_c1060();
+        let r2 = launch(&c1060, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+        assert!(r2.stats.dram_bytes > r.stats.dram_bytes, "GT200 has no L1");
+    }
+
+    #[test]
+    fn launch_validation() {
+        let dev = DeviceSpec::tesla_c1060();
+        let mut gm = GlobalMem::new();
+        let x = gm.alloc_f32(16);
+        let y = gm.alloc_f32(16);
+        let k = Saxpy { a: 1.0, x, y, n: 16 };
+        assert!(launch(&dev, &LaunchConfig::new(0, 128), &k, &mut gm, SimMode::Full).is_err());
+        assert!(launch(&dev, &LaunchConfig::new(1, 1024), &k, &mut gm, SimMode::Full).is_err());
+        assert!(launch(
+            &dev,
+            &LaunchConfig::new(1, 128).shared(64 * 1024),
+            &k,
+            &mut gm,
+            SimMode::Full
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Active-lane masks.
+//!
+//! A [`Mask`] holds one bit per thread of a block. All SIMT control flow in
+//! the simulator is expressed through masks: `if_else` intersects them,
+//! `loop_while` iterates while any lane remains active, and every operation
+//! charges issue cycles only for *warps* that still have at least one
+//! active lane — which is exactly how divergence costs on hardware.
+
+/// One bit per lane of a thread block (lane 0 = bit 0 of word 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+/// Lanes per warp; fixed at 32 across every CUDA generation we model.
+pub const WARP: usize = 32;
+
+impl Mask {
+    /// All lanes active.
+    pub fn all(len: usize) -> Self {
+        let mut bits = vec![u64::MAX; len.div_ceil(64)];
+        Self::trim(&mut bits, len);
+        Mask { bits, len }
+    }
+
+    /// No lanes active.
+    pub fn none(len: usize) -> Self {
+        Mask {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a predicate over lane indices.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut m = Mask::none(len);
+        for lane in 0..len {
+            if f(lane) {
+                m.set(lane, true);
+            }
+        }
+        m
+    }
+
+    fn trim(bits: &mut [u64], len: usize) {
+        let extra = bits.len() * 64 - len;
+        if extra > 0 {
+            let last = bits.len() - 1;
+            bits[last] &= u64::MAX >> extra;
+        }
+    }
+
+    /// Number of lanes this mask covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no lanes are covered (empty block — not "no active lanes").
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lane state.
+    #[inline]
+    pub fn get(&self, lane: usize) -> bool {
+        debug_assert!(lane < self.len);
+        (self.bits[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// Set lane state.
+    #[inline]
+    pub fn set(&mut self, lane: usize, v: bool) {
+        debug_assert!(lane < self.len);
+        if v {
+            self.bits[lane / 64] |= 1 << (lane % 64);
+        } else {
+            self.bits[lane / 64] &= !(1 << (lane % 64));
+        }
+    }
+
+    /// Any lane active?
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+
+    /// Number of active lanes.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Lane-wise AND.
+    pub fn and(&self, other: &Mask) -> Mask {
+        debug_assert_eq!(self.len, other.len);
+        Mask {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Lane-wise OR.
+    pub fn or(&self, other: &Mask) -> Mask {
+        debug_assert_eq!(self.len, other.len);
+        Mask {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Lane-wise AND NOT (`self & !other`).
+    pub fn and_not(&self, other: &Mask) -> Mask {
+        debug_assert_eq!(self.len, other.len);
+        Mask {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Complement within the block.
+    pub fn not(&self) -> Mask {
+        let mut bits: Vec<u64> = self.bits.iter().map(|w| !w).collect();
+        Self::trim(&mut bits, self.len);
+        Mask { bits, len: self.len }
+    }
+
+    /// Iterate active lane indices in increasing order.
+    pub fn lanes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Number of warps the block spans (including trailing partial warp).
+    pub fn warp_count(&self) -> usize {
+        self.len.div_ceil(WARP)
+    }
+
+    /// The 32-bit activity pattern of warp `w`.
+    pub fn warp_bits(&self, w: usize) -> u32 {
+        let lane0 = w * WARP;
+        debug_assert!(lane0 < self.len);
+        let word = self.bits[lane0 / 64];
+        let shifted = (word >> (lane0 % 64)) as u32;
+        // A warp never straddles a u64 boundary (32 | 64).
+        let width = (self.len - lane0).min(WARP);
+        if width == WARP {
+            shifted
+        } else {
+            shifted & ((1u32 << width) - 1)
+        }
+    }
+
+    /// Does warp `w` have any active lane?
+    pub fn warp_any(&self, w: usize) -> bool {
+        self.warp_bits(w) != 0
+    }
+
+    /// Number of warps with at least one active lane.
+    pub fn active_warps(&self) -> usize {
+        (0..self.warp_count()).filter(|&w| self.warp_any(w)).count()
+    }
+
+    /// Iterate active lanes of warp `w`.
+    pub fn warp_lanes(&self, w: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = w * WARP;
+        let mut bits = self.warp_bits(w);
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(base + b)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none() {
+        let a = Mask::all(70);
+        assert_eq!(a.count(), 70);
+        assert!(a.any());
+        assert!(a.get(69));
+        let n = Mask::none(70);
+        assert_eq!(n.count(), 0);
+        assert!(!n.any());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = Mask::none(100);
+        m.set(0, true);
+        m.set(63, true);
+        m.set(64, true);
+        m.set(99, true);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(99));
+        m.set(63, false);
+        assert!(!m.get(63));
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask::from_fn(64, |i| i % 2 == 0);
+        let b = Mask::from_fn(64, |i| i % 3 == 0);
+        assert_eq!(a.and(&b).count(), 11); // multiples of 6 in 0..64
+        assert_eq!(a.or(&b).count(), 32 + 22 - 11);
+        assert_eq!(a.not().count(), 32);
+        assert_eq!(a.and_not(&b).count(), 32 - 11);
+    }
+
+    #[test]
+    fn not_respects_length() {
+        let m = Mask::none(33);
+        assert_eq!(m.not().count(), 33); // not 64
+    }
+
+    #[test]
+    fn lane_iteration_matches_bits() {
+        let m = Mask::from_fn(130, |i| i % 7 == 0);
+        let lanes: Vec<usize> = m.lanes().collect();
+        let expect: Vec<usize> = (0..130).filter(|i| i % 7 == 0).collect();
+        assert_eq!(lanes, expect);
+    }
+
+    #[test]
+    fn warp_views() {
+        let m = Mask::from_fn(96, |i| i < 40);
+        assert_eq!(m.warp_count(), 3);
+        assert_eq!(m.warp_bits(0), u32::MAX);
+        assert_eq!(m.warp_bits(1), 0xFF); // lanes 32..40
+        assert_eq!(m.warp_bits(2), 0);
+        assert_eq!(m.active_warps(), 2);
+        assert!(m.warp_any(1));
+        assert!(!m.warp_any(2));
+        let lanes: Vec<usize> = m.warp_lanes(1).collect();
+        assert_eq!(lanes, (32..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_trailing_warp() {
+        let m = Mask::all(40);
+        assert_eq!(m.warp_count(), 2);
+        assert_eq!(m.warp_bits(1), 0xFF);
+        assert_eq!(m.active_warps(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the SIMT simulator.
+
+use aco_simt::coalesce::{coalesce_cc13_half_warp, lines_cc20};
+use aco_simt::prelude::*;
+use aco_simt::rng::{park_miller, PmRng, PM_MODULUS};
+use aco_simt::{occupancy, Mask};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cc13_transactions_cover_every_access_and_respect_bounds(
+        addrs in prop::collection::vec(0u64..100_000, 1..16),
+    ) {
+        let addrs: Vec<u64> = addrs.into_iter().map(|a| a * 4).collect();
+        let ts = coalesce_cc13_half_warp(&addrs);
+        // Coverage: every 4-byte access inside some transaction window.
+        for &a in &addrs {
+            prop_assert!(ts.iter().any(|t| a >= t.base && a + 4 <= t.base + t.bytes as u64));
+        }
+        // At most one transaction per access; sizes in {32, 64, 128};
+        // bases aligned to their size.
+        prop_assert!(ts.len() <= addrs.len());
+        for t in &ts {
+            prop_assert!(matches!(t.bytes, 32 | 64 | 128));
+            prop_assert_eq!(t.base % t.bytes as u64, 0);
+        }
+    }
+
+    #[test]
+    fn fermi_lines_are_distinct_aligned_and_minimal(
+        addrs in prop::collection::vec(0u64..100_000, 1..32),
+    ) {
+        let addrs: Vec<u64> = addrs.into_iter().map(|a| a * 4).collect();
+        let lines = lines_cc20(&addrs);
+        for w in lines.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted and deduped");
+        }
+        for &l in &lines {
+            prop_assert_eq!(l % 128, 0);
+        }
+        for &a in &addrs {
+            prop_assert!(lines.contains(&(a & !127)));
+        }
+    }
+
+    #[test]
+    fn mask_algebra_laws(bits_a in any::<[bool; 64]>(), bits_b in any::<[bool; 64]>()) {
+        let a = Mask::from_fn(64, |i| bits_a[i]);
+        let b = Mask::from_fn(64, |i| bits_b[i]);
+        prop_assert_eq!(a.and(&b).count(), b.and(&a).count());
+        prop_assert_eq!(a.or(&b).count() + a.and(&b).count(), a.count() + b.count());
+        prop_assert_eq!(a.not().count(), 64 - a.count());
+        prop_assert_eq!(a.and_not(&b).count(), a.count() - a.and(&b).count());
+        // Warp views partition the lanes.
+        let total: usize = (0..a.warp_count()).map(|w| a.warp_bits(w).count_ones() as usize).sum();
+        prop_assert_eq!(total, a.count());
+    }
+
+    #[test]
+    fn park_miller_stays_in_range_and_never_sticks(seed in 0u32..u32::MAX) {
+        let mut s = seed;
+        for _ in 0..100 {
+            s = park_miller(s);
+            prop_assert!(s >= 1 && s < PM_MODULUS);
+        }
+        let mut r = PmRng::new(seed);
+        let v = r.next_f32();
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_resources(
+        block_pow in 5u32..9, // 32..256 threads
+        regs in 1u32..40,
+        shared_kb in 0u32..16,
+    ) {
+        let dev = DeviceSpec::tesla_c1060();
+        let block = 1 << block_pow;
+        let o = occupancy(&dev, block, regs, shared_kb * 1024, 10_000);
+        prop_assert!(o.blocks_per_sm >= 1 || shared_kb * 1024 > dev.shared_mem_per_sm);
+        prop_assert!(o.occupancy <= 1.0);
+        // More registers can never increase residency.
+        let o2 = occupancy(&dev, block, regs + 8, shared_kb * 1024, 10_000);
+        prop_assert!(o2.blocks_per_sm <= o.blocks_per_sm);
+        // More shared memory can never increase residency.
+        let o3 = occupancy(&dev, block, regs, (shared_kb + 1) * 1024, 10_000);
+        prop_assert!(o3.blocks_per_sm <= o.blocks_per_sm);
+    }
+}
+
+/// A memory-streaming kernel whose grid shape is a proptest variable:
+/// whatever the geometry, counters must balance.
+struct Stream {
+    buf: DevicePtr<f32>,
+    n: u32,
+}
+
+impl Kernel for Stream {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let i = ctx.global_thread_idx();
+        let limit = ctx.splat_u32(self.n);
+        let ok = ctx.ult(&i, &limit);
+        ctx.if_then(gm, &ok, |ctx, gm| {
+            let x = ctx.ld_global_f32(gm, self.buf, &i);
+            let one = ctx.splat_f32(1.0);
+            let y = ctx.fadd(&x, &one);
+            ctx.st_global_f32(gm, self.buf, &i, &y);
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn launch_counters_balance_for_any_geometry(
+        n in 1usize..5000,
+        block_pow in 5u32..9,
+    ) {
+        let dev = DeviceSpec::tesla_c1060();
+        let mut gm = GlobalMem::new();
+        let buf = gm.alloc_f32(n);
+        let block = 1u32 << block_pow;
+        let grid = (n as u32).div_ceil(block);
+        let k = Stream { buf, n: n as u32 };
+        let r = launch(&dev, &LaunchConfig::new(grid, block), &k, &mut gm, SimMode::Full)
+            .expect("valid launch");
+        // Functional result: every element incremented exactly once.
+        prop_assert!(gm.f32(buf).iter().all(|&v| v == 1.0));
+        // Counter sanity: traffic at least the useful bytes, at most the
+        // fully-uncoalesced worst case.
+        let useful = (2 * 4 * n) as f64;
+        prop_assert!(r.stats.dram_bytes >= useful);
+        prop_assert!(r.stats.dram_bytes <= useful * 16.0);
+        prop_assert!(r.stats.ld_transactions >= 1.0);
+        prop_assert!(r.time.total_ms > 0.0);
+    }
+
+    #[test]
+    fn sampled_launches_track_full_launches(
+        blocks in 8u32..64,
+        sample in 2u32..8,
+    ) {
+        let dev = DeviceSpec::tesla_c1060();
+        let n = (blocks * 128) as usize;
+        let run = |mode: SimMode| {
+            let mut gm = GlobalMem::new();
+            let buf = gm.alloc_f32(n);
+            let k = Stream { buf, n: n as u32 };
+            launch(&dev, &LaunchConfig::new(blocks, 128), &k, &mut gm, mode).expect("valid")
+        };
+        let full = run(SimMode::Full);
+        let sampled = run(SimMode::SampleBlocks(sample));
+        let rel = (sampled.stats.dram_bytes - full.stats.dram_bytes).abs()
+            / full.stats.dram_bytes.max(1.0);
+        prop_assert!(rel < 0.15, "dram bytes off by {rel}");
+        let relt = (sampled.time.total_ms - full.time.total_ms).abs() / full.time.total_ms;
+        prop_assert!(relt < 0.20, "time off by {relt}");
+    }
+}

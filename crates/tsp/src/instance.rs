@@ -1,0 +1,174 @@
+//! A TSP instance: name, optional coordinates, and its distance matrix.
+
+use crate::geometry::{EdgeWeightType, Point};
+use crate::matrix::DistanceMatrix;
+use crate::TspError;
+
+/// A complete, symmetric TSP instance.
+///
+/// Instances are immutable once built; solvers share them by reference.
+#[derive(Debug, Clone)]
+pub struct TspInstance {
+    name: String,
+    comment: String,
+    weight_type: EdgeWeightType,
+    points: Option<Vec<Point>>,
+    matrix: DistanceMatrix,
+    /// Known optimal tour length, when recorded (TSPLIB publishes optima).
+    best_known: Option<u64>,
+}
+
+impl TspInstance {
+    /// Build an instance from city coordinates under a TSPLIB metric.
+    pub fn from_points(
+        name: impl Into<String>,
+        weight_type: EdgeWeightType,
+        points: Vec<Point>,
+    ) -> Result<Self, TspError> {
+        if weight_type == EdgeWeightType::Explicit {
+            return Err(TspError::Invalid(
+                "EXPLICIT instances must be built with from_matrix".into(),
+            ));
+        }
+        let n = points.len();
+        let matrix = DistanceMatrix::from_fn(n, |i, j| {
+            if i == j {
+                0
+            } else {
+                weight_type.distance(points[i], points[j])
+            }
+        })?;
+        Ok(TspInstance {
+            name: name.into(),
+            comment: String::new(),
+            weight_type,
+            points: Some(points),
+            matrix,
+            best_known: None,
+        })
+    }
+
+    /// Build an instance directly from an explicit distance matrix.
+    pub fn from_matrix(name: impl Into<String>, matrix: DistanceMatrix) -> Result<Self, TspError> {
+        if !matrix.is_symmetric() {
+            return Err(TspError::Invalid(
+                "explicit matrix must be symmetric for the symmetric TSP".into(),
+            ));
+        }
+        Ok(TspInstance {
+            name: name.into(),
+            comment: String::new(),
+            weight_type: EdgeWeightType::Explicit,
+            points: None,
+            matrix,
+            best_known: None,
+        })
+    }
+
+    /// Attach a free-text comment (kept through TSPLIB round-trips).
+    pub fn with_comment(mut self, comment: impl Into<String>) -> Self {
+        self.comment = comment.into();
+        self
+    }
+
+    /// Record the known optimal tour length.
+    pub fn with_best_known(mut self, best: u64) -> Self {
+        self.best_known = Some(best);
+        self
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instance comment.
+    pub fn comment(&self) -> &str {
+        &self.comment
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// The TSPLIB edge-weight type.
+    pub fn weight_type(&self) -> EdgeWeightType {
+        self.weight_type
+    }
+
+    /// City coordinates, if the instance is coordinate-based.
+    pub fn points(&self) -> Option<&[Point]> {
+        self.points.as_deref()
+    }
+
+    /// The dense distance matrix.
+    #[inline]
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+
+    /// Distance between cities `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> u32 {
+        self.matrix.dist(i, j)
+    }
+
+    /// Known optimal tour length, if recorded.
+    pub fn best_known(&self) -> Option<u64> {
+        self.best_known
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> TspInstance {
+        TspInstance::from_points(
+            "square4",
+            EdgeWeightType::Euc2d,
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.0, 10.0),
+                Point::new(10.0, 10.0),
+                Point::new(10.0, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_matrix_from_points() {
+        let inst = square();
+        assert_eq!(inst.n(), 4);
+        assert_eq!(inst.dist(0, 1), 10);
+        assert_eq!(inst.dist(0, 2), 14); // sqrt(200) = 14.14 -> 14
+        assert!(inst.matrix().is_symmetric());
+        assert!(inst.points().is_some());
+    }
+
+    #[test]
+    fn explicit_requires_symmetry() {
+        let asym = DistanceMatrix::from_flat(2, vec![0, 1, 2, 0]).unwrap();
+        assert!(TspInstance::from_matrix("bad", asym).is_err());
+        let sym = DistanceMatrix::from_flat(2, vec![0, 1, 1, 0]).unwrap();
+        let inst = TspInstance::from_matrix("ok", sym).unwrap();
+        assert_eq!(inst.weight_type(), EdgeWeightType::Explicit);
+        assert!(inst.points().is_none());
+    }
+
+    #[test]
+    fn metadata_builders() {
+        let inst = square().with_comment("unit test").with_best_known(40);
+        assert_eq!(inst.comment(), "unit test");
+        assert_eq!(inst.best_known(), Some(40));
+    }
+
+    #[test]
+    fn from_points_rejects_explicit() {
+        let err = TspInstance::from_points("x", EdgeWeightType::Explicit, vec![]);
+        assert!(err.is_err());
+    }
+}

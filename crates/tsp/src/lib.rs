@@ -1,0 +1,60 @@
+//! TSP substrate for the GPU-ACO reproduction.
+//!
+//! This crate provides everything the Ant System needs from the Travelling
+//! Salesman Problem side:
+//!
+//! - [`tsplib`]: a parser/writer for the TSPLIB'95 format (the benchmark
+//!   library the paper draws its instances from),
+//! - [`geometry`]: the TSPLIB edge-weight functions (`EUC_2D`, `CEIL_2D`,
+//!   `ATT`, `GEO`, `MAN_2D`, `MAX_2D`),
+//! - [`matrix`]: dense distance matrices,
+//! - [`nn`]: nearest-neighbour candidate lists (the paper uses `NN = 30`),
+//! - [`tour`]: tour representation, validation and constructive heuristics,
+//! - [`generator`]: seeded synthetic instance generators, including
+//!   size-faithful stand-ins for the seven TSPLIB instances used in the
+//!   paper's evaluation (att48 … pr2392),
+//! - [`two_opt`]: a 2-opt local search with neighbour lists and don't-look
+//!   bits (an extension used by the solution-quality experiments).
+//!
+//! Distances follow the TSPLIB convention of being rounded to integers, so
+//! tour lengths are exact `u64` values and every experiment is reproducible
+//! bit-for-bit.
+
+pub mod generator;
+pub mod geometry;
+pub mod instance;
+pub mod matrix;
+pub mod nn;
+pub mod tour;
+pub mod tsplib;
+pub mod two_opt;
+
+pub use generator::{clustered, grid, paper_instance, paper_instances, uniform_random, PaperInstance};
+pub use geometry::{EdgeWeightType, Point};
+pub use instance::TspInstance;
+pub use matrix::DistanceMatrix;
+pub use nn::NearestNeighborLists;
+pub use tour::{nearest_neighbor_tour, Tour};
+
+/// Errors produced while loading or validating TSP data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TspError {
+    /// The TSPLIB input could not be parsed; the string describes where/why.
+    Parse(String),
+    /// The instance is structurally invalid (e.g. fewer than 2 cities).
+    Invalid(String),
+    /// An operation was asked to use an unsupported TSPLIB feature.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for TspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TspError::Parse(m) => write!(f, "TSPLIB parse error: {m}"),
+            TspError::Invalid(m) => write!(f, "invalid TSP instance: {m}"),
+            TspError::Unsupported(m) => write!(f, "unsupported TSPLIB feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TspError {}

@@ -1,0 +1,185 @@
+//! Dense distance matrices.
+//!
+//! The Ant System reads distances in every inner loop, so the matrix is a
+//! single flat allocation indexed `i * n + j` — the same layout the GPU
+//! kernels use for their device buffer, which keeps CPU and simulated-GPU
+//! address streams directly comparable.
+
+use crate::TspError;
+
+/// A dense, row-major `n × n` matrix of integral distances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Build from a flat row-major vector. `d.len()` must equal `n * n`.
+    pub fn from_flat(n: usize, d: Vec<u32>) -> Result<Self, TspError> {
+        if n < 2 {
+            return Err(TspError::Invalid(format!("need at least 2 cities, got {n}")));
+        }
+        if d.len() != n * n {
+            return Err(TspError::Invalid(format!(
+                "flat distance vector has {} entries, expected {}",
+                d.len(),
+                n * n
+            )));
+        }
+        Ok(DistanceMatrix { n, d })
+    }
+
+    /// Build by evaluating `f(i, j)` for every ordered pair.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> u32) -> Result<Self, TspError> {
+        if n < 2 {
+            return Err(TspError::Invalid(format!("need at least 2 cities, got {n}")));
+        }
+        let mut d = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = f(i, j);
+            }
+        }
+        Ok(DistanceMatrix { n, d })
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from city `i` to city `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i < self.n && j < self.n);
+        self.d[i * self.n + j]
+    }
+
+    /// Row `i` as a slice (distances from city `i` to every city).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.d[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The flat row-major buffer (used to upload to the simulated device).
+    #[inline]
+    pub fn as_flat(&self) -> &[u32] {
+        &self.d
+    }
+
+    /// True if `dist(i, j) == dist(j, i)` for all pairs.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.dist(i, j) != self.dist(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if the diagonal is all zero.
+    pub fn has_zero_diagonal(&self) -> bool {
+        (0..self.n).all(|i| self.dist(i, i) == 0)
+    }
+
+    /// The largest off-diagonal distance (useful for pheromone bounds).
+    pub fn max_distance(&self) -> u32 {
+        let mut m = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    m = m.max(self.dist(i, j));
+                }
+            }
+        }
+        m
+    }
+
+    /// The smallest non-zero off-diagonal distance.
+    pub fn min_distance(&self) -> u32 {
+        let mut m = u32::MAX;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    m = m.min(self.dist(i, j));
+                }
+            }
+        }
+        m
+    }
+
+    /// Heuristic matrix `eta[i][j] = 1 / d(i,j)` as `f32` (the precision the
+    /// paper's GPU code uses). The diagonal and zero distances map to
+    /// `1 / 0.1` following the ACOTSP convention of clamping `d = 0` edges.
+    pub fn heuristic_matrix(&self) -> Vec<f32> {
+        let mut eta = vec![0.0f32; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let d = self.d[i * self.n + j];
+                eta[i * self.n + j] = if d == 0 { 10.0 } else { 1.0 / d as f32 };
+            }
+        }
+        eta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistanceMatrix {
+        // 0-1: 2, 0-2: 4, 1-2: 3
+        DistanceMatrix::from_flat(3, vec![0, 2, 4, 2, 0, 3, 4, 3, 0]).unwrap()
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let m = sample();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.dist(0, 2), 4);
+        assert_eq!(m.row(1), &[2, 0, 3]);
+        assert_eq!(m.as_flat().len(), 9);
+    }
+
+    #[test]
+    fn symmetry_and_diagonal_checks() {
+        let m = sample();
+        assert!(m.is_symmetric());
+        assert!(m.has_zero_diagonal());
+        let asym = DistanceMatrix::from_flat(2, vec![0, 1, 2, 0]).unwrap();
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn extremes() {
+        let m = sample();
+        assert_eq!(m.max_distance(), 4);
+        assert_eq!(m.min_distance(), 2);
+    }
+
+    #[test]
+    fn from_fn_matches_from_flat() {
+        let flat = sample();
+        let f = DistanceMatrix::from_fn(3, |i, j| flat.dist(i, j)).unwrap();
+        assert_eq!(f, flat);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(DistanceMatrix::from_flat(1, vec![0]).is_err());
+        assert!(DistanceMatrix::from_flat(3, vec![0; 8]).is_err());
+        assert!(DistanceMatrix::from_fn(0, |_, _| 0).is_err());
+    }
+
+    #[test]
+    fn heuristic_clamps_zero_distances() {
+        let m = sample();
+        let eta = m.heuristic_matrix();
+        assert_eq!(eta[0], 10.0); // diagonal
+        assert!((eta[1] - 0.5).abs() < 1e-6);
+    }
+}

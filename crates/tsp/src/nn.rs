@@ -1,0 +1,130 @@
+//! Nearest-neighbour candidate lists.
+//!
+//! The paper's fastest task-parallel tour kernels (Table II, versions 4–6)
+//! restrict the probabilistic choice to each city's `nn` nearest neighbours
+//! (`NN = 30` in the evaluation), falling back to the full heuristic rule
+//! once all candidates are visited. The list is stored flat (`city * nn +
+//! rank`) — the exact device layout the kernels read.
+
+use crate::matrix::DistanceMatrix;
+use crate::TspError;
+
+/// Per-city lists of the `nn` nearest other cities, in increasing distance.
+#[derive(Debug, Clone)]
+pub struct NearestNeighborLists {
+    n: usize,
+    nn: usize,
+    /// Flat `n * nn` matrix: `list[city * nn + rank]`.
+    list: Vec<u32>,
+}
+
+impl NearestNeighborLists {
+    /// Build lists of depth `nn` from a distance matrix.
+    ///
+    /// `nn` is clamped to `n - 1` (a city has only `n - 1` neighbours).
+    /// Ties are broken by city index, making construction deterministic.
+    pub fn build(matrix: &DistanceMatrix, nn: usize) -> Result<Self, TspError> {
+        let n = matrix.n();
+        if nn == 0 {
+            return Err(TspError::Invalid("nearest-neighbour depth must be > 0".into()));
+        }
+        let nn = nn.min(n - 1);
+        let mut list = vec![0u32; n * nn];
+        let mut order: Vec<u32> = Vec::with_capacity(n - 1);
+        for city in 0..n {
+            order.clear();
+            order.extend((0..n as u32).filter(|&j| j as usize != city));
+            let row = matrix.row(city);
+            // Partial selection: only the first `nn` entries need to be sorted.
+            order.select_nth_unstable_by_key(nn - 1, |&j| (row[j as usize], j));
+            let mut chosen: Vec<u32> = order[..nn].to_vec();
+            chosen.sort_unstable_by_key(|&j| (row[j as usize], j));
+            list[city * nn..(city + 1) * nn].copy_from_slice(&chosen);
+        }
+        Ok(NearestNeighborLists { n, nn, list })
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Depth of each list.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.nn
+    }
+
+    /// The neighbours of `city`, nearest first.
+    #[inline]
+    pub fn neighbors(&self, city: usize) -> &[u32] {
+        &self.list[city * self.nn..(city + 1) * self.nn]
+    }
+
+    /// The flat `n * nn` buffer (device upload layout).
+    #[inline]
+    pub fn as_flat(&self) -> &[u32] {
+        &self.list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_instance(n: usize) -> DistanceMatrix {
+        // Cities on a line at x = 0, 10, 20, ...
+        DistanceMatrix::from_fn(n, |i, j| (10 * (i as i64 - j as i64).unsigned_abs()) as u32)
+            .unwrap()
+    }
+
+    #[test]
+    fn lists_are_sorted_by_distance() {
+        let m = line_instance(6);
+        let nn = NearestNeighborLists::build(&m, 3).unwrap();
+        assert_eq!(nn.depth(), 3);
+        // City 0's nearest are 1, 2, 3.
+        assert_eq!(nn.neighbors(0), &[1, 2, 3]);
+        // City 3 is equidistant from 2 and 4 -> tie broken by index.
+        assert_eq!(nn.neighbors(3), &[2, 4, 1]);
+    }
+
+    #[test]
+    fn depth_clamps_to_n_minus_1() {
+        let m = line_instance(4);
+        let nn = NearestNeighborLists::build(&m, 100).unwrap();
+        assert_eq!(nn.depth(), 3);
+        for c in 0..4 {
+            let mut got: Vec<u32> = nn.neighbors(c).to_vec();
+            got.sort_unstable();
+            let want: Vec<u32> = (0..4u32).filter(|&j| j as usize != c).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn no_city_lists_itself() {
+        let m = line_instance(8);
+        let nn = NearestNeighborLists::build(&m, 5).unwrap();
+        for c in 0..8 {
+            assert!(nn.neighbors(c).iter().all(|&j| j as usize != c));
+        }
+    }
+
+    #[test]
+    fn flat_layout_matches_accessor() {
+        let m = line_instance(5);
+        let nn = NearestNeighborLists::build(&m, 2).unwrap();
+        let flat = nn.as_flat();
+        for c in 0..5 {
+            assert_eq!(&flat[c * 2..c * 2 + 2], nn.neighbors(c));
+        }
+    }
+
+    #[test]
+    fn zero_depth_rejected() {
+        let m = line_instance(3);
+        assert!(NearestNeighborLists::build(&m, 0).is_err());
+    }
+}

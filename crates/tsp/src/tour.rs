@@ -1,0 +1,209 @@
+//! Tours: representation, validation, length, constructive heuristics.
+
+use crate::matrix::DistanceMatrix;
+use crate::TspError;
+
+/// A Hamiltonian cycle over the cities `0..n`, stored as a visiting order.
+///
+/// The closing edge (last city back to the first) is implicit. Tour lengths
+/// are exact integers (`u64`) because TSPLIB distances are integral.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tour {
+    order: Vec<u32>,
+}
+
+impl Tour {
+    /// Wrap a visiting order, verifying it is a permutation of `0..n`.
+    pub fn new(order: Vec<u32>) -> Result<Self, TspError> {
+        let n = order.len();
+        if n < 2 {
+            return Err(TspError::Invalid(format!("tour must visit >= 2 cities, got {n}")));
+        }
+        let mut seen = vec![false; n];
+        for &c in &order {
+            let c = c as usize;
+            if c >= n {
+                return Err(TspError::Invalid(format!("city {c} out of range 0..{n}")));
+            }
+            if seen[c] {
+                return Err(TspError::Invalid(format!("city {c} visited twice")));
+            }
+            seen[c] = true;
+        }
+        Ok(Tour { order })
+    }
+
+    /// Wrap a visiting order without validation.
+    ///
+    /// Use only for orders produced by trusted construction code; debug
+    /// builds still assert the permutation property.
+    pub fn new_unchecked(order: Vec<u32>) -> Self {
+        debug_assert!(Tour::new(order.clone()).is_ok());
+        Tour { order }
+    }
+
+    /// The identity tour `0, 1, …, n-1`.
+    pub fn identity(n: usize) -> Self {
+        Tour {
+            order: (0..n as u32).collect(),
+        }
+    }
+
+    /// A uniformly random tour (Fisher–Yates from the provided RNG).
+    pub fn random(n: usize, rng: &mut impl rand::Rng) -> Self {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Tour { order }
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The visiting order.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Mutable access for local search; callers must preserve the
+    /// permutation property (checked in debug builds by [`Tour::is_valid`]).
+    #[inline]
+    pub fn order_mut(&mut self) -> &mut [u32] {
+        &mut self.order
+    }
+
+    /// Total cycle length under `matrix`, including the closing edge.
+    pub fn length(&self, matrix: &DistanceMatrix) -> u64 {
+        let n = self.order.len();
+        let mut total = 0u64;
+        for k in 0..n {
+            let a = self.order[k] as usize;
+            let b = self.order[(k + 1) % n] as usize;
+            total += matrix.dist(a, b) as u64;
+        }
+        total
+    }
+
+    /// True if the order is a permutation of `0..n`.
+    pub fn is_valid(&self) -> bool {
+        Tour::new(self.order.clone()).is_ok()
+    }
+
+    /// Successor of `city` along the tour.
+    pub fn successor(&self, city: u32) -> u32 {
+        let pos = self.order.iter().position(|&c| c == city).expect("city in tour");
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// The multiset of undirected edges `(min, max)` in the cycle.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let n = self.order.len();
+        (0..n)
+            .map(|k| {
+                let a = self.order[k];
+                let b = self.order[(k + 1) % n];
+                (a.min(b), a.max(b))
+            })
+            .collect()
+    }
+}
+
+/// Greedy nearest-neighbour construction starting from `start`.
+///
+/// This is the ACOTSP bootstrap heuristic: the Ant System initialises its
+/// pheromone level to `m / C_nn` where `C_nn` is the length of this tour.
+pub fn nearest_neighbor_tour(matrix: &DistanceMatrix, start: usize) -> Tour {
+    let n = matrix.n();
+    assert!(start < n, "start city {start} out of range 0..{n}");
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = start;
+    visited[start] = true;
+    order.push(start as u32);
+    for _ in 1..n {
+        let row = matrix.row(current);
+        let mut best = usize::MAX;
+        let mut best_d = u32::MAX;
+        for (j, (&d, &v)) in row.iter().zip(visited.iter()).enumerate() {
+            if !v && d < best_d {
+                best = j;
+                best_d = d;
+            }
+        }
+        visited[best] = true;
+        order.push(best as u32);
+        current = best;
+    }
+    Tour { order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn line(n: usize) -> DistanceMatrix {
+        DistanceMatrix::from_fn(n, |i, j| (10 * (i as i64 - j as i64).unsigned_abs()) as u32)
+            .unwrap()
+    }
+
+    #[test]
+    fn validates_permutations() {
+        assert!(Tour::new(vec![0, 1, 2]).is_ok());
+        assert!(Tour::new(vec![0, 1, 1]).is_err());
+        assert!(Tour::new(vec![0, 1, 3]).is_err());
+        assert!(Tour::new(vec![0]).is_err());
+    }
+
+    #[test]
+    fn length_includes_closing_edge() {
+        let m = line(4);
+        let t = Tour::identity(4);
+        // 10 + 10 + 10 + closing 30
+        assert_eq!(t.length(&m), 60);
+    }
+
+    #[test]
+    fn random_tours_are_valid_and_seeded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t1 = Tour::random(50, &mut rng);
+        assert!(t1.is_valid());
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+        let t2 = Tour::random(50, &mut rng2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn nearest_neighbor_on_line_is_optimal_from_end() {
+        let m = line(5);
+        let t = nearest_neighbor_tour(&m, 0);
+        assert_eq!(t.order(), &[0, 1, 2, 3, 4]);
+        assert_eq!(t.length(&m), 80);
+    }
+
+    #[test]
+    fn nearest_neighbor_visits_everything_from_any_start() {
+        let m = line(7);
+        for s in 0..7 {
+            let t = nearest_neighbor_tour(&m, s);
+            assert!(t.is_valid());
+            assert_eq!(t.order()[0], s as u32);
+        }
+    }
+
+    #[test]
+    fn successor_and_edges() {
+        let t = Tour::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(t.successor(2), 0);
+        assert_eq!(t.successor(1), 2);
+        let mut e = t.edges();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+}

@@ -1,0 +1,489 @@
+//! TSPLIB'95 reader and writer.
+//!
+//! Supports `TYPE: TSP` files with coordinate-based metrics
+//! (`NODE_COORD_SECTION`) and explicit matrices (`EDGE_WEIGHT_SECTION` in
+//! `FULL_MATRIX`, `UPPER_ROW`, `LOWER_ROW`, `UPPER_DIAG_ROW` and
+//! `LOWER_DIAG_ROW` formats) — enough to load every instance in the paper's
+//! benchmark set from the original files when they are available.
+
+use crate::geometry::{EdgeWeightType, Point};
+use crate::instance::TspInstance;
+use crate::matrix::DistanceMatrix;
+use crate::TspError;
+
+/// The `EDGE_WEIGHT_FORMAT` keywords supported for explicit matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WeightFormat {
+    FullMatrix,
+    UpperRow,
+    LowerRow,
+    UpperDiagRow,
+    LowerDiagRow,
+}
+
+impl WeightFormat {
+    fn from_keyword(kw: &str) -> Option<Self> {
+        Some(match kw {
+            "FULL_MATRIX" => WeightFormat::FullMatrix,
+            "UPPER_ROW" => WeightFormat::UpperRow,
+            "LOWER_ROW" => WeightFormat::LowerRow,
+            "UPPER_DIAG_ROW" => WeightFormat::UpperDiagRow,
+            "LOWER_DIAG_ROW" => WeightFormat::LowerDiagRow,
+            _ => return None,
+        })
+    }
+
+    /// Number of values an explicit section must contain for `n` cities.
+    fn expected_len(self, n: usize) -> usize {
+        match self {
+            WeightFormat::FullMatrix => n * n,
+            WeightFormat::UpperRow | WeightFormat::LowerRow => n * (n - 1) / 2,
+            WeightFormat::UpperDiagRow | WeightFormat::LowerDiagRow => n * (n + 1) / 2,
+        }
+    }
+}
+
+/// Parse a TSPLIB file from a string.
+pub fn parse(text: &str) -> Result<TspInstance, TspError> {
+    let mut name = String::from("unnamed");
+    let mut comment = String::new();
+    let mut dimension: Option<usize> = None;
+    let mut weight_type: Option<EdgeWeightType> = None;
+    let mut weight_format: Option<WeightFormat> = None;
+
+    let mut lines = text.lines().map(str::trim).peekable();
+
+    // --- specification part -------------------------------------------------
+    while let Some(&line) = lines.peek() {
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        // Section keywords end the specification part.
+        if line.starts_with("NODE_COORD_SECTION") || line.starts_with("EDGE_WEIGHT_SECTION") {
+            break;
+        }
+        if line == "EOF" {
+            break;
+        }
+        let line = lines.next().unwrap();
+        let (key, value) = match line.split_once(':') {
+            Some((k, v)) => (k.trim(), v.trim()),
+            None => (line, ""),
+        };
+        match key {
+            "NAME" => name = value.to_string(),
+            "COMMENT" => {
+                if !comment.is_empty() {
+                    comment.push(' ');
+                }
+                comment.push_str(value);
+            }
+            "TYPE" => {
+                if value != "TSP" {
+                    return Err(TspError::Unsupported(format!(
+                        "TYPE {value} (only symmetric TSP is supported)"
+                    )));
+                }
+            }
+            "DIMENSION" => {
+                dimension = Some(value.parse().map_err(|_| {
+                    TspError::Parse(format!("bad DIMENSION value: {value:?}"))
+                })?);
+            }
+            "EDGE_WEIGHT_TYPE" => {
+                weight_type = Some(EdgeWeightType::from_keyword(value).ok_or_else(|| {
+                    TspError::Unsupported(format!("EDGE_WEIGHT_TYPE {value}"))
+                })?);
+            }
+            "EDGE_WEIGHT_FORMAT" => {
+                weight_format = Some(WeightFormat::from_keyword(value).ok_or_else(|| {
+                    TspError::Unsupported(format!("EDGE_WEIGHT_FORMAT {value}"))
+                })?);
+            }
+            // Harmless metadata we accept and ignore.
+            "DISPLAY_DATA_TYPE" | "NODE_COORD_TYPE" => {}
+            other => {
+                return Err(TspError::Parse(format!("unknown specification key {other:?}")));
+            }
+        }
+    }
+
+    let n = dimension.ok_or_else(|| TspError::Parse("missing DIMENSION".into()))?;
+    if n < 2 {
+        return Err(TspError::Invalid(format!("DIMENSION must be >= 2, got {n}")));
+    }
+    let wt = weight_type.ok_or_else(|| TspError::Parse("missing EDGE_WEIGHT_TYPE".into()))?;
+
+    // --- data part -----------------------------------------------------------
+    let mut instance = None;
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        if line == "EOF" {
+            break;
+        }
+        if line.starts_with("NODE_COORD_SECTION") {
+            if wt == EdgeWeightType::Explicit {
+                // Coordinates may still appear for display; skip them.
+                skip_numeric_lines(&mut lines, n);
+                continue;
+            }
+            let points = parse_coords(&mut lines, n)?;
+            instance = Some(TspInstance::from_points(name.clone(), wt, points)?);
+        } else if line.starts_with("EDGE_WEIGHT_SECTION") {
+            if wt != EdgeWeightType::Explicit {
+                return Err(TspError::Parse(
+                    "EDGE_WEIGHT_SECTION present but EDGE_WEIGHT_TYPE is not EXPLICIT".into(),
+                ));
+            }
+            let fmt = weight_format
+                .ok_or_else(|| TspError::Parse("EXPLICIT instance missing EDGE_WEIGHT_FORMAT".into()))?;
+            let matrix = parse_explicit(&mut lines, n, fmt)?;
+            instance = Some(TspInstance::from_matrix(name.clone(), matrix)?);
+        } else if line.starts_with("DISPLAY_DATA_SECTION") {
+            skip_numeric_lines(&mut lines, n);
+        } else {
+            return Err(TspError::Parse(format!("unexpected line in data part: {line:?}")));
+        }
+    }
+
+    instance
+        .map(|i| i.with_comment(comment))
+        .ok_or_else(|| TspError::Parse("file contains no coordinate or weight section".into()))
+}
+
+fn skip_numeric_lines<'a>(lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>, n: usize) {
+    for _ in 0..n {
+        match lines.peek() {
+            Some(&l) if !l.is_empty() && l != "EOF" => {
+                lines.next();
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_coords<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    n: usize,
+) -> Result<Vec<Point>, TspError> {
+    let mut points = vec![None::<Point>; n];
+    let mut seen = 0usize;
+    while seen < n {
+        let line = lines
+            .next()
+            .ok_or_else(|| TspError::Parse(format!("coordinate section ended after {seen} of {n} cities")))?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let idx: usize = it
+            .next()
+            .ok_or_else(|| TspError::Parse("empty coordinate line".into()))?
+            .parse()
+            .map_err(|_| TspError::Parse(format!("bad city index in {line:?}")))?;
+        let x: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| TspError::Parse(format!("bad x coordinate in {line:?}")))?;
+        let y: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| TspError::Parse(format!("bad y coordinate in {line:?}")))?;
+        if idx == 0 || idx > n {
+            return Err(TspError::Parse(format!("city index {idx} out of range 1..={n}")));
+        }
+        if points[idx - 1].is_some() {
+            return Err(TspError::Parse(format!("duplicate city index {idx}")));
+        }
+        points[idx - 1] = Some(Point::new(x, y));
+        seen += 1;
+    }
+    Ok(points.into_iter().map(|p| p.unwrap()).collect())
+}
+
+fn parse_explicit<'a>(
+    lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    n: usize,
+    fmt: WeightFormat,
+) -> Result<DistanceMatrix, TspError> {
+    // Weight sections are free-form whitespace-separated numbers.
+    let expected = fmt.expected_len(n);
+    let mut values = Vec::with_capacity(expected);
+    while values.len() < expected {
+        let line = match lines.peek() {
+            Some(&l) => l,
+            None => break,
+        };
+        if line == "EOF" || line.ends_with("_SECTION") {
+            break;
+        }
+        lines.next();
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| TspError::Parse(format!("bad weight token {tok:?}")))?;
+            if v < 0 {
+                return Err(TspError::Parse(format!("negative edge weight {v}")));
+            }
+            values.push(v as u32);
+        }
+    }
+    if values.len() != expected {
+        return Err(TspError::Parse(format!(
+            "edge weight section has {} values, expected {expected} for {fmt:?}",
+            values.len()
+        )));
+    }
+
+    let mut d = vec![0u32; n * n];
+    let mut k = 0usize;
+    match fmt {
+        WeightFormat::FullMatrix => {
+            d.copy_from_slice(&values);
+        }
+        WeightFormat::UpperRow => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    d[i * n + j] = values[k];
+                    d[j * n + i] = values[k];
+                    k += 1;
+                }
+            }
+        }
+        WeightFormat::LowerRow => {
+            for i in 1..n {
+                for j in 0..i {
+                    d[i * n + j] = values[k];
+                    d[j * n + i] = values[k];
+                    k += 1;
+                }
+            }
+        }
+        WeightFormat::UpperDiagRow => {
+            for i in 0..n {
+                for j in i..n {
+                    d[i * n + j] = values[k];
+                    d[j * n + i] = values[k];
+                    k += 1;
+                }
+            }
+        }
+        WeightFormat::LowerDiagRow => {
+            for i in 0..n {
+                for j in 0..=i {
+                    d[i * n + j] = values[k];
+                    d[j * n + i] = values[k];
+                    k += 1;
+                }
+            }
+        }
+    }
+    DistanceMatrix::from_flat(n, d)
+}
+
+/// Serialise an instance back to TSPLIB text.
+///
+/// Coordinate-based instances emit `NODE_COORD_SECTION`; explicit instances
+/// emit a `FULL_MATRIX` weight section. `parse(&write(inst))` reproduces the
+/// instance's distance matrix exactly (round-trip property, see tests).
+pub fn write(inst: &TspInstance) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("NAME: {}\n", inst.name()));
+    out.push_str("TYPE: TSP\n");
+    if !inst.comment().is_empty() {
+        out.push_str(&format!("COMMENT: {}\n", inst.comment()));
+    }
+    out.push_str(&format!("DIMENSION: {}\n", inst.n()));
+    out.push_str(&format!("EDGE_WEIGHT_TYPE: {}\n", inst.weight_type().keyword()));
+    match inst.points() {
+        Some(points) => {
+            out.push_str("NODE_COORD_SECTION\n");
+            for (i, p) in points.iter().enumerate() {
+                out.push_str(&format!("{} {} {}\n", i + 1, p.x, p.y));
+            }
+        }
+        None => {
+            out.push_str("EDGE_WEIGHT_FORMAT: FULL_MATRIX\n");
+            out.push_str("EDGE_WEIGHT_SECTION\n");
+            let n = inst.n();
+            for i in 0..n {
+                let row: Vec<String> =
+                    (0..n).map(|j| inst.dist(i, j).to_string()).collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("EOF\n");
+    out
+}
+
+/// Load an instance from a file on disk.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<TspInstance, TspError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| TspError::Parse(format!("cannot read {:?}: {e}", path.as_ref())))?;
+    parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_EUC: &str = "\
+NAME: toy5
+TYPE: TSP
+COMMENT: five points on a line
+DIMENSION: 5
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 10 0
+3 20 0
+4 30 0
+5 40 0
+EOF
+";
+
+    #[test]
+    fn parses_coordinate_instance() {
+        let inst = parse(SMALL_EUC).unwrap();
+        assert_eq!(inst.name(), "toy5");
+        assert_eq!(inst.n(), 5);
+        assert_eq!(inst.dist(0, 4), 40);
+        assert_eq!(inst.dist(1, 3), 20);
+        assert_eq!(inst.comment(), "five points on a line");
+    }
+
+    #[test]
+    fn parses_full_matrix() {
+        let text = "\
+NAME: m3
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 2 4
+2 0 3
+4 3 0
+EOF
+";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.dist(0, 1), 2);
+        assert_eq!(inst.dist(2, 0), 4);
+    }
+
+    #[test]
+    fn parses_upper_row() {
+        let text = "\
+NAME: u3
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_ROW
+EDGE_WEIGHT_SECTION
+2 4
+3
+EOF
+";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.dist(0, 1), 2);
+        assert_eq!(inst.dist(0, 2), 4);
+        assert_eq!(inst.dist(1, 2), 3);
+        assert_eq!(inst.dist(2, 1), 3);
+    }
+
+    #[test]
+    fn parses_lower_diag_row() {
+        let text = "\
+NAME: l3
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+2 0
+4 3 0
+EOF
+";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.dist(0, 1), 2);
+        assert_eq!(inst.dist(0, 2), 4);
+        assert_eq!(inst.dist(1, 2), 3);
+    }
+
+    #[test]
+    fn round_trip_coordinates() {
+        let inst = parse(SMALL_EUC).unwrap();
+        let text = write(&inst);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.n(), inst.n());
+        for i in 0..inst.n() {
+            for j in 0..inst.n() {
+                assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_asymmetric_type() {
+        let text = "NAME: x\nTYPE: ATSP\nDIMENSION: 3\n";
+        assert!(matches!(parse(text), Err(TspError::Unsupported(_))));
+    }
+
+    #[test]
+    fn rejects_missing_dimension() {
+        let text = "NAME: x\nTYPE: TSP\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_city() {
+        let text = "\
+NAME: dup
+TYPE: TSP
+DIMENSION: 2
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0 0
+1 1 1
+EOF
+";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_weight_section() {
+        let text = "\
+NAME: short
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 1 2
+EOF
+";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn att_weight_type_parses() {
+        let text = "\
+NAME: att2
+TYPE: TSP
+DIMENSION: 2
+EDGE_WEIGHT_TYPE: ATT
+NODE_COORD_SECTION
+1 0 0
+2 10 0
+EOF
+";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.dist(0, 1), 4); // matches geometry::att test case
+    }
+}

@@ -1,0 +1,193 @@
+//! 2-opt local search with neighbour lists and don't-look bits.
+//!
+//! Not used by the paper's timing study, but required by the solution-quality
+//! experiments and a standard component of any credible ACO/TSP library
+//! (ACOTSP ships the same optimisation). The implementation follows the
+//! classic design: candidate moves are restricted to each city's
+//! nearest-neighbour list, and "don't-look" bits skip cities whose
+//! neighbourhood has not changed since they last failed to improve.
+
+use crate::matrix::DistanceMatrix;
+use crate::nn::NearestNeighborLists;
+use crate::tour::Tour;
+
+/// Improve `tour` in place until 2-opt local optimality (w.r.t. the
+/// neighbour lists). Returns the number of improving moves applied.
+pub fn two_opt(tour: &mut Tour, matrix: &DistanceMatrix, nn: &NearestNeighborLists) -> usize {
+    let n = tour.n();
+    debug_assert_eq!(matrix.n(), n);
+
+    // pos[c] = index of city c in the order.
+    let mut pos = vec![0u32; n];
+    for (i, &c) in tour.order().iter().enumerate() {
+        pos[c as usize] = i as u32;
+    }
+    let mut dont_look = vec![false; n];
+    let mut queue: Vec<u32> = (0..n as u32).collect();
+    let mut improvements = 0usize;
+
+    while let Some(c1) = queue.pop() {
+        if dont_look[c1 as usize] {
+            continue;
+        }
+        dont_look[c1 as usize] = true;
+        if let Some((a, b)) = best_move(tour, matrix, nn, &pos, c1) {
+            apply_2opt(tour, &mut pos, a, b);
+            improvements += 1;
+            // Re-activate the endpoints of the exchanged edges.
+            for &c in &[a, b, tour.order()[(pos[a as usize] as usize + 1) % n], tour.order()
+                [(pos[b as usize] as usize + 1) % n]]
+            {
+                if dont_look[c as usize] {
+                    dont_look[c as usize] = false;
+                    queue.push(c);
+                }
+            }
+            dont_look[c1 as usize] = false;
+            queue.push(c1);
+        }
+    }
+    improvements
+}
+
+/// Find the best improving 2-opt move that removes an edge incident to `c1`.
+/// Returns the canonical pair `(c1, c2)` meaning: reverse the segment between
+/// the successors of `c1` and `c2`.
+fn best_move(
+    tour: &Tour,
+    matrix: &DistanceMatrix,
+    nn: &NearestNeighborLists,
+    pos: &[u32],
+    c1: u32,
+) -> Option<(u32, u32)> {
+    let n = tour.n();
+    let order = tour.order();
+    let succ = |c: u32| order[(pos[c as usize] as usize + 1) % n];
+    let pred = |c: u32| order[(pos[c as usize] as usize + n - 1) % n];
+
+    let mut best_gain = 0i64;
+    let mut best: Option<(u32, u32)> = None;
+
+    // Moves that replace the edge (c1, succ(c1)).
+    let s1 = succ(c1);
+    let d_c1_s1 = matrix.dist(c1 as usize, s1 as usize) as i64;
+    for &c2 in nn.neighbors(c1 as usize) {
+        let d_c1_c2 = matrix.dist(c1 as usize, c2 as usize) as i64;
+        if d_c1_c2 >= d_c1_s1 {
+            break; // neighbours sorted: no closer candidate can improve
+        }
+        let s2 = succ(c2);
+        if s2 == c1 || c2 == s1 {
+            continue;
+        }
+        let gain = d_c1_s1 + matrix.dist(c2 as usize, s2 as usize) as i64
+            - d_c1_c2
+            - matrix.dist(s1 as usize, s2 as usize) as i64;
+        if gain > best_gain {
+            best_gain = gain;
+            best = Some((c1, c2));
+        }
+    }
+
+    // Moves that replace the edge (pred(c1), c1).
+    let p1 = pred(c1);
+    let d_p1_c1 = matrix.dist(p1 as usize, c1 as usize) as i64;
+    for &c2 in nn.neighbors(c1 as usize) {
+        let d_c1_c2 = matrix.dist(c1 as usize, c2 as usize) as i64;
+        if d_c1_c2 >= d_p1_c1 {
+            break;
+        }
+        let p2 = pred(c2);
+        if p2 == c1 || c2 == p1 {
+            continue;
+        }
+        let gain = d_p1_c1 + matrix.dist(p2 as usize, c2 as usize) as i64
+            - d_c1_c2
+            - matrix.dist(p1 as usize, p2 as usize) as i64;
+        if gain > best_gain {
+            best_gain = gain;
+            best = Some((p1, p2));
+        }
+    }
+
+    best
+}
+
+/// Reverse the tour segment strictly after `a` up to and including `b`
+/// (equivalently: replace edges (a, succ a) and (b, succ b) with (a, b) and
+/// (succ a, succ b)), keeping `pos` consistent. Always reverses the shorter
+/// side so a move costs O(min(len, n - len)).
+fn apply_2opt(tour: &mut Tour, pos: &mut [u32], a: u32, b: u32) {
+    let n = tour.n();
+    let pa = pos[a as usize] as usize;
+    let pb = pos[b as usize] as usize;
+    let (mut i, mut j);
+    let inner = (pb + n - pa) % n; // segment length succ(a)..=b
+    if inner <= n - inner {
+        i = (pa + 1) % n;
+        j = pb;
+    } else {
+        // Reverse the complementary segment succ(b)..=a instead.
+        i = (pb + 1) % n;
+        j = pa;
+    }
+    let order = tour.order_mut();
+    let seg_len = (j + n - i) % n + 1;
+    for _ in 0..seg_len / 2 {
+        order.swap(i, j);
+        pos[order[i] as usize] = i as u32;
+        pos[order[j] as usize] = j as u32;
+        i = (i + 1) % n;
+        j = (j + n - 1) % n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::uniform_random;
+    use crate::tour::nearest_neighbor_tour;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_opt_never_worsens_and_reaches_local_optimum() {
+        let inst = uniform_random("t", 60, 1000.0, 11);
+        let nn = NearestNeighborLists::build(inst.matrix(), 15).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut tour = Tour::random(60, &mut rng);
+        let before = tour.length(inst.matrix());
+        let moves = two_opt(&mut tour, inst.matrix(), &nn);
+        let after = tour.length(inst.matrix());
+        assert!(tour.is_valid());
+        assert!(after <= before);
+        assert!(moves > 0, "random tour on 60 cities should be improvable");
+        // Running again finds nothing (local optimality w.r.t. the lists).
+        let more = two_opt(&mut tour, inst.matrix(), &nn);
+        assert_eq!(more, 0);
+        assert_eq!(tour.length(inst.matrix()), after);
+    }
+
+    #[test]
+    fn two_opt_untangles_a_crossing() {
+        // Square visited in crossing order 0,2,1,3 -> 2-opt must fix it.
+        let inst = crate::generator::grid("sq", 2, 2, 10.0);
+        let nn = NearestNeighborLists::build(inst.matrix(), 3).unwrap();
+        let mut tour = Tour::new(vec![0, 3, 1, 2]).unwrap();
+        let crossing = tour.length(inst.matrix());
+        two_opt(&mut tour, inst.matrix(), &nn);
+        let fixed = tour.length(inst.matrix());
+        assert!(fixed < crossing, "expected {fixed} < {crossing}");
+        assert_eq!(fixed, 40);
+    }
+
+    #[test]
+    fn improves_nearest_neighbor_tours() {
+        let inst = uniform_random("t", 120, 1000.0, 5);
+        let nn = NearestNeighborLists::build(inst.matrix(), 20).unwrap();
+        let mut tour = nearest_neighbor_tour(inst.matrix(), 0);
+        let before = tour.length(inst.matrix());
+        two_opt(&mut tour, inst.matrix(), &nn);
+        assert!(tour.length(inst.matrix()) <= before);
+        assert!(tour.is_valid());
+    }
+}

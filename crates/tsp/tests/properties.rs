@@ -1,0 +1,133 @@
+//! Property tests for the TSP substrate.
+
+use aco_tsp::{
+    geometry::{att, ceil_2d, euc_2d, man_2d, max_2d},
+    nearest_neighbor_tour, tsplib, two_opt::two_opt, NearestNeighborLists, Point, Tour,
+};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = aco_tsp::TspInstance> {
+    (5usize..60, 0u64..1_000_000)
+        .prop_map(|(n, seed)| aco_tsp::uniform_random("prop", n, 1000.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn distance_functions_are_symmetric_and_triangleish(
+        ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+        bx in -1e4f64..1e4, by in -1e4f64..1e4,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        for f in [euc_2d, ceil_2d, att, man_2d, max_2d] {
+            prop_assert_eq!(f(a, b), f(b, a));
+        }
+        // Rounded metrics obey the triangle inequality up to rounding slack.
+        let c = Point::new((ax + bx) / 2.0, (ay + by) / 2.0);
+        prop_assert!(euc_2d(a, b) <= euc_2d(a, c) + euc_2d(c, b) + 1);
+    }
+
+    #[test]
+    fn tsplib_round_trip_preserves_distances(inst in arb_instance()) {
+        let text = tsplib::write(&inst);
+        let back = tsplib::parse(&text).expect("own output parses");
+        prop_assert_eq!(back.n(), inst.n());
+        for i in 0..inst.n() {
+            for j in 0..inst.n() {
+                prop_assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_matrix_round_trip(inst in arb_instance()) {
+        // Re-encode through an EXPLICIT full matrix and back.
+        let explicit = aco_tsp::TspInstance::from_matrix("x", inst.matrix().clone())
+            .expect("symmetric matrix");
+        let text = tsplib::write(&explicit);
+        let back = tsplib::parse(&text).expect("own output parses");
+        for i in 0..inst.n() {
+            for j in 0..inst.n() {
+                prop_assert_eq!(back.dist(i, j), inst.dist(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn nn_lists_are_sorted_prefixes_of_the_distance_order(
+        inst in arb_instance(),
+        depth in 1usize..20,
+    ) {
+        let nn = NearestNeighborLists::build(inst.matrix(), depth).expect("n >= 2");
+        for c in 0..inst.n() {
+            let list = nn.neighbors(c);
+            // Sorted by distance.
+            for w in list.windows(2) {
+                prop_assert!(
+                    inst.dist(c, w[0] as usize) <= inst.dist(c, w[1] as usize)
+                );
+            }
+            // No self, no duplicates.
+            prop_assert!(list.iter().all(|&j| j as usize != c));
+            let mut sorted = list.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), list.len());
+            // Nothing outside the list is closer than the last entry.
+            let worst = inst.dist(c, *list.last().expect("non-empty") as usize);
+            let closer_outside = (0..inst.n())
+                .filter(|&j| j != c && !list.contains(&(j as u32)))
+                .filter(|&j| inst.dist(c, j) < worst)
+                .count();
+            prop_assert_eq!(closer_outside, 0);
+        }
+    }
+
+    #[test]
+    fn tour_length_is_rotation_invariant(inst in arb_instance(), rot in 0usize..50) {
+        let n = inst.n();
+        let t = nearest_neighbor_tour(inst.matrix(), 0);
+        let mut rotated: Vec<u32> = t.order().to_vec();
+        rotated.rotate_left(rot % n);
+        let t2 = Tour::new(rotated).expect("rotation preserves permutation");
+        prop_assert_eq!(t.length(inst.matrix()), t2.length(inst.matrix()));
+    }
+
+    #[test]
+    fn tour_length_is_reversal_invariant(inst in arb_instance()) {
+        let t = nearest_neighbor_tour(inst.matrix(), 0);
+        let mut rev: Vec<u32> = t.order().to_vec();
+        rev.reverse();
+        let t2 = Tour::new(rev).expect("reversal preserves permutation");
+        prop_assert_eq!(t.length(inst.matrix()), t2.length(inst.matrix()));
+    }
+
+    #[test]
+    fn two_opt_improves_or_preserves_and_stays_valid(
+        inst in arb_instance(),
+        seed in 0u64..10_000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tour = Tour::random(inst.n(), &mut rng);
+        let before = tour.length(inst.matrix());
+        let nn = NearestNeighborLists::build(inst.matrix(), 10.min(inst.n() - 1)).expect("n >= 2");
+        two_opt(&mut tour, inst.matrix(), &nn);
+        prop_assert!(tour.is_valid());
+        prop_assert!(tour.length(inst.matrix()) <= before);
+    }
+
+    #[test]
+    fn greedy_tour_beats_the_average_random_tour(inst in arb_instance()) {
+        use rand::SeedableRng;
+        let greedy = nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let avg: u64 = (0..8)
+            .map(|_| Tour::random(inst.n(), &mut rng).length(inst.matrix()))
+            .sum::<u64>()
+            / 8;
+        prop_assert!(greedy <= avg, "greedy {greedy} vs random average {avg}");
+    }
+}

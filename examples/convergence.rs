@@ -1,0 +1,57 @@
+//! Convergence study: best-so-far tour length per iteration for the
+//! sequential Ant System and two GPU strategies, written as CSV — the
+//! quality-over-time view behind the paper's "results are similar" remark.
+//!
+//! ```text
+//! cargo run --release --example convergence -- [n] [iters]
+//! ```
+
+use aco_gpu::core::cpu::{AntSystem, TourPolicy};
+use aco_gpu::core::gpu::{GpuAntSystem, PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::{DeviceSpec, SimMode};
+use aco_gpu::tsp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(80);
+    let iters: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let inst = tsp::uniform_random("conv", n, 1000.0, 23);
+    let params = AcoParams::default().nn(15.min(n - 1)).seed(5);
+
+    let mut cpu = AntSystem::new(&inst, params.clone());
+    let mut gpu_task = GpuAntSystem::new(
+        &inst,
+        params.clone(),
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::NNListSharedTex,
+        PheromoneStrategy::AtomicShared,
+    );
+    let mut gpu_dp = GpuAntSystem::new(
+        &inst,
+        params,
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::DataParallelTex,
+        PheromoneStrategy::AtomicShared,
+    );
+
+    let mut csv = String::from("iteration,cpu,gpu_task_nn,gpu_data_parallel\n");
+    println!("{:>5} {:>12} {:>14} {:>18}", "iter", "cpu", "gpu task NN", "gpu data-parallel");
+    for it in 1..=iters {
+        let c = cpu.iterate(TourPolicy::NearestNeighborList).best_so_far;
+        let t = gpu_task.iterate(SimMode::Full).expect("valid launch").best_so_far;
+        let d = gpu_dp.iterate(SimMode::Full).expect("valid launch").best_so_far;
+        csv.push_str(&format!("{it},{c},{t},{d}\n"));
+        if it % 5 == 0 || it == 1 {
+            println!("{it:>5} {c:>12} {t:>14} {d:>18}");
+        }
+    }
+
+    let out = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(out);
+    let path = out.join("convergence.csv");
+    match std::fs::write(&path, csv) {
+        Ok(()) => println!("\nseries written to {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

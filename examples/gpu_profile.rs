@@ -1,0 +1,96 @@
+//! GPU profile: per-kernel breakdown of the performance model — which
+//! roofline term binds, occupancy, and the microarchitectural event
+//! counters the paper's analysis is written in terms of.
+//!
+//! ```text
+//! cargo run --release --example gpu_profile -- [n] [c1060|m2050]
+//! ```
+
+use aco_gpu::core::gpu::{
+    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
+};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::rng::PmRng;
+use aco_gpu::simt::{DeviceSpec, GlobalMem, KernelStats, KernelTime, SimMode};
+use aco_gpu::tsp::{self, Tour};
+
+fn print_time(label: &str, t: &KernelTime) {
+    println!(
+        "  {label:<34} total {:>9.3} ms  [compute {:>8.3} | memory {:>8.3} | latency {:>8.3} | bound: {}]",
+        t.total_ms,
+        t.compute_ms,
+        t.memory_ms,
+        t.latency_ms,
+        t.bound()
+    );
+}
+
+fn print_stats(s: &KernelStats) {
+    println!(
+        "    warp instr {:>12.0}   dram bytes {:>14.0}   ld/st txn {:>10.0}/{:<10.0}",
+        s.warp_instructions, s.dram_bytes, s.ld_transactions, s.st_transactions
+    );
+    println!(
+        "    shared acc {:>12.0}   bank-conflict extra {:>7.0}   atomics {:>8.0} (+{:.0} replays)",
+        s.shared_accesses, s.bank_conflict_extra, s.atomic_ops, s.atomic_conflicts
+    );
+    println!(
+        "    divergent branches {:>6.0}   barriers {:>8.0}   tex h/m {:>8.0}/{:<8.0}   l1 h/m {:>8.0}/{:<8.0}",
+        s.divergent_branches, s.barriers, s.tex_hits, s.tex_misses, s.l1_hits, s.l1_misses
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let dev = match args.get(1).map(String::as_str) {
+        Some("m2050") => DeviceSpec::tesla_m2050(),
+        _ => DeviceSpec::tesla_c1060(),
+    };
+    let inst = tsp::uniform_random("profile", n, 1000.0, 19);
+    let params = AcoParams::default().nn(20.min(n - 1)).seed(9);
+    let mode = if n <= 128 { SimMode::Full } else { SimMode::SampleBlocks(4) };
+
+    println!("profiling on {} (n = {n}, m = {n} ants)\n", dev.name);
+
+    println!("tour construction:");
+    for strategy in [
+        TourStrategy::Baseline,
+        TourStrategy::DeviceRng,
+        TourStrategy::NNListSharedTex,
+        TourStrategy::DataParallelTex,
+    ] {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        let r = run_tour(&dev, &mut gm, bufs, strategy, 1.0, 2.0, 5, 0, mode)
+            .expect("launch fits the device");
+        print_time(strategy.paper_row(), &r.tour_time);
+        println!(
+            "    occupancy {:>5.2} ({} warps/SM, limited by {:?})",
+            r.occupancy.occupancy, r.occupancy.active_warps_per_sm, r.occupancy.limiter
+        );
+        print_stats(&r.stats);
+    }
+
+    println!("\npheromone update:");
+    for strategy in PheromoneStrategy::ALL {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        let tours: Vec<Tour> = (0..n)
+            .map(|a| {
+                let mut pm = PmRng::new(PmRng::thread_seed(2, a as u64));
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    let j = (pm.next_f64() * (i + 1) as f64) as usize;
+                    order.swap(i, j);
+                }
+                Tour::new_unchecked(order)
+            })
+            .collect();
+        bufs.upload_tours(&mut gm, &tours, inst.matrix());
+        let r = run_pheromone(&dev, &mut gm, bufs, strategy, 0.5, mode)
+            .expect("launch fits the device");
+        print_time(strategy.paper_row(), &r.time);
+        print_stats(&r.stats);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: solve a TSP instance with the Ant System, on the CPU and on
+//! a simulated Tesla M2050.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{GpuAntSystem, PheromoneStrategy, TourStrategy};
+use aco_gpu::core::{AcoParams, AntSystem};
+use aco_gpu::simt::DeviceSpec;
+use aco_gpu::tsp;
+
+fn main() {
+    // A 100-city instance; swap in `tsp::tsplib::load("kroC100.tsp")` to
+    // use a real TSPLIB file.
+    let inst = tsp::uniform_random("demo100", 100, 1000.0, 42);
+    let params = AcoParams::default().nn(20).seed(7);
+    let iterations = 30;
+
+    // Greedy baseline for context.
+    let greedy = tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+    println!("instance {:>10}: n = {}, greedy nearest-neighbour = {greedy}", inst.name(), inst.n());
+
+    // --- CPU reference (the paper's sequential baseline) -------------------
+    let mut cpu = AntSystem::new(&inst, params.clone());
+    let cpu_best = cpu.run(iterations, TourPolicy::NearestNeighborList);
+    println!("CPU Ant System          : best {cpu_best} after {iterations} iterations");
+
+    // --- the paper's GPU design on the simulated Fermi ---------------------
+    let mut gpu = GpuAntSystem::new(
+        &inst,
+        params,
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::DataParallelTex,
+        PheromoneStrategy::AtomicShared,
+    );
+    let gpu_best = gpu.run(iterations).expect("launch fits the device");
+    let (tour, _) = gpu.best().expect("iterations ran");
+    println!("GPU Ant System (M2050)  : best {gpu_best} after {iterations} iterations");
+    assert!(tour.is_valid());
+
+    println!(
+        "both beat greedy by {:.1}% / {:.1}%",
+        100.0 * (greedy as f64 - cpu_best as f64) / greedy as f64,
+        100.0 * (greedy as f64 - gpu_best as f64) / greedy as f64,
+    );
+}

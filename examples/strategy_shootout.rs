@@ -1,0 +1,64 @@
+//! Strategy shootout: every kernel strategy of the paper on one instance,
+//! both devices — a miniature of Tables II–IV for your own workload.
+//!
+//! ```text
+//! cargo run --release --example strategy_shootout [n]
+//! ```
+
+use aco_gpu::core::gpu::{
+    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
+};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::rng::PmRng;
+use aco_gpu::simt::{DeviceSpec, GlobalMem, SimMode};
+use aco_gpu::tsp::{self, Tour};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(96);
+    let inst = tsp::uniform_random("shootout", n, 1000.0, 11);
+    let params = AcoParams::default().nn(20.min(n - 1)).seed(3);
+    let mode = if n <= 128 { SimMode::Full } else { SimMode::SampleBlocks(4) };
+
+    println!("tour construction on {n} cities, m = n ants (ms, modeled):\n");
+    println!("{:<42} {:>12} {:>12}", "strategy", "C1060", "M2050");
+    for strategy in TourStrategy::ALL {
+        let mut row = format!("{:<42}", strategy.paper_row());
+        for dev in [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()] {
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+            let r = run_tour(&dev, &mut gm, bufs, strategy, 1.0, 2.0, 5, 0, mode)
+                .expect("launch fits the device");
+            row.push_str(&format!(" {:>12.3}", r.total_ms()));
+        }
+        println!("{row}");
+    }
+
+    println!("\npheromone update (ms, modeled):\n");
+    println!("{:<42} {:>12} {:>12}", "strategy", "C1060", "M2050");
+    for strategy in PheromoneStrategy::ALL {
+        let mut row = format!("{:<42}", strategy.paper_row());
+        for dev in [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()] {
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+            // Host-built tours so the update sees realistic edges.
+            let tours: Vec<Tour> = (0..n)
+                .map(|a| {
+                    let mut pm = PmRng::new(PmRng::thread_seed(4, a as u64));
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    for i in (1..n).rev() {
+                        let j = (pm.next_f64() * (i + 1) as f64) as usize;
+                        order.swap(i, j);
+                    }
+                    Tour::new_unchecked(order)
+                })
+                .collect();
+            bufs.upload_tours(&mut gm, &tours, inst.matrix());
+            let r = run_pheromone(&dev, &mut gm, bufs, strategy, 0.5, mode)
+                .expect("launch fits the device");
+            row.push_str(&format!(" {:>12.3}", r.time.total_ms));
+        }
+        println!("{row}");
+    }
+
+    println!("\n(the paper's full tables: cargo run --release -p aco-bench --bin repro)");
+}

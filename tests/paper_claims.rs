@@ -1,0 +1,107 @@
+//! The paper's headline claims, checked end-to-end through the bench
+//! harness at small scale (att48 + kroC100, full-fidelity simulation).
+
+use aco_bench::{table2, table3, table4, ModePolicy, RunConfig};
+use aco_simt::DeviceSpec;
+
+fn cfg() -> RunConfig {
+    RunConfig { max_n: 100, mode: ModePolicy::Full, threads: 4 }
+}
+
+#[test]
+fn table2_every_successive_optimisation_wins_on_small_instances() {
+    let t = table2(&DeviceSpec::tesla_c1060(), &cfg());
+    for c in 0..t.cols.len() {
+        // Rows 1..4 are strictly improving in the paper on every instance.
+        for r in 1..4 {
+            assert!(
+                t.values[r][c] < t.values[r - 1][c],
+                "row {} must beat row {} on {} ({} vs {})",
+                r + 1,
+                r,
+                t.cols[c],
+                t.values[r][c],
+                t.values[r - 1][c]
+            );
+        }
+        // The paper's headline: data parallelism is the best strategy on
+        // small instances (Table II: 0.34 vs 1.35 on att48).
+        assert!(t.values[7][c] < t.values[5][c], "DP must win on {}", t.cols[c]);
+    }
+}
+
+#[test]
+fn table2_total_speedup_is_an_order_of_magnitude() {
+    let t = table2(&DeviceSpec::tesla_c1060(), &cfg());
+    let last = t.rows.len() - 1;
+    assert!(t.rows[last].contains("speed-up"));
+    for c in 0..t.cols.len() {
+        assert!(
+            t.values[last][c] > 10.0,
+            "total v1->v8 speed-up on {} should exceed 10x (paper: 38-63x), got {:.1}",
+            t.cols[c],
+            t.values[last][c]
+        );
+    }
+}
+
+#[test]
+fn tables34_atomics_beat_every_scatter_variant() {
+    for t in [table3(&cfg()), table4(&cfg())] {
+        for c in 0..t.cols.len() {
+            for r in 2..5 {
+                assert!(
+                    t.values[0][c] < t.values[r][c],
+                    "{}: atomic+shared must beat row {} on {}",
+                    t.title,
+                    r + 1,
+                    t.cols[c]
+                );
+            }
+            // Tiling recovers bandwidth; reduction recovers more.
+            assert!(t.values[3][c] < t.values[4][c], "{}: tiling helps on {}", t.title, t.cols[c]);
+            assert!(
+                t.values[2][c] < t.values[3][c],
+                "{}: thread reduction helps on {}",
+                t.title,
+                t.cols[c]
+            );
+        }
+    }
+}
+
+#[test]
+fn fermi_atomics_are_several_times_faster_than_gt200_emulation() {
+    let t3 = table3(&cfg());
+    let t4 = table4(&cfg());
+    for c in 0..t3.cols.len() {
+        let ratio = t3.values[0][c] / t4.values[0][c];
+        assert!(
+            ratio > 2.0,
+            "atomic+shared on {} should be much faster on the M2050 (got {ratio:.2}x)",
+            t3.cols[c]
+        );
+    }
+}
+
+#[test]
+fn measured_cells_track_paper_cells_in_order_of_magnitude() {
+    // Absolute times cannot match hardware we do not have, but every
+    // measured cell must land within a factor of 8 of the paper's cell
+    // for the small instances (where simulation is exact).
+    let t = table2(&DeviceSpec::tesla_c1060(), &cfg());
+    let paper = t.paper.as_ref().expect("table2 embeds paper values");
+    for r in 0..8 {
+        for c in 0..t.cols.len() {
+            let ratio = t.values[r][c] / paper[r][c];
+            assert!(
+                (1.0 / 8.0..=8.0).contains(&ratio),
+                "{} on {}: measured {:.2} vs paper {:.2} (x{ratio:.2})",
+                t.rows[r],
+                t.cols[c],
+                t.values[r][c],
+                paper[r][c]
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate property tests: for arbitrary small instances and seeds,
+//! every GPU construction strategy yields valid tours, and every pheromone
+//! strategy computes the same update as the host reference.
+
+use aco_gpu::core::gpu::tour::{RngKind, TabuPlacement, TaskOpts, TaskTourKernel};
+use aco_gpu::core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::{launch, DeviceSpec, GlobalMem, SimMode};
+use aco_gpu::tsp::{self, Tour};
+use proptest::prelude::*;
+
+fn devices() -> [DeviceSpec; 2] {
+    [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_tour_strategy_builds_valid_tours(
+        n in 16usize..72,
+        seed in 0u64..1_000_000,
+        strat_idx in 0usize..8,
+        dev_idx in 0usize..2,
+    ) {
+        let strategy = TourStrategy::ALL[strat_idx];
+        let dev = &devices()[dev_idx];
+        let inst = tsp::uniform_random("prop", n, 500.0, seed);
+        let params = AcoParams::default().nn(8.min(n - 1)).seed(seed);
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        let run = run_tour(dev, &mut gm, bufs, strategy, 1.0, 2.0, seed, 0, SimMode::Full)
+            .expect("valid launch");
+        prop_assert!(run.total_ms() > 0.0);
+        for t in bufs.read_tours(&gm) {
+            let tour = Tour::new(t[..n].to_vec()).expect("permutation");
+            prop_assert!(tour.is_valid());
+            prop_assert_eq!(t[n], t[0], "closed tour");
+        }
+    }
+
+    #[test]
+    fn every_pheromone_strategy_matches_the_reference_update(
+        n in 12usize..40,
+        seed in 0u64..1_000_000,
+        strat_idx in 0usize..5,
+        dev_idx in 0usize..2,
+    ) {
+        let strategy = PheromoneStrategy::ALL[strat_idx];
+        let dev = &devices()[dev_idx];
+        let inst = tsp::uniform_random("prop2", n, 500.0, seed);
+        let params = AcoParams::default().nn(6.min(n - 1)).seed(seed);
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        // Host tours via the library RNG.
+        let mut rng = aco_gpu::simt::rng::PmRng::new((seed % 1000 + 1) as u32);
+        let tours: Vec<Tour> = (0..n)
+            .map(|_| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    let j = (rng.next_f64() * (i + 1) as f64) as usize;
+                    order.swap(i, j);
+                }
+                Tour::new_unchecked(order)
+            })
+            .collect();
+        bufs.upload_tours(&mut gm, &tours, inst.matrix());
+
+        // Host reference (exactly the device's padded-edge semantics for
+        // atomics; off-diagonal cells only, which is what the search reads).
+        let rho = 0.5f32;
+        let lengths = bufs.read_lengths(&gm);
+        let mut want: Vec<f32> = gm.f32(bufs.tau).iter().map(|&t| t * (1.0 - rho)).collect();
+        for (a, t) in tours.iter().enumerate() {
+            let dep = 1.0 / lengths[a];
+            for s in 0..n {
+                let i = t.order()[s] as usize;
+                let j = t.order()[(s + 1) % n] as usize;
+                want[i * n + j] += dep;
+                want[j * n + i] += dep;
+            }
+        }
+
+        run_pheromone(dev, &mut gm, bufs, strategy, rho, SimMode::Full).expect("valid launch");
+        let got = gm.f32(bufs.tau);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue; // atomics deposit harmless padding self-edges
+                }
+                let (g, w) = (got[i * n + j], want[i * n + j]);
+                let rel = (g - w).abs() / w.abs().max(1e-9);
+                prop_assert!(rel < 5e-3, "{strategy:?} cell ({i},{j}): {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn task_kernel_configurations_are_all_valid(
+        n in 16usize..64,
+        use_choice in any::<bool>(),
+        use_nn in any::<bool>(),
+        shared_tabu in any::<bool>(),
+        texture in any::<bool>(),
+        curand in any::<bool>(),
+    ) {
+        // Every point of the 5-dimensional option cube must produce valid
+        // tours (the 6 paper rows are specific corners of this cube).
+        let inst = tsp::uniform_random("cube", n, 400.0, 99);
+        let params = AcoParams::default().nn(6.min(n - 1));
+        let dev = DeviceSpec::tesla_c1060();
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        if use_choice {
+            let ck = aco_gpu::core::gpu::choice::ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
+            launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).expect("choice");
+        }
+        bufs.clear_visited(&mut gm);
+        let k = TaskTourKernel {
+            bufs,
+            opts: TaskOpts {
+                use_choice_table: use_choice,
+                rng: if curand { RngKind::CurandLike } else { RngKind::DeviceLcg },
+                use_nn_list: use_nn,
+                tabu: if shared_tabu { TabuPlacement::Shared } else { TabuPlacement::Global },
+                texture,
+                block: if shared_tabu { 32 } else { 128 },
+            },
+            alpha: 1.0,
+            beta: 2.0,
+            seed: 5,
+            iteration: 0,
+        };
+        let cfg = k.config(&dev);
+        launch(&dev, &cfg, &k, &mut gm, SimMode::Full).expect("valid launch");
+        for t in bufs.read_tours(&gm) {
+            prop_assert!(Tour::new(t[..n].to_vec()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Validation of block-sampled timing extrapolation.
+//!
+//! The repro harness times pr1002/pr2392 launches by executing a
+//! deterministic subset of blocks and scaling the counters (the paper's
+//! kernels are block-homogeneous). These tests pin the technique: on
+//! instances small enough to simulate fully, sampled estimates must agree
+//! with full execution.
+
+use aco_gpu::core::gpu::{
+    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
+};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::rng::PmRng;
+use aco_gpu::simt::{DeviceSpec, GlobalMem, SimMode};
+use aco_gpu::tsp::{self, Tour};
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+fn host_tours(n: usize) -> Vec<Tour> {
+    (0..n)
+        .map(|a| {
+            let mut pm = PmRng::new(PmRng::thread_seed(5, a as u64));
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = (pm.next_f64() * (i + 1) as f64) as usize;
+                order.swap(i, j);
+            }
+            Tour::new_unchecked(order)
+        })
+        .collect()
+}
+
+#[test]
+fn sampled_tour_times_match_full_execution() {
+    // 512 ants = 4 task blocks / 512 DP blocks: enough blocks to sample.
+    let inst = tsp::uniform_random("samp", 256, 1000.0, 3);
+    let params = AcoParams::default().nn(20).ants(512).seed(2);
+    let dev = DeviceSpec::tesla_c1060();
+
+    for strategy in [TourStrategy::NNList, TourStrategy::DataParallelTex] {
+        let time_of = |mode: SimMode| {
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+            run_tour(&dev, &mut gm, bufs, strategy, 1.0, 2.0, 7, 0, mode)
+                .expect("valid launch")
+                .total_ms()
+        };
+        let full = time_of(SimMode::Full);
+        let sampled = time_of(SimMode::SampleBlocks(2));
+        assert!(
+            rel(sampled, full) < 0.25,
+            "{strategy:?}: sampled {sampled:.3} vs full {full:.3}"
+        );
+    }
+}
+
+#[test]
+fn sampled_pheromone_times_match_full_execution() {
+    let inst = tsp::uniform_random("samp2", 160, 900.0, 4);
+    let params = AcoParams::default().nn(20).seed(6);
+    let dev = DeviceSpec::tesla_m2050();
+    let tours = host_tours(160);
+
+    for strategy in [
+        PheromoneStrategy::AtomicShared,
+        PheromoneStrategy::Scatter,
+        PheromoneStrategy::ScatterTiled,
+        PheromoneStrategy::Reduction,
+    ] {
+        let time_of = |mode: SimMode| {
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+            bufs.upload_tours(&mut gm, &tours, inst.matrix());
+            run_pheromone(&dev, &mut gm, bufs, strategy, 0.5, mode)
+                .expect("valid launch")
+                .time
+                .total_ms
+        };
+        let full = time_of(SimMode::Full);
+        let sampled = time_of(SimMode::SampleBlocks(3));
+        assert!(
+            rel(sampled, full) < 0.20,
+            "{strategy:?}: sampled {sampled:.3} vs full {full:.3}"
+        );
+    }
+}
+
+#[test]
+fn sampling_preserves_counter_totals() {
+    // Not just time: the extrapolated DRAM traffic and instruction counts
+    // must track the full run for a homogeneous kernel.
+    let inst = tsp::uniform_random("samp3", 128, 800.0, 9);
+    let params = AcoParams::default().nn(16).ants(512).seed(1);
+    let dev = DeviceSpec::tesla_c1060();
+
+    let stats_of = |mode: SimMode| {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        run_tour(&dev, &mut gm, bufs, TourStrategy::NNList, 1.0, 2.0, 3, 0, mode)
+            .expect("valid launch")
+            .stats
+    };
+    let full = stats_of(SimMode::Full);
+    let sampled = stats_of(SimMode::SampleBlocks(2));
+    assert!(rel(sampled.dram_bytes, full.dram_bytes) < 0.25);
+    assert!(rel(sampled.warp_instructions, full.warp_instructions) < 0.25);
+    assert!(rel(sampled.rng_calls, full.rng_calls) < 0.25);
+}
