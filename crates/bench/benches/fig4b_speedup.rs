@@ -25,7 +25,13 @@ fn bench(c: &mut Criterion) {
                 let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
                 let ck = aco_core::gpu::choice::ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
                 launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).expect("choice");
-                let k = DataParallelTourKernel { bufs, texture: true, seed: 5, iteration: 0, block_override: None };
+                let k = DataParallelTourKernel {
+                    bufs,
+                    texture: true,
+                    seed: 5,
+                    iteration: 0,
+                    block_override: None,
+                };
                 launch(&dev, &k.config(), &k, &mut gm, SimMode::Full)
                     .expect("valid launch")
                     .time

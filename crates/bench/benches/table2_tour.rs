@@ -19,11 +19,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table2_att48");
     g.sample_size(10);
-    for strategy in [
-        TourStrategy::DeviceRng,
-        TourStrategy::NNListSharedTex,
-        TourStrategy::DataParallelTex,
-    ] {
+    for strategy in
+        [TourStrategy::DeviceRng, TourStrategy::NNListSharedTex, TourStrategy::DataParallelTex]
+    {
         g.bench_function(strategy.paper_row(), |b| {
             b.iter(|| {
                 let mut gm = GlobalMem::new();

@@ -19,11 +19,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table3_att48");
     g.sample_size(10);
-    for strategy in [
-        PheromoneStrategy::AtomicShared,
-        PheromoneStrategy::Reduction,
-        PheromoneStrategy::Scatter,
-    ] {
+    for strategy in
+        [PheromoneStrategy::AtomicShared, PheromoneStrategy::Reduction, PheromoneStrategy::Scatter]
+    {
         g.bench_function(strategy.paper_row(), |b| {
             b.iter(|| {
                 let mut gm = GlobalMem::new();

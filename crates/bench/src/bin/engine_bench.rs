@@ -1,0 +1,139 @@
+//! Engine throughput benchmark → `BENCH_engine.json`.
+//!
+//! ```text
+//! engine_bench [--jobs N] [--workers W] [--n CITIES] [--iters I] [--out FILE]
+//! ```
+//!
+//! Submits a fixed, seeded batch of solve jobs to the engine at several
+//! worker counts and records wall-clock throughput plus cache
+//! effectiveness. The JSON output is append-friendly for tracking the
+//! perf trajectory across PRs: one object with a `runs` array, one entry
+//! per worker count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use aco_core::cpu::TourPolicy;
+use aco_core::AcoParams;
+use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
+
+struct Args {
+    jobs: usize,
+    workers: Vec<usize>,
+    n: usize,
+    iters: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { jobs: 16, workers: vec![1, 2, 4], n: 48, iters: 5, out: "BENCH_engine.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--jobs" => args.jobs = next("--jobs").parse().expect("--jobs N"),
+            "--workers" => {
+                args.workers = next("--workers")
+                    .split(',')
+                    .map(|w| w.parse().expect("--workers W1,W2,..."))
+                    .collect();
+            }
+            "--n" => args.n = next("--n").parse().expect("--n CITIES"),
+            "--iters" => args.iters = next("--iters").parse().expect("--iters I"),
+            "--out" => args.out = next("--out").into(),
+            other => {
+                eprintln!(
+                    "unknown arg {other}\nusage: engine_bench [--jobs N] [--workers W1,W2] \
+                     [--n CITIES] [--iters I] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The benchmark batch: a seed sweep over three backends on two shared
+/// instances, so the artifact cache is exercised the way real parameter
+/// studies exercise it.
+fn batch(jobs: usize, n: usize, iters: usize) -> Vec<SolveRequest> {
+    let a = Arc::new(aco_tsp::uniform_random("bench-a", n, 1000.0, 0xBE));
+    let b = Arc::new(aco_tsp::uniform_random("bench-b", n + n / 2, 1000.0, 0xEF));
+    let params = AcoParams::default().nn(15.min(n - 1)).ants(n.min(32));
+    (0..jobs)
+        .map(|j| {
+            let inst = if j % 2 == 0 { Arc::clone(&a) } else { Arc::clone(&b) };
+            let backend = match j % 3 {
+                0 => Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
+                1 => Backend::CpuParallel { policy: TourPolicy::NearestNeighborList, threads: 4 },
+                _ => Backend::Auto,
+            };
+            SolveRequest::new(inst, params.clone())
+                .backend(backend)
+                .iterations(iters)
+                .seed(j as u64)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut runs = Vec::new();
+
+    for &workers in &args.workers {
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        // Instance generation (O(n^2) matrices) stays outside the timed
+        // region; wall_ms measures engine throughput only.
+        let reqs = batch(args.jobs, args.n, args.iters);
+        let t0 = Instant::now();
+        let reports = engine.run_batch(reqs);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        let best: u64 = reports
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|rep| rep.best_len))
+            .min()
+            .unwrap_or(0);
+        let stats = engine.cache_stats();
+        println!(
+            "workers {workers}: {ok}/{} jobs in {wall_ms:.1} ms ({:.1} jobs/s), best {best}, \
+             cache {}h/{}m",
+            args.jobs,
+            ok as f64 / (wall_ms / 1e3),
+            stats.artifact_hits,
+            stats.artifact_misses,
+        );
+        runs.push(format!(
+            "    {{\"workers\": {workers}, \"jobs\": {}, \"ok\": {ok}, \"wall_ms\": {wall_ms:.3}, \
+             \"jobs_per_sec\": {:.3}, \"best\": {best}, \"artifact_hits\": {}, \
+             \"artifact_misses\": {}, \"decision_hits\": {}, \"decision_misses\": {}}}",
+            args.jobs,
+            ok as f64 / (wall_ms / 1e3),
+            stats.artifact_hits,
+            stats.artifact_misses,
+            stats.decision_hits,
+            stats.decision_misses,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batch\",\n  \"jobs\": {},\n  \"n\": {},\n  \"iterations\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        args.jobs,
+        args.n,
+        args.iters,
+        runs.join(",\n")
+    );
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => println!("-> {}", args.out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+}

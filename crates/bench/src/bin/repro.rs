@@ -74,7 +74,9 @@ fn main() {
 
     let run = |name: &str, cfg: &RunConfig| match name {
         "table1" => println!("{}", aco_bench::table1()),
-        "table2" => emit("table2_tour_construction", aco_bench::table2(&DeviceSpec::tesla_c1060(), cfg)),
+        "table2" => {
+            emit("table2_tour_construction", aco_bench::table2(&DeviceSpec::tesla_c1060(), cfg))
+        }
         "table3" => emit("table3_pheromone_c1060", aco_bench::table3(cfg)),
         "table4" => emit("table4_pheromone_m2050", aco_bench::table4(cfg)),
         "fig4a" => emit("fig4a_speedup_nn", aco_bench::fig4a(cfg)),

@@ -14,9 +14,7 @@ use std::sync::Mutex;
 
 use aco_core::cpu::ant_system::model as cpu_model;
 use aco_core::cpu::{AntSystem, CpuModel, OpCounter, TourPolicy};
-use aco_core::gpu::{
-    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
-};
+use aco_core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_core::params::AcoParams;
 use aco_core::quality::{cpu_quality, gpu_quality};
 use aco_simt::rng::PmRng;
@@ -78,18 +76,15 @@ pub fn paper_params() -> AcoParams {
 }
 
 fn instances_upto(max_n: usize) -> Vec<TspInstance> {
-    aco_tsp::paper_instances()
-        .into_iter()
-        .filter(|i| i.n() <= max_n)
-        .collect()
+    aco_tsp::paper_instances().into_iter().filter(|i| i.n() <= max_n).collect()
 }
 
-/// Run `jobs` (each returning `(row, col, value)`) across worker threads.
-/// Jobs may borrow from the caller (scoped threads).
-fn parallel_cells<'a>(
-    jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + 'a>>,
-    threads: usize,
-) -> Vec<(usize, usize, f64)> {
+/// One deferred table cell: returns `(row, col, value)` when run.
+type CellJob<'a> = Box<dyn FnOnce() -> (usize, usize, f64) + Send + 'a>;
+
+/// Run `jobs` across worker threads. Jobs may borrow from the caller
+/// (scoped threads).
+fn parallel_cells<'a>(jobs: Vec<CellJob<'a>>, threads: usize) -> Vec<(usize, usize, f64)> {
     let threads = threads.max(1);
     let jobs = Mutex::new(jobs);
     let out = Mutex::new(Vec::new());
@@ -138,7 +133,7 @@ pub fn table2(dev: &DeviceSpec, cfg: &RunConfig) -> TableData {
     let instances = instances_upto(cfg.max_n);
     let params = paper_params();
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, strategy) in TourStrategy::ALL.into_iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -148,7 +143,15 @@ pub fn table2(dev: &DeviceSpec, cfg: &RunConfig) -> TableData {
                 let mut gm = GlobalMem::new();
                 let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
                 let run = run_tour(
-                    &dev, &mut gm, bufs, strategy, params.alpha, params.beta, params.seed, 0, mode,
+                    &dev,
+                    &mut gm,
+                    bufs,
+                    strategy,
+                    params.alpha,
+                    params.beta,
+                    params.seed,
+                    0,
+                    mode,
                 )
                 .expect("paper-size launches are valid");
                 (r, c, run.total_ms())
@@ -185,13 +188,19 @@ pub fn table2(dev: &DeviceSpec, cfg: &RunConfig) -> TableData {
 /// Shared implementation of Tables III (C1060) and IV (M2050): pheromone
 /// update over host-built random tours (the update cost is
 /// tour-content-insensitive; only edge positions matter).
-fn table34(dev: &DeviceSpec, cfg: &RunConfig, paper_ms: &[[f64; 6]; 5], slowdown: &[f64; 6], title: &str) -> TableData {
+fn table34(
+    dev: &DeviceSpec,
+    cfg: &RunConfig,
+    paper_ms: &[[f64; 6]; 5],
+    slowdown: &[f64; 6],
+    title: &str,
+) -> TableData {
     // The paper's pheromone tables stop at pr1002.
     let instances: Vec<TspInstance> =
         instances_upto(cfg.max_n.min(1002)).into_iter().take(6).collect();
     let params = paper_params();
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, strategy) in PheromoneStrategy::ALL.into_iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -300,7 +309,13 @@ pub fn cpu_tour_ms(inst: &TspInstance, params: &AcoParams, policy: TourPolicy) -
 
 /// Figure 4(a)/(b) generator: tour-construction speed-up (CPU / GPU) per
 /// instance on both devices.
-fn fig4(cfg: &RunConfig, policy: TourPolicy, strategy: TourStrategy, title: &str, peak: (f64, f64)) -> TableData {
+fn fig4(
+    cfg: &RunConfig,
+    policy: TourPolicy,
+    strategy: TourStrategy,
+    title: &str,
+    peak: (f64, f64),
+) -> TableData {
     let instances = instances_upto(cfg.max_n);
     let params = paper_params();
 
@@ -309,7 +324,7 @@ fn fig4(cfg: &RunConfig, policy: TourPolicy, strategy: TourStrategy, title: &str
         instances.iter().map(|inst| cpu_tour_ms(inst, &params, policy)).collect();
 
     let devices = [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()];
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, dev) in devices.iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -319,7 +334,15 @@ fn fig4(cfg: &RunConfig, policy: TourPolicy, strategy: TourStrategy, title: &str
                 let mut gm = GlobalMem::new();
                 let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
                 let run = run_tour(
-                    &dev, &mut gm, bufs, strategy, params.alpha, params.beta, params.seed, 0, mode,
+                    &dev,
+                    &mut gm,
+                    bufs,
+                    strategy,
+                    params.alpha,
+                    params.beta,
+                    params.seed,
+                    0,
+                    mode,
                 )
                 .expect("paper-size launches are valid");
                 (r, c, run.total_ms())
@@ -331,9 +354,8 @@ fn fig4(cfg: &RunConfig, policy: TourPolicy, strategy: TourStrategy, title: &str
     for (r, c, v) in parallel_cells(jobs, cfg.threads) {
         gpu_ms[r][c] = v;
     }
-    let values: Vec<Vec<f64>> = (0..2)
-        .map(|r| (0..instances.len()).map(|c| cpu_ms[c] / gpu_ms[r][c]).collect())
-        .collect();
+    let values: Vec<Vec<f64>> =
+        (0..2).map(|r| (0..instances.len()).map(|c| cpu_ms[c] / gpu_ms[r][c]).collect()).collect();
 
     TableData {
         title: format!("{title} — paper peaks: {}x (C1060), {}x (M2050)", peak.0, peak.1),
@@ -379,7 +401,7 @@ pub fn fig5(cfg: &RunConfig) -> TableData {
         .collect();
 
     let devices = [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()];
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, dev) in devices.iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -402,7 +424,12 @@ pub fn fig5(cfg: &RunConfig) -> TableData {
                     .collect();
                 bufs.upload_tours(&mut gm, &tours, inst.matrix());
                 let run = run_pheromone(
-                    &dev, &mut gm, bufs, PheromoneStrategy::AtomicShared, params.rho, mode,
+                    &dev,
+                    &mut gm,
+                    bufs,
+                    PheromoneStrategy::AtomicShared,
+                    params.rho,
+                    mode,
                 )
                 .expect("paper-size launches are valid");
                 (r, c, run.time.total_ms)
@@ -414,9 +441,8 @@ pub fn fig5(cfg: &RunConfig) -> TableData {
     for (r, c, v) in parallel_cells(jobs, cfg.threads) {
         gpu_ms[r][c] = v;
     }
-    let values: Vec<Vec<f64>> = (0..2)
-        .map(|r| (0..instances.len()).map(|c| cpu_ms[c] / gpu_ms[r][c]).collect())
-        .collect();
+    let values: Vec<Vec<f64>> =
+        (0..2).map(|r| (0..instances.len()).map(|c| cpu_ms[c] / gpu_ms[r][c]).collect()).collect();
 
     TableData {
         title: format!(
@@ -438,15 +464,13 @@ pub fn fig5(cfg: &RunConfig) -> TableData {
 /// vs occupancy vs tile count trade-off).
 pub fn ablation_block(cfg: &RunConfig) -> TableData {
     use aco_core::gpu::tour::DataParallelTourKernel;
-    let instances: Vec<TspInstance> = instances_upto(cfg.max_n.min(1002))
-        .into_iter()
-        .filter(|i| i.n() >= 100)
-        .collect();
+    let instances: Vec<TspInstance> =
+        instances_upto(cfg.max_n.min(1002)).into_iter().filter(|i| i.n() >= 100).collect();
     let params = paper_params();
     let blocks = [32u32, 64, 128, 256, 512];
     let dev = DeviceSpec::tesla_c1060();
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, &block) in blocks.iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -493,14 +517,12 @@ pub fn ablation_block(cfg: &RunConfig) -> TableData {
 /// Ablation: candidate-list depth for the NN-list kernel (the paper fixes
 /// NN = 30, citing 15–40 as the usual range).
 pub fn ablation_nn(cfg: &RunConfig) -> TableData {
-    let instances: Vec<TspInstance> = instances_upto(cfg.max_n.min(1002))
-        .into_iter()
-        .filter(|i| i.n() >= 100)
-        .collect();
+    let instances: Vec<TspInstance> =
+        instances_upto(cfg.max_n.min(1002)).into_iter().filter(|i| i.n() >= 100).collect();
     let depths = [10usize, 20, 30, 40];
     let dev = DeviceSpec::tesla_c1060();
 
-    let mut jobs: Vec<Box<dyn FnOnce() -> (usize, usize, f64) + Send + '_>> = Vec::new();
+    let mut jobs: Vec<CellJob<'_>> = Vec::new();
     for (r, &nn) in depths.iter().enumerate() {
         for (c, inst) in instances.iter().enumerate() {
             let dev = dev.clone();
@@ -565,8 +587,16 @@ pub fn quality(cfg: &RunConfig) -> TableData {
     let gpu_nn: Vec<f64> = instances
         .iter()
         .map(|i| {
-            gpu_quality(i, &params, &dev, TourStrategy::NNList, PheromoneStrategy::AtomicShared, iters, &seeds)
-                .mean
+            gpu_quality(
+                i,
+                &params,
+                &dev,
+                TourStrategy::NNList,
+                PheromoneStrategy::AtomicShared,
+                iters,
+                &seeds,
+            )
+            .mean
         })
         .collect();
     rows.push("GPU task NN list".into());
@@ -643,10 +673,7 @@ mod tests {
         let t3 = table3(&small_cfg());
         let t4 = table4(&small_cfg());
         for c in 0..2 {
-            assert!(
-                t4.values[0][c] < t3.values[0][c],
-                "Fermi native atomics beat GT200 emulation"
-            );
+            assert!(t4.values[0][c] < t3.values[0][c], "Fermi native atomics beat GT200 emulation");
         }
     }
 

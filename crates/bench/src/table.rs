@@ -124,7 +124,11 @@ impl TableData {
     }
 
     /// Write the CSV next to the repository's `results/` directory.
-    pub fn write_csv(&self, dir: &std::path::Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+    pub fn write_csv(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.csv"));
         std::fs::write(&path, self.to_csv())?;

@@ -41,7 +41,7 @@ pub struct AntColonySystem<'a> {
     m: usize,
     tau: Vec<f64>,
     eta: Vec<f64>,
-    nn: NearestNeighborLists,
+    nn: std::sync::Arc<NearestNeighborLists>,
     rng: PmRng,
     tau0: f64,
     best: Option<(Tour, u64)>,
@@ -50,11 +50,23 @@ pub struct AntColonySystem<'a> {
 impl<'a> AntColonySystem<'a> {
     /// Set up an ACS colony. ACS traditionally uses few ants (book: 10).
     pub fn new(inst: &'a TspInstance, params: AcoParams, acs: AcsParams) -> Self {
-        let n = inst.n();
-        let m = params.num_ants.unwrap_or(10);
         let nn = NearestNeighborLists::build(inst.matrix(), params.nn_size)
             .expect("instance has >= 2 cities");
         let c_nn = nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::with_artifacts(inst, params, acs, std::sync::Arc::new(nn), c_nn)
+    }
+
+    /// Set up an ACS colony from precomputed artifacts (shared NN lists
+    /// and greedy-tour length); see `AntSystem::with_artifacts`.
+    pub fn with_artifacts(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        acs: AcsParams,
+        nn: std::sync::Arc<NearestNeighborLists>,
+        c_nn: u64,
+    ) -> Self {
+        let n = inst.n();
+        let m = params.num_ants.unwrap_or(10);
         let tau0 = 1.0 / (n as f64 * c_nn as f64);
         let mut eta = vec![0.0f64; n * n];
         for i in 0..n {
@@ -116,8 +128,8 @@ impl<'a> AntColonySystem<'a> {
             // Fallback: best over all unvisited cities.
             let mut best = usize::MAX;
             let mut best_v = f64::NEG_INFINITY;
-            for j in 0..self.n {
-                if !visited[j] {
+            for (j, &seen) in visited.iter().enumerate().take(self.n) {
+                if !seen {
                     let v = self.value(cur, j);
                     if v > best_v {
                         best_v = v;
@@ -185,7 +197,7 @@ impl<'a> AntColonySystem<'a> {
     pub fn iterate(&mut self) -> u64 {
         for _ in 0..self.m {
             let (tour, len) = self.construct_one();
-            if self.best.as_ref().map_or(true, |&(_, b)| len < b) {
+            if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
                 self.best = Some((tour, len));
             }
         }
@@ -223,11 +235,8 @@ mod tests {
     #[test]
     fn acs_finds_valid_improving_tours() {
         let inst = uniform_random("acs", 50, 1000.0, 21);
-        let mut acs = AntColonySystem::new(
-            &inst,
-            AcoParams::default().nn(15).seed(5),
-            AcsParams::default(),
-        );
+        let mut acs =
+            AntColonySystem::new(&inst, AcoParams::default().nn(15).seed(5), AcsParams::default());
         let first = acs.iterate();
         let last = acs.run(20);
         assert!(last <= first);
@@ -239,11 +248,8 @@ mod tests {
     #[test]
     fn local_update_pulls_towards_tau0() {
         let inst = uniform_random("acs", 30, 500.0, 22);
-        let mut acs = AntColonySystem::new(
-            &inst,
-            AcoParams::default().nn(10).seed(1),
-            AcsParams::default(),
-        );
+        let mut acs =
+            AntColonySystem::new(&inst, AcoParams::default().nn(10).seed(1), AcsParams::default());
         acs.run(5);
         // Pheromone never drops below tau0 (local rule is a convex
         // combination with tau0; global adds on top).
@@ -271,15 +277,9 @@ mod tests {
     fn acs_beats_nearest_neighbor_eventually() {
         let inst = uniform_random("acs", 60, 1000.0, 24);
         let nn_len = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
-        let mut acs = AntColonySystem::new(
-            &inst,
-            AcoParams::default().nn(20).seed(9),
-            AcsParams::default(),
-        );
+        let mut acs =
+            AntColonySystem::new(&inst, AcoParams::default().nn(20).seed(9), AcsParams::default());
         let best = acs.run(60);
-        assert!(
-            best <= nn_len,
-            "ACS ({best}) should match or beat greedy NN ({nn_len})"
-        );
+        assert!(best <= nn_len, "ACS ({best}) should match or beat greedy NN ({nn_len})");
     }
 }

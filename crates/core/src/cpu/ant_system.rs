@@ -66,7 +66,7 @@ pub struct AntSystem<'a> {
     eta: Vec<f64>,
     /// `tau^alpha * eta^beta`, recomputed per iteration.
     choice: Vec<f64>,
-    nn: NearestNeighborLists,
+    nn: std::sync::Arc<NearestNeighborLists>,
     rng: PmRng,
     best: Option<(Tour, u64)>,
     /// Initial pheromone level (`m / C_nn`).
@@ -74,13 +74,30 @@ pub struct AntSystem<'a> {
 }
 
 impl<'a> AntSystem<'a> {
-    /// Set up the colony on `inst`.
+    /// Set up the colony on `inst`, computing the nearest-neighbour lists
+    /// and greedy-tour length from scratch.
     pub fn new(inst: &'a TspInstance, params: AcoParams) -> Self {
-        let n = inst.n();
-        let m = params.ants_for(n);
         let nn = NearestNeighborLists::build(inst.matrix(), params.nn_size)
             .expect("instance has >= 2 cities");
         let c_nn = nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::with_artifacts(inst, params, std::sync::Arc::new(nn), c_nn)
+    }
+
+    /// Set up the colony from precomputed, shared artifacts: `nn`
+    /// candidate lists (depth ≥ `params.nn_size` is not required — the
+    /// lists are used as given, and the `Arc` lets a batch of colonies
+    /// share one allocation) and the nearest-neighbour tour length `c_nn`
+    /// from city 0.
+    /// The batch engine's artifact cache uses this to share the `O(n² log
+    /// n)` list construction across jobs on the same instance.
+    pub fn with_artifacts(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        nn: std::sync::Arc<NearestNeighborLists>,
+        c_nn: u64,
+    ) -> Self {
+        let n = inst.n();
+        let m = params.ants_for(n);
         let tau0 = m as f64 / c_nn as f64;
         let mut eta = vec![0.0f64; n * n];
         for i in 0..n {
@@ -157,7 +174,12 @@ impl<'a> AntSystem<'a> {
     /// Construct one tour under `policy` with an explicit RNG stream,
     /// counting into `c`. Immutable on `self` so colonies can run ants
     /// concurrently (see [`super::parallel`]).
-    pub fn construct_one(&self, rng: &mut PmRng, policy: TourPolicy, c: &mut OpCounter) -> (Tour, u64) {
+    pub fn construct_one(
+        &self,
+        rng: &mut PmRng,
+        policy: TourPolicy,
+        c: &mut OpCounter,
+    ) -> (Tour, u64) {
         let n = self.n;
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
@@ -190,7 +212,14 @@ impl<'a> AntSystem<'a> {
 
     /// Random-proportional step over the full feasible neighbourhood
     /// (ACOTSP's fully probabilistic rule; two passes like the C code).
-    fn step_full(&self, rng: &mut PmRng, cur: usize, visited: &[bool], prob: &mut [f64], c: &mut OpCounter) -> usize {
+    fn step_full(
+        &self,
+        rng: &mut PmRng,
+        cur: usize,
+        visited: &[bool],
+        prob: &mut [f64],
+        c: &mut OpCounter,
+    ) -> usize {
         let n = self.n;
         let row = &self.choice[cur * n..(cur + 1) * n];
         let mut sum = 0.0f64;
@@ -229,9 +258,9 @@ impl<'a> AntSystem<'a> {
         }
         if visited[j] {
             // Zero-probability cell hit by rounding; advance to feasible.
-            j = (0..n).find(|&k| !visited[k] && prob[k] > 0.0).unwrap_or_else(|| {
-                (0..n).find(|&k| !visited[k]).expect("feasible city exists")
-            });
+            j = (0..n)
+                .find(|&k| !visited[k] && prob[k] > 0.0)
+                .unwrap_or_else(|| (0..n).find(|&k| !visited[k]).expect("feasible city exists"));
         }
         j
     }
@@ -239,7 +268,14 @@ impl<'a> AntSystem<'a> {
     /// Candidate-list step (ACOTSP `neighbour_choose_and_move_to_next`):
     /// roulette over the unvisited nearest neighbours, falling back to the
     /// best `choice_info` city when all candidates are exhausted.
-    fn step_nn(&self, rng: &mut PmRng, cur: usize, visited: &[bool], prob: &mut [f64], c: &mut OpCounter) -> usize {
+    fn step_nn(
+        &self,
+        rng: &mut PmRng,
+        cur: usize,
+        visited: &[bool],
+        prob: &mut [f64],
+        c: &mut OpCounter,
+    ) -> usize {
         let n = self.n;
         let nn = self.nn.depth();
         let cands = self.nn.neighbors(cur);
@@ -297,7 +333,11 @@ impl<'a> AntSystem<'a> {
     }
 
     /// Construct tours for the whole colony from the colony's own stream.
-    pub fn construct_solutions(&mut self, policy: TourPolicy, c: &mut OpCounter) -> Vec<(Tour, u64)> {
+    pub fn construct_solutions(
+        &mut self,
+        policy: TourPolicy,
+        c: &mut OpCounter,
+    ) -> Vec<(Tour, u64)> {
         let mut rng = self.rng.clone();
         let sols = (0..self.m).map(|_| self.construct_one(&mut rng, policy, c)).collect();
         self.rng = rng;
@@ -383,7 +423,7 @@ impl<'a> AntSystem<'a> {
         let sols = self.construct_solutions(policy, &mut counters.tour);
         let iter_best = sols.iter().map(|&(_, l)| l).min().expect("m >= 1 ants");
         let best_tour = sols.iter().find(|&&(_, l)| l == iter_best).expect("found above");
-        if self.best.as_ref().map_or(true, |&(_, b)| iter_best < b) {
+        if self.best.as_ref().is_none_or(|&(_, b)| iter_best < b) {
             self.best = Some((best_tour.0.clone(), iter_best));
         }
         self.update_pheromone(&sols, &mut counters.update);

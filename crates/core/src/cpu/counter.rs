@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn merging_and_reset() {
-        let mut a = OpCounter { alu: 1, flops: 2, pow_calls: 3, loads: 4, stores: 5, rng: 6, branches: 7 };
+        let mut a =
+            OpCounter { alu: 1, flops: 2, pow_calls: 3, loads: 4, stores: 5, rng: 6, branches: 7 };
         let b = a;
         a.merge(&b);
         assert_eq!(a.alu, 2);

@@ -69,7 +69,7 @@ impl<'a> ElitistAntSystem<'a> {
         self.aco.refresh_choice(&mut c);
         let mut sols = self.aco.construct_solutions(self.policy, &mut c);
         sols.sort_by_key(|&(_, l)| l);
-        if self.best.as_ref().map_or(true, |&(_, b)| sols[0].1 < b) {
+        if self.best.as_ref().is_none_or(|&(_, b)| sols[0].1 < b) {
             self.best = Some(sols[0].clone());
         }
         let (best_tour, best_len) = self.best.as_ref().expect("set above").clone();
@@ -127,12 +127,9 @@ mod tests {
         let n = inst.n();
         let tau = el.tau();
         let avg: f64 = tau.iter().sum::<f64>() / tau.len() as f64;
-        let best_avg: f64 = tour
-            .edges()
-            .iter()
-            .map(|&(i, j)| tau[i as usize * n + j as usize])
-            .sum::<f64>()
-            / n as f64;
+        let best_avg: f64 =
+            tour.edges().iter().map(|&(i, j)| tau[i as usize * n + j as usize]).sum::<f64>()
+                / n as f64;
         assert!(best_avg > 2.0 * avg, "best edges: {best_avg:.3e} vs average {avg:.3e}");
     }
 

@@ -44,7 +44,7 @@ pub struct MaxMinAntSystem<'a> {
     tau: Vec<f64>,
     eta: Vec<f64>,
     choice: Vec<f64>,
-    nn: NearestNeighborLists,
+    nn: std::sync::Arc<NearestNeighborLists>,
     rng: PmRng,
     tau_max: f64,
     tau_min: f64,
@@ -56,11 +56,23 @@ pub struct MaxMinAntSystem<'a> {
 impl<'a> MaxMinAntSystem<'a> {
     /// Set up an MMAS colony.
     pub fn new(inst: &'a TspInstance, params: AcoParams, mmas: MmasParams) -> Self {
-        let n = inst.n();
-        let m = params.ants_for(n);
         let nn = NearestNeighborLists::build(inst.matrix(), params.nn_size)
             .expect("instance has >= 2 cities");
         let c_nn = nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::with_artifacts(inst, params, mmas, std::sync::Arc::new(nn), c_nn)
+    }
+
+    /// Set up an MMAS colony from precomputed artifacts (shared NN lists
+    /// and greedy-tour length); see `AntSystem::with_artifacts`.
+    pub fn with_artifacts(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        mmas: MmasParams,
+        nn: std::sync::Arc<NearestNeighborLists>,
+        c_nn: u64,
+    ) -> Self {
+        let n = inst.n();
+        let m = params.ants_for(n);
         let rho = params.rho as f64;
         let tau_max = 1.0 / (rho * c_nn as f64);
         let tau_min = tau_max / (2.0 * n as f64);
@@ -181,13 +193,13 @@ impl<'a> MaxMinAntSystem<'a> {
         let mut iter_best: Option<(Tour, u64)> = None;
         for _ in 0..self.m {
             let (tour, len) = self.construct_one();
-            if iter_best.as_ref().map_or(true, |&(_, b)| len < b) {
+            if iter_best.as_ref().is_none_or(|&(_, b)| len < b) {
                 iter_best = Some((tour, len));
             }
         }
         let iter_best = iter_best.expect("m >= 1 ants");
 
-        let improved = self.best.as_ref().map_or(true, |&(_, b)| iter_best.1 < b);
+        let improved = self.best.as_ref().is_none_or(|&(_, b)| iter_best.1 < b);
         if improved {
             // Tighter bounds as the best tour improves.
             self.best = Some(iter_best.clone());
@@ -207,11 +219,8 @@ impl<'a> MaxMinAntSystem<'a> {
 
         // Deposit: iteration-best, or best-so-far on the schedule.
         let use_gb = self.mmas.gb_every > 0 && self.iterations % self.mmas.gb_every == 0;
-        let (tour, len) = if use_gb {
-            self.best.as_ref().expect("set above").clone()
-        } else {
-            iter_best
-        };
+        let (tour, len) =
+            if use_gb { self.best.as_ref().expect("set above").clone() } else { iter_best };
         let dep = 1.0 / len as f64;
         for k in 0..self.n {
             let i = tour.order()[k] as usize;
@@ -263,17 +272,17 @@ mod tests {
     #[test]
     fn bounds_hold_after_every_iteration() {
         let inst = uniform_random("mmas", 40, 800.0, 31);
-        let mut mmas = MaxMinAntSystem::new(
-            &inst,
-            AcoParams::default().nn(15).seed(4),
-            MmasParams::default(),
-        );
+        let mut mmas =
+            MaxMinAntSystem::new(&inst, AcoParams::default().nn(15).seed(4), MmasParams::default());
         for _ in 0..10 {
             mmas.iterate();
             let (lo, hi) = mmas.bounds();
             assert!(lo > 0.0 && hi > lo);
             for &t in mmas.tau() {
-                assert!(t >= lo * (1.0 - 1e-12) && t <= hi * (1.0 + 1e-12), "tau {t} outside [{lo}, {hi}]");
+                assert!(
+                    t >= lo * (1.0 - 1e-12) && t <= hi * (1.0 + 1e-12),
+                    "tau {t} outside [{lo}, {hi}]"
+                );
             }
         }
     }

@@ -10,5 +10,9 @@ pub mod elitist;
 pub mod mmas;
 pub mod parallel;
 
+pub use acs::{AcsParams, AntColonySystem};
 pub use ant_system::{AntSystem, IterationReport, PhaseCounters, TourPolicy};
 pub use counter::{CpuModel, OpCounter};
+pub use elitist::{Elitism, ElitistAntSystem};
+pub use mmas::{MaxMinAntSystem, MmasParams};
+pub use parallel::{construct_parallel, iterate_parallel};

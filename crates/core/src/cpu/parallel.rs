@@ -21,7 +21,8 @@ pub fn construct_parallel(
 ) -> Vec<(Tour, u64)> {
     let m = aco.m();
     let threads = threads.clamp(1, m);
-    let seed_of = |ant: usize| PmRng::thread_seed(aco.params().seed ^ (iteration << 20), ant as u64);
+    let seed_of =
+        |ant: usize| PmRng::thread_seed(aco.params().seed ^ (iteration << 20), ant as u64);
 
     if threads == 1 {
         return (0..m).map(|a| aco.construct_with_seed(seed_of(a), policy)).collect();

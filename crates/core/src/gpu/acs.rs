@@ -314,14 +314,29 @@ pub struct GpuAntColonySystem<'a> {
 impl<'a> GpuAntColonySystem<'a> {
     /// Allocate an ACS colony (default 10 ants, per the book) on `dev`.
     pub fn new(inst: &'a TspInstance, params: AcoParams, acs: AcsParams, dev: DeviceSpec) -> Self {
+        let nn = aco_tsp::NearestNeighborLists::build(inst.matrix(), params.nn_size)
+            .expect("instance has >= 2 cities");
+        let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::with_artifacts(inst, params, acs, dev, &nn, c_nn)
+    }
+
+    /// Allocate an ACS colony reusing precomputed host artifacts (shared
+    /// NN lists and greedy-tour length); see `AntSystem::with_artifacts`.
+    pub fn with_artifacts(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        acs: AcsParams,
+        dev: DeviceSpec,
+        nn_lists: &aco_tsp::NearestNeighborLists,
+        c_nn: u64,
+    ) -> Self {
         let mut params = params;
         if params.num_ants.is_none() {
             params.num_ants = Some(10);
         }
         let mut gm = GlobalMem::new();
-        let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
+        let bufs = ColonyBuffers::allocate_with_artifacts(&mut gm, inst, &params, nn_lists, c_nn);
         // ACS initialisation: tau0 = 1/(n C_nn); eta^beta table in `choice`.
-        let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
         let tau0 = 1.0 / (inst.n() as f32 * c_nn as f32);
         gm.f32_mut(bufs.tau).fill(tau0);
         let eta_kernel = ChoiceKernel { bufs, alpha: 0.0, beta: params.beta };
@@ -369,7 +384,7 @@ impl<'a> GpuAntColonySystem<'a> {
                 best_this_iter = len;
                 best_ant = a as u32;
             }
-            if self.best.as_ref().map_or(true, |&(_, b)| len < b) {
+            if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
                 self.best = Some((tour, len));
             }
         }

@@ -49,12 +49,27 @@ pub struct ColonyBuffers {
 }
 
 impl ColonyBuffers {
-    /// Allocate and upload everything for `inst` under `params`.
+    /// Allocate and upload everything for `inst` under `params`, computing
+    /// the nearest-neighbour lists and greedy-tour length from scratch.
     pub fn allocate(gm: &mut GlobalMem, inst: &TspInstance, params: &AcoParams) -> Self {
-        let n = inst.n();
-        let m = params.ants_for(n);
         let nn_lists = NearestNeighborLists::build(inst.matrix(), params.nn_size)
             .expect("instance has >= 2 cities");
+        let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::allocate_with_artifacts(gm, inst, params, &nn_lists, c_nn)
+    }
+
+    /// Allocate from precomputed artifacts (shared NN lists and greedy
+    /// tour length), so batch engines can amortise host-side preprocessing
+    /// across colonies on the same instance.
+    pub fn allocate_with_artifacts(
+        gm: &mut GlobalMem,
+        inst: &TspInstance,
+        params: &AcoParams,
+        nn_lists: &NearestNeighborLists,
+        c_nn: u64,
+    ) -> Self {
+        let n = inst.n();
+        let m = params.ants_for(n);
         let nn = nn_lists.depth();
         let stride = ((n + 1) as u32).next_multiple_of(THETA);
 
@@ -63,7 +78,7 @@ impl ColonyBuffers {
         gm.write_f32(dist, &dist_host);
 
         let tau = gm.alloc_f32(n * n);
-        let tau0 = initial_pheromone(inst, m);
+        let tau0 = initial_pheromone_from(c_nn, m);
         gm.write_f32(tau, &vec![tau0; n * n]);
 
         let choice = gm.alloc_f32(n * n);
@@ -109,7 +124,10 @@ impl ColonyBuffers {
     pub fn read_tours(&self, gm: &GlobalMem) -> Vec<Vec<u32>> {
         let all = gm.u32(self.tours);
         (0..self.m as usize)
-            .map(|a| all[a * self.stride as usize..a * self.stride as usize + self.n as usize + 1].to_vec())
+            .map(|a| {
+                all[a * self.stride as usize..a * self.stride as usize + self.n as usize + 1]
+                    .to_vec()
+            })
             .collect()
     }
 
@@ -121,7 +139,12 @@ impl ColonyBuffers {
     /// Upload host-built tours (with closing city and padding) and their
     /// lengths — used by the pheromone-update experiments, which need
     /// realistic tours without paying for a full construction launch.
-    pub fn upload_tours(&self, gm: &mut GlobalMem, tours: &[aco_tsp::Tour], matrix: &aco_tsp::DistanceMatrix) {
+    pub fn upload_tours(
+        &self,
+        gm: &mut GlobalMem,
+        tours: &[aco_tsp::Tour],
+        matrix: &aco_tsp::DistanceMatrix,
+    ) {
         assert_eq!(tours.len(), self.m as usize, "one tour per ant");
         let stride = self.stride as usize;
         let n = self.n as usize;
@@ -144,6 +167,12 @@ impl ColonyBuffers {
 /// `tau0 = m / C_nn` (Ant System initialisation, as on the CPU side).
 pub fn initial_pheromone(inst: &TspInstance, m: usize) -> f32 {
     let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+    initial_pheromone_from(c_nn, m)
+}
+
+/// `tau0 = m / C_nn` from a precomputed greedy-tour length (the formula
+/// behind [`initial_pheromone`] and [`ColonyBuffers::allocate_with_artifacts`]).
+pub fn initial_pheromone_from(c_nn: u64, m: usize) -> f32 {
     m as f32 / c_nn as f32
 }
 
@@ -193,7 +222,8 @@ mod tests {
         let mut gm = GlobalMem::new();
         let b = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(5).ants(3));
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let tours: Vec<aco_tsp::Tour> = (0..3).map(|_| aco_tsp::Tour::random(10, &mut rng)).collect();
+        let tours: Vec<aco_tsp::Tour> =
+            (0..3).map(|_| aco_tsp::Tour::random(10, &mut rng)).collect();
         b.upload_tours(&mut gm, &tours, inst.matrix());
         let back = b.read_tours(&gm);
         for (a, t) in back.iter().enumerate() {

@@ -80,7 +80,9 @@ pub fn run_pheromone(
             stats.merge(&r2.stats);
             Ok(PheromoneRun { time: r1.time.then(&r2.time), stats })
         }
-        PheromoneStrategy::Reduction | PheromoneStrategy::ScatterTiled | PheromoneStrategy::Scatter => {
+        PheromoneStrategy::Reduction
+        | PheromoneStrategy::ScatterTiled
+        | PheromoneStrategy::Scatter => {
             let k = ScatterGatherKernel {
                 bufs,
                 rho,

@@ -59,9 +59,7 @@ impl ScatterGatherKernel {
             ScatterMode::Plain => 0,
             _ => (THETA + 1) * 4,
         };
-        LaunchConfig::new(self.cells().div_ceil(THETA), THETA)
-            .regs(16)
-            .shared(shared)
+        LaunchConfig::new(self.cells().div_ceil(THETA), THETA).regs(16).shared(shared)
     }
 
     /// Map a linear upper-triangle index to `(i, j)`.

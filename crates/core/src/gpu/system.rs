@@ -55,6 +55,34 @@ impl<'a> GpuAntSystem<'a> {
     ) -> Self {
         let mut gm = GlobalMem::new();
         let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
+        Self::from_buffers(inst, params, dev, tour_strategy, pheromone_strategy, gm, bufs)
+    }
+
+    /// Allocate a colony on `dev` reusing precomputed host artifacts
+    /// (shared nearest-neighbour lists and greedy-tour length).
+    pub fn with_artifacts(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        dev: DeviceSpec,
+        tour_strategy: TourStrategy,
+        pheromone_strategy: PheromoneStrategy,
+        nn_lists: &aco_tsp::NearestNeighborLists,
+        c_nn: u64,
+    ) -> Self {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate_with_artifacts(&mut gm, inst, &params, nn_lists, c_nn);
+        Self::from_buffers(inst, params, dev, tour_strategy, pheromone_strategy, gm, bufs)
+    }
+
+    fn from_buffers(
+        inst: &'a TspInstance,
+        params: AcoParams,
+        dev: DeviceSpec,
+        tour_strategy: TourStrategy,
+        pheromone_strategy: PheromoneStrategy,
+        gm: GlobalMem,
+        bufs: ColonyBuffers,
+    ) -> Self {
         GpuAntSystem {
             inst,
             params,
@@ -111,7 +139,7 @@ impl<'a> GpuAntSystem<'a> {
                 let len = tour.length(self.inst.matrix());
                 if len < iter_best {
                     iter_best = len;
-                    if self.best.as_ref().map_or(true, |&(_, b)| len < b) {
+                    if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
                         self.best = Some((tour, len));
                     }
                 }

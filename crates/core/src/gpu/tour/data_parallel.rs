@@ -65,11 +65,7 @@ impl DataParallelTourKernel {
     /// Launch geometry: one block per ant.
     pub fn config(&self) -> LaunchConfig {
         let t = self.block_dim();
-        assert!(
-            self.tiles() <= 32,
-            "bit-packed tabu supports at most 32 tiles (n <= {})",
-            32 * t
-        );
+        assert!(self.tiles() <= 32, "bit-packed tabu supports at most 32 tiles (n <= {})", 32 * t);
         LaunchConfig::new(self.bufs.m, t).regs(16).shared(2 * t * 4)
     }
 
@@ -264,7 +260,8 @@ mod tests {
         let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
         let ck = ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
         launch(dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
-        let k = DataParallelTourKernel { bufs, texture, seed: 11, iteration: 0, block_override: None };
+        let k =
+            DataParallelTourKernel { bufs, texture, seed: 11, iteration: 0, block_override: None };
         let cfg = k.config();
         let r = launch(dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
         (gm, bufs, r)
@@ -288,7 +285,13 @@ mod tests {
         let dev = DeviceSpec::tesla_c1060();
         // n = 300 > 256 -> 2 tiles.
         let (gm, bufs, _) = run(300, false, &dev);
-        let k = DataParallelTourKernel { bufs, texture: false, seed: 0, iteration: 0, block_override: None };
+        let k = DataParallelTourKernel {
+            bufs,
+            texture: false,
+            seed: 0,
+            iteration: 0,
+            block_override: None,
+        };
         assert_eq!(k.block_dim(), 256);
         assert_eq!(k.tiles(), 2);
         for t in bufs.read_tours(&gm) {
@@ -305,7 +308,13 @@ mod tests {
         let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(10));
         let ck = ChoiceKernel { bufs, alpha: 1.0, beta: 2.0 };
         launch(&dev, &ck.config(), &ck, &mut gm, SimMode::Full).unwrap();
-        let k = DataParallelTourKernel { bufs, texture: true, seed: 7, iteration: 3, block_override: None };
+        let k = DataParallelTourKernel {
+            bufs,
+            texture: true,
+            seed: 7,
+            iteration: 3,
+            block_override: None,
+        };
         launch(&dev, &k.config(), &k, &mut gm, SimMode::Full).unwrap();
         let lengths = bufs.read_lengths(&gm);
         for (a, t) in bufs.read_tours(&gm).into_iter().enumerate() {
@@ -347,7 +356,13 @@ mod tests {
         };
         let rt = launch(&dev, &task.config(&dev), &task, &mut gm, SimMode::Full).unwrap();
 
-        let dp = DataParallelTourKernel { bufs, texture: true, seed: 3, iteration: 0, block_override: None };
+        let dp = DataParallelTourKernel {
+            bufs,
+            texture: true,
+            seed: 3,
+            iteration: 0,
+            block_override: None,
+        };
         let rd = launch(&dev, &dp.config(), &dp, &mut gm, SimMode::Full).unwrap();
         assert!(
             rd.time.total_ms < rt.time.total_ms,

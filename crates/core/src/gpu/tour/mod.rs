@@ -76,20 +76,15 @@ impl TourStrategy {
             block: 128,
         };
         Some(match self {
-            TourStrategy::Baseline => TaskOpts {
-                use_choice_table: false,
-                rng: RngKind::CurandLike,
-                ..base
-            },
+            TourStrategy::Baseline => {
+                TaskOpts { use_choice_table: false, rng: RngKind::CurandLike, ..base }
+            }
             TourStrategy::ChoiceKernel => TaskOpts { rng: RngKind::CurandLike, ..base },
             TourStrategy::DeviceRng => base,
             TourStrategy::NNList => TaskOpts { use_nn_list: true, ..base },
-            TourStrategy::NNListShared => TaskOpts {
-                use_nn_list: true,
-                tabu: TabuPlacement::Shared,
-                block: 32,
-                ..base
-            },
+            TourStrategy::NNListShared => {
+                TaskOpts { use_nn_list: true, tabu: TabuPlacement::Shared, block: 32, ..base }
+            }
             TourStrategy::NNListSharedTex => TaskOpts {
                 use_nn_list: true,
                 tabu: TabuPlacement::Shared,
@@ -168,12 +163,7 @@ pub fn run_tour(
         }
     };
 
-    Ok(TourRun {
-        tour_time: run.time,
-        choice_time,
-        stats: run.stats,
-        occupancy: run.occupancy,
-    })
+    Ok(TourRun { tour_time: run.time, choice_time, stats: run.stats, occupancy: run.occupancy })
 }
 
 #[cfg(test)]

@@ -383,39 +383,35 @@ impl TaskTourKernel {
         let feasible = ctx.fgt(&sum, &zero);
         let mut next = ctx.splat_u32(0);
         ctx.branch(&feasible);
-        ctx.with_mask(
-            gm,
-            &feasible,
-            |ctx, gm| {
-                let r = self.draw(ctx, gm, lcg);
-                let target = ctx.fmul(&r, &sum);
-                let mut cum = ctx.splat_f32(0.0);
-                let mut done = Mask::none(ctx.block_dim as usize);
-                let mut chosen = cands[0].clone();
+        ctx.with_mask(gm, &feasible, |ctx, gm| {
+            let r = self.draw(ctx, gm, lcg);
+            let target = ctx.fmul(&r, &sum);
+            let mut cum = ctx.splat_f32(0.0);
+            let mut done = Mask::none(ctx.block_dim as usize);
+            let mut chosen = cands[0].clone();
+            for c in 0..nn as usize {
+                cum = ctx.fadd(&cum, &ps[c]);
+                let crossed = ctx.fge(&cum, &target);
+                let has_p = ctx.fgt(&ps[c], &zero);
+                let newly = crossed.and_not(&done).and(&has_p);
+                chosen = ctx.select_u32(&newly, &cands[c], &chosen);
+                done = done.or(&newly);
+                ctx.charge(Op::IAlu, 2); // predicate bookkeeping
+            }
+            // Rounding shortfall: pick the best-probability candidate.
+            let undone = done.not();
+            ctx.if_then(gm, &undone, |ctx, _| {
+                let mut bv = ctx.splat_f32(-1.0);
+                let mut bc = cands[0].clone();
                 for c in 0..nn as usize {
-                    cum = ctx.fadd(&cum, &ps[c]);
-                    let crossed = ctx.fge(&cum, &target);
-                    let has_p = ctx.fgt(&ps[c], &zero);
-                    let newly = crossed.and_not(&done).and(&has_p);
-                    chosen = ctx.select_u32(&newly, &cands[c], &chosen);
-                    done = done.or(&newly);
-                    ctx.charge(Op::IAlu, 2); // predicate bookkeeping
+                    let better = ctx.fgt(&ps[c], &bv);
+                    bv = ctx.select_f32(&better, &ps[c], &bv);
+                    bc = ctx.select_u32(&better, &cands[c], &bc);
                 }
-                // Rounding shortfall: pick the best-probability candidate.
-                let undone = done.not();
-                ctx.if_then(gm, &undone, |ctx, _| {
-                    let mut bv = ctx.splat_f32(-1.0);
-                    let mut bc = cands[0].clone();
-                    for c in 0..nn as usize {
-                        let better = ctx.fgt(&ps[c], &bv);
-                        bv = ctx.select_f32(&better, &ps[c], &bv);
-                        bc = ctx.select_u32(&better, &cands[c], &bc);
-                    }
-                    ctx.assign_u32(&mut chosen, &bc);
-                });
-                ctx.assign_u32(&mut next, &chosen);
-            },
-        );
+                ctx.assign_u32(&mut chosen, &bc);
+            });
+            ctx.assign_u32(&mut next, &chosen);
+        });
         let infeasible = feasible.not();
         ctx.with_mask(gm, &infeasible, |ctx, gm| {
             // All candidates visited: deterministic best over all
@@ -543,7 +539,11 @@ mod tests {
     use aco_tsp::generator::uniform_random;
     use aco_tsp::Tour;
 
-    fn run_variant(opts: TaskOpts, n: usize, dev: &DeviceSpec) -> (GlobalMem, ColonyBuffers, LaunchResult) {
+    fn run_variant(
+        opts: TaskOpts,
+        n: usize,
+        dev: &DeviceSpec,
+    ) -> (GlobalMem, ColonyBuffers, LaunchResult) {
         let inst = uniform_random("task", n, 1000.0, 5);
         let mut gm = GlobalMem::new();
         let params = AcoParams::default().nn(12);

@@ -16,5 +16,9 @@ pub mod gpu;
 pub mod params;
 pub mod quality;
 
-pub use cpu::{AntSystem, CpuModel, OpCounter, TourPolicy};
+pub use cpu::{
+    AcsParams, AntColonySystem, AntSystem, CpuModel, MaxMinAntSystem, MmasParams, OpCounter,
+    TourPolicy,
+};
+pub use gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStrategy};
 pub use params::AcoParams;

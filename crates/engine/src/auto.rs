@@ -1,0 +1,233 @@
+//! Cost-model backend auto-selection.
+//!
+//! The paper's evaluation makes the trade-off explicit: on small
+//! instances the task-parallel kernels lose to data parallelism, the CPU
+//! is competitive below a few hundred cities, and the Fermi devices shift
+//! every crossover point. [`resolve`] automates that judgement per
+//! instance using the same clocks the paper's figures are computed from:
+//!
+//! * the sequential CPU is priced by [`CpuModel`] over the analytic
+//!   operation counters of `aco_core::cpu::ant_system::model`;
+//! * the parallel CPU divides the construction term by its thread count;
+//! * each GPU candidate is priced by the simulator's kernel-time
+//!   estimate, measured on a one-iteration probe launch against the
+//!   actual [`DeviceSpec`](aco_simt::DeviceSpec) (block-sampled on large
+//!   instances, so a probe stays cheap).
+//!
+//! Decisions are deterministic in `(instance content, NN depth, m)` and
+//! cached in the [`ArtifactCache`], so a batch of `auto` jobs on one
+//! instance pays for the probes once.
+
+use aco_core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
+use aco_core::{AcoParams, CpuModel, TourPolicy};
+use aco_simt::{GlobalMem, SimMode};
+use aco_tsp::TspInstance;
+
+use crate::cache::{ArtifactCache, InstanceArtifacts};
+use crate::solver::{cpu_phase_ms, Backend, GpuDevice};
+
+/// Thread count the parallel-CPU candidate assumes. Fixed (not probed from
+/// the host) so decisions — and therefore batch results — are identical on
+/// every machine.
+pub const AUTO_CPU_THREADS: usize = 4;
+
+/// The GPU strategy pairs `auto` considers: the paper's best task-parallel
+/// row and its best data-parallel row, each with the winning pheromone
+/// kernel (Tables II–IV).
+pub const AUTO_GPU_CANDIDATES: [(TourStrategy, PheromoneStrategy); 2] = [
+    (TourStrategy::NNListSharedTex, PheromoneStrategy::AtomicShared),
+    (TourStrategy::DataParallelTex, PheromoneStrategy::AtomicShared),
+];
+
+/// One scored candidate, for introspection / logging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEstimate {
+    /// The backend this estimate prices.
+    pub backend: Backend,
+    /// Modeled milliseconds per iteration.
+    pub ms_per_iter: f64,
+}
+
+/// Probe fidelity: full simulation is exact but quadratic-ish in `n`, so
+/// large instances fall back to deterministic block sampling (same policy
+/// as the bench harness).
+fn probe_mode(n: usize) -> SimMode {
+    if n <= 128 {
+        SimMode::Full
+    } else if n <= 442 {
+        SimMode::SampleBlocks(4)
+    } else {
+        SimMode::SampleBlocks(2)
+    }
+}
+
+/// Seed every GPU probe runs under, regardless of the requesting job's
+/// seed. Probe timings vary slightly with the RNG stream (tour shapes
+/// steer coalescing and roulette trip counts); pinning the seed makes the
+/// decision a pure function of `(instance, α, β, ρ, NN, m)`, so it cannot
+/// depend on *which* job of a batch happens to populate the decision
+/// cache — the property the engine's worker-count determinism rests on.
+pub const PROBE_SEED: u64 = 0x0A07_0CA5;
+
+/// Price every candidate backend for `inst` under `params` (the job seed
+/// is ignored; see [`PROBE_SEED`]).
+pub fn estimates(
+    inst: &TspInstance,
+    params: &AcoParams,
+    artifacts: &InstanceArtifacts,
+) -> Vec<CandidateEstimate> {
+    let params = &params.clone().seed(PROBE_SEED);
+    let n = inst.n();
+    let m = params.ants_for(n);
+    let model = CpuModel::default();
+    let (choice_ms, tour_ms, update_ms) = cpu_phase_ms(n, m, params.nn_size, &model);
+
+    let mut out = vec![
+        CandidateEstimate {
+            backend: Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
+            ms_per_iter: choice_ms + tour_ms + update_ms,
+        },
+        CandidateEstimate {
+            backend: Backend::CpuParallel {
+                policy: TourPolicy::NearestNeighborList,
+                threads: AUTO_CPU_THREADS,
+            },
+            ms_per_iter: choice_ms + tour_ms / AUTO_CPU_THREADS as f64 + update_ms,
+        },
+    ];
+
+    let mode = probe_mode(n);
+    for device in GpuDevice::ALL {
+        let dev = device.spec();
+        for (tour, pheromone) in AUTO_GPU_CANDIDATES {
+            // The data-parallel kernel's bit-packed shared-memory tabu
+            // covers at most 32 tiles × 256 threads = 8192 cities; its
+            // `config()` asserts (panics) beyond that, so gate the
+            // candidate instead of probing it.
+            if matches!(tour, TourStrategy::DataParallel | TourStrategy::DataParallelTex)
+                && n > 8192
+            {
+                continue;
+            }
+            // One probe iteration on a throwaway colony; the estimate is
+            // the simulator's kernel-time model, i.e. the same quantity
+            // Tables II-IV report.
+            let mut gm = GlobalMem::new();
+            let bufs = ColonyBuffers::allocate_with_artifacts(
+                &mut gm,
+                inst,
+                params,
+                &artifacts.nn,
+                artifacts.c_nn,
+            );
+            let probe = run_tour(
+                &dev,
+                &mut gm,
+                bufs,
+                tour,
+                params.alpha,
+                params.beta,
+                params.seed,
+                0,
+                mode,
+            )
+            .and_then(|tr| {
+                run_pheromone(&dev, &mut gm, bufs, pheromone, params.rho, mode)
+                    .map(|pr| tr.total_ms() + pr.time.total_ms)
+            });
+            if let Ok(ms_per_iter) = probe {
+                out.push(CandidateEstimate {
+                    backend: Backend::Gpu { device, tour, pheromone },
+                    ms_per_iter,
+                });
+            }
+            // A probe that fails to launch (device limit) simply drops the
+            // candidate; some backend always remains (CPU never fails).
+        }
+    }
+    out
+}
+
+/// Pick the fastest candidate. Ties break toward the earliest candidate in
+/// enumeration order, which is deterministic.
+pub fn choose(estimates: &[CandidateEstimate]) -> Backend {
+    estimates
+        .iter()
+        .min_by(|a, b| a.ms_per_iter.total_cmp(&b.ms_per_iter))
+        .map(|c| c.backend.clone())
+        .expect("CPU candidates always present")
+}
+
+/// Resolve [`Backend::Auto`] for `inst`, consulting and filling the
+/// decision cache; non-auto backends pass through unchanged.
+pub fn resolve(
+    backend: &Backend,
+    inst: &TspInstance,
+    params: &AcoParams,
+    artifacts: &InstanceArtifacts,
+    cache: &ArtifactCache,
+) -> Backend {
+    if !matches!(backend, Backend::Auto) {
+        return backend.clone();
+    }
+    let key = (
+        artifacts.content_hash,
+        ArtifactCache::effective_depth(inst, params.nn_size),
+        params.ants_for(inst.n()),
+        params.alpha.to_bits(),
+        params.beta.to_bits(),
+        params.rho.to_bits(),
+    );
+    cache.decision(key, || choose(&estimates(inst, params, artifacts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::uniform_random;
+
+    fn artifacts_for(inst: &TspInstance, nn: usize) -> InstanceArtifacts {
+        InstanceArtifacts {
+            content_hash: inst.content_hash(),
+            nn: std::sync::Arc::new(
+                aco_tsp::NearestNeighborLists::build(inst.matrix(), nn).unwrap(),
+            ),
+            c_nn: aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix()),
+        }
+    }
+
+    #[test]
+    fn estimates_cover_cpu_and_gpu() {
+        let inst = uniform_random("auto", 32, 500.0, 3);
+        let params = AcoParams::default().nn(8);
+        let arts = artifacts_for(&inst, 8);
+        let est = estimates(&inst, &params, &arts);
+        assert!(est.len() >= 2 + GpuDevice::ALL.len()); // CPUs + at least one GPU pair each
+        assert!(est.iter().all(|e| e.ms_per_iter.is_finite() && e.ms_per_iter > 0.0));
+    }
+
+    #[test]
+    fn resolution_is_deterministic_and_cached() {
+        let inst = uniform_random("auto2", 40, 600.0, 5);
+        let params = AcoParams::default().nn(10);
+        let arts = artifacts_for(&inst, 10);
+        let cache = ArtifactCache::new();
+        let a = resolve(&Backend::Auto, &inst, &params, &arts, &cache);
+        let b = resolve(&Backend::Auto, &inst, &params, &arts, &cache);
+        assert_eq!(a, b);
+        assert!(!matches!(a, Backend::Auto));
+        let s = cache.stats();
+        assert_eq!((s.decision_misses, s.decision_hits), (1, 1));
+    }
+
+    #[test]
+    fn non_auto_backends_pass_through() {
+        let inst = uniform_random("auto3", 20, 300.0, 7);
+        let params = AcoParams::default().nn(6);
+        let arts = artifacts_for(&inst, 6);
+        let cache = ArtifactCache::new();
+        let want = Backend::CpuSequential { policy: TourPolicy::NearestNeighborList };
+        assert_eq!(resolve(&want, &inst, &params, &arts, &cache), want);
+        assert_eq!(cache.stats().decision_misses, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Instance-artifact cache.
+//!
+//! Batch workloads hit the same instance repeatedly (parameter sweeps,
+//! seed studies, strategy shoot-outs). The expensive host-side
+//! preprocessing — `O(n² log n)` nearest-neighbour list construction, the
+//! greedy tour that seeds `τ₀`, and the cost-model backend decision — is
+//! identical across those jobs, so the engine computes each once per
+//! `(instance content hash, parameter slice)` and shares it.
+//!
+//! Keys use [`TspInstance::content_hash`]: the *problem* identity, not the
+//! allocation, so renamed or re-parsed copies of an instance share entries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use aco_tsp::{nearest_neighbor_tour, NearestNeighborLists, TspInstance};
+
+use crate::solver::Backend;
+
+/// Precomputed host-side artifacts for one `(instance, nn depth)` pair.
+#[derive(Debug, Clone)]
+pub struct InstanceArtifacts {
+    /// Content hash of the instance these artifacts belong to.
+    pub content_hash: u64,
+    /// Nearest-neighbour candidate lists at the requested depth, shared
+    /// (`Arc`) so every colony in a batch borrows one allocation.
+    pub nn: Arc<NearestNeighborLists>,
+    /// Length of the greedy nearest-neighbour tour from city 0 (`C_nn`,
+    /// which seeds `τ₀ = m / C_nn`).
+    pub c_nn: u64,
+}
+
+/// Monotonic cache counters (snapshot via [`ArtifactCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifact lookups served from the cache.
+    pub artifact_hits: u64,
+    /// Artifact lookups that had to build NN lists + greedy tour.
+    pub artifact_misses: u64,
+    /// `auto` backend decisions served from the cache.
+    pub decision_hits: u64,
+    /// `auto` backend decisions that had to run the cost models.
+    pub decision_misses: u64,
+}
+
+/// Decision-cache key: instance content plus every parameter the probe
+/// timings depend on — candidate depth, colony size, and the `(α, β, ρ)`
+/// bit patterns (they steer the simulated kernels' control flow). The job
+/// seed is deliberately excluded: probes run under a canonical seed (see
+/// `auto::PROBE_SEED`), so the decision is a pure function of this key and
+/// cannot vary with which job of a batch populates the cache.
+pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32);
+
+/// One exactly-once cache slot (see [`ArtifactCache`] on contention).
+type Slot<T> = Arc<OnceLock<T>>;
+
+/// Artifact store: `(content hash, nn depth)` → shared build-once slot.
+type ArtifactMap = HashMap<(u64, usize), Slot<Arc<InstanceArtifacts>>>;
+
+/// Shared, thread-safe artifact store.
+///
+/// Each key maps to a [`OnceLock`] cell, so concurrent workers racing on
+/// the same key compute the value exactly once (the laggards block on the
+/// cell, not on a map-wide lock); workers on different keys never
+/// serialize behind a build.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    artifacts: Mutex<ArtifactMap>,
+    decisions: Mutex<HashMap<DecisionKey, Slot<Backend>>>,
+    artifact_hits: AtomicU64,
+    artifact_misses: AtomicU64,
+    decision_hits: AtomicU64,
+    decision_misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (or build exactly once and insert) the artifacts for `inst`
+    /// at candidate depth `nn_size`. The depth is clamped to `n - 1`
+    /// before keying (list construction clamps the same way), so
+    /// equivalent requested depths on small instances share one entry.
+    pub fn artifacts(&self, inst: &TspInstance, nn_size: usize) -> Arc<InstanceArtifacts> {
+        let nn_size = Self::effective_depth(inst, nn_size);
+        let hash = inst.content_hash();
+        let cell = Arc::clone(
+            self.artifacts.lock().expect("artifact map").entry((hash, nn_size)).or_default(),
+        );
+        let mut built_here = false;
+        let value = Arc::clone(cell.get_or_init(|| {
+            built_here = true;
+            Arc::new(InstanceArtifacts {
+                content_hash: hash,
+                nn: Arc::new(
+                    NearestNeighborLists::build(inst.matrix(), nn_size)
+                        .expect("instance has >= 2 cities"),
+                ),
+                c_nn: nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix()),
+            })
+        }));
+        if built_here {
+            self.artifact_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.artifact_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Fetch a cached `auto` decision, or compute one with `decide`
+    /// (exactly once per key, even under contention) and remember it.
+    pub(crate) fn decision(&self, key: DecisionKey, decide: impl FnOnce() -> Backend) -> Backend {
+        let cell = Arc::clone(self.decisions.lock().expect("decision map").entry(key).or_default());
+        let mut decided_here = false;
+        let value = cell
+            .get_or_init(|| {
+                decided_here = true;
+                decide()
+            })
+            .clone();
+        if decided_here {
+            self.decision_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.decision_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// The candidate-list depth actually built for `inst` when `nn_size`
+    /// is requested (what both cache key families use).
+    pub fn effective_depth(inst: &TspInstance, nn_size: usize) -> usize {
+        nn_size.min(inst.n().saturating_sub(1)).max(1)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
+            artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
+            decision_hits: self.decision_hits.load(Ordering::Relaxed),
+            decision_misses: self.decision_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::uniform_random;
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ArtifactCache::new();
+        let inst = uniform_random("c", 30, 400.0, 1);
+        let a = cache.artifacts(&inst, 10);
+        let b = cache.artifacts(&inst, 10);
+        assert!(Arc::ptr_eq(&a, &b), "same Arc must be shared");
+        let s = cache.stats();
+        assert_eq!(s.artifact_misses, 1);
+        assert_eq!(s.artifact_hits, 1);
+    }
+
+    #[test]
+    fn depth_is_part_of_the_key() {
+        let cache = ArtifactCache::new();
+        let inst = uniform_random("c", 30, 400.0, 1);
+        let a = cache.artifacts(&inst, 10);
+        let b = cache.artifacts(&inst, 15);
+        assert_eq!(a.content_hash, b.content_hash);
+        assert_ne!(a.nn.depth(), b.nn.depth());
+        assert_eq!(cache.stats().artifact_misses, 2);
+    }
+
+    #[test]
+    fn renamed_instance_shares_artifacts() {
+        let cache = ArtifactCache::new();
+        let inst = uniform_random("orig", 25, 400.0, 2);
+        let renamed =
+            aco_tsp::TspInstance::from_matrix("other-name", inst.matrix().clone()).unwrap();
+        cache.artifacts(&inst, 8);
+        cache.artifacts(&renamed, 8);
+        let s = cache.stats();
+        assert_eq!((s.artifact_misses, s.artifact_hits), (1, 1));
+    }
+}

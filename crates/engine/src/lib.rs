@@ -1,0 +1,58 @@
+//! `aco-engine` — a concurrent batch-solve engine over every ACO backend
+//! in this workspace.
+//!
+//! The paper parallelises both ACO phases on one GPU for one TSP instance
+//! at a time; this crate turns that single-solve capability into a
+//! throughput system:
+//!
+//! * **Unified [`Solver`] trait** ([`solver`]): the sequential Ant System,
+//!   the multi-threaded CPU colony, [`GpuAntSystem`](aco_core::GpuAntSystem)
+//!   under any `TourStrategy × PheromoneStrategy` combination, and the
+//!   ACS/MMAS variants all answer one [`SolveRequest`] → [`SolveReport`]
+//!   API, selected by a [`Backend`] value.
+//! * **Work-stealing batch scheduler** ([`scheduler`]): [`Engine::submit`]
+//!   queues jobs onto a worker pool; per-job seeding is deterministic, so
+//!   a batch returns bit-identical reports for any worker count.
+//! * **Instance-artifact cache** ([`cache`]): nearest-neighbour candidate
+//!   lists, greedy-tour lengths and backend decisions are keyed by the
+//!   instance **content hash** and shared across jobs on the same
+//!   instance.
+//! * **Cost-model auto-selection** ([`auto`]): [`Backend::Auto`] prices
+//!   CPU candidates with the paper's [`CpuModel`](aco_core::CpuModel)
+//!   counters and GPU candidates with the simulator's kernel-time
+//!   estimates on the target `DeviceSpec`, then runs the winner.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use aco_core::AcoParams;
+//! use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
+//!
+//! let engine = Engine::new(EngineConfig::with_workers(4));
+//! let inst = Arc::new(aco_tsp::uniform_random("batch", 48, 800.0, 42));
+//! let reports = engine.run_batch((0..8).map(|seed| {
+//!     SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
+//!         .backend(Backend::Auto)
+//!         .iterations(5)
+//!         .seed(seed)
+//! }));
+//! let best = reports
+//!     .into_iter()
+//!     .map(|r| r.expect("job succeeds").best_len)
+//!     .min()
+//!     .unwrap();
+//! assert!(best > 0);
+//! // Seven of the eight jobs reused the cached artifacts:
+//! assert_eq!(engine.cache_stats().artifact_misses, 1);
+//! ```
+
+pub mod auto;
+pub mod cache;
+pub mod scheduler;
+pub mod solver;
+
+pub use auto::{choose, estimates, resolve, CandidateEstimate};
+pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
+pub use scheduler::{Engine, EngineConfig, JobId};
+pub use solver::{
+    build_solver, Backend, EngineError, GpuDevice, SolveReport, SolveRequest, Solver,
+};

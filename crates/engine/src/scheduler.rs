@@ -1,0 +1,355 @@
+//! The batch engine: a work-stealing worker pool over solve jobs.
+//!
+//! Jobs are distributed round-robin over per-worker deques at submission;
+//! a worker pops its own deque from the front and steals from the back of
+//! its peers when idle, so a long GPU simulation on one worker never
+//! starves the rest of the batch. Results land in a shared map keyed by
+//! [`JobId`] and are claimed with [`Engine::wait`].
+//!
+//! **Determinism.** Scheduling affects only *where* and *when* a job runs,
+//! never its inputs: every job derives its RNG streams from its own
+//! request seed, the artifact cache stores values that are pure functions
+//! of the instance, and `auto` decisions are deterministic in the
+//! instance and parameters. Consequently a batch produces bit-identical
+//! [`SolveReport`]s for any worker count — pinned by the
+//! `engine_results_do_not_depend_on_worker_count` tests.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::auto;
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::solver::{build_solver, EngineError, SolveReport, SolveRequest};
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. Results never depend on this; throughput does.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
+        EngineConfig { workers }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers: workers.max(1) }
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+struct Job {
+    id: u64,
+    req: SolveRequest,
+}
+
+/// Finished-job results plus the ids whose result was already handed out
+/// (so a second `wait` on the same id fails fast instead of blocking).
+#[derive(Default)]
+struct ResultBoard {
+    done: HashMap<u64, Result<SolveReport, EngineError>>,
+    claimed: HashSet<u64>,
+}
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Count of queued-but-unclaimed jobs; the condvar predicate.
+    ready: Mutex<usize>,
+    ready_cv: Condvar,
+    results: Mutex<ResultBoard>,
+    results_cv: Condvar,
+    shutdown: AtomicBool,
+    cache: ArtifactCache,
+}
+
+impl Shared {
+    /// Claim a job: block until one is queued (or shutdown), then scan —
+    /// own deque front first, peers' backs second.
+    fn next_job(&self, worker: usize) -> Option<Job> {
+        {
+            let mut ready = self.ready.lock().expect("ready lock");
+            loop {
+                if *ready > 0 {
+                    *ready -= 1; // reserve one job; a matching pop must succeed below
+                    break;
+                }
+                if self.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                ready = self.ready_cv.wait(ready).expect("ready wait");
+            }
+        }
+        let k = self.queues.len();
+        loop {
+            if let Some(job) = self.queues[worker].lock().expect("own queue").pop_front() {
+                return Some(job);
+            }
+            for peer in 1..k {
+                let victim = (worker + peer) % k;
+                if let Some(job) = self.queues[victim].lock().expect("peer queue").pop_back() {
+                    return Some(job);
+                }
+            }
+            // Another reserving worker holds "our" job only transiently
+            // (between its reservation and pop); re-scan.
+            std::thread::yield_now();
+        }
+    }
+
+    fn post(&self, id: u64, result: Result<SolveReport, EngineError>) {
+        self.results.lock().expect("results lock").done.insert(id, result);
+        self.results_cv.notify_all();
+    }
+}
+
+fn run_job(cache: &ArtifactCache, req: &SolveRequest) -> Result<SolveReport, EngineError> {
+    let inst = &*req.instance;
+    let seed = req.effective_seed();
+    let params = req.params.clone().seed(seed);
+    let artifacts = cache.artifacts(inst, params.nn_size);
+    let backend = auto::resolve(&req.backend, inst, &params, &artifacts, cache);
+    let mut solver = build_solver(&backend, inst, &params, &artifacts);
+    let mut report = solver.solve(req.iterations, seed)?;
+    report.instance = inst.name().to_string();
+    report.n = inst.n();
+    Ok(report)
+}
+
+fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    while let Some(job) = shared.next_job(worker) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&shared.cache, &job.req)))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".into());
+                Err(EngineError::Failed(msg))
+            });
+        shared.post(job.id, outcome);
+    }
+}
+
+/// The concurrent batch-solve engine.
+///
+/// ```
+/// use std::sync::Arc;
+/// use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
+/// use aco_core::AcoParams;
+///
+/// let engine = Engine::new(EngineConfig::with_workers(2));
+/// let inst = Arc::new(aco_tsp::uniform_random("demo", 40, 600.0, 1));
+/// let jobs: Vec<_> = (0..4)
+///     .map(|s| {
+///         engine.submit(
+///             SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
+///                 .backend(Backend::Auto)
+///                 .iterations(5)
+///                 .seed(s),
+///         )
+///     })
+///     .collect();
+/// for id in jobs {
+///     let report = engine.wait(id).expect("job succeeds");
+///     assert!(report.best_tour.is_valid());
+/// }
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Spin up the worker pool.
+    pub fn new(config: EngineConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            ready: Mutex::new(0),
+            ready_cv: Condvar::new(),
+            results: Mutex::new(ResultBoard::default()),
+            results_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ArtifactCache::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aco-engine-{w}"))
+                    .spawn(move || worker_loop(shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine { shared, handles, next_id: AtomicU64::new(0) }
+    }
+
+    /// Worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queue a job; returns immediately.
+    pub fn submit(&self, req: SolveRequest) -> JobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = id as usize % self.shared.queues.len();
+        self.shared.queues[slot].lock().expect("queue lock").push_back(Job { id, req });
+        let mut ready = self.shared.ready.lock().expect("ready lock");
+        *ready += 1;
+        drop(ready);
+        self.shared.ready_cv.notify_one();
+        JobId(id)
+    }
+
+    /// Block until `job` finishes and claim its result. Each result can be
+    /// claimed once; a second `wait` on the same id — or a wait on an id
+    /// this engine never issued — returns [`EngineError::UnknownJob`]
+    /// instead of blocking.
+    pub fn wait(&self, job: JobId) -> Result<SolveReport, EngineError> {
+        if job.0 >= self.next_id.load(Ordering::Relaxed) {
+            return Err(EngineError::UnknownJob);
+        }
+        let mut results = self.shared.results.lock().expect("results lock");
+        loop {
+            if let Some(r) = results.done.remove(&job.0) {
+                results.claimed.insert(job.0);
+                return r;
+            }
+            if results.claimed.contains(&job.0) {
+                return Err(EngineError::UnknownJob);
+            }
+            results = self.shared.results_cv.wait(results).expect("results wait");
+        }
+    }
+
+    /// Submit a whole batch and collect results in submission order.
+    pub fn run_batch(
+        &self,
+        reqs: impl IntoIterator<Item = SolveRequest>,
+    ) -> Vec<Result<SolveReport, EngineError>> {
+        let ids: Vec<JobId> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        ids.into_iter().map(|id| self.wait(id)).collect()
+    }
+
+    /// Snapshot of the artifact/decision cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Set the flag and notify *while holding the ready mutex*: a
+        // worker between its shutdown check and `wait()` still holds the
+        // lock, so we cannot fire the notification into that window — it
+        // either sees the flag on its next loop or is already waiting and
+        // gets woken.
+        {
+            let _ready = self.shared.ready.lock().expect("ready lock");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.ready_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Backend;
+    use aco_core::{AcoParams, TourPolicy};
+    use std::sync::Arc;
+
+    fn small_batch(inst: &Arc<aco_tsp::TspInstance>) -> Vec<SolveRequest> {
+        let params = AcoParams::default().nn(8).ants(10);
+        vec![
+            SolveRequest::new(Arc::clone(inst), params.clone())
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(4)
+                .seed(1),
+            SolveRequest::new(Arc::clone(inst), params.clone())
+                .backend(Backend::CpuParallel {
+                    policy: TourPolicy::NearestNeighborList,
+                    threads: 3,
+                })
+                .iterations(4)
+                .seed(2),
+            SolveRequest::new(Arc::clone(inst), params)
+                .backend(Backend::Auto)
+                .iterations(3)
+                .seed(3),
+        ]
+    }
+
+    #[test]
+    fn engine_results_do_not_depend_on_worker_count() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched", 30, 500.0, 11));
+        let serial = Engine::new(EngineConfig::with_workers(1)).run_batch(small_batch(&inst));
+        let parallel = Engine::new(EngineConfig::with_workers(4)).run_batch(small_batch(&inst));
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn cache_is_shared_across_jobs() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched2", 25, 400.0, 5));
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let reports = engine.run_batch(small_batch(&inst));
+        assert!(reports.iter().all(|r| r.is_ok()));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.artifact_misses, 1, "one build for the shared instance");
+        assert!(stats.artifact_hits >= 2, "subsequent jobs reuse it: {stats:?}");
+    }
+
+    #[test]
+    fn out_of_order_wait_works() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched3", 20, 300.0, 9));
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let ids: Vec<JobId> = small_batch(&inst).into_iter().map(|r| engine.submit(r)).collect();
+        for id in ids.iter().rev() {
+            assert!(engine.wait(*id).is_ok());
+        }
+    }
+
+    #[test]
+    fn waiting_twice_or_on_a_foreign_id_fails_fast() {
+        use crate::solver::EngineError;
+        let inst = Arc::new(aco_tsp::uniform_random("sched5", 18, 300.0, 6));
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.submit(
+            SolveRequest::new(inst, AcoParams::default().nn(5).ants(6))
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(2)
+                .seed(1),
+        );
+        assert!(engine.wait(id).is_ok());
+        assert_eq!(engine.wait(id), Err(EngineError::UnknownJob), "double claim");
+        let never_issued = JobId(999);
+        assert_eq!(engine.wait(never_issued), Err(EngineError::UnknownJob), "foreign id");
+    }
+
+    #[test]
+    fn zero_iterations_is_reported_as_no_solution() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched4", 15, 300.0, 2));
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let req = SolveRequest::new(inst, AcoParams::default().nn(5))
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(0);
+        let id = engine.submit(req);
+        assert_eq!(engine.wait(id), Err(EngineError::NoSolution));
+    }
+}

@@ -1,0 +1,569 @@
+//! The unified [`Solver`] trait and its adapters over every backend the
+//! workspace implements.
+//!
+//! The paper benchmarks each parallelisation strategy in isolation; a
+//! production engine needs them interchangeable. One [`SolveRequest`] names
+//! an instance, parameters and a [`Backend`]; [`build_solver`] turns the
+//! resolved backend into a boxed [`Solver`] that steps one iteration at a
+//! time and reports modeled milliseconds alongside the exact best tour.
+//!
+//! All adapters are deterministic in the request seed: given the same
+//! `SolveRequest`, `solve` produces a bit-identical [`SolveReport`] no
+//! matter which engine worker runs it or how many workers exist.
+
+use std::sync::Arc;
+
+use aco_core::cpu::ant_system::model as cpu_model;
+use aco_core::cpu::{construct_parallel, AcsParams, AntColonySystem, MaxMinAntSystem, MmasParams};
+use aco_core::gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStrategy};
+use aco_core::{AcoParams, AntSystem, CpuModel, OpCounter, TourPolicy};
+use aco_simt::{DeviceSpec, SimMode, SimtError};
+use aco_tsp::{Tour, TspInstance};
+
+use crate::cache::InstanceArtifacts;
+
+/// Errors a solve job can end with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The simulated device rejected a kernel launch.
+    Simt(SimtError),
+    /// The job produced no solution (e.g. zero iterations requested).
+    NoSolution,
+    /// The job panicked; the payload is the panic message.
+    Failed(String),
+    /// `Engine::wait` was given an id this engine never issued, or one
+    /// whose result was already claimed by an earlier `wait`.
+    UnknownJob,
+}
+
+impl From<SimtError> for EngineError {
+    fn from(e: SimtError) -> Self {
+        EngineError::Simt(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Simt(e) => write!(f, "device error: {e}"),
+            EngineError::NoSolution => write!(f, "job finished without a solution"),
+            EngineError::Failed(m) => write!(f, "job failed: {m}"),
+            EngineError::UnknownJob => write!(f, "unknown or already-claimed job id"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The simulated devices a GPU backend can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuDevice {
+    /// Tesla C1060 (CC 1.3, the paper's primary device).
+    TeslaC1060,
+    /// Tesla M2050 (Fermi, CC 2.0).
+    TeslaM2050,
+}
+
+impl GpuDevice {
+    /// Both devices, in the paper's order.
+    pub const ALL: [GpuDevice; 2] = [GpuDevice::TeslaC1060, GpuDevice::TeslaM2050];
+
+    /// The full device model.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            GpuDevice::TeslaC1060 => DeviceSpec::tesla_c1060(),
+            GpuDevice::TeslaM2050 => DeviceSpec::tesla_m2050(),
+        }
+    }
+
+    /// Short display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            GpuDevice::TeslaC1060 => "c1060",
+            GpuDevice::TeslaM2050 => "m2050",
+        }
+    }
+}
+
+/// Which solver implementation a job runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// The sequential ACOTSP-style Ant System (the paper's baseline).
+    CpuSequential {
+        /// Construction rule.
+        policy: TourPolicy,
+    },
+    /// The multi-threaded CPU colony (per-ant decorrelated streams;
+    /// results are independent of `threads`).
+    CpuParallel {
+        /// Construction rule.
+        policy: TourPolicy,
+        /// Worker threads for construction.
+        threads: usize,
+    },
+    /// Ant Colony System on the CPU.
+    CpuAcs(AcsParams),
+    /// MAX-MIN Ant System on the CPU.
+    CpuMmas(MmasParams),
+    /// Both ACO phases on a simulated GPU, any Table II × Table III/IV
+    /// strategy combination.
+    Gpu {
+        /// Target device.
+        device: GpuDevice,
+        /// Tour-construction kernel (Table II row).
+        tour: TourStrategy,
+        /// Pheromone-update kernel (Table III/IV row).
+        pheromone: PheromoneStrategy,
+    },
+    /// Ant Colony System on a simulated GPU.
+    GpuAcs {
+        /// Target device.
+        device: GpuDevice,
+        /// ACS-specific knobs.
+        acs: AcsParams,
+    },
+    /// Let the engine pick the fastest backend for this instance using the
+    /// analytic cost models (see [`crate::auto`]).
+    Auto,
+}
+
+impl Backend {
+    /// Human-readable label (stable; used in reports and benchmarks).
+    pub fn label(&self) -> String {
+        match self {
+            Backend::CpuSequential { policy } => format!("cpu-seq/{policy:?}"),
+            Backend::CpuParallel { policy, threads } => format!("cpu-par{threads}/{policy:?}"),
+            Backend::CpuAcs(_) => "cpu-acs".into(),
+            Backend::CpuMmas(_) => "cpu-mmas".into(),
+            Backend::Gpu { device, tour, pheromone } => {
+                format!("gpu-{}/{tour:?}+{pheromone:?}", device.label())
+            }
+            Backend::GpuAcs { device, .. } => format!("gpu-acs-{}", device.label()),
+            Backend::Auto => "auto".into(),
+        }
+    }
+}
+
+/// One solve job.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The instance to solve (shared, immutable).
+    pub instance: Arc<TspInstance>,
+    /// ACO parameters (α, β, ρ, m, NN depth, seed).
+    pub params: AcoParams,
+    /// Backend to run, or [`Backend::Auto`].
+    pub backend: Backend,
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Optional seed override; when set it replaces `params.seed`, so one
+    /// request template can fan out over seeds.
+    pub seed: Option<u64>,
+}
+
+impl SolveRequest {
+    /// A request with library defaults: auto backend, 10 iterations.
+    pub fn new(instance: Arc<TspInstance>, params: AcoParams) -> Self {
+        SolveRequest { instance, params, backend: Backend::Auto, iterations: 10, seed: None }
+    }
+
+    /// Builder: backend.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Builder: iteration count.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.iterations = iters;
+        self
+    }
+
+    /// Builder: seed override.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = Some(s);
+        self
+    }
+
+    /// The seed this request actually runs with.
+    pub fn effective_seed(&self) -> u64 {
+        self.seed.unwrap_or(self.params.seed)
+    }
+}
+
+/// The outcome of one solve job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Instance name.
+    pub instance: String,
+    /// Instance size.
+    pub n: usize,
+    /// The backend that actually ran (never [`Backend::Auto`]).
+    pub backend: Backend,
+    /// Best tour found.
+    pub best_tour: Tour,
+    /// Exact integer length of `best_tour`.
+    pub best_len: u64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Modeled milliseconds the run would have cost on the target hardware
+    /// (CPU cost model or the simulator's kernel-time estimates — the same
+    /// clocks the paper's speed-up figures use).
+    pub modeled_ms: f64,
+    /// The seed the job ran with.
+    pub seed: u64,
+}
+
+/// A backend adapter: steps one ACO iteration at a time.
+pub trait Solver {
+    /// Stable label of the concrete backend.
+    fn backend(&self) -> Backend;
+
+    /// Run one iteration; returns the best length so far.
+    fn step(&mut self) -> Result<u64, EngineError>;
+
+    /// Best tour found so far.
+    fn best(&self) -> Option<(Tour, u64)>;
+
+    /// Modeled milliseconds accumulated so far.
+    fn modeled_ms(&self) -> f64;
+
+    /// Drive `iterations` steps and assemble the report.
+    fn solve(&mut self, iterations: usize, seed: u64) -> Result<SolveReport, EngineError> {
+        for _ in 0..iterations {
+            self.step()?;
+        }
+        let (best_tour, best_len) = self.best().ok_or(EngineError::NoSolution)?;
+        Ok(SolveReport {
+            instance: String::new(), // filled by the caller, which owns the instance
+            n: best_tour.n(),
+            backend: self.backend(),
+            best_tour,
+            best_len,
+            iterations,
+            modeled_ms: self.modeled_ms(),
+            seed,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU sequential
+
+struct CpuSequentialSolver<'a> {
+    aco: AntSystem<'a>,
+    policy: TourPolicy,
+    model: CpuModel,
+    ms: f64,
+}
+
+impl Solver for CpuSequentialSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::CpuSequential { policy: self.policy }
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        let rep = self.aco.iterate(self.policy);
+        self.ms += self.model.time_ms(&rep.counters.choice)
+            + self.model.time_ms(&rep.counters.tour)
+            + self.model.time_ms(&rep.counters.update);
+        Ok(rep.best_so_far)
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.aco.best().map(|(t, l)| (t.clone(), l))
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.ms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU parallel colony
+
+struct CpuParallelSolver<'a> {
+    aco: AntSystem<'a>,
+    policy: TourPolicy,
+    threads: usize,
+    iteration: u64,
+    best: Option<(Tour, u64)>,
+    model: CpuModel,
+    ms: f64,
+}
+
+impl Solver for CpuParallelSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::CpuParallel { policy: self.policy, threads: self.threads }
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        // Match sequential semantics: refresh choice info from the
+        // pheromone laid down last iteration before constructing.
+        let mut c = OpCounter::default();
+        self.aco.refresh_choice(&mut c);
+        let sols = construct_parallel(&self.aco, self.policy, self.iteration, self.threads);
+        let (tour, len) =
+            sols.iter().min_by_key(|&&(_, l)| l).cloned().ok_or(EngineError::NoSolution)?;
+        if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
+            self.best = Some((tour, len));
+        }
+        self.aco.update_pheromone(&sols, &mut c);
+
+        // Construction fans out over `threads`; choice refresh and the
+        // pheromone update stay sequential (memory-bound, as measured by
+        // the update counters above). Model accordingly.
+        let n = self.aco.n();
+        let m = self.aco.m();
+        let tour_counters = match self.policy {
+            TourPolicy::FullProbabilistic => cpu_model::full_tour_counters(n, m),
+            TourPolicy::NearestNeighborList => {
+                cpu_model::nn_tour_counters(n, m, self.aco.params().nn_size.min(n - 1))
+            }
+        };
+        self.ms += self.model.time_ms(&c)
+            + self.model.time_ms(&tour_counters) / self.threads.max(1) as f64;
+        self.iteration += 1;
+        Ok(self.best.as_ref().map(|&(_, l)| l).expect("set above"))
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.best.clone()
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.ms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CPU ACS / MMAS
+
+struct CpuAcsSolver<'a> {
+    acs: AntColonySystem<'a>,
+    acs_params: AcsParams,
+    per_iter_ms: f64,
+    iters: u64,
+}
+
+impl Solver for CpuAcsSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::CpuAcs(self.acs_params)
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        self.iters += 1;
+        Ok(self.acs.iterate())
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.acs.best().map(|(t, l)| (t.clone(), l))
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.per_iter_ms * self.iters as f64
+    }
+}
+
+struct CpuMmasSolver<'a> {
+    mmas: MaxMinAntSystem<'a>,
+    mmas_params: MmasParams,
+    per_iter_ms: f64,
+    iters: u64,
+}
+
+impl Solver for CpuMmasSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::CpuMmas(self.mmas_params)
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        self.iters += 1;
+        Ok(self.mmas.iterate())
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.mmas.best().map(|(t, l)| (t.clone(), l))
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.per_iter_ms * self.iters as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU Ant System / ACS
+
+struct GpuSolver<'a> {
+    sys: GpuAntSystem<'a>,
+    device: GpuDevice,
+    tour: TourStrategy,
+    pheromone: PheromoneStrategy,
+    ms: f64,
+}
+
+impl Solver for GpuSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::Gpu { device: self.device, tour: self.tour, pheromone: self.pheromone }
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        let rep = self.sys.iterate(SimMode::Full)?;
+        self.ms += rep.tour_ms + rep.pheromone_ms;
+        Ok(rep.best_so_far)
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.sys.best().map(|(t, l)| (t.clone(), l))
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.ms
+    }
+}
+
+struct GpuAcsSolver<'a> {
+    sys: GpuAntColonySystem<'a>,
+    device: GpuDevice,
+    acs: AcsParams,
+    ms: f64,
+}
+
+impl Solver for GpuAcsSolver<'_> {
+    fn backend(&self) -> Backend {
+        Backend::GpuAcs { device: self.device, acs: self.acs }
+    }
+
+    fn step(&mut self) -> Result<u64, EngineError> {
+        let (best, tour_ms, update_ms) = self.sys.iterate()?;
+        self.ms += tour_ms + update_ms;
+        Ok(best)
+    }
+
+    fn best(&self) -> Option<(Tour, u64)> {
+        self.sys.best().map(|(t, l)| (t.clone(), l))
+    }
+
+    fn modeled_ms(&self) -> f64 {
+        self.ms
+    }
+}
+
+/// Analytic `(choice, tour, update)` per-iteration milliseconds of a
+/// candidate-list CPU colony — the single pricing formula shared by the
+/// ACS/MMAS report clocks and the `auto` cost model (`crate::auto`).
+pub(crate) fn cpu_phase_ms(n: usize, m: usize, nn: usize, model: &CpuModel) -> (f64, f64, f64) {
+    let nn = nn.min(n.saturating_sub(1)).max(1);
+    (
+        model.time_ms(&cpu_model::choice_counters(n)),
+        model.time_ms(&cpu_model::nn_tour_counters(n, m, nn)),
+        model.time_ms(&cpu_model::update_counters(n, m)),
+    )
+}
+
+/// Sum of [`cpu_phase_ms`]: the sequential per-iteration total.
+pub(crate) fn analytic_cpu_iter_ms(n: usize, m: usize, nn: usize, model: &CpuModel) -> f64 {
+    let (choice, tour, update) = cpu_phase_ms(n, m, nn, model);
+    choice + tour + update
+}
+
+/// Build a concrete solver for a **resolved** backend (callers resolve
+/// [`Backend::Auto`] first — see [`crate::auto::resolve`]).
+///
+/// # Panics
+/// Panics if `backend` is [`Backend::Auto`].
+pub fn build_solver<'a>(
+    backend: &Backend,
+    inst: &'a TspInstance,
+    params: &AcoParams,
+    artifacts: &InstanceArtifacts,
+) -> Box<dyn Solver + 'a> {
+    let model = CpuModel::default();
+    match backend {
+        Backend::CpuSequential { policy } => Box::new(CpuSequentialSolver {
+            aco: AntSystem::with_artifacts(
+                inst,
+                params.clone(),
+                Arc::clone(&artifacts.nn),
+                artifacts.c_nn,
+            ),
+            policy: *policy,
+            model,
+            ms: 0.0,
+        }),
+        Backend::CpuParallel { policy, threads } => Box::new(CpuParallelSolver {
+            aco: AntSystem::with_artifacts(
+                inst,
+                params.clone(),
+                Arc::clone(&artifacts.nn),
+                artifacts.c_nn,
+            ),
+            policy: *policy,
+            threads: (*threads).max(1),
+            iteration: 0,
+            best: None,
+            model,
+            ms: 0.0,
+        }),
+        Backend::CpuAcs(acs) => {
+            let m = params.num_ants.unwrap_or(10);
+            Box::new(CpuAcsSolver {
+                acs: AntColonySystem::with_artifacts(
+                    inst,
+                    params.clone(),
+                    *acs,
+                    Arc::clone(&artifacts.nn),
+                    artifacts.c_nn,
+                ),
+                acs_params: *acs,
+                per_iter_ms: analytic_cpu_iter_ms(inst.n(), m, params.nn_size, &model),
+                iters: 0,
+            })
+        }
+        Backend::CpuMmas(mmas) => Box::new(CpuMmasSolver {
+            mmas: MaxMinAntSystem::with_artifacts(
+                inst,
+                params.clone(),
+                *mmas,
+                Arc::clone(&artifacts.nn),
+                artifacts.c_nn,
+            ),
+            mmas_params: *mmas,
+            per_iter_ms: analytic_cpu_iter_ms(
+                inst.n(),
+                params.ants_for(inst.n()),
+                params.nn_size,
+                &model,
+            ),
+            iters: 0,
+        }),
+        Backend::Gpu { device, tour, pheromone } => Box::new(GpuSolver {
+            sys: GpuAntSystem::with_artifacts(
+                inst,
+                params.clone(),
+                device.spec(),
+                *tour,
+                *pheromone,
+                &artifacts.nn,
+                artifacts.c_nn,
+            ),
+            device: *device,
+            tour: *tour,
+            pheromone: *pheromone,
+            ms: 0.0,
+        }),
+        Backend::GpuAcs { device, acs } => Box::new(GpuAcsSolver {
+            sys: GpuAntColonySystem::with_artifacts(
+                inst,
+                params.clone(),
+                *acs,
+                device.spec(),
+                &artifacts.nn,
+                artifacts.c_nn,
+            ),
+            device: *device,
+            acs: *acs,
+            ms: 0.0,
+        }),
+        Backend::Auto => panic!("Backend::Auto must be resolved before build_solver"),
+    }
+}

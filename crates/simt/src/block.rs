@@ -326,9 +326,7 @@ impl<'a> BlockCtx<'a> {
     fn cmp<T: Copy>(&mut self, a: &Reg<T>, b: &Reg<T>, f: impl Fn(T, T) -> bool) -> Mask {
         self.charge(Op::FAlu, 1);
         let active = self.active().clone();
-        Mask::from_fn(self.block_dim as usize, |lane| {
-            active.get(lane) && f(a.0[lane], b.0[lane])
-        })
+        Mask::from_fn(self.block_dim as usize, |lane| active.get(lane) && f(a.0[lane], b.0[lane]))
     }
 
     pub fn flt(&mut self, a: &Reg<f32>, b: &Reg<f32>) -> Mask {
@@ -521,9 +519,7 @@ impl<'a> BlockCtx<'a> {
     /// Allocate `len` f32 elements of shared memory, or `None` when the
     /// block's declared budget is exhausted.
     pub fn try_shared_alloc_f32(&mut self, len: usize) -> Option<ShPtr<f32>> {
-        self.shared
-            .try_alloc(len as u32)
-            .map(|off| ShPtr::new(off, len as u32))
+        self.shared.try_alloc(len as u32).map(|off| ShPtr::new(off, len as u32))
     }
 
     /// Allocate shared f32 storage; panics if over the declared budget.
@@ -539,9 +535,7 @@ impl<'a> BlockCtx<'a> {
 
     /// Allocate `len` u32 elements of shared memory.
     pub fn try_shared_alloc_u32(&mut self, len: usize) -> Option<ShPtr<u32>> {
-        self.shared
-            .try_alloc(len as u32)
-            .map(|off| ShPtr::new(off, len as u32))
+        self.shared.try_alloc(len as u32).map(|off| ShPtr::new(off, len as u32))
     }
 
     /// Allocate shared u32 storage; panics if over the declared budget.
@@ -590,11 +584,8 @@ impl<'a> BlockCtx<'a> {
 
     /// Shared load with per-lane indices.
     pub fn sh_ld_f32(&mut self, ptr: ShPtr<f32>, idx: &Reg<u32>) -> Reg<f32> {
-        let words: Vec<(usize, u32)> = self
-            .active()
-            .lanes()
-            .map(|lane| (lane, ptr.word_addr(idx.0[lane])))
-            .collect();
+        let words: Vec<(usize, u32)> =
+            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
         self.charge_shared(&words);
         let mut out = vec![0.0; self.block_dim as usize];
         for &(lane, word) in &words {
@@ -605,11 +596,8 @@ impl<'a> BlockCtx<'a> {
 
     /// Shared store with per-lane indices (lane order resolves races).
     pub fn sh_st_f32(&mut self, ptr: ShPtr<f32>, idx: &Reg<u32>, val: &Reg<f32>) {
-        let words: Vec<(usize, u32)> = self
-            .active()
-            .lanes()
-            .map(|lane| (lane, ptr.word_addr(idx.0[lane])))
-            .collect();
+        let words: Vec<(usize, u32)> =
+            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
         self.charge_shared(&words);
         for &(lane, word) in &words {
             self.shared.store(word, val.0[lane].to_bits());
@@ -618,11 +606,8 @@ impl<'a> BlockCtx<'a> {
 
     /// Shared load with per-lane indices (u32).
     pub fn sh_ld_u32(&mut self, ptr: ShPtr<u32>, idx: &Reg<u32>) -> Reg<u32> {
-        let words: Vec<(usize, u32)> = self
-            .active()
-            .lanes()
-            .map(|lane| (lane, ptr.word_addr(idx.0[lane])))
-            .collect();
+        let words: Vec<(usize, u32)> =
+            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
         self.charge_shared(&words);
         let mut out = vec![0; self.block_dim as usize];
         for &(lane, word) in &words {
@@ -633,11 +618,8 @@ impl<'a> BlockCtx<'a> {
 
     /// Shared store with per-lane indices (u32).
     pub fn sh_st_u32(&mut self, ptr: ShPtr<u32>, idx: &Reg<u32>, val: &Reg<u32>) {
-        let words: Vec<(usize, u32)> = self
-            .active()
-            .lanes()
-            .map(|lane| (lane, ptr.word_addr(idx.0[lane])))
-            .collect();
+        let words: Vec<(usize, u32)> =
+            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
         self.charge_shared(&words);
         for &(lane, word) in &words {
             self.shared.store(word, val.0[lane]);
@@ -669,18 +651,13 @@ impl<'a> BlockCtx<'a> {
             if !active.warp_any(w) {
                 continue;
             }
-            let addrs: Vec<u64> = active
-                .warp_lanes(w)
-                .map(|lane| gm.addr(buf_id, idx.0[lane] as usize))
-                .collect();
+            let addrs: Vec<u64> =
+                active.warp_lanes(w).map(|lane| gm.addr(buf_id, idx.0[lane] as usize)).collect();
             // Partition camping: a warp-wide broadcast load means every
             // concurrently running block is reading this address right now,
             // all hammering one DRAM partition — traffic is effectively
             // serialized by `broadcast_camping`.
-            let camping = if !store
-                && addrs.len() >= 16
-                && addrs.iter().all(|&a| a == addrs[0])
-            {
+            let camping = if !store && addrs.len() >= 16 && addrs.iter().all(|&a| a == addrs[0]) {
                 self.device.broadcast_camping
             } else {
                 1.0
@@ -729,7 +706,12 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Global load, f32.
-    pub fn ld_global_f32(&mut self, gm: &GlobalMem, ptr: DevicePtr<f32>, idx: &Reg<u32>) -> Reg<f32> {
+    pub fn ld_global_f32(
+        &mut self,
+        gm: &GlobalMem,
+        ptr: DevicePtr<f32>,
+        idx: &Reg<u32>,
+    ) -> Reg<f32> {
         self.charge_global_access(gm, ptr.id, idx, false);
         let mut out = vec![0.0; self.block_dim as usize];
         for lane in self.active().lanes() {
@@ -739,7 +721,12 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Global load, u32.
-    pub fn ld_global_u32(&mut self, gm: &GlobalMem, ptr: DevicePtr<u32>, idx: &Reg<u32>) -> Reg<u32> {
+    pub fn ld_global_u32(
+        &mut self,
+        gm: &GlobalMem,
+        ptr: DevicePtr<u32>,
+        idx: &Reg<u32>,
+    ) -> Reg<u32> {
         self.charge_global_access(gm, ptr.id, idx, false);
         let mut out = vec![0; self.block_dim as usize];
         for lane in self.active().lanes() {
@@ -749,7 +736,13 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Global store, f32 (lane order resolves same-address races).
-    pub fn st_global_f32(&mut self, gm: &mut GlobalMem, ptr: DevicePtr<f32>, idx: &Reg<u32>, val: &Reg<f32>) {
+    pub fn st_global_f32(
+        &mut self,
+        gm: &mut GlobalMem,
+        ptr: DevicePtr<f32>,
+        idx: &Reg<u32>,
+        val: &Reg<f32>,
+    ) {
         self.charge_global_access(gm, ptr.id, idx, true);
         for lane in self.active().lanes() {
             gm.store_f32(ptr, idx.0[lane] as usize, val.0[lane]);
@@ -757,7 +750,13 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Global store, u32.
-    pub fn st_global_u32(&mut self, gm: &mut GlobalMem, ptr: DevicePtr<u32>, idx: &Reg<u32>, val: &Reg<u32>) {
+    pub fn st_global_u32(
+        &mut self,
+        gm: &mut GlobalMem,
+        ptr: DevicePtr<u32>,
+        idx: &Reg<u32>,
+        val: &Reg<u32>,
+    ) {
         self.charge_global_access(gm, ptr.id, idx, true);
         for lane in self.active().lanes() {
             gm.store_u32(ptr, idx.0[lane] as usize, val.0[lane]);
@@ -796,7 +795,13 @@ impl<'a> BlockCtx<'a> {
     /// Atomic `tau[idx] += val` with intra-warp serialization. On devices
     /// without native float atomics (Tesla C1060) the operation is costed
     /// as the CAS-loop emulation the paper alludes to.
-    pub fn atomic_add_f32(&mut self, gm: &mut GlobalMem, ptr: DevicePtr<f32>, idx: &Reg<u32>, val: &Reg<f32>) {
+    pub fn atomic_add_f32(
+        &mut self,
+        gm: &mut GlobalMem,
+        ptr: DevicePtr<f32>,
+        idx: &Reg<u32>,
+        val: &Reg<f32>,
+    ) {
         self.charge(Op::MemIssue, 1);
         let active = self.active().clone();
         self.stats.mem_warp_instructions += active.active_warps() as f64;
@@ -884,7 +889,8 @@ impl<'a> BlockCtx<'a> {
         self.charge(Op::IAlu, 20);
         let mut out = vec![0.0; self.block_dim as usize];
         for lane in self.active().lanes() {
-            let mut x = s0.0[lane] ^ s1.0[lane].rotate_left(13) ^ s2.0[lane].wrapping_mul(0x9E37_79B9);
+            let mut x =
+                s0.0[lane] ^ s1.0[lane].rotate_left(13) ^ s2.0[lane].wrapping_mul(0x9E37_79B9);
             if x == 0 {
                 x = 0x1234_5678;
             }

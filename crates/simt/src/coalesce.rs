@@ -137,8 +137,7 @@ mod tests {
         let ts = coalesce_cc13_half_warp(&addrs);
         for &a in &addrs {
             assert!(
-                ts.iter()
-                    .any(|t| a >= t.base && a + 4 <= t.base + t.bytes as u64),
+                ts.iter().any(|t| a >= t.base && a + 4 <= t.base + t.bytes as u64),
                 "address {a} not covered by {ts:?}"
             );
         }

@@ -56,10 +56,7 @@ impl GlobalMem {
     /// Empty arena. Base addresses start away from zero so "address 0"
     /// bugs surface loudly.
     pub fn new() -> Self {
-        GlobalMem {
-            buffers: Vec::new(),
-            next_base: BASE_ALIGN,
-        }
+        GlobalMem { buffers: Vec::new(), next_base: BASE_ALIGN }
     }
 
     fn push(&mut self, bytes: u64, data: Data) -> u32 {
@@ -176,10 +173,9 @@ impl GlobalMem {
         let len = v.len();
         match v.get_mut(idx) {
             Some(x) => *x = val,
-            None => panic!(
-                "device OOB store: f32 buffer #{} has {len} elements, index {idx}",
-                ptr.id
-            ),
+            None => {
+                panic!("device OOB store: f32 buffer #{} has {len} elements, index {idx}", ptr.id)
+            }
         }
     }
 
@@ -189,10 +185,9 @@ impl GlobalMem {
         let len = v.len();
         match v.get_mut(idx) {
             Some(x) => *x = val,
-            None => panic!(
-                "device OOB store: u32 buffer #{} has {len} elements, index {idx}",
-                ptr.id
-            ),
+            None => {
+                panic!("device OOB store: u32 buffer #{} has {len} elements, index {idx}", ptr.id)
+            }
         }
     }
 }

@@ -140,9 +140,8 @@ pub fn launch(
     let scale = cfg.grid as f64 / executed as f64;
 
     let mut stats = KernelStats::for_sms(dev.sm_count as usize);
-    let mut tex_caches: Vec<Cache> = (0..dev.sm_count)
-        .map(|_| Cache::new(dev.tex_cache_bytes as u64, 32, 8))
-        .collect();
+    let mut tex_caches: Vec<Cache> =
+        (0..dev.sm_count).map(|_| Cache::new(dev.tex_cache_bytes as u64, 32, 8)).collect();
     let mut l1_caches: Vec<Cache> = (0..dev.sm_count)
         .map(|_| Cache::new(if dev.has_l1 { dev.l1_bytes as u64 } else { 0 }, 128, 8))
         .collect();

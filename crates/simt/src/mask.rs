@@ -26,10 +26,7 @@ impl Mask {
 
     /// No lanes active.
     pub fn none(len: usize) -> Self {
-        Mask {
-            bits: vec![0; len.div_ceil(64)],
-            len,
-        }
+        Mask { bits: vec![0; len.div_ceil(64)], len }
     }
 
     /// Build from a predicate over lane indices.
@@ -95,12 +92,7 @@ impl Mask {
     pub fn and(&self, other: &Mask) -> Mask {
         debug_assert_eq!(self.len, other.len);
         Mask {
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(a, b)| a & b)
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect(),
             len: self.len,
         }
     }
@@ -109,12 +101,7 @@ impl Mask {
     pub fn or(&self, other: &Mask) -> Mask {
         debug_assert_eq!(self.len, other.len);
         Mask {
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(a, b)| a | b)
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a | b).collect(),
             len: self.len,
         }
     }
@@ -123,12 +110,7 @@ impl Mask {
     pub fn and_not(&self, other: &Mask) -> Mask {
         debug_assert_eq!(self.len, other.len);
         Mask {
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(a, b)| a & !b)
-                .collect(),
+            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & !b).collect(),
             len: self.len,
         }
     }

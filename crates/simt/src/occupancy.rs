@@ -58,10 +58,7 @@ pub fn occupancy(
     } else {
         dev.registers_per_sm / (regs_per_thread * block_dim)
     };
-    let by_shared = dev
-        .shared_mem_per_sm
-        .checked_div(shared_bytes_per_block)
-        .unwrap_or(u32::MAX);
+    let by_shared = dev.shared_mem_per_sm.checked_div(shared_bytes_per_block).unwrap_or(u32::MAX);
 
     let mut blocks = by_block_slots.min(by_warps).min(by_regs).min(by_shared);
     let mut limiter = if blocks == by_warps {
@@ -78,7 +75,11 @@ pub fn occupancy(
     if blocks == by_regs && by_regs < by_warps && by_regs < by_block_slots {
         limiter = Limiter::Registers;
     }
-    if blocks == by_shared && by_shared < by_regs && by_shared < by_warps && by_shared < by_block_slots {
+    if blocks == by_shared
+        && by_shared < by_regs
+        && by_shared < by_warps
+        && by_shared < by_block_slots
+    {
         limiter = Limiter::SharedMemory;
     }
 

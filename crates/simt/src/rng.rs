@@ -110,7 +110,7 @@ mod tests {
         assert_ne!(s0, s1);
         for t in 0..100 {
             let s = PmRng::thread_seed(42, t);
-            assert!(s >= 1 && s < PM_MODULUS);
+            assert!((1..PM_MODULUS).contains(&s));
         }
     }
 

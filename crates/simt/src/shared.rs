@@ -56,11 +56,7 @@ impl SharedMem {
     /// Arena with a byte budget (the launch's declared shared usage).
     pub(crate) fn new(budget_bytes: u32) -> Self {
         let budget_words = budget_bytes / 4;
-        SharedMem {
-            words: vec![0; budget_words as usize],
-            used_words: 0,
-            budget_words,
-        }
+        SharedMem { words: vec![0; budget_words as usize], used_words: 0, budget_words }
     }
 
     /// Allocate `len` 4-byte elements; `None` when the budget is exhausted.

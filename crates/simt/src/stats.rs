@@ -48,10 +48,7 @@ pub struct KernelStats {
 impl KernelStats {
     /// Stats sized for a device with `sm_count` SMs.
     pub fn for_sms(sm_count: usize) -> Self {
-        KernelStats {
-            issue_cycles_per_sm: vec![0.0; sm_count],
-            ..Default::default()
-        }
+        KernelStats { issue_cycles_per_sm: vec![0.0; sm_count], ..Default::default() }
     }
 
     /// The busiest SM's issue cycles (bounds compute time).
@@ -112,14 +109,9 @@ impl KernelStats {
     /// Accumulate another launch's counters into this one.
     pub fn merge(&mut self, other: &KernelStats) {
         if self.issue_cycles_per_sm.len() < other.issue_cycles_per_sm.len() {
-            self.issue_cycles_per_sm
-                .resize(other.issue_cycles_per_sm.len(), 0.0);
+            self.issue_cycles_per_sm.resize(other.issue_cycles_per_sm.len(), 0.0);
         }
-        for (a, b) in self
-            .issue_cycles_per_sm
-            .iter_mut()
-            .zip(other.issue_cycles_per_sm.iter())
-        {
+        for (a, b) in self.issue_cycles_per_sm.iter_mut().zip(other.issue_cycles_per_sm.iter()) {
             *a += b;
         }
         self.warp_instructions += other.warp_instructions;

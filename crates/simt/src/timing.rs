@@ -54,7 +54,13 @@ impl KernelTime {
 
     /// A zero time (for folding).
     pub fn zero() -> Self {
-        KernelTime { compute_ms: 0.0, memory_ms: 0.0, latency_ms: 0.0, overhead_ms: 0.0, total_ms: 0.0 }
+        KernelTime {
+            compute_ms: 0.0,
+            memory_ms: 0.0,
+            latency_ms: 0.0,
+            overhead_ms: 0.0,
+            total_ms: 0.0,
+        }
     }
 
     /// Sequential composition of two kernel times (sums every component).
@@ -143,7 +149,13 @@ mod tests {
 
     #[test]
     fn then_accumulates() {
-        let a = KernelTime { compute_ms: 1.0, memory_ms: 0.5, latency_ms: 0.1, overhead_ms: 0.007, total_ms: 1.007 };
+        let a = KernelTime {
+            compute_ms: 1.0,
+            memory_ms: 0.5,
+            latency_ms: 0.1,
+            overhead_ms: 0.007,
+            total_ms: 1.007,
+        };
         let b = a.then(&a);
         assert!((b.total_ms - 2.014).abs() < 1e-12);
         assert!((b.compute_ms - 2.0).abs() < 1e-12);

@@ -63,7 +63,7 @@ proptest! {
         let mut s = seed;
         for _ in 0..100 {
             s = park_miller(s);
-            prop_assert!(s >= 1 && s < PM_MODULUS);
+            prop_assert!((1..PM_MODULUS).contains(&s));
         }
         let mut r = PmRng::new(seed);
         let v = r.next_f32();

@@ -42,9 +42,8 @@ const PAPER_SEED: u64 = 0x05EE_DAC0_2011;
 /// Generate `n` cities uniformly in a `side × side` square.
 pub fn uniform_random(name: &str, n: usize, side: f64, seed: u64) -> TspInstance {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let points: Vec<Point> = (0..n)
-        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
-        .collect();
+    let points: Vec<Point> =
+        (0..n).map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))).collect();
     TspInstance::from_points(name, EdgeWeightType::Euc2d, points)
         .expect("generated instance is structurally valid")
 }
@@ -77,9 +76,8 @@ pub fn clustered(name: &str, n: usize, clusters: usize, side: f64, seed: u64) ->
 
 /// Generate a `w × h` grid of cities with unit spacing `step`.
 pub fn grid(name: &str, w: usize, h: usize, step: f64) -> TspInstance {
-    let points: Vec<Point> = (0..w * h)
-        .map(|k| Point::new((k % w) as f64 * step, (k / w) as f64 * step))
-        .collect();
+    let points: Vec<Point> =
+        (0..w * h).map(|k| Point::new((k % w) as f64 * step, (k / w) as f64 * step)).collect();
     TspInstance::from_points(name, EdgeWeightType::Euc2d, points)
         .expect("generated instance is structurally valid")
 }
@@ -92,11 +90,7 @@ pub fn grid(name: &str, w: usize, h: usize, step: f64) -> TspInstance {
 /// are seeded uniform — see the module docs for why this preserves the
 /// paper's performance behaviour.
 pub fn paper_instances() -> Vec<TspInstance> {
-    PAPER_INSTANCES
-        .iter()
-        .enumerate()
-        .map(|(i, p)| paper_instance_by_index(i, p))
-        .collect()
+    PAPER_INSTANCES.iter().enumerate().map(|(i, p)| paper_instance_by_index(i, p)).collect()
 }
 
 /// A single paper stand-in by table position (0 = att48 … 6 = pr2392).

@@ -1,0 +1,73 @@
+//! Content hashing for TSP instances.
+//!
+//! The batch engine caches per-instance artifacts (nearest-neighbour
+//! lists, greedy-tour lengths, backend decisions) across jobs. Cache keys
+//! must identify the *problem*, not the `TspInstance` allocation, so two
+//! instances with identical distance matrices — loaded from different
+//! files, generated twice, or renamed — share one cache entry. The hash is
+//! FNV-1a over the dimension and the row-major distance matrix; names,
+//! comments, coordinates and metadata deliberately do not participate
+//! (they never influence a solver).
+
+use crate::matrix::DistanceMatrix;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `n` and every distance cell, row-major.
+///
+/// Deterministic across platforms (explicit little-endian byte order) and
+/// stable across releases — persisted artifact stores may rely on it.
+pub fn matrix_content_hash(matrix: &DistanceMatrix) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: [u8; 4]| {
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat((matrix.n() as u32).to_le_bytes());
+    for &d in matrix.as_flat() {
+        eat(d.to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::uniform_random;
+    use crate::TspInstance;
+
+    #[test]
+    fn equal_matrices_hash_equal_regardless_of_metadata() {
+        let a = uniform_random("alpha", 40, 500.0, 7);
+        let b = uniform_random("beta", 40, 500.0, 7).with_comment("other metadata");
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn different_instances_hash_differently() {
+        let a = uniform_random("x", 40, 500.0, 7);
+        let b = uniform_random("x", 40, 500.0, 8);
+        let c = uniform_random("x", 41, 500.0, 7);
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn hash_survives_matrix_round_trip() {
+        let a = uniform_random("rt", 25, 300.0, 3);
+        let explicit = TspInstance::from_matrix("renamed", a.matrix().clone()).unwrap();
+        assert_eq!(a.content_hash(), explicit.content_hash());
+    }
+
+    #[test]
+    fn hash_is_pinned() {
+        // Guards the cross-platform/cross-release stability promise: this
+        // constant may never change, or persisted artifact stores keyed by
+        // the hash would silently go stale.
+        let m = DistanceMatrix::from_flat(2, vec![0, 5, 5, 0]).unwrap();
+        assert_eq!(matrix_content_hash(&m), 0x8373_C3CC_F65F_5207);
+    }
+}

@@ -119,6 +119,14 @@ impl TspInstance {
     pub fn best_known(&self) -> Option<u64> {
         self.best_known
     }
+
+    /// Content hash of the problem this instance poses (dimension plus
+    /// distance matrix; metadata excluded). Two instances with the same
+    /// hash are interchangeable for every solver, which is what the batch
+    /// engine's artifact cache keys on.
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::matrix_content_hash(&self.matrix)
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 
 pub mod generator;
 pub mod geometry;
+pub mod hash;
 pub mod instance;
 pub mod matrix;
 pub mod nn;
@@ -29,8 +30,11 @@ pub mod tour;
 pub mod tsplib;
 pub mod two_opt;
 
-pub use generator::{clustered, grid, paper_instance, paper_instances, uniform_random, PaperInstance};
+pub use generator::{
+    clustered, grid, paper_instance, paper_instances, uniform_random, PaperInstance,
+};
 pub use geometry::{EdgeWeightType, Point};
+pub use hash::matrix_content_hash;
 pub use instance::TspInstance;
 pub use matrix::DistanceMatrix;
 pub use nn::NearestNeighborLists;

@@ -44,9 +44,7 @@ impl Tour {
 
     /// The identity tour `0, 1, …, n-1`.
     pub fn identity(n: usize) -> Self {
-        Tour {
-            order: (0..n as u32).collect(),
-        }
+        Tour { order: (0..n as u32).collect() }
     }
 
     /// A uniformly random tour (Fisher–Yates from the provided RNG).

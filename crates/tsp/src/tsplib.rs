@@ -87,19 +87,23 @@ pub fn parse(text: &str) -> Result<TspInstance, TspError> {
                 }
             }
             "DIMENSION" => {
-                dimension = Some(value.parse().map_err(|_| {
-                    TspError::Parse(format!("bad DIMENSION value: {value:?}"))
-                })?);
+                dimension = Some(
+                    value
+                        .parse()
+                        .map_err(|_| TspError::Parse(format!("bad DIMENSION value: {value:?}")))?,
+                );
             }
             "EDGE_WEIGHT_TYPE" => {
-                weight_type = Some(EdgeWeightType::from_keyword(value).ok_or_else(|| {
-                    TspError::Unsupported(format!("EDGE_WEIGHT_TYPE {value}"))
-                })?);
+                weight_type =
+                    Some(EdgeWeightType::from_keyword(value).ok_or_else(|| {
+                        TspError::Unsupported(format!("EDGE_WEIGHT_TYPE {value}"))
+                    })?);
             }
             "EDGE_WEIGHT_FORMAT" => {
-                weight_format = Some(WeightFormat::from_keyword(value).ok_or_else(|| {
-                    TspError::Unsupported(format!("EDGE_WEIGHT_FORMAT {value}"))
-                })?);
+                weight_format =
+                    Some(WeightFormat::from_keyword(value).ok_or_else(|| {
+                        TspError::Unsupported(format!("EDGE_WEIGHT_FORMAT {value}"))
+                    })?);
             }
             // Harmless metadata we accept and ignore.
             "DISPLAY_DATA_TYPE" | "NODE_COORD_TYPE" => {}
@@ -138,8 +142,9 @@ pub fn parse(text: &str) -> Result<TspInstance, TspError> {
                     "EDGE_WEIGHT_SECTION present but EDGE_WEIGHT_TYPE is not EXPLICIT".into(),
                 ));
             }
-            let fmt = weight_format
-                .ok_or_else(|| TspError::Parse("EXPLICIT instance missing EDGE_WEIGHT_FORMAT".into()))?;
+            let fmt = weight_format.ok_or_else(|| {
+                TspError::Parse("EXPLICIT instance missing EDGE_WEIGHT_FORMAT".into())
+            })?;
             let matrix = parse_explicit(&mut lines, n, fmt)?;
             instance = Some(TspInstance::from_matrix(name.clone(), matrix)?);
         } else if line.starts_with("DISPLAY_DATA_SECTION") {
@@ -154,7 +159,10 @@ pub fn parse(text: &str) -> Result<TspInstance, TspError> {
         .ok_or_else(|| TspError::Parse("file contains no coordinate or weight section".into()))
 }
 
-fn skip_numeric_lines<'a>(lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>, n: usize) {
+fn skip_numeric_lines<'a>(
+    lines: &mut std::iter::Peekable<impl Iterator<Item = &'a str>>,
+    n: usize,
+) {
     for _ in 0..n {
         match lines.peek() {
             Some(&l) if !l.is_empty() && l != "EOF" => {
@@ -172,9 +180,9 @@ fn parse_coords<'a>(
     let mut points = vec![None::<Point>; n];
     let mut seen = 0usize;
     while seen < n {
-        let line = lines
-            .next()
-            .ok_or_else(|| TspError::Parse(format!("coordinate section ended after {seen} of {n} cities")))?;
+        let line = lines.next().ok_or_else(|| {
+            TspError::Parse(format!("coordinate section ended after {seen} of {n} cities"))
+        })?;
         if line.is_empty() {
             continue;
         }
@@ -222,9 +230,8 @@ fn parse_explicit<'a>(
         }
         lines.next();
         for tok in line.split_whitespace() {
-            let v: i64 = tok
-                .parse()
-                .map_err(|_| TspError::Parse(format!("bad weight token {tok:?}")))?;
+            let v: i64 =
+                tok.parse().map_err(|_| TspError::Parse(format!("bad weight token {tok:?}")))?;
             if v < 0 {
                 return Err(TspError::Parse(format!("negative edge weight {v}")));
             }
@@ -310,8 +317,7 @@ pub fn write(inst: &TspInstance) -> String {
             out.push_str("EDGE_WEIGHT_SECTION\n");
             let n = inst.n();
             for i in 0..n {
-                let row: Vec<String> =
-                    (0..n).map(|j| inst.dist(i, j).to_string()).collect();
+                let row: Vec<String> = (0..n).map(|j| inst.dist(i, j).to_string()).collect();
                 out.push_str(&row.join(" "));
                 out.push('\n');
             }

@@ -35,9 +35,12 @@ pub fn two_opt(tour: &mut Tour, matrix: &DistanceMatrix, nn: &NearestNeighborLis
             apply_2opt(tour, &mut pos, a, b);
             improvements += 1;
             // Re-activate the endpoints of the exchanged edges.
-            for &c in &[a, b, tour.order()[(pos[a as usize] as usize + 1) % n], tour.order()
-                [(pos[b as usize] as usize + 1) % n]]
-            {
+            for &c in &[
+                a,
+                b,
+                tour.order()[(pos[a as usize] as usize + 1) % n],
+                tour.order()[(pos[b as usize] as usize + 1) % n],
+            ] {
                 if dont_look[c as usize] {
                     dont_look[c as usize] = false;
                     queue.push(c);

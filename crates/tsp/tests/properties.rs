@@ -2,7 +2,9 @@
 
 use aco_tsp::{
     geometry::{att, ceil_2d, euc_2d, man_2d, max_2d},
-    nearest_neighbor_tour, tsplib, two_opt::two_opt, NearestNeighborLists, Point, Tour,
+    nearest_neighbor_tour, tsplib,
+    two_opt::two_opt,
+    NearestNeighborLists, Point, Tour,
 };
 use proptest::prelude::*;
 

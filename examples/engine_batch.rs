@@ -1,0 +1,64 @@
+//! Batch solving with the engine: one seed study, three backends, shared
+//! artifacts, cost-model auto-selection.
+//!
+//! ```text
+//! cargo run --release --example engine_batch
+//! ```
+
+use std::sync::Arc;
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{Backend, Engine, EngineConfig, GpuDevice, SolveRequest};
+use aco_gpu::tsp;
+
+fn main() {
+    // One shared instance; every job reuses its cached NN lists.
+    let inst = Arc::new(tsp::uniform_random("demo120", 120, 1200.0, 42));
+    let params = AcoParams::default().nn(20);
+    let iterations = 10;
+
+    let engine = Engine::new(EngineConfig::default());
+    println!("engine: {} workers, instance {} (n = {})", engine.workers(), inst.name(), inst.n());
+
+    // A seed study across three explicit backends plus `auto`.
+    let backends = [
+        Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
+        Backend::CpuParallel { policy: TourPolicy::NearestNeighborList, threads: 4 },
+        Backend::Gpu {
+            device: GpuDevice::TeslaM2050,
+            tour: TourStrategy::DataParallelTex,
+            pheromone: PheromoneStrategy::AtomicShared,
+        },
+        Backend::Auto,
+    ];
+    let jobs = engine.run_batch(backends.iter().flat_map(|backend| {
+        (0..3).map(|seed| {
+            SolveRequest::new(Arc::clone(&inst), params.clone())
+                .backend(backend.clone())
+                .iterations(iterations)
+                .seed(seed)
+        })
+    }));
+
+    println!("\n{:<42} {:>6} {:>12} {:>6}", "backend", "seed", "modeled ms", "best");
+    for job in jobs {
+        match job {
+            Ok(rep) => println!(
+                "{:<42} {:>6} {:>12.3} {:>6}",
+                rep.backend.label(),
+                rep.seed,
+                rep.modeled_ms,
+                rep.best_len
+            ),
+            Err(e) => println!("job failed: {e}"),
+        }
+    }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\ncache: {} artifact hits / {} misses, {} decision hits / {} misses",
+        stats.artifact_hits, stats.artifact_misses, stats.decision_hits, stats.decision_misses
+    );
+}

@@ -6,9 +6,7 @@
 //! cargo run --release --example gpu_profile -- [n] [c1060|m2050]
 //! ```
 
-use aco_gpu::core::gpu::{
-    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
-};
+use aco_gpu::core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
 use aco_gpu::simt::rng::PmRng;
 use aco_gpu::simt::{DeviceSpec, GlobalMem, KernelStats, KernelTime, SimMode};

@@ -5,9 +5,7 @@
 //! cargo run --release --example strategy_shootout [n]
 //! ```
 
-use aco_gpu::core::gpu::{
-    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
-};
+use aco_gpu::core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
 use aco_gpu::simt::rng::PmRng;
 use aco_gpu::simt::{DeviceSpec, GlobalMem, SimMode};

@@ -85,6 +85,7 @@ fn fermi_atomics_are_several_times_faster_than_gt200_emulation() {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // (row, col) indexing into parallel tables
 fn measured_cells_track_paper_cells_in_order_of_magnitude() {
     // Absolute times cannot match hardware we do not have, but every
     // measured cell must land within a factor of 8 of the paper's cell

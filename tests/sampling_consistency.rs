@@ -6,9 +6,7 @@
 //! instances small enough to simulate fully, sampled estimates must agree
 //! with full execution.
 
-use aco_gpu::core::gpu::{
-    run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy,
-};
+use aco_gpu::core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
 use aco_gpu::simt::rng::PmRng;
 use aco_gpu::simt::{DeviceSpec, GlobalMem, SimMode};
@@ -49,10 +47,7 @@ fn sampled_tour_times_match_full_execution() {
         };
         let full = time_of(SimMode::Full);
         let sampled = time_of(SimMode::SampleBlocks(2));
-        assert!(
-            rel(sampled, full) < 0.25,
-            "{strategy:?}: sampled {sampled:.3} vs full {full:.3}"
-        );
+        assert!(rel(sampled, full) < 0.25, "{strategy:?}: sampled {sampled:.3} vs full {full:.3}");
     }
 }
 
@@ -80,10 +75,7 @@ fn sampled_pheromone_times_match_full_execution() {
         };
         let full = time_of(SimMode::Full);
         let sampled = time_of(SimMode::SampleBlocks(3));
-        assert!(
-            rel(sampled, full) < 0.20,
-            "{strategy:?}: sampled {sampled:.3} vs full {full:.3}"
-        );
+        assert!(rel(sampled, full) < 0.20, "{strategy:?}: sampled {sampled:.3} vs full {full:.3}");
     }
 }
 
