@@ -1,18 +1,30 @@
 //! Engine throughput benchmark → `BENCH_engine.json`.
 //!
 //! ```text
-//! engine_bench [--jobs N] [--workers W] [--n CITIES] [--iters I] [--out FILE]
+//! engine_bench [--jobs N] [--workers W1,W2] [--n CITIES] [--iters I]
+//!              [--label S] [--append] [--out FILE]
+//! engine_bench --check FILE [--tolerance T]
 //! ```
 //!
 //! Submits a fixed, seeded batch of solve jobs to the engine at several
 //! worker counts and records wall-clock throughput plus cache
-//! effectiveness. The JSON output is append-friendly for tracking the
-//! perf trajectory across PRs: one object with a `runs` array, one entry
-//! per worker count.
+//! effectiveness. The JSON artifact holds a **history**: one entry per
+//! PR (label + batch shape + per-worker-count runs), so the perf
+//! trajectory across PRs stays in the file. `--append` keeps existing
+//! entries (the legacy single-entry format is converted in place);
+//! without it the file is replaced by a one-entry history.
+//!
+//! `--check` is the CI regression gate: it re-runs the **last** history
+//! entry's batch at 1 worker and fails (exit 1) if fresh throughput
+//! drops more than `--tolerance` (default 0.20) below that entry's
+//! 1-worker run. Same-machine comparisons are meaningful; cross-machine
+//! ones are advisory — which is why the gate re-measures instead of
+//! trusting absolute numbers.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use aco_bench::json::Json;
 use aco_core::cpu::TourPolicy;
 use aco_core::AcoParams;
 use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
@@ -22,12 +34,25 @@ struct Args {
     workers: Vec<usize>,
     n: usize,
     iters: usize,
+    label: String,
+    append: bool,
+    check: Option<std::path::PathBuf>,
+    tolerance: f64,
     out: std::path::PathBuf,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { jobs: 16, workers: vec![1, 2, 4], n: 48, iters: 5, out: "BENCH_engine.json".into() };
+    let mut args = Args {
+        jobs: 12,
+        workers: vec![1, 2, 4],
+        n: 48,
+        iters: 5,
+        label: "dev".into(),
+        append: false,
+        check: None,
+        tolerance: 0.20,
+        out: "BENCH_engine.json".into(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut next = |what: &str| {
@@ -46,11 +71,26 @@ fn parse_args() -> Args {
             }
             "--n" => args.n = next("--n").parse().expect("--n CITIES"),
             "--iters" => args.iters = next("--iters").parse().expect("--iters I"),
+            "--label" => {
+                args.label = next("--label");
+                // Labels are interpolated into the JSON artifact; keep
+                // them to characters that need no escaping.
+                if args.label.is_empty()
+                    || !args.label.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+                {
+                    eprintln!("--label must be non-empty [A-Za-z0-9._-]: {:?}", args.label);
+                    std::process::exit(2);
+                }
+            }
+            "--append" => args.append = true,
+            "--check" => args.check = Some(next("--check").into()),
+            "--tolerance" => args.tolerance = next("--tolerance").parse().expect("--tolerance T"),
             "--out" => args.out = next("--out").into(),
             other => {
                 eprintln!(
                     "unknown arg {other}\nusage: engine_bench [--jobs N] [--workers W1,W2] \
-                     [--n CITIES] [--iters I] [--out FILE]"
+                     [--n CITIES] [--iters I] [--label S] [--append] [--out FILE]\n       \
+                     engine_bench --check FILE [--tolerance T]"
                 );
                 std::process::exit(2);
             }
@@ -82,53 +122,225 @@ fn batch(jobs: usize, n: usize, iters: usize) -> Vec<SolveRequest> {
         .collect()
 }
 
+#[derive(Debug, Clone)]
+struct RunRec {
+    workers: usize,
+    jobs: usize,
+    ok: usize,
+    wall_ms: f64,
+    jobs_per_sec: f64,
+    best: u64,
+    artifact_hits: u64,
+    artifact_misses: u64,
+    decision_hits: u64,
+    decision_misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HistEntry {
+    label: String,
+    jobs: usize,
+    n: usize,
+    iterations: usize,
+    host_cpus: usize,
+    runs: Vec<RunRec>,
+}
+
+fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
+    let engine = Engine::new(EngineConfig::with_workers(workers));
+    // Instance generation (O(n^2) matrices) stays outside the timed
+    // region; wall_ms measures engine throughput only.
+    let reqs = batch(jobs, n, iters);
+    let t0 = Instant::now();
+    let reports = engine.run_batch(reqs);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ok = reports.iter().filter(|r| r.is_ok()).count();
+    let best: u64 =
+        reports.iter().filter_map(|r| r.as_ref().ok().map(|rep| rep.best_len)).min().unwrap_or(0);
+    let stats = engine.cache_stats();
+    let rec = RunRec {
+        workers,
+        jobs,
+        ok,
+        wall_ms,
+        jobs_per_sec: ok as f64 / (wall_ms / 1e3),
+        best,
+        artifact_hits: stats.artifact_hits,
+        artifact_misses: stats.artifact_misses,
+        decision_hits: stats.decision_hits,
+        decision_misses: stats.decision_misses,
+    };
+    println!(
+        "workers {workers}: {ok}/{jobs} jobs in {wall_ms:.1} ms ({:.1} jobs/s), best {best}, \
+         cache {}h/{}m",
+        rec.jobs_per_sec, rec.artifact_hits, rec.artifact_misses,
+    );
+    rec
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+// --- JSON (de)serialisation of the history ---------------------------------
+
+fn render_run(r: &RunRec) -> String {
+    format!(
+        "      {{\"workers\": {}, \"jobs\": {}, \"ok\": {}, \"wall_ms\": {:.3}, \
+         \"jobs_per_sec\": {:.3}, \"best\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}, \
+         \"decision_hits\": {}, \"decision_misses\": {}}}",
+        r.workers,
+        r.jobs,
+        r.ok,
+        r.wall_ms,
+        r.jobs_per_sec,
+        r.best,
+        r.artifact_hits,
+        r.artifact_misses,
+        r.decision_hits,
+        r.decision_misses,
+    )
+}
+
+fn render_entry(e: &HistEntry) -> String {
+    let runs: Vec<String> = e.runs.iter().map(render_run).collect();
+    format!(
+        "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
+         \"iterations\": {},\n      \"host_cpus\": {},\n      \"runs\": [\n{}\n      ]\n    }}",
+        e.label,
+        e.jobs,
+        e.n,
+        e.iterations,
+        e.host_cpus,
+        runs.join(",\n")
+    )
+}
+
+fn render_history(entries: &[HistEntry]) -> String {
+    let body: Vec<String> = entries.iter().map(render_entry).collect();
+    format!("{{\n  \"bench\": \"engine_batch\",\n  \"history\": [\n{}\n  ]\n}}\n", body.join(",\n"))
+}
+
+fn uint(v: Option<&Json>) -> u64 {
+    v.and_then(Json::num).unwrap_or(0.0) as u64
+}
+
+fn parse_run(v: &Json) -> RunRec {
+    RunRec {
+        workers: uint(v.get("workers")) as usize,
+        jobs: uint(v.get("jobs")) as usize,
+        ok: uint(v.get("ok")) as usize,
+        wall_ms: v.get("wall_ms").and_then(Json::num).unwrap_or(0.0),
+        jobs_per_sec: v.get("jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        best: uint(v.get("best")),
+        artifact_hits: uint(v.get("artifact_hits")),
+        artifact_misses: uint(v.get("artifact_misses")),
+        decision_hits: uint(v.get("decision_hits")),
+        decision_misses: uint(v.get("decision_misses")),
+    }
+}
+
+fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
+    HistEntry {
+        label: v.get("label").and_then(Json::str).unwrap_or(fallback_label).to_string(),
+        jobs: uint(v.get("jobs")) as usize,
+        n: uint(v.get("n")) as usize,
+        iterations: uint(v.get("iterations")) as usize,
+        host_cpus: uint(v.get("host_cpus")) as usize,
+        runs: v.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().map(parse_run).collect(),
+    }
+}
+
+/// Read an artifact in either the history format or the legacy PR-1
+/// single-entry format (top-level `runs`). `Ok(vec![])` means the file
+/// does not exist; an unparseable or unrecognised file is an error so
+/// callers never silently clobber accumulated history.
+fn read_history(path: &std::path::Path) -> Result<Vec<HistEntry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("could not read {}: {e}", path.display())),
+    };
+    let doc = Json::parse(&text).map_err(|e| format!("could not parse {}: {e}", path.display()))?;
+    if let Some(hist) = doc.get("history").and_then(Json::arr) {
+        return Ok(hist.iter().map(|e| parse_entry(e, "unlabeled")).collect());
+    }
+    if doc.get("runs").is_some() {
+        return Ok(vec![parse_entry(&doc, "PR-1")]);
+    }
+    Err(format!("{} has neither 'history' nor 'runs'", path.display()))
+}
+
+/// `--check`: re-run the last committed entry's batch at 1 worker and
+/// compare throughput. Exit 1 on regression beyond the tolerance.
+fn check(path: &std::path::Path, tolerance: f64) -> ! {
+    let history = read_history(path).unwrap_or_else(|e| {
+        eprintln!("check: {e}");
+        std::process::exit(2);
+    });
+    let Some(last) = history.last() else {
+        eprintln!("check: no usable history in {}", path.display());
+        std::process::exit(2);
+    };
+    let Some(baseline) = last.runs.iter().find(|r| r.workers == 1) else {
+        eprintln!("check: entry '{}' has no 1-worker run", last.label);
+        std::process::exit(2);
+    };
+    println!(
+        "gate: entry '{}' ({} jobs, n={}, {} iters) baseline {:.3} jobs/s",
+        last.label, last.jobs, last.n, last.iterations, baseline.jobs_per_sec
+    );
+    let fresh = measure(1, last.jobs, last.n, last.iterations);
+    let floor = baseline.jobs_per_sec * (1.0 - tolerance);
+    if fresh.ok != fresh.jobs {
+        eprintln!("gate FAIL: {}/{} jobs succeeded", fresh.ok, fresh.jobs);
+        std::process::exit(1);
+    }
+    if fresh.jobs_per_sec < floor {
+        eprintln!(
+            "gate FAIL: {:.3} jobs/s < floor {:.3} ({}% below baseline {:.3})",
+            fresh.jobs_per_sec,
+            floor,
+            (tolerance * 100.0) as u32,
+            baseline.jobs_per_sec
+        );
+        std::process::exit(1);
+    }
+    println!("gate OK: {:.3} jobs/s >= floor {:.3}", fresh.jobs_per_sec, floor);
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
-    let mut runs = Vec::new();
-
-    for &workers in &args.workers {
-        let engine = Engine::new(EngineConfig::with_workers(workers));
-        // Instance generation (O(n^2) matrices) stays outside the timed
-        // region; wall_ms measures engine throughput only.
-        let reqs = batch(args.jobs, args.n, args.iters);
-        let t0 = Instant::now();
-        let reports = engine.run_batch(reqs);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let ok = reports.iter().filter(|r| r.is_ok()).count();
-        let best: u64 = reports
-            .iter()
-            .filter_map(|r| r.as_ref().ok().map(|rep| rep.best_len))
-            .min()
-            .unwrap_or(0);
-        let stats = engine.cache_stats();
-        println!(
-            "workers {workers}: {ok}/{} jobs in {wall_ms:.1} ms ({:.1} jobs/s), best {best}, \
-             cache {}h/{}m",
-            args.jobs,
-            ok as f64 / (wall_ms / 1e3),
-            stats.artifact_hits,
-            stats.artifact_misses,
-        );
-        runs.push(format!(
-            "    {{\"workers\": {workers}, \"jobs\": {}, \"ok\": {ok}, \"wall_ms\": {wall_ms:.3}, \
-             \"jobs_per_sec\": {:.3}, \"best\": {best}, \"artifact_hits\": {}, \
-             \"artifact_misses\": {}, \"decision_hits\": {}, \"decision_misses\": {}}}",
-            args.jobs,
-            ok as f64 / (wall_ms / 1e3),
-            stats.artifact_hits,
-            stats.artifact_misses,
-            stats.decision_hits,
-            stats.decision_misses,
-        ));
+    if let Some(path) = &args.check {
+        check(path, args.tolerance);
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"engine_batch\",\n  \"jobs\": {},\n  \"n\": {},\n  \"iterations\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        args.jobs,
-        args.n,
-        args.iters,
-        runs.join(",\n")
-    );
+    let runs: Vec<RunRec> =
+        args.workers.iter().map(|&w| measure(w, args.jobs, args.n, args.iters)).collect();
+    let entry = HistEntry {
+        label: args.label.clone(),
+        jobs: args.jobs,
+        n: args.n,
+        iterations: args.iters,
+        host_cpus: host_cpus(),
+        runs,
+    };
+
+    let mut history = if args.append {
+        read_history(&args.out).unwrap_or_else(|e| {
+            eprintln!("refusing to overwrite unreadable history: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        Vec::new()
+    };
+    // Re-running under an existing label replaces that entry (keeps the
+    // artifact one-entry-per-PR).
+    history.retain(|e| e.label != entry.label);
+    history.push(entry);
+
+    let json = render_history(&history);
     match std::fs::write(&args.out, &json) {
         Ok(()) => println!("-> {}", args.out.display()),
         Err(e) => {

@@ -1,0 +1,291 @@
+//! SIMT-interpreter micro-benchmark → `BENCH_interp.json`.
+//!
+//! ```text
+//! interp_bench [--label S] [--append] [--reps R] [--out FILE]
+//! ```
+//!
+//! Measures the per-operation cost of the `BlockCtx` primitives the
+//! kernels are built from — wall nanoseconds *and allocator calls* per
+//! op — on a 256-lane block. The allocation column is the regression
+//! tripwire for the pooled register file: every row must stay at (or
+//! very near) zero allocations per op once the thread-local pools are
+//! warm; a future change that reintroduces per-op `Vec` churn shows up
+//! here immediately, long before it is visible in end-to-end numbers.
+//!
+//! The artifact keeps a history entry per PR, like `BENCH_engine.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use aco_bench::json::Json;
+use aco_simt::prelude::*;
+
+/// Counts every allocator call so the bench can report allocs/op.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System` verbatim; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One micro-kernel: `reps` repetitions of a single primitive inside one
+/// 256-lane block.
+struct OpKernel {
+    op: &'static str,
+    reps: u32,
+    buf_f: DevicePtr<f32>,
+    buf_u: DevicePtr<u32>,
+}
+
+impl Kernel for OpKernel {
+    fn name(&self) -> &'static str {
+        self.op
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let a = ctx.thread_idx();
+        let af = ctx.u2f(&a);
+        let bf = ctx.splat_f32(1.5);
+        let idx = a.clone();
+        match self.op {
+            "fmul" => {
+                for _ in 0..self.reps {
+                    let _ = ctx.fmul(&af, &bf);
+                }
+            }
+            "fma" => {
+                for _ in 0..self.reps {
+                    let _ = ctx.fma(&af, &bf, &af);
+                }
+            }
+            "fdiv_sfu" => {
+                for _ in 0..self.reps {
+                    let _ = ctx.fdiv(&af, &bf);
+                }
+            }
+            "cmp_select" => {
+                for _ in 0..self.reps {
+                    let m = ctx.flt(&af, &bf);
+                    let _ = ctx.select_f32(&m, &af, &bf);
+                }
+            }
+            "if_else" => {
+                let m = ctx.flt(&af, &bf);
+                for _ in 0..self.reps {
+                    ctx.if_else(
+                        gm,
+                        &m,
+                        |ctx, _| ctx.charge(Op::IAlu, 1),
+                        |ctx, _| ctx.charge(Op::IAlu, 1),
+                    );
+                }
+            }
+            "global_ld" => {
+                for _ in 0..self.reps {
+                    let _ = ctx.ld_global_f32(gm, self.buf_f, &idx);
+                }
+            }
+            "global_st" => {
+                for _ in 0..self.reps {
+                    ctx.st_global_f32(gm, self.buf_f, &idx, &af);
+                }
+            }
+            "tex_ld" => {
+                for _ in 0..self.reps {
+                    let _ = ctx.ld_tex_f32(gm, self.buf_f, &idx);
+                }
+            }
+            "shared_ld_st" => {
+                let sh = ctx.shared_alloc_f32(256);
+                for _ in 0..self.reps {
+                    ctx.sh_st_f32(sh, &idx, &af);
+                    let _ = ctx.sh_ld_f32(sh, &idx);
+                }
+            }
+            "atomic_add" => {
+                let eight = ctx.splat_u32(8);
+                let target = ctx.imod(&a, &eight);
+                for _ in 0..self.reps {
+                    ctx.atomic_add_f32(gm, self.buf_f, &target, &bf);
+                }
+            }
+            "lcg_rng" => {
+                let mut state = ctx.reg_from_fn_u32(|l| l as u32 + 1);
+                for _ in 0..self.reps {
+                    let _ = ctx.lcg_next_f32(&mut state);
+                }
+            }
+            "roulette_loop" => {
+                // A loop_while whose lanes retire progressively — the
+                // divergence pattern of the proportional roulette.
+                let _ = self.buf_u;
+                for _ in 0..self.reps / 16 {
+                    let mut trips = ctx.splat_u32(0);
+                    let one = ctx.splat_u32(1);
+                    let lanes = ctx.thread_idx();
+                    let sixteen = ctx.splat_u32(16);
+                    let cap = ctx.imod(&lanes, &sixteen);
+                    ctx.loop_while(gm, |ctx, _| {
+                        let next = ctx.iadd(&trips, &one);
+                        ctx.assign_u32(&mut trips, &next);
+                        ctx.ult(&trips, &cap)
+                    });
+                }
+            }
+            other => unreachable!("unknown op {other}"),
+        }
+    }
+}
+
+const OPS: [&str; 12] = [
+    "fmul",
+    "fma",
+    "fdiv_sfu",
+    "cmp_select",
+    "if_else",
+    "global_ld",
+    "global_st",
+    "tex_ld",
+    "shared_ld_st",
+    "atomic_add",
+    "lcg_rng",
+    "roulette_loop",
+];
+
+struct OpResult {
+    name: &'static str,
+    ns_per_op: f64,
+    allocs_per_op: f64,
+}
+
+fn run_op(op: &'static str, reps: u32) -> OpResult {
+    let dev = DeviceSpec::tesla_c1060();
+    let mut gm = GlobalMem::new();
+    let buf_f = gm.alloc_f32(256);
+    let buf_u = gm.alloc_u32(256);
+    let k = OpKernel { op, reps, buf_f, buf_u };
+    let cfg = LaunchConfig::new(1, 256).shared(4 * 256);
+    // Warm-up launch: fills the thread-local pools and caches.
+    launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+
+    let rounds = 8u32;
+    let before_allocs = ALLOC_CALLS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        launch(&dev, &cfg, &k, &mut gm, SimMode::Full).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before_allocs;
+    let total_ops = (reps as u64) * rounds as u64;
+    OpResult {
+        name: op,
+        ns_per_op: elapsed.as_nanos() as f64 / total_ops as f64,
+        allocs_per_op: allocs as f64 / total_ops as f64,
+    }
+}
+
+fn render(label: &str, results: &[OpResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"op\": \"{}\", \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.4}}}",
+                r.name, r.ns_per_op, r.allocs_per_op
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"label\": \"{label}\",\n      \"block\": 256,\n      \"ops\": [\n{}\n      \
+         ]\n    }}",
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let mut label = String::from("dev");
+    let mut append = false;
+    let mut reps: u32 = 4096;
+    let mut out = std::path::PathBuf::from("BENCH_interp.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => label = it.next().expect("--label S"),
+            "--append" => append = true,
+            "--reps" => reps = it.next().expect("--reps R").parse().expect("--reps R"),
+            "--out" => out = it.next().expect("--out FILE").into(),
+            other => {
+                eprintln!("unknown arg {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results: Vec<OpResult> = OPS.iter().map(|&op| run_op(op, reps)).collect();
+    println!("{:<14} {:>10} {:>12}", "op", "ns/op", "allocs/op");
+    for r in &results {
+        println!("{:<14} {:>10.1} {:>12.4}", r.name, r.ns_per_op, r.allocs_per_op);
+    }
+
+    // Keep prior history entries (drop any with the same label).
+    let mut entries: Vec<String> = Vec::new();
+    if append {
+        if let Ok(text) = std::fs::read_to_string(&out) {
+            if let Ok(doc) = Json::parse(&text) {
+                if let Some(hist) = doc.get("history").and_then(Json::arr) {
+                    for e in hist {
+                        let lbl = e.get("label").and_then(Json::str).unwrap_or("");
+                        if lbl == label {
+                            continue;
+                        }
+                        let ops: Vec<String> = e
+                            .get("ops")
+                            .and_then(Json::arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|o| {
+                                format!(
+                                    "      {{\"op\": \"{}\", \"ns_per_op\": {:.1}, \
+                                     \"allocs_per_op\": {:.4}}}",
+                                    o.get("op").and_then(Json::str).unwrap_or("?"),
+                                    o.get("ns_per_op").and_then(Json::num).unwrap_or(0.0),
+                                    o.get("allocs_per_op").and_then(Json::num).unwrap_or(0.0)
+                                )
+                            })
+                            .collect();
+                        entries.push(format!(
+                            "    {{\n      \"label\": \"{lbl}\",\n      \"block\": {},\n      \
+                             \"ops\": [\n{}\n      ]\n    }}",
+                            e.get("block").and_then(Json::num).unwrap_or(256.0) as u32,
+                            ops.join(",\n")
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    entries.push(render(&label, &results));
+
+    let json = format!(
+        "{{\n  \"bench\": \"blockctx_ops\",\n  \"history\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("-> {}", out.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

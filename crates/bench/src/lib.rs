@@ -9,6 +9,7 @@
 //! The `repro` binary (`cargo run -p aco-bench --release --bin repro`)
 //! regenerates everything; `cargo bench` runs the Criterion wrappers.
 
+pub mod json;
 pub mod paper;
 pub mod runner;
 pub mod table;

@@ -40,11 +40,16 @@ pub struct AntColonySystem<'a> {
     n: usize,
     m: usize,
     tau: Vec<f64>,
-    eta: Vec<f64>,
+    /// `eta^beta`, precomputed once — ACS evaluates edge desirability on
+    /// every candidate inspection, so hoisting the `powf` out of the
+    /// construction loop removes the dominant transcendental traffic.
+    eta_pow: Vec<f64>,
     nn: std::sync::Arc<NearestNeighborLists>,
     rng: PmRng,
     tau0: f64,
     best: Option<(Tour, u64)>,
+    /// Reusable per-ant visited flags (construction scratch).
+    visited_scratch: Vec<bool>,
 }
 
 impl<'a> AntColonySystem<'a> {
@@ -68,11 +73,13 @@ impl<'a> AntColonySystem<'a> {
         let n = inst.n();
         let m = params.num_ants.unwrap_or(10);
         let tau0 = 1.0 / (n as f64 * c_nn as f64);
-        let mut eta = vec![0.0f64; n * n];
+        let beta = params.beta as f64;
+        let mut eta_pow = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {
                 let d = inst.dist(i, j);
-                eta[i * n + j] = if d == 0 { 10.0 } else { 1.0 / d as f64 };
+                let eta = if d == 0 { 10.0 } else { 1.0 / d as f64 };
+                eta_pow[i * n + j] = eta.powf(beta);
             }
         }
         AntColonySystem {
@@ -80,11 +87,12 @@ impl<'a> AntColonySystem<'a> {
             n,
             m,
             tau: vec![tau0; n * n],
-            eta,
+            eta_pow,
             nn,
             rng: PmRng::new((params.seed % 0x7FFF_FFFF) as u32),
             tau0,
             best: None,
+            visited_scratch: vec![false; n],
             params,
             acs,
         }
@@ -107,8 +115,8 @@ impl<'a> AntColonySystem<'a> {
 
     #[inline]
     fn value(&self, i: usize, j: usize) -> f64 {
-        // ACS uses alpha = 1 by definition: tau * eta^beta.
-        self.tau[i * self.n + j] * self.eta[i * self.n + j].powf(self.params.beta as f64)
+        // ACS uses alpha = 1 by definition: tau * eta^beta (precomputed).
+        self.tau[i * self.n + j] * self.eta_pow[i * self.n + j]
     }
 
     fn step(&mut self, cur: usize, visited: &[bool]) -> usize {
@@ -169,7 +177,9 @@ impl<'a> AntColonySystem<'a> {
 
     fn construct_one(&mut self) -> (Tour, u64) {
         let n = self.n;
-        let mut visited = vec![false; n];
+        let mut visited = std::mem::take(&mut self.visited_scratch);
+        visited.clear();
+        visited.resize(n, false);
         let mut order = Vec::with_capacity(n);
         let start = (self.rng.next_f64() * n as f64) as usize % n;
         visited[start] = true;
@@ -190,6 +200,7 @@ impl<'a> AntColonySystem<'a> {
             cur = next;
         }
         len += self.inst.dist(cur, start) as u64;
+        self.visited_scratch = visited;
         (Tour::new_unchecked(order), len)
     }
 

@@ -32,6 +32,33 @@ pub enum TourPolicy {
     NearestNeighborList,
 }
 
+/// Reusable per-ant construction scratch: the visited flags and roulette
+/// probabilities every tour needs. One scratch serves any number of
+/// sequential constructions (each resets it), so a colony — or one worker
+/// thread of a parallel colony — allocates these buffers once instead of
+/// once per ant.
+#[derive(Debug, Default, Clone)]
+pub struct TourScratch {
+    visited: Vec<bool>,
+    prob: Vec<f64>,
+}
+
+impl TourScratch {
+    /// Scratch sized for `n` cities and candidate depth `nn`.
+    pub fn new(n: usize, nn: usize) -> Self {
+        TourScratch { visited: vec![false; n], prob: vec![0.0; n.max(nn)] }
+    }
+
+    fn reset(&mut self, n: usize, nn: usize) {
+        self.visited.clear();
+        self.visited.resize(n, false);
+        let want = n.max(nn);
+        if self.prob.len() < want {
+            self.prob.resize(want, 0.0);
+        }
+    }
+}
+
 /// Per-phase operation counters of the last iteration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseCounters {
@@ -173,17 +200,33 @@ impl<'a> AntSystem<'a> {
 
     /// Construct one tour under `policy` with an explicit RNG stream,
     /// counting into `c`. Immutable on `self` so colonies can run ants
-    /// concurrently (see [`super::parallel`]).
+    /// concurrently (see [`super::parallel`]). Allocates fresh scratch;
+    /// loops should use [`AntSystem::construct_one_with`] and reuse one
+    /// [`TourScratch`] across ants.
     pub fn construct_one(
         &self,
         rng: &mut PmRng,
         policy: TourPolicy,
         c: &mut OpCounter,
     ) -> (Tour, u64) {
+        let mut scratch = TourScratch::new(self.n, self.nn.depth());
+        self.construct_one_with(&mut scratch, rng, policy, c)
+    }
+
+    /// [`AntSystem::construct_one`] against caller-owned scratch — the
+    /// zero-allocation construction hot path (only the tour's own order
+    /// vector is allocated, since it outlives the call).
+    pub fn construct_one_with(
+        &self,
+        scratch: &mut TourScratch,
+        rng: &mut PmRng,
+        policy: TourPolicy,
+        c: &mut OpCounter,
+    ) -> (Tour, u64) {
         let n = self.n;
-        let mut visited = vec![false; n];
+        scratch.reset(n, self.nn.depth());
+        let TourScratch { visited, prob } = scratch;
         let mut order = Vec::with_capacity(n);
-        let mut prob = vec![0.0f64; n.max(self.nn.depth())];
 
         let start = (rng.next_f64() * n as f64) as usize % n;
         c.rng += 1;
@@ -194,8 +237,8 @@ impl<'a> AntSystem<'a> {
 
         for _ in 1..n {
             let next = match policy {
-                TourPolicy::FullProbabilistic => self.step_full(rng, cur, &visited, &mut prob, c),
-                TourPolicy::NearestNeighborList => self.step_nn(rng, cur, &visited, &mut prob, c),
+                TourPolicy::FullProbabilistic => self.step_full(rng, cur, visited, prob, c),
+                TourPolicy::NearestNeighborList => self.step_nn(rng, cur, visited, prob, c),
             };
             debug_assert!(!visited[next]);
             visited[next] = true;
@@ -339,7 +382,10 @@ impl<'a> AntSystem<'a> {
         c: &mut OpCounter,
     ) -> Vec<(Tour, u64)> {
         let mut rng = self.rng.clone();
-        let sols = (0..self.m).map(|_| self.construct_one(&mut rng, policy, c)).collect();
+        let mut scratch = TourScratch::new(self.n, self.nn.depth());
+        let sols = (0..self.m)
+            .map(|_| self.construct_one_with(&mut scratch, &mut rng, policy, c))
+            .collect();
         self.rng = rng;
         sols
     }
@@ -348,9 +394,21 @@ impl<'a> AntSystem<'a> {
     /// ant its own decorrelated stream so results are thread-count
     /// independent).
     pub fn construct_with_seed(&self, ant_seed: u32, policy: TourPolicy) -> (Tour, u64) {
+        let mut scratch = TourScratch::new(self.n, self.nn.depth());
+        self.construct_with_seed_in(&mut scratch, ant_seed, policy)
+    }
+
+    /// [`AntSystem::construct_with_seed`] against caller-owned scratch
+    /// (each parallel worker reuses one scratch across its ants).
+    pub fn construct_with_seed_in(
+        &self,
+        scratch: &mut TourScratch,
+        ant_seed: u32,
+        policy: TourPolicy,
+    ) -> (Tour, u64) {
         let mut rng = PmRng::new(ant_seed);
         let mut c = OpCounter::default();
-        self.construct_one(&mut rng, policy, &mut c)
+        self.construct_one_with(scratch, &mut rng, policy, &mut c)
     }
 
     /// Evaporate and deposit (Equations 2–4 of the paper).
@@ -653,6 +711,59 @@ mod tests {
         let modeled_u = model::update_counters(120, 120);
         assert_eq!(measured_u.stores, modeled_u.stores);
         assert_eq!(measured_u.loads, modeled_u.loads);
+    }
+
+    /// When the candidate list covers *all* unvisited cities (depth
+    /// `n-1`), the NN-list roulette draws from exactly the same
+    /// probability distribution as the full roulette — the lists only
+    /// reorder the cumulative scan. Pin that equivalence empirically:
+    /// identical RNG streams through both steps must select each city
+    /// with matching frequency.
+    #[test]
+    fn candidate_roulette_matches_full_roulette_when_list_covers_all() {
+        let n = 10;
+        let inst = small_instance(n, 12);
+        // Depth n-1: every other city is a candidate of every city.
+        let mut aco = AntSystem::new(&inst, AcoParams::default().nn(n - 1).seed(3).ants(4));
+        // A couple of iterations so choice_info is non-uniform.
+        aco.iterate(TourPolicy::NearestNeighborList);
+        aco.iterate(TourPolicy::NearestNeighborList);
+
+        let cur = 0usize;
+        let mut visited = vec![false; n];
+        visited[cur] = true;
+        visited[4] = true;
+        visited[7] = true;
+
+        let samples = 4000u32;
+        let mut full_counts = vec![0u32; n];
+        let mut nn_counts = vec![0u32; n];
+        let mut prob = vec![0.0f64; n];
+        // Park–Miller's first draws from consecutive small seeds are
+        // heavily correlated; burn a few to decorrelate the streams.
+        let warmed = |seed: u32| {
+            let mut rng = aco_simt::rng::PmRng::new(seed);
+            for _ in 0..8 {
+                rng.next_f64();
+            }
+            rng
+        };
+        for s in 1..=samples {
+            let mut c = OpCounter::default();
+            full_counts[aco.step_full(&mut warmed(s), cur, &visited, &mut prob, &mut c)] += 1;
+            nn_counts[aco.step_nn(&mut warmed(s), cur, &visited, &mut prob, &mut c)] += 1;
+        }
+        for city in 0..n {
+            let diff = (full_counts[city] as f64 - nn_counts[city] as f64).abs() / samples as f64;
+            assert!(
+                diff < 0.05,
+                "city {city}: full {} vs nn {} over {samples} draws",
+                full_counts[city],
+                nn_counts[city]
+            );
+        }
+        assert_eq!(full_counts[cur], 0, "visited city must never be selected");
+        assert_eq!(full_counts[4] + nn_counts[4] + full_counts[7] + nn_counts[7], 0);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct MaxMinAntSystem<'a> {
     best: Option<(Tour, u64)>,
     iterations: usize,
     since_improvement: usize,
+    /// Reusable construction scratch (visited flags + roulette slots).
+    visited_scratch: Vec<bool>,
+    prob_scratch: Vec<f64>,
 }
 
 impl<'a> MaxMinAntSystem<'a> {
@@ -83,6 +86,7 @@ impl<'a> MaxMinAntSystem<'a> {
                 eta[i * n + j] = if d == 0 { 10.0 } else { 1.0 / d as f64 };
             }
         }
+        let nn_depth = nn.depth();
         let mut s = MaxMinAntSystem {
             inst,
             n,
@@ -97,6 +101,8 @@ impl<'a> MaxMinAntSystem<'a> {
             best: None,
             iterations: 0,
             since_improvement: 0,
+            visited_scratch: vec![false; n],
+            prob_scratch: vec![0.0; nn_depth],
             params,
             mmas,
         };
@@ -130,9 +136,13 @@ impl<'a> MaxMinAntSystem<'a> {
         // Candidate-list construction, same rule as the Ant System.
         let n = self.n;
         let nn_depth = self.nn.depth();
-        let mut visited = vec![false; n];
+        let mut visited = std::mem::take(&mut self.visited_scratch);
+        visited.clear();
+        visited.resize(n, false);
+        let mut prob = std::mem::take(&mut self.prob_scratch);
+        prob.clear();
+        prob.resize(nn_depth, 0.0);
         let mut order = Vec::with_capacity(n);
-        let mut prob = vec![0.0f64; nn_depth];
         let start = (self.rng.next_f64() * n as f64) as usize % n;
         visited[start] = true;
         order.push(start as u32);
@@ -178,6 +188,8 @@ impl<'a> MaxMinAntSystem<'a> {
             cur = next;
         }
         len += self.inst.dist(cur, start) as u64;
+        self.visited_scratch = visited;
+        self.prob_scratch = prob;
         (Tour::new_unchecked(order), len)
     }
 

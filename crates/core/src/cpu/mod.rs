@@ -11,7 +11,7 @@ pub mod mmas;
 pub mod parallel;
 
 pub use acs::{AcsParams, AntColonySystem};
-pub use ant_system::{AntSystem, IterationReport, PhaseCounters, TourPolicy};
+pub use ant_system::{AntSystem, IterationReport, PhaseCounters, TourPolicy, TourScratch};
 pub use counter::{CpuModel, OpCounter};
 pub use elitist::{Elitism, ElitistAntSystem};
 pub use mmas::{MaxMinAntSystem, MmasParams};

@@ -9,10 +9,12 @@
 use aco_simt::rng::PmRng;
 use aco_tsp::Tour;
 
-use super::ant_system::{AntSystem, TourPolicy};
+use super::ant_system::{AntSystem, TourPolicy, TourScratch};
 
 /// Construct all `m` tours with `threads` workers. Deterministic in
-/// `(seed, iteration)` regardless of `threads`.
+/// `(seed, iteration)` regardless of `threads`. Each worker reuses one
+/// [`TourScratch`] across its ants, so construction allocates only the
+/// tours themselves.
 pub fn construct_parallel(
     aco: &AntSystem<'_>,
     policy: TourPolicy,
@@ -25,7 +27,10 @@ pub fn construct_parallel(
         |ant: usize| PmRng::thread_seed(aco.params().seed ^ (iteration << 20), ant as u64);
 
     if threads == 1 {
-        return (0..m).map(|a| aco.construct_with_seed(seed_of(a), policy)).collect();
+        let mut scratch = TourScratch::default();
+        return (0..m)
+            .map(|a| aco.construct_with_seed_in(&mut scratch, seed_of(a), policy))
+            .collect();
     }
 
     let mut out: Vec<Option<(Tour, u64)>> = (0..m).map(|_| None).collect();
@@ -34,9 +39,10 @@ pub fn construct_parallel(
         for (w, slot) in out.chunks_mut(chunk).enumerate() {
             let aco_ref = &aco;
             scope.spawn(move || {
+                let mut scratch = TourScratch::default();
                 for (k, s) in slot.iter_mut().enumerate() {
                     let ant = w * chunk + k;
-                    *s = Some(aco_ref.construct_with_seed(seed_of(ant), policy));
+                    *s = Some(aco_ref.construct_with_seed_in(&mut scratch, seed_of(ant), policy));
                 }
             });
         }

@@ -10,6 +10,6 @@ pub mod tour;
 
 pub use acs::GpuAntColonySystem;
 pub use buffers::{ColonyBuffers, THETA};
-pub use pheromone::{run_pheromone, PheromoneRun, PheromoneStrategy};
+pub use pheromone::{run_pheromone, run_pheromone_threads, PheromoneRun, PheromoneStrategy};
 pub use system::{GpuAntSystem, GpuIterationReport};
-pub use tour::{run_tour, TourRun, TourStrategy};
+pub use tour::{run_tour, run_tour_threads, TourRun, TourStrategy};

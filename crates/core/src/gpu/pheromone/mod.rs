@@ -67,15 +67,30 @@ pub fn run_pheromone(
     rho: f32,
     mode: SimMode,
 ) -> Result<PheromoneRun, SimtError> {
+    run_pheromone_threads(dev, gm, bufs, strategy, rho, mode, 1)
+}
+
+/// [`run_pheromone`] with the simulator's blocks executed across up to
+/// `threads` host threads (results are bit-identical for any count; see
+/// [`aco_simt::launch_threads`]).
+pub fn run_pheromone_threads(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: ColonyBuffers,
+    strategy: PheromoneStrategy,
+    rho: f32,
+    mode: SimMode,
+    threads: usize,
+) -> Result<PheromoneRun, SimtError> {
     match strategy {
         PheromoneStrategy::AtomicShared | PheromoneStrategy::Atomic => {
             let ev = EvaporationKernel { bufs, rho };
-            let r1 = launch(dev, &ev.config(), &ev, gm, mode)?;
+            let r1 = launch_threads(dev, &ev.config(), &ev, gm, mode, threads)?;
             let dep = AtomicDepositKernel {
                 bufs,
                 use_shared: strategy == PheromoneStrategy::AtomicShared,
             };
-            let r2 = launch(dev, &dep.config(), &dep, gm, mode)?;
+            let r2 = launch_threads(dev, &dep.config(), &dep, gm, mode, threads)?;
             let mut stats = r1.stats;
             stats.merge(&r2.stats);
             Ok(PheromoneRun { time: r1.time.then(&r2.time), stats })
@@ -92,7 +107,7 @@ pub fn run_pheromone(
                     _ => ScatterMode::Plain,
                 },
             };
-            let r = launch(dev, &k.config(), &k, gm, mode)?;
+            let r = launch_threads(dev, &k.config(), &k, gm, mode, threads)?;
             Ok(PheromoneRun { time: r.time, stats: r.stats })
         }
     }

@@ -12,8 +12,8 @@ use aco_simt::SimtError;
 use aco_tsp::{Tour, TspInstance};
 
 use super::buffers::ColonyBuffers;
-use super::pheromone::{run_pheromone, PheromoneStrategy};
-use super::tour::{run_tour, TourRun, TourStrategy};
+use super::pheromone::{run_pheromone_threads, PheromoneStrategy};
+use super::tour::{run_tour_threads, TourRun, TourStrategy};
 use crate::params::AcoParams;
 
 /// Per-iteration report of the GPU colony.
@@ -42,6 +42,7 @@ pub struct GpuAntSystem<'a> {
     pheromone_strategy: PheromoneStrategy,
     iteration: u64,
     best: Option<(Tour, u64)>,
+    exec_threads: usize,
 }
 
 impl<'a> GpuAntSystem<'a> {
@@ -93,7 +94,16 @@ impl<'a> GpuAntSystem<'a> {
             pheromone_strategy,
             iteration: 0,
             best: None,
+            exec_threads: 1,
         }
+    }
+
+    /// Execute the simulator's blocks across up to `threads` host threads.
+    /// Functional results, counters and modeled times are bit-identical
+    /// for every value (see [`aco_simt::launch_threads`]); this only
+    /// trades host wall-clock for cores.
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
     }
 
     /// The device this colony runs on.
@@ -116,7 +126,7 @@ impl<'a> GpuAntSystem<'a> {
     /// `SimMode::Full` keeps functional output exact (needed for quality
     /// studies); sampled modes are for timing tables on large instances.
     pub fn iterate(&mut self, mode: SimMode) -> Result<GpuIterationReport, SimtError> {
-        let tour_run = run_tour(
+        let tour_run = run_tour_threads(
             &self.dev,
             &mut self.gm,
             self.bufs,
@@ -126,6 +136,7 @@ impl<'a> GpuAntSystem<'a> {
             self.params.seed,
             self.iteration,
             mode,
+            self.exec_threads,
         )?;
 
         // Host-exact best tracking (the device carries f32 lengths; the
@@ -146,13 +157,14 @@ impl<'a> GpuAntSystem<'a> {
             }
         }
 
-        let ph = run_pheromone(
+        let ph = run_pheromone_threads(
             &self.dev,
             &mut self.gm,
             self.bufs,
             self.pheromone_strategy,
             self.params.rho,
             mode,
+            self.exec_threads,
         )?;
 
         self.iteration += 1;

@@ -131,13 +131,32 @@ pub fn run_tour(
     iteration: u64,
     mode: SimMode,
 ) -> Result<TourRun, SimtError> {
+    run_tour_threads(dev, gm, bufs, strategy, alpha, beta, seed, iteration, mode, 1)
+}
+
+/// [`run_tour`] with the simulator's blocks executed across up to
+/// `threads` host threads (results are bit-identical for any count; see
+/// [`aco_simt::launch_threads`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_tour_threads(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: ColonyBuffers,
+    strategy: TourStrategy,
+    alpha: f32,
+    beta: f32,
+    seed: u64,
+    iteration: u64,
+    mode: SimMode,
+    threads: usize,
+) -> Result<TourRun, SimtError> {
     let choice_time = if strategy.uses_choice_kernel() {
         let ck = ChoiceKernel { bufs, alpha, beta };
         // Always full fidelity: the construction kernel's control flow
         // (roulette trip counts, fallback frequency) depends on a complete
         // choice table, and the kernel itself is cheap (`n^2` threads of
         // straight-line code).
-        let r = launch(dev, &ck.config(), &ck, gm, SimMode::Full)?;
+        let r = launch_threads(dev, &ck.config(), &ck, gm, SimMode::Full, threads)?;
         Some(r.time)
     } else {
         None
@@ -148,7 +167,7 @@ pub fn run_tour(
             bufs.clear_visited(gm);
             let k = TaskTourKernel { bufs, opts, alpha, beta, seed, iteration };
             let cfg = k.config(dev);
-            launch(dev, &cfg, &k, gm, mode)?
+            launch_threads(dev, &cfg, &k, gm, mode, threads)?
         }
         None => {
             let k = DataParallelTourKernel {
@@ -159,7 +178,7 @@ pub fn run_tour(
                 block_override: None,
             };
             let cfg = k.config();
-            launch(dev, &cfg, &k, gm, mode)?
+            launch_threads(dev, &cfg, &k, gm, mode, threads)?
         }
     };
 

@@ -42,6 +42,10 @@ pub struct CacheStats {
     pub decision_hits: u64,
     /// `auto` backend decisions that had to run the cost models.
     pub decision_misses: u64,
+    /// Artifact entries evicted by the LRU bound.
+    pub artifact_evictions: u64,
+    /// Decision entries evicted by the LRU bound.
+    pub decision_evictions: u64,
 }
 
 /// Decision-cache key: instance content plus every parameter the probe
@@ -55,8 +59,19 @@ pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32);
 /// One exactly-once cache slot (see [`ArtifactCache`] on contention).
 type Slot<T> = Arc<OnceLock<T>>;
 
+/// A slot plus its last-touched stamp (for LRU eviction).
+#[derive(Debug)]
+struct Entry<T> {
+    slot: Slot<T>,
+    last_used: u64,
+}
+
 /// Artifact store: `(content hash, nn depth)` → shared build-once slot.
-type ArtifactMap = HashMap<(u64, usize), Slot<Arc<InstanceArtifacts>>>;
+type ArtifactMap = HashMap<(u64, usize), Entry<Arc<InstanceArtifacts>>>;
+
+/// Default LRU bound for each of the two maps (entries, not bytes; an
+/// artifact entry is `O(n · nn)` words).
+pub const DEFAULT_CACHE_ENTRIES: usize = 256;
 
 /// Shared, thread-safe artifact store.
 ///
@@ -64,20 +79,87 @@ type ArtifactMap = HashMap<(u64, usize), Slot<Arc<InstanceArtifacts>>>;
 /// the same key compute the value exactly once (the laggards block on the
 /// cell, not on a map-wide lock); workers on different keys never
 /// serialize behind a build.
-#[derive(Debug, Default)]
+///
+/// Both maps are bounded: inserting past the capacity evicts the
+/// least-recently-used entry, so a long-lived engine's memory stays
+/// `O(capacity)` no matter how many distinct instances pass through.
+/// Eviction only drops the map's reference — jobs already holding the
+/// `Arc` (or mid-build on the cell) are unaffected.
+#[derive(Debug)]
 pub struct ArtifactCache {
     artifacts: Mutex<ArtifactMap>,
-    decisions: Mutex<HashMap<DecisionKey, Slot<Backend>>>,
+    decisions: Mutex<HashMap<DecisionKey, Entry<Backend>>>,
+    capacity: usize,
+    tick: AtomicU64,
     artifact_hits: AtomicU64,
     artifact_misses: AtomicU64,
     decision_hits: AtomicU64,
     decision_misses: AtomicU64,
+    artifact_evictions: AtomicU64,
+    decision_evictions: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_ENTRIES)
+    }
+}
+
+/// Touch `key` in `map` (stamping it `tick`) and return its slot,
+/// inserting — and evicting the LRU entry beyond `capacity` — if absent.
+/// Returns `(slot, evicted)`. Callers must draw `tick` *while holding
+/// the map lock*, so stamps are monotone with insertion order and the
+/// eviction minimum is genuinely least-recently-used.
+fn touch<K: std::hash::Hash + Eq + Copy, T>(
+    map: &mut HashMap<K, Entry<T>>,
+    key: K,
+    tick: u64,
+    capacity: usize,
+) -> (Slot<T>, bool) {
+    if let Some(e) = map.get_mut(&key) {
+        e.last_used = tick;
+        return (Arc::clone(&e.slot), false);
+    }
+    let mut evicted = false;
+    if map.len() >= capacity.max(1) {
+        // The fresh key carries the newest stamp, so the minimum is
+        // always some older entry.
+        if let Some(&lru) = map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k) {
+            map.remove(&lru);
+            evicted = true;
+        }
+    }
+    let slot: Slot<T> = Arc::default();
+    map.insert(key, Entry { slot: Arc::clone(&slot), last_used: tick });
+    (slot, evicted)
 }
 
 impl ArtifactCache {
-    /// Empty cache.
+    /// Cache with the default entry bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cache bounded to `capacity` entries per map (artifacts and
+    /// decisions each; a zero capacity is treated as 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ArtifactCache {
+            artifacts: Mutex::new(HashMap::new()),
+            decisions: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            artifact_hits: AtomicU64::new(0),
+            artifact_misses: AtomicU64::new(0),
+            decision_hits: AtomicU64::new(0),
+            decision_misses: AtomicU64::new(0),
+            artifact_evictions: AtomicU64::new(0),
+            decision_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured per-map entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Fetch (or build exactly once and insert) the artifacts for `inst`
@@ -87,9 +169,14 @@ impl ArtifactCache {
     pub fn artifacts(&self, inst: &TspInstance, nn_size: usize) -> Arc<InstanceArtifacts> {
         let nn_size = Self::effective_depth(inst, nn_size);
         let hash = inst.content_hash();
-        let cell = Arc::clone(
-            self.artifacts.lock().expect("artifact map").entry((hash, nn_size)).or_default(),
-        );
+        let (cell, evicted) = {
+            let mut map = self.artifacts.lock().expect("artifact map");
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            touch(&mut map, (hash, nn_size), tick, self.capacity)
+        };
+        if evicted {
+            self.artifact_evictions.fetch_add(1, Ordering::Relaxed);
+        }
         let mut built_here = false;
         let value = Arc::clone(cell.get_or_init(|| {
             built_here = true;
@@ -113,7 +200,14 @@ impl ArtifactCache {
     /// Fetch a cached `auto` decision, or compute one with `decide`
     /// (exactly once per key, even under contention) and remember it.
     pub(crate) fn decision(&self, key: DecisionKey, decide: impl FnOnce() -> Backend) -> Backend {
-        let cell = Arc::clone(self.decisions.lock().expect("decision map").entry(key).or_default());
+        let (cell, evicted) = {
+            let mut map = self.decisions.lock().expect("decision map");
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            touch(&mut map, key, tick, self.capacity)
+        };
+        if evicted {
+            self.decision_evictions.fetch_add(1, Ordering::Relaxed);
+        }
         let mut decided_here = false;
         let value = cell
             .get_or_init(|| {
@@ -135,13 +229,15 @@ impl ArtifactCache {
         nn_size.min(inst.n().saturating_sub(1)).max(1)
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             artifact_hits: self.artifact_hits.load(Ordering::Relaxed),
             artifact_misses: self.artifact_misses.load(Ordering::Relaxed),
             decision_hits: self.decision_hits.load(Ordering::Relaxed),
             decision_misses: self.decision_misses.load(Ordering::Relaxed),
+            artifact_evictions: self.artifact_evictions.load(Ordering::Relaxed),
+            decision_evictions: self.decision_evictions.load(Ordering::Relaxed),
         }
     }
 }

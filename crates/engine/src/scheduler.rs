@@ -14,7 +14,7 @@
 //! [`SolveReport`]s for any worker count — pinned by the
 //! `engine_results_do_not_depend_on_worker_count` tests.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -29,19 +29,28 @@ use crate::solver::{build_solver, EngineError, SolveReport, SolveRequest};
 pub struct EngineConfig {
     /// Worker threads. Results never depend on this; throughput does.
     pub workers: usize,
+    /// LRU entry bound for each artifact-cache map (see
+    /// [`crate::cache::ArtifactCache`]).
+    pub cache_entries: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
-        EngineConfig { workers }
+        EngineConfig { workers, cache_entries: crate::cache::DEFAULT_CACHE_ENTRIES }
     }
 }
 
 impl EngineConfig {
     /// Config with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
-        EngineConfig { workers: workers.max(1) }
+        EngineConfig { workers: workers.max(1), ..Default::default() }
+    }
+
+    /// Builder: LRU entry bound for the artifact/decision caches.
+    pub fn cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries.max(1);
+        self
     }
 }
 
@@ -54,12 +63,22 @@ struct Job {
     req: SolveRequest,
 }
 
-/// Finished-job results plus the ids whose result was already handed out
-/// (so a second `wait` on the same id fails fast instead of blocking).
+/// Lifecycle of one submitted job's result slot.
+enum JobSlot {
+    /// Submitted; no result yet.
+    Pending,
+    /// Finished; result waiting to be claimed.
+    Done(Result<SolveReport, EngineError>),
+}
+
+/// In-flight result slots. A slot is created at submission and **removed
+/// at claim**, so the board's size is bounded by the number of
+/// outstanding jobs — no claimed-id tombstones and no drained-report
+/// accumulation over the engine's lifetime. A `wait` on an issued id
+/// whose slot is gone means "already claimed" and fails fast.
 #[derive(Default)]
 struct ResultBoard {
-    done: HashMap<u64, Result<SolveReport, EngineError>>,
-    claimed: HashSet<u64>,
+    jobs: HashMap<u64, JobSlot>,
 }
 
 struct Shared {
@@ -108,7 +127,7 @@ impl Shared {
     }
 
     fn post(&self, id: u64, result: Result<SolveReport, EngineError>) {
-        self.results.lock().expect("results lock").done.insert(id, result);
+        self.results.lock().expect("results lock").jobs.insert(id, JobSlot::Done(result));
         self.results_cv.notify_all();
     }
 }
@@ -182,7 +201,7 @@ impl Engine {
             results: Mutex::new(ResultBoard::default()),
             results_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            cache: ArtifactCache::new(),
+            cache: ArtifactCache::with_capacity(config.cache_entries),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -204,6 +223,9 @@ impl Engine {
     /// Queue a job; returns immediately.
     pub fn submit(&self, req: SolveRequest) -> JobId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Create the result slot before the job becomes runnable, so a
+        // fast worker can never post into a missing slot.
+        self.shared.results.lock().expect("results lock").jobs.insert(id, JobSlot::Pending);
         let slot = id as usize % self.shared.queues.len();
         self.shared.queues[slot].lock().expect("queue lock").push_back(Job { id, req });
         let mut ready = self.shared.ready.lock().expect("ready lock");
@@ -216,22 +238,34 @@ impl Engine {
     /// Block until `job` finishes and claim its result. Each result can be
     /// claimed once; a second `wait` on the same id — or a wait on an id
     /// this engine never issued — returns [`EngineError::UnknownJob`]
-    /// instead of blocking.
+    /// instead of blocking. Claiming removes the job's slot entirely, so
+    /// the engine holds no per-job state after delivery.
     pub fn wait(&self, job: JobId) -> Result<SolveReport, EngineError> {
         if job.0 >= self.next_id.load(Ordering::Relaxed) {
             return Err(EngineError::UnknownJob);
         }
         let mut results = self.shared.results.lock().expect("results lock");
         loop {
-            if let Some(r) = results.done.remove(&job.0) {
-                results.claimed.insert(job.0);
-                return r;
+            match results.jobs.get(&job.0) {
+                // Issued id without a slot: already claimed.
+                None => return Err(EngineError::UnknownJob),
+                Some(JobSlot::Done(_)) => {
+                    let Some(JobSlot::Done(r)) = results.jobs.remove(&job.0) else {
+                        unreachable!("matched Done above")
+                    };
+                    return r;
+                }
+                Some(JobSlot::Pending) => {
+                    results = self.shared.results_cv.wait(results).expect("results wait");
+                }
             }
-            if results.claimed.contains(&job.0) {
-                return Err(EngineError::UnknownJob);
-            }
-            results = self.shared.results_cv.wait(results).expect("results wait");
         }
+    }
+
+    /// Number of jobs submitted but not yet claimed (the engine's entire
+    /// per-job memory footprint — pinned by the board-growth test).
+    pub fn outstanding(&self) -> usize {
+        self.shared.results.lock().expect("results lock").jobs.len()
     }
 
     /// Submit a whole batch and collect results in submission order.
@@ -340,6 +374,58 @@ mod tests {
         assert_eq!(engine.wait(id), Err(EngineError::UnknownJob), "double claim");
         let never_issued = JobId(999);
         assert_eq!(engine.wait(never_issued), Err(EngineError::UnknownJob), "foreign id");
+    }
+
+    #[test]
+    fn result_board_does_not_grow_over_engine_lifetime() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched6", 20, 300.0, 4));
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        // Several full submit/claim generations: after each, the board
+        // must be empty again (no tombstones, no drained reports).
+        for gen in 0..3 {
+            let ids: Vec<JobId> = (0..6)
+                .map(|j| {
+                    engine.submit(
+                        SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(6).ants(5))
+                            .backend(Backend::CpuSequential {
+                                policy: TourPolicy::NearestNeighborList,
+                            })
+                            .iterations(2)
+                            .seed(gen * 100 + j),
+                    )
+                })
+                .collect();
+            for id in ids {
+                assert!(engine.wait(id).is_ok());
+            }
+            assert_eq!(engine.outstanding(), 0, "board must be empty after generation {gen}");
+        }
+    }
+
+    #[test]
+    fn cache_is_lru_bounded() {
+        let inst_a = Arc::new(aco_tsp::uniform_random("lru-a", 16, 300.0, 1));
+        let inst_b = Arc::new(aco_tsp::uniform_random("lru-b", 16, 300.0, 2));
+        let inst_c = Arc::new(aco_tsp::uniform_random("lru-c", 16, 300.0, 3));
+        let engine = Engine::new(EngineConfig::with_workers(1).cache_entries(2));
+        let req = |inst: &Arc<aco_tsp::TspInstance>, seed| {
+            SolveRequest::new(Arc::clone(inst), AcoParams::default().nn(5).ants(4))
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(1)
+                .seed(seed)
+        };
+        // Three distinct instances through a 2-entry cache: at least one
+        // eviction must fire, and re-touching the evicted instance
+        // rebuilds (a miss, not a hit).
+        for (i, inst) in [&inst_a, &inst_b, &inst_c].into_iter().enumerate() {
+            engine.wait(engine.submit(req(inst, i as u64))).unwrap();
+        }
+        let s1 = engine.cache_stats();
+        assert!(s1.artifact_evictions >= 1, "third instance must evict: {s1:?}");
+        assert_eq!(s1.artifact_misses, 3);
+        engine.wait(engine.submit(req(&inst_a, 9))).unwrap();
+        let s2 = engine.cache_stats();
+        assert_eq!(s2.artifact_misses, 4, "evicted artifacts rebuild on reuse");
     }
 
     #[test]

@@ -15,18 +15,37 @@
 //! CC 1.x, as the paper discusses for the Tesla C1060).
 
 use crate::cache::Cache;
-use crate::coalesce::{coalesce_cc13_half_warp, lines_cc20};
+use crate::coalesce::{coalesce_cc13_half_warp_into, lines_cc20_into, Transaction};
 use crate::device::DeviceSpec;
 use crate::global::{DevicePtr, GlobalMem};
 use crate::mask::{Mask, WARP};
+use crate::pool::PoolItem;
 use crate::shared::{ShPtr, SharedMem};
 use crate::stats::KernelStats;
 
 /// A per-thread register vector (one value per lane of the block).
-#[derive(Debug, Clone)]
-pub struct Reg<T>(pub(crate) Vec<T>);
+///
+/// The backing buffer recycles through a thread-local free list (see
+/// [`crate::pool`]): every lockstep operation produces a `Reg`, so the
+/// hot path never touches the global allocator once the pool is warm.
+#[derive(Debug)]
+pub struct Reg<T: PoolItem>(pub(crate) Vec<T>);
 
-impl<T: Copy> Reg<T> {
+impl<T: PoolItem> Clone for Reg<T> {
+    fn clone(&self) -> Self {
+        let mut v = T::take(self.0.len());
+        v.copy_from_slice(&self.0);
+        Reg(v)
+    }
+}
+
+impl<T: PoolItem> Drop for Reg<T> {
+    fn drop(&mut self) {
+        T::put(std::mem::take(&mut self.0));
+    }
+}
+
+impl<T: PoolItem> Reg<T> {
     /// Value held by `lane`.
     #[inline]
     pub fn lane(&self, lane: usize) -> T {
@@ -93,6 +112,14 @@ pub struct BlockCtx<'a> {
     tex: &'a mut Cache,
     l1: &'a mut Cache,
     declared_shared_bytes: u32,
+    // Reusable scratch buffers for the memory models (allocated once per
+    // block, reused by every access — the per-op `collect()`s they
+    // replace dominated interpreter time).
+    scratch_words: Vec<(usize, u32)>,
+    scratch_addrs: Vec<u64>,
+    scratch_lines: Vec<u64>,
+    scratch_txns: Vec<Transaction>,
+    scratch_counts: Vec<(u64, u32)>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -120,6 +147,11 @@ impl<'a> BlockCtx<'a> {
             tex,
             l1,
             declared_shared_bytes: shared_bytes,
+            scratch_words: Vec::new(),
+            scratch_addrs: Vec::new(),
+            scratch_lines: Vec::new(),
+            scratch_txns: Vec::new(),
+            scratch_counts: Vec::new(),
         }
     }
 
@@ -150,26 +182,38 @@ impl<'a> BlockCtx<'a> {
     /// `threadIdx.x` of every lane.
     pub fn thread_idx(&mut self) -> Reg<u32> {
         self.charge(Op::Mov, 1);
-        Reg((0..self.block_dim).collect())
+        let mut out = u32::take(self.block_dim as usize);
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = t as u32;
+        }
+        Reg(out)
     }
 
     /// `blockIdx.x * blockDim.x + threadIdx.x`.
     pub fn global_thread_idx(&mut self) -> Reg<u32> {
         self.charge(Op::IAlu, 1);
         let base = self.block_idx * self.block_dim;
-        Reg((0..self.block_dim).map(|t| base + t).collect())
+        let mut out = u32::take(self.block_dim as usize);
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = base + t as u32;
+        }
+        Reg(out)
     }
 
     /// Broadcast an f32 constant.
     pub fn splat_f32(&mut self, v: f32) -> Reg<f32> {
         self.charge(Op::Mov, 1);
-        Reg(vec![v; self.block_dim as usize])
+        let mut out = f32::take(self.block_dim as usize);
+        out.fill(v);
+        Reg(out)
     }
 
     /// Broadcast a u32 constant.
     pub fn splat_u32(&mut self, v: u32) -> Reg<u32> {
         self.charge(Op::Mov, 1);
-        Reg(vec![v; self.block_dim as usize])
+        let mut out = u32::take(self.block_dim as usize);
+        out.fill(v);
+        Reg(out)
     }
 
     /// Initialise a register from a lane function (costed as one move; use
@@ -177,7 +221,7 @@ impl<'a> BlockCtx<'a> {
     /// Only *active* lanes are evaluated — inactive lanes read back 0.
     pub fn reg_from_fn_u32(&mut self, mut f: impl FnMut(usize) -> u32) -> Reg<u32> {
         self.charge(Op::Mov, 1);
-        let mut out = vec![0u32; self.block_dim as usize];
+        let mut out = u32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = f(lane);
         }
@@ -186,7 +230,7 @@ impl<'a> BlockCtx<'a> {
 
     // --- generic lane-wise helpers ----------------------------------------
 
-    fn bin<T: Copy + Default>(
+    fn bin<T: PoolItem>(
         &mut self,
         op: Op,
         a: &Reg<T>,
@@ -194,16 +238,16 @@ impl<'a> BlockCtx<'a> {
         f: impl Fn(T, T) -> T,
     ) -> Reg<T> {
         self.charge(op, 1);
-        let mut out = vec![T::default(); self.block_dim as usize];
+        let mut out = T::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = f(a.0[lane], b.0[lane]);
         }
         Reg(out)
     }
 
-    fn un<T: Copy + Default>(&mut self, op: Op, a: &Reg<T>, f: impl Fn(T) -> T) -> Reg<T> {
+    fn un<T: PoolItem>(&mut self, op: Op, a: &Reg<T>, f: impl Fn(T) -> T) -> Reg<T> {
         self.charge(op, 1);
-        let mut out = vec![T::default(); self.block_dim as usize];
+        let mut out = T::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = f(a.0[lane]);
         }
@@ -224,7 +268,7 @@ impl<'a> BlockCtx<'a> {
     /// `a * b + c` as a single FMA.
     pub fn fma(&mut self, a: &Reg<f32>, b: &Reg<f32>, c: &Reg<f32>) -> Reg<f32> {
         self.charge(Op::FMul, 1);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = a.0[lane].mul_add(b.0[lane], c.0[lane]);
         }
@@ -298,7 +342,7 @@ impl<'a> BlockCtx<'a> {
     /// u32 → f32 conversion.
     pub fn u2f(&mut self, a: &Reg<u32>) -> Reg<f32> {
         self.charge(Op::Mov, 1);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = a.0[lane] as f32;
         }
@@ -308,7 +352,7 @@ impl<'a> BlockCtx<'a> {
     /// f32 → u32 truncating conversion.
     pub fn f2u(&mut self, a: &Reg<f32>) -> Reg<u32> {
         self.charge(Op::Mov, 1);
-        let mut out = vec![0; self.block_dim as usize];
+        let mut out = u32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = a.0[lane].max(0.0) as u32;
         }
@@ -323,9 +367,9 @@ impl<'a> BlockCtx<'a> {
 
     // --- comparisons & selection ---------------------------------------------
 
-    fn cmp<T: Copy>(&mut self, a: &Reg<T>, b: &Reg<T>, f: impl Fn(T, T) -> bool) -> Mask {
+    fn cmp<T: PoolItem>(&mut self, a: &Reg<T>, b: &Reg<T>, f: impl Fn(T, T) -> bool) -> Mask {
         self.charge(Op::FAlu, 1);
-        let active = self.active().clone();
+        let active = self.mask_stack.last().expect("mask stack never empty");
         Mask::from_fn(self.block_dim as usize, |lane| active.get(lane) && f(a.0[lane], b.0[lane]))
     }
 
@@ -354,10 +398,9 @@ impl<'a> BlockCtx<'a> {
         self.cmp(a, b, |x, y| x != y)
     }
 
-    /// Lane-wise select: `m ? a : b`.
-    pub fn select_f32(&mut self, m: &Mask, a: &Reg<f32>, b: &Reg<f32>) -> Reg<f32> {
+    fn sel<T: PoolItem>(&mut self, m: &Mask, a: &Reg<T>, b: &Reg<T>) -> Reg<T> {
         self.charge(Op::Mov, 1);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = T::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = if m.get(lane) { a.0[lane] } else { b.0[lane] };
         }
@@ -365,13 +408,13 @@ impl<'a> BlockCtx<'a> {
     }
 
     /// Lane-wise select: `m ? a : b`.
+    pub fn select_f32(&mut self, m: &Mask, a: &Reg<f32>, b: &Reg<f32>) -> Reg<f32> {
+        self.sel(m, a, b)
+    }
+
+    /// Lane-wise select: `m ? a : b`.
     pub fn select_u32(&mut self, m: &Mask, a: &Reg<u32>, b: &Reg<u32>) -> Reg<u32> {
-        self.charge(Op::Mov, 1);
-        let mut out = vec![0; self.block_dim as usize];
-        for lane in self.active().lanes() {
-            out[lane] = if m.get(lane) { a.0[lane] } else { b.0[lane] };
-        }
-        Reg(out)
+        self.sel(m, a, b)
     }
 
     /// Predicated assignment: active lanes copy `src` into `dst`, inactive
@@ -549,31 +592,55 @@ impl<'a> BlockCtx<'a> {
         })
     }
 
+    /// Gather `(lane, word_addr)` pairs of active lanes into the reusable
+    /// scratch list (callers put it back when done).
+    fn gather_words<T>(&mut self, ptr: ShPtr<T>, idx: &Reg<u32>) -> Vec<(usize, u32)> {
+        let mut words = std::mem::take(&mut self.scratch_words);
+        words.clear();
+        words.extend(
+            self.mask_stack
+                .last()
+                .expect("mask stack never empty")
+                .lanes()
+                .map(|lane| (lane, ptr.word_addr(idx.0[lane]))),
+        );
+        words
+    }
+
     /// Charge one shared access instruction and its bank conflicts.
     fn charge_shared(&mut self, words: &[(usize, u32)]) {
         // words: (lane, word_addr) pairs of active lanes.
         self.charge(Op::Shared, 1);
         self.stats.shared_accesses += words.len() as f64;
-        let banks = self.device.shared_banks;
+        let banks = self.device.shared_banks as usize;
         // Conflict granularity: half-warp on CC 1.x, full warp on CC 2.x.
         let group = if self.device.compute_capability.is_fermi() { WARP } else { WARP / 2 };
         let mut extra_total = 0.0;
-        let mut idx = 0;
-        while idx < words.len() {
-            let g = words[idx].0 / group;
-            let mut per_bank: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
-            while idx < words.len() && words[idx].0 / group == g {
-                let addr = words[idx].1;
-                let bank = (addr % banks) as usize;
-                if !per_bank[bank].contains(&addr) {
-                    per_bank[bank].push(addr);
-                }
-                idx += 1;
+        // Per conflict group: the serialization degree is the largest
+        // number of *distinct* word addresses landing in one bank. Groups
+        // are at most a warp wide, so the quadratic duplicate scan beats
+        // any allocation-backed set.
+        let mut bank_counts = [0u32; 64];
+        debug_assert!(banks <= bank_counts.len());
+        let mut s = 0;
+        while s < words.len() {
+            let g = words[s].0 / group;
+            let mut e = s;
+            while e < words.len() && words[e].0 / group == g {
+                e += 1;
             }
-            let degree = per_bank.iter().map(Vec::len).max().unwrap_or(0);
+            bank_counts[..banks].fill(0);
+            for i in s..e {
+                let addr = words[i].1;
+                if words[s..i].iter().all(|&(_, a)| a != addr) {
+                    bank_counts[addr as usize % banks] += 1;
+                }
+            }
+            let degree = bank_counts[..banks].iter().copied().max().unwrap_or(0);
             if degree > 1 {
                 extra_total += (degree - 1) as f64;
             }
+            s = e;
         }
         if extra_total > 0.0 {
             self.stats.bank_conflict_extra += extra_total;
@@ -584,46 +651,46 @@ impl<'a> BlockCtx<'a> {
 
     /// Shared load with per-lane indices.
     pub fn sh_ld_f32(&mut self, ptr: ShPtr<f32>, idx: &Reg<u32>) -> Reg<f32> {
-        let words: Vec<(usize, u32)> =
-            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
+        let words = self.gather_words(ptr, idx);
         self.charge_shared(&words);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for &(lane, word) in &words {
             out[lane] = f32::from_bits(self.shared.load(word));
         }
+        self.scratch_words = words;
         Reg(out)
     }
 
     /// Shared store with per-lane indices (lane order resolves races).
     pub fn sh_st_f32(&mut self, ptr: ShPtr<f32>, idx: &Reg<u32>, val: &Reg<f32>) {
-        let words: Vec<(usize, u32)> =
-            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
+        let words = self.gather_words(ptr, idx);
         self.charge_shared(&words);
         for &(lane, word) in &words {
             self.shared.store(word, val.0[lane].to_bits());
         }
+        self.scratch_words = words;
     }
 
     /// Shared load with per-lane indices (u32).
     pub fn sh_ld_u32(&mut self, ptr: ShPtr<u32>, idx: &Reg<u32>) -> Reg<u32> {
-        let words: Vec<(usize, u32)> =
-            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
+        let words = self.gather_words(ptr, idx);
         self.charge_shared(&words);
-        let mut out = vec![0; self.block_dim as usize];
+        let mut out = u32::take(self.block_dim as usize);
         for &(lane, word) in &words {
             out[lane] = self.shared.load(word);
         }
+        self.scratch_words = words;
         Reg(out)
     }
 
     /// Shared store with per-lane indices (u32).
     pub fn sh_st_u32(&mut self, ptr: ShPtr<u32>, idx: &Reg<u32>, val: &Reg<u32>) {
-        let words: Vec<(usize, u32)> =
-            self.active().lanes().map(|lane| (lane, ptr.word_addr(idx.0[lane]))).collect();
+        let words = self.gather_words(ptr, idx);
         self.charge_shared(&words);
         for &(lane, word) in &words {
             self.shared.store(word, val.0[lane]);
         }
+        self.scratch_words = words;
     }
 
     /// Uniform (broadcast) shared read — all active lanes read one word;
@@ -645,14 +712,28 @@ impl<'a> BlockCtx<'a> {
 
     fn charge_global_access(&mut self, gm: &GlobalMem, buf_id: u32, idx: &Reg<u32>, store: bool) {
         self.charge(Op::MemIssue, 1);
-        let active = self.active().clone();
-        self.stats.mem_warp_instructions += active.active_warps() as f64;
+        let mut addrs = std::mem::take(&mut self.scratch_addrs);
+        let mut lines = std::mem::take(&mut self.scratch_lines);
+        let mut txns = std::mem::take(&mut self.scratch_txns);
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        let stats = &mut *self.stats;
+        stats.mem_warp_instructions += active.active_warps() as f64;
+        let fermi = self.device.compute_capability.is_fermi();
         for w in 0..active.warp_count() {
             if !active.warp_any(w) {
                 continue;
             }
-            let addrs: Vec<u64> =
-                active.warp_lanes(w).map(|lane| gm.addr(buf_id, idx.0[lane] as usize)).collect();
+            // Lane addresses in ascending lane order; `half` counts the
+            // lanes of the warp's first half (a prefix, since lanes are
+            // ascending).
+            addrs.clear();
+            let mut half = 0usize;
+            for lane in active.warp_lanes(w) {
+                if lane % WARP < WARP / 2 {
+                    half += 1;
+                }
+                addrs.push(gm.addr(buf_id, idx.0[lane] as usize));
+            }
             // Partition camping: a warp-wide broadcast load means every
             // concurrently running block is reading this address right now,
             // all hammering one DRAM partition — traffic is effectively
@@ -662,47 +743,42 @@ impl<'a> BlockCtx<'a> {
             } else {
                 1.0
             };
-            if self.device.compute_capability.is_fermi() {
+            if fermi {
                 // L1-cached loads; stores go straight through in line units.
-                for line in lines_cc20(&addrs) {
+                lines_cc20_into(&addrs, &mut lines);
+                for &line in &lines {
                     if !store && self.l1.access(line) {
-                        self.stats.l1_hits += 1.0;
+                        stats.l1_hits += 1.0;
                     } else {
                         if !store {
-                            self.stats.l1_misses += 1.0;
+                            stats.l1_misses += 1.0;
                         }
-                        self.stats.dram_bytes += 128.0 * camping;
+                        stats.dram_bytes += 128.0 * camping;
                         if store {
-                            self.stats.st_transactions += 1.0;
+                            stats.st_transactions += 1.0;
                         } else {
-                            self.stats.ld_transactions += 1.0;
+                            stats.ld_transactions += 1.0;
                         }
                     }
                 }
             } else {
                 // CC 1.3: segment coalescing per half-warp, no cache.
-                for half in 0..2 {
-                    let lo = half * (WARP / 2);
-                    let hi = lo + WARP / 2;
-                    let part: Vec<u64> = active
-                        .warp_lanes(w)
-                        .filter(|l| {
-                            let lane_in_warp = l % WARP;
-                            lane_in_warp >= lo && lane_in_warp < hi
-                        })
-                        .map(|lane| gm.addr(buf_id, idx.0[lane] as usize))
-                        .collect();
-                    for t in coalesce_cc13_half_warp(&part) {
-                        self.stats.dram_bytes += t.bytes as f64 * camping;
+                for part in [&addrs[..half], &addrs[half..]] {
+                    coalesce_cc13_half_warp_into(part, &mut lines, &mut txns);
+                    for t in &txns {
+                        stats.dram_bytes += t.bytes as f64 * camping;
                         if store {
-                            self.stats.st_transactions += 1.0;
+                            stats.st_transactions += 1.0;
                         } else {
-                            self.stats.ld_transactions += 1.0;
+                            stats.ld_transactions += 1.0;
                         }
                     }
                 }
             }
         }
+        self.scratch_addrs = addrs;
+        self.scratch_lines = lines;
+        self.scratch_txns = txns;
     }
 
     /// Global load, f32.
@@ -713,7 +789,7 @@ impl<'a> BlockCtx<'a> {
         idx: &Reg<u32>,
     ) -> Reg<f32> {
         self.charge_global_access(gm, ptr.id, idx, false);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = gm.load_f32(ptr, idx.0[lane] as usize);
         }
@@ -728,7 +804,7 @@ impl<'a> BlockCtx<'a> {
         idx: &Reg<u32>,
     ) -> Reg<u32> {
         self.charge_global_access(gm, ptr.id, idx, false);
-        let mut out = vec![0; self.block_dim as usize];
+        let mut out = u32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             out[lane] = gm.load_u32(ptr, idx.0[lane] as usize);
         }
@@ -770,25 +846,26 @@ impl<'a> BlockCtx<'a> {
     /// to its miss ratio (with a floor for the cache's own latency).
     pub fn ld_tex_f32(&mut self, gm: &GlobalMem, ptr: DevicePtr<f32>, idx: &Reg<u32>) -> Reg<f32> {
         self.charge(Op::MemIssue, 1);
-        let active = self.active().clone();
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        let stats = &mut *self.stats;
         let (mut hits, mut misses) = (0u64, 0u64);
         for lane in active.lanes() {
             let addr = gm.addr(ptr.id, idx.0[lane] as usize);
             if self.tex.access(addr) {
-                self.stats.tex_hits += 1.0;
+                stats.tex_hits += 1.0;
                 hits += 1;
             } else {
-                self.stats.tex_misses += 1.0;
+                stats.tex_misses += 1.0;
                 misses += 1;
-                self.stats.dram_bytes += self.tex.line_bytes() as f64;
-                self.stats.ld_transactions += 1.0;
+                stats.dram_bytes += self.tex.line_bytes() as f64;
+                stats.ld_transactions += 1.0;
             }
             out[lane] = gm.load_f32(ptr, idx.0[lane] as usize);
         }
         let total = (hits + misses).max(1) as f64;
         let weight = 0.35 + 0.65 * misses as f64 / total;
-        self.stats.mem_warp_instructions += active.active_warps() as f64 * weight;
+        stats.mem_warp_instructions += active.active_warps() as f64 * weight;
         Reg(out)
     }
 
@@ -803,8 +880,10 @@ impl<'a> BlockCtx<'a> {
         val: &Reg<f32>,
     ) {
         self.charge(Op::MemIssue, 1);
-        let active = self.active().clone();
-        self.stats.mem_warp_instructions += active.active_warps() as f64;
+        let mut addr_counts = std::mem::take(&mut self.scratch_counts);
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        let stats = &mut *self.stats;
+        stats.mem_warp_instructions += active.active_warps() as f64;
         let emu = if self.device.native_float_atomics {
             1.0
         } else {
@@ -814,34 +893,33 @@ impl<'a> BlockCtx<'a> {
             if !active.warp_any(w) {
                 continue;
             }
-            let lanes: Vec<usize> = active.warp_lanes(w).collect();
-            let mut addr_counts: Vec<(u64, u32)> = Vec::new();
-            for &lane in &lanes {
+            addr_counts.clear();
+            let mut n_ops = 0.0f64;
+            for lane in active.warp_lanes(w) {
                 let addr = gm.addr(ptr.id, idx.0[lane] as usize);
+                n_ops += 1.0;
                 match addr_counts.iter_mut().find(|(a, _)| *a == addr) {
                     Some((_, c)) => *c += 1,
                     None => addr_counts.push((addr, 1)),
                 }
             }
-            let n_ops = lanes.len() as f64;
             let distinct = addr_counts.len() as f64;
             let max_mult = addr_counts.iter().map(|&(_, c)| c).max().unwrap_or(0) as f64;
-            self.stats.atomic_ops += n_ops;
-            self.stats.atomic_conflicts += n_ops - distinct;
+            stats.atomic_ops += n_ops;
+            stats.atomic_conflicts += n_ops - distinct;
             // The warp stalls for one serialized round per replay; each
             // round costs the device's atomic latency (scaled by the CAS
             // emulation factor on CC 1.x).
-            self.stats.issue_cycles_per_sm[self.sm_id] +=
+            stats.issue_cycles_per_sm[self.sm_id] +=
                 max_mult * self.device.atomic_cycles as f64 * emu;
             // Each distinct address is a read-modify-write at the memory
             // partition: one 32B read + one 32B write.
-            self.stats.dram_bytes += distinct * 64.0 * emu;
-            self.stats.st_transactions += distinct * emu;
+            stats.dram_bytes += distinct * 64.0 * emu;
+            stats.st_transactions += distinct * emu;
         }
-        for lane in active.lanes() {
-            let i = idx.0[lane] as usize;
-            let old = gm.load_f32(ptr, i);
-            gm.store_f32(ptr, i, old + val.0[lane]);
+        self.scratch_counts = addr_counts;
+        for lane in self.active().lanes() {
+            gm.atomic_add_f32(ptr, idx.0[lane] as usize, val.0[lane]);
         }
     }
 
@@ -856,7 +934,7 @@ impl<'a> BlockCtx<'a> {
         // s = s * 16807 mod (2^31 - 1); r = s / (2^31 - 1).
         self.charge(Op::IAlu, 4); // mul.lo, mul.hi, fold, conditional add
         self.charge(Op::FMul, 1); // scale to [0,1)
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             let s = crate::rng::park_miller(state.0[lane]);
             state.0[lane] = s;
@@ -887,7 +965,7 @@ impl<'a> BlockCtx<'a> {
         // XORWOW state update + sequence bookkeeping (the library does
         // substantially more integer work per draw than a bare xorshift).
         self.charge(Op::IAlu, 20);
-        let mut out = vec![0.0; self.block_dim as usize];
+        let mut out = f32::take(self.block_dim as usize);
         for lane in self.active().lanes() {
             let mut x =
                 s0.0[lane] ^ s1.0[lane].rotate_left(13) ^ s2.0[lane].wrapping_mul(0x9E37_79B9);

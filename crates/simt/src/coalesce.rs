@@ -24,46 +24,67 @@ pub struct Transaction {
 /// `addrs` are the byte addresses issued by the active lanes of the
 /// half-warp (duplicates allowed). Returns the memory transactions issued.
 pub fn coalesce_cc13_half_warp(addrs: &[u64]) -> Vec<Transaction> {
+    let mut segs = Vec::new();
+    let mut out = Vec::new();
+    coalesce_cc13_half_warp_into(addrs, &mut segs, &mut out);
+    out
+}
+
+/// [`coalesce_cc13_half_warp`] writing into caller-provided buffers
+/// (`segs` is scratch, `out` receives the transactions) so the per-access
+/// hot path allocates nothing.
+pub fn coalesce_cc13_half_warp_into(
+    addrs: &[u64],
+    segs: &mut Vec<u64>,
+    out: &mut Vec<Transaction>,
+) {
+    out.clear();
     if addrs.is_empty() {
-        return Vec::new();
+        return;
     }
     // Distinct 128-byte segments, in address order for determinism.
-    let mut segs: Vec<u64> = addrs.iter().map(|a| a & !127).collect();
+    segs.clear();
+    segs.extend(addrs.iter().map(|a| a & !127));
     segs.sort_unstable();
     segs.dedup();
 
-    segs.into_iter()
-        .map(|seg| {
-            let lo = addrs
-                .iter()
-                .filter(|&&a| a & !127 == seg)
-                .map(|&a| a - seg)
-                .min()
-                .expect("segment has at least one access");
-            let hi = addrs
-                .iter()
-                .filter(|&&a| a & !127 == seg)
-                .map(|&a| a - seg + 3)
-                .max()
-                .expect("segment has at least one access");
-            // Shrink to an aligned 32/64-byte window when possible.
-            if lo / 32 == hi / 32 {
-                Transaction { base: seg + (lo / 32) * 32, bytes: 32 }
-            } else if lo / 64 == hi / 64 {
-                Transaction { base: seg + (lo / 64) * 64, bytes: 64 }
-            } else {
-                Transaction { base: seg, bytes: 128 }
-            }
-        })
-        .collect()
+    out.extend(segs.iter().map(|&seg| {
+        let lo = addrs
+            .iter()
+            .filter(|&&a| a & !127 == seg)
+            .map(|&a| a - seg)
+            .min()
+            .expect("segment has at least one access");
+        let hi = addrs
+            .iter()
+            .filter(|&&a| a & !127 == seg)
+            .map(|&a| a - seg + 3)
+            .max()
+            .expect("segment has at least one access");
+        // Shrink to an aligned 32/64-byte window when possible.
+        if lo / 32 == hi / 32 {
+            Transaction { base: seg + (lo / 32) * 32, bytes: 32 }
+        } else if lo / 64 == hi / 64 {
+            Transaction { base: seg + (lo / 64) * 64, bytes: 64 }
+        } else {
+            Transaction { base: seg, bytes: 128 }
+        }
+    }));
 }
 
 /// Distinct 128-byte lines touched by a warp (CC 2.0 L1 granularity).
 pub fn lines_cc20(addrs: &[u64]) -> Vec<u64> {
-    let mut lines: Vec<u64> = addrs.iter().map(|a| a & !127).collect();
-    lines.sort_unstable();
-    lines.dedup();
+    let mut lines = Vec::new();
+    lines_cc20_into(addrs, &mut lines);
     lines
+}
+
+/// [`lines_cc20`] writing into a caller-provided buffer.
+pub fn lines_cc20_into(addrs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(addrs.iter().map(|a| a & !127));
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]

@@ -27,20 +27,40 @@ impl<T> std::fmt::Debug for DevicePtr<T> {
     }
 }
 
+#[derive(Clone)]
 enum Data {
     F32(Vec<f32>),
     U32(Vec<u32>),
 }
 
+#[derive(Clone)]
 struct Buffer {
     base: u64,
     data: Data,
+}
+
+/// One logged device-memory mutation. Parallel launches execute blocks
+/// against per-SM shadow copies of memory and then replay the logs onto
+/// the real arena in canonical order (see [`crate::launch`]), so the
+/// committed state is identical for every host thread count.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LogOp {
+    /// Plain f32 store.
+    StF32 { id: u32, idx: u32, val: f32 },
+    /// Plain u32 store.
+    StU32 { id: u32, idx: u32, val: u32 },
+    /// Atomic float add (replayed as an add, not a store, so deposits
+    /// from different SMs accumulate exactly as serial execution would).
+    AddF32 { id: u32, idx: u32, val: f32 },
 }
 
 /// Device memory arena.
 pub struct GlobalMem {
     buffers: Vec<Buffer>,
     next_base: u64,
+    /// `Some` on shadow copies: mutations are recorded here as well as
+    /// applied, so the launch can commit them onto the real arena.
+    log: Option<Vec<LogOp>>,
 }
 
 /// `cudaMalloc` base alignment.
@@ -56,7 +76,36 @@ impl GlobalMem {
     /// Empty arena. Base addresses start away from zero so "address 0"
     /// bugs surface loudly.
     pub fn new() -> Self {
-        GlobalMem { buffers: Vec::new(), next_base: BASE_ALIGN }
+        GlobalMem { buffers: Vec::new(), next_base: BASE_ALIGN, log: None }
+    }
+
+    /// A logging copy of this arena for one SM group of a parallel
+    /// launch: same contents, plus an empty mutation log.
+    pub(crate) fn fork_shadow(&self) -> GlobalMem {
+        GlobalMem {
+            buffers: self.buffers.clone(),
+            next_base: self.next_base,
+            log: Some(Vec::new()),
+        }
+    }
+
+    /// Drain the mutation log (empty for non-shadow arenas).
+    pub(crate) fn take_log(&mut self) -> Vec<LogOp> {
+        self.log.take().unwrap_or_default()
+    }
+
+    /// Apply a drained log to this arena, in order.
+    pub(crate) fn replay(&mut self, ops: &[LogOp]) {
+        for &op in ops {
+            match op {
+                LogOp::StF32 { id, idx, val } => self.raw_store_f32(id, idx as usize, val),
+                LogOp::StU32 { id, idx, val } => self.raw_store_u32(id, idx as usize, val),
+                LogOp::AddF32 { id, idx, val } => {
+                    let old = self.load_f32(DevicePtr { id, _pd: PhantomData }, idx as usize);
+                    self.raw_store_f32(id, idx as usize, old + val);
+                }
+            }
+        }
     }
 
     fn push(&mut self, bytes: u64, data: Data) -> u32 {
@@ -168,26 +217,61 @@ impl GlobalMem {
     }
 
     #[inline]
-    pub(crate) fn store_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
-        let v = self.f32_mut(ptr);
+    fn raw_store_f32(&mut self, id: u32, idx: usize, val: f32) {
+        let v = match &mut self.buffers[id as usize].data {
+            Data::F32(v) => v,
+            Data::U32(_) => unreachable!("typed handle guarantees the variant"),
+        };
         let len = v.len();
         match v.get_mut(idx) {
             Some(x) => *x = val,
             None => {
-                panic!("device OOB store: f32 buffer #{} has {len} elements, index {idx}", ptr.id)
+                panic!("device OOB store: f32 buffer #{id} has {len} elements, index {idx}")
             }
         }
     }
 
     #[inline]
-    pub(crate) fn store_u32(&mut self, ptr: DevicePtr<u32>, idx: usize, val: u32) {
-        let v = self.u32_mut(ptr);
+    fn raw_store_u32(&mut self, id: u32, idx: usize, val: u32) {
+        let v = match &mut self.buffers[id as usize].data {
+            Data::U32(v) => v,
+            Data::F32(_) => unreachable!("typed handle guarantees the variant"),
+        };
         let len = v.len();
         match v.get_mut(idx) {
             Some(x) => *x = val,
             None => {
-                panic!("device OOB store: u32 buffer #{} has {len} elements, index {idx}", ptr.id)
+                panic!("device OOB store: u32 buffer #{id} has {len} elements, index {idx}")
             }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn store_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
+        self.raw_store_f32(ptr.id, idx, val);
+        if let Some(log) = &mut self.log {
+            log.push(LogOp::StF32 { id: ptr.id, idx: idx as u32, val });
+        }
+    }
+
+    #[inline]
+    pub(crate) fn store_u32(&mut self, ptr: DevicePtr<u32>, idx: usize, val: u32) {
+        self.raw_store_u32(ptr.id, idx, val);
+        if let Some(log) = &mut self.log {
+            log.push(LogOp::StU32 { id: ptr.id, idx: idx as u32, val });
+        }
+    }
+
+    /// Simulated `atomicAdd(&buf[idx], val)`: applied immediately (so the
+    /// owning block can proceed) and logged as an *add* on shadows, so a
+    /// parallel launch's commit accumulates deposits exactly like serial
+    /// execution.
+    #[inline]
+    pub(crate) fn atomic_add_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
+        let old = self.load_f32(ptr, idx);
+        self.raw_store_f32(ptr.id, idx, old + val);
+        if let Some(log) = &mut self.log {
+            log.push(LogOp::AddF32 { id: ptr.id, idx: idx as u32, val });
         }
     }
 }

@@ -1,9 +1,26 @@
 //! Kernel launches.
 //!
-//! A launch walks the grid block by block (deterministically), assigns
-//! blocks to SMs round-robin, executes each block in lockstep through a
-//! [`BlockCtx`], and turns the accumulated [`KernelStats`] into a
-//! [`KernelTime`].
+//! A launch assigns blocks to SMs round-robin (`sm = block % sm_count`),
+//! executes each block in lockstep through a [`BlockCtx`], and turns the
+//! accumulated [`KernelStats`] into a [`KernelTime`].
+//!
+//! **Execution order and parallelism.** Blocks are executed *SM-group
+//! major*: all of SM 0's blocks in block order, then SM 1's, and so on.
+//! Groups are independent — each owns its per-SM caches and its slice of
+//! the stats — so [`launch_threads`] can run them on a host thread pool.
+//! Parallel groups execute against *shadow copies* of global memory and
+//! log every mutation; the launch then commits the logs in canonical
+//! (SM-major, block-order) order, and per-group stats merge in the same
+//! order. Counters and global-memory contents are therefore **bit
+//! identical for every host thread count**, including the serial path —
+//! pinned by the cross-crate `parallel_launch` tests.
+//!
+//! The model's one execution-model rule (true of real CUDA, too): a
+//! block must not read global memory that another block of the *same
+//! launch* writes non-atomically, and must not read back atomic
+//! accumulators it updates in that launch. Every kernel in this
+//! reproduction satisfies this (tours, tabus and lengths are per-ant;
+//! deposits are atomic adds committed at launch end).
 //!
 //! Large grids can be *block-sampled*: a deterministic, evenly spaced
 //! subset of blocks executes and the counters are scaled by the inverse
@@ -67,7 +84,10 @@ pub enum SimMode {
 }
 
 /// A kernel: straight-line SPMD code over one block.
-pub trait Kernel {
+///
+/// `Sync` because [`launch_threads`] shares the kernel across the host
+/// threads executing its SM groups (kernels are plain parameter structs).
+pub trait Kernel: Sync {
     /// Kernel name (reports and errors).
     fn name(&self) -> &'static str;
     /// Execute one block.
@@ -115,13 +135,58 @@ pub fn validate(dev: &DeviceSpec, cfg: &LaunchConfig) -> Result<(), SimtError> {
     Ok(())
 }
 
-/// Launch `kernel` on `dev` over `gm`.
+/// Launch `kernel` on `dev` over `gm`, serially (one host thread).
 pub fn launch(
     dev: &DeviceSpec,
     cfg: &LaunchConfig,
     kernel: &dyn Kernel,
     gm: &mut GlobalMem,
     mode: SimMode,
+) -> Result<LaunchResult, SimtError> {
+    launch_threads(dev, cfg, kernel, gm, mode, 1)
+}
+
+/// Execute one SM group: all of one SM's blocks, in block order, against
+/// its own caches, accumulating into a fresh per-group stats record.
+fn run_group(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    kernel: &dyn Kernel,
+    sm: usize,
+    blocks: &[u32],
+    gm: &mut GlobalMem,
+) -> KernelStats {
+    let mut stats = KernelStats::for_sms(dev.sm_count as usize);
+    let mut tex = Cache::new(dev.tex_cache_bytes as u64, 32, 8);
+    let mut l1 = Cache::new(if dev.has_l1 { dev.l1_bytes as u64 } else { 0 }, 128, 8);
+    for &b in blocks {
+        let mut ctx = BlockCtx::new(
+            dev,
+            b,
+            cfg.grid,
+            cfg.block,
+            sm,
+            cfg.shared_bytes,
+            &mut stats,
+            &mut tex,
+            &mut l1,
+        );
+        kernel.run_block(&mut ctx, gm);
+    }
+    stats
+}
+
+/// Launch `kernel` on `dev` over `gm`, executing SM groups across up to
+/// `threads` host threads. Results — counters *and* global memory — are
+/// bit-identical to [`launch`] for every `threads` value (see the module
+/// docs for how).
+pub fn launch_threads(
+    dev: &DeviceSpec,
+    cfg: &LaunchConfig,
+    kernel: &dyn Kernel,
+    gm: &mut GlobalMem,
+    mode: SimMode,
+    threads: usize,
 ) -> Result<LaunchResult, SimtError> {
     validate(dev, cfg)?;
 
@@ -139,27 +204,50 @@ pub fn launch(
     let executed = blocks.len() as u32;
     let scale = cfg.grid as f64 / executed as f64;
 
-    let mut stats = KernelStats::for_sms(dev.sm_count as usize);
-    let mut tex_caches: Vec<Cache> =
-        (0..dev.sm_count).map(|_| Cache::new(dev.tex_cache_bytes as u64, 32, 8)).collect();
-    let mut l1_caches: Vec<Cache> = (0..dev.sm_count)
-        .map(|_| Cache::new(if dev.has_l1 { dev.l1_bytes as u64 } else { 0 }, 128, 8))
-        .collect();
-
+    // Group blocks by SM, ascending SM id — the canonical execution and
+    // commit order.
+    let mut by_sm: Vec<Vec<u32>> = vec![Vec::new(); dev.sm_count as usize];
     for &b in &blocks {
-        let sm = (b % dev.sm_count) as usize;
-        let mut ctx = BlockCtx::new(
-            dev,
-            b,
-            cfg.grid,
-            cfg.block,
-            sm,
-            cfg.shared_bytes,
-            &mut stats,
-            &mut tex_caches[sm],
-            &mut l1_caches[sm],
-        );
-        kernel.run_block(&mut ctx, gm);
+        by_sm[(b % dev.sm_count) as usize].push(b);
+    }
+    let groups: Vec<(usize, Vec<u32>)> =
+        by_sm.into_iter().enumerate().filter(|(_, blks)| !blks.is_empty()).collect();
+
+    let mut stats = KernelStats::for_sms(dev.sm_count as usize);
+    if threads <= 1 || groups.len() <= 1 {
+        // Serial: run directly against the real arena, group-major.
+        for (sm, blks) in &groups {
+            let s = run_group(dev, cfg, kernel, *sm, blks, gm);
+            stats.merge(&s);
+        }
+    } else {
+        // Parallel: each group runs on a logging shadow of the arena;
+        // stats merge and logs commit in SM order afterwards.
+        let workers = threads.min(groups.len());
+        let chunk = groups.len().div_ceil(workers);
+        let base: &GlobalMem = gm;
+        let mut results: Vec<Vec<(KernelStats, Vec<crate::global::LogOp>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .chunks(chunk)
+                    .map(|gs| {
+                        scope.spawn(move || {
+                            gs.iter()
+                                .map(|(sm, blks)| {
+                                    let mut shadow = base.fork_shadow();
+                                    let s = run_group(dev, cfg, kernel, *sm, blks, &mut shadow);
+                                    (s, shadow.take_log())
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("launch worker panicked")).collect()
+            });
+        for (s, log) in results.iter_mut().flatten() {
+            stats.merge(s);
+            gm.replay(log);
+        }
     }
 
     if scale != 1.0 {
@@ -311,6 +399,70 @@ mod tests {
         let c1060 = DeviceSpec::tesla_c1060();
         let r2 = launch(&c1060, &cfg, &k, &mut gm, SimMode::Full).unwrap();
         assert!(r2.stats.dram_bytes > r.stats.dram_bytes, "GT200 has no L1");
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let dev = DeviceSpec::tesla_c1060();
+        let n = 4096;
+        let cfg = LaunchConfig::new((n as u32).div_ceil(128), 128);
+        let (mut gm_s, xs, ys) = setup(n);
+        let ks = Saxpy { a: 2.5, x: xs, y: ys, n: n as u32 };
+        let rs = launch(&dev, &cfg, &ks, &mut gm_s, SimMode::Full).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let (mut gm_p, xp, yp) = setup(n);
+            let kp = Saxpy { a: 2.5, x: xp, y: yp, n: n as u32 };
+            let rp = launch_threads(&dev, &cfg, &kp, &mut gm_p, SimMode::Full, threads).unwrap();
+            assert_eq!(rs.stats, rp.stats, "stats must not depend on host threads");
+            assert_eq!(gm_s.f32(ys), gm_p.f32(yp), "memory must not depend on host threads");
+            assert_eq!(rs.time.total_ms.to_bits(), rp.time.total_ms.to_bits());
+        }
+    }
+
+    /// All blocks atomically accumulate into one cell: the commit order
+    /// of the adds (and therefore the exact f32 sum) must match serial
+    /// execution for every thread count.
+    struct AtomicAccum {
+        acc: DevicePtr<f32>,
+    }
+    impl Kernel for AtomicAccum {
+        fn name(&self) -> &'static str {
+            "accum"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+            let zero = ctx.splat_u32(0);
+            // A block-dependent, non-dyadic value so float addition order
+            // is observable in the result bits.
+            let v = ctx.splat_f32(0.1 + ctx.block_idx as f32 * 0.001);
+            ctx.atomic_add_f32(gm, self.acc, &zero, &v);
+        }
+    }
+
+    #[test]
+    fn atomic_commit_order_matches_serial_exactly() {
+        let dev = DeviceSpec::tesla_m2050();
+        let cfg = LaunchConfig::new(97, 32);
+        let mut gm_s = GlobalMem::new();
+        let acc_s = gm_s.alloc_f32(1);
+        launch(&dev, &cfg, &AtomicAccum { acc: acc_s }, &mut gm_s, SimMode::Full).unwrap();
+        for threads in [2, 5, 16] {
+            let mut gm_p = GlobalMem::new();
+            let acc_p = gm_p.alloc_f32(1);
+            launch_threads(
+                &dev,
+                &cfg,
+                &AtomicAccum { acc: acc_p },
+                &mut gm_p,
+                SimMode::Full,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                gm_s.f32(acc_s)[0].to_bits(),
+                gm_p.f32(acc_p)[0].to_bits(),
+                "atomic sum bits must match serial at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod global;
 pub mod launch;
 pub mod mask;
 pub mod occupancy;
+pub mod pool;
 pub mod rng;
 pub mod shared;
 pub mod stats;
@@ -63,7 +64,7 @@ pub mod timing;
 pub use block::{BlockCtx, Op, Reg};
 pub use device::{ComputeCapability, DeviceSpec};
 pub use global::{DevicePtr, GlobalMem};
-pub use launch::{launch, Kernel, LaunchConfig, LaunchResult, SimMode};
+pub use launch::{launch, launch_threads, Kernel, LaunchConfig, LaunchResult, SimMode};
 pub use mask::Mask;
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use shared::ShPtr;
@@ -75,7 +76,7 @@ pub mod prelude {
     pub use crate::block::{BlockCtx, Op, Reg};
     pub use crate::device::DeviceSpec;
     pub use crate::global::{DevicePtr, GlobalMem};
-    pub use crate::launch::{launch, Kernel, LaunchConfig, LaunchResult, SimMode};
+    pub use crate::launch::{launch, launch_threads, Kernel, LaunchConfig, LaunchResult, SimMode};
     pub use crate::mask::Mask;
     pub use crate::shared::ShPtr;
     pub use crate::stats::KernelStats;

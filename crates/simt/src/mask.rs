@@ -6,11 +6,32 @@
 //! charges issue cycles only for *warps* that still have at least one
 //! active lane — which is exactly how divergence costs on hardware.
 
+use crate::pool::PoolItem;
+
 /// One bit per lane of a thread block (lane 0 = bit 0 of word 0).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Backing storage recycles through the thread-local pool in
+/// [`crate::pool`]: masks are created and dropped once per simulated
+/// branch, so pooling removes an allocator round-trip from every
+/// structured-control-flow operation.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Mask {
     bits: Vec<u64>,
     len: usize,
+}
+
+impl Clone for Mask {
+    fn clone(&self) -> Self {
+        let mut bits = u64::take(self.bits.len());
+        bits.copy_from_slice(&self.bits);
+        Mask { bits, len: self.len }
+    }
+}
+
+impl Drop for Mask {
+    fn drop(&mut self) {
+        u64::put(std::mem::take(&mut self.bits));
+    }
 }
 
 /// Lanes per warp; fixed at 32 across every CUDA generation we model.
@@ -19,14 +40,15 @@ pub const WARP: usize = 32;
 impl Mask {
     /// All lanes active.
     pub fn all(len: usize) -> Self {
-        let mut bits = vec![u64::MAX; len.div_ceil(64)];
+        let mut bits = u64::take(len.div_ceil(64));
+        bits.fill(u64::MAX);
         Self::trim(&mut bits, len);
         Mask { bits, len }
     }
 
     /// No lanes active.
     pub fn none(len: usize) -> Self {
-        Mask { bits: vec![0; len.div_ceil(64)], len }
+        Mask { bits: u64::take(len.div_ceil(64)), len }
     }
 
     /// Build from a predicate over lane indices.
@@ -88,36 +110,36 @@ impl Mask {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    fn zip_with(&self, other: &Mask, f: impl Fn(u64, u64) -> u64) -> Mask {
+        debug_assert_eq!(self.len, other.len);
+        let mut bits = u64::take(self.bits.len());
+        for ((o, &a), &b) in bits.iter_mut().zip(&self.bits).zip(&other.bits) {
+            *o = f(a, b);
+        }
+        Mask { bits, len: self.len }
+    }
+
     /// Lane-wise AND.
     pub fn and(&self, other: &Mask) -> Mask {
-        debug_assert_eq!(self.len, other.len);
-        Mask {
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect(),
-            len: self.len,
-        }
+        self.zip_with(other, |a, b| a & b)
     }
 
     /// Lane-wise OR.
     pub fn or(&self, other: &Mask) -> Mask {
-        debug_assert_eq!(self.len, other.len);
-        Mask {
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a | b).collect(),
-            len: self.len,
-        }
+        self.zip_with(other, |a, b| a | b)
     }
 
     /// Lane-wise AND NOT (`self & !other`).
     pub fn and_not(&self, other: &Mask) -> Mask {
-        debug_assert_eq!(self.len, other.len);
-        Mask {
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & !b).collect(),
-            len: self.len,
-        }
+        self.zip_with(other, |a, b| a & !b)
     }
 
     /// Complement within the block.
     pub fn not(&self) -> Mask {
-        let mut bits: Vec<u64> = self.bits.iter().map(|w| !w).collect();
+        let mut bits = u64::take(self.bits.len());
+        for (o, &a) in bits.iter_mut().zip(&self.bits) {
+            *o = !a;
+        }
         Self::trim(&mut bits, self.len);
         Mask { bits, len: self.len }
     }

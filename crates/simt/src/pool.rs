@@ -1,0 +1,112 @@
+//! Thread-local buffer pools for the interpreter hot path.
+//!
+//! Every lockstep operation needs a block-wide output buffer ([`Reg`]'s
+//! backing `Vec`) and every structured branch needs an active-lane bitmap
+//! ([`Mask`]'s backing `Vec<u64>`). Allocating those from the global
+//! allocator per operation dominated interpreter time (millions of
+//! short-lived `Vec`s per simulated kernel), so both recycle through
+//! per-thread free lists instead: dropping a `Reg` or `Mask` returns its
+//! buffer to the pool, and the next operation reuses it.
+//!
+//! Pools are thread-local, so parallel block execution
+//! ([`crate::launch::launch_threads`]) needs no synchronisation and block
+//! results stay independent of which thread ran them. Each pool is
+//! capped, bounding worst-case retention to a few hundred kilobytes per
+//! thread.
+//!
+//! [`Reg`]: crate::block::Reg
+//! [`Mask`]: crate::mask::Mask
+
+use std::cell::RefCell;
+
+/// Maximum free buffers retained per pool (per thread).
+const POOL_CAP: usize = 128;
+
+macro_rules! pooled {
+    ($name:ident, $t:ty) => {
+        thread_local! {
+            static $name: RefCell<Vec<Vec<$t>>> = const { RefCell::new(Vec::new()) };
+        }
+
+        impl PoolItem for $t {
+            #[inline]
+            fn take(len: usize) -> Vec<$t> {
+                let recycled = $name.with(|p| p.borrow_mut().pop());
+                match recycled {
+                    Some(mut v) => {
+                        v.clear();
+                        v.resize(len, <$t>::default());
+                        v
+                    }
+                    None => vec![<$t>::default(); len],
+                }
+            }
+
+            #[inline]
+            fn put(v: Vec<$t>) {
+                if v.capacity() == 0 {
+                    return;
+                }
+                $name.with(|p| {
+                    let mut p = p.borrow_mut();
+                    if p.len() < POOL_CAP {
+                        p.push(v);
+                    }
+                });
+            }
+        }
+    };
+}
+
+/// A value whose `Vec` buffers recycle through a thread-local free list.
+///
+/// `take` returns a buffer of exactly `len` elements, all
+/// default-initialised; `put` donates a buffer back. Implemented for the
+/// element types the simulator's registers and masks are built from.
+pub trait PoolItem: Copy + Default + 'static {
+    /// Fetch a zeroed buffer of `len` elements (reusing a pooled one).
+    fn take(len: usize) -> Vec<Self>;
+    /// Return a buffer to the pool.
+    fn put(v: Vec<Self>);
+}
+
+pooled!(POOL_U32, u32);
+pooled!(POOL_F32, f32);
+pooled!(POOL_U64, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers() {
+        let mut v = u32::take(8);
+        v[3] = 77;
+        u32::put(v);
+        let v2 = u32::take(8);
+        assert_eq!(v2, vec![0; 8], "recycled buffer must be re-zeroed");
+        u32::put(v2);
+    }
+
+    #[test]
+    fn take_resizes_recycled_buffers() {
+        let v = f32::take(4);
+        f32::put(v);
+        let big = f32::take(16);
+        assert_eq!(big.len(), 16);
+        let small = f32::take(2);
+        assert_eq!(small.len(), 2);
+    }
+
+    #[test]
+    fn pool_reuses_capacity() {
+        let v = u64::take(32);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        u64::put(v);
+        let v2 = u64::take(32);
+        // Not guaranteed by the API, but with a quiescent pool the same
+        // allocation comes straight back.
+        assert_eq!((v2.capacity(), v2.as_ptr()), (cap, ptr));
+    }
+}

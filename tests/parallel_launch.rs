@@ -1,0 +1,206 @@
+//! Serial vs parallel block execution: for **every** kernel family in the
+//! reproduction, a launch executed across host threads must produce
+//! bit-identical `KernelStats` counters and bit-identical global-memory
+//! contents to the serial launch, at every thread count. This is the
+//! contract `aco_simt::launch_threads` documents and the engine's
+//! determinism ultimately rests on.
+
+use aco_gpu::core::gpu::{
+    run_pheromone_threads, run_tour_threads, ColonyBuffers, PheromoneStrategy, TourStrategy,
+};
+use aco_gpu::core::AcoParams;
+use aco_gpu::simt::prelude::*;
+use aco_gpu::simt::DeviceSpec;
+use aco_gpu::tsp;
+
+const THREADS: [usize; 3] = [2, 3, 7];
+
+fn devices() -> [DeviceSpec; 2] {
+    [DeviceSpec::tesla_c1060(), DeviceSpec::tesla_m2050()]
+}
+
+/// Fresh colony memory for a deterministic instance.
+fn colony(n: usize, dev_seed: u64) -> (GlobalMem, ColonyBuffers) {
+    let inst = tsp::uniform_random("par-launch", n, 900.0, dev_seed);
+    let mut gm = GlobalMem::new();
+    let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(10).ants(14));
+    (gm, bufs)
+}
+
+/// Bitwise comparison of every colony buffer both runs share.
+fn assert_memory_identical(a: &GlobalMem, b: &GlobalMem, bufs: ColonyBuffers, what: &str) {
+    let f32_bits = |gm: &GlobalMem, p| gm.f32(p).iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(a.u32(bufs.tours), b.u32(bufs.tours), "{what}: tours differ");
+    assert_eq!(f32_bits(a, bufs.lengths), f32_bits(b, bufs.lengths), "{what}: lengths differ");
+    assert_eq!(f32_bits(a, bufs.tau), f32_bits(b, bufs.tau), "{what}: tau differs");
+    assert_eq!(f32_bits(a, bufs.choice), f32_bits(b, bufs.choice), "{what}: choice differs");
+}
+
+#[test]
+fn every_tour_strategy_is_thread_count_invariant() {
+    for dev in devices() {
+        for strategy in TourStrategy::ALL {
+            let (mut gm_serial, bufs_s) = colony(40, 7);
+            let serial = run_tour_threads(
+                &dev,
+                &mut gm_serial,
+                bufs_s,
+                strategy,
+                1.0,
+                2.0,
+                11,
+                0,
+                SimMode::Full,
+                1,
+            )
+            .unwrap();
+            for threads in THREADS {
+                let (mut gm_par, bufs_p) = colony(40, 7);
+                let par = run_tour_threads(
+                    &dev,
+                    &mut gm_par,
+                    bufs_p,
+                    strategy,
+                    1.0,
+                    2.0,
+                    11,
+                    0,
+                    SimMode::Full,
+                    threads,
+                )
+                .unwrap();
+                let what = format!("{} {strategy:?} x{threads}", dev.name);
+                assert_eq!(serial.stats, par.stats, "{what}: stats differ");
+                assert_eq!(
+                    serial.total_ms().to_bits(),
+                    par.total_ms().to_bits(),
+                    "{what}: modeled time differs"
+                );
+                assert_memory_identical(&gm_serial, &gm_par, bufs_s, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_pheromone_strategy_is_thread_count_invariant() {
+    for dev in devices() {
+        for strategy in PheromoneStrategy::ALL {
+            // Construct tours first so the update has real deposits.
+            let prepare = |threads: usize| {
+                let (mut gm, bufs) = colony(36, 9);
+                run_tour_threads(
+                    &dev,
+                    &mut gm,
+                    bufs,
+                    TourStrategy::NNList,
+                    1.0,
+                    2.0,
+                    5,
+                    0,
+                    SimMode::Full,
+                    threads,
+                )
+                .unwrap();
+                (gm, bufs)
+            };
+            let (mut gm_serial, bufs_s) = prepare(1);
+            let serial = run_pheromone_threads(
+                &dev,
+                &mut gm_serial,
+                bufs_s,
+                strategy,
+                0.5,
+                SimMode::Full,
+                1,
+            )
+            .unwrap();
+            for threads in THREADS {
+                let (mut gm_par, bufs_p) = prepare(threads);
+                let par = run_pheromone_threads(
+                    &dev,
+                    &mut gm_par,
+                    bufs_p,
+                    strategy,
+                    0.5,
+                    SimMode::Full,
+                    threads,
+                )
+                .unwrap();
+                let what = format!("{} {strategy:?} x{threads}", dev.name);
+                assert_eq!(serial.stats, par.stats, "{what}: stats differ");
+                assert_eq!(
+                    serial.time.total_ms.to_bits(),
+                    par.time.total_ms.to_bits(),
+                    "{what}: modeled time differs"
+                );
+                assert_memory_identical(&gm_serial, &gm_par, bufs_s, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn sampled_launches_are_thread_count_invariant_too() {
+    let dev = DeviceSpec::tesla_c1060();
+    let (mut gm_serial, bufs_s) = colony(64, 3);
+    let serial = run_tour_threads(
+        &dev,
+        &mut gm_serial,
+        bufs_s,
+        TourStrategy::DataParallel,
+        1.0,
+        2.0,
+        4,
+        1,
+        SimMode::SampleBlocks(5),
+        1,
+    )
+    .unwrap();
+    for threads in THREADS {
+        let (mut gm_par, bufs_p) = colony(64, 3);
+        let par = run_tour_threads(
+            &dev,
+            &mut gm_par,
+            bufs_p,
+            TourStrategy::DataParallel,
+            1.0,
+            2.0,
+            4,
+            1,
+            SimMode::SampleBlocks(5),
+            threads,
+        )
+        .unwrap();
+        assert_eq!(serial.stats, par.stats);
+        assert_memory_identical(&gm_serial, &gm_par, bufs_s, &format!("sampled x{threads}"));
+    }
+}
+
+#[test]
+fn gpu_system_full_runs_are_thread_count_invariant() {
+    use aco_gpu::core::gpu::GpuAntSystem;
+    let inst = tsp::uniform_random("sys-par", 38, 800.0, 21);
+    let run = |threads: usize| {
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(13).ants(12),
+            DeviceSpec::tesla_m2050(),
+            TourStrategy::DataParallelTex,
+            PheromoneStrategy::AtomicShared,
+        );
+        sys.set_exec_threads(threads);
+        let mut ms = 0.0;
+        let mut bests = Vec::new();
+        for _ in 0..3 {
+            let rep = sys.iterate(SimMode::Full).unwrap();
+            ms += rep.tour_ms + rep.pheromone_ms;
+            bests.push(rep.best_so_far);
+        }
+        (bests, ms.to_bits())
+    };
+    let serial = run(1);
+    for threads in THREADS {
+        assert_eq!(serial, run(threads), "x{threads}");
+    }
+}
