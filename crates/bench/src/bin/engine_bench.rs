@@ -29,6 +29,36 @@ use aco_core::cpu::TourPolicy;
 use aco_core::AcoParams;
 use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
 
+/// Submit→first-progress-event latency (ms): how long after `submit`
+/// a caller's `JobHandle::progress()` stream delivers its first
+/// iteration-best event on an otherwise idle 1-worker engine. The
+/// artifact cache is warmed first, so this prices the lifecycle path
+/// (queue → schedule → first colony iteration → event), not NN-list
+/// construction. Minimum of five samples (latency floors, like all
+/// latency benches, are min-stable).
+fn measure_first_event_ms(n: usize, iters: usize) -> f64 {
+    let engine = Engine::new(EngineConfig::with_workers(1));
+    let inst = Arc::new(aco_tsp::uniform_random("bench-latency", n, 1000.0, 0xA1));
+    let params = AcoParams::default().nn(15.min(n - 1)).ants(n.min(32));
+    let req = |seed: u64| {
+        SolveRequest::new(Arc::clone(&inst), params.clone())
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(iters)
+            .seed(seed)
+    };
+    engine.submit(req(0)).wait().expect("warm-up job");
+    (1..=5)
+        .map(|s| {
+            let t0 = Instant::now();
+            let h = engine.submit(req(s));
+            h.progress().next().expect("job emits progress");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            h.wait().expect("job finishes");
+            ms
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 struct Args {
     jobs: usize,
     workers: Vec<usize>,
@@ -143,6 +173,9 @@ struct HistEntry {
     n: usize,
     iterations: usize,
     host_cpus: usize,
+    /// Submit→first-progress-event latency, ms (0 in pre-lifecycle
+    /// entries, which had no progress streams).
+    first_event_ms: f64,
     runs: Vec<RunRec>,
 }
 
@@ -206,12 +239,14 @@ fn render_entry(e: &HistEntry) -> String {
     let runs: Vec<String> = e.runs.iter().map(render_run).collect();
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
-         \"iterations\": {},\n      \"host_cpus\": {},\n      \"runs\": [\n{}\n      ]\n    }}",
+         \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
+         \"runs\": [\n{}\n      ]\n    }}",
         e.label,
         e.jobs,
         e.n,
         e.iterations,
         e.host_cpus,
+        e.first_event_ms,
         runs.join(",\n")
     )
 }
@@ -247,6 +282,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         n: uint(v.get("n")) as usize,
         iterations: uint(v.get("iterations")) as usize,
         host_cpus: uint(v.get("host_cpus")) as usize,
+        first_event_ms: v.get("first_event_ms").and_then(Json::num).unwrap_or(0.0),
         runs: v.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().map(parse_run).collect(),
     }
 }
@@ -318,12 +354,15 @@ fn main() {
 
     let runs: Vec<RunRec> =
         args.workers.iter().map(|&w| measure(w, args.jobs, args.n, args.iters)).collect();
+    let first_event_ms = measure_first_event_ms(args.n, args.iters);
+    println!("submit -> first progress event: {first_event_ms:.3} ms (min of 5, warm cache)");
     let entry = HistEntry {
         label: args.label.clone(),
         jobs: args.jobs,
         n: args.n,
         iterations: args.iters,
         host_cpus: host_cpus(),
+        first_event_ms,
         runs,
     };
 

@@ -2,7 +2,15 @@
 //!
 //! ```text
 //! interp_bench [--label S] [--append] [--reps R] [--out FILE]
+//! interp_bench --check FILE [--tolerance T] [--reps R]
 //! ```
+//!
+//! `--check` is the CI regression gate mirroring `engine_bench --check`:
+//! it re-runs every op of the artifact's **last** history entry and fails
+//! (exit 1) if any op's allocs/op rose more than 0.5 above that entry
+//! (the zero-alloc tripwire is absolute) or its ns/op rose more than
+//! `--tolerance` (default 0.50 — wall time is advisory across machines;
+//! allocation counts are the hard signal).
 //!
 //! Measures the per-operation cost of the `BlockCtx` primitives the
 //! kernels are built from — wall nanoseconds *and allocator calls* per
@@ -170,6 +178,76 @@ struct OpResult {
     allocs_per_op: f64,
 }
 
+/// Allowed absolute rise in allocs/op before the gate fails: the pooled
+/// interpreter holds every row at ~0, so any systematic per-op churn
+/// clears this slack immediately while counter jitter does not.
+const ALLOC_SLACK: f64 = 0.5;
+
+/// `--check`: re-run the last committed entry's ops and compare. Exit 1
+/// on regression beyond the tolerances.
+fn check(path: &std::path::Path, tolerance: f64, reps: u32) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("check: could not read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check: could not parse {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    let Some(last) = doc.get("history").and_then(Json::arr).and_then(|h| h.last()) else {
+        eprintln!("check: no usable history in {}", path.display());
+        std::process::exit(2);
+    };
+    let label = last.get("label").and_then(Json::str).unwrap_or("unlabeled");
+    let baseline: Vec<(&str, f64, f64)> = last
+        .get("ops")
+        .and_then(Json::arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|o| {
+            Some((
+                o.get("op").and_then(Json::str)?,
+                o.get("ns_per_op").and_then(Json::num)?,
+                o.get("allocs_per_op").and_then(Json::num)?,
+            ))
+        })
+        .collect();
+    if baseline.is_empty() {
+        eprintln!("check: entry '{label}' has no ops");
+        std::process::exit(2);
+    }
+    println!("gate: entry '{label}', {} ops, tolerance {tolerance:.2}", baseline.len());
+    let fresh: Vec<OpResult> = OPS.iter().map(|&op| run_op(op, reps)).collect();
+    let mut failed = false;
+    for (name, base_ns, base_allocs) in baseline {
+        let Some(f) = fresh.iter().find(|r| r.name == name) else {
+            eprintln!("gate FAIL: op '{name}' no longer measured");
+            failed = true;
+            continue;
+        };
+        if f.allocs_per_op > base_allocs + ALLOC_SLACK {
+            eprintln!(
+                "gate FAIL: {name} allocs/op {:.4} > baseline {base_allocs:.4} + {ALLOC_SLACK}",
+                f.allocs_per_op
+            );
+            failed = true;
+        }
+        if f.ns_per_op > base_ns * (1.0 + tolerance) {
+            eprintln!(
+                "gate FAIL: {name} ns/op {:.1} > baseline {base_ns:.1} * {:.2}",
+                f.ns_per_op,
+                1.0 + tolerance
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("gate OK: every op within allocs +{ALLOC_SLACK} and ns *{:.2}", 1.0 + tolerance);
+    std::process::exit(0);
+}
+
 fn run_op(op: &'static str, reps: u32) -> OpResult {
     let dev = DeviceSpec::tesla_c1060();
     let mut gm = GlobalMem::new();
@@ -218,6 +296,8 @@ fn main() {
     let mut append = false;
     let mut reps: u32 = 4096;
     let mut out = std::path::PathBuf::from("BENCH_interp.json");
+    let mut check_path: Option<std::path::PathBuf> = None;
+    let mut tolerance = 0.50;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -225,11 +305,18 @@ fn main() {
             "--append" => append = true,
             "--reps" => reps = it.next().expect("--reps R").parse().expect("--reps R"),
             "--out" => out = it.next().expect("--out FILE").into(),
+            "--check" => check_path = Some(it.next().expect("--check FILE").into()),
+            "--tolerance" => {
+                tolerance = it.next().expect("--tolerance T").parse().expect("--tolerance T");
+            }
             other => {
                 eprintln!("unknown arg {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = &check_path {
+        check(path, tolerance, reps);
     }
 
     let results: Vec<OpResult> = OPS.iter().map(|&op| run_op(op, reps)).collect();

@@ -48,6 +48,9 @@ pub struct AntColonySystem<'a> {
     rng: PmRng,
     tau0: f64,
     best: Option<(Tour, u64)>,
+    /// Best length found in the most recent iteration (`u64::MAX` before
+    /// the first) — the iteration-best stream for lifecycle observers.
+    last_iter_best: u64,
     /// Reusable per-ant visited flags (construction scratch).
     visited_scratch: Vec<bool>,
 }
@@ -92,6 +95,7 @@ impl<'a> AntColonySystem<'a> {
             rng: PmRng::new((params.seed % 0x7FFF_FFFF) as u32),
             tau0,
             best: None,
+            last_iter_best: u64::MAX,
             visited_scratch: vec![false; n],
             params,
             acs,
@@ -204,14 +208,23 @@ impl<'a> AntColonySystem<'a> {
         (Tour::new_unchecked(order), len)
     }
 
+    /// Best length found in the most recent [`AntColonySystem::iterate`]
+    /// (`u64::MAX` before the first iteration).
+    pub fn last_iter_best(&self) -> u64 {
+        self.last_iter_best
+    }
+
     /// One ACS iteration; returns the best-so-far length.
     pub fn iterate(&mut self) -> u64 {
+        let mut iter_best = u64::MAX;
         for _ in 0..self.m {
             let (tour, len) = self.construct_one();
+            iter_best = iter_best.min(len);
             if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
                 self.best = Some((tour, len));
             }
         }
+        self.last_iter_best = iter_best;
         // Global update: best-so-far ant only.
         let (tour, len) = self.best.as_ref().expect("m >= 1 ants ran").clone();
         let rho = self.params.rho as f64;
@@ -235,6 +248,19 @@ impl<'a> AntColonySystem<'a> {
             best = self.iterate();
         }
         best
+    }
+
+    /// Ctx-driven run: cancellation/deadline checked at every iteration
+    /// boundary; one iteration-best event emitted per iteration.
+    pub fn run_ctx(
+        &mut self,
+        iterations: usize,
+        ctx: &crate::lifecycle::SolveCtx,
+    ) -> crate::lifecycle::RunOutcome {
+        crate::lifecycle::drive(iterations, ctx, |_| {
+            let best = self.iterate();
+            (self.last_iter_best, best)
+        })
     }
 }
 

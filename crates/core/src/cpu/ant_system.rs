@@ -500,6 +500,25 @@ impl<'a> AntSystem<'a> {
         }
         last
     }
+
+    /// Ctx-driven run: up to `iterations` iterations, checking
+    /// [`SolveCtx::stop_reason`](crate::lifecycle::SolveCtx) at every
+    /// iteration boundary and emitting one iteration-best event per
+    /// completed iteration. `on_iter` sees each [`IterationReport`]
+    /// (callers price the iteration from its counters).
+    pub fn run_ctx(
+        &mut self,
+        policy: TourPolicy,
+        iterations: usize,
+        ctx: &crate::lifecycle::SolveCtx,
+        mut on_iter: impl FnMut(&IterationReport),
+    ) -> crate::lifecycle::RunOutcome {
+        crate::lifecycle::drive(iterations, ctx, |_| {
+            let rep = self.iterate(policy);
+            on_iter(&rep);
+            (rep.iter_best, rep.best_so_far)
+        })
+    }
 }
 
 /// Analytic counter models for instance sizes too large to execute, with

@@ -49,6 +49,9 @@ pub struct MaxMinAntSystem<'a> {
     tau_max: f64,
     tau_min: f64,
     best: Option<(Tour, u64)>,
+    /// Best length found in the most recent iteration (`u64::MAX` before
+    /// the first) — the iteration-best stream for lifecycle observers.
+    last_iter_best: u64,
     iterations: usize,
     since_improvement: usize,
     /// Reusable construction scratch (visited flags + roulette slots).
@@ -99,6 +102,7 @@ impl<'a> MaxMinAntSystem<'a> {
             tau_max,
             tau_min,
             best: None,
+            last_iter_best: u64::MAX,
             iterations: 0,
             since_improvement: 0,
             visited_scratch: vec![false; n],
@@ -210,6 +214,7 @@ impl<'a> MaxMinAntSystem<'a> {
             }
         }
         let iter_best = iter_best.expect("m >= 1 ants");
+        self.last_iter_best = iter_best.1;
 
         let improved = self.best.as_ref().is_none_or(|&(_, b)| iter_best.1 < b);
         if improved {
@@ -260,6 +265,25 @@ impl<'a> MaxMinAntSystem<'a> {
             best = self.iterate();
         }
         best
+    }
+
+    /// Best length found in the most recent [`MaxMinAntSystem::iterate`]
+    /// (`u64::MAX` before the first iteration).
+    pub fn last_iter_best(&self) -> u64 {
+        self.last_iter_best
+    }
+
+    /// Ctx-driven run: cancellation/deadline checked at every iteration
+    /// boundary; one iteration-best event emitted per iteration.
+    pub fn run_ctx(
+        &mut self,
+        iterations: usize,
+        ctx: &crate::lifecycle::SolveCtx,
+    ) -> crate::lifecycle::RunOutcome {
+        crate::lifecycle::drive(iterations, ctx, |_| {
+            let best = self.iterate();
+            (self.last_iter_best, best)
+        })
     }
 
     /// Operation counters for an MMAS update (extension of the paper's

@@ -15,4 +15,4 @@ pub use ant_system::{AntSystem, IterationReport, PhaseCounters, TourPolicy, Tour
 pub use counter::{CpuModel, OpCounter};
 pub use elitist::{Elitism, ElitistAntSystem};
 pub use mmas::{MaxMinAntSystem, MmasParams};
-pub use parallel::{construct_parallel, iterate_parallel};
+pub use parallel::{construct_parallel, iterate_parallel, run_parallel_ctx};

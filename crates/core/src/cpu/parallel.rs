@@ -65,6 +65,53 @@ pub fn iterate_parallel(
     best
 }
 
+/// Ctx-driven parallel colony loop: `iterations` full iterations
+/// (choice refresh → parallel construction → sequential update) starting
+/// at colony iteration `first_iteration`, with cancellation/deadline
+/// checked at every iteration boundary and one iteration-best event
+/// emitted per iteration.
+///
+/// `best` carries the best-so-far across calls (the caller owns it, so a
+/// stopped run can resume or report its partial best). `on_iter` receives
+/// the counters of the sequential phases (choice refresh + pheromone
+/// update) so callers can price what did not fan out over `threads`.
+///
+/// Deterministic in `(seed, first_iteration, iterations)` regardless of
+/// `threads` — the same per-ant decorrelated streams as
+/// [`construct_parallel`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_ctx(
+    aco: &mut AntSystem<'_>,
+    policy: TourPolicy,
+    threads: usize,
+    iterations: usize,
+    first_iteration: u64,
+    ctx: &crate::lifecycle::SolveCtx,
+    best: &mut Option<(Tour, u64)>,
+    mut on_iter: impl FnMut(&super::counter::OpCounter),
+) -> crate::lifecycle::RunOutcome {
+    if aco.m() == 0 {
+        // No ants, no work: report zero completed iterations instead of
+        // panicking on an empty solution set (callers map a best-less
+        // outcome to their no-solution error).
+        return crate::lifecycle::RunOutcome { iterations: 0, stopped: None };
+    }
+    crate::lifecycle::drive(iterations, ctx, |k| {
+        // Match sequential semantics: refresh choice info from the
+        // pheromone laid down last iteration before constructing.
+        let mut c = super::counter::OpCounter::default();
+        aco.refresh_choice(&mut c);
+        let sols = construct_parallel(aco, policy, first_iteration + k, threads);
+        let (tour, len) = sols.iter().min_by_key(|&&(_, l)| l).cloned().expect("m >= 1 ants");
+        if best.as_ref().is_none_or(|&(_, b)| len < b) {
+            *best = Some((tour, len));
+        }
+        aco.update_pheromone(&sols, &mut c);
+        on_iter(&c);
+        (len, best.as_ref().map(|&(_, l)| l).expect("set above"))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -309,6 +309,9 @@ pub struct GpuAntColonySystem<'a> {
     tau0: f32,
     iteration: u64,
     best: Option<(Tour, u64)>,
+    /// Best length found in the most recent iteration (`u64::MAX` before
+    /// the first) — the iteration-best stream for lifecycle observers.
+    last_iter_best: u64,
 }
 
 impl<'a> GpuAntColonySystem<'a> {
@@ -342,7 +345,18 @@ impl<'a> GpuAntColonySystem<'a> {
         let eta_kernel = ChoiceKernel { bufs, alpha: 0.0, beta: params.beta };
         launch(&dev, &eta_kernel.config(), &eta_kernel, &mut gm, SimMode::Full)
             .expect("choice kernel fits any device");
-        GpuAntColonySystem { inst, params, acs, dev, gm, bufs, tau0, iteration: 0, best: None }
+        GpuAntColonySystem {
+            inst,
+            params,
+            acs,
+            dev,
+            gm,
+            bufs,
+            tau0,
+            iteration: 0,
+            best: None,
+            last_iter_best: u64::MAX,
+        }
     }
 
     /// Best solution so far (exact length).
@@ -388,6 +402,7 @@ impl<'a> GpuAntColonySystem<'a> {
                 self.best = Some((tour, len));
             }
         }
+        self.last_iter_best = best_this_iter;
 
         // Global update uses the best-so-far tour; if it came from an
         // earlier iteration, refresh its row on the device.
@@ -420,6 +435,29 @@ impl<'a> GpuAntColonySystem<'a> {
             best = self.iterate()?.0;
         }
         Ok(best)
+    }
+
+    /// Best length found in the most recent iteration (`u64::MAX` before
+    /// the first).
+    pub fn last_iter_best(&self) -> u64 {
+        self.last_iter_best
+    }
+
+    /// Ctx-driven run: cancellation/deadline checked at every iteration
+    /// boundary (between simulated kernel launches); one iteration-best
+    /// event emitted per iteration. `on_iter` sees each iteration's
+    /// `(tour_ms, update_ms)` modeled times.
+    pub fn run_ctx(
+        &mut self,
+        iterations: usize,
+        ctx: &crate::lifecycle::SolveCtx,
+        mut on_iter: impl FnMut(f64, f64),
+    ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
+        crate::lifecycle::try_drive(iterations, ctx, |_| {
+            let (best, tour_ms, update_ms) = self.iterate()?;
+            on_iter(tour_ms, update_ms);
+            Ok((self.last_iter_best, best))
+        })
     }
 }
 

@@ -185,6 +185,23 @@ impl<'a> GpuAntSystem<'a> {
         }
         Ok(best)
     }
+
+    /// Ctx-driven full-fidelity run: cancellation/deadline checked at
+    /// every iteration boundary (i.e. between simulated kernel launches);
+    /// one iteration-best event emitted per iteration. `on_iter` sees
+    /// each [`GpuIterationReport`] (callers accumulate modeled time).
+    pub fn run_ctx(
+        &mut self,
+        iterations: usize,
+        ctx: &crate::lifecycle::SolveCtx,
+        mut on_iter: impl FnMut(&GpuIterationReport),
+    ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
+        crate::lifecycle::try_drive(iterations, ctx, |_| {
+            let rep = self.iterate(SimMode::Full)?;
+            on_iter(&rep);
+            Ok((rep.iter_best, rep.best_so_far))
+        })
+    }
 }
 
 #[cfg(test)]

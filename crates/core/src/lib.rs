@@ -13,6 +13,7 @@
 
 pub mod cpu;
 pub mod gpu;
+pub mod lifecycle;
 pub mod params;
 pub mod quality;
 
@@ -21,4 +22,5 @@ pub use cpu::{
     TourPolicy,
 };
 pub use gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStrategy};
+pub use lifecycle::{CancelToken, IterationEvent, RunOutcome, SolveCtx, StopReason};
 pub use params::AcoParams;

@@ -1,0 +1,260 @@
+//! Job-lifecycle plumbing shared by every colony: cancellation tokens,
+//! deadlines, and iteration-best observation.
+//!
+//! The paper's colonies are fire-and-forget single solves; a serving
+//! engine needs mid-flight observability. [`SolveCtx`] carries the three
+//! lifecycle channels a long-running solve must honour:
+//!
+//! * a **cancellation token** ([`CancelToken`]) checked at every
+//!   iteration boundary, so a `cancel()` from another thread stops the
+//!   colony within one iteration;
+//! * an optional **deadline** ([`std::time::Instant`]) checked at the
+//!   same boundary;
+//! * an **iteration observer** — a sink that receives one
+//!   [`IterationEvent`] per completed iteration (iteration-best and
+//!   best-so-far lengths), the raw material for progress streams.
+//!
+//! Every colony in this crate exposes a ctx-driven loop (`run_ctx`) built
+//! on [`drive`] / [`try_drive`], so the check-emit protocol is identical
+//! across the sequential/parallel CPU Ant System, ACS, MMAS, and the GPU
+//! system/ACS paths. Determinism: for a run that is never stopped, the
+//! emitted event sequence is a pure function of the colony's inputs —
+//! wall-clock only enters through the *optional* deadline.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared cancellation flag. Clones observe the same flag; `cancel()` is
+/// a release store, so a colony's next iteration-boundary check
+/// (`is_cancelled`, an acquire load) sees it promptly.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called (on this token or any
+    /// clone)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a ctx-driven run stopped before completing all its iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The [`CancelToken`] fired.
+    Cancelled,
+    /// The deadline passed.
+    DeadlineExpired,
+}
+
+/// One completed colony iteration, as seen by the observer sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IterationEvent {
+    /// 0-based iteration index within this run.
+    pub iteration: u64,
+    /// Best tour length found in this iteration.
+    pub iter_best: u64,
+    /// Best tour length found so far (≤ `iter_best`).
+    pub best_so_far: u64,
+}
+
+/// The observer sink: called once per completed iteration, on the thread
+/// running the colony. Implementations must be cheap and non-blocking —
+/// they sit inside the solve hot loop.
+pub type IterationObserver = dyn Fn(IterationEvent) + Send + Sync;
+
+/// The context a ctx-driven solve runs under. Construct with the
+/// builders; an empty `SolveCtx::new()` never stops and observes nothing,
+/// which makes it a drop-in for the old fire-and-forget loops.
+#[derive(Default)]
+pub struct SolveCtx {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    observer: Option<Box<IterationObserver>>,
+}
+
+impl std::fmt::Debug for SolveCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCtx")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("deadline", &self.deadline)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl SolveCtx {
+    /// A context that never stops and observes nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: cancel this run when `token` fires.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Builder: stop the run at `deadline` (checked at iteration
+    /// boundaries, like cancellation).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder: send one [`IterationEvent`] per completed iteration to
+    /// `observer`.
+    pub fn with_observer(
+        mut self,
+        observer: impl Fn(IterationEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// The cancellation token this context watches.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Should the run stop *now*? Cancellation outranks the deadline.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.cancel.is_cancelled() {
+            return Some(StopReason::Cancelled);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Some(StopReason::DeadlineExpired),
+            _ => None,
+        }
+    }
+
+    /// Deliver an event to the observer (no-op without one).
+    pub fn emit(&self, event: IterationEvent) {
+        if let Some(obs) = &self.observer {
+            obs(event);
+        }
+    }
+}
+
+/// How a ctx-driven run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunOutcome {
+    /// Iterations actually completed (≤ requested).
+    pub iterations: usize,
+    /// `None` if all requested iterations ran; otherwise why it stopped.
+    pub stopped: Option<StopReason>,
+}
+
+impl RunOutcome {
+    /// Did the run complete every requested iteration?
+    pub fn completed(&self) -> bool {
+        self.stopped.is_none()
+    }
+}
+
+/// The shared check-emit loop every colony's `run_ctx` is built on:
+/// before each iteration consult [`SolveCtx::stop_reason`]; after it,
+/// emit the `(iter_best, best_so_far)` pair `step` returns.
+pub fn drive(
+    iterations: usize,
+    ctx: &SolveCtx,
+    mut step: impl FnMut(u64) -> (u64, u64),
+) -> RunOutcome {
+    for k in 0..iterations {
+        if let Some(reason) = ctx.stop_reason() {
+            return RunOutcome { iterations: k, stopped: Some(reason) };
+        }
+        let (iter_best, best_so_far) = step(k as u64);
+        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far });
+    }
+    RunOutcome { iterations, stopped: None }
+}
+
+/// [`drive`] for fallible steps (the simulated GPU paths, whose kernel
+/// launches can reject). An `Err` aborts the loop without emitting.
+pub fn try_drive<E>(
+    iterations: usize,
+    ctx: &SolveCtx,
+    mut step: impl FnMut(u64) -> Result<(u64, u64), E>,
+) -> Result<RunOutcome, E> {
+    for k in 0..iterations {
+        if let Some(reason) = ctx.stop_reason() {
+            return Ok(RunOutcome { iterations: k, stopped: Some(reason) });
+        }
+        let (iter_best, best_so_far) = step(k as u64)?;
+        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far });
+    }
+    Ok(RunOutcome { iterations, stopped: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_ctx_runs_to_completion_and_emits_nothing() {
+        let ctx = SolveCtx::new();
+        let out = drive(5, &ctx, |k| (100 - k, 100 - k));
+        assert_eq!(out, RunOutcome { iterations: 5, stopped: None });
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn cancel_stops_at_the_next_iteration_boundary() {
+        let token = CancelToken::new();
+        let ctx = SolveCtx::new().with_cancel(token.clone());
+        let cancel_at = 3u64;
+        let out = drive(10, &ctx, |k| {
+            if k + 1 == cancel_at {
+                token.cancel();
+            }
+            (50, 50)
+        });
+        assert_eq!(out.iterations, cancel_at as usize);
+        assert_eq!(out.stopped, Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_the_first_iteration() {
+        let ctx = SolveCtx::new().with_deadline(Instant::now());
+        let out = drive(4, &ctx, |_| unreachable!("deadline already passed"));
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.stopped, Some(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_in_order() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let ctx = SolveCtx::new().with_observer(move |ev| {
+            assert_eq!(ev.iteration, seen2.load(Ordering::SeqCst));
+            assert_eq!(ev.iter_best, ev.iteration + 10);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        });
+        let out = drive(6, &ctx, |k| (k + 10, k + 10));
+        assert!(out.completed());
+        assert_eq!(seen.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn try_drive_propagates_errors() {
+        let ctx = SolveCtx::new();
+        let r: Result<RunOutcome, &str> =
+            try_drive(3, &ctx, |k| if k == 1 { Err("boom") } else { Ok((1, 1)) });
+        assert_eq!(r, Err("boom"));
+    }
+}

@@ -3,16 +3,23 @@
 //!
 //! The paper parallelises both ACO phases on one GPU for one TSP instance
 //! at a time; this crate turns that single-solve capability into a
-//! throughput system:
+//! throughput system with full job-lifecycle control:
 //!
 //! * **Unified [`Solver`] trait** ([`solver`]): the sequential Ant System,
 //!   the multi-threaded CPU colony, [`GpuAntSystem`](aco_core::GpuAntSystem)
 //!   under any `TourStrategy × PheromoneStrategy` combination, and the
-//!   ACS/MMAS variants all answer one [`SolveRequest`] → [`SolveReport`]
-//!   API, selected by a [`Backend`] value.
-//! * **Work-stealing batch scheduler** ([`scheduler`]): [`Engine::submit`]
-//!   queues jobs onto a worker pool; per-job seeding is deterministic, so
-//!   a batch returns bit-identical reports for any worker count.
+//!   ACS/MMAS variants all answer one ctx-driven [`SolveRequest`] →
+//!   [`SolveReport`] API, selected by a [`Backend`] value. Every colony's
+//!   iteration loop checks cancellation/deadlines and emits
+//!   iteration-best events.
+//! * **Priority-aware work-stealing scheduler** ([`scheduler`]):
+//!   [`Engine::submit`] queues jobs onto a worker pool and returns a
+//!   [`JobHandle`] — non-blocking [`JobHandle::poll`], blocking
+//!   [`JobHandle::wait`], a bounded [`JobHandle::progress`] event stream,
+//!   prompt [`JobHandle::cancel`], and [`JobHandle::set_priority`]
+//!   re-prioritisation. Per-job seeding is deterministic, so a batch
+//!   returns bit-identical reports (and progress streams) for any worker
+//!   count.
 //! * **Instance-artifact cache** ([`cache`]): nearest-neighbour candidate
 //!   lists, greedy-tour lengths and backend decisions are keyed by the
 //!   instance **content hash** and shared across jobs on the same
@@ -25,19 +32,27 @@
 //! ```
 //! use std::sync::Arc;
 //! use aco_core::AcoParams;
-//! use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
+//! use aco_engine::{Backend, Engine, EngineConfig, Priority, SolveRequest};
 //!
 //! let engine = Engine::new(EngineConfig::with_workers(4));
 //! let inst = Arc::new(aco_tsp::uniform_random("batch", 48, 800.0, 42));
-//! let reports = engine.run_batch((0..8).map(|seed| {
-//!     SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
-//!         .backend(Backend::Auto)
-//!         .iterations(5)
-//!         .seed(seed)
-//! }));
-//! let best = reports
+//! let handles: Vec<_> = (0..8)
+//!     .map(|seed| {
+//!         engine.submit(
+//!             SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
+//!                 .backend(Backend::Auto)
+//!                 .iterations(5)
+//!                 .seed(seed)
+//!                 .priority(if seed == 0 { Priority::High } else { Priority::Normal }),
+//!         )
+//!     })
+//!     .collect();
+//! // Follow one job's convergence live, then collect everything.
+//! let trace: Vec<_> = handles[0].progress().collect();
+//! assert_eq!(trace.len(), 5, "one iteration-best event per iteration");
+//! let best = handles
 //!     .into_iter()
-//!     .map(|r| r.expect("job succeeds").best_len)
+//!     .map(|h| h.wait().expect("job succeeds").best_len)
 //!     .min()
 //!     .unwrap();
 //! assert!(best > 0);
@@ -50,9 +65,11 @@ pub mod cache;
 pub mod scheduler;
 pub mod solver;
 
+pub use aco_core::lifecycle::{CancelToken, IterationEvent, RunOutcome, SolveCtx, StopReason};
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
-pub use scheduler::{Engine, EngineConfig, JobId};
+pub use scheduler::{Engine, EngineConfig, JobHandle, JobId, JobStatus, ProgressStream};
 pub use solver::{
-    build_solver, Backend, EngineError, GpuDevice, SolveReport, SolveRequest, Solver,
+    build_solver, Backend, EngineError, GpuDevice, JobOutcome, Priority, SolveReport, SolveRequest,
+    Solver, DEFAULT_PROGRESS_EVENTS,
 };

@@ -1,28 +1,51 @@
-//! The batch engine: a work-stealing worker pool over solve jobs.
+//! The batch engine: a priority-aware, work-stealing worker pool over
+//! solve jobs with full lifecycle control.
 //!
-//! Jobs are distributed round-robin over per-worker deques at submission;
-//! a worker pops its own deque from the front and steals from the back of
-//! its peers when idle, so a long GPU simulation on one worker never
-//! starves the rest of the batch. Results land in a shared map keyed by
-//! [`JobId`] and are claimed with [`Engine::wait`].
+//! Jobs are distributed round-robin over per-worker **priority queues**
+//! at submission; a worker pops the highest-priority (then oldest) job
+//! from its own queue and steals from its peers when idle, so a long GPU
+//! simulation on one worker never starves the rest of the batch.
+//! [`Engine::submit`] returns a [`JobHandle`] carrying the job's whole
+//! lifecycle surface: non-blocking [`JobHandle::poll`], blocking
+//! [`JobHandle::wait`], a bounded [`JobHandle::progress`] event stream,
+//! [`JobHandle::cancel`], and [`JobHandle::set_priority`].
 //!
-//! **Determinism.** Scheduling affects only *where* and *when* a job runs,
-//! never its inputs: every job derives its RNG streams from its own
+//! **Cancellation.** A cancelled job that has not started is finalised
+//! immediately (its queue entry becomes a no-op when popped); a running
+//! job observes the token at its colony's next iteration boundary and
+//! reports its partial best with a `Cancelled` outcome. Either way the
+//! result slot is delivered exactly once and the artifact cache is left
+//! untouched — cache cells are only ever filled with completed values.
+//!
+//! **Re-prioritisation.** `set_priority` updates the job's priority
+//! atomically and restamps its entry in the owning heap (an O(queue)
+//! rebuild — re-prioritisation is rare, pops are not). The pop path
+//! additionally reconciles any stale stamp it sees, but that is only a
+//! backstop for the store/restamp race: lazy reconciliation alone could
+//! never raise a buried low-stamped entry to the top.
+//!
+//! **Determinism.** Scheduling affects only *where* and *when* a job
+//! runs, never its inputs: every job derives its RNG streams from its own
 //! request seed, the artifact cache stores values that are pure functions
 //! of the instance, and `auto` decisions are deterministic in the
-//! instance and parameters. Consequently a batch produces bit-identical
-//! [`SolveReport`]s for any worker count — pinned by the
-//! `engine_results_do_not_depend_on_worker_count` tests.
+//! instance and parameters. Consequently an uncancelled batch produces
+//! bit-identical [`SolveReport`]s — and bit-identical progress event
+//! sequences — for any worker count; pinned by the
+//! `engine_results_do_not_depend_on_worker_count` and
+//! `tests/lifecycle.rs` suites.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use aco_core::lifecycle::{CancelToken, IterationEvent, SolveCtx};
 
 use crate::auto;
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::solver::{build_solver, EngineError, SolveReport, SolveRequest};
+use crate::solver::{build_solver, EngineError, JobOutcome, Priority, SolveReport, SolveRequest};
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -58,9 +81,160 @@ impl EngineConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(u64);
 
-struct Job {
+/// Coarse lifecycle phase of a job (see [`JobHandle::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Submitted; no worker has started it.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; its result waits to be claimed by `poll`/`wait`.
+    Finished,
+    /// Finished and its result already claimed.
+    Claimed,
+}
+
+const PHASE_QUEUED: u8 = 0;
+const PHASE_RUNNING: u8 = 1;
+const PHASE_FINISHED: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// Progress streams
+
+struct ProgressInner {
+    events: VecDeque<IterationEvent>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// The bounded per-job event buffer shared by the solving worker (push
+/// side, via the job's `SolveCtx` observer) and any [`ProgressStream`]s.
+struct ProgressShared {
+    inner: Mutex<ProgressInner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl ProgressShared {
+    fn new(capacity: usize) -> Self {
+        ProgressShared {
+            inner: Mutex::new(ProgressInner { events: VecDeque::new(), dropped: 0, closed: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Push one event, dropping (and counting) the oldest past the bound
+    /// so the solver never blocks on a slow consumer.
+    fn push(&self, ev: IterationEvent) {
+        let mut inner = self.inner.lock().expect("progress lock");
+        if inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(ev);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Mark the stream finished (no further events will arrive).
+    fn close(&self) {
+        self.inner.lock().expect("progress lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A consuming view of a job's progress events, obtained from
+/// [`JobHandle::progress`]. Iteration blocks until the next event or the
+/// end of the job; [`ProgressStream::try_next`] never blocks. Events are
+/// *consumed*: two streams over the same job split them between
+/// themselves, so use one consumer per job.
+///
+/// For an uncancelled job whose event count stays within the request's
+/// `progress_events` bound, the consumed sequence is bit-identical at any
+/// engine worker count.
+pub struct ProgressStream {
+    shared: Arc<ProgressShared>,
+}
+
+impl ProgressStream {
+    /// Next event if one is buffered (never blocks). `None` means "none
+    /// right now" — the job may still be running; use the blocking
+    /// iterator to distinguish end-of-stream.
+    pub fn try_next(&mut self) -> Option<IterationEvent> {
+        self.shared.inner.lock().expect("progress lock").events.pop_front()
+    }
+
+    /// Events dropped so far because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.inner.lock().expect("progress lock").dropped
+    }
+}
+
+impl Iterator for ProgressStream {
+    type Item = IterationEvent;
+
+    /// Block until the next event, or `None` once the job has finished
+    /// and every buffered event was consumed.
+    fn next(&mut self) -> Option<IterationEvent> {
+        let mut inner = self.shared.inner.lock().expect("progress lock");
+        loop {
+            if let Some(ev) = inner.events.pop_front() {
+                return Some(ev);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.shared.cv.wait(inner).expect("progress wait");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job state and queues
+
+/// Shared per-job lifecycle state (held by the board, the queue entry and
+/// every [`JobHandle`] clone).
+struct JobState {
+    cancel: CancelToken,
+    priority: AtomicU8,
+    phase: AtomicU8,
+    progress: Arc<ProgressShared>,
+    deadline: Option<Instant>,
+    /// Index of the per-worker queue the job was submitted to (entries
+    /// never migrate; stealing pops directly from the owner's heap), so
+    /// `set_priority` knows which heap to restamp.
+    queue: usize,
+}
+
+/// One queued job. Ordered by `(priority, submission order)`; the `prio`
+/// stamp is a snapshot reconciled lazily against `state.priority` at pop.
+struct QueueEntry {
+    prio: u8,
     id: u64,
+    state: Arc<JobState>,
     req: SolveRequest,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.id == other.id
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier submission.
+        self.prio.cmp(&other.prio).then_with(|| other.id.cmp(&self.id))
+    }
 }
 
 /// Lifecycle of one submitted job's result slot.
@@ -74,28 +248,47 @@ enum JobSlot {
 /// In-flight result slots. A slot is created at submission and **removed
 /// at claim**, so the board's size is bounded by the number of
 /// outstanding jobs — no claimed-id tombstones and no drained-report
-/// accumulation over the engine's lifetime. A `wait` on an issued id
-/// whose slot is gone means "already claimed" and fails fast.
+/// accumulation over the engine's lifetime. A claim on an issued id whose
+/// slot is gone means "already claimed" and fails fast.
 #[derive(Default)]
-struct ResultBoard {
+struct Board {
     jobs: HashMap<u64, JobSlot>,
 }
 
 struct Shared {
-    queues: Vec<Mutex<VecDeque<Job>>>,
+    queues: Vec<Mutex<BinaryHeap<QueueEntry>>>,
     /// Count of queued-but-unclaimed jobs; the condvar predicate.
     ready: Mutex<usize>,
     ready_cv: Condvar,
-    results: Mutex<ResultBoard>,
+    board: Mutex<Board>,
     results_cv: Condvar,
     shutdown: AtomicBool,
     cache: ArtifactCache,
 }
 
 impl Shared {
+    /// Pop the best runnable entry of queue `qi`, reconciling stale
+    /// priority stamps: an entry whose stamp disagrees with the job's
+    /// current priority is re-pushed under the current one and the pop
+    /// retried. This backstops the `set_priority` heap restamp against
+    /// the race where the atomic is updated while a pop is in flight.
+    fn pop_queue(&self, qi: usize) -> Option<QueueEntry> {
+        let mut q = self.queues[qi].lock().expect("queue lock");
+        loop {
+            let mut e = q.pop()?;
+            let current = e.state.priority.load(Ordering::Acquire);
+            if e.prio == current {
+                return Some(e);
+            }
+            e.prio = current;
+            q.push(e);
+        }
+    }
+
     /// Claim a job: block until one is queued (or shutdown), then scan —
-    /// own deque front first, peers' backs second.
-    fn next_job(&self, worker: usize) -> Option<Job> {
+    /// own queue first, peers second (stealing takes the peer's best
+    /// entry, so high-priority work migrates first).
+    fn next_job(&self, worker: usize) -> Option<QueueEntry> {
         {
             let mut ready = self.ready.lock().expect("ready lock");
             loop {
@@ -111,12 +304,11 @@ impl Shared {
         }
         let k = self.queues.len();
         loop {
-            if let Some(job) = self.queues[worker].lock().expect("own queue").pop_front() {
+            if let Some(job) = self.pop_queue(worker) {
                 return Some(job);
             }
             for peer in 1..k {
-                let victim = (worker + peer) % k;
-                if let Some(job) = self.queues[victim].lock().expect("peer queue").pop_back() {
+                if let Some(job) = self.pop_queue((worker + peer) % k) {
                     return Some(job);
                 }
             }
@@ -126,39 +318,295 @@ impl Shared {
         }
     }
 
-    fn post(&self, id: u64, result: Result<SolveReport, EngineError>) {
-        self.results.lock().expect("results lock").jobs.insert(id, JobSlot::Done(result));
+    /// Finalise a job: close its progress stream, mark it finished, and
+    /// fill its result slot (a no-op if the slot was already claimed).
+    fn post(&self, id: u64, state: &JobState, result: Result<SolveReport, EngineError>) {
+        state.progress.close();
+        state.phase.store(PHASE_FINISHED, Ordering::Release);
+        let mut board = self.board.lock().expect("board lock");
+        if let Some(slot) = board.jobs.get_mut(&id) {
+            *slot = JobSlot::Done(result);
+        }
+        drop(board);
         self.results_cv.notify_all();
+    }
+
+    /// Blocking claim of `id`'s result (exactly once).
+    fn claim_blocking(&self, id: u64, issued: bool) -> Result<SolveReport, EngineError> {
+        if !issued {
+            return Err(EngineError::UnknownJob);
+        }
+        let mut board = self.board.lock().expect("board lock");
+        loop {
+            match board.jobs.get(&id) {
+                // Issued id without a slot: already claimed.
+                None => return Err(EngineError::UnknownJob),
+                Some(JobSlot::Done(_)) => {
+                    let Some(JobSlot::Done(r)) = board.jobs.remove(&id) else {
+                        unreachable!("matched Done above")
+                    };
+                    return r;
+                }
+                Some(JobSlot::Pending) => {
+                    board = self.results_cv.wait(board).expect("results wait");
+                }
+            }
+        }
+    }
+
+    /// Non-blocking claim: `None` while the job is still in flight.
+    fn claim_nonblocking(&self, id: u64, issued: bool) -> Option<Result<SolveReport, EngineError>> {
+        if !issued {
+            return Some(Err(EngineError::UnknownJob));
+        }
+        let mut board = self.board.lock().expect("board lock");
+        match board.jobs.get(&id) {
+            None => Some(Err(EngineError::UnknownJob)),
+            Some(JobSlot::Done(_)) => {
+                let Some(JobSlot::Done(r)) = board.jobs.remove(&id) else {
+                    unreachable!("matched Done above")
+                };
+                Some(r)
+            }
+            Some(JobSlot::Pending) => None,
+        }
     }
 }
 
-fn run_job(cache: &ArtifactCache, req: &SolveRequest) -> Result<SolveReport, EngineError> {
+/// The [`SolveCtx`] a job runs under: its cancel token, its deadline, and
+/// an observer feeding the bounded progress buffer.
+fn job_ctx(state: &JobState) -> SolveCtx {
+    let progress = Arc::clone(&state.progress);
+    let mut ctx = SolveCtx::new()
+        .with_cancel(state.cancel.clone())
+        .with_observer(move |ev| progress.push(ev));
+    if let Some(d) = state.deadline {
+        ctx = ctx.with_deadline(d);
+    }
+    ctx
+}
+
+fn run_job(
+    cache: &ArtifactCache,
+    req: &SolveRequest,
+    ctx: &SolveCtx,
+) -> Result<SolveReport, EngineError> {
     let inst = &*req.instance;
     let seed = req.effective_seed();
     let params = req.params.clone().seed(seed);
     let artifacts = cache.artifacts(inst, params.nn_size);
     let backend = auto::resolve(&req.backend, inst, &params, &artifacts, cache);
     let mut solver = build_solver(&backend, inst, &params, &artifacts);
-    let mut report = solver.solve(req.iterations, seed)?;
+    let mut report = solver.solve(req.iterations, seed, ctx)?;
     report.instance = inst.name().to_string();
     report.n = inst.n();
+    if req.two_opt && report.outcome == JobOutcome::Completed && ctx.stop_reason().is_none() {
+        // Host-side 2-opt post-pass (the paper's named hybridisation);
+        // strictly non-worsening, pinned by tests/lifecycle.rs. Skipped
+        // for cancelled/expired jobs — and when the deadline elapsed (or
+        // a cancel arrived) during the final iteration, where the
+        // outcome is still Completed: an unbounded local search after
+        // the budget is spent would break the prompt-cancel and
+        // wall-clock-budget guarantees.
+        aco_tsp::two_opt::two_opt(&mut report.best_tour, inst.matrix(), &artifacts.nn);
+        report.best_len = report.best_tour.length(inst.matrix());
+    }
     Ok(report)
 }
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
-    while let Some(job) = shared.next_job(worker) {
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_job(&shared.cache, &job.req)))
-            .unwrap_or_else(|panic| {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "job panicked".into());
-                Err(EngineError::Failed(msg))
-            });
-        shared.post(job.id, outcome);
+    while let Some(QueueEntry { id, state, req, .. }) = shared.next_job(worker) {
+        // Only a QUEUED job may start running; an eager cancel that
+        // already finalised the slot wins this race and the entry is a
+        // no-op (its reservation was consumed by the pop above).
+        if state
+            .phase
+            .compare_exchange(PHASE_QUEUED, PHASE_RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        // Drop cancelled / already-expired jobs before execution: no
+        // solver is built and no cache entry is touched.
+        let outcome = if state.cancel.is_cancelled() {
+            Err(EngineError::Cancelled)
+        } else if state.deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(EngineError::DeadlineExpired)
+        } else {
+            let ctx = job_ctx(&state);
+            catch_unwind(AssertUnwindSafe(|| run_job(&shared.cache, &req, &ctx))).unwrap_or_else(
+                |panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "job panicked".into());
+                    Err(EngineError::Failed(msg))
+                },
+            )
+        };
+        shared.post(id, &state, outcome);
     }
 }
+
+// ---------------------------------------------------------------------------
+// JobHandle
+
+/// The lifecycle surface of one submitted job, returned by
+/// [`Engine::submit`]. Clonable; clones address the same job (the result
+/// is still claimed exactly once, by whichever `poll`/`wait` gets there
+/// first).
+#[derive(Clone)]
+pub struct JobHandle {
+    id: JobId,
+    shared: Arc<Shared>,
+    state: Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("status", &self.status())
+            .field("priority", &self.priority())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The engine-issued id (usable with [`Engine::wait`] for
+    /// out-of-order claiming by id).
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Finalise this job as deadline-expired if its deadline has passed
+    /// while no worker started it (the eager-cancel pattern, for
+    /// deadlines): without this, a queued job behind a long-running
+    /// blocker would only be expired when a worker eventually popped it.
+    fn expire_if_overdue(&self) {
+        let overdue = self.state.deadline.is_some_and(|d| Instant::now() >= d);
+        if overdue
+            && self
+                .state
+                .phase
+                .compare_exchange(PHASE_QUEUED, PHASE_FINISHED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            self.shared.post(self.id.0, &self.state, Err(EngineError::DeadlineExpired));
+        }
+    }
+
+    /// Non-blocking result claim: `None` while the job is queued or
+    /// running; `Some(result)` exactly once when it is done (a later call
+    /// returns `Some(Err(UnknownJob))`, like a second `wait`).
+    pub fn poll(&self) -> Option<Result<SolveReport, EngineError>> {
+        self.expire_if_overdue();
+        self.shared.claim_nonblocking(self.id.0, true)
+    }
+
+    /// Block until the job finishes and claim its result (exactly once).
+    /// A job with a deadline is claimed no later than (shortly after) the
+    /// deadline: a still-queued job is finalised as `DeadlineExpired`
+    /// right when it passes, and a running colony stops at its next
+    /// iteration boundary.
+    pub fn wait(&self) -> Result<SolveReport, EngineError> {
+        if let Some(deadline) = self.state.deadline {
+            // Phase 1: wait until the job is done or the deadline
+            // passes, under one continuous board-lock critical section —
+            // a check/park gap here would let a post() slip through
+            // unobserved and oversleep the whole timeout.
+            let mut board = self.shared.board.lock().expect("board lock");
+            while matches!(board.jobs.get(&self.id.0), Some(JobSlot::Pending)) {
+                let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let (b, res) =
+                    self.shared.results_cv.wait_timeout(board, left).expect("results wait");
+                board = b;
+                if res.timed_out() {
+                    break;
+                }
+            }
+            drop(board);
+            // Phase 2: expire a job no worker ever started; a running
+            // colony ends at its next iteration-boundary check, which
+            // the plain blocking claim below observes race-free.
+            self.expire_if_overdue();
+        }
+        self.shared.claim_blocking(self.id.0, true)
+    }
+
+    /// The job's bounded progress stream (one [`IterationEvent`] per
+    /// completed colony iteration). Consume via the blocking [`Iterator`]
+    /// impl or [`ProgressStream::try_next`].
+    pub fn progress(&self) -> ProgressStream {
+        ProgressStream { shared: Arc::clone(&self.state.progress) }
+    }
+
+    /// Coarse lifecycle phase right now.
+    pub fn status(&self) -> JobStatus {
+        match self.state.phase.load(Ordering::Acquire) {
+            PHASE_QUEUED => JobStatus::Queued,
+            PHASE_RUNNING => JobStatus::Running,
+            _ => {
+                let board = self.shared.board.lock().expect("board lock");
+                if board.jobs.contains_key(&self.id.0) {
+                    JobStatus::Finished
+                } else {
+                    JobStatus::Claimed
+                }
+            }
+        }
+    }
+
+    /// Current scheduling priority.
+    pub fn priority(&self) -> Priority {
+        Priority::from_u8(self.state.priority.load(Ordering::Acquire))
+    }
+
+    /// Re-prioritise the job. Takes effect immediately for queued jobs:
+    /// the job's heap entry is restamped in place (and the heap
+    /// reordered); a running or finished job just records the new value.
+    /// The pop path additionally reconciles any stamp this restamp raced
+    /// with, so a stale entry can never run ahead of its class.
+    pub fn set_priority(&self, priority: Priority) {
+        self.state.priority.store(priority.as_u8(), Ordering::Release);
+        let mut q = self.shared.queues[self.state.queue].lock().expect("queue lock");
+        if q.iter().any(|e| e.id == self.id.0) {
+            let mut entries: Vec<QueueEntry> = std::mem::take(&mut *q).into_vec();
+            for e in &mut entries {
+                if e.id == self.id.0 {
+                    e.prio = priority.as_u8();
+                }
+            }
+            *q = BinaryHeap::from(entries);
+        }
+    }
+
+    /// Request cancellation; never blocks. A job that has not started is
+    /// finalised immediately (its `wait` returns
+    /// [`EngineError::Cancelled`] right away); a running colony observes
+    /// the token at its next iteration boundary and reports its partial
+    /// best with a `Cancelled` outcome.
+    pub fn cancel(&self) {
+        self.state.cancel.cancel();
+        // Try to finalise a still-queued job eagerly. The CAS races the
+        // worker's QUEUED→RUNNING transition: exactly one side wins, so
+        // the result is still delivered exactly once.
+        if self
+            .state
+            .phase
+            .compare_exchange(PHASE_QUEUED, PHASE_FINISHED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.shared.post(self.id.0, &self.state, Err(EngineError::Cancelled));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
 
 /// The concurrent batch-solve engine.
 ///
@@ -169,7 +617,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
 ///
 /// let engine = Engine::new(EngineConfig::with_workers(2));
 /// let inst = Arc::new(aco_tsp::uniform_random("demo", 40, 600.0, 1));
-/// let jobs: Vec<_> = (0..4)
+/// let handles: Vec<_> = (0..4)
 ///     .map(|s| {
 ///         engine.submit(
 ///             SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
@@ -179,8 +627,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
 ///         )
 ///     })
 ///     .collect();
-/// for id in jobs {
-///     let report = engine.wait(id).expect("job succeeds");
+/// for h in handles {
+///     let report = h.wait().expect("job succeeds");
 ///     assert!(report.best_tour.is_valid());
 /// }
 /// ```
@@ -195,10 +643,10 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
             ready: Mutex::new(0),
             ready_cv: Condvar::new(),
-            results: Mutex::new(ResultBoard::default()),
+            board: Mutex::new(Board::default()),
             results_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: ArtifactCache::with_capacity(config.cache_entries),
@@ -220,52 +668,49 @@ impl Engine {
         self.handles.len()
     }
 
-    /// Queue a job; returns immediately.
-    pub fn submit(&self, req: SolveRequest) -> JobId {
+    /// Queue a job; returns its [`JobHandle`] immediately.
+    pub fn submit(&self, req: SolveRequest) -> JobHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = id as usize % self.shared.queues.len();
+        let state = Arc::new(JobState {
+            cancel: CancelToken::new(),
+            priority: AtomicU8::new(req.priority.as_u8()),
+            phase: AtomicU8::new(PHASE_QUEUED),
+            progress: Arc::new(ProgressShared::new(req.progress_events)),
+            deadline: req.timeout.map(|t| Instant::now() + t),
+            queue: slot,
+        });
         // Create the result slot before the job becomes runnable, so a
         // fast worker can never post into a missing slot.
-        self.shared.results.lock().expect("results lock").jobs.insert(id, JobSlot::Pending);
-        let slot = id as usize % self.shared.queues.len();
-        self.shared.queues[slot].lock().expect("queue lock").push_back(Job { id, req });
+        self.shared.board.lock().expect("board lock").jobs.insert(id, JobSlot::Pending);
+        let prio = req.priority.as_u8();
+        self.shared.queues[slot].lock().expect("queue lock").push(QueueEntry {
+            prio,
+            id,
+            state: Arc::clone(&state),
+            req,
+        });
         let mut ready = self.shared.ready.lock().expect("ready lock");
         *ready += 1;
         drop(ready);
         self.shared.ready_cv.notify_one();
-        JobId(id)
+        JobHandle { id: JobId(id), shared: Arc::clone(&self.shared), state }
     }
 
-    /// Block until `job` finishes and claim its result. Each result can be
-    /// claimed once; a second `wait` on the same id — or a wait on an id
-    /// this engine never issued — returns [`EngineError::UnknownJob`]
-    /// instead of blocking. Claiming removes the job's slot entirely, so
-    /// the engine holds no per-job state after delivery.
+    /// Block until `job` finishes and claim its result by id. Each result
+    /// can be claimed once (by this or [`JobHandle::wait`]/`poll`); a
+    /// second claim — or a wait on an id this engine never issued —
+    /// returns [`EngineError::UnknownJob`] instead of blocking. Claiming
+    /// removes the job's slot entirely, so the engine holds no per-job
+    /// state after delivery.
     pub fn wait(&self, job: JobId) -> Result<SolveReport, EngineError> {
-        if job.0 >= self.next_id.load(Ordering::Relaxed) {
-            return Err(EngineError::UnknownJob);
-        }
-        let mut results = self.shared.results.lock().expect("results lock");
-        loop {
-            match results.jobs.get(&job.0) {
-                // Issued id without a slot: already claimed.
-                None => return Err(EngineError::UnknownJob),
-                Some(JobSlot::Done(_)) => {
-                    let Some(JobSlot::Done(r)) = results.jobs.remove(&job.0) else {
-                        unreachable!("matched Done above")
-                    };
-                    return r;
-                }
-                Some(JobSlot::Pending) => {
-                    results = self.shared.results_cv.wait(results).expect("results wait");
-                }
-            }
-        }
+        self.shared.claim_blocking(job.0, job.0 < self.next_id.load(Ordering::Relaxed))
     }
 
     /// Number of jobs submitted but not yet claimed (the engine's entire
     /// per-job memory footprint — pinned by the board-growth test).
     pub fn outstanding(&self) -> usize {
-        self.shared.results.lock().expect("results lock").jobs.len()
+        self.shared.board.lock().expect("board lock").jobs.len()
     }
 
     /// Submit a whole batch and collect results in submission order.
@@ -273,8 +718,8 @@ impl Engine {
         &self,
         reqs: impl IntoIterator<Item = SolveRequest>,
     ) -> Vec<Result<SolveReport, EngineError>> {
-        let ids: Vec<JobId> = reqs.into_iter().map(|r| self.submit(r)).collect();
-        ids.into_iter().map(|id| self.wait(id)).collect()
+        let handles: Vec<JobHandle> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        handles.into_iter().map(|h| h.wait()).collect()
     }
 
     /// Snapshot of the artifact/decision cache counters.
@@ -353,7 +798,8 @@ mod tests {
     fn out_of_order_wait_works() {
         let inst = Arc::new(aco_tsp::uniform_random("sched3", 20, 300.0, 9));
         let engine = Engine::new(EngineConfig::with_workers(2));
-        let ids: Vec<JobId> = small_batch(&inst).into_iter().map(|r| engine.submit(r)).collect();
+        let ids: Vec<JobId> =
+            small_batch(&inst).into_iter().map(|r| engine.submit(r).id()).collect();
         for id in ids.iter().rev() {
             assert!(engine.wait(*id).is_ok());
         }
@@ -364,16 +810,39 @@ mod tests {
         use crate::solver::EngineError;
         let inst = Arc::new(aco_tsp::uniform_random("sched5", 18, 300.0, 6));
         let engine = Engine::new(EngineConfig::with_workers(1));
-        let id = engine.submit(
+        let h = engine.submit(
             SolveRequest::new(inst, AcoParams::default().nn(5).ants(6))
                 .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
                 .iterations(2)
                 .seed(1),
         );
-        assert!(engine.wait(id).is_ok());
-        assert_eq!(engine.wait(id), Err(EngineError::UnknownJob), "double claim");
+        assert!(h.wait().is_ok());
+        assert_eq!(h.wait(), Err(EngineError::UnknownJob), "double claim");
+        assert_eq!(h.poll(), Some(Err(EngineError::UnknownJob)), "claimed poll");
+        assert_eq!(h.status(), JobStatus::Claimed);
         let never_issued = JobId(999);
         assert_eq!(engine.wait(never_issued), Err(EngineError::UnknownJob), "foreign id");
+    }
+
+    #[test]
+    fn poll_claims_exactly_once_after_completion() {
+        let inst = Arc::new(aco_tsp::uniform_random("sched7", 18, 300.0, 3));
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let h = engine.submit(
+            SolveRequest::new(inst, AcoParams::default().nn(5).ants(6))
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(2)
+                .seed(4),
+        );
+        // Spin on poll until the job lands (bounded by the test timeout).
+        let report = loop {
+            match h.poll() {
+                Some(r) => break r,
+                None => std::thread::yield_now(),
+            }
+        };
+        assert!(report.is_ok());
+        assert_eq!(h.poll(), Some(Err(EngineError::UnknownJob)));
     }
 
     #[test]
@@ -383,7 +852,7 @@ mod tests {
         // Several full submit/claim generations: after each, the board
         // must be empty again (no tombstones, no drained reports).
         for gen in 0..3 {
-            let ids: Vec<JobId> = (0..6)
+            let handles: Vec<JobHandle> = (0..6)
                 .map(|j| {
                     engine.submit(
                         SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(6).ants(5))
@@ -395,8 +864,8 @@ mod tests {
                     )
                 })
                 .collect();
-            for id in ids {
-                assert!(engine.wait(id).is_ok());
+            for h in handles {
+                assert!(h.wait().is_ok());
             }
             assert_eq!(engine.outstanding(), 0, "board must be empty after generation {gen}");
         }
@@ -418,12 +887,12 @@ mod tests {
         // eviction must fire, and re-touching the evicted instance
         // rebuilds (a miss, not a hit).
         for (i, inst) in [&inst_a, &inst_b, &inst_c].into_iter().enumerate() {
-            engine.wait(engine.submit(req(inst, i as u64))).unwrap();
+            engine.submit(req(inst, i as u64)).wait().unwrap();
         }
         let s1 = engine.cache_stats();
         assert!(s1.artifact_evictions >= 1, "third instance must evict: {s1:?}");
         assert_eq!(s1.artifact_misses, 3);
-        engine.wait(engine.submit(req(&inst_a, 9))).unwrap();
+        engine.submit(req(&inst_a, 9)).wait().unwrap();
         let s2 = engine.cache_stats();
         assert_eq!(s2.artifact_misses, 4, "evicted artifacts rebuild on reuse");
     }
@@ -435,7 +904,7 @@ mod tests {
         let req = SolveRequest::new(inst, AcoParams::default().nn(5))
             .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
             .iterations(0);
-        let id = engine.submit(req);
-        assert_eq!(engine.wait(id), Err(EngineError::NoSolution));
+        let h = engine.submit(req);
+        assert_eq!(h.wait(), Err(EngineError::NoSolution));
     }
 }

@@ -4,20 +4,27 @@
 //! The paper benchmarks each parallelisation strategy in isolation; a
 //! production engine needs them interchangeable. One [`SolveRequest`] names
 //! an instance, parameters and a [`Backend`]; [`build_solver`] turns the
-//! resolved backend into a boxed [`Solver`] that steps one iteration at a
-//! time and reports modeled milliseconds alongside the exact best tour.
+//! resolved backend into a boxed [`Solver`] driven under a
+//! [`SolveCtx`](aco_core::lifecycle::SolveCtx): every adapter delegates its
+//! iteration loop to the colony's own ctx-driven `run_ctx`, so cancellation
+//! and deadlines are checked — and iteration-best events emitted — at every
+//! iteration boundary *inside* each CPU and GPU colony, and `modeled_ms`
+//! accumulates alongside.
 //!
 //! All adapters are deterministic in the request seed: given the same
-//! `SolveRequest`, `solve` produces a bit-identical [`SolveReport`] no
-//! matter which engine worker runs it or how many workers exist.
+//! `SolveRequest`, an uncancelled `solve` produces a bit-identical
+//! [`SolveReport`] — and an identical iteration-event sequence — no matter
+//! which engine worker runs it or how many workers exist.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use aco_core::cpu::ant_system::model as cpu_model;
-use aco_core::cpu::{construct_parallel, AcsParams, AntColonySystem, MaxMinAntSystem, MmasParams};
+use aco_core::cpu::{run_parallel_ctx, AcsParams, AntColonySystem, MaxMinAntSystem, MmasParams};
 use aco_core::gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStrategy};
-use aco_core::{AcoParams, AntSystem, CpuModel, OpCounter, TourPolicy};
-use aco_simt::{DeviceSpec, SimMode, SimtError};
+use aco_core::lifecycle::{RunOutcome, SolveCtx, StopReason};
+use aco_core::{AcoParams, AntSystem, CpuModel, TourPolicy};
+use aco_simt::{DeviceSpec, SimtError};
 use aco_tsp::{Tour, TspInstance};
 
 use crate::cache::InstanceArtifacts;
@@ -29,6 +36,14 @@ pub enum EngineError {
     Simt(SimtError),
     /// The job produced no solution (e.g. zero iterations requested).
     NoSolution,
+    /// The job was cancelled before it produced any result (while queued,
+    /// or before its first iteration completed). A job cancelled *after*
+    /// at least one iteration instead reports `Ok` with
+    /// [`JobOutcome::Cancelled`] and its partial best.
+    Cancelled,
+    /// The job's deadline expired before it produced any result; after at
+    /// least one iteration it reports [`JobOutcome::DeadlineExpired`].
+    DeadlineExpired,
     /// The job panicked; the payload is the panic message.
     Failed(String),
     /// `Engine::wait` was given an id this engine never issued, or one
@@ -47,6 +62,8 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Simt(e) => write!(f, "device error: {e}"),
             EngineError::NoSolution => write!(f, "job finished without a solution"),
+            EngineError::Cancelled => write!(f, "job cancelled before any result"),
+            EngineError::DeadlineExpired => write!(f, "job deadline expired before any result"),
             EngineError::Failed(m) => write!(f, "job failed: {m}"),
             EngineError::UnknownJob => write!(f, "unknown or already-claimed job id"),
         }
@@ -144,6 +161,41 @@ impl Backend {
     }
 }
 
+/// Scheduling priority of a job. Higher priorities are popped first;
+/// within a priority class jobs run in submission order. Queued jobs can
+/// be re-prioritised mid-flight via `JobHandle::set_priority`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work: runs when nothing more urgent is queued.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Jumps ahead of every queued `Normal`/`Low` job.
+    High,
+}
+
+impl Priority {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Priority {
+        match v {
+            0 => Priority::Low,
+            2 => Priority::High,
+            _ => Priority::Normal,
+        }
+    }
+}
+
+/// Default bound of a job's progress-event buffer (events, not bytes).
+pub const DEFAULT_PROGRESS_EVENTS: usize = 1024;
+
 /// One solve job.
 #[derive(Debug, Clone)]
 pub struct SolveRequest {
@@ -158,12 +210,37 @@ pub struct SolveRequest {
     /// Optional seed override; when set it replaces `params.seed`, so one
     /// request template can fan out over seeds.
     pub seed: Option<u64>,
+    /// Initial scheduling priority.
+    pub priority: Priority,
+    /// Apply [`aco_tsp::two_opt`](aco_tsp::two_opt::two_opt) to the best
+    /// tour as a host-side post-pass (the paper's named 2-opt
+    /// hybridisation future work). Never worsens the tour.
+    pub two_opt: bool,
+    /// Optional wall-clock budget, measured from submission (queue time
+    /// included). An expired job stops at its next iteration boundary and
+    /// reports [`JobOutcome::DeadlineExpired`].
+    pub timeout: Option<Duration>,
+    /// Bound of this job's progress-event buffer; once full, the oldest
+    /// events are dropped (and counted) so the solver never blocks on a
+    /// slow consumer.
+    pub progress_events: usize,
 }
 
 impl SolveRequest {
-    /// A request with library defaults: auto backend, 10 iterations.
+    /// A request with library defaults: auto backend, 10 iterations,
+    /// normal priority, no 2-opt, no deadline.
     pub fn new(instance: Arc<TspInstance>, params: AcoParams) -> Self {
-        SolveRequest { instance, params, backend: Backend::Auto, iterations: 10, seed: None }
+        SolveRequest {
+            instance,
+            params,
+            backend: Backend::Auto,
+            iterations: 10,
+            seed: None,
+            priority: Priority::Normal,
+            two_opt: false,
+            timeout: None,
+            progress_events: DEFAULT_PROGRESS_EVENTS,
+        }
     }
 
     /// Builder: backend.
@@ -184,9 +261,55 @@ impl SolveRequest {
         self
     }
 
+    /// Builder: initial scheduling priority.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder: 2-opt post-pass on the best tour.
+    pub fn two_opt(mut self, enable: bool) -> Self {
+        self.two_opt = enable;
+        self
+    }
+
+    /// Builder: wall-clock budget from submission.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Builder: progress-event buffer bound (clamped to ≥ 1).
+    pub fn progress_events(mut self, events: usize) -> Self {
+        self.progress_events = events.max(1);
+        self
+    }
+
     /// The seed this request actually runs with.
     pub fn effective_seed(&self) -> u64 {
         self.seed.unwrap_or(self.params.seed)
+    }
+}
+
+/// How a job's lifecycle ended (recorded in every [`SolveReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobOutcome {
+    /// Every requested iteration ran.
+    Completed,
+    /// Cancelled mid-flight; `best_tour`/`iterations` reflect the work
+    /// done before the cancellation check stopped the colony.
+    Cancelled,
+    /// The deadline expired mid-flight; partial results as above.
+    DeadlineExpired,
+}
+
+impl From<Option<StopReason>> for JobOutcome {
+    fn from(stopped: Option<StopReason>) -> Self {
+        match stopped {
+            None => JobOutcome::Completed,
+            Some(StopReason::Cancelled) => JobOutcome::Cancelled,
+            Some(StopReason::DeadlineExpired) => JobOutcome::DeadlineExpired,
+        }
     }
 }
 
@@ -211,15 +334,20 @@ pub struct SolveReport {
     pub modeled_ms: f64,
     /// The seed the job ran with.
     pub seed: u64,
+    /// How the job's lifecycle ended; anything but
+    /// [`JobOutcome::Completed`] means `iterations` is a partial count.
+    pub outcome: JobOutcome,
 }
 
-/// A backend adapter: steps one ACO iteration at a time.
+/// A backend adapter: a ctx-driven iteration loop over one colony.
 pub trait Solver {
     /// Stable label of the concrete backend.
     fn backend(&self) -> Backend;
 
-    /// Run one iteration; returns the best length so far.
-    fn step(&mut self) -> Result<u64, EngineError>;
+    /// Run up to `iterations` iterations under `ctx`. Every adapter
+    /// delegates to the colony's own `run_ctx`, so cancellation/deadline
+    /// checks and iteration-best events happen inside the colony loop.
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError>;
 
     /// Best tour found so far.
     fn best(&self) -> Option<(Tour, u64)>;
@@ -227,21 +355,36 @@ pub trait Solver {
     /// Modeled milliseconds accumulated so far.
     fn modeled_ms(&self) -> f64;
 
-    /// Drive `iterations` steps and assemble the report.
-    fn solve(&mut self, iterations: usize, seed: u64) -> Result<SolveReport, EngineError> {
-        for _ in 0..iterations {
-            self.step()?;
-        }
-        let (best_tour, best_len) = self.best().ok_or(EngineError::NoSolution)?;
+    /// Drive the run and assemble the report. A run stopped before its
+    /// first completed iteration has no solution to report and fails with
+    /// [`EngineError::Cancelled`] / [`EngineError::DeadlineExpired`]
+    /// (or [`EngineError::NoSolution`] for a zero-iteration request);
+    /// otherwise the partial best is reported with the matching
+    /// [`JobOutcome`].
+    fn solve(
+        &mut self,
+        iterations: usize,
+        seed: u64,
+        ctx: &SolveCtx,
+    ) -> Result<SolveReport, EngineError> {
+        let outcome = self.run(iterations, ctx)?;
+        let Some((best_tour, best_len)) = self.best() else {
+            return Err(match outcome.stopped {
+                Some(StopReason::Cancelled) => EngineError::Cancelled,
+                Some(StopReason::DeadlineExpired) => EngineError::DeadlineExpired,
+                None => EngineError::NoSolution,
+            });
+        };
         Ok(SolveReport {
             instance: String::new(), // filled by the caller, which owns the instance
             n: best_tour.n(),
             backend: self.backend(),
             best_tour,
             best_len,
-            iterations,
+            iterations: outcome.iterations,
             modeled_ms: self.modeled_ms(),
             seed,
+            outcome: outcome.stopped.into(),
         })
     }
 }
@@ -261,12 +404,13 @@ impl Solver for CpuSequentialSolver<'_> {
         Backend::CpuSequential { policy: self.policy }
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        let rep = self.aco.iterate(self.policy);
-        self.ms += self.model.time_ms(&rep.counters.choice)
-            + self.model.time_ms(&rep.counters.tour)
-            + self.model.time_ms(&rep.counters.update);
-        Ok(rep.best_so_far)
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let CpuSequentialSolver { aco, policy, model, ms } = self;
+        Ok(aco.run_ctx(*policy, iterations, ctx, |rep| {
+            *ms += model.time_ms(&rep.counters.choice)
+                + model.time_ms(&rep.counters.tour)
+                + model.time_ms(&rep.counters.update);
+        }))
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -296,34 +440,26 @@ impl Solver for CpuParallelSolver<'_> {
         Backend::CpuParallel { policy: self.policy, threads: self.threads }
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        // Match sequential semantics: refresh choice info from the
-        // pheromone laid down last iteration before constructing.
-        let mut c = OpCounter::default();
-        self.aco.refresh_choice(&mut c);
-        let sols = construct_parallel(&self.aco, self.policy, self.iteration, self.threads);
-        let (tour, len) =
-            sols.iter().min_by_key(|&&(_, l)| l).cloned().ok_or(EngineError::NoSolution)?;
-        if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
-            self.best = Some((tour, len));
-        }
-        self.aco.update_pheromone(&sols, &mut c);
-
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let CpuParallelSolver { aco, policy, threads, iteration, best, model, ms } = self;
         // Construction fans out over `threads`; choice refresh and the
         // pheromone update stay sequential (memory-bound, as measured by
-        // the update counters above). Model accordingly.
-        let n = self.aco.n();
-        let m = self.aco.m();
-        let tour_counters = match self.policy {
+        // the per-iteration counters below). Model accordingly.
+        let n = aco.n();
+        let m = aco.m();
+        let tour_counters = match policy {
             TourPolicy::FullProbabilistic => cpu_model::full_tour_counters(n, m),
             TourPolicy::NearestNeighborList => {
-                cpu_model::nn_tour_counters(n, m, self.aco.params().nn_size.min(n - 1))
+                cpu_model::nn_tour_counters(n, m, aco.params().nn_size.min(n - 1))
             }
         };
-        self.ms += self.model.time_ms(&c)
-            + self.model.time_ms(&tour_counters) / self.threads.max(1) as f64;
-        self.iteration += 1;
-        Ok(self.best.as_ref().map(|&(_, l)| l).expect("set above"))
+        let tour_ms = model.time_ms(&tour_counters) / (*threads).max(1) as f64;
+        let outcome =
+            run_parallel_ctx(aco, *policy, *threads, iterations, *iteration, ctx, best, |c| {
+                *ms += model.time_ms(c) + tour_ms;
+            });
+        *iteration += outcome.iterations as u64;
+        Ok(outcome)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -350,9 +486,10 @@ impl Solver for CpuAcsSolver<'_> {
         Backend::CpuAcs(self.acs_params)
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        self.iters += 1;
-        Ok(self.acs.iterate())
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let outcome = self.acs.run_ctx(iterations, ctx);
+        self.iters += outcome.iterations as u64;
+        Ok(outcome)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -376,9 +513,10 @@ impl Solver for CpuMmasSolver<'_> {
         Backend::CpuMmas(self.mmas_params)
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        self.iters += 1;
-        Ok(self.mmas.iterate())
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let outcome = self.mmas.run_ctx(iterations, ctx);
+        self.iters += outcome.iterations as u64;
+        Ok(outcome)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -406,10 +544,9 @@ impl Solver for GpuSolver<'_> {
         Backend::Gpu { device: self.device, tour: self.tour, pheromone: self.pheromone }
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        let rep = self.sys.iterate(SimMode::Full)?;
-        self.ms += rep.tour_ms + rep.pheromone_ms;
-        Ok(rep.best_so_far)
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let GpuSolver { sys, ms, .. } = self;
+        Ok(sys.run_ctx(iterations, ctx, |rep| *ms += rep.tour_ms + rep.pheromone_ms)?)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -433,10 +570,9 @@ impl Solver for GpuAcsSolver<'_> {
         Backend::GpuAcs { device: self.device, acs: self.acs }
     }
 
-    fn step(&mut self) -> Result<u64, EngineError> {
-        let (best, tour_ms, update_ms) = self.sys.iterate()?;
-        self.ms += tour_ms + update_ms;
-        Ok(best)
+    fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let GpuAcsSolver { sys, ms, .. } = self;
+        Ok(sys.run_ctx(iterations, ctx, |tour_ms, update_ms| *ms += tour_ms + update_ms)?)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {

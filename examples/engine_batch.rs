@@ -1,5 +1,6 @@
 //! Batch solving with the engine: one seed study, three backends, shared
-//! artifacts, cost-model auto-selection.
+//! artifacts, cost-model auto-selection — then the job-lifecycle surface
+//! (progress streaming, re-prioritisation, mid-flight cancellation).
 //!
 //! ```text
 //! cargo run --release --example engine_batch
@@ -10,7 +11,9 @@ use std::sync::Arc;
 use aco_gpu::core::cpu::TourPolicy;
 use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
-use aco_gpu::engine::{Backend, Engine, EngineConfig, GpuDevice, SolveRequest};
+use aco_gpu::engine::{
+    Backend, Engine, EngineConfig, GpuDevice, JobOutcome, Priority, SolveRequest,
+};
 use aco_gpu::tsp;
 
 fn main() {
@@ -61,4 +64,56 @@ fn main() {
         "\ncache: {} artifact hits / {} misses, {} decision hits / {} misses",
         stats.artifact_hits, stats.artifact_misses, stats.decision_hits, stats.decision_misses
     );
+
+    // --- The lifecycle surface: progress, priority, cancellation -------
+    println!("\nlifecycle demo:");
+    let watched = engine.submit(
+        SolveRequest::new(Arc::clone(&inst), params.clone())
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(iterations)
+            .seed(99)
+            .two_opt(true),
+    );
+    let urgent = engine.submit(
+        SolveRequest::new(Arc::clone(&inst), params.clone())
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(iterations)
+            .seed(100),
+    );
+    urgent.set_priority(Priority::High);
+    let doomed = engine.submit(
+        SolveRequest::new(Arc::clone(&inst), params.clone())
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(1_000_000) // would run far too long --
+            .seed(101),
+    );
+
+    // Follow the watched job's convergence live.
+    for ev in watched.progress() {
+        println!(
+            "  watched: iter {:>3} iter-best {:>6} best {:>6}",
+            ev.iteration, ev.iter_best, ev.best_so_far
+        );
+    }
+    let watched = watched.wait().expect("watched job solves");
+    println!(
+        "  watched: {:?} after {} iters, best {} (2-opt polished)",
+        watched.outcome, watched.iterations, watched.best_len
+    );
+    let urgent = urgent.wait().expect("urgent job solves");
+    println!("  urgent:  {:?} best {}", urgent.outcome, urgent.best_len);
+
+    // -- so cancel it after its first progress event.
+    doomed.progress().next();
+    doomed.cancel();
+    match doomed.wait() {
+        Ok(rep) => {
+            assert_eq!(rep.outcome, JobOutcome::Cancelled);
+            println!(
+                "  doomed:  {:?} after {} of 1000000 iters, partial best {}",
+                rep.outcome, rep.iterations, rep.best_len
+            );
+        }
+        Err(e) => println!("  doomed:  cancelled before first iteration ({e})"),
+    }
 }

@@ -97,6 +97,7 @@ fn reports_are_internally_consistent() {
         assert!(rep.best_len > 0);
         assert!(rep.modeled_ms > 0.0, "{:?}: no modeled time", rep.backend);
         assert!(!matches!(rep.backend, Backend::Auto), "auto must resolve");
+        assert_eq!(rep.outcome, aco_gpu::engine::JobOutcome::Completed);
     }
 }
 
@@ -110,9 +111,9 @@ fn second_job_on_an_instance_reuses_cached_artifacts() {
             .iterations(3)
             .seed(seed)
     };
-    let a = engine.wait(engine.submit(req(1))).expect("job 1");
+    let a = engine.submit(req(1)).wait().expect("job 1");
     let stats_after_first = engine.cache_stats();
-    let b = engine.wait(engine.submit(req(2))).expect("job 2");
+    let b = engine.submit(req(2)).wait().expect("job 2");
     let stats_after_second = engine.cache_stats();
 
     assert_eq!(stats_after_first.artifact_misses, 1, "first job builds the NN lists");

@@ -5,6 +5,12 @@
 //! kernels are block-homogeneous). These tests pin the technique: on
 //! instances small enough to simulate fully, sampled estimates must agree
 //! with full execution.
+//!
+//! The exhaustive cases simulate 160–256-city colonies at full fidelity —
+//! tens of minutes in a debug build — so they are `#[ignore]`d out of
+//! tier-1 and executed by the dedicated release-mode CI job
+//! (`cargo test --release --test sampling_consistency -- --ignored`).
+//! A fast smoke case keeps the technique pinned in every tier-1 run.
 
 use aco_gpu::core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
@@ -30,7 +36,48 @@ fn host_tours(n: usize) -> Vec<Tour> {
         .collect()
 }
 
+/// Tier-1 smoke: one tour strategy and one pheromone strategy on a small
+/// colony — seconds in debug, same invariant as the exhaustive cases.
 #[test]
+fn sampled_times_match_full_execution_smoke() {
+    let inst = tsp::uniform_random("samp-smoke", 96, 800.0, 5);
+    let params = AcoParams::default().nn(12).ants(128).seed(3);
+    let dev = DeviceSpec::tesla_c1060();
+
+    let tour_time_of = |mode: SimMode| {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        run_tour(&dev, &mut gm, bufs, TourStrategy::NNList, 1.0, 2.0, 7, 0, mode)
+            .expect("valid launch")
+            .total_ms()
+    };
+    let full = tour_time_of(SimMode::Full);
+    let sampled = tour_time_of(SimMode::SampleBlocks(2));
+    assert!(rel(sampled, full) < 0.30, "tour: sampled {sampled:.3} vs full {full:.3}");
+
+    // Pheromone smoke: default colony size (m = n) so one host tour per
+    // ant uploads.
+    let params = AcoParams::default().nn(12).seed(3);
+    let tours = host_tours(96);
+    let ph_time_of = |mode: SimMode| {
+        let mut gm = GlobalMem::new();
+        let bufs = ColonyBuffers::allocate(&mut gm, &inst, &params);
+        bufs.upload_tours(&mut gm, &tours, inst.matrix());
+        run_pheromone(&dev, &mut gm, bufs, PheromoneStrategy::AtomicShared, 0.5, mode)
+            .expect("valid launch")
+            .time
+            .total_ms
+    };
+    let full_ph = ph_time_of(SimMode::Full);
+    let sampled_ph = ph_time_of(SimMode::SampleBlocks(2));
+    assert!(
+        rel(sampled_ph, full_ph) < 0.30,
+        "pheromone: sampled {sampled_ph:.3} vs full {full_ph:.3}"
+    );
+}
+
+#[test]
+#[ignore = "heavy (tens of minutes in debug): covered by the release-mode CI job"]
 fn sampled_tour_times_match_full_execution() {
     // 512 ants = 4 task blocks / 512 DP blocks: enough blocks to sample.
     let inst = tsp::uniform_random("samp", 256, 1000.0, 3);
@@ -52,6 +99,7 @@ fn sampled_tour_times_match_full_execution() {
 }
 
 #[test]
+#[ignore = "heavy (tens of minutes in debug): covered by the release-mode CI job"]
 fn sampled_pheromone_times_match_full_execution() {
     let inst = tsp::uniform_random("samp2", 160, 900.0, 4);
     let params = AcoParams::default().nn(20).seed(6);
@@ -80,6 +128,7 @@ fn sampled_pheromone_times_match_full_execution() {
 }
 
 #[test]
+#[ignore = "heavy (tens of minutes in debug): covered by the release-mode CI job"]
 fn sampling_preserves_counter_totals() {
     // Not just time: the extrapolated DRAM traffic and instruction counts
     // must track the full run for a homogeneous kernel.
