@@ -26,8 +26,9 @@ use std::time::Instant;
 
 use aco_bench::json::Json;
 use aco_core::cpu::TourPolicy;
+use aco_core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_core::AcoParams;
-use aco_engine::{Backend, Engine, EngineConfig, SolveRequest};
+use aco_engine::{Backend, DeviceProfile, Engine, EngineConfig, GpuDevice, SolveRequest};
 
 /// Submit→first-progress-event latency (ms): how long after `submit`
 /// a caller's `JobHandle::progress()` stream delivers its first
@@ -164,6 +165,36 @@ struct RunRec {
     artifact_misses: u64,
     decision_hits: u64,
     decision_misses: u64,
+    /// Cache-pressure counters (0 in pre-PR-4 entries, which did not
+    /// record them).
+    artifact_evictions: u64,
+    decision_evictions: u64,
+}
+
+/// Per-device utilisation of the GPU sharding run.
+#[derive(Debug, Clone)]
+struct DeviceRec {
+    name: String,
+    model: String,
+    jobs: u64,
+    busy_ms: f64,
+    /// `busy_ms / wall_ms` of the sharding run (can exceed 1 only with
+    /// more workers than devices; on this 1-worker run it is ≤ 1).
+    util: f64,
+    max_depth: usize,
+    assigned_ms: f64,
+}
+
+/// The PR-4 device-pool section of a history entry: a 12-job explicit
+/// GPU batch sharded over a 4-device pool (2 × C1060, 2 × M2050), with
+/// per-device utilisation and peak run-queue depth.
+#[derive(Debug, Clone)]
+struct DevicesRec {
+    pool: usize,
+    jobs: usize,
+    wall_ms: f64,
+    devices_used: usize,
+    per_device: Vec<DeviceRec>,
 }
 
 #[derive(Debug, Clone)]
@@ -177,6 +208,8 @@ struct HistEntry {
     /// entries, which had no progress streams).
     first_event_ms: f64,
     runs: Vec<RunRec>,
+    /// Device-pool sharding telemetry (absent in pre-PR-4 entries).
+    devices: Option<DevicesRec>,
 }
 
 fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
@@ -202,13 +235,80 @@ fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
         artifact_misses: stats.artifact_misses,
         decision_hits: stats.decision_hits,
         decision_misses: stats.decision_misses,
+        artifact_evictions: stats.artifact_evictions,
+        decision_evictions: stats.decision_evictions,
     };
     println!(
         "workers {workers}: {ok}/{jobs} jobs in {wall_ms:.1} ms ({:.1} jobs/s), best {best}, \
-         cache {}h/{}m",
-        rec.jobs_per_sec, rec.artifact_hits, rec.artifact_misses,
+         cache {}h/{}m/{}e (decisions {}h/{}m/{}e)",
+        rec.jobs_per_sec,
+        rec.artifact_hits,
+        rec.artifact_misses,
+        rec.artifact_evictions,
+        rec.decision_hits,
+        rec.decision_misses,
+        rec.decision_evictions,
     );
     rec
+}
+
+/// The device-pool sharding run: a 12-job explicit GPU batch (alternating
+/// C1060/M2050 model jobs) on a 4-device pool, 1 worker (so the numbers
+/// are stable on a 1-CPU container). Placement telemetry — per-device job
+/// counts, peak run-queue depth, assigned backlog — is deterministic;
+/// busy/utilisation are wall-clock observability.
+fn measure_devices(n: usize, iters: usize) -> DevicesRec {
+    let pool = vec![
+        DeviceProfile::tesla_c1060("g0"),
+        DeviceProfile::tesla_c1060("g1").sm_count(15),
+        DeviceProfile::tesla_m2050("f0"),
+        DeviceProfile::tesla_m2050("f1"),
+    ];
+    let pool_size = pool.len();
+    let engine = Engine::new(EngineConfig::with_workers(1).devices(pool));
+    let inst = Arc::new(aco_tsp::uniform_random("bench-gpu", n, 1000.0, 0xD0));
+    let params = AcoParams::default().nn(15.min(n - 1)).ants(n.min(32));
+    let jobs = 12;
+    let t0 = Instant::now();
+    let reports = engine.run_batch((0..jobs).map(|j| {
+        let device = if j % 2 == 0 { GpuDevice::TeslaC1060 } else { GpuDevice::TeslaM2050 };
+        SolveRequest::new(Arc::clone(&inst), params.clone())
+            .backend(Backend::Gpu {
+                device,
+                tour: TourStrategy::NNList,
+                pheromone: PheromoneStrategy::AtomicShared,
+            })
+            .iterations(iters)
+            .seed(j as u64)
+    }));
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(reports.iter().all(|r| r.is_ok()), "GPU sharding batch must solve");
+    let per_device: Vec<DeviceRec> = engine
+        .device_stats()
+        .into_iter()
+        .map(|d| DeviceRec {
+            name: d.name,
+            model: d.model.label().to_string(),
+            jobs: d.completed,
+            busy_ms: d.busy_ms,
+            util: if wall_ms > 0.0 { d.busy_ms / wall_ms } else { 0.0 },
+            max_depth: d.peak_depth,
+            assigned_ms: d.assigned_ms,
+        })
+        .collect();
+    let devices_used = per_device.iter().filter(|d| d.jobs > 0).count();
+    for d in &per_device {
+        println!(
+            "device {} ({}): {} jobs, busy {:.1} ms (util {:.2}), max depth {}, assigned {:.2} ms",
+            d.name, d.model, d.jobs, d.busy_ms, d.util, d.max_depth, d.assigned_ms
+        );
+    }
+    println!(
+        "device pool: {jobs} GPU jobs sharded over {devices_used}/{pool_size} devices in \
+         {wall_ms:.1} ms"
+    );
+    assert!(devices_used >= 2, "a 12-job GPU batch must actively share >= 2 devices");
+    DevicesRec { pool: pool_size, jobs, wall_ms, devices_used, per_device }
 }
 
 fn host_cpus() -> usize {
@@ -221,7 +321,8 @@ fn render_run(r: &RunRec) -> String {
     format!(
         "      {{\"workers\": {}, \"jobs\": {}, \"ok\": {}, \"wall_ms\": {:.3}, \
          \"jobs_per_sec\": {:.3}, \"best\": {}, \"artifact_hits\": {}, \"artifact_misses\": {}, \
-         \"decision_hits\": {}, \"decision_misses\": {}}}",
+         \"decision_hits\": {}, \"decision_misses\": {}, \"artifact_evictions\": {}, \
+         \"decision_evictions\": {}}}",
         r.workers,
         r.jobs,
         r.ok,
@@ -232,22 +333,50 @@ fn render_run(r: &RunRec) -> String {
         r.artifact_misses,
         r.decision_hits,
         r.decision_misses,
+        r.artifact_evictions,
+        r.decision_evictions,
+    )
+}
+
+fn render_device(d: &DeviceRec) -> String {
+    format!(
+        "          {{\"name\": \"{}\", \"model\": \"{}\", \"jobs\": {}, \"busy_ms\": {:.3}, \
+         \"util\": {:.3}, \"max_depth\": {}, \"assigned_ms\": {:.3}}}",
+        d.name, d.model, d.jobs, d.busy_ms, d.util, d.max_depth, d.assigned_ms
+    )
+}
+
+fn render_devices(d: &DevicesRec) -> String {
+    let per: Vec<String> = d.per_device.iter().map(render_device).collect();
+    format!(
+        "      {{\n        \"pool\": {},\n        \"jobs\": {},\n        \"wall_ms\": {:.3},\n        \
+         \"devices_used\": {},\n        \"per_device\": [\n{}\n        ]\n      }}",
+        d.pool,
+        d.jobs,
+        d.wall_ms,
+        d.devices_used,
+        per.join(",\n")
     )
 }
 
 fn render_entry(e: &HistEntry) -> String {
     let runs: Vec<String> = e.runs.iter().map(render_run).collect();
+    let devices = match &e.devices {
+        Some(d) => format!(",\n      \"devices\":\n{}", render_devices(d)),
+        None => String::new(),
+    };
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
          \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
-         \"runs\": [\n{}\n      ]\n    }}",
+         \"runs\": [\n{}\n      ]{}\n    }}",
         e.label,
         e.jobs,
         e.n,
         e.iterations,
         e.host_cpus,
         e.first_event_ms,
-        runs.join(",\n")
+        runs.join(",\n"),
+        devices
     )
 }
 
@@ -272,6 +401,36 @@ fn parse_run(v: &Json) -> RunRec {
         artifact_misses: uint(v.get("artifact_misses")),
         decision_hits: uint(v.get("decision_hits")),
         decision_misses: uint(v.get("decision_misses")),
+        artifact_evictions: uint(v.get("artifact_evictions")),
+        decision_evictions: uint(v.get("decision_evictions")),
+    }
+}
+
+fn parse_device(v: &Json) -> DeviceRec {
+    DeviceRec {
+        name: v.get("name").and_then(Json::str).unwrap_or("?").to_string(),
+        model: v.get("model").and_then(Json::str).unwrap_or("?").to_string(),
+        jobs: uint(v.get("jobs")),
+        busy_ms: v.get("busy_ms").and_then(Json::num).unwrap_or(0.0),
+        util: v.get("util").and_then(Json::num).unwrap_or(0.0),
+        max_depth: uint(v.get("max_depth")) as usize,
+        assigned_ms: v.get("assigned_ms").and_then(Json::num).unwrap_or(0.0),
+    }
+}
+
+fn parse_devices(v: &Json) -> DevicesRec {
+    DevicesRec {
+        pool: uint(v.get("pool")) as usize,
+        jobs: uint(v.get("jobs")) as usize,
+        wall_ms: v.get("wall_ms").and_then(Json::num).unwrap_or(0.0),
+        devices_used: uint(v.get("devices_used")) as usize,
+        per_device: v
+            .get("per_device")
+            .and_then(Json::arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(parse_device)
+            .collect(),
     }
 }
 
@@ -284,6 +443,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         host_cpus: uint(v.get("host_cpus")) as usize,
         first_event_ms: v.get("first_event_ms").and_then(Json::num).unwrap_or(0.0),
         runs: v.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().map(parse_run).collect(),
+        devices: v.get("devices").map(parse_devices),
     }
 }
 
@@ -356,6 +516,7 @@ fn main() {
         args.workers.iter().map(|&w| measure(w, args.jobs, args.n, args.iters)).collect();
     let first_event_ms = measure_first_event_ms(args.n, args.iters);
     println!("submit -> first progress event: {first_event_ms:.3} ms (min of 5, warm cache)");
+    let devices = measure_devices(args.n, args.iters);
     let entry = HistEntry {
         label: args.label.clone(),
         jobs: args.jobs,
@@ -364,6 +525,7 @@ fn main() {
         host_cpus: host_cpus(),
         first_event_ms,
         runs,
+        devices: Some(devices),
     };
 
     let mut history = if args.append {

@@ -312,6 +312,7 @@ pub struct GpuAntColonySystem<'a> {
     /// Best length found in the most recent iteration (`u64::MAX` before
     /// the first) — the iteration-best stream for lifecycle observers.
     last_iter_best: u64,
+    exec_threads: usize,
 }
 
 impl<'a> GpuAntColonySystem<'a> {
@@ -356,7 +357,17 @@ impl<'a> GpuAntColonySystem<'a> {
             iteration: 0,
             best: None,
             last_iter_best: u64::MAX,
+            exec_threads: 1,
         }
+    }
+
+    /// Execute the simulator's blocks across up to `threads` host threads
+    /// (a device profile's exec-thread budget). Functional results,
+    /// counters and modeled times are bit-identical for every value — see
+    /// [`aco_simt::launch_threads`] — so this only trades host cores for
+    /// wall clock.
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
     }
 
     /// Best solution so far (exact length).
@@ -385,7 +396,14 @@ impl<'a> GpuAntColonySystem<'a> {
             seed: self.params.seed,
             iteration: self.iteration,
         };
-        let rt = launch(&self.dev, &tk.config(), &tk, &mut self.gm, SimMode::Full)?;
+        let rt = launch_threads(
+            &self.dev,
+            &tk.config(),
+            &tk,
+            &mut self.gm,
+            SimMode::Full,
+            self.exec_threads,
+        )?;
 
         // Host-exact best tracking over the colony.
         let n = self.bufs.n as usize;
@@ -422,7 +440,14 @@ impl<'a> GpuAntColonySystem<'a> {
             best_len: best_len as f32,
             rho: self.params.rho,
         };
-        let ru = launch(&self.dev, &uk.config(), &uk, &mut self.gm, SimMode::Full)?;
+        let ru = launch_threads(
+            &self.dev,
+            &uk.config(),
+            &uk,
+            &mut self.gm,
+            SimMode::Full,
+            self.exec_threads,
+        )?;
 
         self.iteration += 1;
         Ok((best_len, rt.time.total_ms, ru.time.total_ms))

@@ -69,6 +69,11 @@ pub struct IterationEvent {
     pub iter_best: u64,
     /// Best tour length found so far (≤ `iter_best`).
     pub best_so_far: u64,
+    /// Pool id of the simulated device the iteration ran on, for runs
+    /// scheduled onto a device pool. Colonies themselves emit `None`
+    /// (they do not know about pools); a pool-aware scheduler stamps the
+    /// id in its observer before fanning the event out.
+    pub device: Option<u32>,
 }
 
 /// The observer sink: called once per completed iteration, on the thread
@@ -178,7 +183,7 @@ pub fn drive(
             return RunOutcome { iterations: k, stopped: Some(reason) };
         }
         let (iter_best, best_so_far) = step(k as u64);
-        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far });
+        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far, device: None });
     }
     RunOutcome { iterations, stopped: None }
 }
@@ -195,7 +200,7 @@ pub fn try_drive<E>(
             return Ok(RunOutcome { iterations: k, stopped: Some(reason) });
         }
         let (iter_best, best_so_far) = step(k as u64)?;
-        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far });
+        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far, device: None });
     }
     Ok(RunOutcome { iterations, stopped: None })
 }

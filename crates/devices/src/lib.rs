@@ -1,0 +1,40 @@
+//! `aco-devices` — a pool of simulated GPUs with affinity-aware,
+//! deterministic job placement.
+//!
+//! The paper executes every kernel on one device; production ACO serving
+//! shards a batch across many. This crate models that pool *without*
+//! requiring real hardware: each [`DeviceProfile`] derives a
+//! [`DeviceSpec`](aco_simt::DeviceSpec) from the paper's Table-I presets
+//! (optionally rescaling SM count and memory bandwidth for heterogeneous
+//! fleets), carries an **exec-thread budget** (host threads donated to
+//! block-level simulation, see `aco_simt::launch_threads`) and a
+//! **resident-job slot** count (how many jobs the device admits
+//! concurrently).
+//!
+//! [`DevicePool::place`] is the placement engine: given a job's required
+//! [`DeviceModel`], its [`DeviceAffinity`] and its shape `(n, m,
+//! iterations)`, it prices every compatible device as
+//!
+//! ```text
+//! completion(d) = predict_kernel_ms(d, n, m) × iterations + assigned_ms(d)
+//! ```
+//!
+//! and picks the minimum (or rotates, under
+//! [`PlacementStrategy::RoundRobin`]). `assigned_ms` is a **deterministic
+//! ledger**: it grows when a job is placed and is never decremented by
+//! completions, so placement is a pure function of the submission
+//! sequence — a fixed batch placed on a fixed pool yields bit-identical
+//! assignments no matter how many workers later drain the queues, which
+//! is the property the engine's worker-count determinism contract rests
+//! on. Live queue depth, occupancy, and busy time are tracked separately
+//! as telemetry ([`DevicePool::snapshot`]) and never feed back into
+//! placement.
+
+mod pool;
+mod profile;
+
+pub use pool::{
+    DeviceAffinity, DeviceId, DevicePool, DeviceSnapshot, Placement, PlacementError,
+    PlacementStrategy,
+};
+pub use profile::{DeviceModel, DeviceProfile};

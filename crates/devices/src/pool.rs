@@ -1,0 +1,653 @@
+//! The device pool: placement, admission, and telemetry.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aco_simt::DeviceSpec;
+
+use crate::profile::{DeviceModel, DeviceProfile};
+
+/// Index of a device within its pool (stable for the pool's lifetime;
+/// also the identifier reports and progress events carry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Where a job may run. `Any` is the default; `Preferred` biases the
+/// placement toward one device but falls back when that device is
+/// markedly worse (or incompatible); `Pinned` is honoured exactly or
+/// rejected with a typed [`PlacementError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceAffinity {
+    /// Any compatible device; the pool picks.
+    #[default]
+    Any,
+    /// Use this device unless its predicted completion is more than
+    /// [`PREFERRED_SLACK`]× the best compatible device's (or it is
+    /// incompatible), in which case place as `Any`.
+    Preferred(DeviceId),
+    /// Exactly this device, or a typed rejection.
+    Pinned(DeviceId),
+}
+
+/// How much worse (multiplicatively) a `Preferred` device's predicted
+/// completion may be before the pool overrides the preference.
+pub const PREFERRED_SLACK: f64 = 1.5;
+
+/// The pool's placement policy for `Any`/fallback placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementStrategy {
+    /// Minimise `predict_kernel_ms × iterations + assigned backlog` over
+    /// compatible devices (ties break toward the lowest id).
+    #[default]
+    LeastLoaded,
+    /// Rotate over compatible devices in id order, ignoring load — the
+    /// baseline least-loaded placement is measured against.
+    RoundRobin,
+}
+
+/// A successful placement decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The chosen device.
+    pub device: DeviceId,
+    /// Predicted total milliseconds of the job on that device
+    /// (`predict_kernel_ms × iterations`) — the amount charged to the
+    /// device's assigned ledger.
+    pub predicted_ms: f64,
+}
+
+/// Why a placement was rejected. These are *submit-time* errors: the job
+/// never queues, never runs, and never touches any cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementError {
+    /// The pool contains no device of the required model.
+    NoCompatibleDevice {
+        /// The model the job was built for.
+        required: DeviceModel,
+    },
+    /// A pinned/preferred affinity names a device id the pool does not
+    /// have.
+    UnknownDevice {
+        /// The id the affinity named.
+        device: DeviceId,
+    },
+    /// A pinned affinity names a device of the wrong model.
+    IncompatibleDevice {
+        /// The id the affinity named.
+        device: DeviceId,
+        /// The model the job was built for.
+        required: DeviceModel,
+        /// The model actually installed at that id.
+        installed: DeviceModel,
+    },
+    /// A pinned affinity was given for a job that does not run on a
+    /// device at all (a CPU backend).
+    NotADeviceJob {
+        /// The id the affinity named.
+        device: DeviceId,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCompatibleDevice { required } => {
+                write!(f, "pool has no {} device", required.label())
+            }
+            PlacementError::UnknownDevice { device } => {
+                write!(f, "pool has no device {device}")
+            }
+            PlacementError::IncompatibleDevice { device, required, installed } => {
+                write!(
+                    f,
+                    "job requires a {} device but {device} is a {}",
+                    required.label(),
+                    installed.label()
+                )
+            }
+            PlacementError::NotADeviceJob { device } => {
+                write!(f, "job pinned to {device} does not run on a device")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Live per-device counters. Everything here is observability: none of
+/// it feeds back into placement (see the module docs of the crate).
+#[derive(Debug, Default)]
+struct Telemetry {
+    /// Jobs sitting in this device's run queue right now.
+    queued: AtomicUsize,
+    /// Jobs admitted and executing right now.
+    running: AtomicUsize,
+    /// Peak of `queued + running` ever observed.
+    peak_depth: AtomicUsize,
+    /// Peak of `running` ever observed.
+    peak_running: AtomicUsize,
+    /// Jobs that ran to a posted result on this device.
+    completed: AtomicU64,
+    /// Accumulated host wall-clock microseconds spent executing jobs.
+    busy_us: AtomicU64,
+}
+
+/// Deterministic placement state, mutated only by [`DevicePool::place`].
+#[derive(Debug)]
+struct Ledger {
+    /// Total predicted milliseconds ever assigned per device — the
+    /// "queue depth" term of the placement cost. Monotone by design:
+    /// draining it on completion would make placement depend on
+    /// completion timing and break worker-count determinism.
+    assigned_ms: Vec<f64>,
+    /// Round-robin cursor (used only under that strategy).
+    rr_next: u64,
+}
+
+/// Point-in-time view of one pool device (see [`DevicePool::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSnapshot {
+    /// The device's pool id.
+    pub id: DeviceId,
+    /// Profile name.
+    pub name: String,
+    /// Hardware generation.
+    pub model: DeviceModel,
+    /// Jobs in the run queue right now.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub running: usize,
+    /// Peak `queued + running` observed.
+    pub peak_depth: usize,
+    /// Peak concurrent `running` observed (≤ `slots`: every admission
+    /// path respects the budget).
+    pub peak_running: usize,
+    /// Jobs completed on this device.
+    pub completed: u64,
+    /// Host wall-clock milliseconds spent executing jobs.
+    pub busy_ms: f64,
+    /// Total predicted milliseconds assigned by the placement ledger.
+    pub assigned_ms: f64,
+    /// Resident-job budget.
+    pub slots: usize,
+    /// Exec-thread budget.
+    pub exec_threads: usize,
+}
+
+/// A fixed set of simulated devices plus the placement ledger and
+/// telemetry. Profiles are immutable after construction; ids are the
+/// construction order.
+#[derive(Debug)]
+pub struct DevicePool {
+    profiles: Vec<DeviceProfile>,
+    specs: Vec<DeviceSpec>,
+    strategy: PlacementStrategy,
+    ledger: Mutex<Ledger>,
+    telemetry: Vec<Telemetry>,
+}
+
+impl DevicePool {
+    /// Build a pool over `profiles` (possibly empty: an empty pool is a
+    /// CPU-only engine — every GPU placement fails with
+    /// [`PlacementError::NoCompatibleDevice`]).
+    pub fn new(profiles: Vec<DeviceProfile>, strategy: PlacementStrategy) -> Self {
+        let specs = profiles.iter().map(DeviceProfile::spec).collect();
+        let telemetry = profiles.iter().map(|_| Telemetry::default()).collect();
+        let assigned_ms = vec![0.0; profiles.len()];
+        DevicePool {
+            profiles,
+            specs,
+            strategy,
+            ledger: Mutex::new(Ledger { assigned_ms, rr_next: 0 }),
+            telemetry,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Is the pool empty (CPU-only engine)?
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The placement strategy in force.
+    pub fn strategy(&self) -> PlacementStrategy {
+        self.strategy
+    }
+
+    /// The profile at `id`, if any.
+    pub fn profile(&self, id: DeviceId) -> Option<&DeviceProfile> {
+        self.profiles.get(id.0 as usize)
+    }
+
+    /// The derived [`DeviceSpec`] at `id`, if any (precomputed once).
+    pub fn spec(&self, id: DeviceId) -> Option<&DeviceSpec> {
+        self.specs.get(id.0 as usize)
+    }
+
+    /// Ids of every device of `model`, ascending.
+    pub fn devices_of(&self, model: DeviceModel) -> Vec<DeviceId> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.model == model)
+            .map(|(i, _)| DeviceId(i as u32))
+            .collect()
+    }
+
+    /// Validate that a *pinned* affinity names a real device (the cheap
+    /// check a scheduler can run at submit time before the job's model
+    /// is known, e.g. for auto backends). `Preferred` is a preference,
+    /// not a contract: an unknown or incompatible preference falls back
+    /// to `Any` at placement time, exactly as [`DevicePool::place`] and
+    /// [`DevicePool::rotate`] treat it, so it never fails here.
+    pub fn check_affinity(&self, affinity: DeviceAffinity) -> Result<(), PlacementError> {
+        match affinity {
+            DeviceAffinity::Pinned(d) => {
+                if (d.0 as usize) < self.profiles.len() {
+                    Ok(())
+                } else {
+                    Err(PlacementError::UnknownDevice { device: d })
+                }
+            }
+            DeviceAffinity::Any | DeviceAffinity::Preferred(_) => Ok(()),
+        }
+    }
+
+    /// The deterministic completion-time estimate the placement cost uses
+    /// for a `(n, m, iterations)` job on `id`: `predict_kernel_ms ×
+    /// iterations + assigned backlog`.
+    pub fn predicted_completion_ms(
+        &self,
+        id: DeviceId,
+        n: usize,
+        m: usize,
+        iterations: usize,
+    ) -> Option<f64> {
+        let profile = self.profile(id)?;
+        let ledger = self.ledger.lock().expect("ledger lock");
+        Some(job_ms(profile, n, m, iterations) + ledger.assigned_ms[id.0 as usize])
+    }
+
+    /// Place a job that requires a `required`-model device. On success the
+    /// chosen device's assigned ledger is charged with the job's predicted
+    /// milliseconds. Placement is deterministic in the call sequence: no
+    /// wall clock, no completion feedback, no randomness.
+    pub fn place(
+        &self,
+        required: DeviceModel,
+        affinity: DeviceAffinity,
+        n: usize,
+        m: usize,
+        iterations: usize,
+    ) -> Result<Placement, PlacementError> {
+        let compatible = self.devices_of(required);
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+
+        let chosen = match affinity {
+            DeviceAffinity::Pinned(d) => {
+                let p = self.profile(d).ok_or(PlacementError::UnknownDevice { device: d })?;
+                if p.model != required {
+                    return Err(PlacementError::IncompatibleDevice {
+                        device: d,
+                        required,
+                        installed: p.model,
+                    });
+                }
+                d
+            }
+            DeviceAffinity::Preferred(p) => {
+                let best = self.pick(&compatible, &mut ledger, required, n, m, iterations)?;
+                match self.profile(p) {
+                    Some(prof) if prof.model == required => {
+                        let best_cost = self.cost(&ledger, best, n, m, iterations);
+                        let pref_cost = self.cost(&ledger, p, n, m, iterations);
+                        if pref_cost <= best_cost * PREFERRED_SLACK {
+                            p
+                        } else {
+                            best
+                        }
+                    }
+                    // Incompatible or unknown preference: fall back to Any.
+                    _ => best,
+                }
+            }
+            DeviceAffinity::Any => {
+                self.pick(&compatible, &mut ledger, required, n, m, iterations)?
+            }
+        };
+
+        let predicted_ms = job_ms(&self.profiles[chosen.0 as usize], n, m, iterations);
+        ledger.assigned_ms[chosen.0 as usize] += predicted_ms;
+        Ok(Placement { device: chosen, predicted_ms })
+    }
+
+    /// The `Any` choice under the pool's strategy. Callers hold the
+    /// ledger lock.
+    fn pick(
+        &self,
+        compatible: &[DeviceId],
+        ledger: &mut Ledger,
+        required: DeviceModel,
+        n: usize,
+        m: usize,
+        iterations: usize,
+    ) -> Result<DeviceId, PlacementError> {
+        if compatible.is_empty() {
+            return Err(PlacementError::NoCompatibleDevice { required });
+        }
+        Ok(match self.strategy {
+            PlacementStrategy::LeastLoaded => *compatible
+                .iter()
+                .min_by(|a, b| {
+                    self.cost(ledger, **a, n, m, iterations)
+                        .total_cmp(&self.cost(ledger, **b, n, m, iterations))
+                })
+                .expect("compatible is non-empty"),
+            PlacementStrategy::RoundRobin => {
+                let d = compatible[(ledger.rr_next % compatible.len() as u64) as usize];
+                ledger.rr_next += 1;
+                d
+            }
+        })
+    }
+
+    fn cost(&self, ledger: &Ledger, d: DeviceId, n: usize, m: usize, iterations: usize) -> f64 {
+        job_ms(&self.profiles[d.0 as usize], n, m, iterations) + ledger.assigned_ms[d.0 as usize]
+    }
+
+    /// Stateless device choice for jobs whose device need is only known
+    /// at run time (auto-resolved backends): a pure function of
+    /// `(pool, required, affinity, key)`, so it cannot depend on
+    /// execution order. Such jobs bypass the assigned ledger — their cost
+    /// was unknown when the deterministic placement state was last
+    /// mutated at submit time.
+    pub fn rotate(
+        &self,
+        required: DeviceModel,
+        affinity: DeviceAffinity,
+        key: u64,
+    ) -> Result<DeviceId, PlacementError> {
+        match affinity {
+            DeviceAffinity::Pinned(d) | DeviceAffinity::Preferred(d) => {
+                if let Some(p) = self.profile(d) {
+                    if p.model == required {
+                        return Ok(d);
+                    }
+                    if matches!(affinity, DeviceAffinity::Pinned(_)) {
+                        return Err(PlacementError::IncompatibleDevice {
+                            device: d,
+                            required,
+                            installed: p.model,
+                        });
+                    }
+                } else if matches!(affinity, DeviceAffinity::Pinned(_)) {
+                    return Err(PlacementError::UnknownDevice { device: d });
+                }
+            }
+            DeviceAffinity::Any => {}
+        }
+        let compatible = self.devices_of(required);
+        if compatible.is_empty() {
+            return Err(PlacementError::NoCompatibleDevice { required });
+        }
+        Ok(compatible[(key % compatible.len() as u64) as usize])
+    }
+
+    // --- telemetry hooks (scheduler-facing) --------------------------------
+
+    /// A job entered `id`'s run queue.
+    pub fn note_queued(&self, id: DeviceId) {
+        let t = &self.telemetry[id.0 as usize];
+        let q = t.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        let depth = q + t.running.load(Ordering::Relaxed);
+        t.peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Reserve one resident-job slot on `id` (running++ iff below the
+    /// slot budget, with peak tracking).
+    fn try_reserve_slot(&self, id: DeviceId) -> bool {
+        let t = &self.telemetry[id.0 as usize];
+        let slots = self.profiles[id.0 as usize].slots;
+        if t.running
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| (r < slots).then_some(r + 1))
+            .is_err()
+        {
+            return false;
+        }
+        t.peak_running.fetch_max(t.running.load(Ordering::Relaxed), Ordering::Relaxed);
+        true
+    }
+
+    /// Try to admit one more *queued* job onto `id` (respecting its slot
+    /// budget); on success the job is accounted as running and removed
+    /// from the queued count.
+    pub fn try_admit(&self, id: DeviceId) -> bool {
+        if !self.try_reserve_slot(id) {
+            return false;
+        }
+        let t = &self.telemetry[id.0 as usize];
+        let _ = t.queued.fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| q.checked_sub(1));
+        true
+    }
+
+    /// Try to admit a job that was never queued on the device (an auto
+    /// job that resolved to a GPU backend at run time). The slot budget
+    /// applies exactly as for queued jobs; callers retry until a slot
+    /// frees.
+    pub fn try_admit_unqueued(&self, id: DeviceId) -> bool {
+        self.try_reserve_slot(id)
+    }
+
+    /// Undo an admission whose job never ran (its queue entry had been
+    /// finalised by an eager cancel/expiry).
+    pub fn cancel_admit(&self, id: DeviceId) {
+        let t = &self.telemetry[id.0 as usize];
+        let _ = t.running.fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1));
+    }
+
+    /// A job finished executing on `id` after `wall` host time.
+    pub fn release(&self, id: DeviceId, wall: std::time::Duration) {
+        let t = &self.telemetry[id.0 as usize];
+        let _ = t.running.fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| r.checked_sub(1));
+        t.completed.fetch_add(1, Ordering::Relaxed);
+        t.busy_us.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view of every device.
+    pub fn snapshot(&self) -> Vec<DeviceSnapshot> {
+        let ledger = self.ledger.lock().expect("ledger lock");
+        self.profiles
+            .iter()
+            .zip(&self.telemetry)
+            .enumerate()
+            .map(|(i, (p, t))| DeviceSnapshot {
+                id: DeviceId(i as u32),
+                name: p.name.clone(),
+                model: p.model,
+                queued: t.queued.load(Ordering::Relaxed),
+                running: t.running.load(Ordering::Relaxed),
+                peak_depth: t.peak_depth.load(Ordering::Relaxed),
+                peak_running: t.peak_running.load(Ordering::Relaxed),
+                completed: t.completed.load(Ordering::Relaxed),
+                busy_ms: t.busy_us.load(Ordering::Relaxed) as f64 / 1e3,
+                assigned_ms: ledger.assigned_ms[i],
+                slots: p.slots,
+                exec_threads: p.exec_threads,
+            })
+            .collect()
+    }
+}
+
+/// A job's predicted total milliseconds on `profile`.
+fn job_ms(profile: &DeviceProfile, n: usize, m: usize, iterations: usize) -> f64 {
+    profile.predict_kernel_ms(n, m) * iterations.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_and_two() -> DevicePool {
+        DevicePool::new(
+            vec![
+                DeviceProfile::tesla_c1060("g0"),
+                DeviceProfile::tesla_c1060("g1").sm_count(15),
+                DeviceProfile::tesla_m2050("f0"),
+                DeviceProfile::tesla_m2050("f1"),
+            ],
+            PlacementStrategy::LeastLoaded,
+        )
+    }
+
+    #[test]
+    fn least_loaded_spreads_equal_jobs_over_equal_devices() {
+        let pool = two_and_two();
+        let a = pool.place(DeviceModel::TeslaM2050, DeviceAffinity::Any, 48, 32, 5).unwrap();
+        let b = pool.place(DeviceModel::TeslaM2050, DeviceAffinity::Any, 48, 32, 5).unwrap();
+        assert_ne!(a.device, b.device, "second equal job must go to the idle twin");
+        assert!(a.predicted_ms > 0.0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_faster_heterogeneous_device() {
+        let pool = two_and_two();
+        // g1 has half the SMs of g0; the first C1060 job must go to g0.
+        let a = pool.place(DeviceModel::TeslaC1060, DeviceAffinity::Any, 64, 32, 5).unwrap();
+        assert_eq!(a.device, DeviceId(0));
+    }
+
+    #[test]
+    fn pinned_is_honoured_or_rejected() {
+        let pool = two_and_two();
+        let pin = DeviceAffinity::Pinned(DeviceId(1));
+        let ok = pool.place(DeviceModel::TeslaC1060, pin, 32, 16, 3).unwrap();
+        assert_eq!(ok.device, DeviceId(1));
+        assert_eq!(
+            pool.place(DeviceModel::TeslaM2050, pin, 32, 16, 3),
+            Err(PlacementError::IncompatibleDevice {
+                device: DeviceId(1),
+                required: DeviceModel::TeslaM2050,
+                installed: DeviceModel::TeslaC1060,
+            })
+        );
+        assert_eq!(
+            pool.place(DeviceModel::TeslaC1060, DeviceAffinity::Pinned(DeviceId(9)), 32, 16, 3),
+            Err(PlacementError::UnknownDevice { device: DeviceId(9) })
+        );
+    }
+
+    #[test]
+    fn preferred_yields_when_markedly_worse() {
+        let pool = two_and_two();
+        // Load f1 heavily, then prefer it: the pool must override.
+        for _ in 0..8 {
+            pool.place(DeviceModel::TeslaM2050, DeviceAffinity::Pinned(DeviceId(3)), 96, 64, 20)
+                .unwrap();
+        }
+        let p = pool
+            .place(DeviceModel::TeslaM2050, DeviceAffinity::Preferred(DeviceId(3)), 32, 16, 2)
+            .unwrap();
+        assert_eq!(p.device, DeviceId(2), "overloaded preference must be overridden");
+        // A fresh pool honours the same preference.
+        let fresh = two_and_two();
+        let q = fresh
+            .place(DeviceModel::TeslaM2050, DeviceAffinity::Preferred(DeviceId(3)), 32, 16, 2)
+            .unwrap();
+        assert_eq!(q.device, DeviceId(3));
+    }
+
+    #[test]
+    fn round_robin_rotates_within_the_compatible_set() {
+        let pool = DevicePool::new(
+            vec![
+                DeviceProfile::tesla_c1060("g0"),
+                DeviceProfile::tesla_m2050("f0"),
+                DeviceProfile::tesla_c1060("g1"),
+            ],
+            PlacementStrategy::RoundRobin,
+        );
+        let seq: Vec<DeviceId> = (0..4)
+            .map(|_| {
+                pool.place(DeviceModel::TeslaC1060, DeviceAffinity::Any, 32, 16, 3).unwrap().device
+            })
+            .collect();
+        assert_eq!(seq, vec![DeviceId(0), DeviceId(2), DeviceId(0), DeviceId(2)]);
+    }
+
+    #[test]
+    fn empty_or_modelless_pool_rejects_with_typed_errors() {
+        let empty = DevicePool::new(Vec::new(), PlacementStrategy::LeastLoaded);
+        assert_eq!(
+            empty.place(DeviceModel::TeslaC1060, DeviceAffinity::Any, 16, 8, 1),
+            Err(PlacementError::NoCompatibleDevice { required: DeviceModel::TeslaC1060 })
+        );
+        let fermi_only =
+            DevicePool::new(vec![DeviceProfile::tesla_m2050("f0")], PlacementStrategy::LeastLoaded);
+        assert_eq!(
+            fermi_only.rotate(DeviceModel::TeslaC1060, DeviceAffinity::Any, 7),
+            Err(PlacementError::NoCompatibleDevice { required: DeviceModel::TeslaC1060 })
+        );
+    }
+
+    #[test]
+    fn rotate_is_a_pure_function_of_its_key() {
+        let pool = two_and_two();
+        for key in 0..6 {
+            let a = pool.rotate(DeviceModel::TeslaC1060, DeviceAffinity::Any, key).unwrap();
+            let b = pool.rotate(DeviceModel::TeslaC1060, DeviceAffinity::Any, key).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, [DeviceId(0), DeviceId(1)][(key % 2) as usize]);
+        }
+    }
+
+    #[test]
+    fn slots_gate_admission_and_telemetry_balances() {
+        let pool = DevicePool::new(
+            vec![DeviceProfile::tesla_c1060("g0").slots(2)],
+            PlacementStrategy::LeastLoaded,
+        );
+        let d = DeviceId(0);
+        pool.note_queued(d);
+        pool.note_queued(d);
+        pool.note_queued(d);
+        assert!(pool.try_admit(d));
+        assert!(pool.try_admit(d));
+        assert!(!pool.try_admit(d), "third admission exceeds the slot budget");
+        assert!(!pool.try_admit_unqueued(d), "unqueued admissions share the same budget");
+        pool.release(d, std::time::Duration::from_millis(3));
+        assert!(pool.try_admit(d), "released slot is reusable");
+        let snap = &pool.snapshot()[0];
+        assert_eq!(snap.peak_running, 2);
+        assert_eq!(snap.peak_depth, 3);
+        assert_eq!(snap.completed, 1);
+        assert!(snap.busy_ms >= 3.0);
+        assert_eq!(snap.queued, 0);
+    }
+
+    #[test]
+    fn check_affinity_rejects_only_unknown_pins() {
+        let pool = two_and_two();
+        assert_eq!(pool.check_affinity(DeviceAffinity::Any), Ok(()));
+        assert_eq!(pool.check_affinity(DeviceAffinity::Pinned(DeviceId(3))), Ok(()));
+        assert_eq!(
+            pool.check_affinity(DeviceAffinity::Pinned(DeviceId(4))),
+            Err(PlacementError::UnknownDevice { device: DeviceId(4) })
+        );
+        // A preference is not a contract: unknown ids fall back to Any
+        // at placement time instead of failing at submit.
+        assert_eq!(pool.check_affinity(DeviceAffinity::Preferred(DeviceId(9))), Ok(()));
+        let p =
+            pool.place(DeviceModel::TeslaC1060, DeviceAffinity::Preferred(DeviceId(9)), 24, 12, 2);
+        assert!(p.is_ok(), "unknown preference places as Any: {p:?}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Device profiles: Table-I presets plus per-device overrides.
+
+use aco_simt::DeviceSpec;
+
+/// The hardware generations the simulator models (Table I of the paper).
+/// A pool device *instance* is a [`DeviceProfile`] built on one of these;
+/// jobs compiled for a model run on any pool device of that model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceModel {
+    /// Tesla C1060 (GT200, CC 1.3).
+    TeslaC1060,
+    /// Tesla M2050 (Fermi, CC 2.0).
+    TeslaM2050,
+}
+
+impl DeviceModel {
+    /// Both models, in the paper's order.
+    pub const ALL: [DeviceModel; 2] = [DeviceModel::TeslaC1060, DeviceModel::TeslaM2050];
+
+    /// The unmodified Table-I spec of this model.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            DeviceModel::TeslaC1060 => DeviceSpec::tesla_c1060(),
+            DeviceModel::TeslaM2050 => DeviceSpec::tesla_m2050(),
+        }
+    }
+
+    /// Short stable label (used in reports and bench artifacts).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceModel::TeslaC1060 => "c1060",
+            DeviceModel::TeslaM2050 => "m2050",
+        }
+    }
+}
+
+/// One simulated device of a pool: a Table-I base model plus the knobs
+/// that make pool members heterogeneous.
+///
+/// The overrides model real fleet variance (salvaged parts with fused-off
+/// SMs, different memory configurations) without inventing a third
+/// microarchitecture: everything else about the [`DeviceSpec`] stays
+/// exactly the Table-I preset, so the simulator's kernel models remain
+/// valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Pool-unique human-readable name (e.g. `"gpu0"`).
+    pub name: String,
+    /// Base hardware generation.
+    pub model: DeviceModel,
+    /// Override the preset's streaming-multiprocessor count (clamped to
+    /// ≥ 1). `None` keeps the Table-I value (30 / 14).
+    pub sm_count: Option<u32>,
+    /// Override the preset's DRAM bandwidth in GB/s. `None` keeps the
+    /// Table-I value (102 / 144).
+    pub mem_bandwidth_gbps: Option<f64>,
+    /// Host threads this device donates to block-level simulation
+    /// (`aco_simt::launch_threads`); functional results are bit-identical
+    /// for every value, so this only trades host cores for wall clock.
+    pub exec_threads: usize,
+    /// Resident-job budget: how many jobs the scheduler admits onto this
+    /// device concurrently. Queued jobs beyond it wait in the device's
+    /// run queue.
+    pub slots: usize,
+}
+
+impl DeviceProfile {
+    /// A profile with the model's Table-I spec, one exec thread and one
+    /// resident-job slot.
+    pub fn new(name: impl Into<String>, model: DeviceModel) -> Self {
+        DeviceProfile {
+            name: name.into(),
+            model,
+            sm_count: None,
+            mem_bandwidth_gbps: None,
+            exec_threads: 1,
+            slots: 1,
+        }
+    }
+
+    /// Shorthand: an unmodified Tesla C1060.
+    pub fn tesla_c1060(name: impl Into<String>) -> Self {
+        Self::new(name, DeviceModel::TeslaC1060)
+    }
+
+    /// Shorthand: an unmodified Tesla M2050.
+    pub fn tesla_m2050(name: impl Into<String>) -> Self {
+        Self::new(name, DeviceModel::TeslaM2050)
+    }
+
+    /// Builder: SM-count override.
+    pub fn sm_count(mut self, sms: u32) -> Self {
+        self.sm_count = Some(sms.max(1));
+        self
+    }
+
+    /// Builder: memory-bandwidth override (GB/s).
+    pub fn mem_bandwidth(mut self, gbps: f64) -> Self {
+        self.mem_bandwidth_gbps = Some(gbps.max(1.0));
+        self
+    }
+
+    /// Builder: exec-thread budget (clamped to ≥ 1).
+    pub fn exec_threads(mut self, threads: usize) -> Self {
+        self.exec_threads = threads.max(1);
+        self
+    }
+
+    /// Builder: resident-job slots (clamped to ≥ 1).
+    pub fn slots(mut self, slots: usize) -> Self {
+        self.slots = slots.max(1);
+        self
+    }
+
+    /// The full [`DeviceSpec`] this profile executes with: the model's
+    /// Table-I preset with the overrides applied.
+    pub fn spec(&self) -> DeviceSpec {
+        let mut spec = self.model.spec();
+        if let Some(sms) = self.sm_count {
+            spec.sm_count = sms.max(1);
+        }
+        if let Some(bw) = self.mem_bandwidth_gbps {
+            spec.mem_bandwidth_gbps = bw.max(1.0);
+        }
+        spec
+    }
+
+    /// Analytic per-iteration kernel-time prediction in milliseconds for
+    /// an `n`-city, `m`-ant colony on this device — the *placement* cost
+    /// model, deliberately much cheaper than the simulator it
+    /// approximates (no probe launch, no artifacts, no cache).
+    ///
+    /// Construction dominates an AS iteration: `m` ants each take `n`
+    /// steps scanning `O(n)` candidates, a few FLOPs and one `(τ, η)`
+    /// read per candidate. The prediction is the max of the compute and
+    /// bandwidth roofs plus two kernel-launch overheads, so it is
+    /// monotone in problem size and in every override a profile can
+    /// apply. It is a pure function of `(profile, n, m)`; placement
+    /// determinism relies on that.
+    pub fn predict_kernel_ms(&self, n: usize, m: usize) -> f64 {
+        let spec = self.spec();
+        let work = m as f64 * n as f64 * n as f64;
+        let flops_per_ms =
+            spec.sm_count as f64 * spec.cores_per_sm as f64 * spec.clock_mhz as f64 * 1e3;
+        let compute_ms = 4.0 * work / flops_per_ms;
+        let bytes_per_ms = spec.mem_bandwidth_gbps * 1e6;
+        let mem_ms = 8.0 * work / bytes_per_ms;
+        compute_ms.max(mem_ms) + 2.0 * spec.launch_overhead_us / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_applies_overrides_and_keeps_the_rest() {
+        let base = DeviceModel::TeslaC1060.spec();
+        let spec = DeviceProfile::tesla_c1060("half").sm_count(15).mem_bandwidth(51.0).spec();
+        assert_eq!(spec.sm_count, 15);
+        assert_eq!(spec.mem_bandwidth_gbps, 51.0);
+        assert_eq!(spec.cores_per_sm, base.cores_per_sm);
+        assert_eq!(spec.clock_mhz, base.clock_mhz);
+        assert_eq!(spec.compute_capability, base.compute_capability);
+        assert_eq!(DeviceProfile::tesla_m2050("stock").spec().sm_count, 14);
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_size_and_in_device_speed() {
+        let full = DeviceProfile::tesla_c1060("full");
+        let half = DeviceProfile::tesla_c1060("half").sm_count(15).mem_bandwidth(51.0);
+        assert!(full.predict_kernel_ms(64, 32) > full.predict_kernel_ms(32, 32));
+        assert!(full.predict_kernel_ms(64, 64) > full.predict_kernel_ms(64, 32));
+        assert!(half.predict_kernel_ms(128, 64) > full.predict_kernel_ms(128, 64));
+        assert!(full.predict_kernel_ms(16, 8) > 0.0);
+    }
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let p = DeviceProfile::tesla_m2050("x").exec_threads(0).slots(0).sm_count(0);
+        assert_eq!(p.exec_threads, 1);
+        assert_eq!(p.slots, 1);
+        assert_eq!(p.spec().sm_count, 1);
+    }
+}

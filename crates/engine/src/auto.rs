@@ -20,6 +20,7 @@
 
 use aco_core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_core::{AcoParams, CpuModel, TourPolicy};
+use aco_devices::{DeviceAffinity, DevicePool};
 use aco_simt::{GlobalMem, SimMode};
 use aco_tsp::TspInstance;
 
@@ -69,12 +70,17 @@ fn probe_mode(n: usize) -> SimMode {
 /// cache — the property the engine's worker-count determinism rests on.
 pub const PROBE_SEED: u64 = 0x0A07_0CA5;
 
-/// Price every candidate backend for `inst` under `params` (the job seed
-/// is ignored; see [`PROBE_SEED`]).
+/// Price candidate backends for `inst` under `params` (the job seed is
+/// ignored; see [`PROBE_SEED`]). `gpu_models` restricts the GPU
+/// candidates to device models actually installed (pass
+/// [`GpuDevice::ALL`] for the unrestricted set); `allow_cpu` gates the
+/// CPU candidates (false when the job is pinned to a device).
 pub fn estimates(
     inst: &TspInstance,
     params: &AcoParams,
     artifacts: &InstanceArtifacts,
+    gpu_models: &[GpuDevice],
+    allow_cpu: bool,
 ) -> Vec<CandidateEstimate> {
     let params = &params.clone().seed(PROBE_SEED);
     let n = inst.n();
@@ -82,22 +88,23 @@ pub fn estimates(
     let model = CpuModel::default();
     let (choice_ms, tour_ms, update_ms) = cpu_phase_ms(n, m, params.nn_size, &model);
 
-    let mut out = vec![
-        CandidateEstimate {
+    let mut out = Vec::new();
+    if allow_cpu {
+        out.push(CandidateEstimate {
             backend: Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
             ms_per_iter: choice_ms + tour_ms + update_ms,
-        },
-        CandidateEstimate {
+        });
+        out.push(CandidateEstimate {
             backend: Backend::CpuParallel {
                 policy: TourPolicy::NearestNeighborList,
                 threads: AUTO_CPU_THREADS,
             },
             ms_per_iter: choice_ms + tour_ms / AUTO_CPU_THREADS as f64 + update_ms,
-        },
-    ];
+        });
+    }
 
     let mode = probe_mode(n);
-    for device in GpuDevice::ALL {
+    for &device in gpu_models {
         let dev = device.spec();
         for (tour, pheromone) in AUTO_GPU_CANDIDATES {
             // The data-parallel kernel's bit-packed shared-memory tabu
@@ -155,21 +162,53 @@ pub fn choose(estimates: &[CandidateEstimate]) -> Backend {
         .iter()
         .min_by(|a, b| a.ms_per_iter.total_cmp(&b.ms_per_iter))
         .map(|c| c.backend.clone())
-        .expect("CPU candidates always present")
+        .expect("candidate set must not be empty")
 }
 
-/// Resolve [`Backend::Auto`] for `inst`, consulting and filling the
-/// decision cache; non-auto backends pass through unchanged.
+/// The candidate set an auto job may choose from, given the engine's
+/// device pool and the request's affinity: GPU candidates only for
+/// models the pool actually contains, and — for a pinned job — only the
+/// pinned device's model, with the CPU excluded (a pinned job must run
+/// on its device).
+fn allowed_candidates(pool: &DevicePool, affinity: DeviceAffinity) -> (Vec<GpuDevice>, bool) {
+    if let DeviceAffinity::Pinned(d) = affinity {
+        if let Some(profile) = pool.profile(d) {
+            return (vec![GpuDevice::from_model(profile.model)], false);
+        }
+        // An unknown pinned device is rejected at submit; this branch is
+        // a defensive fallback for standalone `resolve` callers.
+        return (Vec::new(), true);
+    }
+    let models =
+        GpuDevice::ALL.into_iter().filter(|g| !pool.devices_of(g.model()).is_empty()).collect();
+    (models, true)
+}
+
+/// Resolve [`Backend::Auto`] for `inst` against the engine's device
+/// pool, consulting and filling the decision cache; non-auto backends
+/// pass through unchanged. The decision is keyed on the allowed
+/// candidate set as well as the instance/parameter slice, so jobs with
+/// different affinities on one instance never share a decision that one
+/// of them could not legally run.
 pub fn resolve(
     backend: &Backend,
     inst: &TspInstance,
     params: &AcoParams,
     artifacts: &InstanceArtifacts,
     cache: &ArtifactCache,
+    pool: &DevicePool,
+    affinity: DeviceAffinity,
 ) -> Backend {
     if !matches!(backend, Backend::Auto) {
         return backend.clone();
     }
+    let (gpu_models, allow_cpu) = allowed_candidates(pool, affinity);
+    let mask = gpu_models.iter().fold(u8::from(allow_cpu) << 7, |m, g| {
+        m | match g {
+            GpuDevice::TeslaC1060 => 1,
+            GpuDevice::TeslaM2050 => 2,
+        }
+    });
     let key = (
         artifacts.content_hash,
         ArtifactCache::effective_depth(inst, params.nn_size),
@@ -177,13 +216,30 @@ pub fn resolve(
         params.alpha.to_bits(),
         params.beta.to_bits(),
         params.rho.to_bits(),
+        mask,
     );
-    cache.decision(key, || choose(&estimates(inst, params, artifacts)))
+    cache.decision(key, || {
+        let est = estimates(inst, params, artifacts, &gpu_models, allow_cpu);
+        if est.is_empty() {
+            // Every candidate was gated or failed to probe. With the CPU
+            // allowed this cannot happen; for a pinned job fall through
+            // to the model's most robust kernel pair, so the launch
+            // surfaces the real device error instead of a panic here.
+            let device = gpu_models.first().copied().unwrap_or(GpuDevice::TeslaC1060);
+            return Backend::Gpu {
+                device,
+                tour: TourStrategy::NNList,
+                pheromone: PheromoneStrategy::AtomicShared,
+            };
+        }
+        choose(&est)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aco_devices::{DeviceId, DeviceProfile, PlacementStrategy};
     use aco_tsp::uniform_random;
 
     fn artifacts_for(inst: &TspInstance, nn: usize) -> InstanceArtifacts {
@@ -196,14 +252,35 @@ mod tests {
         }
     }
 
+    fn both_models() -> DevicePool {
+        DevicePool::new(
+            vec![DeviceProfile::tesla_c1060("g0"), DeviceProfile::tesla_m2050("f0")],
+            PlacementStrategy::LeastLoaded,
+        )
+    }
+
     #[test]
     fn estimates_cover_cpu_and_gpu() {
         let inst = uniform_random("auto", 32, 500.0, 3);
         let params = AcoParams::default().nn(8);
         let arts = artifacts_for(&inst, 8);
-        let est = estimates(&inst, &params, &arts);
+        let est = estimates(&inst, &params, &arts, &GpuDevice::ALL, true);
         assert!(est.len() >= 2 + GpuDevice::ALL.len()); // CPUs + at least one GPU pair each
         assert!(est.iter().all(|e| e.ms_per_iter.is_finite() && e.ms_per_iter > 0.0));
+    }
+
+    #[test]
+    fn estimates_respect_the_candidate_gates() {
+        let inst = uniform_random("auto-gate", 28, 500.0, 2);
+        let params = AcoParams::default().nn(8);
+        let arts = artifacts_for(&inst, 8);
+        let gpu_only = estimates(&inst, &params, &arts, &[GpuDevice::TeslaM2050], false);
+        assert!(!gpu_only.is_empty());
+        assert!(gpu_only
+            .iter()
+            .all(|e| matches!(e.backend, Backend::Gpu { device: GpuDevice::TeslaM2050, .. })));
+        let cpu_only = estimates(&inst, &params, &arts, &[], true);
+        assert_eq!(cpu_only.len(), 2);
     }
 
     #[test]
@@ -212,12 +289,35 @@ mod tests {
         let params = AcoParams::default().nn(10);
         let arts = artifacts_for(&inst, 10);
         let cache = ArtifactCache::new();
-        let a = resolve(&Backend::Auto, &inst, &params, &arts, &cache);
-        let b = resolve(&Backend::Auto, &inst, &params, &arts, &cache);
+        let pool = both_models();
+        let any = DeviceAffinity::Any;
+        let a = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, any);
+        let b = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, any);
         assert_eq!(a, b);
         assert!(!matches!(a, Backend::Auto));
         let s = cache.stats();
         assert_eq!((s.decision_misses, s.decision_hits), (1, 1));
+    }
+
+    #[test]
+    fn pinned_resolution_excludes_the_cpu_and_other_models() {
+        let inst = uniform_random("auto-pin", 30, 500.0, 9);
+        let params = AcoParams::default().nn(8);
+        let arts = artifacts_for(&inst, 8);
+        let cache = ArtifactCache::new();
+        let pool = both_models();
+        let pinned = DeviceAffinity::Pinned(DeviceId(1)); // the m2050
+        let got = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, pinned);
+        assert!(
+            matches!(got, Backend::Gpu { device: GpuDevice::TeslaM2050, .. }),
+            "pinned auto must resolve onto the pinned device's model: {got:?}"
+        );
+        // A different affinity on the same instance is a distinct
+        // decision-cache key, not a hit on the pinned decision.
+        let any =
+            resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, DeviceAffinity::Any);
+        assert_eq!(cache.stats().decision_misses, 2);
+        let _ = any;
     }
 
     #[test]
@@ -226,8 +326,10 @@ mod tests {
         let params = AcoParams::default().nn(6);
         let arts = artifacts_for(&inst, 6);
         let cache = ArtifactCache::new();
+        let pool = both_models();
         let want = Backend::CpuSequential { policy: TourPolicy::NearestNeighborList };
-        assert_eq!(resolve(&want, &inst, &params, &arts, &cache), want);
+        let got = resolve(&want, &inst, &params, &arts, &cache, &pool, DeviceAffinity::Any);
+        assert_eq!(got, want);
         assert_eq!(cache.stats().decision_misses, 0);
     }
 }

@@ -50,11 +50,15 @@ pub struct CacheStats {
 
 /// Decision-cache key: instance content plus every parameter the probe
 /// timings depend on — candidate depth, colony size, and the `(α, β, ρ)`
-/// bit patterns (they steer the simulated kernels' control flow). The job
-/// seed is deliberately excluded: probes run under a canonical seed (see
-/// `auto::PROBE_SEED`), so the decision is a pure function of this key and
-/// cannot vary with which job of a batch populates the cache.
-pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32);
+/// bit patterns (they steer the simulated kernels' control flow) — plus
+/// the allowed-candidate mask (which device models the engine's pool
+/// offers this job, and whether the CPU is allowed; see
+/// `auto::resolve`), so differently-constrained jobs on one instance
+/// never share a decision. The job seed is deliberately excluded: probes
+/// run under a canonical seed (see `auto::PROBE_SEED`), so the decision
+/// is a pure function of this key and cannot vary with which job of a
+/// batch populates the cache.
+pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32, u8);
 
 /// One exactly-once cache slot (see [`ArtifactCache`] on contention).
 type Slot<T> = Arc<OnceLock<T>>;

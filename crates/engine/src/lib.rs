@@ -20,6 +20,16 @@
 //!   re-prioritisation. Per-job seeding is deterministic, so a batch
 //!   returns bit-identical reports (and progress streams) for any worker
 //!   count.
+//! * **Simulated multi-GPU device pool** ([`aco_devices`], configured via
+//!   [`EngineConfig::devices`]): GPU jobs are placed at submit time onto
+//!   the least-loaded compatible device (by `predicted kernel time ×
+//!   iterations + assigned backlog`), honouring per-request
+//!   [`DeviceAffinity`] (pinned placements are honoured exactly or
+//!   rejected with a typed [`PlacementError`]); each device has its own
+//!   priority run queue, resident-job slot budget and exec-thread budget,
+//!   and reports per-device telemetry ([`Engine::device_stats`]).
+//!   Placement is deterministic: a fixed batch on a fixed pool yields
+//!   bit-identical device assignments at any worker count.
 //! * **Instance-artifact cache** ([`cache`]): nearest-neighbour candidate
 //!   lists, greedy-tour lengths and backend decisions are keyed by the
 //!   instance **content hash** and shared across jobs on the same
@@ -27,7 +37,8 @@
 //! * **Cost-model auto-selection** ([`auto`]): [`Backend::Auto`] prices
 //!   CPU candidates with the paper's [`CpuModel`](aco_core::CpuModel)
 //!   counters and GPU candidates with the simulator's kernel-time
-//!   estimates on the target `DeviceSpec`, then runs the winner.
+//!   estimates on the target `DeviceSpec` — candidates restricted to
+//!   device models the pool actually contains — then runs the winner.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -66,10 +77,16 @@ pub mod scheduler;
 pub mod solver;
 
 pub use aco_core::lifecycle::{CancelToken, IterationEvent, RunOutcome, SolveCtx, StopReason};
+pub use aco_devices::{
+    DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, Placement,
+    PlacementError, PlacementStrategy,
+};
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
-pub use scheduler::{Engine, EngineConfig, JobHandle, JobId, JobStatus, ProgressStream};
+pub use scheduler::{
+    default_devices, Engine, EngineConfig, JobHandle, JobId, JobStatus, ProgressStream,
+};
 pub use solver::{
-    build_solver, Backend, EngineError, GpuDevice, JobOutcome, Priority, SolveReport, SolveRequest,
-    Solver, DEFAULT_PROGRESS_EVENTS,
+    build_solver, Backend, EngineError, GpuBinding, GpuDevice, JobOutcome, Priority, SolveReport,
+    SolveRequest, Solver, DEFAULT_PROGRESS_EVENTS,
 };

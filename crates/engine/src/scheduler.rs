@@ -1,10 +1,16 @@
-//! The batch engine: a priority-aware, work-stealing worker pool over
-//! solve jobs with full lifecycle control.
+//! The batch engine: a priority-aware, device-aware work-stealing worker
+//! pool over solve jobs with full lifecycle control.
 //!
-//! Jobs are distributed round-robin over per-worker **priority queues**
-//! at submission; a worker pops the highest-priority (then oldest) job
-//! from its own queue and steals from its peers when idle, so a long GPU
-//! simulation on one worker never starves the rest of the batch.
+//! CPU jobs are distributed round-robin over per-worker **priority
+//! queues** at submission; GPU jobs are *placed* onto a simulated device
+//! of the engine's [`DevicePool`] at submit time (affinity-aware,
+//! least-loaded by predicted completion — see [`aco_devices`]) and queue
+//! on that device's own priority run queue. A worker pops the
+//! highest-priority (then oldest) job from its own queue, then services
+//! the device queues (admission gated by each device's resident-job slot
+//! budget), then steals from its peers — so a long simulation on one
+//! worker never starves the rest of the batch, and GPU work only ever
+//! executes on the device it was placed on.
 //! [`Engine::submit`] returns a [`JobHandle`] carrying the job's whole
 //! lifecycle surface: non-blocking [`JobHandle::poll`], blocking
 //! [`JobHandle::wait`], a bounded [`JobHandle::progress`] event stream,
@@ -27,25 +33,42 @@
 //! **Determinism.** Scheduling affects only *where* and *when* a job
 //! runs, never its inputs: every job derives its RNG streams from its own
 //! request seed, the artifact cache stores values that are pure functions
-//! of the instance, and `auto` decisions are deterministic in the
-//! instance and parameters. Consequently an uncancelled batch produces
-//! bit-identical [`SolveReport`]s — and bit-identical progress event
-//! sequences — for any worker count; pinned by the
-//! `engine_results_do_not_depend_on_worker_count` and
-//! `tests/lifecycle.rs` suites.
+//! of the instance, `auto` decisions are deterministic in the instance,
+//! parameters and allowed candidate set, and device placement is decided
+//! in the submission sequence (explicit GPU jobs) or as a pure function
+//! of the job id (auto-resolved GPU jobs) — never from completion timing.
+//! Consequently an uncancelled batch produces bit-identical
+//! [`SolveReport`]s — including device assignments — and bit-identical
+//! progress event sequences for any worker count; pinned by the
+//! `engine_results_do_not_depend_on_worker_count`, `tests/lifecycle.rs`
+//! and `tests/devices.rs` suites.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use aco_core::lifecycle::{CancelToken, IterationEvent, SolveCtx};
+use aco_devices::{
+    DeviceAffinity, DeviceId, DevicePool, DeviceProfile, DeviceSnapshot, Placement, PlacementError,
+    PlacementStrategy,
+};
 
 use crate::auto;
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::solver::{build_solver, EngineError, JobOutcome, Priority, SolveReport, SolveRequest};
+use crate::solver::{
+    build_solver, Backend, EngineError, GpuBinding, JobOutcome, Priority, SolveReport, SolveRequest,
+};
+
+/// The pool an [`EngineConfig`] builds by default: one unmodified device
+/// of each Table-I model, which reproduces the pre-pool engine exactly
+/// (every `Backend::Gpu { device, .. }` job lands on the single device of
+/// that model, with the preset spec).
+pub fn default_devices() -> Vec<DeviceProfile> {
+    vec![DeviceProfile::tesla_c1060("gpu0"), DeviceProfile::tesla_m2050("gpu1")]
+}
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -55,12 +78,24 @@ pub struct EngineConfig {
     /// LRU entry bound for each artifact-cache map (see
     /// [`crate::cache::ArtifactCache`]).
     pub cache_entries: usize,
+    /// The simulated devices this engine schedules GPU jobs onto (see
+    /// [`default_devices`]). An empty vector makes a CPU-only engine:
+    /// GPU submissions fail with a typed [`EngineError::Placement`] and
+    /// `auto` restricts itself to CPU candidates.
+    pub devices: Vec<DeviceProfile>,
+    /// Placement policy for jobs without a pinned device.
+    pub placement: PlacementStrategy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8);
-        EngineConfig { workers, cache_entries: crate::cache::DEFAULT_CACHE_ENTRIES }
+        EngineConfig {
+            workers,
+            cache_entries: crate::cache::DEFAULT_CACHE_ENTRIES,
+            devices: default_devices(),
+            placement: PlacementStrategy::default(),
+        }
     }
 }
 
@@ -73,6 +108,18 @@ impl EngineConfig {
     /// Builder: LRU entry bound for the artifact/decision caches.
     pub fn cache_entries(mut self, entries: usize) -> Self {
         self.cache_entries = entries.max(1);
+        self
+    }
+
+    /// Builder: the simulated device pool.
+    pub fn devices(mut self, devices: Vec<DeviceProfile>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Builder: placement strategy.
+    pub fn placement(mut self, strategy: PlacementStrategy) -> Self {
+        self.placement = strategy;
         self
     }
 }
@@ -193,6 +240,22 @@ impl Iterator for ProgressStream {
 // ---------------------------------------------------------------------------
 // Job state and queues
 
+/// Which run queue a job's entry lives in (entries never migrate;
+/// stealing pops directly from the owner's heap), so `set_priority`
+/// knows which heap to restamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueSlot {
+    /// Never enqueued (placement was rejected at submit).
+    Unqueued,
+    /// A per-worker CPU queue.
+    Worker(usize),
+    /// A per-device run queue.
+    Device(usize),
+}
+
+/// `JobState::device` sentinel: no device bound (yet).
+const NO_DEVICE: u32 = u32::MAX;
+
 /// Shared per-job lifecycle state (held by the board, the queue entry and
 /// every [`JobHandle`] clone).
 struct JobState {
@@ -201,10 +264,26 @@ struct JobState {
     phase: AtomicU8,
     progress: Arc<ProgressShared>,
     deadline: Option<Instant>,
-    /// Index of the per-worker queue the job was submitted to (entries
-    /// never migrate; stealing pops directly from the owner's heap), so
-    /// `set_priority` knows which heap to restamp.
-    queue: usize,
+    queue: QueueSlot,
+    /// The pool device the job is bound to (`NO_DEVICE` = none). Set at
+    /// submit for explicitly-GPU jobs; set during `run_job` (before the
+    /// solver is built, so before any progress event) when an auto job
+    /// resolves to a GPU backend. Read by the progress observer to stamp
+    /// events and by the worker loop to release the device afterwards.
+    device: AtomicU32,
+}
+
+impl JobState {
+    fn device_id(&self) -> Option<DeviceId> {
+        match self.device.load(Ordering::Acquire) {
+            NO_DEVICE => None,
+            d => Some(DeviceId(d)),
+        }
+    }
+
+    fn set_device(&self, d: DeviceId) {
+        self.device.store(d.0, Ordering::Release);
+    }
 }
 
 /// One queued job. Ordered by `(priority, submission order)`; the `prio`
@@ -257,6 +336,10 @@ struct Board {
 
 struct Shared {
     queues: Vec<Mutex<BinaryHeap<QueueEntry>>>,
+    /// One run queue per pool device; GPU jobs wait here for their
+    /// placed device's slot budget.
+    device_queues: Vec<Mutex<BinaryHeap<QueueEntry>>>,
+    pool: Arc<DevicePool>,
     /// Count of queued-but-unclaimed jobs; the condvar predicate.
     ready: Mutex<usize>,
     ready_cv: Condvar,
@@ -266,28 +349,56 @@ struct Shared {
     cache: ArtifactCache,
 }
 
-impl Shared {
-    /// Pop the best runnable entry of queue `qi`, reconciling stale
-    /// priority stamps: an entry whose stamp disagrees with the job's
-    /// current priority is re-pushed under the current one and the pop
-    /// retried. This backstops the `set_priority` heap restamp against
-    /// the race where the atomic is updated while a pop is in flight.
-    fn pop_queue(&self, qi: usize) -> Option<QueueEntry> {
-        let mut q = self.queues[qi].lock().expect("queue lock");
-        loop {
-            let mut e = q.pop()?;
-            let current = e.state.priority.load(Ordering::Acquire);
-            if e.prio == current {
-                return Some(e);
-            }
-            e.prio = current;
-            q.push(e);
+/// Pop the best entry of a locked heap, reconciling stale priority
+/// stamps: an entry whose stamp disagrees with the job's current
+/// priority is re-pushed under the current one and the pop retried. This
+/// backstops the `set_priority` heap restamp against the race where the
+/// atomic is updated while a pop is in flight.
+fn pop_reconciled(q: &mut BinaryHeap<QueueEntry>) -> Option<QueueEntry> {
+    loop {
+        let mut e = q.pop()?;
+        let current = e.state.priority.load(Ordering::Acquire);
+        if e.prio == current {
+            return Some(e);
         }
+        e.prio = current;
+        q.push(e);
+    }
+}
+
+impl Shared {
+    /// Pop the best runnable entry of worker queue `qi`.
+    fn pop_queue(&self, qi: usize) -> Option<QueueEntry> {
+        pop_reconciled(&mut self.queues[qi].lock().expect("queue lock"))
+    }
+
+    /// Pop the best runnable entry of device queue `d`, admission-gated
+    /// by the device's resident-job slot budget. The admission happens
+    /// under the queue lock, so it always corresponds to the entry
+    /// popped here (released by the worker loop when the job finishes,
+    /// or immediately if the entry turns out to be finalised already).
+    /// A queue with entries but no free slot sets `saturated` so the
+    /// scan loop can tell "wait for a slot" from a transient pop race.
+    fn pop_device_queue(&self, d: usize, saturated: &mut bool) -> Option<QueueEntry> {
+        let mut q = self.device_queues[d].lock().expect("device queue lock");
+        if q.is_empty() {
+            return None;
+        }
+        if !self.pool.try_admit(DeviceId(d as u32)) {
+            *saturated = true;
+            return None;
+        }
+        let entry = pop_reconciled(&mut q).expect("non-empty heap under lock");
+        Some(entry)
     }
 
     /// Claim a job: block until one is queued (or shutdown), then scan —
-    /// own queue first, peers second (stealing takes the peer's best
-    /// entry, so high-priority work migrates first).
+    /// own queue first, then the device queues (offset by the worker
+    /// index so workers fan out over devices), then peers (stealing
+    /// takes the peer's best entry, so high-priority work migrates
+    /// first). GPU entries are only taken when their device has a free
+    /// slot; when every remaining job sits on a saturated device the
+    /// worker waits for a slot to free.
     fn next_job(&self, worker: usize) -> Option<QueueEntry> {
         {
             let mut ready = self.ready.lock().expect("ready lock");
@@ -303,18 +414,33 @@ impl Shared {
             }
         }
         let k = self.queues.len();
+        let dcount = self.device_queues.len();
         loop {
             if let Some(job) = self.pop_queue(worker) {
                 return Some(job);
+            }
+            let mut saturated = false;
+            for i in 0..dcount {
+                if let Some(job) = self.pop_device_queue((worker + i) % dcount, &mut saturated) {
+                    return Some(job);
+                }
             }
             for peer in 1..k {
                 if let Some(job) = self.pop_queue((worker + peer) % k) {
                     return Some(job);
                 }
             }
-            // Another reserving worker holds "our" job only transiently
-            // (between its reservation and pop); re-scan.
-            std::thread::yield_now();
+            if saturated {
+                // The only queued jobs sit on devices whose slots are all
+                // busy; their runners will release them in milliseconds,
+                // not nanoseconds — sleep instead of burning the core the
+                // runner needs.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            } else {
+                // Another reserving worker holds "our" job only
+                // transiently (between its reservation and pop); re-scan.
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -374,32 +500,86 @@ impl Shared {
 }
 
 /// The [`SolveCtx`] a job runs under: its cancel token, its deadline, and
-/// an observer feeding the bounded progress buffer.
-fn job_ctx(state: &JobState) -> SolveCtx {
-    let progress = Arc::clone(&state.progress);
-    let mut ctx = SolveCtx::new()
-        .with_cancel(state.cancel.clone())
-        .with_observer(move |ev| progress.push(ev));
-    if let Some(d) = state.deadline {
+/// an observer feeding the bounded progress buffer. The observer stamps
+/// each event with the device the job is bound to (if any) — bound
+/// before the solver is built, so the stamp is identical on every event
+/// and deterministic across worker counts.
+fn job_ctx(state: &Arc<JobState>) -> SolveCtx {
+    let deadline = state.deadline;
+    let state = Arc::clone(state);
+    let mut ctx = SolveCtx::new().with_cancel(state.cancel.clone()).with_observer(move |mut ev| {
+        ev.device = state.device_id().map(|d| d.0);
+        state.progress.push(ev);
+    });
+    if let Some(d) = deadline {
         ctx = ctx.with_deadline(d);
     }
     ctx
 }
 
 fn run_job(
-    cache: &ArtifactCache,
+    shared: &Shared,
+    id: u64,
+    state: &JobState,
     req: &SolveRequest,
     ctx: &SolveCtx,
 ) -> Result<SolveReport, EngineError> {
     let inst = &*req.instance;
     let seed = req.effective_seed();
     let params = req.params.clone().seed(seed);
-    let artifacts = cache.artifacts(inst, params.nn_size);
-    let backend = auto::resolve(&req.backend, inst, &params, &artifacts, cache);
-    let mut solver = build_solver(&backend, inst, &params, &artifacts);
+    let artifacts = shared.cache.artifacts(inst, params.nn_size);
+    let backend = auto::resolve(
+        &req.backend,
+        inst,
+        &params,
+        &artifacts,
+        &shared.cache,
+        &shared.pool,
+        req.affinity,
+    );
+    // Bind the job to a pool device. Explicitly-GPU jobs were placed at
+    // submit time (affinity-aware, least-loaded); an auto job that just
+    // resolved to a GPU backend rotates over the compatible devices as a
+    // pure function of its id, so the binding — like everything else
+    // about the job — cannot depend on execution order. The device's
+    // resident-job slot budget applies either way: the auto path waits
+    // for a free slot here (staying responsive to cancel/deadline),
+    // mirroring what a device-queued entry does in `pop_device_queue`.
+    let device = match state.device_id() {
+        Some(d) => Some(d),
+        None => match backend.required_model() {
+            Some(model) => {
+                let d = shared.pool.rotate(model, req.affinity, id)?;
+                while !shared.pool.try_admit_unqueued(d) {
+                    if let Some(reason) = ctx.stop_reason() {
+                        return Err(match reason {
+                            aco_core::lifecycle::StopReason::Cancelled => EngineError::Cancelled,
+                            aco_core::lifecycle::StopReason::DeadlineExpired => {
+                                EngineError::DeadlineExpired
+                            }
+                        });
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                // The worker loop releases via `state.device_id()`, so
+                // the id is only published once the slot is held.
+                state.set_device(d);
+                Some(d)
+            }
+            None => None,
+        },
+    };
+    let gpu = device.and_then(|d| {
+        Some(GpuBinding {
+            spec: shared.pool.spec(d)?.clone(),
+            exec_threads: shared.pool.profile(d)?.exec_threads,
+        })
+    });
+    let mut solver = build_solver(&backend, inst, &params, &artifacts, gpu);
     let mut report = solver.solve(req.iterations, seed, ctx)?;
     report.instance = inst.name().to_string();
     report.n = inst.n();
+    report.device = device;
     if req.two_opt && report.outcome == JobOutcome::Completed && ctx.stop_reason().is_none() {
         // Host-side 2-opt post-pass (the paper's named hybridisation);
         // strictly non-worsening, pinned by tests/lifecycle.rs. Skipped
@@ -416,6 +596,12 @@ fn run_job(
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     while let Some(QueueEntry { id, state, req, .. }) = shared.next_job(worker) {
+        // A device-queued entry arrives holding one admitted slot on its
+        // placed device (granted in `pop_device_queue`).
+        let admitted = match state.queue {
+            QueueSlot::Device(d) => Some(DeviceId(d as u32)),
+            _ => None,
+        };
         // Only a QUEUED job may start running; an eager cancel that
         // already finalised the slot wins this race and the entry is a
         // no-op (its reservation was consumed by the pop above).
@@ -424,26 +610,43 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             .compare_exchange(PHASE_QUEUED, PHASE_RUNNING, Ordering::AcqRel, Ordering::Acquire)
             .is_err()
         {
+            if let Some(d) = admitted {
+                shared.pool.cancel_admit(d);
+            }
             continue;
         }
         // Drop cancelled / already-expired jobs before execution: no
         // solver is built and no cache entry is touched.
         let outcome = if state.cancel.is_cancelled() {
+            if let Some(d) = admitted {
+                shared.pool.cancel_admit(d);
+            }
             Err(EngineError::Cancelled)
         } else if state.deadline.is_some_and(|d| Instant::now() >= d) {
+            if let Some(d) = admitted {
+                shared.pool.cancel_admit(d);
+            }
             Err(EngineError::DeadlineExpired)
         } else {
             let ctx = job_ctx(&state);
-            catch_unwind(AssertUnwindSafe(|| run_job(&shared.cache, &req, &ctx))).unwrap_or_else(
-                |panic| {
-                    let msg = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "job panicked".into());
-                    Err(EngineError::Failed(msg))
-                },
-            )
+            let t0 = Instant::now();
+            let result =
+                catch_unwind(AssertUnwindSafe(|| run_job(&shared, id, &state, &req, &ctx)))
+                    .unwrap_or_else(|panic| {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "job panicked".into());
+                        Err(EngineError::Failed(msg))
+                    });
+            // Release whichever device actually executed the job: the
+            // one admitted at pop, or the one an auto job bound itself
+            // to mid-run (accounted via `admit_unbudgeted`).
+            if let Some(d) = state.device_id() {
+                shared.pool.release(d, t0.elapsed());
+            }
+            result
         };
         shared.post(id, &state, outcome);
     }
@@ -572,7 +775,12 @@ impl JobHandle {
     /// with, so a stale entry can never run ahead of its class.
     pub fn set_priority(&self, priority: Priority) {
         self.state.priority.store(priority.as_u8(), Ordering::Release);
-        let mut q = self.shared.queues[self.state.queue].lock().expect("queue lock");
+        let heap = match self.state.queue {
+            QueueSlot::Worker(i) => &self.shared.queues[i],
+            QueueSlot::Device(d) => &self.shared.device_queues[d],
+            QueueSlot::Unqueued => return, // rejected at submit; nothing to restamp
+        };
+        let mut q = heap.lock().expect("queue lock");
         if q.iter().any(|e| e.id == self.id.0) {
             let mut entries: Vec<QueueEntry> = std::mem::take(&mut *q).into_vec();
             for e in &mut entries {
@@ -642,8 +850,11 @@ impl Engine {
     /// Spin up the worker pool.
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
+        let pool = Arc::new(DevicePool::new(config.devices.clone(), config.placement));
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            device_queues: (0..pool.len()).map(|_| Mutex::new(BinaryHeap::new())).collect(),
+            pool,
             ready: Mutex::new(0),
             ready_cv: Condvar::new(),
             board: Mutex::new(Board::default()),
@@ -668,28 +879,72 @@ impl Engine {
         self.handles.len()
     }
 
-    /// Queue a job; returns its [`JobHandle`] immediately.
+    /// Decide where `req` queues — and, for explicitly-GPU jobs, *place*
+    /// it on a pool device. Placement errors are typed and final: the
+    /// job never queues, never runs, and never touches any cache.
+    fn place(&self, req: &SolveRequest) -> Result<Option<Placement>, PlacementError> {
+        if let Some(model) = req.backend.required_model() {
+            let n = req.instance.n();
+            let m = req.params.ants_for(n);
+            return self.shared.pool.place(model, req.affinity, n, m, req.iterations).map(Some);
+        }
+        match (&req.backend, req.affinity) {
+            // Auto jobs may still resolve onto a device; the pinned id
+            // must at least exist (its model constrains resolution).
+            (Backend::Auto, _) => self.shared.pool.check_affinity(req.affinity).map(|_| None),
+            // A CPU backend can never honour a pin.
+            (_, DeviceAffinity::Pinned(d)) => Err(PlacementError::NotADeviceJob { device: d }),
+            _ => Ok(None),
+        }
+    }
+
+    /// Queue a job; returns its [`JobHandle`] immediately. A job whose
+    /// placement is rejected (see [`SolveRequest::affinity`]) is
+    /// finalised on the spot: its handle's `wait`/`poll` return
+    /// [`EngineError::Placement`] without the job ever queueing.
     pub fn submit(&self, req: SolveRequest) -> JobHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let slot = id as usize % self.shared.queues.len();
+        let placement = self.place(&req);
+        let queue = match &placement {
+            Ok(Some(p)) => QueueSlot::Device(p.device.0 as usize),
+            Ok(None) => QueueSlot::Worker(id as usize % self.shared.queues.len()),
+            Err(_) => QueueSlot::Unqueued,
+        };
         let state = Arc::new(JobState {
             cancel: CancelToken::new(),
             priority: AtomicU8::new(req.priority.as_u8()),
             phase: AtomicU8::new(PHASE_QUEUED),
             progress: Arc::new(ProgressShared::new(req.progress_events)),
             deadline: req.timeout.map(|t| Instant::now() + t),
-            queue: slot,
+            queue,
+            device: AtomicU32::new(match &placement {
+                Ok(Some(p)) => p.device.0,
+                _ => NO_DEVICE,
+            }),
         });
         // Create the result slot before the job becomes runnable, so a
         // fast worker can never post into a missing slot.
         self.shared.board.lock().expect("board lock").jobs.insert(id, JobSlot::Pending);
-        let prio = req.priority.as_u8();
-        self.shared.queues[slot].lock().expect("queue lock").push(QueueEntry {
-            prio,
-            id,
-            state: Arc::clone(&state),
-            req,
-        });
+        match placement {
+            Err(e) => {
+                self.shared.post(id, &state, Err(EngineError::Placement(e)));
+                return JobHandle { id: JobId(id), shared: Arc::clone(&self.shared), state };
+            }
+            Ok(_) => {
+                let prio = req.priority.as_u8();
+                let entry = QueueEntry { prio, id, state: Arc::clone(&state), req };
+                match queue {
+                    QueueSlot::Worker(w) => {
+                        self.shared.queues[w].lock().expect("queue lock").push(entry);
+                    }
+                    QueueSlot::Device(d) => {
+                        self.shared.pool.note_queued(DeviceId(d as u32));
+                        self.shared.device_queues[d].lock().expect("device queue lock").push(entry);
+                    }
+                    QueueSlot::Unqueued => unreachable!("Ok placement always queues"),
+                }
+            }
+        }
         let mut ready = self.shared.ready.lock().expect("ready lock");
         *ready += 1;
         drop(ready);
@@ -725,6 +980,17 @@ impl Engine {
     /// Snapshot of the artifact/decision cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// The simulated device pool this engine schedules GPU jobs onto.
+    pub fn pool(&self) -> &DevicePool {
+        &self.shared.pool
+    }
+
+    /// Point-in-time telemetry of every pool device (queue depth,
+    /// occupancy, completions, busy time, assigned backlog).
+    pub fn device_stats(&self) -> Vec<DeviceSnapshot> {
+        self.shared.pool.snapshot()
     }
 }
 

@@ -24,6 +24,7 @@ use aco_core::cpu::{run_parallel_ctx, AcsParams, AntColonySystem, MaxMinAntSyste
 use aco_core::gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStrategy};
 use aco_core::lifecycle::{RunOutcome, SolveCtx, StopReason};
 use aco_core::{AcoParams, AntSystem, CpuModel, TourPolicy};
+use aco_devices::{DeviceAffinity, DeviceId, DeviceModel, PlacementError};
 use aco_simt::{DeviceSpec, SimtError};
 use aco_tsp::{Tour, TspInstance};
 
@@ -34,6 +35,10 @@ use crate::cache::InstanceArtifacts;
 pub enum EngineError {
     /// The simulated device rejected a kernel launch.
     Simt(SimtError),
+    /// The device pool rejected the job's placement at submit time
+    /// (unknown / incompatible pinned device, or no compatible device in
+    /// the pool). The job never queues and never touches any cache.
+    Placement(PlacementError),
     /// The job produced no solution (e.g. zero iterations requested).
     NoSolution,
     /// The job was cancelled before it produced any result (while queued,
@@ -57,10 +62,17 @@ impl From<SimtError> for EngineError {
     }
 }
 
+impl From<PlacementError> for EngineError {
+    fn from(e: PlacementError) -> Self {
+        EngineError::Placement(e)
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Simt(e) => write!(f, "device error: {e}"),
+            EngineError::Placement(e) => write!(f, "placement rejected: {e}"),
             EngineError::NoSolution => write!(f, "job finished without a solution"),
             EngineError::Cancelled => write!(f, "job cancelled before any result"),
             EngineError::DeadlineExpired => write!(f, "job deadline expired before any result"),
@@ -90,6 +102,24 @@ impl GpuDevice {
         match self {
             GpuDevice::TeslaC1060 => DeviceSpec::tesla_c1060(),
             GpuDevice::TeslaM2050 => DeviceSpec::tesla_m2050(),
+        }
+    }
+
+    /// The pool-level hardware generation this names.
+    pub fn model(self) -> DeviceModel {
+        match self {
+            GpuDevice::TeslaC1060 => DeviceModel::TeslaC1060,
+            GpuDevice::TeslaM2050 => DeviceModel::TeslaM2050,
+        }
+    }
+
+    /// The [`GpuDevice`] naming a pool model (the enums are isomorphic;
+    /// `GpuDevice` is the backend-facing name, `DeviceModel` the
+    /// pool-facing one).
+    pub fn from_model(model: DeviceModel) -> GpuDevice {
+        match model {
+            DeviceModel::TeslaC1060 => GpuDevice::TeslaC1060,
+            DeviceModel::TeslaM2050 => GpuDevice::TeslaM2050,
         }
     }
 
@@ -145,6 +175,16 @@ pub enum Backend {
 }
 
 impl Backend {
+    /// The device model this backend must be placed on, or `None` for
+    /// CPU backends and for [`Backend::Auto`] (whose need is only known
+    /// once resolved).
+    pub fn required_model(&self) -> Option<DeviceModel> {
+        match self {
+            Backend::Gpu { device, .. } | Backend::GpuAcs { device, .. } => Some(device.model()),
+            _ => None,
+        }
+    }
+
     /// Human-readable label (stable; used in reports and benchmarks).
     pub fn label(&self) -> String {
         match self {
@@ -224,6 +264,13 @@ pub struct SolveRequest {
     /// events are dropped (and counted) so the solver never blocks on a
     /// slow consumer.
     pub progress_events: usize,
+    /// Where in the device pool the job may run. `Any` (the default)
+    /// lets the pool pick the least-loaded compatible device; `Pinned`
+    /// is honoured exactly or rejected at submit with
+    /// [`EngineError::Placement`]. Ignored by CPU backends except that a
+    /// pinned affinity on a CPU job is a typed error (the job will never
+    /// run on a device).
+    pub affinity: DeviceAffinity,
 }
 
 impl SolveRequest {
@@ -240,6 +287,7 @@ impl SolveRequest {
             two_opt: false,
             timeout: None,
             progress_events: DEFAULT_PROGRESS_EVENTS,
+            affinity: DeviceAffinity::Any,
         }
     }
 
@@ -282,6 +330,12 @@ impl SolveRequest {
     /// Builder: progress-event buffer bound (clamped to ≥ 1).
     pub fn progress_events(mut self, events: usize) -> Self {
         self.progress_events = events.max(1);
+        self
+    }
+
+    /// Builder: device affinity.
+    pub fn affinity(mut self, affinity: DeviceAffinity) -> Self {
+        self.affinity = affinity;
         self
     }
 
@@ -337,6 +391,10 @@ pub struct SolveReport {
     /// How the job's lifecycle ended; anything but
     /// [`JobOutcome::Completed`] means `iterations` is a partial count.
     pub outcome: JobOutcome,
+    /// Pool id of the simulated device the job ran on (`None` for CPU
+    /// backends). Deterministic: a fixed batch on a fixed pool reports
+    /// identical device ids at any worker count.
+    pub device: Option<DeviceId>,
 }
 
 /// A backend adapter: a ctx-driven iteration loop over one colony.
@@ -385,6 +443,7 @@ pub trait Solver {
             modeled_ms: self.modeled_ms(),
             seed,
             outcome: outcome.stopped.into(),
+            device: None, // filled by the scheduler, which owns the placement
         })
     }
 }
@@ -602,8 +661,22 @@ pub(crate) fn analytic_cpu_iter_ms(n: usize, m: usize, nn: usize, model: &CpuMod
     choice + tour + update
 }
 
+/// How a GPU solver is bound to a concrete pool device: the profile's
+/// derived spec (which may rescale the Table-I preset) and its
+/// exec-thread budget. Without a binding, GPU backends fall back to the
+/// model's unmodified preset on one exec thread — the pre-pool behaviour,
+/// kept for standalone `build_solver` use.
+#[derive(Debug, Clone)]
+pub struct GpuBinding {
+    /// The spec the colony executes with.
+    pub spec: DeviceSpec,
+    /// Host threads donated to block-level simulation.
+    pub exec_threads: usize,
+}
+
 /// Build a concrete solver for a **resolved** backend (callers resolve
-/// [`Backend::Auto`] first — see [`crate::auto::resolve`]).
+/// [`Backend::Auto`] first — see [`crate::auto::resolve`]), optionally
+/// bound to a pool device profile.
 ///
 /// # Panics
 /// Panics if `backend` is [`Backend::Auto`].
@@ -612,6 +685,7 @@ pub fn build_solver<'a>(
     inst: &'a TspInstance,
     params: &AcoParams,
     artifacts: &InstanceArtifacts,
+    gpu: Option<GpuBinding>,
 ) -> Box<dyn Solver + 'a> {
     let model = CpuModel::default();
     match backend {
@@ -672,34 +746,41 @@ pub fn build_solver<'a>(
             ),
             iters: 0,
         }),
-        Backend::Gpu { device, tour, pheromone } => Box::new(GpuSolver {
-            sys: GpuAntSystem::with_artifacts(
+        Backend::Gpu { device, tour, pheromone } => {
+            let binding =
+                gpu.unwrap_or_else(|| GpuBinding { spec: device.spec(), exec_threads: 1 });
+            let mut sys = GpuAntSystem::with_artifacts(
                 inst,
                 params.clone(),
-                device.spec(),
+                binding.spec,
                 *tour,
                 *pheromone,
                 &artifacts.nn,
                 artifacts.c_nn,
-            ),
-            device: *device,
-            tour: *tour,
-            pheromone: *pheromone,
-            ms: 0.0,
-        }),
-        Backend::GpuAcs { device, acs } => Box::new(GpuAcsSolver {
-            sys: GpuAntColonySystem::with_artifacts(
+            );
+            sys.set_exec_threads(binding.exec_threads);
+            Box::new(GpuSolver {
+                sys,
+                device: *device,
+                tour: *tour,
+                pheromone: *pheromone,
+                ms: 0.0,
+            })
+        }
+        Backend::GpuAcs { device, acs } => {
+            let binding =
+                gpu.unwrap_or_else(|| GpuBinding { spec: device.spec(), exec_threads: 1 });
+            let mut sys = GpuAntColonySystem::with_artifacts(
                 inst,
                 params.clone(),
                 *acs,
-                device.spec(),
+                binding.spec,
                 &artifacts.nn,
                 artifacts.c_nn,
-            ),
-            device: *device,
-            acs: *acs,
-            ms: 0.0,
-        }),
+            );
+            sys.set_exec_threads(binding.exec_threads);
+            Box::new(GpuAcsSolver { sys, device: *device, acs: *acs, ms: 0.0 })
+        }
         Backend::Auto => panic!("Backend::Auto must be resolved before build_solver"),
     }
 }

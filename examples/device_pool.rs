@@ -1,0 +1,86 @@
+//! Sharding a GPU batch across a simulated multi-device pool: custom
+//! device profiles, affinity-aware placement, and per-device telemetry.
+//!
+//! ```text
+//! cargo run --release --example device_pool
+//! ```
+
+use std::sync::Arc;
+
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    Backend, DeviceAffinity, DeviceId, DeviceProfile, Engine, EngineConfig, GpuDevice, SolveRequest,
+};
+use aco_gpu::tsp;
+
+fn main() {
+    // A heterogeneous fleet: two C1060s (one salvaged part with half the
+    // SMs), two M2050s — one of them donating 2 host threads to
+    // block-level simulation and admitting 2 resident jobs.
+    let engine = Engine::new(EngineConfig::default().devices(vec![
+        DeviceProfile::tesla_c1060("g0"),
+        DeviceProfile::tesla_c1060("g1-salvage").sm_count(15).mem_bandwidth(51.0),
+        DeviceProfile::tesla_m2050("f0"),
+        DeviceProfile::tesla_m2050("f1-big").exec_threads(2).slots(2),
+    ]));
+    let inst = Arc::new(tsp::uniform_random("pool-demo", 96, 1000.0, 7));
+    let params = AcoParams::default().nn(16);
+    println!(
+        "engine: {} workers over a {}-device pool, instance {} (n = {})\n",
+        engine.workers(),
+        engine.pool().len(),
+        inst.name(),
+        inst.n()
+    );
+
+    // A 12-job batch: alternating device models, one job pinned to the
+    // salvaged part, one preferring the big Fermi.
+    let handles: Vec<_> = (0..12u64)
+        .map(|j| {
+            let device = if j % 2 == 0 { GpuDevice::TeslaC1060 } else { GpuDevice::TeslaM2050 };
+            let affinity = match j {
+                4 => DeviceAffinity::Pinned(DeviceId(1)),
+                5 => DeviceAffinity::Preferred(DeviceId(3)),
+                _ => DeviceAffinity::Any,
+            };
+            let req = SolveRequest::new(Arc::clone(&inst), params.clone())
+                .backend(Backend::Gpu {
+                    device,
+                    tour: TourStrategy::NNListSharedTex,
+                    pheromone: PheromoneStrategy::AtomicShared,
+                })
+                .iterations(5)
+                .seed(j)
+                .affinity(affinity);
+            engine.submit(req)
+        })
+        .collect();
+
+    println!("{:<5} {:>10} {:>8} {:>12} {:>8}", "job", "device", "best", "modeled ms", "events");
+    for (j, h) in handles.into_iter().enumerate() {
+        let events = h.progress().count() as u64;
+        let rep = h.wait().expect("job solves");
+        let device = rep.device.map_or("cpu".into(), |d| d.to_string());
+        println!("{j:<5} {device:>10} {:>8} {:>12.3} {events:>8}", rep.best_len, rep.modeled_ms);
+    }
+
+    println!("\nper-device telemetry:");
+    println!(
+        "{:<12} {:<7} {:>5} {:>10} {:>10} {:>12} {:>6} {:>6}",
+        "device", "model", "jobs", "busy ms", "max depth", "assigned ms", "slots", "exec"
+    );
+    for d in engine.device_stats() {
+        println!(
+            "{:<12} {:<7} {:>5} {:>10.1} {:>10} {:>12.2} {:>6} {:>6}",
+            d.name,
+            d.model.label(),
+            d.completed,
+            d.busy_ms,
+            d.peak_depth,
+            d.assigned_ms,
+            d.slots,
+            d.exec_threads
+        );
+    }
+}

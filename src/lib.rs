@@ -1,12 +1,14 @@
 //! Umbrella crate re-exporting the GPU-ACO reproduction workspace.
 //!
 //! See [`aco_core`] for the Ant System (CPU reference + GPU strategies),
-//! [`aco_simt`] for the SIMT simulator, [`aco_tsp`] for the TSP substrate
-//! and [`aco_engine`] for the concurrent batch-solve engine. The
+//! [`aco_simt`] for the SIMT simulator, [`aco_tsp`] for the TSP substrate,
+//! [`aco_devices`] for the simulated multi-GPU device pool and
+//! [`aco_engine`] for the concurrent batch-solve engine. The
 //! `examples/` directory demonstrates the public API; `crates/bench`
 //! regenerates every table and figure of the paper.
 
 pub use aco_core as core;
+pub use aco_devices as devices;
 pub use aco_engine as engine;
 pub use aco_simt as simt;
 pub use aco_tsp as tsp;

@@ -1,0 +1,273 @@
+//! Integration tests for the simulated multi-GPU device pool: placement
+//! determinism at any worker count (including the proptest acceptance
+//! case), pinned-affinity honour/reject semantics, least-loaded vs
+//! round-robin sharding quality, slot-budget admission, and the
+//! release-mode starvation stress case.
+
+use std::sync::Arc;
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    Backend, DeviceAffinity, DeviceId, DeviceModel, DeviceProfile, Engine, EngineConfig,
+    EngineError, GpuDevice, PlacementError, PlacementStrategy, Priority, SolveRequest,
+};
+use aco_gpu::tsp;
+use proptest::prelude::*;
+
+/// Four devices, two per model; the second C1060 has half the SMs, so
+/// the pool is genuinely heterogeneous.
+fn pool4() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile::tesla_c1060("g0"),
+        DeviceProfile::tesla_c1060("g1").sm_count(15),
+        DeviceProfile::tesla_m2050("f0"),
+        DeviceProfile::tesla_m2050("f1"),
+    ]
+}
+
+fn gpu_req(
+    inst: &Arc<tsp::TspInstance>,
+    device: GpuDevice,
+    seed: u64,
+    iterations: usize,
+) -> SolveRequest {
+    SolveRequest::new(Arc::clone(inst), AcoParams::default().nn(8).ants(10))
+        .backend(Backend::Gpu {
+            device,
+            tour: TourStrategy::NNList,
+            pheromone: PheromoneStrategy::AtomicShared,
+        })
+        .iterations(iterations)
+        .seed(seed)
+}
+
+/// Acceptance: a 12-job GPU batch on a 4-device pool produces
+/// bit-identical reports *and placements* at 1 and 4 workers, and the
+/// batch is genuinely sharded — at least two devices per model carry
+/// jobs.
+#[test]
+fn gpu_batch_shards_deterministically_across_worker_counts() {
+    let inst = Arc::new(tsp::uniform_random("dev-det", 30, 500.0, 3));
+    let batch = || -> Vec<SolveRequest> {
+        (0..12)
+            .map(|j| {
+                let model = if j % 2 == 0 { GpuDevice::TeslaC1060 } else { GpuDevice::TeslaM2050 };
+                gpu_req(&inst, model, 100 + j, 2)
+            })
+            .collect()
+    };
+    let run = |workers: usize| {
+        Engine::new(EngineConfig::with_workers(workers).devices(pool4())).run_batch(batch())
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "reports and placements must not depend on worker count");
+
+    let devices: Vec<DeviceId> = serial
+        .iter()
+        .map(|r| r.as_ref().expect("job solves").device.expect("GPU job runs on a device"))
+        .collect();
+    let c1060: std::collections::BTreeSet<DeviceId> = devices.iter().step_by(2).copied().collect();
+    let m2050: std::collections::BTreeSet<DeviceId> =
+        devices.iter().skip(1).step_by(2).copied().collect();
+    assert!(c1060.len() >= 2, "C1060 jobs must share >= 2 devices: {c1060:?}");
+    assert!(m2050.len() >= 2, "M2050 jobs must share >= 2 devices: {m2050:?}");
+    assert!(c1060.iter().all(|d| d.0 <= 1) && m2050.iter().all(|d| d.0 >= 2), "model compat");
+}
+
+/// Acceptance: pinned affinity is honoured exactly, or rejected with the
+/// typed error naming the conflict — before the job ever queues.
+#[test]
+fn pinned_affinity_is_honoured_or_rejected() {
+    let inst = Arc::new(tsp::uniform_random("dev-pin", 24, 400.0, 5));
+    let engine = Engine::new(EngineConfig::with_workers(2).devices(pool4()));
+
+    // Honoured: the job runs on exactly the pinned device (the slower
+    // C1060 twin — load would have picked g0).
+    let pinned = engine
+        .submit(
+            gpu_req(&inst, GpuDevice::TeslaC1060, 1, 2)
+                .affinity(DeviceAffinity::Pinned(DeviceId(1))),
+        )
+        .wait()
+        .expect("compatible pin solves");
+    assert_eq!(pinned.device, Some(DeviceId(1)));
+
+    // Rejected: wrong model.
+    let wrong_model = engine
+        .submit(
+            gpu_req(&inst, GpuDevice::TeslaM2050, 2, 2)
+                .affinity(DeviceAffinity::Pinned(DeviceId(0))),
+        )
+        .wait();
+    assert_eq!(
+        wrong_model,
+        Err(EngineError::Placement(PlacementError::IncompatibleDevice {
+            device: DeviceId(0),
+            required: DeviceModel::TeslaM2050,
+            installed: DeviceModel::TeslaC1060,
+        }))
+    );
+
+    // Rejected: no such device.
+    let unknown = engine
+        .submit(
+            gpu_req(&inst, GpuDevice::TeslaC1060, 3, 2)
+                .affinity(DeviceAffinity::Pinned(DeviceId(9))),
+        )
+        .wait();
+    assert_eq!(
+        unknown,
+        Err(EngineError::Placement(PlacementError::UnknownDevice { device: DeviceId(9) }))
+    );
+
+    // Rejected: a CPU job can never honour a pin.
+    let cpu = engine
+        .submit(
+            SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(8).ants(10))
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(2)
+                .seed(4)
+                .affinity(DeviceAffinity::Pinned(DeviceId(0))),
+        )
+        .wait();
+    assert_eq!(
+        cpu,
+        Err(EngineError::Placement(PlacementError::NotADeviceJob { device: DeviceId(0) }))
+    );
+    assert_eq!(engine.outstanding(), 0, "rejected jobs free their slots on claim");
+}
+
+/// Acceptance: on a skewed batch (heavy and light jobs interleaved),
+/// least-loaded placement bounds the worst device's predicted backlog
+/// strictly better than round-robin — fewer queue-depth violations in
+/// the cost model's own currency (assigned milliseconds).
+#[test]
+fn least_loaded_beats_round_robin_on_a_skewed_batch() {
+    let heavy = Arc::new(tsp::uniform_random("dev-heavy", 36, 600.0, 7));
+    let light = Arc::new(tsp::uniform_random("dev-light", 16, 300.0, 8));
+    let twins = || vec![DeviceProfile::tesla_c1060("g0"), DeviceProfile::tesla_c1060("g1")];
+    let max_assigned = |strategy: PlacementStrategy| -> (f64, f64) {
+        let engine =
+            Engine::new(EngineConfig::with_workers(1).devices(twins()).placement(strategy));
+        let handles: Vec<_> = (0..8)
+            .map(|j| {
+                let (inst, iters) = if j % 2 == 0 { (&heavy, 3) } else { (&light, 1) };
+                engine.submit(gpu_req(inst, GpuDevice::TeslaC1060, j, iters))
+            })
+            .collect();
+        // Placement happens at submit; read the deterministic ledger
+        // before draining.
+        let stats = engine.device_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|d| d.assigned_ms > 0.0), "both devices used: {stats:?}");
+        for h in handles {
+            h.wait().expect("job solves");
+        }
+        (
+            stats[0].assigned_ms.max(stats[1].assigned_ms),
+            stats[0].assigned_ms + stats[1].assigned_ms,
+        )
+    };
+    let (ll_max, ll_total) = max_assigned(PlacementStrategy::LeastLoaded);
+    let (rr_max, rr_total) = max_assigned(PlacementStrategy::RoundRobin);
+    assert!((ll_total - rr_total).abs() < 1e-9, "same batch, same total predicted work");
+    assert!(
+        ll_max < rr_max,
+        "least-loaded must bound the worst backlog tighter: {ll_max:.3} vs {rr_max:.3}"
+    );
+}
+
+/// A device's resident-job slot budget gates admission: with one slot,
+/// four workers never run two jobs on the device concurrently.
+#[test]
+fn slot_budget_bounds_device_concurrency() {
+    let inst = Arc::new(tsp::uniform_random("dev-slots", 20, 350.0, 9));
+    let engine = Engine::new(
+        EngineConfig::with_workers(4).devices(vec![DeviceProfile::tesla_c1060("solo").slots(1)]),
+    );
+    let reports = engine.run_batch((0..6).map(|j| gpu_req(&inst, GpuDevice::TeslaC1060, j, 2)));
+    assert!(reports.iter().all(|r| r.is_ok()));
+    let snap = &engine.device_stats()[0];
+    assert_eq!(snap.peak_running, 1, "one slot admits one job at a time: {snap:?}");
+    assert_eq!(snap.completed, 6);
+    assert_eq!((snap.queued, snap.running), (0, 0), "queue fully drained");
+    assert!(snap.peak_depth >= 2, "jobs queued behind the busy slot: {snap:?}");
+    assert!(snap.busy_ms > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Acceptance (satellite): identical batches on an N-device pool
+    /// produce identical device assignments at 1 vs 4 workers, across
+    /// random instance sizes, seeds, batch sizes and affinities.
+    #[test]
+    fn identical_batches_place_identically_at_1_vs_4_workers(
+        n in 14usize..26,
+        seed in 0u64..1_000_000,
+        jobs in 3usize..7,
+        preferred in 0u32..4,
+    ) {
+        let inst = Arc::new(tsp::uniform_random("dev-prop", n, 400.0, seed));
+        let batch = || -> Vec<SolveRequest> {
+            (0..jobs)
+                .map(|j| {
+                    let model =
+                        if j % 2 == 0 { GpuDevice::TeslaC1060 } else { GpuDevice::TeslaM2050 };
+                    let affinity = if j == 0 {
+                        DeviceAffinity::Preferred(DeviceId(preferred))
+                    } else {
+                        DeviceAffinity::Any
+                    };
+                    gpu_req(&inst, model, seed ^ j as u64, 1).affinity(affinity)
+                })
+                .collect()
+        };
+        let placements = |workers: usize| -> Vec<Option<DeviceId>> {
+            Engine::new(EngineConfig::with_workers(workers).devices(pool4()))
+                .run_batch(batch())
+                .into_iter()
+                .map(|r| r.expect("job solves").device)
+                .collect()
+        };
+        prop_assert_eq!(placements(1), placements(4));
+    }
+}
+
+/// Release-mode CI stress: a large mixed-priority GPU batch on a
+/// 4-device pool drains completely — no queue starvation, every device
+/// participates, and all telemetry balances back to idle.
+#[test]
+#[ignore = "stress case: minutes in debug; the release-mode device-stress CI job runs it"]
+fn device_pool_stress_no_starvation() {
+    let insts: Vec<Arc<tsp::TspInstance>> = (0..4)
+        .map(|k| Arc::new(tsp::uniform_random(&format!("stress-{k}"), 24 + 6 * k, 500.0, k as u64)))
+        .collect();
+    let engine = Engine::new(EngineConfig::with_workers(4).devices(pool4()));
+    let handles: Vec<_> = (0..48u64)
+        .map(|j| {
+            let model = if j % 2 == 0 { GpuDevice::TeslaC1060 } else { GpuDevice::TeslaM2050 };
+            let priority = match j % 3 {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            };
+            engine.submit(gpu_req(&insts[(j % 4) as usize], model, j, 3).priority(priority))
+        })
+        .collect();
+    for h in handles {
+        let rep = h.wait().expect("every job completes — nothing starves");
+        assert!(rep.device.is_some());
+    }
+    let stats = engine.device_stats();
+    assert_eq!(stats.iter().map(|d| d.completed).sum::<u64>(), 48);
+    for d in &stats {
+        assert!(d.completed >= 1, "device {} never ran a job: {stats:?}", d.name);
+        assert_eq!((d.queued, d.running), (0, 0), "telemetry must drain: {d:?}");
+        assert!(d.peak_running <= d.slots, "slot budget violated: {d:?}");
+    }
+    assert_eq!(engine.outstanding(), 0);
+}
