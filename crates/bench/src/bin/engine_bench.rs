@@ -28,7 +28,9 @@ use aco_bench::json::Json;
 use aco_core::cpu::TourPolicy;
 use aco_core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_core::AcoParams;
-use aco_engine::{Backend, DeviceProfile, Engine, EngineConfig, GpuDevice, SolveRequest};
+use aco_engine::{
+    Backend, DeviceProfile, Engine, EngineConfig, GpuDevice, LocalSearch, SolveRequest,
+};
 
 /// Submit→first-progress-event latency (ms): how long after `submit`
 /// a caller's `JobHandle::progress()` stream delivers its first
@@ -197,6 +199,22 @@ struct DevicesRec {
     per_device: Vec<DeviceRec>,
 }
 
+/// The PR-5 local-search section of a history entry: the same seeded
+/// batch solved twice — construction only vs per-iteration `TwoOptNn` on
+/// the iteration best — recording the quality / throughput pair and the
+/// summed `local_search_improvement` telemetry.
+#[derive(Debug, Clone)]
+struct LocalSearchRec {
+    strategy: String,
+    scope: String,
+    jobs: usize,
+    off_wall_ms: f64,
+    off_best: u64,
+    on_wall_ms: f64,
+    on_best: u64,
+    improvement: u64,
+}
+
 #[derive(Debug, Clone)]
 struct HistEntry {
     label: String,
@@ -210,6 +228,8 @@ struct HistEntry {
     runs: Vec<RunRec>,
     /// Device-pool sharding telemetry (absent in pre-PR-4 entries).
     devices: Option<DevicesRec>,
+    /// Local-search quality/throughput pair (absent in pre-PR-5 entries).
+    local_search: Option<LocalSearchRec>,
 }
 
 fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
@@ -311,6 +331,79 @@ fn measure_devices(n: usize, iters: usize) -> DevicesRec {
     DevicesRec { pool: pool_size, jobs, wall_ms, devices_used, per_device }
 }
 
+/// The local-search pair: one seeded 8-job batch (6 CPU-sequential + 2
+/// explicit-GPU jobs, so the `two_opt` kernel family is exercised) run
+/// with local search off, then with per-iteration `TwoOptNn` on the
+/// iteration best. 1 worker for stable wall numbers.
+fn measure_local_search(n: usize, iters: usize) -> LocalSearchRec {
+    let inst = Arc::new(aco_tsp::uniform_random("bench-ls", n, 1000.0, 0x15));
+    let params = AcoParams::default().nn(15.min(n - 1)).ants(n.min(32));
+    let jobs = 8;
+    let batch = |ls: LocalSearch| {
+        (0..jobs)
+            .map(|j| {
+                let backend = if j < 6 {
+                    Backend::CpuSequential { policy: TourPolicy::NearestNeighborList }
+                } else {
+                    Backend::Gpu {
+                        device: GpuDevice::TeslaM2050,
+                        tour: TourStrategy::NNList,
+                        pheromone: PheromoneStrategy::AtomicShared,
+                    }
+                };
+                SolveRequest::new(Arc::clone(&inst), params.clone())
+                    .backend(backend)
+                    .iterations(iters)
+                    .seed(j as u64)
+                    .local_search(ls)
+            })
+            .collect::<Vec<_>>()
+    };
+    let run = |ls: LocalSearch| {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let t0 = Instant::now();
+        let reports = engine.run_batch(batch(ls));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut best = u64::MAX;
+        let mut improvement = 0u64;
+        for r in &reports {
+            let r = r.as_ref().expect("local-search batch must solve");
+            best = best.min(r.best_len);
+            improvement += r.local_search_improvement;
+        }
+        (wall_ms, best, improvement)
+    };
+    let (off_wall_ms, off_best, off_imp) = run(LocalSearch::None);
+    assert_eq!(off_imp, 0, "no improvement without local search");
+    let (on_wall_ms, on_best, improvement) = run(LocalSearch::TwoOptNn);
+    // Per-iteration LS changes the pheromone trajectory, so neither
+    // property is guaranteed for arbitrary --n/--iters shapes; record
+    // the data point and warn instead of failing the run.
+    if on_best > off_best {
+        eprintln!(
+            "warning: LS-on best {on_best} worse than LS-off {off_best} for this batch shape"
+        );
+    }
+    if improvement == 0 {
+        eprintln!("warning: iterated 2-opt reported no improvement for this batch shape");
+    }
+    let rec = LocalSearchRec {
+        strategy: LocalSearch::TwoOptNn.label().to_string(),
+        scope: "iter-best".to_string(),
+        jobs,
+        off_wall_ms,
+        off_best,
+        on_wall_ms,
+        on_best,
+        improvement,
+    };
+    println!(
+        "local search ({} {}): best {} -> {} (improvement {}), wall {:.1} -> {:.1} ms",
+        rec.strategy, rec.scope, off_best, on_best, improvement, off_wall_ms, on_wall_ms
+    );
+    rec
+}
+
 fn host_cpus() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
@@ -359,16 +452,36 @@ fn render_devices(d: &DevicesRec) -> String {
     )
 }
 
+fn render_local_search(l: &LocalSearchRec) -> String {
+    format!(
+        "      {{\"strategy\": \"{}\", \"scope\": \"{}\", \"jobs\": {}, \
+         \"off_wall_ms\": {:.3}, \"off_best\": {}, \"on_wall_ms\": {:.3}, \"on_best\": {}, \
+         \"improvement\": {}}}",
+        l.strategy,
+        l.scope,
+        l.jobs,
+        l.off_wall_ms,
+        l.off_best,
+        l.on_wall_ms,
+        l.on_best,
+        l.improvement
+    )
+}
+
 fn render_entry(e: &HistEntry) -> String {
     let runs: Vec<String> = e.runs.iter().map(render_run).collect();
     let devices = match &e.devices {
         Some(d) => format!(",\n      \"devices\":\n{}", render_devices(d)),
         None => String::new(),
     };
+    let local_search = match &e.local_search {
+        Some(l) => format!(",\n      \"local_search\":\n{}", render_local_search(l)),
+        None => String::new(),
+    };
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
          \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
-         \"runs\": [\n{}\n      ]{}\n    }}",
+         \"runs\": [\n{}\n      ]{}{}\n    }}",
         e.label,
         e.jobs,
         e.n,
@@ -376,7 +489,8 @@ fn render_entry(e: &HistEntry) -> String {
         e.host_cpus,
         e.first_event_ms,
         runs.join(",\n"),
-        devices
+        devices,
+        local_search
     )
 }
 
@@ -434,6 +548,19 @@ fn parse_devices(v: &Json) -> DevicesRec {
     }
 }
 
+fn parse_local_search(v: &Json) -> LocalSearchRec {
+    LocalSearchRec {
+        strategy: v.get("strategy").and_then(Json::str).unwrap_or("?").to_string(),
+        scope: v.get("scope").and_then(Json::str).unwrap_or("?").to_string(),
+        jobs: uint(v.get("jobs")) as usize,
+        off_wall_ms: v.get("off_wall_ms").and_then(Json::num).unwrap_or(0.0),
+        off_best: uint(v.get("off_best")),
+        on_wall_ms: v.get("on_wall_ms").and_then(Json::num).unwrap_or(0.0),
+        on_best: uint(v.get("on_best")),
+        improvement: uint(v.get("improvement")),
+    }
+}
+
 fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
     HistEntry {
         label: v.get("label").and_then(Json::str).unwrap_or(fallback_label).to_string(),
@@ -444,6 +571,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         first_event_ms: v.get("first_event_ms").and_then(Json::num).unwrap_or(0.0),
         runs: v.get("runs").and_then(Json::arr).unwrap_or(&[]).iter().map(parse_run).collect(),
         devices: v.get("devices").map(parse_devices),
+        local_search: v.get("local_search").map(parse_local_search),
     }
 }
 
@@ -517,6 +645,7 @@ fn main() {
     let first_event_ms = measure_first_event_ms(args.n, args.iters);
     println!("submit -> first progress event: {first_event_ms:.3} ms (min of 5, warm cache)");
     let devices = measure_devices(args.n, args.iters);
+    let local_search = measure_local_search(args.n, args.iters);
     let entry = HistEntry {
         label: args.label.clone(),
         jobs: args.jobs,
@@ -526,6 +655,7 @@ fn main() {
         first_event_ms,
         runs,
         devices: Some(devices),
+        local_search: Some(local_search),
     };
 
     let mut history = if args.append {

@@ -12,6 +12,7 @@
 //!   `tau = (1-rho) tau + rho/C_bs` on its edges,
 //! * `tau0 = 1 / (n * C_nn)`.
 
+use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 use aco_simt::rng::PmRng;
 use aco_tsp::{nearest_neighbor_tour, NearestNeighborLists, Tour, TspInstance};
 
@@ -53,6 +54,11 @@ pub struct AntColonySystem<'a> {
     last_iter_best: u64,
     /// Reusable per-ant visited flags (construction scratch).
     visited_scratch: Vec<bool>,
+    /// Per-iteration local search (ACOTSP-style hybridisation).
+    local_search: LocalSearch,
+    ls_scope: LsScope,
+    ls_scratch: LsScratch,
+    ls_improvement: u64,
 }
 
 impl<'a> AntColonySystem<'a> {
@@ -97,9 +103,40 @@ impl<'a> AntColonySystem<'a> {
             best: None,
             last_iter_best: u64::MAX,
             visited_scratch: vec![false; n],
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
+            ls_scratch: LsScratch::new(),
+            ls_improvement: 0,
             params,
             acs,
         }
+    }
+
+    /// Configure the per-iteration local search (see
+    /// [`crate::AntSystem::set_local_search`]). Under
+    /// [`LsScope::AllAnts`] each ant's tour is improved right after its
+    /// construction; the local pheromone trail it laid while building
+    /// stays as built (only the result steers best tracking and the
+    /// global update).
+    pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
+        self.local_search = ls;
+        self.ls_scope = scope;
+    }
+
+    /// Total tour-length reduction attributable to local search so far.
+    pub fn local_search_improvement(&self) -> u64 {
+        self.ls_improvement
+    }
+
+    fn ls_improve(&mut self, tour: &mut Tour, len: &mut u64) {
+        let ls = self.local_search.per_iteration();
+        if !ls.runs_per_iteration() {
+            return;
+        }
+        let AntColonySystem { inst, nn, ls_scratch, ls_improvement, .. } = self;
+        let gain = ls.improve(tour, inst.matrix(), nn, ls_scratch);
+        *len -= gain;
+        *ls_improvement += gain;
     }
 
     /// Best solution found so far.
@@ -216,15 +253,25 @@ impl<'a> AntColonySystem<'a> {
 
     /// One ACS iteration; returns the best-so-far length.
     pub fn iterate(&mut self) -> u64 {
-        let mut iter_best = u64::MAX;
+        let all_ants = self.ls_scope == LsScope::AllAnts;
+        let mut iter_best: Option<(Tour, u64)> = None;
         for _ in 0..self.m {
-            let (tour, len) = self.construct_one();
-            iter_best = iter_best.min(len);
-            if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
-                self.best = Some((tour, len));
+            let (mut tour, mut len) = self.construct_one();
+            if all_ants {
+                self.ls_improve(&mut tour, &mut len);
+            }
+            if iter_best.as_ref().is_none_or(|&(_, b)| len < b) {
+                iter_best = Some((tour, len));
             }
         }
-        self.last_iter_best = iter_best;
+        let (mut best_tour, mut best_len) = iter_best.expect("m >= 1 ants");
+        if !all_ants {
+            self.ls_improve(&mut best_tour, &mut best_len);
+        }
+        self.last_iter_best = best_len;
+        if self.best.as_ref().is_none_or(|&(_, b)| best_len < b) {
+            self.best = Some((best_tour, best_len));
+        }
         // Global update: best-so-far ant only.
         let (tour, len) = self.best.as_ref().expect("m >= 1 ants ran").clone();
         let rho = self.params.rho as f64;

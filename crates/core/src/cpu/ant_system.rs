@@ -16,6 +16,7 @@
 //! Every phase counts its abstract operations (see
 //! [`super::counter::OpCounter`]) so the CPU cost model can price it.
 
+use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 use aco_simt::rng::PmRng;
 use aco_tsp::{nearest_neighbor_tour, NearestNeighborLists, Tour, TspInstance};
 
@@ -98,6 +99,11 @@ pub struct AntSystem<'a> {
     best: Option<(Tour, u64)>,
     /// Initial pheromone level (`m / C_nn`).
     tau0: f64,
+    /// Per-iteration local search (ACOTSP-style hybridisation).
+    local_search: LocalSearch,
+    ls_scope: LsScope,
+    ls_scratch: LsScratch,
+    ls_improvement: u64,
 }
 
 impl<'a> AntSystem<'a> {
@@ -144,6 +150,10 @@ impl<'a> AntSystem<'a> {
             rng: PmRng::new((params.seed % 0x7FFF_FFFF) as u32),
             best: None,
             tau0,
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
+            ls_scratch: LsScratch::new(),
+            ls_improvement: 0,
             params,
         };
         let mut scratch = OpCounter::default();
@@ -179,6 +189,53 @@ impl<'a> AntSystem<'a> {
     /// Parameters in use.
     pub fn params(&self) -> &AcoParams {
         &self.params
+    }
+
+    /// Configure the per-iteration local search: `ls` runs at each
+    /// iteration boundary — after construction, before the pheromone
+    /// update, so improved tours steer the deposit — on the tours `scope`
+    /// selects. [`LocalSearch::PostPass`] does nothing here (it is an
+    /// engine-level polish).
+    pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
+        self.local_search = ls;
+        self.ls_scope = scope;
+    }
+
+    /// Total tour-length reduction attributable to the per-iteration
+    /// local search so far.
+    pub fn local_search_improvement(&self) -> u64 {
+        self.ls_improvement
+    }
+
+    /// Apply the configured local search to `sols` in place (iteration
+    /// best or every ant), keeping the reported lengths exact and
+    /// accumulating the improvement telemetry. Deterministic — the
+    /// passes use no RNG — so colony results stay a pure function of the
+    /// seed. Public so the parallel colony loop ([`super::parallel`])
+    /// shares the exact same semantics.
+    pub fn apply_local_search(&mut self, sols: &mut [(Tour, u64)]) {
+        let ls = self.local_search.per_iteration();
+        if !ls.runs_per_iteration() || sols.is_empty() {
+            return;
+        }
+        let AntSystem { inst, nn, ls_scratch, ls_improvement, ls_scope, .. } = self;
+        let mut improve = |sol: &mut (Tour, u64)| {
+            let gain = ls.improve(&mut sol.0, inst.matrix(), nn, ls_scratch);
+            sol.1 -= gain;
+            *ls_improvement += gain;
+        };
+        match ls_scope {
+            LsScope::IterationBest => {
+                let mut best = 0;
+                for (k, sol) in sols.iter().enumerate() {
+                    if sol.1 < sols[best].1 {
+                        best = k;
+                    }
+                }
+                improve(&mut sols[best]);
+            }
+            LsScope::AllAnts => sols.iter_mut().for_each(improve),
+        }
     }
 
     /// Recompute `choice_info` from the current pheromone.
@@ -474,11 +531,13 @@ impl<'a> AntSystem<'a> {
         self.compute_choice_info(c);
     }
 
-    /// One full AS iteration: choice info, construction, update.
+    /// One full AS iteration: choice info, construction, local search
+    /// (when configured), update.
     pub fn iterate(&mut self, policy: TourPolicy) -> IterationReport {
         let mut counters = PhaseCounters::default();
         self.compute_choice_info(&mut counters.choice);
-        let sols = self.construct_solutions(policy, &mut counters.tour);
+        let mut sols = self.construct_solutions(policy, &mut counters.tour);
+        self.apply_local_search(&mut sols);
         let iter_best = sols.iter().map(|&(_, l)| l).min().expect("m >= 1 ants");
         let best_tour = sols.iter().find(|&&(_, l)| l == iter_best).expect("found above");
         if self.best.as_ref().is_none_or(|&(_, b)| iter_best < b) {

@@ -11,6 +11,7 @@
 //! * trails start at `tau_max` (optimistic initialisation),
 //! * stagnation triggers a trail re-initialisation.
 
+use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 use aco_simt::rng::PmRng;
 use aco_tsp::{nearest_neighbor_tour, NearestNeighborLists, Tour, TspInstance};
 
@@ -57,6 +58,11 @@ pub struct MaxMinAntSystem<'a> {
     /// Reusable construction scratch (visited flags + roulette slots).
     visited_scratch: Vec<bool>,
     prob_scratch: Vec<f64>,
+    /// Per-iteration local search (ACOTSP-style hybridisation).
+    local_search: LocalSearch,
+    ls_scope: LsScope,
+    ls_scratch: LsScratch,
+    ls_improvement: u64,
 }
 
 impl<'a> MaxMinAntSystem<'a> {
@@ -107,6 +113,10 @@ impl<'a> MaxMinAntSystem<'a> {
             since_improvement: 0,
             visited_scratch: vec![false; n],
             prob_scratch: vec![0.0; nn_depth],
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
+            ls_scratch: LsScratch::new(),
+            ls_improvement: 0,
             params,
             mmas,
         };
@@ -203,17 +213,49 @@ impl<'a> MaxMinAntSystem<'a> {
         }
     }
 
+    /// Configure the per-iteration local search (see
+    /// [`crate::AntSystem::set_local_search`]). The improved
+    /// iteration-best tour is what deposits — and what tightens the
+    /// `[tau_min, tau_max]` bounds.
+    pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
+        self.local_search = ls;
+        self.ls_scope = scope;
+    }
+
+    /// Total tour-length reduction attributable to local search so far.
+    pub fn local_search_improvement(&self) -> u64 {
+        self.ls_improvement
+    }
+
+    fn ls_improve(&mut self, tour: &mut Tour, len: &mut u64) {
+        let ls = self.local_search.per_iteration();
+        if !ls.runs_per_iteration() {
+            return;
+        }
+        let MaxMinAntSystem { inst, nn, ls_scratch, ls_improvement, .. } = self;
+        let gain = ls.improve(tour, inst.matrix(), nn, ls_scratch);
+        *len -= gain;
+        *ls_improvement += gain;
+    }
+
     /// One MMAS iteration; returns the best-so-far length.
     pub fn iterate(&mut self) -> u64 {
         self.iterations += 1;
+        let all_ants = self.ls_scope == LsScope::AllAnts;
         let mut iter_best: Option<(Tour, u64)> = None;
         for _ in 0..self.m {
-            let (tour, len) = self.construct_one();
+            let (mut tour, mut len) = self.construct_one();
+            if all_ants {
+                self.ls_improve(&mut tour, &mut len);
+            }
             if iter_best.as_ref().is_none_or(|&(_, b)| len < b) {
                 iter_best = Some((tour, len));
             }
         }
-        let iter_best = iter_best.expect("m >= 1 ants");
+        let mut iter_best = iter_best.expect("m >= 1 ants");
+        if !all_ants {
+            self.ls_improve(&mut iter_best.0, &mut iter_best.1);
+        }
         self.last_iter_best = iter_best.1;
 
         let improved = self.best.as_ref().is_none_or(|&(_, b)| iter_best.1 < b);

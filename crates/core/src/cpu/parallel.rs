@@ -58,7 +58,8 @@ pub fn iterate_parallel(
     iteration: u64,
     threads: usize,
 ) -> u64 {
-    let sols = construct_parallel(aco, policy, iteration, threads);
+    let mut sols = construct_parallel(aco, policy, iteration, threads);
+    aco.apply_local_search(&mut sols);
     let best = sols.iter().map(|&(_, l)| l).min().expect("m >= 1");
     let mut c = super::counter::OpCounter::default();
     aco.update_pheromone(&sols, &mut c);
@@ -101,7 +102,10 @@ pub fn run_parallel_ctx(
         // pheromone laid down last iteration before constructing.
         let mut c = super::counter::OpCounter::default();
         aco.refresh_choice(&mut c);
-        let sols = construct_parallel(aco, policy, first_iteration + k, threads);
+        let mut sols = construct_parallel(aco, policy, first_iteration + k, threads);
+        // Local search runs on the host thread after the parallel fan-in,
+        // so results stay thread-count independent.
+        aco.apply_local_search(&mut sols);
         let (tour, len) = sols.iter().min_by_key(|&&(_, l)| l).cloned().expect("m >= 1 ants");
         if best.as_ref().is_none_or(|&(_, b)| len < b) {
             *best = Some((tour, len));

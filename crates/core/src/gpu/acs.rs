@@ -19,6 +19,7 @@
 //! The heuristic weights live in a precomputed `eta^beta` table (the
 //! Choice kernel with `alpha = 0`), since ACS multiplies raw `tau` in.
 
+use aco_localsearch::{LocalSearch, LsScope, LsScratch, TwoOptDev};
 use aco_simt::prelude::*;
 use aco_simt::rng::PmRng;
 use aco_simt::SimtError;
@@ -313,6 +314,14 @@ pub struct GpuAntColonySystem<'a> {
     /// the first) — the iteration-best stream for lifecycle observers.
     last_iter_best: u64,
     exec_threads: usize,
+    /// Host copy of the candidate lists (local-search fallbacks).
+    nn_host: aco_tsp::NearestNeighborLists,
+    local_search: LocalSearch,
+    ls_scope: LsScope,
+    /// Device scratch of the 2-opt kernel family (allocated on demand).
+    ls_dev: Option<TwoOptDev>,
+    ls_scratch: LsScratch,
+    ls_improvement: u64,
 }
 
 impl<'a> GpuAntColonySystem<'a> {
@@ -358,7 +367,39 @@ impl<'a> GpuAntColonySystem<'a> {
             best: None,
             last_iter_best: u64::MAX,
             exec_threads: 1,
+            nn_host: nn_lists.clone(),
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
+            ls_dev: None,
+            ls_scratch: LsScratch::new(),
+            ls_improvement: 0,
         }
+    }
+
+    /// Configure the per-iteration local search (see
+    /// [`super::GpuAntSystem::set_local_search`]): `TwoOptNn` runs as
+    /// the device kernel family, the other strategies as host passes
+    /// with a device write-back.
+    pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
+        self.local_search = ls;
+        self.ls_scope = scope;
+        if ls.per_iteration() == LocalSearch::TwoOptNn && self.ls_dev.is_none() {
+            self.ls_dev = Some(TwoOptDev::allocate(
+                &mut self.gm,
+                self.bufs.n,
+                self.bufs.nn,
+                self.bufs.stride,
+                self.bufs.dist,
+                self.bufs.tours,
+                self.bufs.lengths,
+                self.bufs.nn_list,
+            ));
+        }
+    }
+
+    /// Total tour-length reduction attributable to local search so far.
+    pub fn local_search_improvement(&self) -> u64 {
+        self.ls_improvement
     }
 
     /// Execute the simulator's blocks across up to `threads` host threads
@@ -385,8 +426,10 @@ impl<'a> GpuAntColonySystem<'a> {
         self.gm.f32(self.bufs.tau)
     }
 
-    /// One ACS iteration; returns `(best_so_far, tour_ms, update_ms)`.
-    pub fn iterate(&mut self) -> Result<(u64, f64, f64), SimtError> {
+    /// One ACS iteration; returns `(best_so_far, tour_ms, update_ms,
+    /// ls_ms)` where `ls_ms` is the modeled time of the local-search
+    /// kernel family (0 without one).
+    pub fn iterate(&mut self) -> Result<(u64, f64, f64, f64), SimtError> {
         self.bufs.clear_visited(&mut self.gm);
         let tk = AcsTourKernel {
             bufs: self.bufs,
@@ -405,35 +448,38 @@ impl<'a> GpuAntColonySystem<'a> {
             self.exec_threads,
         )?;
 
-        // Host-exact best tracking over the colony.
+        // Host-exact best tracking over the colony, with the configured
+        // local search applied before the best-so-far decision (and
+        // therefore before the global update deposits).
         let n = self.bufs.n as usize;
-        let mut best_ant = 0u32;
-        let mut best_this_iter = u64::MAX;
-        for (a, t) in self.bufs.read_tours(&self.gm).into_iter().enumerate() {
-            let tour = Tour::new(t[..n].to_vec()).expect("device tours are permutations");
-            let len = tour.length(self.inst.matrix());
-            if len < best_this_iter {
-                best_this_iter = len;
-                best_ant = a as u32;
+        let mut tours: Vec<Tour> = self
+            .bufs
+            .read_tours(&self.gm)
+            .into_iter()
+            .map(|t| Tour::new(t[..n].to_vec()).expect("device tours are permutations"))
+            .collect();
+        let mut lens: Vec<u64> = tours.iter().map(|t| t.length(self.inst.matrix())).collect();
+        let mut ls_ms = 0.0;
+        if self.local_search.runs_per_iteration() {
+            let ants: Vec<usize> = match self.ls_scope {
+                LsScope::IterationBest => vec![super::first_min(&lens)],
+                LsScope::AllAnts => (0..tours.len()).collect(),
+            };
+            for ant in ants {
+                ls_ms += self.ls_pass(ant, &mut tours, &mut lens)?;
             }
-            if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
-                self.best = Some((tour, len));
-            }
+        }
+        let best_ant = super::first_min(&lens) as u32;
+        let best_this_iter = lens[best_ant as usize];
+        if self.best.as_ref().is_none_or(|&(_, b)| best_this_iter < b) {
+            self.best = Some((tours[best_ant as usize].clone(), best_this_iter));
         }
         self.last_iter_best = best_this_iter;
 
         // Global update uses the best-so-far tour; if it came from an
         // earlier iteration, refresh its row on the device.
         let (best_tour, best_len) = self.best.as_ref().expect("at least one ant ran").clone();
-        let stride = self.bufs.stride as usize;
-        {
-            let row = &mut self.gm.u32_mut(self.bufs.tours)
-                [best_ant as usize * stride..(best_ant as usize + 1) * stride];
-            row[..n].copy_from_slice(best_tour.order());
-            for cell in row[n..].iter_mut() {
-                *cell = best_tour.order()[0];
-            }
-        }
+        self.bufs.write_tour(&mut self.gm, best_ant as usize, &best_tour, best_len);
         let uk = AcsGlobalUpdateKernel {
             bufs: self.bufs,
             best_ant,
@@ -450,7 +496,41 @@ impl<'a> GpuAntColonySystem<'a> {
         )?;
 
         self.iteration += 1;
-        Ok((best_len, rt.time.total_ms, ru.time.total_ms))
+        Ok((best_len, rt.time.total_ms, ru.time.total_ms, ls_ms))
+    }
+
+    /// Improve `ant`'s tour with the configured strategy (the shared
+    /// [`super::LsPass`] path), accounting the improvement telemetry.
+    fn ls_pass(
+        &mut self,
+        ant: usize,
+        tours: &mut [Tour],
+        lens: &mut [u64],
+    ) -> Result<f64, SimtError> {
+        let GpuAntColonySystem {
+            dev,
+            bufs,
+            ls_dev,
+            exec_threads,
+            local_search,
+            inst,
+            nn_host,
+            ls_scratch,
+            gm,
+            ls_improvement,
+            ..
+        } = &mut *self;
+        let pass = super::LsPass {
+            dev,
+            bufs: *bufs,
+            ls_dev: *ls_dev,
+            exec_threads: *exec_threads,
+            strategy: local_search.per_iteration(),
+        };
+        let before = lens[ant];
+        let ms = pass.improve_ant(gm, inst, nn_host, ls_scratch, ant, tours, lens)?;
+        *ls_improvement += before - lens[ant];
+        Ok(ms)
     }
 
     /// Run `iters` iterations; returns the best length.
@@ -471,16 +551,16 @@ impl<'a> GpuAntColonySystem<'a> {
     /// Ctx-driven run: cancellation/deadline checked at every iteration
     /// boundary (between simulated kernel launches); one iteration-best
     /// event emitted per iteration. `on_iter` sees each iteration's
-    /// `(tour_ms, update_ms)` modeled times.
+    /// `(tour_ms, update_ms, ls_ms)` modeled times.
     pub fn run_ctx(
         &mut self,
         iterations: usize,
         ctx: &crate::lifecycle::SolveCtx,
-        mut on_iter: impl FnMut(f64, f64),
+        mut on_iter: impl FnMut(f64, f64, f64),
     ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
         crate::lifecycle::try_drive(iterations, ctx, |_| {
-            let (best, tour_ms, update_ms) = self.iterate()?;
-            on_iter(tour_ms, update_ms);
+            let (best, tour_ms, update_ms, ls_ms) = self.iterate()?;
+            on_iter(tour_ms, update_ms, ls_ms);
             Ok((self.last_iter_best, best))
         })
     }
@@ -500,8 +580,9 @@ mod tests {
             AcsParams::default(),
             DeviceSpec::tesla_m2050(),
         );
-        let (first, tour_ms, update_ms) = acs.iterate().expect("valid launch");
+        let (first, tour_ms, update_ms, ls_ms) = acs.iterate().expect("valid launch");
         assert!(tour_ms > 0.0 && update_ms > 0.0);
+        assert_eq!(ls_ms, 0.0, "no local search configured");
         let last = acs.run(15).expect("valid launch");
         assert!(last <= first);
         let (t, l) = acs.best().expect("ran");
@@ -538,7 +619,7 @@ mod tests {
             AcsParams::default(),
             DeviceSpec::tesla_m2050(),
         );
-        let (_, _, acs_update_ms) = acs.iterate().expect("valid launch");
+        let (_, _, acs_update_ms, _) = acs.iterate().expect("valid launch");
 
         let mut gm = GlobalMem::new();
         let bufs = ColonyBuffers::allocate(&mut gm, &inst, &AcoParams::default().nn(10));

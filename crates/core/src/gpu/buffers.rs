@@ -136,6 +136,24 @@ impl ColonyBuffers {
         gm.f32(self.lengths).to_vec()
     }
 
+    /// Upload one host-side tour into `ant`'s device row — order,
+    /// closing city, θ-padding and the f32 length — keeping device
+    /// memory in sync with a host-improved tour (the local-search
+    /// write-back path of both GPU colonies).
+    pub fn write_tour(&self, gm: &mut GlobalMem, ant: usize, tour: &aco_tsp::Tour, len: u64) {
+        let n = self.n as usize;
+        let stride = self.stride as usize;
+        {
+            let cells = gm.u32_mut(self.tours);
+            let row = &mut cells[ant * stride..(ant + 1) * stride];
+            row[..n].copy_from_slice(tour.order());
+            for c in row[n..].iter_mut() {
+                *c = tour.order()[0];
+            }
+        }
+        gm.f32_mut(self.lengths)[ant] = len as f32;
+    }
+
     /// Upload host-built tours (with closing city and padding) and their
     /// lengths — used by the pheromone-update experiments, which need
     /// realistic tours without paying for a full construction launch.

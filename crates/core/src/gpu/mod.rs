@@ -13,3 +13,75 @@ pub use buffers::{ColonyBuffers, THETA};
 pub use pheromone::{run_pheromone, run_pheromone_threads, PheromoneRun, PheromoneStrategy};
 pub use system::{GpuAntSystem, GpuIterationReport};
 pub use tour::{run_tour, run_tour_threads, TourRun, TourStrategy};
+
+/// Index of the first minimum — the canonical "iteration-best ant"
+/// choice both GPU colonies use (first strict minimum, matching the
+/// pre-local-search best-tracking order).
+pub(crate) fn first_min(lens: &[u64]) -> usize {
+    let mut k = 0;
+    for (i, &l) in lens.iter().enumerate() {
+        if l < lens[k] {
+            k = i;
+        }
+    }
+    k
+}
+
+/// The local-search execution context shared by both GPU colonies:
+/// which strategy runs, on which device, against which colony buffers.
+pub(crate) struct LsPass<'a> {
+    pub dev: &'a aco_simt::DeviceSpec,
+    pub bufs: ColonyBuffers,
+    /// The 2-opt family's device scratch (present iff the strategy is
+    /// the device-resident `TwoOptNn`; guaranteed by `set_local_search`).
+    pub ls_dev: Option<aco_localsearch::TwoOptDev>,
+    pub exec_threads: usize,
+    pub strategy: aco_localsearch::LocalSearch,
+}
+
+impl LsPass<'_> {
+    /// Improve `ant`'s tour in place: the device kernel family for
+    /// `TwoOptNn`, a host pass + [`ColonyBuffers::write_tour`] write-back
+    /// for the rest. Returns the modeled kernel milliseconds (0 for host
+    /// passes). Both paths leave device tours, padding and the f32
+    /// length in sync with the host copy, so the subsequent pheromone
+    /// kernels deposit the improved tour; callers account the
+    /// improvement from the `lens` delta.
+    #[allow(clippy::too_many_arguments)]
+    pub fn improve_ant(
+        &self,
+        gm: &mut aco_simt::GlobalMem,
+        inst: &aco_tsp::TspInstance,
+        nn_host: &aco_tsp::NearestNeighborLists,
+        scratch: &mut aco_localsearch::LsScratch,
+        ant: usize,
+        tours: &mut [aco_tsp::Tour],
+        lens: &mut [u64],
+    ) -> Result<f64, aco_simt::SimtError> {
+        if self.strategy == aco_localsearch::LocalSearch::TwoOptNn {
+            let dev_bufs = self.ls_dev.expect("allocated by set_local_search");
+            let run = aco_localsearch::run_two_opt(
+                self.dev,
+                gm,
+                dev_bufs,
+                ant as u32,
+                self.exec_threads,
+            )?;
+            let n = self.bufs.n as usize;
+            let stride = self.bufs.stride as usize;
+            let row = &gm.u32(self.bufs.tours)[ant * stride..ant * stride + n];
+            tours[ant] = aco_tsp::Tour::new(row.to_vec()).expect("2-opt preserves the permutation");
+            lens[ant] = tours[ant].length(inst.matrix());
+            // Settle the f32 length to the exact value (the kernel's
+            // gain subtraction is f32-exact for TSPLIB-scale distances;
+            // this mirrors the host-exact best tracking).
+            gm.f32_mut(self.bufs.lengths)[ant] = lens[ant] as f32;
+            Ok(run.ms)
+        } else {
+            let gain = self.strategy.improve(&mut tours[ant], inst.matrix(), nn_host, scratch);
+            lens[ant] -= gain;
+            self.bufs.write_tour(gm, ant, &tours[ant], lens[ant]);
+            Ok(0.0)
+        }
+    }
+}

@@ -7,9 +7,10 @@
 //! [`TourStrategy`] and [`PheromoneStrategy`], tracks the best tour, and
 //! reports per-stage modeled times.
 
+use aco_localsearch::{LocalSearch, LsScope, LsScratch, TwoOptDev};
 use aco_simt::prelude::*;
 use aco_simt::SimtError;
-use aco_tsp::{Tour, TspInstance};
+use aco_tsp::{NearestNeighborLists, Tour, TspInstance};
 
 use super::buffers::ColonyBuffers;
 use super::pheromone::{run_pheromone_threads, PheromoneStrategy};
@@ -23,6 +24,10 @@ pub struct GpuIterationReport {
     pub tour_ms: f64,
     /// Modeled milliseconds of the pheromone update.
     pub pheromone_ms: f64,
+    /// Modeled milliseconds of the local-search kernel family (0 without
+    /// a configured [`LocalSearch`], and for the host-fallback passes,
+    /// which are host work like the exact best tracking).
+    pub ls_ms: f64,
     /// Best (exact, host-recomputed) tour length this iteration.
     pub iter_best: u64,
     /// Best length so far.
@@ -43,6 +48,14 @@ pub struct GpuAntSystem<'a> {
     iteration: u64,
     best: Option<(Tour, u64)>,
     exec_threads: usize,
+    /// Host copy of the candidate lists (local-search fallbacks).
+    nn_host: NearestNeighborLists,
+    local_search: LocalSearch,
+    ls_scope: LsScope,
+    /// Device scratch of the 2-opt kernel family (allocated on demand).
+    ls_dev: Option<TwoOptDev>,
+    ls_scratch: LsScratch,
+    ls_improvement: u64,
 }
 
 impl<'a> GpuAntSystem<'a> {
@@ -54,9 +67,10 @@ impl<'a> GpuAntSystem<'a> {
         tour_strategy: TourStrategy,
         pheromone_strategy: PheromoneStrategy,
     ) -> Self {
-        let mut gm = GlobalMem::new();
-        let bufs = ColonyBuffers::allocate(&mut gm, inst, &params);
-        Self::from_buffers(inst, params, dev, tour_strategy, pheromone_strategy, gm, bufs)
+        let nn_lists = NearestNeighborLists::build(inst.matrix(), params.nn_size)
+            .expect("instance has >= 2 cities");
+        let c_nn = aco_tsp::nearest_neighbor_tour(inst.matrix(), 0).length(inst.matrix());
+        Self::with_artifacts(inst, params, dev, tour_strategy, pheromone_strategy, &nn_lists, c_nn)
     }
 
     /// Allocate a colony on `dev` reusing precomputed host artifacts
@@ -72,18 +86,6 @@ impl<'a> GpuAntSystem<'a> {
     ) -> Self {
         let mut gm = GlobalMem::new();
         let bufs = ColonyBuffers::allocate_with_artifacts(&mut gm, inst, &params, nn_lists, c_nn);
-        Self::from_buffers(inst, params, dev, tour_strategy, pheromone_strategy, gm, bufs)
-    }
-
-    fn from_buffers(
-        inst: &'a TspInstance,
-        params: AcoParams,
-        dev: DeviceSpec,
-        tour_strategy: TourStrategy,
-        pheromone_strategy: PheromoneStrategy,
-        gm: GlobalMem,
-        bufs: ColonyBuffers,
-    ) -> Self {
         GpuAntSystem {
             inst,
             params,
@@ -95,7 +97,41 @@ impl<'a> GpuAntSystem<'a> {
             iteration: 0,
             best: None,
             exec_threads: 1,
+            nn_host: nn_lists.clone(),
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
+            ls_dev: None,
+            ls_scratch: LsScratch::new(),
+            ls_improvement: 0,
         }
+    }
+
+    /// Configure the per-iteration local search. [`LocalSearch::TwoOptNn`]
+    /// runs *on the device* as the `two_opt` kernel family (its scratch is
+    /// allocated here, next to the colony buffers); [`LocalSearch::TwoOpt`]
+    /// and [`LocalSearch::OrOpt`] run as host passes whose improved tours
+    /// are written back to device memory before the pheromone update (a
+    /// `cudaMemcpy` round trip, like ACOTSP-hybrid ports do).
+    pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
+        self.local_search = ls;
+        self.ls_scope = scope;
+        if ls.per_iteration() == LocalSearch::TwoOptNn && self.ls_dev.is_none() {
+            self.ls_dev = Some(TwoOptDev::allocate(
+                &mut self.gm,
+                self.bufs.n,
+                self.bufs.nn,
+                self.bufs.stride,
+                self.bufs.dist,
+                self.bufs.tours,
+                self.bufs.lengths,
+                self.bufs.nn_list,
+            ));
+        }
+    }
+
+    /// Total tour-length reduction attributable to local search so far.
+    pub fn local_search_improvement(&self) -> u64 {
+        self.ls_improvement
     }
 
     /// Execute the simulator's blocks across up to `threads` host threads.
@@ -141,19 +177,34 @@ impl<'a> GpuAntSystem<'a> {
 
         // Host-exact best tracking (the device carries f32 lengths; the
         // host recomputes the exact integer length, like `cudaMemcpy` +
-        // a validation pass would).
+        // a validation pass would), with the configured local search
+        // applied *before* the pheromone update so improved tours steer
+        // the deposit. Sampled modes skip both (partial functional
+        // output).
         let mut iter_best = u64::MAX;
+        let mut ls_ms = 0.0;
         if matches!(mode, SimMode::Full) {
             let n = self.bufs.n as usize;
-            for t in self.bufs.read_tours(&self.gm) {
-                let tour = Tour::new(t[..n].to_vec()).expect("device tours are permutations");
-                let len = tour.length(self.inst.matrix());
-                if len < iter_best {
-                    iter_best = len;
-                    if self.best.as_ref().is_none_or(|&(_, b)| len < b) {
-                        self.best = Some((tour, len));
-                    }
+            let mut tours: Vec<Tour> = self
+                .bufs
+                .read_tours(&self.gm)
+                .into_iter()
+                .map(|t| Tour::new(t[..n].to_vec()).expect("device tours are permutations"))
+                .collect();
+            let mut lens: Vec<u64> = tours.iter().map(|t| t.length(self.inst.matrix())).collect();
+            if self.local_search.runs_per_iteration() {
+                let ants: Vec<usize> = match self.ls_scope {
+                    LsScope::IterationBest => vec![super::first_min(&lens)],
+                    LsScope::AllAnts => (0..tours.len()).collect(),
+                };
+                for ant in ants {
+                    ls_ms += self.ls_pass(ant, &mut tours, &mut lens)?;
                 }
+            }
+            let k = super::first_min(&lens);
+            iter_best = lens[k];
+            if self.best.as_ref().is_none_or(|&(_, b)| iter_best < b) {
+                self.best = Some((tours[k].clone(), iter_best));
             }
         }
 
@@ -171,10 +222,45 @@ impl<'a> GpuAntSystem<'a> {
         Ok(GpuIterationReport {
             tour_ms: tour_run.total_ms(),
             pheromone_ms: ph.time.total_ms,
+            ls_ms,
             iter_best,
             best_so_far: self.best.as_ref().map_or(u64::MAX, |&(_, l)| l),
             tour_run,
         })
+    }
+
+    /// Improve `ant`'s tour with the configured strategy (the shared
+    /// [`super::LsPass`] path), accounting the improvement telemetry.
+    fn ls_pass(
+        &mut self,
+        ant: usize,
+        tours: &mut [Tour],
+        lens: &mut [u64],
+    ) -> Result<f64, SimtError> {
+        let GpuAntSystem {
+            dev,
+            bufs,
+            ls_dev,
+            exec_threads,
+            local_search,
+            inst,
+            nn_host,
+            ls_scratch,
+            gm,
+            ls_improvement,
+            ..
+        } = &mut *self;
+        let pass = super::LsPass {
+            dev,
+            bufs: *bufs,
+            ls_dev: *ls_dev,
+            exec_threads: *exec_threads,
+            strategy: local_search.per_iteration(),
+        };
+        let before = lens[ant];
+        let ms = pass.improve_ant(gm, inst, nn_host, ls_scratch, ant, tours, lens)?;
+        *ls_improvement += before - lens[ant];
+        Ok(ms)
     }
 
     /// Run `iters` full-fidelity iterations; returns the best length.

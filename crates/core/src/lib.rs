@@ -17,6 +17,7 @@ pub mod lifecycle;
 pub mod params;
 pub mod quality;
 
+pub use aco_localsearch::{LocalSearch, LsScope};
 pub use cpu::{
     AcsParams, AntColonySystem, AntSystem, CpuModel, MaxMinAntSystem, MmasParams, OpCounter,
     TourPolicy,

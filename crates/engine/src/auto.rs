@@ -21,11 +21,12 @@
 use aco_core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_core::{AcoParams, CpuModel, TourPolicy};
 use aco_devices::{DeviceAffinity, DevicePool};
+use aco_localsearch::{probe_round_ms, LocalSearch, LsScope, TwoOptDev};
 use aco_simt::{GlobalMem, SimMode};
 use aco_tsp::TspInstance;
 
 use crate::cache::{ArtifactCache, InstanceArtifacts};
-use crate::solver::{cpu_phase_ms, Backend, GpuDevice};
+use crate::solver::{cpu_ls_iter_ms, cpu_phase_ms, Backend, GpuDevice, LS_ROUNDS_EST};
 
 /// Thread count the parallel-CPU candidate assumes. Fixed (not probed from
 /// the host) so decisions — and therefore batch results — are identical on
@@ -75,37 +76,61 @@ pub const PROBE_SEED: u64 = 0x0A07_0CA5;
 /// candidates to device models actually installed (pass
 /// [`GpuDevice::ALL`] for the unrestricted set); `allow_cpu` gates the
 /// CPU candidates (false when the job is pinned to a device).
+///
+/// `ls` and `scope` fold the job's per-iteration local search into
+/// every candidate: CPU candidates pay the analytic pass model, GPU
+/// candidates pay a *probed* kernel round of the `two_opt` family
+/// (× [`LS_ROUNDS_EST`]) for the device-resident `TwoOptNn` strategy —
+/// or the host model for the host-fallback strategies — and
+/// [`LsScope::AllAnts`] multiplies the pass by the colony size, so
+/// enabling local search genuinely shifts the CPU/GPU crossover.
 pub fn estimates(
     inst: &TspInstance,
     params: &AcoParams,
     artifacts: &InstanceArtifacts,
     gpu_models: &[GpuDevice],
     allow_cpu: bool,
+    ls: LocalSearch,
+    scope: LsScope,
 ) -> Vec<CandidateEstimate> {
     let params = &params.clone().seed(PROBE_SEED);
     let n = inst.n();
     let m = params.ants_for(n);
     let model = CpuModel::default();
     let (choice_ms, tour_ms, update_ms) = cpu_phase_ms(n, m, params.nn_size, &model);
+    // Every auto candidate is an Ant-System-family colony (m = ants_for),
+    // so one scope multiplier covers them all.
+    let ls_passes = match scope {
+        LsScope::IterationBest => 1.0,
+        LsScope::AllAnts => m.max(1) as f64,
+    };
+    let host_ls_ms = cpu_ls_iter_ms(ls, n, artifacts.nn.depth(), &model) * ls_passes;
 
     let mut out = Vec::new();
     if allow_cpu {
         out.push(CandidateEstimate {
             backend: Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
-            ms_per_iter: choice_ms + tour_ms + update_ms,
+            ms_per_iter: choice_ms + tour_ms + update_ms + host_ls_ms,
         });
         out.push(CandidateEstimate {
             backend: Backend::CpuParallel {
                 policy: TourPolicy::NearestNeighborList,
                 threads: AUTO_CPU_THREADS,
             },
-            ms_per_iter: choice_ms + tour_ms / AUTO_CPU_THREADS as f64 + update_ms,
+            // The local-search pass runs on the fan-in thread.
+            ms_per_iter: choice_ms + tour_ms / AUTO_CPU_THREADS as f64 + update_ms + host_ls_ms,
         });
     }
 
     let mode = probe_mode(n);
     for &device in gpu_models {
         let dev = device.spec();
+        // The 2-opt round cost depends only on the device (the family
+        // reads whatever tours the preceding construction probe left),
+        // so probe it once per device — on the first candidate pair —
+        // and reuse the number. Pair order is fixed, so the estimate
+        // stays a pure function of the inputs.
+        let mut ls_round: Option<f64> = None;
         for (tour, pheromone) in AUTO_GPU_CANDIDATES {
             // The data-parallel kernel's bit-packed shared-memory tabu
             // covers at most 32 tiles × 256 threads = 8192 cities; its
@@ -141,6 +166,35 @@ pub fn estimates(
             .and_then(|tr| {
                 run_pheromone(&dev, &mut gm, bufs, pheromone, params.rho, mode)
                     .map(|pr| tr.total_ms() + pr.time.total_ms)
+            })
+            .and_then(|iter_ms| {
+                // Fold the local-search cost in: the device-resident
+                // TwoOptNn strategy is priced from a probed kernel round
+                // (pos + propose + select) scaled by the round estimate;
+                // the host-fallback strategies cost host time.
+                if ls.per_iteration() == LocalSearch::TwoOptNn {
+                    let round = match ls_round {
+                        Some(r) => r,
+                        None => {
+                            let ls_bufs = TwoOptDev::allocate(
+                                &mut gm,
+                                bufs.n,
+                                bufs.nn,
+                                bufs.stride,
+                                bufs.dist,
+                                bufs.tours,
+                                bufs.lengths,
+                                bufs.nn_list,
+                            );
+                            let r = probe_round_ms(&dev, &mut gm, ls_bufs, 0, mode)?;
+                            ls_round = Some(r);
+                            r
+                        }
+                    };
+                    Ok(iter_ms + LS_ROUNDS_EST as f64 * round * ls_passes)
+                } else {
+                    Ok(iter_ms + host_ls_ms)
+                }
             });
             if let Ok(ms_per_iter) = probe {
                 out.push(CandidateEstimate {
@@ -187,9 +241,11 @@ fn allowed_candidates(pool: &DevicePool, affinity: DeviceAffinity) -> (Vec<GpuDe
 /// Resolve [`Backend::Auto`] for `inst` against the engine's device
 /// pool, consulting and filling the decision cache; non-auto backends
 /// pass through unchanged. The decision is keyed on the allowed
-/// candidate set as well as the instance/parameter slice, so jobs with
-/// different affinities on one instance never share a decision that one
-/// of them could not legally run.
+/// candidate set — and on the job's per-iteration local-search strategy
+/// *and scope*, which are priced into every candidate — as well as the
+/// instance/parameter slice, so jobs with different affinities or
+/// local-search configurations on one instance never share a decision.
+#[allow(clippy::too_many_arguments)]
 pub fn resolve(
     backend: &Backend,
     inst: &TspInstance,
@@ -198,6 +254,8 @@ pub fn resolve(
     cache: &ArtifactCache,
     pool: &DevicePool,
     affinity: DeviceAffinity,
+    ls: LocalSearch,
+    scope: LsScope,
 ) -> Backend {
     if !matches!(backend, Backend::Auto) {
         return backend.clone();
@@ -217,9 +275,15 @@ pub fn resolve(
         params.beta.to_bits(),
         params.rho.to_bits(),
         mask,
+        // Strategy discriminant in the low nibble, scope bit above it —
+        // only when a per-iteration strategy runs (scope is irrelevant
+        // to pricing otherwise, so None/PostPass jobs share a decision
+        // regardless of the scope their request happens to carry).
+        ls.per_iteration().discriminant()
+            | (u8::from(scope == LsScope::AllAnts && ls.runs_per_iteration()) << 4),
     );
     cache.decision(key, || {
-        let est = estimates(inst, params, artifacts, &gpu_models, allow_cpu);
+        let est = estimates(inst, params, artifacts, &gpu_models, allow_cpu, ls, scope);
         if est.is_empty() {
             // Every candidate was gated or failed to probe. With the CPU
             // allowed this cannot happen; for a pinned job fall through
@@ -264,7 +328,15 @@ mod tests {
         let inst = uniform_random("auto", 32, 500.0, 3);
         let params = AcoParams::default().nn(8);
         let arts = artifacts_for(&inst, 8);
-        let est = estimates(&inst, &params, &arts, &GpuDevice::ALL, true);
+        let est = estimates(
+            &inst,
+            &params,
+            &arts,
+            &GpuDevice::ALL,
+            true,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert!(est.len() >= 2 + GpuDevice::ALL.len()); // CPUs + at least one GPU pair each
         assert!(est.iter().all(|e| e.ms_per_iter.is_finite() && e.ms_per_iter > 0.0));
     }
@@ -274,12 +346,21 @@ mod tests {
         let inst = uniform_random("auto-gate", 28, 500.0, 2);
         let params = AcoParams::default().nn(8);
         let arts = artifacts_for(&inst, 8);
-        let gpu_only = estimates(&inst, &params, &arts, &[GpuDevice::TeslaM2050], false);
+        let gpu_only = estimates(
+            &inst,
+            &params,
+            &arts,
+            &[GpuDevice::TeslaM2050],
+            false,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert!(!gpu_only.is_empty());
         assert!(gpu_only
             .iter()
             .all(|e| matches!(e.backend, Backend::Gpu { device: GpuDevice::TeslaM2050, .. })));
-        let cpu_only = estimates(&inst, &params, &arts, &[], true);
+        let cpu_only =
+            estimates(&inst, &params, &arts, &[], true, LocalSearch::None, LsScope::IterationBest);
         assert_eq!(cpu_only.len(), 2);
     }
 
@@ -291,8 +372,28 @@ mod tests {
         let cache = ArtifactCache::new();
         let pool = both_models();
         let any = DeviceAffinity::Any;
-        let a = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, any);
-        let b = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, any);
+        let a = resolve(
+            &Backend::Auto,
+            &inst,
+            &params,
+            &arts,
+            &cache,
+            &pool,
+            any,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
+        let b = resolve(
+            &Backend::Auto,
+            &inst,
+            &params,
+            &arts,
+            &cache,
+            &pool,
+            any,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert_eq!(a, b);
         assert!(!matches!(a, Backend::Auto));
         let s = cache.stats();
@@ -307,15 +408,34 @@ mod tests {
         let cache = ArtifactCache::new();
         let pool = both_models();
         let pinned = DeviceAffinity::Pinned(DeviceId(1)); // the m2050
-        let got = resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, pinned);
+        let got = resolve(
+            &Backend::Auto,
+            &inst,
+            &params,
+            &arts,
+            &cache,
+            &pool,
+            pinned,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert!(
             matches!(got, Backend::Gpu { device: GpuDevice::TeslaM2050, .. }),
             "pinned auto must resolve onto the pinned device's model: {got:?}"
         );
         // A different affinity on the same instance is a distinct
         // decision-cache key, not a hit on the pinned decision.
-        let any =
-            resolve(&Backend::Auto, &inst, &params, &arts, &cache, &pool, DeviceAffinity::Any);
+        let any = resolve(
+            &Backend::Auto,
+            &inst,
+            &params,
+            &arts,
+            &cache,
+            &pool,
+            DeviceAffinity::Any,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert_eq!(cache.stats().decision_misses, 2);
         let _ = any;
     }
@@ -328,7 +448,17 @@ mod tests {
         let cache = ArtifactCache::new();
         let pool = both_models();
         let want = Backend::CpuSequential { policy: TourPolicy::NearestNeighborList };
-        let got = resolve(&want, &inst, &params, &arts, &cache, &pool, DeviceAffinity::Any);
+        let got = resolve(
+            &want,
+            &inst,
+            &params,
+            &arts,
+            &cache,
+            &pool,
+            DeviceAffinity::Any,
+            LocalSearch::None,
+            LsScope::IterationBest,
+        );
         assert_eq!(got, want);
         assert_eq!(cache.stats().decision_misses, 0);
     }

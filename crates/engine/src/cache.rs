@@ -53,12 +53,13 @@ pub struct CacheStats {
 /// bit patterns (they steer the simulated kernels' control flow) — plus
 /// the allowed-candidate mask (which device models the engine's pool
 /// offers this job, and whether the CPU is allowed; see
-/// `auto::resolve`), so differently-constrained jobs on one instance
-/// never share a decision. The job seed is deliberately excluded: probes
-/// run under a canonical seed (see `auto::PROBE_SEED`), so the decision
-/// is a pure function of this key and cannot vary with which job of a
-/// batch populates the cache.
-pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32, u8);
+/// `auto::resolve`) and the per-iteration local-search discriminant
+/// (local search is priced into every candidate, so jobs with different
+/// strategies on one instance never share a decision). The job seed is
+/// deliberately excluded: probes run under a canonical seed (see
+/// `auto::PROBE_SEED`), so the decision is a pure function of this key
+/// and cannot vary with which job of a batch populates the cache.
+pub(crate) type DecisionKey = (u64, usize, usize, u32, u32, u32, u8, u8);
 
 /// One exactly-once cache slot (see [`ArtifactCache`] on contention).
 type Slot<T> = Arc<OnceLock<T>>;

@@ -81,6 +81,7 @@ pub use aco_devices::{
     DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, Placement,
     PlacementError, PlacementStrategy,
 };
+pub use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
 pub use scheduler::{

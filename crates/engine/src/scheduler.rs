@@ -536,6 +536,8 @@ fn run_job(
         &shared.cache,
         &shared.pool,
         req.affinity,
+        req.local_search,
+        req.ls_scope,
     );
     // Bind the job to a pool device. Explicitly-GPU jobs were placed at
     // submit time (affinity-aware, least-loaded); an auto job that just
@@ -575,12 +577,16 @@ fn run_job(
             exec_threads: shared.pool.profile(d)?.exec_threads,
         })
     });
-    let mut solver = build_solver(&backend, inst, &params, &artifacts, gpu);
+    let mut solver =
+        build_solver(&backend, inst, &params, &artifacts, gpu, req.local_search, req.ls_scope);
     let mut report = solver.solve(req.iterations, seed, ctx)?;
     report.instance = inst.name().to_string();
     report.n = inst.n();
     report.device = device;
-    if req.two_opt && report.outcome == JobOutcome::Completed && ctx.stop_reason().is_none() {
+    if req.local_search.is_post_pass()
+        && report.outcome == JobOutcome::Completed
+        && ctx.stop_reason().is_none()
+    {
         // Host-side 2-opt post-pass (the paper's named hybridisation);
         // strictly non-worsening, pinned by tests/lifecycle.rs. Skipped
         // for cancelled/expired jobs — and when the deadline elapsed (or
@@ -588,8 +594,25 @@ fn run_job(
         // outcome is still Completed: an unbounded local search after
         // the budget is spent would break the prompt-cancel and
         // wall-clock-budget guarantees.
-        aco_tsp::two_opt::two_opt(&mut report.best_tour, inst.matrix(), &artifacts.nn);
-        report.best_len = report.best_tour.length(inst.matrix());
+        let mut scratch = aco_localsearch::LsScratch::new();
+        // One pass stops at a don't-look-bit fixpoint, which can fall
+        // short of 2-opt local optimality; iterate fresh passes until
+        // the move stream dries up, matching the pre-LocalSearch
+        // post-pass (run-to-optimality) behaviour.
+        loop {
+            let gain = req.local_search.improve(
+                &mut report.best_tour,
+                inst.matrix(),
+                &artifacts.nn,
+                &mut scratch,
+            );
+            report.best_len -= gain;
+            report.local_search_improvement += gain;
+            if gain == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(report.best_len, report.best_tour.length(inst.matrix()));
     }
     Ok(report)
 }

@@ -25,6 +25,7 @@ use aco_core::gpu::{GpuAntColonySystem, GpuAntSystem, PheromoneStrategy, TourStr
 use aco_core::lifecycle::{RunOutcome, SolveCtx, StopReason};
 use aco_core::{AcoParams, AntSystem, CpuModel, TourPolicy};
 use aco_devices::{DeviceAffinity, DeviceId, DeviceModel, PlacementError};
+use aco_localsearch::{LocalSearch, LsScope};
 use aco_simt::{DeviceSpec, SimtError};
 use aco_tsp::{Tour, TspInstance};
 
@@ -252,10 +253,15 @@ pub struct SolveRequest {
     pub seed: Option<u64>,
     /// Initial scheduling priority.
     pub priority: Priority,
-    /// Apply [`aco_tsp::two_opt`](aco_tsp::two_opt::two_opt) to the best
-    /// tour as a host-side post-pass (the paper's named 2-opt
-    /// hybridisation future work). Never worsens the tour.
-    pub two_opt: bool,
+    /// Local search for this job: a per-iteration strategy every colony
+    /// runs at its iteration boundaries (GPU colonies execute
+    /// [`LocalSearch::TwoOptNn`] as a simulated kernel family), or
+    /// [`LocalSearch::PostPass`] for the legacy end-of-run polish.
+    /// Deterministic and never worsening either way.
+    pub local_search: LocalSearch,
+    /// Which tours the per-iteration strategy improves (iteration-best
+    /// by default; [`LsScope::AllAnts`] for the full ACOTSP hybrid).
+    pub ls_scope: LsScope,
     /// Optional wall-clock budget, measured from submission (queue time
     /// included). An expired job stops at its next iteration boundary and
     /// reports [`JobOutcome::DeadlineExpired`].
@@ -275,7 +281,7 @@ pub struct SolveRequest {
 
 impl SolveRequest {
     /// A request with library defaults: auto backend, 10 iterations,
-    /// normal priority, no 2-opt, no deadline.
+    /// normal priority, no local search, no deadline.
     pub fn new(instance: Arc<TspInstance>, params: AcoParams) -> Self {
         SolveRequest {
             instance,
@@ -284,7 +290,8 @@ impl SolveRequest {
             iterations: 10,
             seed: None,
             priority: Priority::Normal,
-            two_opt: false,
+            local_search: LocalSearch::None,
+            ls_scope: LsScope::IterationBest,
             timeout: None,
             progress_events: DEFAULT_PROGRESS_EVENTS,
             affinity: DeviceAffinity::Any,
@@ -315,9 +322,23 @@ impl SolveRequest {
         self
     }
 
-    /// Builder: 2-opt post-pass on the best tour.
+    /// Builder: local-search strategy.
+    pub fn local_search(mut self, ls: LocalSearch) -> Self {
+        self.local_search = ls;
+        self
+    }
+
+    /// Builder: which tours the per-iteration strategy improves.
+    pub fn local_search_scope(mut self, scope: LsScope) -> Self {
+        self.ls_scope = scope;
+        self
+    }
+
+    /// Builder: 2-opt post-pass on the best tour (the pre-`LocalSearch`
+    /// API; the bool maps onto [`LocalSearch::PostPass`]).
+    #[deprecated(since = "0.1.0", note = "use local_search(LocalSearch::PostPass) instead")]
     pub fn two_opt(mut self, enable: bool) -> Self {
-        self.two_opt = enable;
+        self.local_search = if enable { LocalSearch::PostPass } else { LocalSearch::None };
         self
     }
 
@@ -395,6 +416,10 @@ pub struct SolveReport {
     /// backends). Deterministic: a fixed batch on a fixed pool reports
     /// identical device ids at any worker count.
     pub device: Option<DeviceId>,
+    /// Total tour-length reduction attributable to local search — the
+    /// per-iteration passes inside the colony plus the engine's
+    /// [`LocalSearch::PostPass`] polish. 0 when no local search ran.
+    pub local_search_improvement: u64,
 }
 
 /// A backend adapter: a ctx-driven iteration loop over one colony.
@@ -412,6 +437,12 @@ pub trait Solver {
 
     /// Modeled milliseconds accumulated so far.
     fn modeled_ms(&self) -> f64;
+
+    /// Tour-length reduction the colony's per-iteration local search has
+    /// contributed so far (0 for colonies without one).
+    fn local_search_improvement(&self) -> u64 {
+        0
+    }
 
     /// Drive the run and assemble the report. A run stopped before its
     /// first completed iteration has no solution to report and fails with
@@ -444,6 +475,7 @@ pub trait Solver {
             seed,
             outcome: outcome.stopped.into(),
             device: None, // filled by the scheduler, which owns the placement
+            local_search_improvement: self.local_search_improvement(),
         })
     }
 }
@@ -455,6 +487,8 @@ struct CpuSequentialSolver<'a> {
     aco: AntSystem<'a>,
     policy: TourPolicy,
     model: CpuModel,
+    /// Analytic per-iteration cost of the configured local search.
+    ls_iter_ms: f64,
     ms: f64,
 }
 
@@ -464,11 +498,12 @@ impl Solver for CpuSequentialSolver<'_> {
     }
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
-        let CpuSequentialSolver { aco, policy, model, ms } = self;
+        let CpuSequentialSolver { aco, policy, model, ls_iter_ms, ms } = self;
         Ok(aco.run_ctx(*policy, iterations, ctx, |rep| {
             *ms += model.time_ms(&rep.counters.choice)
                 + model.time_ms(&rep.counters.tour)
-                + model.time_ms(&rep.counters.update);
+                + model.time_ms(&rep.counters.update)
+                + *ls_iter_ms;
         }))
     }
 
@@ -478,6 +513,10 @@ impl Solver for CpuSequentialSolver<'_> {
 
     fn modeled_ms(&self) -> f64 {
         self.ms
+    }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.aco.local_search_improvement()
     }
 }
 
@@ -491,6 +530,10 @@ struct CpuParallelSolver<'a> {
     iteration: u64,
     best: Option<(Tour, u64)>,
     model: CpuModel,
+    /// Analytic per-iteration cost of the configured local search (the
+    /// pass runs on the fan-in thread, so it is not divided by
+    /// `threads`).
+    ls_iter_ms: f64,
     ms: f64,
 }
 
@@ -500,7 +543,8 @@ impl Solver for CpuParallelSolver<'_> {
     }
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
-        let CpuParallelSolver { aco, policy, threads, iteration, best, model, ms } = self;
+        let CpuParallelSolver { aco, policy, threads, iteration, best, model, ls_iter_ms, ms } =
+            self;
         // Construction fans out over `threads`; choice refresh and the
         // pheromone update stay sequential (memory-bound, as measured by
         // the per-iteration counters below). Model accordingly.
@@ -515,7 +559,7 @@ impl Solver for CpuParallelSolver<'_> {
         let tour_ms = model.time_ms(&tour_counters) / (*threads).max(1) as f64;
         let outcome =
             run_parallel_ctx(aco, *policy, *threads, iterations, *iteration, ctx, best, |c| {
-                *ms += model.time_ms(c) + tour_ms;
+                *ms += model.time_ms(c) + tour_ms + *ls_iter_ms;
             });
         *iteration += outcome.iterations as u64;
         Ok(outcome)
@@ -527,6 +571,10 @@ impl Solver for CpuParallelSolver<'_> {
 
     fn modeled_ms(&self) -> f64 {
         self.ms
+    }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.aco.local_search_improvement()
     }
 }
 
@@ -558,6 +606,10 @@ impl Solver for CpuAcsSolver<'_> {
     fn modeled_ms(&self) -> f64 {
         self.per_iter_ms * self.iters as f64
     }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.acs.local_search_improvement()
+    }
 }
 
 struct CpuMmasSolver<'a> {
@@ -585,6 +637,10 @@ impl Solver for CpuMmasSolver<'_> {
     fn modeled_ms(&self) -> f64 {
         self.per_iter_ms * self.iters as f64
     }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.mmas.local_search_improvement()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -605,7 +661,7 @@ impl Solver for GpuSolver<'_> {
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
         let GpuSolver { sys, ms, .. } = self;
-        Ok(sys.run_ctx(iterations, ctx, |rep| *ms += rep.tour_ms + rep.pheromone_ms)?)
+        Ok(sys.run_ctx(iterations, ctx, |rep| *ms += rep.tour_ms + rep.pheromone_ms + rep.ls_ms)?)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -614,6 +670,10 @@ impl Solver for GpuSolver<'_> {
 
     fn modeled_ms(&self) -> f64 {
         self.ms
+    }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.sys.local_search_improvement()
     }
 }
 
@@ -631,7 +691,9 @@ impl Solver for GpuAcsSolver<'_> {
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
         let GpuAcsSolver { sys, ms, .. } = self;
-        Ok(sys.run_ctx(iterations, ctx, |tour_ms, update_ms| *ms += tour_ms + update_ms)?)
+        Ok(sys.run_ctx(iterations, ctx, |tour_ms, update_ms, ls_ms| {
+            *ms += tour_ms + update_ms + ls_ms
+        })?)
     }
 
     fn best(&self) -> Option<(Tour, u64)> {
@@ -640,6 +702,10 @@ impl Solver for GpuAcsSolver<'_> {
 
     fn modeled_ms(&self) -> f64 {
         self.ms
+    }
+
+    fn local_search_improvement(&self) -> u64 {
+        self.sys.local_search_improvement()
     }
 }
 
@@ -661,6 +727,37 @@ pub(crate) fn analytic_cpu_iter_ms(n: usize, m: usize, nn: usize, model: &CpuMod
     choice + tour + update
 }
 
+/// Rounds the analytic local-search model assumes per iteration-best
+/// pass: candidate scans repeat until the move stream dries up, and a
+/// handful of best-improvement rounds is what construction-quality tours
+/// take in practice (the GPU side prices the same constant against a
+/// probed kernel round — see `crate::auto`).
+pub(crate) const LS_ROUNDS_EST: u64 = 6;
+
+/// Analytic per-iteration cost of a host-side local-search pass: one
+/// candidate evaluation is ~6 loads + 6 flops + 3 branches + 4 ALU ops,
+/// and a round evaluates every city's candidate set (both directions for
+/// 2-opt, three segment lengths for Or-opt). Used by the report clocks
+/// and the `auto` cost model, so enabling local search genuinely moves
+/// backend selection.
+pub(crate) fn cpu_ls_iter_ms(ls: LocalSearch, n: usize, nn: usize, model: &CpuModel) -> f64 {
+    let per_city = match ls.per_iteration() {
+        LocalSearch::None | LocalSearch::PostPass => return 0.0,
+        LocalSearch::TwoOpt => 2 * n.saturating_sub(1),
+        LocalSearch::TwoOptNn => 2 * nn,
+        LocalSearch::OrOpt => 3 * nn,
+    } as u64;
+    let evals = LS_ROUNDS_EST * n as u64 * per_city;
+    let c = aco_core::OpCounter {
+        loads: 6 * evals,
+        flops: 6 * evals,
+        branches: 3 * evals,
+        alu: 4 * evals,
+        ..Default::default()
+    };
+    model.time_ms(&c)
+}
+
 /// How a GPU solver is bound to a concrete pool device: the profile's
 /// derived spec (which may rescale the Table-I preset) and its
 /// exec-thread budget. Without a binding, GPU backends fall back to the
@@ -676,7 +773,10 @@ pub struct GpuBinding {
 
 /// Build a concrete solver for a **resolved** backend (callers resolve
 /// [`Backend::Auto`] first — see [`crate::auto::resolve`]), optionally
-/// bound to a pool device profile.
+/// bound to a pool device profile, with `local_search` configured into
+/// the colony's iteration loop (`scope` picks the tours it improves;
+/// [`LocalSearch::PostPass`] is applied by the engine after the run, not
+/// here).
 ///
 /// # Panics
 /// Panics if `backend` is [`Backend::Auto`].
@@ -686,66 +786,91 @@ pub fn build_solver<'a>(
     params: &AcoParams,
     artifacts: &InstanceArtifacts,
     gpu: Option<GpuBinding>,
+    local_search: LocalSearch,
+    scope: LsScope,
 ) -> Box<dyn Solver + 'a> {
     let model = CpuModel::default();
+    let eff_nn = artifacts.nn.depth();
+    // Per-iteration local-search clock: one pass (iteration best) or one
+    // per ant — with each backend's *own* colony size (ACS runs
+    // `num_ants.unwrap_or(10)` ants, not `ants_for`).
+    let ls_ms_for = |colony_m: usize| {
+        let passes = match scope {
+            LsScope::IterationBest => 1,
+            LsScope::AllAnts => colony_m.max(1),
+        };
+        cpu_ls_iter_ms(local_search, inst.n(), eff_nn, &model) * passes as f64
+    };
+    let ls_iter_ms = ls_ms_for(params.ants_for(inst.n()));
     match backend {
-        Backend::CpuSequential { policy } => Box::new(CpuSequentialSolver {
-            aco: AntSystem::with_artifacts(
+        Backend::CpuSequential { policy } => {
+            let mut aco = AntSystem::with_artifacts(
                 inst,
                 params.clone(),
                 Arc::clone(&artifacts.nn),
                 artifacts.c_nn,
-            ),
-            policy: *policy,
-            model,
-            ms: 0.0,
-        }),
-        Backend::CpuParallel { policy, threads } => Box::new(CpuParallelSolver {
-            aco: AntSystem::with_artifacts(
+            );
+            aco.set_local_search(local_search, scope);
+            Box::new(CpuSequentialSolver { aco, policy: *policy, model, ls_iter_ms, ms: 0.0 })
+        }
+        Backend::CpuParallel { policy, threads } => {
+            let mut aco = AntSystem::with_artifacts(
                 inst,
                 params.clone(),
                 Arc::clone(&artifacts.nn),
                 artifacts.c_nn,
-            ),
-            policy: *policy,
-            threads: (*threads).max(1),
-            iteration: 0,
-            best: None,
-            model,
-            ms: 0.0,
-        }),
+            );
+            aco.set_local_search(local_search, scope);
+            Box::new(CpuParallelSolver {
+                aco,
+                policy: *policy,
+                threads: (*threads).max(1),
+                iteration: 0,
+                best: None,
+                model,
+                ls_iter_ms,
+                ms: 0.0,
+            })
+        }
         Backend::CpuAcs(acs) => {
             let m = params.num_ants.unwrap_or(10);
+            let mut colony = AntColonySystem::with_artifacts(
+                inst,
+                params.clone(),
+                *acs,
+                Arc::clone(&artifacts.nn),
+                artifacts.c_nn,
+            );
+            colony.set_local_search(local_search, scope);
             Box::new(CpuAcsSolver {
-                acs: AntColonySystem::with_artifacts(
-                    inst,
-                    params.clone(),
-                    *acs,
-                    Arc::clone(&artifacts.nn),
-                    artifacts.c_nn,
-                ),
+                acs: colony,
                 acs_params: *acs,
-                per_iter_ms: analytic_cpu_iter_ms(inst.n(), m, params.nn_size, &model),
+                per_iter_ms: analytic_cpu_iter_ms(inst.n(), m, params.nn_size, &model)
+                    + ls_ms_for(m),
                 iters: 0,
             })
         }
-        Backend::CpuMmas(mmas) => Box::new(CpuMmasSolver {
-            mmas: MaxMinAntSystem::with_artifacts(
+        Backend::CpuMmas(mmas) => {
+            let mut colony = MaxMinAntSystem::with_artifacts(
                 inst,
                 params.clone(),
                 *mmas,
                 Arc::clone(&artifacts.nn),
                 artifacts.c_nn,
-            ),
-            mmas_params: *mmas,
-            per_iter_ms: analytic_cpu_iter_ms(
-                inst.n(),
-                params.ants_for(inst.n()),
-                params.nn_size,
-                &model,
-            ),
-            iters: 0,
-        }),
+            );
+            colony.set_local_search(local_search, scope);
+            Box::new(CpuMmasSolver {
+                mmas: colony,
+                mmas_params: *mmas,
+                per_iter_ms: analytic_cpu_iter_ms(
+                    inst.n(),
+                    params.ants_for(inst.n()),
+                    params.nn_size,
+                    &model,
+                ) + ls_iter_ms,
+                iters: 0,
+            })
+        }
         Backend::Gpu { device, tour, pheromone } => {
             let binding =
                 gpu.unwrap_or_else(|| GpuBinding { spec: device.spec(), exec_threads: 1 });
@@ -759,6 +884,7 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             sys.set_exec_threads(binding.exec_threads);
+            sys.set_local_search(local_search, scope);
             Box::new(GpuSolver {
                 sys,
                 device: *device,
@@ -779,6 +905,7 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             sys.set_exec_threads(binding.exec_threads);
+            sys.set_local_search(local_search, scope);
             Box::new(GpuAcsSolver { sys, device: *device, acs: *acs, ms: 0.0 })
         }
         Backend::Auto => panic!("Backend::Auto must be resolved before build_solver"),

@@ -1,0 +1,408 @@
+//! Host-side local-search passes.
+//!
+//! All passes are deterministic, allocation-free when warm (state lives
+//! in a reusable [`LsScratch`]) and strictly non-worsening.
+//!
+//! **The shared round algorithm.** [`two_opt_nn`] runs *best-improvement
+//! rounds*: each round scans every awake city's candidate moves (both
+//! tour directions, partners restricted to the city's nearest-neighbour
+//! list), applies the single best improving move of the whole round, and
+//! wakes the four cities whose incident edges changed. A city whose scan
+//! finds nothing improving sets its *don't-look bit* and is skipped until
+//! woken. Gains are evaluated in `f32` with a fixed operation order —
+//! `(removed₁ + removed₂) - (added₁ + added₂)` — and ties break toward
+//! the lowest proposing city, then the earliest candidate within the
+//! city's scan. These choices are not incidental: the GPU kernel family
+//! in [`crate::gpu`] executes exactly this algorithm (one city per
+//! thread, block-level best reduction with the same tie-break), so the
+//! two sides produce **identical tours** on identical inputs — pinned by
+//! the cross-crate equivalence tests. The gains are exactly the integer
+//! gains as long as every *pairwise distance sum* stays below 2²⁴,
+//! i.e. individual distances below 2²³ (all TSPLIB instances and this
+//! repo's generators are far below that); beyond it the f32 rounding
+//! could accept a neutral move and the two sides would still agree with
+//! each other, but not with the integer arithmetic.
+//!
+//! [`two_opt_full`] is the same loop over the full `n - 1` partner set;
+//! [`or_opt`] relocates 1–3-city segments next to near neighbours.
+
+use aco_tsp::{DistanceMatrix, NearestNeighborLists, Tour};
+
+/// Reusable local-search state: position index, don't-look bits and the
+/// segment-splice buffers Or-opt uses. One scratch serves any number of
+/// passes; each pass resizes (never shrinks) the buffers, so a warm
+/// scratch allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct LsScratch {
+    /// `pos[c]` = index of city `c` in the order.
+    pos: Vec<u32>,
+    /// Cities whose last scan found no improving move.
+    dont_look: Vec<bool>,
+    /// Or-opt: the segment being relocated.
+    seg: Vec<u32>,
+    /// Or-opt: the rebuilt visiting order.
+    build: Vec<u32>,
+}
+
+impl LsScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.dont_look.clear();
+        self.dont_look.resize(n, false);
+    }
+
+    fn index(&mut self, order: &[u32]) {
+        for (i, &c) in order.iter().enumerate() {
+            self.pos[c as usize] = i as u32;
+        }
+    }
+}
+
+#[inline]
+fn d32(m: &DistanceMatrix, i: u32, j: u32) -> f32 {
+    m.dist(i as usize, j as usize) as f32
+}
+
+/// The best improving move proposed by `c1` over `cands`, as
+/// `(gain, a, b)` — meaning: remove edges `(a, succ a)` and `(b, succ
+/// b)`, add `(a, b)` and `(succ a, succ b)` (i.e. reverse the segment
+/// after `a` up to `b`). `gain <= 0` means no improving move. The scan
+/// order (forward candidates, then backward) and the strict-`>`
+/// comparisons define the canonical tie-break the GPU kernel replicates.
+fn best_move_for_city(
+    order: &[u32],
+    pos: &[u32],
+    m: &DistanceMatrix,
+    c1: u32,
+    cands: &mut dyn Iterator<Item = u32>,
+    backward: &mut dyn Iterator<Item = u32>,
+) -> (f32, u32, u32) {
+    let n = order.len();
+    let succ = |c: u32| {
+        let p = pos[c as usize] as usize;
+        order[if p + 1 == n { 0 } else { p + 1 }]
+    };
+    let pred = |c: u32| {
+        let p = pos[c as usize] as usize;
+        order[if p == 0 { n - 1 } else { p - 1 }]
+    };
+    let mut best = (0.0f32, 0u32, 0u32);
+
+    // Moves replacing the forward edge (c1, succ c1): the added edge
+    // (c1, c2) must be shorter than the removed one (sorted candidate
+    // lists make this the classic early-out; as a mask it is the same
+    // set, which is how the lockstep kernel evaluates it).
+    let s1 = succ(c1);
+    let d1 = d32(m, c1, s1);
+    for c2 in cands {
+        let dcc = d32(m, c1, c2);
+        let s2 = succ(c2);
+        let g = (d1 + d32(m, c2, s2)) - (dcc + d32(m, s1, s2));
+        if dcc < d1 && s2 != c1 && c2 != s1 && g > best.0 {
+            best = (g, c1, c2);
+        }
+    }
+
+    // Moves replacing the backward edge (pred c1, c1).
+    let p1 = pred(c1);
+    let d1p = d32(m, p1, c1);
+    for c2 in backward {
+        let dcc = d32(m, c1, c2);
+        let p2 = pred(c2);
+        let g = (d1p + d32(m, p2, c2)) - (dcc + d32(m, p1, p2));
+        if dcc < d1p && p2 != c1 && c2 != p1 && g > best.0 {
+            best = (g, p1, p2);
+        }
+    }
+    best
+}
+
+/// Apply the 2-opt move `(a, b)`: reverse the segment strictly after `a`
+/// up to and including `b`, keeping `pos` consistent. Always reverses
+/// the shorter side (`2·inner <= n` picks the inner segment) — the exact
+/// rule the GPU apply kernel uses, so the resulting *order arrays* (not
+/// just the cycles) agree.
+fn apply_2opt(order: &mut [u32], pos: &mut [u32], a: u32, b: u32) {
+    let n = order.len();
+    let pa = pos[a as usize] as usize;
+    let pb = pos[b as usize] as usize;
+    let inner = (pb + n - pa) % n;
+    let (mut i, mut j) = if 2 * inner <= n { ((pa + 1) % n, pb) } else { ((pb + 1) % n, pa) };
+    let seg_len = (j + n - i) % n + 1;
+    for _ in 0..seg_len / 2 {
+        order.swap(i, j);
+        pos[order[i] as usize] = i as u32;
+        pos[order[j] as usize] = j as u32;
+        i = (i + 1) % n;
+        j = (j + n - 1) % n;
+    }
+}
+
+/// One best-improvement round over the awake cities. Returns the round's
+/// winning move, or `None` when no awake city can improve (every scanned
+/// city's don't-look bit is set on the way).
+fn propose_round(
+    order: &[u32],
+    pos: &[u32],
+    dont_look: &mut [bool],
+    m: &DistanceMatrix,
+    nn: Option<&NearestNeighborLists>,
+) -> Option<(u32, u32)> {
+    let n = order.len();
+    let mut best = (0.0f32, 0u32, 0u32);
+    for c1 in 0..n as u32 {
+        if dont_look[c1 as usize] {
+            continue;
+        }
+        let mv = match nn {
+            Some(lists) => {
+                let fwd = &mut lists.neighbors(c1 as usize).iter().copied();
+                let bwd = &mut lists.neighbors(c1 as usize).iter().copied();
+                best_move_for_city(order, pos, m, c1, fwd, bwd)
+            }
+            None => {
+                let fwd = &mut (0..n as u32).filter(|&j| j != c1);
+                let bwd = &mut (0..n as u32).filter(|&j| j != c1);
+                best_move_for_city(order, pos, m, c1, fwd, bwd)
+            }
+        };
+        if mv.0 <= 0.0 {
+            dont_look[c1 as usize] = true;
+        } else if mv.0 > best.0 {
+            // Strict > on an ascending city scan: ties keep the lowest
+            // proposing city, matching the kernel's reduction tie-break.
+            best = mv;
+        }
+    }
+    (best.0 > 0.0).then_some((best.1, best.2))
+}
+
+fn two_opt_rounds(
+    tour: &mut Tour,
+    m: &DistanceMatrix,
+    nn: Option<&NearestNeighborLists>,
+    scratch: &mut LsScratch,
+) -> usize {
+    let n = tour.n();
+    if n < 4 {
+        return 0;
+    }
+    scratch.reset(n);
+    scratch.index(tour.order());
+    let LsScratch { pos, dont_look, .. } = scratch;
+    let mut moves = 0usize;
+    while let Some((a, b)) = propose_round(tour.order(), pos, dont_look, m, nn) {
+        // Wake the endpoints of the two edges the move removes (their
+        // neighbourhood is about to change); computed before the
+        // reversal, exactly as the apply kernel does.
+        let (sa, sb) = {
+            let order = tour.order();
+            let pa = pos[a as usize] as usize;
+            let pb = pos[b as usize] as usize;
+            (order[(pa + 1) % n], order[(pb + 1) % n])
+        };
+        apply_2opt(tour.order_mut(), pos, a, b);
+        for c in [a, sa, b, sb] {
+            dont_look[c as usize] = false;
+        }
+        moves += 1;
+    }
+    moves
+}
+
+/// Nearest-neighbour-restricted 2-opt (the [`crate::LocalSearch::TwoOptNn`]
+/// pass): best-improvement rounds with don't-look bits over the NN
+/// candidate lists. Returns the number of moves applied. This is the
+/// *reference semantics* of the GPU kernel family — [`crate::gpu::run_two_opt`]
+/// on the same input produces the identical order array.
+pub fn two_opt_nn(
+    tour: &mut Tour,
+    m: &DistanceMatrix,
+    nn: &NearestNeighborLists,
+    scratch: &mut LsScratch,
+) -> usize {
+    two_opt_rounds(tour, m, Some(nn), scratch)
+}
+
+/// Full-neighbourhood 2-opt (the [`crate::LocalSearch::TwoOpt`] pass):
+/// the same round loop with every other city as a candidate. `O(n²)` per
+/// round; an *awake* city cannot miss an improving move (for any such
+/// move, one added edge is shorter than an adjacent removed edge, so
+/// the forward/backward scans with the shorter-added-edge filter find
+/// it), but like every don't-look pass the loop stops at a *fixpoint of
+/// the bits*, which can fall short of a true 2-opt optimum — iterate
+/// fresh passes until no move remains when full optimality is needed
+/// (as the engine's post-pass does).
+pub fn two_opt_full(tour: &mut Tour, m: &DistanceMatrix, scratch: &mut LsScratch) -> usize {
+    two_opt_rounds(tour, m, None, scratch)
+}
+
+/// Or-opt (the [`crate::LocalSearch::OrOpt`] pass): relocate segments of
+/// 1–3 consecutive cities, forward or reversed, to directly follow a
+/// nearest neighbour of the segment head. First-improvement sweeps until
+/// a full sweep finds nothing; every applied move strictly shortens the
+/// tour, so the pass terminates. Returns the number of moves applied.
+pub fn or_opt(
+    tour: &mut Tour,
+    m: &DistanceMatrix,
+    nn: &NearestNeighborLists,
+    scratch: &mut LsScratch,
+) -> usize {
+    let n = tour.n();
+    if n < 5 {
+        return 0;
+    }
+    let du = |i: u32, j: u32| m.dist(i as usize, j as usize) as i64;
+    let mut moves = 0usize;
+    loop {
+        scratch.reset(n);
+        scratch.index(tour.order());
+        let mut action: Option<(usize, usize, u32, bool)> = None;
+        'scan: for seg_len in 1..=3usize.min(n - 4) {
+            for p in 0..=n - seg_len {
+                let order = tour.order();
+                let first = order[p];
+                let last = order[p + seg_len - 1];
+                let prev = order[(p + n - 1) % n];
+                let next = order[(p + seg_len) % n];
+                let removal = du(prev, first) + du(last, next) - du(prev, next);
+                if removal <= 0 {
+                    continue; // reinsertion cost is never negative
+                }
+                for &c in nn.neighbors(first as usize) {
+                    let cp = scratch.pos[c as usize] as usize;
+                    let in_seg = cp >= p && cp < p + seg_len;
+                    if in_seg || c == prev {
+                        continue;
+                    }
+                    let c_next = order[(cp + 1) % n];
+                    let base = du(c, c_next);
+                    let fwd = du(c, first) + du(last, c_next) - base;
+                    let rev = du(c, last) + du(first, c_next) - base;
+                    let (cost, reversed) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+                    if removal - cost > 0 {
+                        action = Some((p, seg_len, c, reversed));
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        match action {
+            Some((p, seg_len, c, reversed)) => {
+                splice_segment(tour, scratch, p, seg_len, c, reversed);
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    moves
+}
+
+/// Remove the segment at positions `p .. p + seg_len` and reinsert it
+/// (optionally reversed) directly after city `c`, rebuilding the order
+/// through the scratch buffers.
+fn splice_segment(
+    tour: &mut Tour,
+    scratch: &mut LsScratch,
+    p: usize,
+    seg_len: usize,
+    c: u32,
+    reversed: bool,
+) {
+    let LsScratch { seg, build, .. } = scratch;
+    seg.clear();
+    // The remaining cycle, starting just past the removed segment.
+    seg.extend_from_slice(&tour.order()[p + seg_len..]);
+    seg.extend_from_slice(&tour.order()[..p]);
+    let ci = seg.iter().position(|&x| x == c).expect("c is outside the segment");
+    build.clear();
+    build.extend_from_slice(&seg[..=ci]);
+    if reversed {
+        build.extend(tour.order()[p..p + seg_len].iter().rev());
+    } else {
+        build.extend_from_slice(&tour.order()[p..p + seg_len]);
+    }
+    build.extend_from_slice(&seg[ci + 1..]);
+    tour.order_mut().copy_from_slice(build);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aco_tsp::{nearest_neighbor_tour, uniform_random};
+    use rand::SeedableRng;
+
+    #[test]
+    fn nn_rounds_reach_a_local_optimum() {
+        let inst = uniform_random("ls-cpu", 64, 1000.0, 3);
+        let nn = NearestNeighborLists::build(inst.matrix(), 16).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut tour = Tour::random(64, &mut rng);
+        let before = tour.length(inst.matrix());
+        let mut scratch = LsScratch::new();
+        let moves = two_opt_nn(&mut tour, inst.matrix(), &nn, &mut scratch);
+        assert!(moves > 0);
+        assert!(tour.is_valid());
+        let mid = tour.length(inst.matrix());
+        assert!(mid < before);
+        // Re-running finds nothing: local optimality w.r.t. the lists.
+        assert_eq!(two_opt_nn(&mut tour, inst.matrix(), &nn, &mut scratch), 0);
+        assert_eq!(tour.length(inst.matrix()), mid);
+    }
+
+    #[test]
+    fn full_matches_or_beats_nn_quality() {
+        let inst = uniform_random("ls-cpu2", 48, 800.0, 9);
+        let nn = NearestNeighborLists::build(inst.matrix(), 10).unwrap();
+        let mut scratch = LsScratch::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let seed_tour = Tour::random(48, &mut rng);
+        let mut a = seed_tour.clone();
+        two_opt_nn(&mut a, inst.matrix(), &nn, &mut scratch);
+        let mut b = seed_tour;
+        two_opt_full(&mut b, inst.matrix(), &mut scratch);
+        assert!(b.length(inst.matrix()) <= a.length(inst.matrix()));
+    }
+
+    #[test]
+    fn two_opt_untangles_a_crossing() {
+        let inst = aco_tsp::grid("sq", 2, 2, 10.0);
+        let nn = NearestNeighborLists::build(inst.matrix(), 3).unwrap();
+        let mut tour = Tour::new(vec![0, 3, 1, 2]).unwrap();
+        let mut scratch = LsScratch::new();
+        two_opt_nn(&mut tour, inst.matrix(), &nn, &mut scratch);
+        assert_eq!(tour.length(inst.matrix()), 40);
+    }
+
+    #[test]
+    fn or_opt_improves_greedy_tours_and_terminates() {
+        let inst = uniform_random("ls-oropt", 80, 1000.0, 13);
+        let nn = NearestNeighborLists::build(inst.matrix(), 12).unwrap();
+        let mut tour = nearest_neighbor_tour(inst.matrix(), 0);
+        let before = tour.length(inst.matrix());
+        let mut scratch = LsScratch::new();
+        let moves = or_opt(&mut tour, inst.matrix(), &nn, &mut scratch);
+        assert!(tour.is_valid());
+        assert!(tour.length(inst.matrix()) <= before);
+        // A greedy tour on 80 random cities nearly always has a
+        // relocatable city; if not, the pass must simply terminate.
+        let _ = moves;
+    }
+
+    #[test]
+    fn tiny_instances_are_no_ops() {
+        let inst = uniform_random("ls-tiny", 4, 100.0, 1);
+        let nn = NearestNeighborLists::build(inst.matrix(), 3).unwrap();
+        let mut tour = Tour::identity(4);
+        let mut scratch = LsScratch::new();
+        assert_eq!(or_opt(&mut tour, inst.matrix(), &nn, &mut scratch), 0);
+        let mut t3 = Tour::identity(3);
+        assert_eq!(two_opt_nn(&mut t3, inst.matrix(), &nn, &mut scratch), 0);
+    }
+}

@@ -1,0 +1,799 @@
+//! The simulated-device `two_opt` kernel family.
+//!
+//! GPU colonies run the [`crate::LocalSearch::TwoOptNn`] pass *on the
+//! device*, as the strongest GPU-ACO systems do (Skinderowicz 2016,
+//! 2020), instead of round-tripping tours to the host. One improvement
+//! **round** is four launches driven by [`run_two_opt`]:
+//!
+//! 1. [`TwoOptPosKernel`] — scatter `pos[city] = index` for the ant's
+//!    tour and refresh the θ-padding (positions `n..stride` repeat the
+//!    possibly-new start city).
+//! 2. [`TwoOptProposeKernel`] — **one proposed swap per thread**: thread
+//!    `c` scans its city's nearest-neighbour candidates in both tour
+//!    directions (distances through the texture cache, exactly like the
+//!    paper's `*Tex` tour kernels), keeps its best improving move, sets
+//!    the city's *don't-look bit* when nothing improves, and the block
+//!    reduces `(gain, city)` pairs through shared memory to a per-block
+//!    best (ties → lowest city).
+//! 3. [`TwoOptSelectKernel`] — a single block folds the per-block bests
+//!    into the chosen move of the round (same tie-break).
+//! 4. [`TwoOptApplyKernel`] — reverse the shorter side of the chosen
+//!    segment (strided swaps, disjoint pairs), subtract the gain from the
+//!    ant's device length, and clear the don't-look bits of the four
+//!    cities whose edges changed.
+//!
+//! The host reads back one word per round (the chosen gain) to decide
+//! termination — the same single-`cudaMemcpy` loop a real implementation
+//! uses.
+//!
+//! **CPU equivalence.** The family executes exactly the round algorithm
+//! of [`crate::cpu::two_opt_nn`]: identical candidate sets, identical
+//! `f32` gain expression `(removed₁ + removed₂) - (added₁ + added₂)`,
+//! identical strict-`>` scan order, identical `(gain, city)` reduction
+//! tie-break, identical shorter-side reversal and don't-look updates.
+//! On the same input tour both sides therefore produce the **same order
+//! array**, pinned by the cross-crate equivalence tests. And because
+//! every launch goes through [`aco_simt::launch_threads`], counters,
+//! modeled times and memory are bit-identical at any host `exec_threads`
+//! count.
+
+use aco_simt::prelude::*;
+use aco_simt::SimtError;
+
+/// Threads per block for every kernel of the family.
+pub const LS_BLOCK: u32 = 128;
+
+/// Device state of the 2-opt family: the colony buffers it reads
+/// (distances, tours, lengths, candidate lists) plus the family's own
+/// scratch (position index, don't-look bits, reduction buffers).
+/// `Copy` so kernels capture it like `ColonyBuffers`.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoOptDev {
+    /// Cities.
+    pub n: u32,
+    /// Candidate-list depth.
+    pub nn: u32,
+    /// Row stride of the per-ant tour array.
+    pub stride: u32,
+    /// `n x n` distances, f32.
+    pub dist: DevicePtr<f32>,
+    /// `m x stride` tours (improved in place).
+    pub tours: DevicePtr<u32>,
+    /// `m` tour lengths, f32 (gain-adjusted in place).
+    pub lengths: DevicePtr<f32>,
+    /// `n x nn` nearest-neighbour lists.
+    pub nn_list: DevicePtr<u32>,
+    /// `n` positions: `pos[city] = index` in the current order.
+    pub pos: DevicePtr<u32>,
+    /// `n` don't-look bits (0 = awake).
+    pub dont_look: DevicePtr<u32>,
+    /// Per-block best gain (`grid` entries).
+    pub block_gain: DevicePtr<f32>,
+    /// Per-block best move `a` (reverse starts after `a`).
+    pub block_a: DevicePtr<u32>,
+    /// Per-block best move `b` (reverse ends at `b`).
+    pub block_b: DevicePtr<u32>,
+    /// Per-block proposing city (the reduction tie-break key).
+    pub block_city: DevicePtr<u32>,
+    /// The round's chosen gain (1 entry; the host's termination read).
+    pub chosen_gain: DevicePtr<f32>,
+    /// The round's chosen `a` (1 entry).
+    pub chosen_a: DevicePtr<u32>,
+    /// The round's chosen `b` (1 entry).
+    pub chosen_b: DevicePtr<u32>,
+}
+
+impl TwoOptDev {
+    /// Allocate the family's scratch next to an existing colony's
+    /// buffers (distances / tours / lengths / candidate lists are
+    /// borrowed from the colony, not copied).
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate(
+        gm: &mut GlobalMem,
+        n: u32,
+        nn: u32,
+        stride: u32,
+        dist: DevicePtr<f32>,
+        tours: DevicePtr<u32>,
+        lengths: DevicePtr<f32>,
+        nn_list: DevicePtr<u32>,
+    ) -> Self {
+        let grid = n.div_ceil(LS_BLOCK) as usize;
+        TwoOptDev {
+            n,
+            nn,
+            stride,
+            dist,
+            tours,
+            lengths,
+            nn_list,
+            pos: gm.alloc_u32(n as usize),
+            dont_look: gm.alloc_u32(n as usize),
+            block_gain: gm.alloc_f32(grid),
+            block_a: gm.alloc_u32(grid),
+            block_b: gm.alloc_u32(grid),
+            block_city: gm.alloc_u32(grid),
+            chosen_gain: gm.alloc_f32(1),
+            chosen_a: gm.alloc_u32(1),
+            chosen_b: gm.alloc_u32(1),
+        }
+    }
+
+    /// Blocks of the propose grid (one thread per city).
+    pub fn grid(&self) -> u32 {
+        self.n.div_ceil(LS_BLOCK)
+    }
+}
+
+/// Position scatter + padding refresh for one ant's tour row.
+pub struct TwoOptPosKernel {
+    /// Family buffers.
+    pub bufs: TwoOptDev,
+    /// The ant whose row is being improved.
+    pub ant: u32,
+}
+
+impl TwoOptPosKernel {
+    /// One thread per padded tour cell.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.stride.div_ceil(LS_BLOCK), LS_BLOCK).regs(10)
+    }
+}
+
+impl Kernel for TwoOptPosKernel {
+    fn name(&self) -> &'static str {
+        "two_opt_pos"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let base = self.ant * self.bufs.stride;
+        let idx = ctx.global_thread_idx();
+        let n_reg = ctx.splat_u32(n);
+        let in_n = ctx.ult(&idx, &n_reg);
+        let base_reg = ctx.splat_u32(base);
+        let g_idx = ctx.iadd(&base_reg, &idx);
+        ctx.if_then(gm, &in_n, |ctx, gm| {
+            let city = ctx.ld_global_u32(gm, self.bufs.tours, &g_idx);
+            ctx.st_global_u32(gm, self.bufs.pos, &city, &idx);
+        });
+        // Padding cells repeat the (possibly new) start city, so the
+        // pheromone kernels keep seeing their harmless diagonal edges.
+        let stride_reg = ctx.splat_u32(self.bufs.stride);
+        let in_pad = ctx.ult(&idx, &stride_reg).and(&in_n.not());
+        ctx.if_then(gm, &in_pad, |ctx, gm| {
+            let start_idx = ctx.splat_u32(base);
+            let start = ctx.ld_global_u32(gm, self.bufs.tours, &start_idx);
+            ctx.st_global_u32(gm, self.bufs.tours, &g_idx, &start);
+        });
+    }
+}
+
+/// Per-city move proposal + per-block best-improvement reduction.
+pub struct TwoOptProposeKernel {
+    /// Family buffers.
+    pub bufs: TwoOptDev,
+    /// The ant whose row is being improved.
+    pub ant: u32,
+}
+
+impl TwoOptProposeKernel {
+    /// One thread per city; shared memory holds the four reduction
+    /// arrays (gain, a, b, proposing city).
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.grid(), LS_BLOCK).regs(30).shared(4 * LS_BLOCK * 4)
+    }
+}
+
+impl Kernel for TwoOptProposeKernel {
+    fn name(&self) -> &'static str {
+        "two_opt_propose"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let nn = self.bufs.nn;
+        let base = self.ant * self.bufs.stride;
+        let tid = ctx.global_thread_idx();
+        let n_reg = ctx.splat_u32(n);
+        let zero_f = ctx.splat_f32(0.0);
+        let zero_u = ctx.splat_u32(0);
+        let one_u = ctx.splat_u32(1);
+        let base_reg = ctx.splat_u32(base);
+        let nm1 = ctx.splat_u32(n - 1);
+
+        // Per-lane best move; lanes out of range or asleep keep the
+        // sentinel (gain 0) and lose every reduction comparison.
+        let mut best_g = ctx.splat_f32(0.0);
+        let mut best_a = ctx.splat_u32(0);
+        let mut best_b = ctx.splat_u32(0);
+
+        let in_range = ctx.ult(&tid, &n_reg);
+        ctx.if_then(gm, &in_range, |ctx, gm| {
+            let look = ctx.ld_global_u32(gm, self.bufs.dont_look, &tid);
+            let awake = ctx.ueq(&look, &zero_u);
+            ctx.branch(&awake);
+            ctx.with_mask(gm, &awake, |ctx, gm| {
+                // succ(c) / pred(c) positions via the scattered index.
+                let my_pos = ctx.ld_global_u32(gm, self.bufs.pos, &tid);
+                let p_plus = ctx.iadd(&my_pos, &one_u);
+                let wrap_s = ctx.ueq(&p_plus, &n_reg);
+                let sp = ctx.select_u32(&wrap_s, &zero_u, &p_plus);
+                let sp_g = ctx.iadd(&base_reg, &sp);
+                let s1 = ctx.ld_global_u32(gm, self.bufs.tours, &sp_g);
+                let wrap_p = ctx.ueq(&my_pos, &zero_u);
+                let p_minus = ctx.isub(&my_pos, &one_u);
+                let pp = ctx.select_u32(&wrap_p, &nm1, &p_minus);
+                let pp_g = ctx.iadd(&base_reg, &pp);
+                let p1 = ctx.ld_global_u32(gm, self.bufs.tours, &pp_g);
+
+                let row = ctx.imul(&tid, &n_reg);
+                let nn_reg = ctx.splat_u32(nn);
+                let nn_row = ctx.imul(&tid, &nn_reg);
+
+                // Forward edge (c1, succ c1): removed length d1.
+                let s1_idx = ctx.iadd(&row, &s1);
+                let d1 = ctx.ld_tex_f32(gm, self.bufs.dist, &s1_idx);
+                // Backward edge (pred c1, c1): removed length d1p.
+                let p1_row = ctx.imul(&p1, &n_reg);
+                let p1_idx = ctx.iadd(&p1_row, &tid);
+                let d1p = ctx.ld_tex_f32(gm, self.bufs.dist, &p1_idx);
+
+                // Scan order matters for exact CPU equivalence: ALL
+                // forward moves first, then all backward moves — the
+                // order `cpu::best_move_for_city` evaluates — so a
+                // forward/backward move with exactly equal f32 gain
+                // resolves to the same winner on both sides (strict `>`
+                // keeps the earlier candidate).
+                for k in 0..nn {
+                    // Forward move: remove (c1, s1) and (c2, s2), add
+                    // (c1, c2) and (s1, s2) — reverse after a = c1 up to
+                    // b = c2.
+                    let k_reg = ctx.splat_u32(k);
+                    let l_idx = ctx.iadd(&nn_row, &k_reg);
+                    let c2 = ctx.ld_global_u32(gm, self.bufs.nn_list, &l_idx);
+                    let cc_idx = ctx.iadd(&row, &c2);
+                    let dcc = ctx.ld_tex_f32(gm, self.bufs.dist, &cc_idx);
+                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2);
+                    let c2p1 = ctx.iadd(&c2_pos, &one_u);
+                    let wrap = ctx.ueq(&c2p1, &n_reg);
+                    let sp2 = ctx.select_u32(&wrap, &zero_u, &c2p1);
+                    let sp2_g = ctx.iadd(&base_reg, &sp2);
+                    let s2 = ctx.ld_global_u32(gm, self.bufs.tours, &sp2_g);
+                    let c2_row = ctx.imul(&c2, &n_reg);
+                    let rem2_idx = ctx.iadd(&c2_row, &s2);
+                    let rem2 = ctx.ld_tex_f32(gm, self.bufs.dist, &rem2_idx);
+                    let s1_row = ctx.imul(&s1, &n_reg);
+                    let add2_idx = ctx.iadd(&s1_row, &s2);
+                    let add2 = ctx.ld_tex_f32(gm, self.bufs.dist, &add2_idx);
+                    let removed = ctx.fadd(&d1, &rem2);
+                    let added = ctx.fadd(&dcc, &add2);
+                    let g = ctx.fsub(&removed, &added);
+                    let closer = ctx.flt(&dcc, &d1);
+                    let ok1 = ctx.une(&s2, &tid);
+                    let ok2 = ctx.une(&c2, &s1);
+                    let better = ctx.fgt(&g, &best_g);
+                    let valid = closer.and(&ok1).and(&ok2).and(&better);
+                    let ng = ctx.select_f32(&valid, &g, &best_g);
+                    ctx.assign_f32(&mut best_g, &ng);
+                    let na = ctx.select_u32(&valid, &tid, &best_a);
+                    ctx.assign_u32(&mut best_a, &na);
+                    let nb = ctx.select_u32(&valid, &c2, &best_b);
+                    ctx.assign_u32(&mut best_b, &nb);
+                }
+
+                for k in 0..nn {
+                    // Backward move: remove (p1, c1) and (p2, c2), add
+                    // (c1, c2) and (p1, p2) — reverse after a = p1 up to
+                    // b = p2.
+                    let k_reg = ctx.splat_u32(k);
+                    let l_idx = ctx.iadd(&nn_row, &k_reg);
+                    let c2 = ctx.ld_global_u32(gm, self.bufs.nn_list, &l_idx);
+                    let cc_idx = ctx.iadd(&row, &c2);
+                    let dcc = ctx.ld_tex_f32(gm, self.bufs.dist, &cc_idx);
+                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2);
+                    let wrap = ctx.ueq(&c2_pos, &zero_u);
+                    let c2m1 = ctx.isub(&c2_pos, &one_u);
+                    let ppos2 = ctx.select_u32(&wrap, &nm1, &c2m1);
+                    let pp2_g = ctx.iadd(&base_reg, &ppos2);
+                    let p2 = ctx.ld_global_u32(gm, self.bufs.tours, &pp2_g);
+                    let p2_row = ctx.imul(&p2, &n_reg);
+                    let rem2_idx = ctx.iadd(&p2_row, &c2);
+                    let rem2 = ctx.ld_tex_f32(gm, self.bufs.dist, &rem2_idx);
+                    let p1_row2 = ctx.imul(&p1, &n_reg);
+                    let add2_idx = ctx.iadd(&p1_row2, &p2);
+                    let add2 = ctx.ld_tex_f32(gm, self.bufs.dist, &add2_idx);
+                    let removed = ctx.fadd(&d1p, &rem2);
+                    let added = ctx.fadd(&dcc, &add2);
+                    let g = ctx.fsub(&removed, &added);
+                    let closer = ctx.flt(&dcc, &d1p);
+                    let ok1 = ctx.une(&p2, &tid);
+                    let ok2 = ctx.une(&c2, &p1);
+                    let better = ctx.fgt(&g, &best_g);
+                    let valid = closer.and(&ok1).and(&ok2).and(&better);
+                    let ng = ctx.select_f32(&valid, &g, &best_g);
+                    ctx.assign_f32(&mut best_g, &ng);
+                    let na = ctx.select_u32(&valid, &p1, &best_a);
+                    ctx.assign_u32(&mut best_a, &na);
+                    let nb = ctx.select_u32(&valid, &p2, &best_b);
+                    ctx.assign_u32(&mut best_b, &nb);
+                }
+
+                // Cities with nothing to propose go to sleep until a
+                // neighbouring edge changes.
+                let stale = ctx.fle(&best_g, &zero_f);
+                ctx.if_then(gm, &stale, |ctx, gm| {
+                    ctx.st_global_u32(gm, self.bufs.dont_look, &tid, &one_u);
+                });
+            });
+        });
+
+        // Reduction key: (gain, proposing city); sentinel city = MAX so
+        // idle lanes lose ties too.
+        let improved = ctx.fgt(&best_g, &zero_f);
+        let max_u = ctx.splat_u32(u32::MAX);
+        let best_city = ctx.select_u32(&improved, &tid, &max_u);
+
+        block_reduce_best(ctx, gm, &best_g, &best_a, &best_b, &best_city, |ctx, gm, g, a, b, c| {
+            let bidx = ctx.splat_u32(ctx.block_idx);
+            ctx.st_global_f32(gm, self.bufs.block_gain, &bidx, g);
+            ctx.st_global_u32(gm, self.bufs.block_a, &bidx, a);
+            ctx.st_global_u32(gm, self.bufs.block_b, &bidx, b);
+            ctx.st_global_u32(gm, self.bufs.block_city, &bidx, c);
+        });
+    }
+}
+
+/// Shared-memory tree reduction of `(gain, a, b, city)` down to lane 0,
+/// preferring higher gain, then lower proposing city — the block-level
+/// half of the family's canonical move order. `emit` runs under the
+/// lane-0 mask with the winning values.
+fn block_reduce_best(
+    ctx: &mut BlockCtx,
+    gm: &mut GlobalMem,
+    best_g: &Reg<f32>,
+    best_a: &Reg<u32>,
+    best_b: &Reg<u32>,
+    best_city: &Reg<u32>,
+    emit: impl FnOnce(&mut BlockCtx, &mut GlobalMem, &Reg<f32>, &Reg<u32>, &Reg<u32>, &Reg<u32>),
+) {
+    let lane = ctx.thread_idx();
+    let s_g = ctx.shared_alloc_f32(LS_BLOCK as usize);
+    let s_a = ctx.shared_alloc_u32(LS_BLOCK as usize);
+    let s_b = ctx.shared_alloc_u32(LS_BLOCK as usize);
+    let s_c = ctx.shared_alloc_u32(LS_BLOCK as usize);
+    ctx.sh_st_f32(s_g, &lane, best_g);
+    ctx.sh_st_u32(s_a, &lane, best_a);
+    ctx.sh_st_u32(s_b, &lane, best_b);
+    ctx.sh_st_u32(s_c, &lane, best_city);
+    ctx.sync_threads();
+    let mut off = LS_BLOCK / 2;
+    while off >= 1 {
+        let off_reg = ctx.splat_u32(off);
+        let low = ctx.ult(&lane, &off_reg);
+        ctx.branch(&low);
+        ctx.with_mask(gm, &low, |ctx, _gm| {
+            let other = ctx.iadd(&lane, &off_reg);
+            let g1 = ctx.sh_ld_f32(s_g, &lane);
+            let g2 = ctx.sh_ld_f32(s_g, &other);
+            let c1 = ctx.sh_ld_u32(s_c, &lane);
+            let c2 = ctx.sh_ld_u32(s_c, &other);
+            let gt = ctx.fgt(&g2, &g1);
+            let ge = ctx.fge(&g2, &g1);
+            let le = ctx.fle(&g2, &g1);
+            let eq = ge.and(&le);
+            let lower = ctx.ult(&c2, &c1);
+            let better = gt.or(&eq.and(&lower));
+            let a1 = ctx.sh_ld_u32(s_a, &lane);
+            let a2 = ctx.sh_ld_u32(s_a, &other);
+            let b1 = ctx.sh_ld_u32(s_b, &lane);
+            let b2 = ctx.sh_ld_u32(s_b, &other);
+            let ng = ctx.select_f32(&better, &g2, &g1);
+            let na = ctx.select_u32(&better, &a2, &a1);
+            let nb = ctx.select_u32(&better, &b2, &b1);
+            let nc = ctx.select_u32(&better, &c2, &c1);
+            ctx.sh_st_f32(s_g, &lane, &ng);
+            ctx.sh_st_u32(s_a, &lane, &na);
+            ctx.sh_st_u32(s_b, &lane, &nb);
+            ctx.sh_st_u32(s_c, &lane, &nc);
+        });
+        ctx.sync_threads();
+        off /= 2;
+    }
+    let lane0 = ctx.lane_mask(0);
+    ctx.if_then(gm, &lane0, |ctx, gm| {
+        let zero = ctx.splat_u32(0);
+        let g = ctx.sh_ld_f32(s_g, &zero);
+        let a = ctx.sh_ld_u32(s_a, &zero);
+        let b = ctx.sh_ld_u32(s_b, &zero);
+        let c = ctx.sh_ld_u32(s_c, &zero);
+        emit(ctx, gm, &g, &a, &b, &c);
+    });
+}
+
+/// Fold the per-block bests into the round's chosen move.
+pub struct TwoOptSelectKernel {
+    /// Family buffers.
+    pub bufs: TwoOptDev,
+}
+
+impl TwoOptSelectKernel {
+    /// One block; threads stride over the per-block entries.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(1, LS_BLOCK).regs(18).shared(4 * LS_BLOCK * 4)
+    }
+}
+
+impl Kernel for TwoOptSelectKernel {
+    fn name(&self) -> &'static str {
+        "two_opt_select"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let entries = self.bufs.grid();
+        let lane = ctx.thread_idx();
+        let e_reg = ctx.splat_u32(entries);
+        let step = ctx.splat_u32(LS_BLOCK);
+        let max_u = ctx.splat_u32(u32::MAX);
+        let mut fold_g = ctx.splat_f32(0.0);
+        let mut fold_a = ctx.splat_u32(0);
+        let mut fold_b = ctx.splat_u32(0);
+        let mut fold_c = max_u.clone();
+        let mut idx = lane.clone();
+        for _ in 0..entries.div_ceil(LS_BLOCK) {
+            let in_range = ctx.ult(&idx, &e_reg);
+            ctx.branch(&in_range);
+            ctx.with_mask(gm, &in_range, |ctx, gm| {
+                let g2 = ctx.ld_global_f32(gm, self.bufs.block_gain, &idx);
+                let c2 = ctx.ld_global_u32(gm, self.bufs.block_city, &idx);
+                let a2 = ctx.ld_global_u32(gm, self.bufs.block_a, &idx);
+                let b2 = ctx.ld_global_u32(gm, self.bufs.block_b, &idx);
+                let gt = ctx.fgt(&g2, &fold_g);
+                let ge = ctx.fge(&g2, &fold_g);
+                let le = ctx.fle(&g2, &fold_g);
+                let eq = ge.and(&le);
+                let lower = ctx.ult(&c2, &fold_c);
+                let better = gt.or(&eq.and(&lower));
+                let ng = ctx.select_f32(&better, &g2, &fold_g);
+                ctx.assign_f32(&mut fold_g, &ng);
+                let na = ctx.select_u32(&better, &a2, &fold_a);
+                ctx.assign_u32(&mut fold_a, &na);
+                let nb = ctx.select_u32(&better, &b2, &fold_b);
+                ctx.assign_u32(&mut fold_b, &nb);
+                let nc = ctx.select_u32(&better, &c2, &fold_c);
+                ctx.assign_u32(&mut fold_c, &nc);
+            });
+            idx = ctx.iadd(&idx, &step);
+        }
+        block_reduce_best(ctx, gm, &fold_g, &fold_a, &fold_b, &fold_c, |ctx, gm, g, a, b, _c| {
+            let zero = ctx.splat_u32(0);
+            ctx.st_global_f32(gm, self.bufs.chosen_gain, &zero, g);
+            ctx.st_global_u32(gm, self.bufs.chosen_a, &zero, a);
+            ctx.st_global_u32(gm, self.bufs.chosen_b, &zero, b);
+        });
+    }
+}
+
+/// Apply the round's chosen move to the ant's tour row.
+pub struct TwoOptApplyKernel {
+    /// Family buffers.
+    pub bufs: TwoOptDev,
+    /// The ant whose row is being improved.
+    pub ant: u32,
+}
+
+impl TwoOptApplyKernel {
+    /// One block; threads stride over the (disjoint) swap pairs.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(1, LS_BLOCK).regs(22)
+    }
+}
+
+impl Kernel for TwoOptApplyKernel {
+    fn name(&self) -> &'static str {
+        "two_opt_apply"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let n = self.bufs.n;
+        let base = self.ant * self.bufs.stride;
+        let zero_u = ctx.splat_u32(0);
+        let one_u = ctx.splat_u32(1);
+        let n_reg = ctx.splat_u32(n);
+        let base_reg = ctx.splat_u32(base);
+
+        // The chosen move (uniform broadcast loads), and everything that
+        // must be read *before* any cell moves: the removed edges'
+        // successor cities and the two segment boundaries.
+        let gain = ctx.ld_global_f32(gm, self.bufs.chosen_gain, &zero_u);
+        let a = ctx.ld_global_u32(gm, self.bufs.chosen_a, &zero_u);
+        let b = ctx.ld_global_u32(gm, self.bufs.chosen_b, &zero_u);
+        let pa = ctx.ld_global_u32(gm, self.bufs.pos, &a);
+        let pb = ctx.ld_global_u32(gm, self.bufs.pos, &b);
+        let pa1 = ctx.iadd(&pa, &one_u);
+        let wrap_a = ctx.ueq(&pa1, &n_reg);
+        let spa = ctx.select_u32(&wrap_a, &zero_u, &pa1);
+        let spa_g = ctx.iadd(&base_reg, &spa);
+        let sa = ctx.ld_global_u32(gm, self.bufs.tours, &spa_g);
+        let pb1 = ctx.iadd(&pb, &one_u);
+        let wrap_b = ctx.ueq(&pb1, &n_reg);
+        let spb = ctx.select_u32(&wrap_b, &zero_u, &pb1);
+        let spb_g = ctx.iadd(&base_reg, &spb);
+        let sb = ctx.ld_global_u32(gm, self.bufs.tours, &spb_g);
+
+        // Shorter-side selection: inner = (pb - pa) mod n; reverse the
+        // inner segment succ(a)..b when 2*inner <= n, else the
+        // complement succ(b)..a — the same rule as the CPU pass.
+        let pbn = ctx.iadd(&pb, &n_reg);
+        let diff = ctx.isub(&pbn, &pa);
+        let over = ctx.ule(&n_reg, &diff);
+        let diff_w = ctx.isub(&diff, &n_reg);
+        let inner = ctx.select_u32(&over, &diff_w, &diff);
+        let two = ctx.splat_u32(2);
+        let twice = ctx.imul(&inner, &two);
+        let use_inner = ctx.ule(&twice, &n_reg);
+        let i0 = ctx.select_u32(&use_inner, &spa, &spb);
+        let j0 = ctx.select_u32(&use_inner, &pb, &pa);
+        let j0n = ctx.iadd(&j0, &n_reg);
+        let span = ctx.isub(&j0n, &i0);
+        let span_over = ctx.ule(&n_reg, &span);
+        let span_w = ctx.isub(&span, &n_reg);
+        let seg_m1 = ctx.select_u32(&span_over, &span_w, &span);
+        let seg = ctx.iadd(&seg_m1, &one_u);
+        let half = ctx.ishr(&seg, &one_u);
+
+        // Strided swap loop: pair t swaps positions (i0 + t) and
+        // (j0 - t); pairs are disjoint, and all boundary reads above
+        // happened before the first store.
+        let mut t = ctx.thread_idx();
+        let step = ctx.splat_u32(LS_BLOCK);
+        ctx.loop_while(gm, |ctx, gm| {
+            let cont = ctx.ult(&t, &half);
+            ctx.with_mask(gm, &cont, |ctx, gm| {
+                let li_raw = ctx.iadd(&i0, &t);
+                let li_over = ctx.ule(&n_reg, &li_raw);
+                let li_w = ctx.isub(&li_raw, &n_reg);
+                let li = ctx.select_u32(&li_over, &li_w, &li_raw);
+                let rj_raw = ctx.isub(&j0n, &t);
+                let rj_over = ctx.ule(&n_reg, &rj_raw);
+                let rj_w = ctx.isub(&rj_raw, &n_reg);
+                let rj = ctx.select_u32(&rj_over, &rj_w, &rj_raw);
+                let li_g = ctx.iadd(&base_reg, &li);
+                let rj_g = ctx.iadd(&base_reg, &rj);
+                let cl = ctx.ld_global_u32(gm, self.bufs.tours, &li_g);
+                let cr = ctx.ld_global_u32(gm, self.bufs.tours, &rj_g);
+                ctx.st_global_u32(gm, self.bufs.tours, &li_g, &cr);
+                ctx.st_global_u32(gm, self.bufs.tours, &rj_g, &cl);
+            });
+            t = ctx.iadd(&t, &step);
+            cont
+        });
+
+        // Lane 0: wake the four cities whose edges changed and settle
+        // the ant's device-side length.
+        let lane0 = ctx.lane_mask(0);
+        ctx.if_then(gm, &lane0, |ctx, gm| {
+            for city in [&a, &sa, &b, &sb] {
+                ctx.st_global_u32(gm, self.bufs.dont_look, city, &zero_u);
+            }
+            let ant_reg = ctx.splat_u32(self.ant);
+            let len = ctx.ld_global_f32(gm, self.bufs.lengths, &ant_reg);
+            let new_len = ctx.fsub(&len, &gain);
+            ctx.st_global_f32(gm, self.bufs.lengths, &ant_reg, &new_len);
+        });
+    }
+}
+
+/// Outcome of one device 2-opt pass over a single ant's tour.
+#[derive(Debug, Clone)]
+pub struct TwoOptRun {
+    /// Proposal rounds executed (the final round finds no move).
+    pub rounds: u32,
+    /// Improving moves applied.
+    pub moves: u32,
+    /// Total modeled milliseconds across every launch of the pass.
+    pub ms: f64,
+    /// Merged counters of every launch.
+    pub stats: KernelStats,
+}
+
+/// Run the 2-opt kernel family on `ant`'s tour row until no candidate
+/// move improves it. Each round launches position-scatter, propose,
+/// select and (when a move was found) apply; the host reads back one
+/// gain word per round. Launches execute across up to `threads` host
+/// threads with bit-identical results at any count.
+pub fn run_two_opt(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: TwoOptDev,
+    ant: u32,
+    threads: usize,
+) -> Result<TwoOptRun, SimtError> {
+    // cudaMemset of the don't-look bits: a pass starts with every city
+    // awake.
+    gm.u32_mut(bufs.dont_look).fill(0);
+    let mut ms = 0.0;
+    let mut stats = KernelStats::for_sms(dev.sm_count as usize);
+    let mut rounds = 0u32;
+    let mut moves = 0u32;
+    loop {
+        let pk = TwoOptPosKernel { bufs, ant };
+        let r = launch_threads(dev, &pk.config(), &pk, gm, SimMode::Full, threads)?;
+        ms += r.time.total_ms;
+        stats.merge(&r.stats);
+        let prk = TwoOptProposeKernel { bufs, ant };
+        let r = launch_threads(dev, &prk.config(), &prk, gm, SimMode::Full, threads)?;
+        ms += r.time.total_ms;
+        stats.merge(&r.stats);
+        let sk = TwoOptSelectKernel { bufs };
+        let r = launch_threads(dev, &sk.config(), &sk, gm, SimMode::Full, threads)?;
+        ms += r.time.total_ms;
+        stats.merge(&r.stats);
+        rounds += 1;
+        if gm.f32(bufs.chosen_gain)[0] <= 0.0 {
+            break;
+        }
+        let ak = TwoOptApplyKernel { bufs, ant };
+        let r = launch_threads(dev, &ak.config(), &ak, gm, SimMode::Full, threads)?;
+        ms += r.time.total_ms;
+        stats.merge(&r.stats);
+        moves += 1;
+    }
+    Ok(TwoOptRun { rounds, moves, ms, stats })
+}
+
+/// Price one proposal round (position-scatter + propose + select) at the
+/// given fidelity without mutating the tour — the engine's cost model
+/// uses this to fold the per-iteration local-search kernel into backend
+/// selection. Deterministic in the inputs.
+pub fn probe_round_ms(
+    dev: &DeviceSpec,
+    gm: &mut GlobalMem,
+    bufs: TwoOptDev,
+    ant: u32,
+    mode: SimMode,
+) -> Result<f64, SimtError> {
+    gm.u32_mut(bufs.dont_look).fill(0);
+    let mut ms = 0.0;
+    let pk = TwoOptPosKernel { bufs, ant };
+    ms += launch_threads(dev, &pk.config(), &pk, gm, mode, 1)?.time.total_ms;
+    let prk = TwoOptProposeKernel { bufs, ant };
+    ms += launch_threads(dev, &prk.config(), &prk, gm, mode, 1)?.time.total_ms;
+    let sk = TwoOptSelectKernel { bufs };
+    ms += launch_threads(dev, &sk.config(), &sk, gm, mode, 1)?.time.total_ms;
+    Ok(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{two_opt_nn, LsScratch};
+    use aco_tsp::{uniform_random, NearestNeighborLists, Tour, TspInstance};
+    use rand::SeedableRng;
+
+    /// Minimal device setup mirroring a colony's buffers: distances,
+    /// one-ant tour row (padded), length, candidate lists.
+    fn device_setup(
+        inst: &TspInstance,
+        nn: &NearestNeighborLists,
+        tours: &[Tour],
+        stride: u32,
+    ) -> (GlobalMem, TwoOptDev) {
+        let n = inst.n();
+        let mut gm = GlobalMem::new();
+        let dist = gm.alloc_f32(n * n);
+        let host: Vec<f32> = inst.matrix().as_flat().iter().map(|&d| d as f32).collect();
+        gm.write_f32(dist, &host);
+        let tbuf = gm.alloc_u32(tours.len() * stride as usize);
+        {
+            let cells = gm.u32_mut(tbuf);
+            for (a, t) in tours.iter().enumerate() {
+                let row = &mut cells[a * stride as usize..(a + 1) * stride as usize];
+                row[..n].copy_from_slice(t.order());
+                for c in row[n..].iter_mut() {
+                    *c = t.order()[0];
+                }
+            }
+        }
+        let lengths = gm.alloc_f32(tours.len());
+        let lens: Vec<f32> = tours.iter().map(|t| t.length(inst.matrix()) as f32).collect();
+        gm.write_f32(lengths, &lens);
+        let nn_buf = gm.alloc_u32(n * nn.depth());
+        gm.write_u32(nn_buf, nn.as_flat());
+        let bufs = TwoOptDev::allocate(
+            &mut gm,
+            n as u32,
+            nn.depth() as u32,
+            stride,
+            dist,
+            tbuf,
+            lengths,
+            nn_buf,
+        );
+        (gm, bufs)
+    }
+
+    #[test]
+    fn kernel_family_matches_cpu_two_opt_nn_exactly() {
+        for (n, seed, depth) in [(32usize, 7u64, 8usize), (61, 21, 12), (96, 3, 16)] {
+            let inst = uniform_random("ls-gpu", n, 1000.0, seed);
+            let nn = NearestNeighborLists::build(inst.matrix(), depth).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5);
+            let tour = Tour::random(n, &mut rng);
+            let stride = ((n + 1) as u32).next_multiple_of(256);
+            let (mut gm, bufs) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
+
+            let run = run_two_opt(&DeviceSpec::tesla_m2050(), &mut gm, bufs, 0, 1).unwrap();
+            let device_order = gm.u32(bufs.tours)[..n].to_vec();
+
+            let mut host = tour.clone();
+            let mut scratch = LsScratch::new();
+            let moves = two_opt_nn(&mut host, inst.matrix(), &nn, &mut scratch);
+
+            assert_eq!(
+                device_order,
+                host.order().to_vec(),
+                "n={n} seed={seed}: device and host tours must be identical"
+            );
+            assert_eq!(run.moves as usize, moves, "n={n}: same move count");
+            assert!(run.moves > 0, "a random tour on {n} cities must improve");
+            // The device-side f32 length tracks the exact improvement.
+            let exact = host.length(inst.matrix()) as f32;
+            let dev_len = gm.f32(bufs.lengths)[0];
+            assert!(
+                (dev_len - exact).abs() <= exact * 1e-5,
+                "device length {dev_len} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_family_is_bit_identical_at_any_exec_thread_count() {
+        let n = 48usize;
+        let inst = uniform_random("ls-thr", n, 900.0, 5);
+        let nn = NearestNeighborLists::build(inst.matrix(), 10).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let tour = Tour::random(n, &mut rng);
+        let stride = ((n + 1) as u32).next_multiple_of(256);
+        let dev = DeviceSpec::tesla_c1060();
+
+        let (mut gm1, b1) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
+        let serial = run_two_opt(&dev, &mut gm1, b1, 0, 1).unwrap();
+        for threads in [2, 4, 16] {
+            let (mut gm2, b2) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
+            let parallel = run_two_opt(&dev, &mut gm2, b2, 0, threads).unwrap();
+            assert_eq!(serial.rounds, parallel.rounds, "{threads} threads");
+            assert_eq!(serial.moves, parallel.moves, "{threads} threads");
+            assert_eq!(serial.stats, parallel.stats, "{threads} threads: counters");
+            assert_eq!(serial.ms.to_bits(), parallel.ms.to_bits(), "{threads} threads: time");
+            assert_eq!(gm1.u32(b1.tours), gm2.u32(b2.tours), "{threads} threads: memory");
+        }
+    }
+
+    #[test]
+    fn pass_leaves_local_optima_untouched_and_prices_time() {
+        let n = 40usize;
+        let inst = uniform_random("ls-idem", n, 800.0, 2);
+        let nn = NearestNeighborLists::build(inst.matrix(), 10).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut tour = Tour::random(n, &mut rng);
+        let mut scratch = LsScratch::new();
+        // One pass ends at a don't-look-bit fixpoint, not necessarily a
+        // full local optimum (sleeping cities can still own moves), so
+        // iterate fresh passes until none finds anything.
+        while two_opt_nn(&mut tour, inst.matrix(), &nn, &mut scratch) > 0 {}
+        let stride = ((n + 1) as u32).next_multiple_of(256);
+        let (mut gm, bufs) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
+        let dev = DeviceSpec::tesla_m2050();
+        let run = run_two_opt(&dev, &mut gm, bufs, 0, 1).unwrap();
+        assert_eq!(run.moves, 0, "a host local optimum admits no device move");
+        assert_eq!(run.rounds, 1);
+        assert!(run.ms > 0.0, "even an empty pass costs kernel time");
+        assert_eq!(gm.u32(bufs.tours)[..n], *tour.order());
+        // The probe prices a round without touching the tour.
+        let before = gm.u32(bufs.tours).to_vec();
+        let ms = probe_round_ms(&dev, &mut gm, bufs, 0, SimMode::Full).unwrap();
+        assert!(ms > 0.0);
+        assert_eq!(gm.u32(bufs.tours).to_vec(), before);
+    }
+}

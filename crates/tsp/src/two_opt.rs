@@ -6,6 +6,13 @@
 //! classic design: candidate moves are restricted to each city's
 //! nearest-neighbour list, and "don't-look" bits skip cities whose
 //! neighbourhood has not changed since they last failed to improve.
+//!
+//! This is the standalone, queue-driven (first-improvement-per-city)
+//! variant. The engine and the colonies use `aco-localsearch` instead,
+//! whose round-based best-improvement pass is algorithmically mirrored
+//! by a GPU kernel family; this module stays as the dependency-free
+//! helper for `aco-tsp`-only users (see `examples/tsplib_solver.rs`).
+//! Fixes to the move evaluation logic likely apply to both.
 
 use crate::matrix::DistanceMatrix;
 use crate::nn::NearestNeighborLists;

@@ -12,7 +12,7 @@ use aco_gpu::core::cpu::TourPolicy;
 use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
 use aco_gpu::engine::{
-    Backend, Engine, EngineConfig, GpuDevice, JobOutcome, Priority, SolveRequest,
+    Backend, Engine, EngineConfig, GpuDevice, JobOutcome, LocalSearch, Priority, SolveRequest,
 };
 use aco_gpu::tsp;
 
@@ -72,7 +72,7 @@ fn main() {
             .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
             .iterations(iterations)
             .seed(99)
-            .two_opt(true),
+            .local_search(LocalSearch::PostPass),
     );
     let urgent = engine.submit(
         SolveRequest::new(Arc::clone(&inst), params.clone())

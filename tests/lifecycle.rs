@@ -10,7 +10,7 @@ use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_gpu::core::AcoParams;
 use aco_gpu::engine::{
     Backend, Engine, EngineConfig, EngineError, GpuDevice, IterationEvent, JobOutcome, JobStatus,
-    Priority, SolveRequest,
+    LocalSearch, Priority, SolveRequest,
 };
 use aco_gpu::tsp;
 
@@ -158,7 +158,10 @@ fn set_priority_reorders_queued_jobs() {
     blocker_stream.next().expect("blocker runs");
 
     let normal = engine.submit(seq_req(&inst, 2, 3));
-    let late = engine.submit(seq_req(&inst, 3, 3).priority(Priority::Low));
+    // Long-running, so it is observably *still running* when we check
+    // the normal job below (a short job could finish — and release the
+    // worker to the normal job — before this thread gets to look).
+    let late = engine.submit(seq_req(&inst, 3, 50_000).priority(Priority::Low));
     assert_eq!(late.priority(), Priority::Low);
     late.set_priority(Priority::High);
     assert_eq!(late.priority(), Priority::High);
@@ -173,7 +176,8 @@ fn set_priority_reorders_queued_jobs() {
         JobStatus::Queued,
         "normal job must still be queued while the re-prioritised one runs"
     );
-    assert!(late.wait().is_ok());
+    late.cancel();
+    assert!(late.wait().is_ok(), "cancelled mid-flight: partial best");
     assert!(normal.wait().is_ok());
 }
 
@@ -222,7 +226,8 @@ fn queued_job_expires_at_its_deadline_behind_a_blocker() {
 }
 
 /// Satellite acceptance: the per-request 2-opt post-pass never worsens
-/// the tour, and the reported length stays exact.
+/// the tour, the reported length stays exact, and the quality gain is
+/// visible as `local_search_improvement`.
 #[test]
 fn two_opt_post_pass_never_worsens() {
     let inst = Arc::new(tsp::uniform_random("life-2opt", 60, 900.0, 12));
@@ -241,17 +246,41 @@ fn two_opt_post_pass_never_worsens() {
             .iterations(3)
             .seed(21);
         let plain = engine.submit(req.clone()).wait().expect("plain job solves");
-        let polished = engine.submit(req.two_opt(true)).wait().expect("2-opt job solves");
+        assert_eq!(plain.local_search_improvement, 0, "no local search requested");
+        let polished = engine
+            .submit(req.local_search(LocalSearch::PostPass))
+            .wait()
+            .expect("2-opt job solves");
         assert!(
             polished.best_len <= plain.best_len,
             "{backend:?}: 2-opt worsened {} -> {}",
             plain.best_len,
             polished.best_len
         );
+        assert_eq!(
+            polished.local_search_improvement,
+            plain.best_len - polished.best_len,
+            "{backend:?}: the post-pass reports its exact improvement"
+        );
         assert!(polished.best_tour.is_valid());
         assert_eq!(polished.best_len, polished.best_tour.length(inst.matrix()));
         assert_eq!(polished.outcome, JobOutcome::Completed);
     }
+}
+
+/// The deprecated `two_opt(bool)` builder still compiles and maps onto
+/// the `LocalSearch::PostPass` strategy.
+#[test]
+#[allow(deprecated)]
+fn deprecated_two_opt_builder_maps_to_post_pass() {
+    let inst = Arc::new(tsp::uniform_random("life-compat", 30, 500.0, 3));
+    let req = seq_req(&inst, 1, 2).two_opt(true);
+    assert_eq!(req.local_search, LocalSearch::PostPass);
+    let req = req.two_opt(false);
+    assert_eq!(req.local_search, LocalSearch::None);
+    let engine = Engine::new(EngineConfig::with_workers(1));
+    let rep = engine.submit(seq_req(&inst, 1, 2).two_opt(true)).wait().expect("compat job solves");
+    assert_eq!(rep.best_len, rep.best_tour.length(inst.matrix()));
 }
 
 /// Progress buffers are bounded: overflowing drops the oldest events and

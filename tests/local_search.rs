@@ -1,0 +1,301 @@
+//! Integration tests for the `aco-localsearch` subsystem: strategy
+//! properties, GPU-kernel ↔ CPU equivalence through the colony path,
+//! engine determinism with local search enabled, and the improvement
+//! telemetry — the acceptance criteria of the local-search PR.
+
+use std::sync::Arc;
+
+use aco_gpu::core::cpu::{AcsParams, MmasParams, TourPolicy};
+use aco_gpu::core::gpu::{GpuAntSystem, PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    Backend, Engine, EngineConfig, GpuDevice, IterationEvent, LocalSearch, LsScope, SolveRequest,
+};
+use aco_gpu::localsearch::LsScratch;
+use aco_gpu::simt::DeviceSpec;
+use aco_gpu::tsp;
+use proptest::prelude::*;
+
+fn ls_batch(inst: &Arc<tsp::TspInstance>, ls: LocalSearch, scope: LsScope) -> Vec<SolveRequest> {
+    let params = AcoParams::default().nn(10).ants(8);
+    let req = |backend: Backend, seed: u64, iters: usize| {
+        SolveRequest::new(Arc::clone(inst), params.clone())
+            .backend(backend)
+            .iterations(iters)
+            .seed(seed)
+            .local_search(ls)
+            .local_search_scope(scope)
+    };
+    vec![
+        req(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList }, 1, 4),
+        req(Backend::CpuParallel { policy: TourPolicy::NearestNeighborList, threads: 3 }, 2, 4),
+        req(Backend::CpuAcs(AcsParams::default()), 3, 3),
+        req(Backend::CpuMmas(MmasParams::default()), 4, 3),
+        req(
+            Backend::Gpu {
+                device: GpuDevice::TeslaC1060,
+                tour: TourStrategy::NNList,
+                pheromone: PheromoneStrategy::AtomicShared,
+            },
+            5,
+            3,
+        ),
+        req(Backend::GpuAcs { device: GpuDevice::TeslaM2050, acs: AcsParams::default() }, 6, 3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Acceptance: every variant never worsens a tour and preserves the
+    /// permutation property, on arbitrary instances and start tours.
+    #[test]
+    fn every_variant_never_worsens_and_preserves_validity(
+        n in 6usize..64,
+        inst_seed in 0u64..100_000,
+        tour_seed in 0u64..100_000,
+        depth in 2usize..16,
+    ) {
+        use rand::SeedableRng;
+        let inst = tsp::uniform_random("ls-prop", n, 1000.0, inst_seed);
+        let nn = tsp::NearestNeighborLists::build(inst.matrix(), depth.min(n - 1)).unwrap();
+        let mut scratch = LsScratch::new();
+        for ls in LocalSearch::ALL {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(tour_seed);
+            let mut tour = tsp::Tour::random(n, &mut rng);
+            let before = tour.length(inst.matrix());
+            let gain = ls.improve(&mut tour, inst.matrix(), &nn, &mut scratch);
+            prop_assert!(tour.is_valid(), "{ls}: invalid permutation");
+            let after = tour.length(inst.matrix());
+            prop_assert!(after <= before, "{ls}: worsened {before} -> {after}");
+            prop_assert_eq!(after, before - gain, "{}: inexact gain", ls);
+        }
+    }
+}
+
+/// Acceptance: the GPU colony's 2-opt kernel family produces *exactly*
+/// the tours the CPU `TwoOptNn` pass produces — pinned end to end by
+/// running the colony and replaying its pre-LS tours through the host
+/// pass.
+#[test]
+fn gpu_colony_two_opt_kernel_matches_host_pass_exactly() {
+    let inst = tsp::uniform_random("ls-gpu-eq", 52, 900.0, 17);
+    let params = AcoParams::default().nn(12).seed(9);
+    // Reference colony without local search: its iteration-best tour is
+    // the kernel family's input.
+    let mut plain = GpuAntSystem::new(
+        &inst,
+        params.clone(),
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::NNList,
+        PheromoneStrategy::AtomicShared,
+    );
+    let first = plain.iterate(aco_gpu::simt::SimMode::Full).unwrap();
+    // LS colony with identical seed: same construction, then the device
+    // kernel family.
+    let mut ls_colony = GpuAntSystem::new(
+        &inst,
+        params,
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::NNList,
+        PheromoneStrategy::AtomicShared,
+    );
+    ls_colony.set_local_search(LocalSearch::TwoOptNn, LsScope::IterationBest);
+    let rep = ls_colony.iterate(aco_gpu::simt::SimMode::Full).unwrap();
+    assert!(rep.ls_ms > 0.0, "the kernel family must cost modeled time");
+
+    // Host replay: the plain colony's iteration-best tour through the
+    // CPU pass must land exactly on the LS colony's iteration-best.
+    let nn = tsp::NearestNeighborLists::build(inst.matrix(), 12).unwrap();
+    let (plain_best, plain_len) = plain.best().expect("ran");
+    let mut host = plain_best.clone();
+    let mut scratch = LsScratch::new();
+    aco_gpu::localsearch::cpu::two_opt_nn(&mut host, inst.matrix(), &nn, &mut scratch);
+    let host_len = host.length(inst.matrix());
+    let (gpu_tour, gpu_len) = ls_colony.best().expect("ran");
+    assert_eq!(gpu_tour.order(), host.order(), "device 2-opt must equal the host pass");
+    assert_eq!(gpu_len, host_len);
+    assert!(gpu_len <= plain_len);
+    assert_eq!(
+        ls_colony.local_search_improvement(),
+        plain_len - gpu_len,
+        "improvement telemetry is the exact delta"
+    );
+    assert_eq!(first.iter_best, plain_len, "sanity: same construction in both colonies");
+}
+
+/// The kernel family's results, counters and modeled times do not depend
+/// on the colony's exec-thread budget.
+#[test]
+fn gpu_colony_local_search_is_exec_thread_invariant() {
+    let inst = tsp::uniform_random("ls-thr", 40, 800.0, 23);
+    let run = |threads: usize| {
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).seed(4),
+            DeviceSpec::tesla_c1060(),
+            TourStrategy::NNList,
+            PheromoneStrategy::AtomicShared,
+        );
+        sys.set_exec_threads(threads);
+        sys.set_local_search(LocalSearch::TwoOptNn, LsScope::IterationBest);
+        let mut ls_ms = 0.0;
+        for _ in 0..3 {
+            ls_ms += sys.iterate(aco_gpu::simt::SimMode::Full).unwrap().ls_ms;
+        }
+        let (tour, len) = sys.best().expect("ran");
+        (tour.clone(), len, sys.local_search_improvement(), ls_ms)
+    };
+    let (t1, l1, imp1, ms1) = run(1);
+    for threads in [2, 4] {
+        let (t, l, imp, ms) = run(threads);
+        assert_eq!(t1.order(), t.order(), "{threads} exec threads: tours");
+        assert_eq!(l1, l, "{threads} exec threads: lengths");
+        assert_eq!(imp1, imp, "{threads} exec threads: improvement");
+        assert_eq!(ms1.to_bits(), ms.to_bits(), "{threads} exec threads: modeled ms");
+    }
+}
+
+/// Acceptance: LS-enabled batches stay bit-identical at 1 vs 4 workers —
+/// reports *and* progress event sequences — across every backend family
+/// and both scopes.
+#[test]
+fn ls_enabled_solves_are_bit_identical_across_worker_counts() {
+    let inst = Arc::new(tsp::uniform_random("ls-det", 36, 700.0, 31));
+    for (ls, scope) in [
+        (LocalSearch::TwoOptNn, LsScope::IterationBest),
+        (LocalSearch::TwoOpt, LsScope::IterationBest),
+        (LocalSearch::OrOpt, LsScope::AllAnts),
+        (LocalSearch::PostPass, LsScope::IterationBest),
+    ] {
+        let run = |workers: usize| {
+            let engine = Engine::new(EngineConfig::with_workers(workers));
+            let handles: Vec<_> =
+                ls_batch(&inst, ls, scope).into_iter().map(|r| engine.submit(r)).collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let events: Vec<IterationEvent> = h.progress().collect();
+                    (h.wait().expect("job solves"), events)
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel, "{ls}/{scope:?}: worker count changed results");
+        for (rep, events) in &serial {
+            assert!(rep.best_tour.is_valid());
+            assert_eq!(rep.best_len, rep.best_tour.length(inst.matrix()));
+            assert!(!events.is_empty());
+        }
+    }
+}
+
+/// The per-iteration strategies visibly improve solution quality on a
+/// construction-only baseline, and the telemetry records it.
+#[test]
+fn per_iteration_local_search_improves_quality() {
+    let inst = Arc::new(tsp::uniform_random("ls-qual", 72, 1000.0, 8));
+    let engine = Engine::new(EngineConfig::with_workers(2));
+    let req = |ls: LocalSearch| {
+        SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(12).ants(12))
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(5)
+            .seed(2)
+            .local_search(ls)
+    };
+    let plain = engine.submit(req(LocalSearch::None)).wait().expect("plain solves");
+    let polished = engine.submit(req(LocalSearch::TwoOptNn)).wait().expect("ls solves");
+    assert!(
+        polished.best_len <= plain.best_len,
+        "2-opt-in-the-loop must not lose to construction alone here ({} vs {})",
+        polished.best_len,
+        plain.best_len
+    );
+    assert!(polished.local_search_improvement > 0, "iterated LS must find improvements");
+    // And the GPU colony's modeled time must include the LS kernels.
+    let gpu = |ls: LocalSearch| {
+        engine
+            .submit(
+                SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(12).ants(12))
+                    .backend(Backend::Gpu {
+                        device: GpuDevice::TeslaM2050,
+                        tour: TourStrategy::NNList,
+                        pheromone: PheromoneStrategy::AtomicShared,
+                    })
+                    .iterations(3)
+                    .seed(2)
+                    .local_search(ls),
+            )
+            .wait()
+            .expect("gpu job solves")
+    };
+    let gpu_plain = gpu(LocalSearch::None);
+    let gpu_ls = gpu(LocalSearch::TwoOptNn);
+    assert!(gpu_ls.local_search_improvement > 0);
+    assert!(
+        gpu_ls.modeled_ms > gpu_plain.modeled_ms,
+        "the 2-opt kernel family must be priced into the report clock"
+    );
+}
+
+/// Jobs that differ only in local search must not share an `auto`
+/// decision (the strategy is priced into candidate selection).
+#[test]
+fn auto_decisions_are_keyed_on_local_search() {
+    let inst = Arc::new(tsp::uniform_random("ls-auto", 40, 600.0, 5));
+    let engine = Engine::new(EngineConfig::with_workers(1));
+    let req = |ls: LocalSearch, seed: u64| {
+        SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(8).ants(8))
+            .backend(Backend::Auto)
+            .iterations(2)
+            .seed(seed)
+            .local_search(ls)
+    };
+    engine.submit(req(LocalSearch::None, 1)).wait().expect("solves");
+    engine.submit(req(LocalSearch::TwoOptNn, 2)).wait().expect("solves");
+    engine.submit(req(LocalSearch::TwoOptNn, 3)).wait().expect("solves");
+    let stats = engine.cache_stats();
+    assert_eq!(stats.decision_misses, 2, "None vs TwoOptNn are distinct decisions");
+    assert_eq!(stats.decision_hits, 1, "same-strategy jobs share one decision");
+}
+
+/// Release-mode CI case: `TwoOptNn` on a larger generated instance, both
+/// as a bare pass and through an engine solve. `#[ignore]`d in debug
+/// tier-1 (minutes there, seconds in release).
+#[test]
+#[ignore = "release-mode CI case (localsearch-release job); slow in debug"]
+fn two_opt_nn_scales_to_larger_instances() {
+    use rand::SeedableRng;
+    let n = 400;
+    let inst = tsp::uniform_random("ls-large", n, 2000.0, 77);
+    let nn = tsp::NearestNeighborLists::build(inst.matrix(), 20).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut tour = tsp::Tour::random(n, &mut rng);
+    let before = tour.length(inst.matrix());
+    let mut scratch = LsScratch::new();
+    let gain = LocalSearch::TwoOptNn.improve(&mut tour, inst.matrix(), &nn, &mut scratch);
+    assert!(tour.is_valid());
+    assert!(gain > 0);
+    let after = tour.length(inst.matrix());
+    assert_eq!(after, before - gain);
+    assert!(
+        (after as f64) < 0.55 * before as f64,
+        "2-opt should cut a random {n}-city tour roughly in half ({before} -> {after})"
+    );
+
+    // End-to-end: an engine job on the same instance with per-iteration
+    // LS on the iteration best, bit-identical across worker counts.
+    let inst = Arc::new(inst);
+    let req = || {
+        SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(20).ants(16))
+            .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+            .iterations(4)
+            .seed(3)
+            .local_search(LocalSearch::TwoOptNn)
+    };
+    let a = Engine::new(EngineConfig::with_workers(1)).submit(req()).wait().expect("solves");
+    let b = Engine::new(EngineConfig::with_workers(4)).submit(req()).wait().expect("solves");
+    assert_eq!(a, b);
+    assert!(a.local_search_improvement > 0);
+}
