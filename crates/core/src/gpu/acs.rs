@@ -558,8 +558,11 @@ impl<'a> GpuAntColonySystem<'a> {
         ctx: &crate::lifecycle::SolveCtx,
         mut on_iter: impl FnMut(f64, f64, f64),
     ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
-        crate::lifecycle::try_drive(iterations, ctx, |_| {
+        crate::lifecycle::try_drive(iterations, ctx, |k| {
             let (best, tour_ms, update_ms, ls_ms) = self.iterate()?;
+            if let Some(trace) = ctx.trace() {
+                trace.record_iteration(k, tour_ms, ls_ms, update_ms);
+            }
             on_iter(tour_ms, update_ms, ls_ms);
             Ok((self.last_iter_best, best))
         })

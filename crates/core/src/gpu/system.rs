@@ -282,8 +282,11 @@ impl<'a> GpuAntSystem<'a> {
         ctx: &crate::lifecycle::SolveCtx,
         mut on_iter: impl FnMut(&GpuIterationReport),
     ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
-        crate::lifecycle::try_drive(iterations, ctx, |_| {
+        crate::lifecycle::try_drive(iterations, ctx, |k| {
             let rep = self.iterate(SimMode::Full)?;
+            if let Some(trace) = ctx.trace() {
+                trace.record_iteration(k, rep.tour_ms, rep.ls_ms, rep.pheromone_ms);
+            }
             on_iter(&rep);
             Ok((rep.iter_best, rep.best_so_far))
         })

@@ -89,6 +89,7 @@ pub struct SolveCtx {
     cancel: CancelToken,
     deadline: Option<Instant>,
     observer: Option<Box<IterationObserver>>,
+    trace: Option<Arc<aco_obs::JobTrace>>,
 }
 
 impl std::fmt::Debug for SolveCtx {
@@ -97,6 +98,7 @@ impl std::fmt::Debug for SolveCtx {
             .field("cancelled", &self.cancel.is_cancelled())
             .field("deadline", &self.deadline)
             .field("observed", &self.observer.is_some())
+            .field("traced", &self.trace.is_some())
             .finish()
     }
 }
@@ -128,6 +130,20 @@ impl SolveCtx {
     ) -> Self {
         self.observer = Some(Box::new(observer));
         self
+    }
+
+    /// Builder: record per-iteration phase spans (and, on the GPU paths,
+    /// kernel-family profiles) into `trace`. Write-only telemetry: a
+    /// traced run produces bit-identical results to an untraced one.
+    pub fn with_trace(mut self, trace: Arc<aco_obs::JobTrace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The trace this run records spans into, if any. Colonies call
+    /// `record_iteration` on it with their modeled per-phase times.
+    pub fn trace(&self) -> Option<&Arc<aco_obs::JobTrace>> {
+        self.trace.as_ref()
     }
 
     /// The cancellation token this context watches.

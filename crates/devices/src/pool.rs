@@ -136,6 +136,9 @@ struct Telemetry {
     completed: AtomicU64,
     /// Accumulated host wall-clock microseconds spent executing jobs.
     busy_us: AtomicU64,
+    /// Admission attempts rejected because every resident-job slot was
+    /// busy (each is one wait bout a worker spent backing off).
+    admission_waits: AtomicU64,
 }
 
 /// Deterministic placement state, mutated only by [`DevicePool::place`].
@@ -174,6 +177,9 @@ pub struct DeviceSnapshot {
     pub busy_ms: f64,
     /// Total predicted milliseconds assigned by the placement ledger.
     pub assigned_ms: f64,
+    /// Admission attempts rejected on a full slot budget (backlog
+    /// pressure: how often workers had to wait for this device).
+    pub admission_waits: u64,
     /// Resident-job budget.
     pub slots: usize,
     /// Exec-thread budget.
@@ -422,6 +428,7 @@ impl DevicePool {
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| (r < slots).then_some(r + 1))
             .is_err()
         {
+            t.admission_waits.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         t.peak_running.fetch_max(t.running.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -481,6 +488,7 @@ impl DevicePool {
                 completed: t.completed.load(Ordering::Relaxed),
                 busy_ms: t.busy_us.load(Ordering::Relaxed) as f64 / 1e3,
                 assigned_ms: ledger.assigned_ms[i],
+                admission_waits: t.admission_waits.load(Ordering::Relaxed),
                 slots: p.slots,
                 exec_threads: p.exec_threads,
             })

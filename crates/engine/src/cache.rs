@@ -172,6 +172,17 @@ impl ArtifactCache {
     /// before keying (list construction clamps the same way), so
     /// equivalent requested depths on small instances share one entry.
     pub fn artifacts(&self, inst: &TspInstance, nn_size: usize) -> Arc<InstanceArtifacts> {
+        self.artifacts_with_origin(inst, nn_size).0
+    }
+
+    /// [`ArtifactCache::artifacts`] plus whether *this call* built the
+    /// value (`true` = miss). What per-job traces record as their cache
+    /// outcome — the aggregate counters cannot attribute a hit to a job.
+    pub fn artifacts_with_origin(
+        &self,
+        inst: &TspInstance,
+        nn_size: usize,
+    ) -> (Arc<InstanceArtifacts>, bool) {
         let nn_size = Self::effective_depth(inst, nn_size);
         let hash = inst.content_hash();
         let (cell, evicted) = {
@@ -199,7 +210,7 @@ impl ArtifactCache {
         } else {
             self.artifact_hits.fetch_add(1, Ordering::Relaxed);
         }
-        value
+        (value, built_here)
     }
 
     /// Fetch a cached `auto` decision, or compute one with `decide`

@@ -39,6 +39,15 @@
 //!   counters and GPU candidates with the simulator's kernel-time
 //!   estimates on the target `DeviceSpec` — candidates restricted to
 //!   device models the pool actually contains — then runs the winner.
+//! * **Observability** ([`aco_obs`], on by default, opt out via
+//!   [`EngineConfig::observe`]): a metrics registry
+//!   ([`Engine::metrics`], exportable as Prometheus text or JSON),
+//!   per-job span timelines ([`JobHandle::timeline`],
+//!   [`Engine::recent_timelines`]) covering queue wait, placement,
+//!   per-iteration construction / local-search / pheromone spans, and
+//!   per-kernel-family profiles from the simulated launch path. Purely
+//!   write-only: solve results, placements and progress sequences are
+//!   bit-identical with observability on or off.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -82,6 +91,10 @@ pub use aco_devices::{
     PlacementError, PlacementStrategy,
 };
 pub use aco_localsearch::{LocalSearch, LsScope, LsScratch};
+pub use aco_obs::{
+    HistogramSnapshot, IterationSpans, JobTimeline, KernelFamilySnapshot, MetricsSnapshot,
+    LATENCY_BUCKETS_MS,
+};
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
 pub use scheduler::{

@@ -30,6 +30,31 @@
 //! backstop for the store/restamp race: lazy reconciliation alone could
 //! never raise a buried low-stamped entry to the top.
 //!
+//! **Backpressure.** Each job's progress buffer is bounded
+//! (`SolveRequest::progress_events`): the solving worker never blocks on
+//! a slow consumer — once the buffer is full, the *oldest* event is
+//! dropped and counted, and the newest kept, so a late reader always
+//! sees the most recent convergence state. The running drop count is
+//! observable per job via [`JobHandle::progress_dropped`] (equivalently
+//! [`ProgressStream::dropped`]) and engine-wide via the
+//! `aco_engine_progress_dropped_total` counter. Consumers that need the
+//! *complete* sequence must size the buffer to the iteration count (or
+//! drain concurrently); a dropped event is gone — the stream trades
+//! completeness for a never-blocking solver.
+//!
+//! **Observability.** With [`EngineConfig::observability`] on (the
+//! default), the engine owns an [`aco_obs::Obs`] hub: scheduler counters
+//! and latency histograms (queue depth, steal counts, admission-wait
+//! bouts, submit→start and submit→first-event), a per-job
+//! [`aco_obs::JobTrace`] threaded through the solve (retrievable live or
+//! finished via [`JobHandle::timeline`], retained in a bounded sink via
+//! [`Engine::recent_timelines`]), and the SIMT kernel-profiling hook
+//! installed around every job so GPU kernel families report invocation
+//! counts and modeled ms. Export everything with [`Engine::metrics`].
+//! Instrumentation is write-only: it never feeds back into scheduling or
+//! solving, so obs-on/off runs are bit-identical (see below); disabled,
+//! every handle is an unarmed branch and no trace is allocated.
+//!
 //! **Determinism.** Scheduling affects only *where* and *when* a job
 //! runs, never its inputs: every job derives its RNG streams from its own
 //! request seed, the artifact cache stores values that are pure functions
@@ -39,9 +64,10 @@
 //! of the job id (auto-resolved GPU jobs) — never from completion timing.
 //! Consequently an uncancelled batch produces bit-identical
 //! [`SolveReport`]s — including device assignments — and bit-identical
-//! progress event sequences for any worker count; pinned by the
-//! `engine_results_do_not_depend_on_worker_count`, `tests/lifecycle.rs`
-//! and `tests/devices.rs` suites.
+//! progress event sequences for any worker count *and either
+//! observability setting*; pinned by the
+//! `engine_results_do_not_depend_on_worker_count`, `tests/lifecycle.rs`,
+//! `tests/devices.rs` and `tests/observability.rs` suites.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,6 +80,10 @@ use aco_core::lifecycle::{CancelToken, IterationEvent, SolveCtx};
 use aco_devices::{
     DeviceAffinity, DeviceId, DevicePool, DeviceProfile, DeviceSnapshot, Placement, PlacementError,
     PlacementStrategy,
+};
+use aco_obs::{
+    Counter, Gauge, Histogram, JobTimeline, JobTrace, KernelSink, MetricsSnapshot, Obs,
+    LATENCY_BUCKETS_MS,
 };
 
 use crate::auto;
@@ -85,6 +115,14 @@ pub struct EngineConfig {
     pub devices: Vec<DeviceProfile>,
     /// Placement policy for jobs without a pinned device.
     pub placement: PlacementStrategy,
+    /// Record metrics, per-job timelines and kernel profiles (default
+    /// `true`). Never affects results — only whether the engine can
+    /// answer "where did the milliseconds go" afterwards. Disabled, all
+    /// instrumentation degrades to unarmed branches ([`aco_obs`]).
+    pub observability: bool,
+    /// Completed [`JobTimeline`]s retained for [`Engine::recent_timelines`]
+    /// (oldest evicted first).
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +133,8 @@ impl Default for EngineConfig {
             cache_entries: crate::cache::DEFAULT_CACHE_ENTRIES,
             devices: default_devices(),
             placement: PlacementStrategy::default(),
+            observability: true,
+            trace_capacity: aco_obs::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -122,11 +162,32 @@ impl EngineConfig {
         self.placement = strategy;
         self
     }
+
+    /// Builder: enable or disable observability (see
+    /// [`EngineConfig::observability`]).
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
+        self
+    }
+
+    /// Builder: retained completed-timeline count (clamped to ≥ 1).
+    pub fn trace_capacity(mut self, timelines: usize) -> Self {
+        self.trace_capacity = timelines.max(1);
+        self
+    }
 }
 
 /// Handle to a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(u64);
+
+impl JobId {
+    /// The raw engine-issued id (what a [`aco_obs::JobTimeline`] records
+    /// as its `job` field).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
 
 /// Coarse lifecycle phase of a job (see [`JobHandle::status`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,14 +221,18 @@ struct ProgressShared {
     inner: Mutex<ProgressInner>,
     cv: Condvar,
     capacity: usize,
+    /// Engine-wide `aco_engine_progress_dropped_total` bridge (no-op
+    /// when observability is off).
+    dropped_metric: Counter,
 }
 
 impl ProgressShared {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, dropped_metric: Counter) -> Self {
         ProgressShared {
             inner: Mutex::new(ProgressInner { events: VecDeque::new(), dropped: 0, closed: false }),
             cv: Condvar::new(),
             capacity: capacity.max(1),
+            dropped_metric,
         }
     }
 
@@ -178,10 +243,16 @@ impl ProgressShared {
         if inner.events.len() >= self.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
+            self.dropped_metric.inc();
         }
         inner.events.push_back(ev);
         drop(inner);
         self.cv.notify_all();
+    }
+
+    /// Events dropped so far (see the module's backpressure contract).
+    fn dropped(&self) -> u64 {
+        self.inner.lock().expect("progress lock").dropped
     }
 
     /// Mark the stream finished (no further events will arrive).
@@ -212,9 +283,10 @@ impl ProgressStream {
         self.shared.inner.lock().expect("progress lock").events.pop_front()
     }
 
-    /// Events dropped so far because the buffer was full.
+    /// Events dropped so far because the buffer was full (the oldest go
+    /// first — see the module docs on backpressure).
     pub fn dropped(&self) -> u64 {
-        self.shared.inner.lock().expect("progress lock").dropped
+        self.shared.dropped()
     }
 }
 
@@ -265,6 +337,13 @@ struct JobState {
     progress: Arc<ProgressShared>,
     deadline: Option<Instant>,
     queue: QueueSlot,
+    /// When `submit` accepted the job (the zero point of its queue-wait
+    /// and first-event latencies).
+    submitted: Instant,
+    /// The job's span recorder (`None` with observability off).
+    trace: Option<Arc<JobTrace>>,
+    /// Has the first progress event been stamped with its latency?
+    first_event: AtomicBool,
     /// The pool device the job is bound to (`NO_DEVICE` = none). Set at
     /// submit for explicitly-GPU jobs; set during `run_job` (before the
     /// solver is built, so before any progress event) when an auto job
@@ -347,6 +426,55 @@ struct Shared {
     results_cv: Condvar,
     shutdown: AtomicBool,
     cache: ArtifactCache,
+    /// The engine's observability hub (metrics registry, timeline sink,
+    /// kernel profiler). Always present; disabled it records nothing.
+    obs: Obs,
+    /// Pre-registered scheduler metric handles (all no-ops when
+    /// observability is off, so the hot path pays one branch each).
+    metrics: SchedMetrics,
+    /// Engine construction time (denominator of device utilization).
+    started: Instant,
+}
+
+/// The scheduler's own metric handles, registered once at engine
+/// construction (names are the export surface — see `Engine::metrics`).
+struct SchedMetrics {
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    /// Pops served from a *peer's* queue (work stealing).
+    steals: Counter,
+    /// Back-off bouts workers spent with every runnable job gated on a
+    /// saturated device (scheduler-side admission waiting; the pool
+    /// counts per-device rejections separately).
+    admission_wait_bouts: Counter,
+    progress_dropped: Counter,
+    /// Entries resident in run queues (decremented when a worker pops
+    /// the entry, so eagerly-finalised jobs leave the gauge only when
+    /// their dead entry is reaped).
+    queue_depth: Gauge,
+    jobs_running: Gauge,
+    queue_wait_ms: Histogram,
+    first_event_ms: Histogram,
+    placement_ms: Histogram,
+}
+
+impl SchedMetrics {
+    fn new(reg: &aco_obs::MetricsRegistry) -> Self {
+        SchedMetrics {
+            jobs_submitted: reg.counter("aco_engine_jobs_submitted_total"),
+            jobs_completed: reg.counter("aco_engine_jobs_completed_total"),
+            jobs_failed: reg.counter("aco_engine_jobs_failed_total"),
+            steals: reg.counter("aco_engine_steals_total"),
+            admission_wait_bouts: reg.counter("aco_engine_admission_wait_bouts_total"),
+            progress_dropped: reg.counter("aco_engine_progress_dropped_total"),
+            queue_depth: reg.gauge("aco_engine_queue_depth"),
+            jobs_running: reg.gauge("aco_engine_jobs_running"),
+            queue_wait_ms: reg.histogram("aco_engine_queue_wait_ms", &LATENCY_BUCKETS_MS),
+            first_event_ms: reg.histogram("aco_engine_first_event_ms", &LATENCY_BUCKETS_MS),
+            placement_ms: reg.histogram("aco_engine_placement_ms", &LATENCY_BUCKETS_MS),
+        }
+    }
 }
 
 /// Pop the best entry of a locked heap, reconciling stale priority
@@ -427,6 +555,7 @@ impl Shared {
             }
             for peer in 1..k {
                 if let Some(job) = self.pop_queue((worker + peer) % k) {
+                    self.metrics.steals.inc();
                     return Some(job);
                 }
             }
@@ -435,6 +564,7 @@ impl Shared {
                 // busy; their runners will release them in milliseconds,
                 // not nanoseconds — sleep instead of burning the core the
                 // runner needs.
+                self.metrics.admission_wait_bouts.inc();
                 std::thread::sleep(std::time::Duration::from_micros(100));
             } else {
                 // Another reserving worker holds "our" job only
@@ -503,16 +633,31 @@ impl Shared {
 /// an observer feeding the bounded progress buffer. The observer stamps
 /// each event with the device the job is bound to (if any) — bound
 /// before the solver is built, so the stamp is identical on every event
-/// and deterministic across worker counts.
-fn job_ctx(state: &Arc<JobState>) -> SolveCtx {
+/// and deterministic across worker counts. The observer also stamps the
+/// submit→first-event latency (once, on the first event) into the
+/// scheduler histogram and the job's trace — pure recording, so it
+/// cannot perturb the event sequence.
+fn job_ctx(shared: &Shared, state: &Arc<JobState>) -> SolveCtx {
     let deadline = state.deadline;
-    let state = Arc::clone(state);
+    let trace = state.trace.clone();
+    let first_event_ms = shared.metrics.first_event_ms.clone();
+    let obs_state = Arc::clone(state);
     let mut ctx = SolveCtx::new().with_cancel(state.cancel.clone()).with_observer(move |mut ev| {
-        ev.device = state.device_id().map(|d| d.0);
-        state.progress.push(ev);
+        if !obs_state.first_event.swap(true, Ordering::Relaxed) {
+            let ms = obs_state.submitted.elapsed().as_secs_f64() * 1e3;
+            first_event_ms.observe(ms);
+            if let Some(trace) = &obs_state.trace {
+                trace.record_first_event_ms(ms);
+            }
+        }
+        ev.device = obs_state.device_id().map(|d| d.0);
+        obs_state.progress.push(ev);
     });
     if let Some(d) = deadline {
         ctx = ctx.with_deadline(d);
+    }
+    if let Some(trace) = trace {
+        ctx = ctx.with_trace(trace);
     }
     ctx
 }
@@ -527,7 +672,10 @@ fn run_job(
     let inst = &*req.instance;
     let seed = req.effective_seed();
     let params = req.params.clone().seed(seed);
-    let artifacts = shared.cache.artifacts(inst, params.nn_size);
+    let (artifacts, built_here) = shared.cache.artifacts_with_origin(inst, params.nn_size);
+    if let Some(trace) = &state.trace {
+        trace.record_cache(!built_here);
+    }
     let backend = auto::resolve(
         &req.backend,
         inst,
@@ -577,6 +725,22 @@ fn run_job(
             exec_threads: shared.pool.profile(d)?.exec_threads,
         })
     });
+    if let Some(trace) = &state.trace {
+        trace.set_backend(&backend.label());
+        if let Some(d) = device {
+            trace.set_device(d.0);
+        }
+    }
+    // Route this thread's simulated-kernel launches (the colony's and any
+    // nested auto-probe's) into the job's trace and the engine profiler
+    // for the duration of the solve. Nothing is installed with
+    // observability off, so the launch path pays one thread-local read.
+    let _kernel_scope = shared.obs.is_enabled().then(|| {
+        aco_obs::install(KernelSink {
+            trace: state.trace.clone(),
+            profiler: Some(Arc::clone(shared.obs.profiler())),
+        })
+    });
     let mut solver =
         build_solver(&backend, inst, &params, &artifacts, gpu, req.local_search, req.ls_scope);
     let mut report = solver.solve(req.iterations, seed, ctx)?;
@@ -595,6 +759,7 @@ fn run_job(
         // the budget is spent would break the prompt-cancel and
         // wall-clock-budget guarantees.
         let mut scratch = aco_localsearch::LsScratch::new();
+        let post_t0 = Instant::now();
         // One pass stops at a don't-look-bit fixpoint, which can fall
         // short of 2-opt local optimality; iterate fresh passes until
         // the move stream dries up, matching the pre-LocalSearch
@@ -613,12 +778,16 @@ fn run_job(
             }
         }
         debug_assert_eq!(report.best_len, report.best_tour.length(inst.matrix()));
+        if let Some(trace) = &state.trace {
+            trace.record_post_pass_ms(post_t0.elapsed().as_secs_f64() * 1e3);
+        }
     }
     Ok(report)
 }
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     while let Some(QueueEntry { id, state, req, .. }) = shared.next_job(worker) {
+        shared.metrics.queue_depth.dec();
         // A device-queued entry arrives holding one admitted slot on its
         // placed device (granted in `pop_device_queue`).
         let admitted = match state.queue {
@@ -638,6 +807,11 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             }
             continue;
         }
+        let queue_wait_ms = state.submitted.elapsed().as_secs_f64() * 1e3;
+        shared.metrics.queue_wait_ms.observe(queue_wait_ms);
+        if let Some(trace) = &state.trace {
+            trace.record_queue_wait_ms(queue_wait_ms);
+        }
         // Drop cancelled / already-expired jobs before execution: no
         // solver is built and no cache entry is touched.
         let outcome = if state.cancel.is_cancelled() {
@@ -651,7 +825,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             }
             Err(EngineError::DeadlineExpired)
         } else {
-            let ctx = job_ctx(&state);
+            shared.metrics.jobs_running.inc();
+            let ctx = job_ctx(&shared, &state);
             let t0 = Instant::now();
             let result =
                 catch_unwind(AssertUnwindSafe(|| run_job(&shared, id, &state, &req, &ctx)))
@@ -663,14 +838,27 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                             .unwrap_or_else(|| "job panicked".into());
                         Err(EngineError::Failed(msg))
                     });
+            let wall = t0.elapsed();
+            shared.metrics.jobs_running.dec();
+            if let Some(trace) = &state.trace {
+                trace.record_solve_wall_ms(wall.as_secs_f64() * 1e3);
+                // The job ran (even if it failed mid-run): its timeline
+                // goes to the engine-wide ring. Never-ran jobs (eager
+                // cancel/expiry) have no spans worth keeping.
+                shared.obs.sink().push(trace.snapshot());
+            }
             // Release whichever device actually executed the job: the
             // one admitted at pop, or the one an auto job bound itself
             // to mid-run (accounted via `admit_unbudgeted`).
             if let Some(d) = state.device_id() {
-                shared.pool.release(d, t0.elapsed());
+                shared.pool.release(d, wall);
             }
             result
         };
+        match &outcome {
+            Ok(_) => shared.metrics.jobs_completed.inc(),
+            Err(_) => shared.metrics.jobs_failed.inc(),
+        }
         shared.post(id, &state, outcome);
     }
 }
@@ -768,6 +956,24 @@ impl JobHandle {
     /// impl or [`ProgressStream::try_next`].
     pub fn progress(&self) -> ProgressStream {
         ProgressStream { shared: Arc::clone(&self.state.progress) }
+    }
+
+    /// Events dropped (oldest-first) from this job's progress buffer so
+    /// far because the consumer fell behind its bound — the per-job view
+    /// of the backpressure contract (see the module docs; the engine-wide
+    /// total is `aco_engine_progress_dropped_total`). Zero means the
+    /// stream delivered (or still holds) every event.
+    pub fn progress_dropped(&self) -> u64 {
+        self.state.progress.dropped()
+    }
+
+    /// Snapshot of the job's span timeline so far: queue wait, placement,
+    /// per-iteration construction/local-search/pheromone spans, kernel
+    /// totals. `None` when the engine runs with observability off.
+    /// Callable at any point in the job's life; after `wait` returns, the
+    /// timeline is complete.
+    pub fn timeline(&self) -> Option<JobTimeline> {
+        self.state.trace.as_ref().map(|t| t.snapshot())
     }
 
     /// Coarse lifecycle phase right now.
@@ -874,6 +1080,8 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
         let pool = Arc::new(DevicePool::new(config.devices.clone(), config.placement));
+        let obs = Obs::new(config.observability, config.trace_capacity);
+        let metrics = SchedMetrics::new(obs.metrics());
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
             device_queues: (0..pool.len()).map(|_| Mutex::new(BinaryHeap::new())).collect(),
@@ -884,6 +1092,9 @@ impl Engine {
             results_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: ArtifactCache::with_capacity(config.cache_entries),
+            obs,
+            metrics,
+            started: Instant::now(),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -927,19 +1138,34 @@ impl Engine {
     /// [`EngineError::Placement`] without the job ever queueing.
     pub fn submit(&self, req: SolveRequest) -> JobHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.jobs_submitted.inc();
+        let place_t0 = Instant::now();
         let placement = self.place(&req);
+        let placement_ms = place_t0.elapsed().as_secs_f64() * 1e3;
+        self.shared.metrics.placement_ms.observe(placement_ms);
         let queue = match &placement {
             Ok(Some(p)) => QueueSlot::Device(p.device.0 as usize),
             Ok(None) => QueueSlot::Worker(id as usize % self.shared.queues.len()),
             Err(_) => QueueSlot::Unqueued,
         };
+        let trace = self.shared.obs.job_trace(id);
+        if let Some(trace) = &trace {
+            trace.record_placement_ms(placement_ms);
+        }
+        let submitted = Instant::now();
         let state = Arc::new(JobState {
             cancel: CancelToken::new(),
             priority: AtomicU8::new(req.priority.as_u8()),
             phase: AtomicU8::new(PHASE_QUEUED),
-            progress: Arc::new(ProgressShared::new(req.progress_events)),
-            deadline: req.timeout.map(|t| Instant::now() + t),
+            progress: Arc::new(ProgressShared::new(
+                req.progress_events,
+                self.shared.metrics.progress_dropped.clone(),
+            )),
+            deadline: req.timeout.map(|t| submitted + t),
             queue,
+            submitted,
+            trace,
+            first_event: AtomicBool::new(false),
             device: AtomicU32::new(match &placement {
                 Ok(Some(p)) => p.device.0,
                 _ => NO_DEVICE,
@@ -954,6 +1180,7 @@ impl Engine {
                 return JobHandle { id: JobId(id), shared: Arc::clone(&self.shared), state };
             }
             Ok(_) => {
+                self.shared.metrics.queue_depth.inc();
                 let prio = req.priority.as_u8();
                 let entry = QueueEntry { prio, id, state: Arc::clone(&state), req };
                 match queue {
@@ -1014,6 +1241,68 @@ impl Engine {
     /// occupancy, completions, busy time, assigned backlog).
     pub fn device_stats(&self) -> Vec<DeviceSnapshot> {
         self.shared.pool.snapshot()
+    }
+
+    /// Whether this engine records metrics, traces and kernel profiles.
+    pub fn observability_enabled(&self) -> bool {
+        self.shared.obs.is_enabled()
+    }
+
+    /// Point-in-time snapshot of every engine metric — scheduler
+    /// counters/gauges/latency histograms, per-device and cache gauges
+    /// (bridged from their native counters here, at snapshot time, so
+    /// neither subsystem depends on the metrics registry), and per-family
+    /// kernel profiles. Export via [`MetricsSnapshot::to_prometheus`] or
+    /// [`MetricsSnapshot::to_json`]. Empty when observability is off.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let reg = self.shared.obs.metrics();
+        if self.shared.obs.is_enabled() {
+            let elapsed = self.shared.started.elapsed().as_secs_f64();
+            for d in self.shared.pool.snapshot() {
+                let name = &d.name;
+                reg.gauge(&format!("aco_device_queued{{device=\"{name}\"}}")).set(d.queued as i64);
+                reg.gauge(&format!("aco_device_running{{device=\"{name}\"}}"))
+                    .set(d.running as i64);
+                reg.counter(&format!("aco_device_completed_total{{device=\"{name}\"}}"))
+                    .set(d.completed);
+                reg.counter(&format!("aco_device_admission_waits_total{{device=\"{name}\"}}"))
+                    .set(d.admission_waits);
+                reg.gauge(&format!("aco_device_busy_ms{{device=\"{name}\"}}"))
+                    .set(d.busy_ms as i64);
+                reg.gauge(&format!("aco_device_assigned_ms{{device=\"{name}\"}}"))
+                    .set(d.assigned_ms as i64);
+                // Utilization in basis points (gauges are integers):
+                // busy wall time over the engine's lifetime so far.
+                let util_bp = if elapsed > 0.0 {
+                    (d.busy_ms / (elapsed * 1e3) * 1e4).round() as i64
+                } else {
+                    0
+                };
+                reg.gauge(&format!("aco_device_utilization_bp{{device=\"{name}\"}}")).set(util_bp);
+            }
+            let cs = self.shared.cache.stats();
+            reg.counter("aco_cache_artifact_hits_total").set(cs.artifact_hits);
+            reg.counter("aco_cache_artifact_misses_total").set(cs.artifact_misses);
+            reg.counter("aco_cache_decision_hits_total").set(cs.decision_hits);
+            reg.counter("aco_cache_decision_misses_total").set(cs.decision_misses);
+            reg.counter("aco_cache_evictions_total")
+                .set(cs.artifact_evictions + cs.decision_evictions);
+        }
+        self.shared.obs.snapshot()
+    }
+
+    /// The most recent completed-job timelines (bounded ring of
+    /// [`EngineConfig::trace_capacity`] entries, oldest evicted first).
+    /// Jobs that never ran — eagerly cancelled or expired while queued —
+    /// are not recorded. Empty when observability is off.
+    pub fn recent_timelines(&self) -> Vec<Arc<JobTimeline>> {
+        self.shared.obs.sink().recent()
+    }
+
+    /// Timelines evicted from the [`Engine::recent_timelines`] ring so
+    /// far (how much history the bound has discarded).
+    pub fn timelines_evicted(&self) -> u64 {
+        self.shared.obs.sink().evicted()
     }
 }
 

@@ -335,8 +335,12 @@ impl SolveRequest {
     }
 
     /// Builder: 2-opt post-pass on the best tour (the pre-`LocalSearch`
-    /// API; the bool maps onto [`LocalSearch::PostPass`]).
-    #[deprecated(since = "0.1.0", note = "use local_search(LocalSearch::PostPass) instead")]
+    /// API; the bool maps onto [`LocalSearch::PostPass`]). Scheduled for
+    /// removal in 0.2.0 — migrate to [`SolveRequest::local_search`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use local_search(LocalSearch::PostPass) instead; will be removed in 0.2.0"
+    )]
     pub fn two_opt(mut self, enable: bool) -> Self {
         self.local_search = if enable { LocalSearch::PostPass } else { LocalSearch::None };
         self
@@ -499,11 +503,19 @@ impl Solver for CpuSequentialSolver<'_> {
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
         let CpuSequentialSolver { aco, policy, model, ls_iter_ms, ms } = self;
+        let trace = ctx.trace().map(std::sync::Arc::clone);
+        let mut k = 0u64;
         Ok(aco.run_ctx(*policy, iterations, ctx, |rep| {
-            *ms += model.time_ms(&rep.counters.choice)
-                + model.time_ms(&rep.counters.tour)
-                + model.time_ms(&rep.counters.update)
-                + *ls_iter_ms;
+            // CPU phases priced from the measured counters: choice-table
+            // refresh + tour construction make the construction span,
+            // the pheromone update its own, local search analytic.
+            let construct = model.time_ms(&rep.counters.choice) + model.time_ms(&rep.counters.tour);
+            let update = model.time_ms(&rep.counters.update);
+            if let Some(trace) = &trace {
+                trace.record_iteration(k, construct, *ls_iter_ms, update);
+            }
+            k += 1;
+            *ms += construct + update + *ls_iter_ms;
         }))
     }
 
@@ -557,9 +569,20 @@ impl Solver for CpuParallelSolver<'_> {
             }
         };
         let tour_ms = model.time_ms(&tour_counters) / (*threads).max(1) as f64;
+        let trace = ctx.trace().map(std::sync::Arc::clone);
+        let base = *iteration;
+        let mut k = 0u64;
         let outcome =
             run_parallel_ctx(aco, *policy, *threads, iterations, *iteration, ctx, best, |c| {
-                *ms += model.time_ms(c) + tour_ms + *ls_iter_ms;
+                // The fan-in counters measure choice refresh + pheromone
+                // update together; the trace lumps both under the
+                // pheromone span, construction is the fanned-out tour.
+                let update = model.time_ms(c);
+                if let Some(trace) = &trace {
+                    trace.record_iteration(base + k, tour_ms, *ls_iter_ms, update);
+                }
+                k += 1;
+                *ms += update + tour_ms + *ls_iter_ms;
             });
         *iteration += outcome.iterations as u64;
         Ok(outcome)
@@ -585,6 +608,11 @@ struct CpuAcsSolver<'a> {
     acs: AntColonySystem<'a>,
     acs_params: AcsParams,
     per_iter_ms: f64,
+    /// Analytic `(choice, tour, update)` split of `per_iter_ms` minus
+    /// local search (the ACS clock is analytic, so the trace spans are
+    /// the same for every iteration).
+    phase_ms: (f64, f64, f64),
+    ls_iter_ms: f64,
     iters: u64,
 }
 
@@ -594,8 +622,15 @@ impl Solver for CpuAcsSolver<'_> {
     }
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let base = self.iters;
         let outcome = self.acs.run_ctx(iterations, ctx);
         self.iters += outcome.iterations as u64;
+        if let Some(trace) = ctx.trace() {
+            let (choice, tour, update) = self.phase_ms;
+            for k in 0..outcome.iterations as u64 {
+                trace.record_iteration(base + k, choice + tour, self.ls_iter_ms, update);
+            }
+        }
         Ok(outcome)
     }
 
@@ -616,6 +651,9 @@ struct CpuMmasSolver<'a> {
     mmas: MaxMinAntSystem<'a>,
     mmas_params: MmasParams,
     per_iter_ms: f64,
+    /// Analytic `(choice, tour, update)` split, as in [`CpuAcsSolver`].
+    phase_ms: (f64, f64, f64),
+    ls_iter_ms: f64,
     iters: u64,
 }
 
@@ -625,8 +663,15 @@ impl Solver for CpuMmasSolver<'_> {
     }
 
     fn run(&mut self, iterations: usize, ctx: &SolveCtx) -> Result<RunOutcome, EngineError> {
+        let base = self.iters;
         let outcome = self.mmas.run_ctx(iterations, ctx);
         self.iters += outcome.iterations as u64;
+        if let Some(trace) = ctx.trace() {
+            let (choice, tour, update) = self.phase_ms;
+            for k in 0..outcome.iterations as u64 {
+                trace.record_iteration(base + k, choice + tour, self.ls_iter_ms, update);
+            }
+        }
         Ok(outcome)
     }
 
@@ -719,12 +764,6 @@ pub(crate) fn cpu_phase_ms(n: usize, m: usize, nn: usize, model: &CpuModel) -> (
         model.time_ms(&cpu_model::nn_tour_counters(n, m, nn)),
         model.time_ms(&cpu_model::update_counters(n, m)),
     )
-}
-
-/// Sum of [`cpu_phase_ms`]: the sequential per-iteration total.
-pub(crate) fn analytic_cpu_iter_ms(n: usize, m: usize, nn: usize, model: &CpuModel) -> f64 {
-    let (choice, tour, update) = cpu_phase_ms(n, m, nn, model);
-    choice + tour + update
 }
 
 /// Rounds the analytic local-search model assumes per iteration-best
@@ -842,11 +881,14 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             colony.set_local_search(local_search, scope);
+            let phase_ms = cpu_phase_ms(inst.n(), m, params.nn_size, &model);
+            let ls = ls_ms_for(m);
             Box::new(CpuAcsSolver {
                 acs: colony,
                 acs_params: *acs,
-                per_iter_ms: analytic_cpu_iter_ms(inst.n(), m, params.nn_size, &model)
-                    + ls_ms_for(m),
+                per_iter_ms: phase_ms.0 + phase_ms.1 + phase_ms.2 + ls,
+                phase_ms,
+                ls_iter_ms: ls,
                 iters: 0,
             })
         }
@@ -859,15 +901,14 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             colony.set_local_search(local_search, scope);
+            let phase_ms =
+                cpu_phase_ms(inst.n(), params.ants_for(inst.n()), params.nn_size, &model);
             Box::new(CpuMmasSolver {
                 mmas: colony,
                 mmas_params: *mmas,
-                per_iter_ms: analytic_cpu_iter_ms(
-                    inst.n(),
-                    params.ants_for(inst.n()),
-                    params.nn_size,
-                    &model,
-                ) + ls_iter_ms,
+                per_iter_ms: phase_ms.0 + phase_ms.1 + phase_ms.2 + ls_iter_ms,
+                phase_ms,
+                ls_iter_ms,
                 iters: 0,
             })
         }

@@ -59,8 +59,10 @@ pub enum LocalSearch {
     /// next to a nearest neighbour of the segment head. Catches moves
     /// 2-opt cannot express; host-only.
     OrOpt,
-    /// The legacy `SolveRequest::two_opt` behaviour: no per-iteration
-    /// work, one `TwoOptNn` polish of the final best tour.
+    /// No per-iteration work; one `TwoOptNn` polish of the final best
+    /// tour, applied by the engine after the run. Select it via
+    /// `SolveRequest::local_search` (the deprecated `two_opt(bool)`
+    /// builder shim maps here until its removal in 0.2.0).
     PostPass,
 }
 

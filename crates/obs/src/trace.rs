@@ -1,0 +1,420 @@
+//! Hierarchical job tracing: engine → job → iteration → kernel/LS pass.
+//!
+//! A [`JobTrace`] is the live, bounded recorder one job writes while it
+//! runs; [`JobTrace::snapshot`] freezes it into a [`JobTimeline`] — the
+//! answer to "where did the milliseconds go" for that job: queue wait,
+//! placement, per-iteration construction/local-search/pheromone spans,
+//! kernel-family totals, and whether the artifact cache hit. Finished
+//! timelines land in the engine's bounded [`TraceSink`] ring.
+//!
+//! Recording is write-only telemetry: nothing in this module feeds back
+//! into scheduling or solving, so enabling it cannot change results
+//! (pinned by `tests/observability.rs`).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::KernelFamilySnapshot;
+
+/// Per-iteration modeled phase spans (milliseconds), as the colonies
+/// report them: construction (choice info + tours), local search, and
+/// the pheromone update.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterationSpans {
+    /// 0-based iteration index within the job.
+    pub iteration: u64,
+    /// Tour-construction span (includes choice-info refresh).
+    pub construction_ms: f64,
+    /// Local-search span (0 when no per-iteration strategy runs).
+    pub local_search_ms: f64,
+    /// Pheromone-update span.
+    pub pheromone_ms: f64,
+}
+
+impl IterationSpans {
+    /// Sum of the three phase spans.
+    pub fn total_ms(&self) -> f64 {
+        self.construction_ms + self.local_search_ms + self.pheromone_ms
+    }
+}
+
+/// A frozen copy of one job's trace (see [`JobTrace::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTimeline {
+    /// Engine-issued job id.
+    pub job: u64,
+    /// Label of the backend that ran (empty until resolved).
+    pub backend: String,
+    /// Pool device the job ran on, if any.
+    pub device: Option<u32>,
+    /// Submit → worker-start wall time.
+    pub queue_wait_ms: f64,
+    /// Wall time of the submit-time placement decision.
+    pub placement_ms: f64,
+    /// Submit → first progress event wall time (`None` until the first
+    /// event is emitted).
+    pub first_event_ms: Option<f64>,
+    /// Wall time of the solve (worker-start → result), post-pass
+    /// included.
+    pub solve_wall_ms: f64,
+    /// Wall time of the end-of-run local-search polish (0 without one).
+    pub post_pass_ms: f64,
+    /// Whether this job's instance artifacts came from the cache
+    /// (`None` until the lookup happened).
+    pub artifact_cache_hit: Option<bool>,
+    /// Per-iteration phase spans, in iteration order, up to the trace's
+    /// bound.
+    pub iterations: Vec<IterationSpans>,
+    /// Iterations recorded past the bound (dropped, newest-first kept).
+    pub dropped_iterations: u64,
+    /// Per-kernel-family invocation counts and modeled ms recorded while
+    /// this job held the launch hook (GPU jobs; empty for pure-CPU ones).
+    pub kernels: Vec<KernelFamilySnapshot>,
+}
+
+impl JobTimeline {
+    /// Total recorded construction span.
+    pub fn construction_ms(&self) -> f64 {
+        self.iterations.iter().map(|s| s.construction_ms).sum()
+    }
+
+    /// Total recorded local-search span.
+    pub fn local_search_ms(&self) -> f64 {
+        self.iterations.iter().map(|s| s.local_search_ms).sum()
+    }
+
+    /// Total recorded pheromone-update span.
+    pub fn pheromone_ms(&self) -> f64 {
+        self.iterations.iter().map(|s| s.pheromone_ms).sum()
+    }
+
+    /// Human-readable multi-line rendering (used by
+    /// `examples/observability.rs`).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "job {} [{}]{}\n  queue wait {:>9.3} ms | placement {:.3} ms | solve wall {:.3} ms\n",
+            self.job,
+            if self.backend.is_empty() { "?" } else { &self.backend },
+            match self.device {
+                Some(d) => format!(" on device {d}"),
+                None => String::new(),
+            },
+            self.queue_wait_ms,
+            self.placement_ms,
+            self.solve_wall_ms,
+        );
+        if let Some(f) = self.first_event_ms {
+            out.push_str(&format!("  submit -> first event {f:.3} ms\n"));
+        }
+        if let Some(hit) = self.artifact_cache_hit {
+            out.push_str(&format!(
+                "  artifact cache: {}\n",
+                if hit { "hit" } else { "miss (built here)" }
+            ));
+        }
+        out.push_str(&format!(
+            "  {} iterations (modeled): construction {:.3} ms | local search {:.3} ms | pheromone {:.3} ms\n",
+            self.iterations.len(),
+            self.construction_ms(),
+            self.local_search_ms(),
+            self.pheromone_ms(),
+        ));
+        for s in &self.iterations {
+            out.push_str(&format!(
+                "    iter {:>3}: construct {:>8.3} ms | ls {:>8.3} ms | pheromone {:>8.3} ms\n",
+                s.iteration, s.construction_ms, s.local_search_ms, s.pheromone_ms
+            ));
+        }
+        if self.dropped_iterations > 0 {
+            out.push_str(&format!(
+                "    (+{} iterations past the trace bound)\n",
+                self.dropped_iterations
+            ));
+        }
+        if self.post_pass_ms > 0.0 {
+            out.push_str(&format!("  post-pass polish {:.3} ms\n", self.post_pass_ms));
+        }
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "  kernel {:<18} x{:<5} {:>10.3} ms modeled\n",
+                k.family, k.invocations, k.modeled_ms
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct TraceInner {
+    backend: String,
+    device: Option<u32>,
+    queue_wait_ms: f64,
+    placement_ms: f64,
+    first_event_ms: Option<f64>,
+    solve_wall_ms: f64,
+    post_pass_ms: f64,
+    artifact_cache_hit: Option<bool>,
+    iterations: Vec<IterationSpans>,
+    dropped_iterations: u64,
+    kernels: BTreeMap<&'static str, (u64, f64)>,
+}
+
+/// The live per-job recorder. All methods take `&self` (one short mutex
+/// hold each) and record only — a trace never influences the job it
+/// describes. Iteration spans are bounded by the capacity given at
+/// construction; recording past it counts drops instead of growing.
+pub struct JobTrace {
+    job: u64,
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+impl JobTrace {
+    /// A fresh trace for engine job `job`, retaining at most
+    /// `iteration_capacity` per-iteration span records.
+    pub fn new(job: u64, iteration_capacity: usize) -> Self {
+        JobTrace {
+            job,
+            capacity: iteration_capacity.max(1),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// The engine-issued job id this trace describes.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    fn with(&self, f: impl FnOnce(&mut TraceInner)) {
+        f(&mut self.inner.lock().expect("trace lock"));
+    }
+
+    /// Record the resolved backend label.
+    pub fn set_backend(&self, label: &str) {
+        self.with(|t| t.backend = label.to_string());
+    }
+
+    /// Record the pool device the job bound to.
+    pub fn set_device(&self, device: u32) {
+        self.with(|t| t.device = Some(device));
+    }
+
+    /// Record submit → worker-start wall time.
+    pub fn record_queue_wait_ms(&self, ms: f64) {
+        self.with(|t| t.queue_wait_ms = ms);
+    }
+
+    /// Record the submit-time placement decision's wall time.
+    pub fn record_placement_ms(&self, ms: f64) {
+        self.with(|t| t.placement_ms = ms);
+    }
+
+    /// Record submit → first progress event wall time (first call wins).
+    pub fn record_first_event_ms(&self, ms: f64) {
+        self.with(|t| {
+            t.first_event_ms.get_or_insert(ms);
+        });
+    }
+
+    /// Record the solve's wall time (worker-start → result).
+    pub fn record_solve_wall_ms(&self, ms: f64) {
+        self.with(|t| t.solve_wall_ms = ms);
+    }
+
+    /// Record the end-of-run polish's wall time.
+    pub fn record_post_pass_ms(&self, ms: f64) {
+        self.with(|t| t.post_pass_ms = ms);
+    }
+
+    /// Record whether the artifact lookup hit the cache.
+    pub fn record_cache(&self, hit: bool) {
+        self.with(|t| t.artifact_cache_hit = Some(hit));
+    }
+
+    /// Record one iteration's phase spans (bounded; drops count).
+    pub fn record_iteration(
+        &self,
+        iteration: u64,
+        construction_ms: f64,
+        local_search_ms: f64,
+        pheromone_ms: f64,
+    ) {
+        self.with(|t| {
+            if t.iterations.len() >= self.capacity {
+                t.dropped_iterations += 1;
+            } else {
+                t.iterations.push(IterationSpans {
+                    iteration,
+                    construction_ms,
+                    local_search_ms,
+                    pheromone_ms,
+                });
+            }
+        });
+    }
+
+    /// Record one kernel launch of `family` costing `ms` modeled time
+    /// (fed by the SIMT launch hook — see `crate::kernel`).
+    pub fn record_kernel(&self, family: &'static str, ms: f64) {
+        self.with(|t| {
+            let e = t.kernels.entry(family).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += ms;
+        });
+    }
+
+    /// Freeze the trace into a [`JobTimeline`]. Callable at any point in
+    /// the job's life; a mid-flight snapshot shows the spans recorded so
+    /// far.
+    pub fn snapshot(&self) -> JobTimeline {
+        let t = self.inner.lock().expect("trace lock");
+        JobTimeline {
+            job: self.job,
+            backend: t.backend.clone(),
+            device: t.device,
+            queue_wait_ms: t.queue_wait_ms,
+            placement_ms: t.placement_ms,
+            first_event_ms: t.first_event_ms,
+            solve_wall_ms: t.solve_wall_ms,
+            post_pass_ms: t.post_pass_ms,
+            artifact_cache_hit: t.artifact_cache_hit,
+            iterations: t.iterations.clone(),
+            dropped_iterations: t.dropped_iterations,
+            kernels: t
+                .kernels
+                .iter()
+                .map(|(family, &(invocations, modeled_ms))| KernelFamilySnapshot {
+                    family: (*family).to_string(),
+                    invocations,
+                    modeled_ms,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for JobTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTrace")
+            .field("job", &self.job)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+/// A bounded in-memory ring of completed [`JobTimeline`]s, oldest
+/// evicted first. One per engine; readers get cheap `Arc` clones.
+pub struct TraceSink {
+    capacity: usize,
+    inner: Mutex<VecDeque<Arc<JobTimeline>>>,
+    evicted: AtomicU64,
+}
+
+impl TraceSink {
+    /// A sink retaining the most recent `capacity` timelines.
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Push a completed timeline, evicting the oldest past the bound.
+    pub fn push(&self, timeline: JobTimeline) {
+        let mut q = self.inner.lock().expect("sink lock");
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(Arc::new(timeline));
+    }
+
+    /// The retained timelines, oldest first.
+    pub fn recent(&self) -> Vec<Arc<JobTimeline>> {
+        self.inner.lock().expect("sink lock").iter().cloned().collect()
+    }
+
+    /// Timelines evicted by the bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.capacity)
+            .field("retained", &self.inner.lock().expect("sink lock").len())
+            .field("evicted", &self.evicted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_and_snapshots_all_spans() {
+        let trace = JobTrace::new(7, 8);
+        trace.set_backend("gpu-x");
+        trace.set_device(1);
+        trace.record_queue_wait_ms(2.0);
+        trace.record_placement_ms(0.1);
+        trace.record_first_event_ms(3.0);
+        trace.record_first_event_ms(9.0); // first wins
+        trace.record_cache(true);
+        trace.record_iteration(0, 1.0, 0.5, 0.25);
+        trace.record_iteration(1, 1.0, 0.5, 0.25);
+        trace.record_kernel("tour", 4.0);
+        trace.record_kernel("tour", 4.0);
+        trace.record_kernel("update", 1.0);
+        let t = trace.snapshot();
+        assert_eq!(t.job, 7);
+        assert_eq!(t.backend, "gpu-x");
+        assert_eq!(t.device, Some(1));
+        assert_eq!(t.first_event_ms, Some(3.0));
+        assert_eq!(t.artifact_cache_hit, Some(true));
+        assert_eq!(t.iterations.len(), 2);
+        assert!((t.construction_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(
+            t.kernels,
+            vec![
+                KernelFamilySnapshot { family: "tour".into(), invocations: 2, modeled_ms: 8.0 },
+                KernelFamilySnapshot { family: "update".into(), invocations: 1, modeled_ms: 1.0 },
+            ]
+        );
+        assert!(t.render().contains("job 7 [gpu-x] on device 1"));
+    }
+
+    #[test]
+    fn iteration_spans_are_bounded_with_drop_counting() {
+        let trace = JobTrace::new(0, 2);
+        for k in 0..5 {
+            trace.record_iteration(k, 1.0, 0.0, 1.0);
+        }
+        let t = trace.snapshot();
+        assert_eq!(t.iterations.len(), 2);
+        assert_eq!(t.dropped_iterations, 3);
+        assert!(t.render().contains("+3 iterations past the trace bound"));
+    }
+
+    #[test]
+    fn sink_is_a_bounded_ring() {
+        let sink = TraceSink::new(2);
+        for job in 0..4 {
+            sink.push(JobTrace::new(job, 1).snapshot());
+        }
+        let recent = sink.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!((recent[0].job, recent[1].job), (2, 3));
+        assert_eq!(sink.evicted(), 2);
+    }
+}

@@ -265,6 +265,12 @@ pub fn launch_threads(
         }
     }
     let time = estimate(dev, &occ, &stats);
+    // Observability hook: report this launch's family and modeled time
+    // to whatever sink the calling thread has installed (a no-op
+    // thread-local read otherwise — see `aco_obs::kernel`). Runs after
+    // the parallel groups joined, on the launching thread, so it is
+    // deterministic and free of synchronisation.
+    aco_obs::kernel::record(kernel.name(), time.total_ms);
     Ok(LaunchResult { stats, occupancy: occ, time, executed_blocks: executed, scale })
 }
 

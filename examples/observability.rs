@@ -1,0 +1,84 @@
+//! Observability: per-job span timelines and the engine metrics
+//! snapshot.
+//!
+//! Runs an 8-job mixed CPU/GPU batch, then prints each job's timeline —
+//! queue wait → placement → per-iteration construction / local-search /
+//! pheromone spans → post-pass — followed by the engine-wide metrics in
+//! Prometheus text exposition format (counters, gauges, latency
+//! histograms, per-kernel-family profiles).
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use std::sync::Arc;
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{Backend, Engine, EngineConfig, GpuDevice, LocalSearch, SolveRequest};
+use aco_gpu::tsp;
+
+fn main() {
+    let inst = Arc::new(tsp::uniform_random("obs40", 40, 600.0, 7));
+    let params = AcoParams::default().nn(10);
+
+    // Observability is on by default; `observe(false)` turns the whole
+    // subsystem into no-ops without changing any solve result.
+    let engine = Engine::new(EngineConfig::with_workers(2));
+    println!(
+        "engine: {} workers, observability {}",
+        engine.workers(),
+        if engine.observability_enabled() { "on" } else { "off" }
+    );
+
+    // 8 jobs: CPU sequential, CPU parallel, explicit GPU, and auto —
+    // two seeds each, one with a post-pass polish.
+    let backends = [
+        Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
+        Backend::CpuParallel { policy: TourPolicy::NearestNeighborList, threads: 3 },
+        Backend::Gpu {
+            device: GpuDevice::TeslaM2050,
+            tour: TourStrategy::DataParallelTex,
+            pheromone: PheromoneStrategy::AtomicShared,
+        },
+        Backend::Auto,
+    ];
+    let handles: Vec<_> = backends
+        .iter()
+        .flat_map(|backend| {
+            (0..2).map(|seed| {
+                let mut req = SolveRequest::new(Arc::clone(&inst), params.clone())
+                    .backend(backend.clone())
+                    .iterations(4)
+                    .seed(seed);
+                if seed == 1 {
+                    req = req.local_search(LocalSearch::PostPass);
+                }
+                engine.submit(req)
+            })
+        })
+        .collect();
+
+    println!("\n=== per-job timelines ===");
+    for h in &handles {
+        let rep = h.wait().expect("job solves");
+        let timeline = h.timeline().expect("observability is on");
+        println!(
+            "{}  best = {}, dropped progress events = {}",
+            timeline.render(),
+            rep.best_len,
+            h.progress_dropped()
+        );
+    }
+
+    // The engine also keeps a bounded ring of recent timelines.
+    println!(
+        "engine ring holds {} timelines ({} evicted)",
+        engine.recent_timelines().len(),
+        engine.timelines_evicted()
+    );
+
+    println!("\n=== Prometheus snapshot ===");
+    print!("{}", engine.metrics().to_prometheus());
+}

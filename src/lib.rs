@@ -11,5 +11,6 @@ pub use aco_core as core;
 pub use aco_devices as devices;
 pub use aco_engine as engine;
 pub use aco_localsearch as localsearch;
+pub use aco_obs as obs;
 pub use aco_simt as simt;
 pub use aco_tsp as tsp;
