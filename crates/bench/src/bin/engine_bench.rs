@@ -29,7 +29,8 @@ use aco_core::cpu::TourPolicy;
 use aco_core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_core::AcoParams;
 use aco_engine::{
-    Backend, DeviceProfile, Engine, EngineConfig, GpuDevice, LocalSearch, SolveRequest,
+    Backend, DeviceProfile, Engine, EngineConfig, Failover, FaultPlan, GpuDevice, LocalSearch,
+    RetryPolicy, SolveRequest,
 };
 
 /// Submit→first-progress-event latency (ms): how long after `submit`
@@ -229,6 +230,24 @@ struct ObsOverheadRec {
     overhead_pct: f64,
 }
 
+/// The PR-7 fault-tolerance section: the same seeded GPU batch run
+/// three ways — default engine, retry supervision armed but never
+/// triggered (prices the supervision plumbing; the `--check` gate warns
+/// beyond 5%, advisory like the observability pair), and a flaky-device
+/// fault plan actually firing (recovery throughput, for the record).
+#[derive(Debug, Clone)]
+struct FaultsRec {
+    jobs: usize,
+    plain_jobs_per_sec: f64,
+    supervised_jobs_per_sec: f64,
+    /// `(plain/supervised − 1) × 100`: throughput lost to idle retry
+    /// supervision.
+    overhead_pct: f64,
+    faulted_jobs_per_sec: f64,
+    /// Jobs in the faulted run that needed more than one attempt.
+    retried_jobs: u64,
+}
+
 #[derive(Debug, Clone)]
 struct HistEntry {
     label: String,
@@ -246,6 +265,8 @@ struct HistEntry {
     local_search: Option<LocalSearchRec>,
     /// Observability on/off throughput pair (absent in pre-PR-6 entries).
     obs_overhead: Option<ObsOverheadRec>,
+    /// Fault-tolerance throughput triple (absent in pre-PR-7 entries).
+    faults: Option<FaultsRec>,
 }
 
 fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
@@ -450,6 +471,68 @@ fn measure_obs_overhead(jobs: usize, n: usize, iters: usize) -> ObsOverheadRec {
     ObsOverheadRec { jobs, off_jobs_per_sec, on_jobs_per_sec, overhead_pct }
 }
 
+/// The fault-tolerance triple: an explicit GPU batch on a twin-device
+/// pool run (1) on the default engine, (2) with retry supervision armed
+/// but no faults to trigger it, and (3) under a flaky-device plan with
+/// healthy-device failover actually recovering jobs.
+fn measure_faults(n: usize, iters: usize) -> FaultsRec {
+    let jobs = 8;
+    let run = |plan: Option<FaultPlan>, retry: RetryPolicy| {
+        let pool =
+            vec![DeviceProfile::tesla_c1060("g0"), DeviceProfile::tesla_c1060("g1").sm_count(15)];
+        let mut config = EngineConfig::with_workers(1).devices(pool);
+        if let Some(plan) = plan {
+            config = config.faults(plan);
+        }
+        let engine = Engine::new(config);
+        let inst = Arc::new(aco_tsp::uniform_random("bench-faults", n, 1000.0, 0xF7));
+        let params = AcoParams::default().nn(15.min(n - 1)).ants(n.min(32));
+        let t0 = Instant::now();
+        let reports = engine.run_batch((0..jobs).map(|j| {
+            SolveRequest::new(Arc::clone(&inst), params.clone())
+                .backend(Backend::Gpu {
+                    device: GpuDevice::TeslaC1060,
+                    tour: TourStrategy::NNList,
+                    pheromone: PheromoneStrategy::AtomicShared,
+                })
+                .iterations(iters)
+                .seed(j as u64)
+                .retry(retry)
+        }));
+        let wall_s = t0.elapsed().as_secs_f64();
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, jobs, "fault-bench batch must solve");
+        let retried =
+            reports.iter().filter_map(|r| r.as_ref().ok()).filter(|r| r.attempts > 1).count()
+                as u64;
+        engine.pool().assert_no_slot_leaks();
+        (ok as f64 / wall_s, retried)
+    };
+    let supervised_policy = RetryPolicy::retries(2).failover(Failover::CpuFallback);
+    let (plain_jobs_per_sec, _) = run(None, RetryPolicy::none());
+    let (supervised_jobs_per_sec, _) = run(None, supervised_policy);
+    let (faulted_jobs_per_sec, retried_jobs) =
+        run(Some(FaultPlan::new(0xF7).flaky_device(0, 0.35)), supervised_policy);
+    let overhead_pct = if supervised_jobs_per_sec > 0.0 {
+        (plain_jobs_per_sec / supervised_jobs_per_sec - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "faults: {plain_jobs_per_sec:.1} jobs/s plain -> {supervised_jobs_per_sec:.1} jobs/s \
+         supervised ({overhead_pct:+.1}% overhead), {faulted_jobs_per_sec:.1} jobs/s under \
+         faults ({retried_jobs} jobs retried)"
+    );
+    FaultsRec {
+        jobs,
+        plain_jobs_per_sec,
+        supervised_jobs_per_sec,
+        overhead_pct,
+        faulted_jobs_per_sec,
+        retried_jobs,
+    }
+}
+
 fn host_cpus() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
@@ -522,6 +605,19 @@ fn render_obs_overhead(o: &ObsOverheadRec) -> String {
     )
 }
 
+fn render_faults(f: &FaultsRec) -> String {
+    format!(
+        "      {{\"jobs\": {}, \"plain_jobs_per_sec\": {:.3}, \"supervised_jobs_per_sec\": {:.3}, \
+         \"overhead_pct\": {:.3}, \"faulted_jobs_per_sec\": {:.3}, \"retried_jobs\": {}}}",
+        f.jobs,
+        f.plain_jobs_per_sec,
+        f.supervised_jobs_per_sec,
+        f.overhead_pct,
+        f.faulted_jobs_per_sec,
+        f.retried_jobs
+    )
+}
+
 fn render_entry(e: &HistEntry) -> String {
     let runs: Vec<String> = e.runs.iter().map(render_run).collect();
     let devices = match &e.devices {
@@ -536,10 +632,14 @@ fn render_entry(e: &HistEntry) -> String {
         Some(o) => format!(",\n      \"obs_overhead\":\n{}", render_obs_overhead(o)),
         None => String::new(),
     };
+    let faults = match &e.faults {
+        Some(f) => format!(",\n      \"faults\":\n{}", render_faults(f)),
+        None => String::new(),
+    };
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
          \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
-         \"runs\": [\n{}\n      ]{}{}{}\n    }}",
+         \"runs\": [\n{}\n      ]{}{}{}{}\n    }}",
         e.label,
         e.jobs,
         e.n,
@@ -549,7 +649,8 @@ fn render_entry(e: &HistEntry) -> String {
         runs.join(",\n"),
         devices,
         local_search,
-        obs_overhead
+        obs_overhead,
+        faults
     )
 }
 
@@ -629,6 +730,20 @@ fn parse_obs_overhead(v: &Json) -> ObsOverheadRec {
     }
 }
 
+fn parse_faults(v: &Json) -> FaultsRec {
+    FaultsRec {
+        jobs: uint(v.get("jobs")) as usize,
+        plain_jobs_per_sec: v.get("plain_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        supervised_jobs_per_sec: v
+            .get("supervised_jobs_per_sec")
+            .and_then(Json::num)
+            .unwrap_or(0.0),
+        overhead_pct: v.get("overhead_pct").and_then(Json::num).unwrap_or(0.0),
+        faulted_jobs_per_sec: v.get("faulted_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        retried_jobs: uint(v.get("retried_jobs")),
+    }
+}
+
 fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
     HistEntry {
         label: v.get("label").and_then(Json::str).unwrap_or(fallback_label).to_string(),
@@ -641,6 +756,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         devices: v.get("devices").map(parse_devices),
         local_search: v.get("local_search").map(parse_local_search),
         obs_overhead: v.get("obs_overhead").map(parse_obs_overhead),
+        faults: v.get("faults").map(parse_faults),
     }
 }
 
@@ -713,6 +829,18 @@ fn check(path: &std::path::Path, tolerance: f64) -> ! {
     } else {
         println!("obs overhead advisory OK: {:+.1}% (target <= 5%)", obs.overhead_pct);
     }
+    // Advisory retry-supervision gate, same rationale: warn — never
+    // fail — when idle supervision costs more than 5% throughput.
+    let faults = measure_faults(last.n, last.iterations);
+    if faults.overhead_pct > 5.0 {
+        eprintln!(
+            "gate ADVISORY: idle retry-supervision overhead {:.1}% exceeds the 5% target \
+             (plain {:.3} -> supervised {:.3} jobs/s)",
+            faults.overhead_pct, faults.plain_jobs_per_sec, faults.supervised_jobs_per_sec
+        );
+    } else {
+        println!("faults overhead advisory OK: {:+.1}% (target <= 5%)", faults.overhead_pct);
+    }
     std::process::exit(0);
 }
 
@@ -729,6 +857,7 @@ fn main() {
     let devices = measure_devices(args.n, args.iters);
     let local_search = measure_local_search(args.n, args.iters);
     let obs_overhead = measure_obs_overhead(args.jobs, args.n, args.iters);
+    let faults = measure_faults(args.n, args.iters);
     let entry = HistEntry {
         label: args.label.clone(),
         jobs: args.jobs,
@@ -740,6 +869,7 @@ fn main() {
         devices: Some(devices),
         local_search: Some(local_search),
         obs_overhead: Some(obs_overhead),
+        faults: Some(faults),
     };
 
     let mut history = if args.append {

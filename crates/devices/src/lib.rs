@@ -29,12 +29,21 @@
 //! on. Live queue depth, occupancy, and busy time are tracked separately
 //! as telemetry ([`DevicePool::snapshot`]) and never feed back into
 //! placement.
+//!
+//! The same determinism discipline extends to **device health**: each
+//! device carries a [`HealthState`] machine (Healthy → Degraded →
+//! Quarantined, with probation re-admission) driven *only* by explicit
+//! [`DevicePool::note_outcome`] calls — never by execution timing — so
+//! health-aware placement (quarantine filtering in `place`, the
+//! caller-supplied avoid mask of [`DevicePool::rotate_avoiding`]) keeps
+//! the worker-count-invariance contract even while fault injection is
+//! tearing devices down.
 
 mod pool;
 mod profile;
 
 pub use pool::{
-    DeviceAffinity, DeviceId, DevicePool, DeviceSnapshot, Placement, PlacementError,
-    PlacementStrategy,
+    DeviceAffinity, DeviceId, DevicePool, DeviceSnapshot, HealthEvent, HealthPolicy, HealthState,
+    Placement, PlacementError, PlacementStrategy,
 };
 pub use profile::{DeviceModel, DeviceProfile};

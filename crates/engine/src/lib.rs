@@ -48,6 +48,20 @@
 //!   per-kernel-family profiles from the simulated launch path. Purely
 //!   write-only: solve results, placements and progress sequences are
 //!   bit-identical with observability on or off.
+//! * **Fault tolerance** ([`aco_faults`], armed via
+//!   [`EngineConfig::faults`]): a seeded, deterministic fault injector
+//!   (kernel panics, transient device errors, hangs — pure functions of
+//!   `(job, device, attempt)`), a per-device health state machine in the
+//!   pool (Healthy → Degraded → Quarantined with probation re-admission)
+//!   consulted by placement, and a per-job retry supervisor
+//!   ([`RetryPolicy`] on [`SolveRequest`]): bounded attempts with
+//!   backoff, [`Failover`] re-placement onto healthy devices, graceful
+//!   CPU degradation, and a per-attempt execution watchdog.
+//!   [`SolveReport`] records the attempt count and every
+//!   [`AttemptFault`]. Under a fixed [`FaultPlan`] the whole
+//!   fault/retry/quarantine trajectory is bit-identical at any worker
+//!   count; with injection disarmed the engine is byte-identical to one
+//!   without the fault layer.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -87,9 +101,10 @@ pub mod solver;
 
 pub use aco_core::lifecycle::{CancelToken, IterationEvent, RunOutcome, SolveCtx, StopReason};
 pub use aco_devices::{
-    DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, Placement,
-    PlacementError, PlacementStrategy,
+    DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, HealthEvent,
+    HealthPolicy, HealthState, Placement, PlacementError, PlacementStrategy,
 };
+pub use aco_faults::{FaultInjector, FaultKind, FaultPlan, FaultRates};
 pub use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 pub use aco_obs::{
     HistogramSnapshot, IterationSpans, JobTimeline, KernelFamilySnapshot, MetricsSnapshot,
@@ -101,6 +116,6 @@ pub use scheduler::{
     default_devices, Engine, EngineConfig, JobHandle, JobId, JobStatus, ProgressStream,
 };
 pub use solver::{
-    build_solver, Backend, EngineError, GpuBinding, GpuDevice, JobOutcome, Priority, SolveReport,
-    SolveRequest, Solver, DEFAULT_PROGRESS_EVENTS,
+    build_solver, AttemptFault, Backend, EngineError, Failover, GpuBinding, GpuDevice, JobOutcome,
+    Priority, RetryPolicy, SolveReport, SolveRequest, Solver, DEFAULT_PROGRESS_EVENTS,
 };

@@ -74,22 +74,26 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use aco_core::lifecycle::{CancelToken, IterationEvent, SolveCtx};
+use aco_core::TourPolicy;
 use aco_devices::{
-    DeviceAffinity, DeviceId, DevicePool, DeviceProfile, DeviceSnapshot, Placement, PlacementError,
-    PlacementStrategy,
+    DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, HealthPolicy,
+    Placement, PlacementError, PlacementStrategy,
 };
+use aco_faults::{FaultInjector, FaultKind, FaultPlan};
 use aco_obs::{
     Counter, Gauge, Histogram, JobTimeline, JobTrace, KernelSink, MetricsSnapshot, Obs,
     LATENCY_BUCKETS_MS,
 };
+use aco_simt::SimtError;
 
 use crate::auto;
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::solver::{
-    build_solver, Backend, EngineError, GpuBinding, JobOutcome, Priority, SolveReport, SolveRequest,
+    build_solver, AttemptFault, Backend, EngineError, Failover, GpuBinding, JobOutcome, Priority,
+    SolveReport, SolveRequest,
 };
 
 /// The pool an [`EngineConfig`] builds by default: one unmodified device
@@ -123,6 +127,15 @@ pub struct EngineConfig {
     /// Completed [`JobTimeline`]s retained for [`Engine::recent_timelines`]
     /// (oldest evicted first).
     pub trace_capacity: usize,
+    /// Deterministic fault-injection plan (default `None`: injection
+    /// disabled, zero scheduling impact). Injected faults are pure
+    /// functions of `(job, device, attempt)` — see [`aco_faults`] — so a
+    /// fixed plan yields bit-identical outcomes, placements and retry
+    /// sequences at any worker count.
+    pub fault_plan: Option<FaultPlan>,
+    /// Thresholds of the per-device health state machine (see
+    /// [`aco_devices::HealthPolicy`]).
+    pub health: HealthPolicy,
 }
 
 impl Default for EngineConfig {
@@ -135,6 +148,8 @@ impl Default for EngineConfig {
             placement: PlacementStrategy::default(),
             observability: true,
             trace_capacity: aco_obs::DEFAULT_TRACE_CAPACITY,
+            fault_plan: None,
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -173,6 +188,18 @@ impl EngineConfig {
     /// Builder: retained completed-timeline count (clamped to ≥ 1).
     pub fn trace_capacity(mut self, timelines: usize) -> Self {
         self.trace_capacity = timelines.max(1);
+        self
+    }
+
+    /// Builder: arm deterministic fault injection with `plan`.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder: device health thresholds.
+    pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health = policy;
         self
     }
 }
@@ -348,8 +375,21 @@ struct JobState {
     /// submit for explicitly-GPU jobs; set during `run_job` (before the
     /// solver is built, so before any progress event) when an auto job
     /// resolves to a GPU backend. Read by the progress observer to stamp
-    /// events and by the worker loop to release the device afterwards.
+    /// events and by the retry supervisor to release the device after
+    /// each attempt.
     device: AtomicU32,
+    /// The pool's quarantine mask captured at submit (before this job's
+    /// own supervision preview charged the health ledger). Run-time
+    /// device choice — auto rotation and retry failover — avoids these
+    /// devices via [`DevicePool::rotate_avoiding`] instead of reading
+    /// live health, keeping it a pure function of the submission
+    /// sequence.
+    qmask: u64,
+    /// Submit-time graceful degradation: every compatible device was
+    /// quarantined and the job's policy allows the CPU fallback, so it
+    /// queued as a CPU job and every attempt forces the CPU reference
+    /// backend.
+    degraded: bool,
 }
 
 impl JobState {
@@ -362,6 +402,10 @@ impl JobState {
 
     fn set_device(&self, d: DeviceId) {
         self.device.store(d.0, Ordering::Release);
+    }
+
+    fn clear_device(&self) {
+        self.device.store(NO_DEVICE, Ordering::Release);
     }
 }
 
@@ -434,6 +478,9 @@ struct Shared {
     metrics: SchedMetrics,
     /// Engine construction time (denominator of device utilization).
     started: Instant,
+    /// The deterministic fault injector (disabled unless the config armed
+    /// a [`FaultPlan`]; disabled, every query is one `None` branch).
+    injector: FaultInjector,
 }
 
 /// The scheduler's own metric handles, registered once at engine
@@ -457,6 +504,17 @@ struct SchedMetrics {
     queue_wait_ms: Histogram,
     first_event_ms: Histogram,
     placement_ms: Histogram,
+    /// Failed attempts that were retried by the supervisor.
+    retries: Counter,
+    /// Retries that moved to a different device than the failed attempt.
+    failovers: Counter,
+    /// Jobs degraded to the CPU reference backend (at submit, when the
+    /// pool was fully quarantined, or mid-job by `Failover::CpuFallback`).
+    cpu_fallbacks: Counter,
+    /// Faults delivered by the injection plan.
+    faults_injected: Counter,
+    /// Attempts reclassified as hung by the per-attempt watchdog.
+    watchdog_trips: Counter,
 }
 
 impl SchedMetrics {
@@ -473,6 +531,11 @@ impl SchedMetrics {
             queue_wait_ms: reg.histogram("aco_engine_queue_wait_ms", &LATENCY_BUCKETS_MS),
             first_event_ms: reg.histogram("aco_engine_first_event_ms", &LATENCY_BUCKETS_MS),
             placement_ms: reg.histogram("aco_engine_placement_ms", &LATENCY_BUCKETS_MS),
+            retries: reg.counter("aco_engine_retries_total"),
+            failovers: reg.counter("aco_engine_failovers_total"),
+            cpu_fallbacks: reg.counter("aco_engine_cpu_fallbacks_total"),
+            faults_injected: reg.counter("aco_engine_faults_injected_total"),
+            watchdog_trips: reg.counter("aco_engine_watchdog_trips_total"),
         }
     }
 }
@@ -629,16 +692,17 @@ impl Shared {
     }
 }
 
-/// The [`SolveCtx`] a job runs under: its cancel token, its deadline, and
-/// an observer feeding the bounded progress buffer. The observer stamps
-/// each event with the device the job is bound to (if any) — bound
-/// before the solver is built, so the stamp is identical on every event
-/// and deterministic across worker counts. The observer also stamps the
-/// submit→first-event latency (once, on the first event) into the
-/// scheduler histogram and the job's trace — pure recording, so it
-/// cannot perturb the event sequence.
-fn job_ctx(shared: &Shared, state: &Arc<JobState>) -> SolveCtx {
-    let deadline = state.deadline;
+/// The [`SolveCtx`] one *attempt* runs under: the job's cancel token, the
+/// attempt's effective deadline (the job deadline capped by the
+/// per-attempt watchdog, when one is armed), and an observer feeding the
+/// bounded progress buffer. The observer stamps each event with the
+/// device the job is bound to (if any) — bound before the solver is
+/// built, so the stamp is identical on every event and deterministic
+/// across worker counts. The observer also stamps the submit→first-event
+/// latency (once, on the first event) into the scheduler histogram and
+/// the job's trace — pure recording, so it cannot perturb the event
+/// sequence.
+fn job_ctx(shared: &Shared, state: &Arc<JobState>, deadline: Option<Instant>) -> SolveCtx {
     let trace = state.trace.clone();
     let first_event_ms = shared.metrics.first_event_ms.clone();
     let obs_state = Arc::clone(state);
@@ -662,12 +726,34 @@ fn job_ctx(shared: &Shared, state: &Arc<JobState>) -> SolveCtx {
     ctx
 }
 
-fn run_job(
+/// The CPU backend jobs degrade to when [`Failover::CpuFallback`] runs
+/// out of healthy devices: the workspace's reference solver, which
+/// depends on no device at all.
+fn cpu_fallback_backend() -> Backend {
+    Backend::CpuSequential { policy: TourPolicy::NearestNeighborList }
+}
+
+/// Label of the backend an attempt runs (the request's own, or the CPU
+/// fallback when the supervisor degraded the job).
+fn attempt_backend_label(req: &SolveRequest, force_cpu: bool) -> String {
+    if force_cpu {
+        cpu_fallback_backend().label()
+    } else {
+        req.backend.label()
+    }
+}
+
+/// Run one attempt of a job: resolve the backend, bind a device, build
+/// the solver and drive it under `ctx` — delivering this attempt's
+/// injected fault, if the engine's plan schedules one.
+fn run_attempt(
     shared: &Shared,
     id: u64,
     state: &JobState,
     req: &SolveRequest,
     ctx: &SolveCtx,
+    attempt: u32,
+    force_cpu: bool,
 ) -> Result<SolveReport, EngineError> {
     let inst = &*req.instance;
     let seed = req.effective_seed();
@@ -676,17 +762,21 @@ fn run_job(
     if let Some(trace) = &state.trace {
         trace.record_cache(!built_here);
     }
-    let backend = auto::resolve(
-        &req.backend,
-        inst,
-        &params,
-        &artifacts,
-        &shared.cache,
-        &shared.pool,
-        req.affinity,
-        req.local_search,
-        req.ls_scope,
-    );
+    let backend = if force_cpu {
+        cpu_fallback_backend()
+    } else {
+        auto::resolve(
+            &req.backend,
+            inst,
+            &params,
+            &artifacts,
+            &shared.cache,
+            &shared.pool,
+            req.affinity,
+            req.local_search,
+            req.ls_scope,
+        )
+    };
     // Bind the job to a pool device. Explicitly-GPU jobs were placed at
     // submit time (affinity-aware, least-loaded); an auto job that just
     // resolved to a GPU backend rotates over the compatible devices as a
@@ -699,7 +789,7 @@ fn run_job(
         Some(d) => Some(d),
         None => match backend.required_model() {
             Some(model) => {
-                let d = shared.pool.rotate(model, req.affinity, id)?;
+                let d = shared.pool.rotate_avoiding(model, req.affinity, id, state.qmask)?;
                 while !shared.pool.try_admit_unqueued(d) {
                     if let Some(reason) = ctx.stop_reason() {
                         return Err(match reason {
@@ -743,6 +833,48 @@ fn run_job(
     });
     let mut solver =
         build_solver(&backend, inst, &params, &artifacts, gpu, req.local_search, req.ls_scope);
+    // Deliver this attempt's injected fault, if the plan schedules one —
+    // a pure function of (job, device, attempt), so the same attempt
+    // faults identically at any worker count. Armed only now, *after*
+    // backend resolution and solver construction, so auto-probe kernel
+    // launches never trip a fault meant for the solve itself.
+    let _fault_scope = match shared.injector.fault_for(id, device.map(|d| d.0), attempt) {
+        Some(FaultKind::Hang) => {
+            // A hung device: burn wall time (bounded by the plan's hang
+            // cap, and interruptible by cancel/deadline) and then surface
+            // the retryable device-fault class. The error message carries
+            // no timing, so reports stay bit-identical across runs.
+            let cap =
+                Duration::from_millis(shared.injector.plan().map(|p| p.hang_cap_ms()).unwrap_or(0));
+            let hung_at = Instant::now();
+            while hung_at.elapsed() < cap && ctx.stop_reason().is_none() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            return Err(EngineError::Simt(SimtError::DeviceFault(format!(
+                "injected hang (job {id}, attempt {attempt})"
+            ))));
+        }
+        Some(FaultKind::KernelPanic) => match device {
+            // GPU attempts panic from inside the kernel launch path (the
+            // hook in `aco_simt::launch_threads`), exercising the same
+            // unwind the real failure would take.
+            Some(_) => Some(aco_faults::launch::arm(aco_faults::launch::LaunchFault::Panic(
+                format!("injected kernel panic (job {id}, attempt {attempt})"),
+            ))),
+            None => panic!("injected solver panic (job {id}, attempt {attempt})"),
+        },
+        Some(FaultKind::TransientError) => match device {
+            Some(_) => Some(aco_faults::launch::arm(aco_faults::launch::LaunchFault::Transient(
+                format!("injected transient device error (job {id}, attempt {attempt})"),
+            ))),
+            None => {
+                return Err(EngineError::Simt(SimtError::DeviceFault(format!(
+                    "injected transient device error (job {id}, attempt {attempt})"
+                ))))
+            }
+        },
+        None => None,
+    };
     let mut report = solver.solve(req.iterations, seed, ctx)?;
     report.instance = inst.name().to_string();
     report.n = inst.n();
@@ -783,6 +915,327 @@ fn run_job(
         }
     }
     Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Retry supervision
+
+/// Where the supervisor runs a job's next attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptTarget {
+    /// Re-run exactly as submitted (CPU jobs retry their own backend).
+    Resubmit,
+    /// Run on this pool device.
+    Gpu(DeviceId),
+    /// Degrade to the CPU reference backend.
+    Cpu,
+}
+
+/// The pure failover function: where attempt `attempt` of job `job` runs
+/// after the previous attempt failed on `failed`. A pure function of its
+/// arguments — no live health, no wall clock — shared by the submit-time
+/// supervision preview and the run-time supervisor, which is what makes
+/// retry placements bit-identical at any worker count. Returns `None`
+/// when no target remains (the job fails with its last error).
+#[allow(clippy::too_many_arguments)]
+fn next_attempt_device(
+    pool: &DevicePool,
+    model: DeviceModel,
+    affinity: DeviceAffinity,
+    job: u64,
+    attempt: u32,
+    avoid: u64,
+    qmask: u64,
+    failover: Failover,
+    failed: DeviceId,
+) -> Option<AttemptTarget> {
+    if failover == Failover::Same {
+        return Some(AttemptTarget::Gpu(failed));
+    }
+    if let DeviceAffinity::Pinned(d) = affinity {
+        // A pin is a contract: retries never move to another device. With
+        // a CPU fallback the first pin failure degrades immediately —
+        // there is no other device the pin would allow.
+        return match failover {
+            Failover::CpuFallback => Some(AttemptTarget::Cpu),
+            _ => Some(AttemptTarget::Gpu(d)),
+        };
+    }
+    let masked = |d: &DeviceId, mask: u64| d.0 < 64 && (mask >> d.0) & 1 == 1;
+    let compatible = pool.devices_of(model);
+    let fresh: Vec<DeviceId> =
+        compatible.iter().copied().filter(|d| !masked(d, avoid) && !masked(d, qmask)).collect();
+    let pick = |set: &[DeviceId]| set[((job + attempt as u64) % set.len() as u64) as usize];
+    if !fresh.is_empty() {
+        return Some(AttemptTarget::Gpu(pick(&fresh)));
+    }
+    match failover {
+        Failover::CpuFallback => Some(AttemptTarget::Cpu),
+        _ => {
+            // Every compatible device already failed or is quarantined:
+            // wrap back to the already-failed ones (a transient fault may
+            // have cleared) rather than fail outright — but never to a
+            // quarantined device.
+            let open: Vec<DeviceId> =
+                compatible.iter().copied().filter(|d| !masked(d, qmask)).collect();
+            (!open.is_empty()).then(|| AttemptTarget::Gpu(pick(&open)))
+        }
+    }
+}
+
+/// Predict an explicit-GPU job's attempt trajectory at submit time and
+/// charge the predicted outcomes to the pool's health ledger. Because
+/// injected faults and failover targets are pure functions of
+/// `(job, device, attempt)`, this preview reaches the same verdicts the
+/// run-time supervisor will — so the health ledger (and with it every
+/// subsequent placement) advances in the submission sequence, never on
+/// execution timing. Run-time attempts therefore charge *nothing*:
+/// genuine (non-injected) faults only feed a telemetry counter.
+fn preview_attempts(
+    pool: &DevicePool,
+    injector: &FaultInjector,
+    id: u64,
+    req: &SolveRequest,
+    first: DeviceId,
+    model: DeviceModel,
+    qmask: u64,
+) {
+    let max = req.retry.attempts();
+    let mut avoid = 0u64;
+    let mut device = first;
+    for attempt in 1..=max {
+        let ok = injector.fault_for(id, Some(device.0), attempt).is_none();
+        pool.note_outcome(device, ok);
+        if ok || attempt >= max {
+            return;
+        }
+        if device.0 < 64 {
+            avoid |= 1 << device.0;
+        }
+        match next_attempt_device(
+            pool,
+            model,
+            req.affinity,
+            id,
+            attempt + 1,
+            avoid,
+            qmask,
+            req.retry.failover,
+            device,
+        ) {
+            Some(AttemptTarget::Gpu(d)) => device = d,
+            // Degraded to CPU (or out of targets): no further device
+            // outcomes to charge.
+            Some(AttemptTarget::Cpu) | Some(AttemptTarget::Resubmit) | None => return,
+        }
+    }
+}
+
+/// Is this error the retryable class (a panic or a transient device
+/// fault), as opposed to a verdict no retry can change?
+fn is_retryable(err: &EngineError) -> bool {
+    matches!(err, EngineError::Failed { .. } | EngineError::Simt(SimtError::DeviceFault(_)))
+}
+
+/// Drive one job to a terminal outcome under its [`RetryPolicy`]:
+/// run attempts, catch panics, reclassify watchdog expiries, release the
+/// device slot after every attempt, and re-place retries via the pure
+/// failover function. The default policy (`max_attempts = 1`, no
+/// watchdog) makes this exactly one `run_attempt` with the job's own
+/// deadline — the unsupervised engine.
+fn run_supervised(
+    shared: &Shared,
+    id: u64,
+    state: &Arc<JobState>,
+    req: &SolveRequest,
+) -> Result<SolveReport, EngineError> {
+    let policy = req.retry;
+    let max_attempts = policy.attempts();
+    let mut faults: Vec<AttemptFault> = Vec::new();
+    let mut avoid = 0u64;
+    let mut force_cpu = state.degraded;
+    let mut attempt: u32 = 1;
+    loop {
+        let attempt_start = Instant::now();
+        let attempt_deadline = match (state.deadline, policy.watchdog) {
+            (Some(job), Some(dog)) => Some(job.min(attempt_start + dog)),
+            (Some(job), None) => Some(job),
+            (None, Some(dog)) => Some(attempt_start + dog),
+            (None, None) => None,
+        };
+        let ctx = job_ctx(shared, state, attempt_deadline);
+        let entered_with = state.device_id();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(shared, id, state, req, &ctx, attempt, force_cpu)
+        }))
+        .unwrap_or_else(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".into());
+            Err(EngineError::Failed {
+                job: id,
+                backend: attempt_backend_label(req, force_cpu),
+                device: state.device_id(),
+                message,
+            })
+        });
+        // The attempt may have bound a device mid-run (auto resolution):
+        // capture it before releasing, then release whatever slot this
+        // attempt held — entered with (device-queue admission) or
+        // acquired itself — so slot accounting balances per attempt even
+        // across panics.
+        let device = state.device_id().or(entered_with);
+        if let Some(d) = state.device_id() {
+            shared.pool.release(d, attempt_start.elapsed());
+        }
+        state.clear_device();
+
+        // Watchdog reclassification: an attempt stopped by the *watchdog*
+        // deadline (not the job's own, which is terminal) is a hung
+        // attempt — retryable, partial result discarded.
+        let dogged = |stopped_early: bool| {
+            policy.watchdog.is_some()
+                && stopped_early
+                && !state.cancel.is_cancelled()
+                && state.deadline.is_none_or(|d| Instant::now() < d)
+        };
+        let watchdog_failed = |message: String| EngineError::Failed {
+            job: id,
+            backend: attempt_backend_label(req, force_cpu),
+            device,
+            message,
+        };
+        let result = match result {
+            Ok(report) if dogged(report.outcome == JobOutcome::DeadlineExpired) => {
+                shared.metrics.watchdog_trips.inc();
+                Err(watchdog_failed(format!("attempt {attempt} exceeded its execution watchdog")))
+            }
+            Err(EngineError::DeadlineExpired) if dogged(true) => {
+                shared.metrics.watchdog_trips.inc();
+                Err(watchdog_failed(format!(
+                    "attempt {attempt} exceeded its execution watchdog before any result"
+                )))
+            }
+            other => other,
+        };
+
+        let err = match result {
+            Ok(mut report) => {
+                report.attempts = attempt;
+                report.faults = faults;
+                return Ok(report);
+            }
+            Err(err) => err,
+        };
+        if !is_retryable(&err) {
+            return Err(err);
+        }
+
+        // Record the failed attempt (report, trace, metrics). `injected`
+        // is recomputed from the pure plan rather than threaded through
+        // the error path — same inputs, same verdict.
+        let injected = shared.injector.fault_for(id, device.map(|d| d.0), attempt);
+        if injected.is_some() {
+            shared.metrics.faults_injected.inc();
+        } else if let Some(d) = device {
+            // A genuine fault: telemetry only, never the health ledger
+            // (which advances via the deterministic submit-time preview).
+            shared.pool.note_fault_observed(d);
+        }
+        let error = err.to_string();
+        if let Some(trace) = &state.trace {
+            trace.record_attempt(attempt, device.map(|d| d.0), &error);
+        }
+        faults.push(AttemptFault {
+            attempt,
+            device,
+            backend: attempt_backend_label(req, force_cpu),
+            error,
+            injected,
+        });
+
+        // Retry budget: attempts, cancellation, and the deadline-aware
+        // check that another attempt could still start in time.
+        if attempt >= max_attempts || state.cancel.is_cancelled() {
+            return Err(err);
+        }
+        if let Some(deadline) = state.deadline {
+            if Instant::now() + policy.backoff >= deadline {
+                return Err(err);
+            }
+        }
+
+        // Re-place via the pure failover function (the same one the
+        // submit-time preview walked).
+        if let Some(d) = device {
+            if d.0 < 64 {
+                avoid |= 1 << d.0;
+            }
+        }
+        let target = match device {
+            // CPU attempts retry as they ran (the request's own CPU
+            // backend, or the fallback once degraded).
+            _ if force_cpu => Some(AttemptTarget::Resubmit),
+            None => Some(AttemptTarget::Resubmit),
+            Some(failed) => match shared.pool.profile(failed).map(|p| p.model) {
+                Some(model) => next_attempt_device(
+                    &shared.pool,
+                    model,
+                    req.affinity,
+                    id,
+                    attempt + 1,
+                    avoid,
+                    state.qmask,
+                    policy.failover,
+                    failed,
+                ),
+                None => None,
+            },
+        };
+        let Some(target) = target else {
+            return Err(err);
+        };
+        shared.metrics.retries.inc();
+
+        // Cancel-aware backoff.
+        if policy.backoff > Duration::ZERO {
+            let until = Instant::now() + policy.backoff;
+            while Instant::now() < until {
+                if state.cancel.is_cancelled() {
+                    return Err(err);
+                }
+                std::thread::sleep(Duration::from_millis(1).min(policy.backoff));
+            }
+        }
+
+        match target {
+            AttemptTarget::Resubmit => {}
+            AttemptTarget::Cpu => {
+                shared.metrics.cpu_fallbacks.inc();
+                force_cpu = true;
+            }
+            AttemptTarget::Gpu(d) => {
+                if Some(d) != device {
+                    shared.metrics.failovers.inc();
+                }
+                // Admit a slot on the retry's device (the same gate every
+                // other execution path respects), staying responsive to
+                // cancellation and the job deadline.
+                while !shared.pool.try_admit_unqueued(d) {
+                    if state.cancel.is_cancelled()
+                        || state.deadline.is_some_and(|dl| Instant::now() >= dl)
+                    {
+                        return Err(err);
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                state.set_device(d);
+            }
+        }
+        attempt += 1;
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
@@ -826,18 +1279,11 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             Err(EngineError::DeadlineExpired)
         } else {
             shared.metrics.jobs_running.inc();
-            let ctx = job_ctx(&shared, &state);
             let t0 = Instant::now();
-            let result =
-                catch_unwind(AssertUnwindSafe(|| run_job(&shared, id, &state, &req, &ctx)))
-                    .unwrap_or_else(|panic| {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "job panicked".into());
-                        Err(EngineError::Failed(msg))
-                    });
+            // The supervisor owns attempt execution, panic capture,
+            // watchdog reclassification, per-attempt slot release, and
+            // retry/failover re-placement.
+            let result = run_supervised(&shared, id, &state, &req);
             let wall = t0.elapsed();
             shared.metrics.jobs_running.dec();
             if let Some(trace) = &state.trace {
@@ -846,12 +1292,6 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 // goes to the engine-wide ring. Never-ran jobs (eager
                 // cancel/expiry) have no spans worth keeping.
                 shared.obs.sink().push(trace.snapshot());
-            }
-            // Release whichever device actually executed the job: the
-            // one admitted at pop, or the one an auto job bound itself
-            // to mid-run (accounted via `admit_unbudgeted`).
-            if let Some(d) = state.device_id() {
-                shared.pool.release(d, wall);
             }
             result
         };
@@ -1079,9 +1519,18 @@ impl Engine {
     /// Spin up the worker pool.
     pub fn new(config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
-        let pool = Arc::new(DevicePool::new(config.devices.clone(), config.placement));
+        let pool = Arc::new(DevicePool::with_health(
+            config.devices.clone(),
+            config.placement,
+            config.health,
+        ));
         let obs = Obs::new(config.observability, config.trace_capacity);
         let metrics = SchedMetrics::new(obs.metrics());
+        let injector = config
+            .fault_plan
+            .clone()
+            .map(FaultInjector::new)
+            .unwrap_or_else(FaultInjector::disabled);
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
             device_queues: (0..pool.len()).map(|_| Mutex::new(BinaryHeap::new())).collect(),
@@ -1094,6 +1543,7 @@ impl Engine {
             cache: ArtifactCache::with_capacity(config.cache_entries),
             obs,
             metrics,
+            injector,
             started: Instant::now(),
         });
         let handles = (0..workers)
@@ -1143,6 +1593,43 @@ impl Engine {
         let placement = self.place(&req);
         let placement_ms = place_t0.elapsed().as_secs_f64() * 1e3;
         self.shared.metrics.placement_ms.observe(placement_ms);
+        // Submit-time graceful degradation: a GPU job refused *only*
+        // because its targets are quarantined queues as a CPU job when
+        // its retry policy allows the CPU fallback.
+        let degraded = matches!(
+            &placement,
+            Err(PlacementError::DeviceQuarantined { .. }
+                | PlacementError::AllDevicesQuarantined { .. })
+        ) && req.backend.required_model().is_some()
+            && req.retry.failover == Failover::CpuFallback;
+        let placement = if degraded {
+            self.shared.metrics.cpu_fallbacks.inc();
+            Ok(None)
+        } else {
+            placement
+        };
+        // Quarantine mask as of this submission — captured after this
+        // job's placement but before its supervision preview, so run-time
+        // device choices replay exactly what submit saw.
+        let qmask =
+            if self.shared.injector.is_armed() { self.shared.pool.quarantine_mask() } else { 0 };
+        // Submit-time supervision preview: charge the health ledger with
+        // this job's predicted attempt outcomes (pure in (job, device,
+        // attempt)), so health advances in submission order, never on
+        // execution timing.
+        if self.shared.injector.is_armed() && !degraded {
+            if let (Ok(Some(p)), Some(model)) = (&placement, req.backend.required_model()) {
+                preview_attempts(
+                    &self.shared.pool,
+                    &self.shared.injector,
+                    id,
+                    &req,
+                    p.device,
+                    model,
+                    qmask,
+                );
+            }
+        }
         let queue = match &placement {
             Ok(Some(p)) => QueueSlot::Device(p.device.0 as usize),
             Ok(None) => QueueSlot::Worker(id as usize % self.shared.queues.len()),
@@ -1170,6 +1657,8 @@ impl Engine {
                 Ok(Some(p)) => p.device.0,
                 _ => NO_DEVICE,
             }),
+            qmask,
+            degraded,
         });
         // Create the result slot before the job becomes runnable, so a
         // fast worker can never post into a missing slot.
@@ -1279,6 +1768,12 @@ impl Engine {
                     0
                 };
                 reg.gauge(&format!("aco_device_utilization_bp{{device=\"{name}\"}}")).set(util_bp);
+                reg.gauge(&format!("aco_device_health{{device=\"{name}\"}}"))
+                    .set(d.health.code() as i64);
+                reg.counter(&format!("aco_device_quarantines_total{{device=\"{name}\"}}"))
+                    .set(d.quarantines);
+                reg.counter(&format!("aco_device_faults_observed_total{{device=\"{name}\"}}"))
+                    .set(d.faults_observed);
             }
             let cs = self.shared.cache.stats();
             reg.counter("aco_cache_artifact_hits_total").set(cs.artifact_hits);

@@ -50,8 +50,19 @@ pub enum EngineError {
     /// The job's deadline expired before it produced any result; after at
     /// least one iteration it reports [`JobOutcome::DeadlineExpired`].
     DeadlineExpired,
-    /// The job panicked; the payload is the panic message.
-    Failed(String),
+    /// The job panicked or exhausted its retry budget; the payload
+    /// carries the failing attempt's context so batch logs are
+    /// actionable without a timeline lookup.
+    Failed {
+        /// The failing job's id.
+        job: u64,
+        /// Label of the backend the failing attempt ran.
+        backend: String,
+        /// The device the failing attempt ran on (None for CPU).
+        device: Option<DeviceId>,
+        /// The panic payload or terminal error message.
+        message: String,
+    },
     /// `Engine::wait` was given an id this engine never issued, or one
     /// whose result was already claimed by an earlier `wait`.
     UnknownJob,
@@ -77,7 +88,10 @@ impl std::fmt::Display for EngineError {
             EngineError::NoSolution => write!(f, "job finished without a solution"),
             EngineError::Cancelled => write!(f, "job cancelled before any result"),
             EngineError::DeadlineExpired => write!(f, "job deadline expired before any result"),
-            EngineError::Failed(m) => write!(f, "job failed: {m}"),
+            EngineError::Failed { job, backend, device, message } => match device {
+                Some(d) => write!(f, "job {job} failed on {backend} ({d}): {message}"),
+                None => write!(f, "job {job} failed on {backend}: {message}"),
+            },
             EngineError::UnknownJob => write!(f, "unknown or already-claimed job id"),
         }
     }
@@ -237,6 +251,109 @@ impl Priority {
 /// Default bound of a job's progress-event buffer (events, not bytes).
 pub const DEFAULT_PROGRESS_EVENTS: usize = 1024;
 
+/// Where a failed attempt's retry is allowed to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Failover {
+    /// Retry on the device the failed attempt used (or the same CPU
+    /// backend). The conservative choice for debugging a flaky kernel.
+    Same,
+    /// Re-place each retry onto a compatible device *other than* the ones
+    /// that already failed this job (wrapping back to them only when no
+    /// alternative exists). Pinned jobs never move — a pin is a contract,
+    /// so their retries stay in place.
+    #[default]
+    HealthyDevice,
+    /// Like `HealthyDevice`, but when no healthy compatible device
+    /// remains (or a pinned device failed), degrade gracefully to the CPU
+    /// reference backend instead of failing the job.
+    CpuFallback,
+}
+
+/// Supervised-retry policy of one job. The default (`max_attempts = 1`)
+/// is exactly the pre-retry engine: one attempt, no watchdog, failures
+/// surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first run included; clamped to ≥ 1). Retries stop
+    /// early when the remaining deadline budget cannot fit another
+    /// attempt.
+    pub max_attempts: u32,
+    /// Pause between attempts. Deadline-aware: a retry that could not
+    /// start before the job deadline is not attempted.
+    pub backoff: Duration,
+    /// Where retries run.
+    pub failover: Failover,
+    /// Per-attempt execution watchdog, measured from the attempt's start
+    /// (distinct from the job deadline, which is measured from
+    /// submission): an attempt exceeding it is treated as a hung device
+    /// and retried. `None` disables the watchdog.
+    pub watchdog: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No supervision: one attempt, failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            failover: Failover::HealthyDevice,
+            watchdog: None,
+        }
+    }
+
+    /// `retries` retries on top of the first attempt, no backoff, default
+    /// failover.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy { max_attempts: retries.saturating_add(1), ..RetryPolicy::none() }
+    }
+
+    /// Builder: pause between attempts.
+    pub fn backoff(mut self, pause: Duration) -> Self {
+        self.backoff = pause;
+        self
+    }
+
+    /// Builder: where retries run.
+    pub fn failover(mut self, f: Failover) -> Self {
+        self.failover = f;
+        self
+    }
+
+    /// Builder: per-attempt execution watchdog.
+    pub fn watchdog(mut self, budget: Duration) -> Self {
+        self.watchdog = Some(budget);
+        self
+    }
+
+    /// The attempt budget with the ≥ 1 clamp applied.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+/// One failed attempt of a supervised job, as recorded in
+/// [`SolveReport::faults`] (and in the observability timeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFault {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The device the attempt ran on (`None` for CPU).
+    pub device: Option<DeviceId>,
+    /// Label of the backend the attempt ran.
+    pub backend: String,
+    /// The error that ended the attempt.
+    pub error: String,
+    /// The fault the injection plan scheduled for this attempt, if fault
+    /// injection is armed (genuine faults leave this `None`).
+    pub injected: Option<aco_faults::FaultKind>,
+}
+
 /// One solve job.
 #[derive(Debug, Clone)]
 pub struct SolveRequest {
@@ -277,6 +394,9 @@ pub struct SolveRequest {
     /// pinned affinity on a CPU job is a typed error (the job will never
     /// run on a device).
     pub affinity: DeviceAffinity,
+    /// Supervised-retry policy. The default ([`RetryPolicy::none`]) is
+    /// one attempt with no watchdog — exactly the unsupervised engine.
+    pub retry: RetryPolicy,
 }
 
 impl SolveRequest {
@@ -295,6 +415,7 @@ impl SolveRequest {
             timeout: None,
             progress_events: DEFAULT_PROGRESS_EVENTS,
             affinity: DeviceAffinity::Any,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -364,6 +485,12 @@ impl SolveRequest {
         self
     }
 
+    /// Builder: supervised-retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// The seed this request actually runs with.
     pub fn effective_seed(&self) -> u64 {
         self.seed.unwrap_or(self.params.seed)
@@ -424,6 +551,12 @@ pub struct SolveReport {
     /// per-iteration passes inside the colony plus the engine's
     /// [`LocalSearch::PostPass`] polish. 0 when no local search ran.
     pub local_search_improvement: u64,
+    /// Attempts the supervisor ran to produce this report (1 without
+    /// retries: the unsupervised engine reports exactly 1).
+    pub attempts: u32,
+    /// The failed attempts that preceded this result, oldest first
+    /// (empty when the first attempt succeeded).
+    pub faults: Vec<AttemptFault>,
 }
 
 /// A backend adapter: a ctx-driven iteration loop over one colony.
@@ -480,6 +613,8 @@ pub trait Solver {
             outcome: outcome.stopped.into(),
             device: None, // filled by the scheduler, which owns the placement
             local_search_improvement: self.local_search_improvement(),
+            attempts: 1, // the supervisor overwrites this on retried jobs
+            faults: Vec::new(),
         })
     }
 }

@@ -1,0 +1,100 @@
+//! The launch-fault hook: how a supervisor injects a fault into the
+//! SIMT launch path without the simulator knowing about jobs or plans.
+//!
+//! This is the failure-path twin of `aco_obs::kernel`: the engine arms
+//! exactly one [`LaunchFault`] on the executing thread right before it
+//! drives a solver ([`arm`] returns an RAII [`LaunchScope`] that
+//! restores the previous state on drop), and the *next* simulated kernel
+//! launch on that thread consumes it ([`take`]) — panicking or failing
+//! the launch with the armed message. One-shot consumption means a
+//! multi-launch solve fails at its first launch and runs no further
+//! kernels, like a real device error surfacing at the next API call.
+//!
+//! Unarmed — the production configuration — the launch path pays one
+//! thread-local read and a branch.
+
+use std::cell::RefCell;
+
+/// A fault armed for the next kernel launch on this thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchFault {
+    /// The launch panics with this message.
+    Panic(String),
+    /// The launch fails with a transient device error carrying this
+    /// message.
+    Transient(String),
+}
+
+thread_local! {
+    static ARMED: RefCell<Option<LaunchFault>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for an armed [`LaunchFault`]; restores the previously
+/// armed fault (if any) on drop, so nesting composes and an unconsumed
+/// fault never leaks past its scope.
+#[must_use = "dropping the scope immediately disarms the fault"]
+pub struct LaunchScope {
+    previous: Option<LaunchFault>,
+}
+
+impl Drop for LaunchScope {
+    fn drop(&mut self) {
+        ARMED.with(|s| *s.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Arm `fault` for the next launch on this thread until the returned
+/// guard drops.
+pub fn arm(fault: LaunchFault) -> LaunchScope {
+    let previous = ARMED.with(|s| s.borrow_mut().replace(fault));
+    LaunchScope { previous }
+}
+
+/// Consume the armed fault, if any (called by the SIMT launch path; the
+/// second launch in a scope sees `None`).
+pub fn take() -> Option<LaunchFault> {
+    ARMED.with(|s| s.borrow_mut().take())
+}
+
+/// Is a fault currently armed on this thread?
+pub fn armed() -> bool {
+    ARMED.with(|s| s.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_without_arming_is_none() {
+        assert_eq!(take(), None);
+    }
+
+    #[test]
+    fn armed_fault_is_consumed_exactly_once() {
+        let _scope = arm(LaunchFault::Transient("t".into()));
+        assert!(armed());
+        assert_eq!(take(), Some(LaunchFault::Transient("t".into())));
+        assert_eq!(take(), None, "one-shot");
+        assert!(!armed());
+    }
+
+    #[test]
+    fn scope_restores_the_previous_fault() {
+        let _outer = arm(LaunchFault::Panic("outer".into()));
+        {
+            let _inner = arm(LaunchFault::Transient("inner".into()));
+            assert_eq!(take(), Some(LaunchFault::Transient("inner".into())));
+        }
+        // Inner scope dropped: the outer fault is armed again.
+        assert_eq!(take(), Some(LaunchFault::Panic("outer".into())));
+    }
+
+    #[test]
+    fn dropping_an_unconsumed_scope_disarms() {
+        {
+            let _scope = arm(LaunchFault::Panic("never consumed".into()));
+        }
+        assert_eq!(take(), None);
+    }
+}

@@ -1,0 +1,322 @@
+//! `aco-faults` — deterministic fault injection for the solve stack.
+//!
+//! Robustness machinery is only trustworthy if its failure paths are
+//! *exercisable under test*, and a test is only trustworthy if the
+//! failures it injects are reproducible. This crate provides both
+//! halves:
+//!
+//! * A [`FaultPlan`]: a seeded description of *which* attempts fail and
+//!   *how* ([`FaultKind`]). The decision for an attempt is a **pure
+//!   function of `(seed, job id, device id, attempt)`** — no wall clock,
+//!   no RNG state threaded through execution — so a fixed plan injects
+//!   bit-identical faults no matter how many engine workers race over
+//!   the batch, which thread runs which job, or how often the batch is
+//!   replayed. This is what lets the engine extend its worker-count
+//!   determinism contract to *failing* runs: fixed plan ⇒ identical
+//!   outcomes, attempt counts, placements and retry sequences at 1 vs 4
+//!   workers.
+//! * The [`launch`] hook: a thread-local, RAII-scoped way for a
+//!   supervisor to arm exactly one fault that the next simulated kernel
+//!   launch consumes (panicking or failing the launch), mirroring the
+//!   observability hook in `aco_obs::kernel`. Unarmed, the launch path
+//!   pays one thread-local read and a branch.
+//!
+//! The crate is dependency-free and sits at the bottom of the workspace
+//! stack: it knows nothing about engines, pools or jobs — devices are
+//! raw `u32` ids (`None` = the CPU backend), jobs are raw `u64`s.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+pub mod launch;
+
+/// What kind of failure an attempt is injected with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The kernel launch panics (exercises the engine's `catch_unwind`
+    /// supervision and panic-payload enrichment).
+    KernelPanic,
+    /// The device reports a transient, typed error
+    /// (`SimtError::DeviceFault`); the canonical retryable failure.
+    TransientError,
+    /// The attempt hangs: it makes no progress until the engine's
+    /// per-attempt watchdog (or the plan's [`FaultPlan::hang_ms`] cap)
+    /// cuts it off.
+    Hang,
+}
+
+impl FaultKind {
+    /// Stable lower-case label (used in fault records and rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::KernelPanic => "kernel-panic",
+            FaultKind::TransientError => "transient-error",
+            FaultKind::Hang => "hang",
+        }
+    }
+}
+
+/// Per-target fault probabilities (each in `[0, 1]`; their sum is
+/// clamped conceptually by evaluation order: panic, then transient, then
+/// hang).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability of [`FaultKind::KernelPanic`].
+    pub panic: f64,
+    /// Probability of [`FaultKind::TransientError`].
+    pub transient: f64,
+    /// Probability of [`FaultKind::Hang`].
+    pub hang: f64,
+}
+
+impl FaultRates {
+    fn total(&self) -> f64 {
+        self.panic + self.transient + self.hang
+    }
+}
+
+/// Default simulated-hang duration cap (milliseconds).
+pub const DEFAULT_HANG_MS: u64 = 25;
+
+/// A seeded, immutable description of which attempts fail and how.
+///
+/// Baseline rates apply to every attempt (including CPU-backend
+/// attempts, where the device is `None`); per-device overrides replace
+/// the baseline for attempts bound to that device. The decision itself
+/// ([`FaultPlan::fault_for`]) hashes `(seed, job, device, attempt)`
+/// through a SplitMix64-style finalizer into a unit float and compares
+/// it against the cumulative rate thresholds — stateless, so the same
+/// question always gets the same answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    base: FaultRates,
+    /// Per-device rate overrides, keyed by raw pool device id.
+    overrides: BTreeMap<u32, FaultRates>,
+    hang_ms: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults anywhere) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            base: FaultRates::default(),
+            overrides: BTreeMap::new(),
+            hang_ms: DEFAULT_HANG_MS,
+        }
+    }
+
+    /// Builder: baseline kernel-panic probability for every attempt.
+    pub fn panic_rate(mut self, p: f64) -> Self {
+        self.base.panic = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: baseline transient-error probability for every attempt.
+    pub fn transient_rate(mut self, p: f64) -> Self {
+        self.base.transient = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: baseline hang probability for every attempt.
+    pub fn hang_rate(mut self, p: f64) -> Self {
+        self.base.hang = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: replace every rate for attempts on `device`.
+    pub fn device_rates(mut self, device: u32, rates: FaultRates) -> Self {
+        self.overrides.insert(device, rates);
+        self
+    }
+
+    /// Builder: `device` fails transiently with probability `p` (a flaky
+    /// card — most attempts on it die, retries may get through).
+    pub fn flaky_device(self, device: u32, p: f64) -> Self {
+        self.device_rates(device, FaultRates { transient: p.clamp(0.0, 1.0), ..Default::default() })
+    }
+
+    /// Builder: every attempt on `device` fails transiently (a dead
+    /// card — only failover away from it can succeed).
+    pub fn dead_device(self, device: u32) -> Self {
+        self.device_rates(device, FaultRates { transient: 1.0, ..Default::default() })
+    }
+
+    /// Builder: how long an injected hang stalls before the injector
+    /// itself cuts it off (the engine's per-attempt watchdog may fire
+    /// first; the cap keeps watchdog-less runs bounded).
+    pub fn hang_ms(mut self, ms: u64) -> Self {
+        self.hang_ms = ms.max(1);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The hang-duration cap in milliseconds.
+    pub fn hang_cap_ms(&self) -> u64 {
+        self.hang_ms
+    }
+
+    /// The rates governing an attempt on `device` (`None` = CPU).
+    pub fn rates_for(&self, device: Option<u32>) -> FaultRates {
+        device.and_then(|d| self.overrides.get(&d).copied()).unwrap_or(self.base)
+    }
+
+    /// The fault injected into attempt `attempt` of job `job` on
+    /// `device`, if any. Pure: no state is read or written, so any
+    /// caller — a submit-time preview, the executing worker, a test
+    /// replaying the schedule — gets the same answer.
+    pub fn fault_for(&self, job: u64, device: Option<u32>, attempt: u32) -> Option<FaultKind> {
+        let rates = self.rates_for(device);
+        if rates.total() <= 0.0 {
+            return None;
+        }
+        let u = unit_hash(self.seed, job, device, attempt);
+        if u < rates.panic {
+            Some(FaultKind::KernelPanic)
+        } else if u < rates.panic + rates.transient {
+            Some(FaultKind::TransientError)
+        } else if u < rates.panic + rates.transient + rates.hang {
+            Some(FaultKind::Hang)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer (the same mixing the vendored proptest RNG
+/// uses): a cheap, well-distributed 64-bit permutation.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash `(seed, job, device, attempt)` to a unit float in `[0, 1)`.
+/// The CPU "device" is distinguished from device 0 by an offset.
+fn unit_hash(seed: u64, job: u64, device: Option<u32>, attempt: u32) -> f64 {
+    let d = device.map(|d| d as u64 + 1).unwrap_or(0);
+    let h = splitmix(splitmix(splitmix(seed ^ job).wrapping_add(d)).wrapping_add(attempt as u64));
+    // 53 high bits → the unit interval, exactly representable in f64.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A cheap, clonable handle to an optional [`FaultPlan`]. The disabled
+/// default is the production configuration: every query is one branch on
+/// a `None`, mirroring how `aco_obs` handles disabled observability.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    plan: Option<Arc<FaultPlan>>,
+}
+
+impl FaultInjector {
+    /// An injector that never injects (the default).
+    pub fn disabled() -> Self {
+        FaultInjector { plan: None }
+    }
+
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan: Some(Arc::new(plan)) }
+    }
+
+    /// Is a plan armed?
+    pub fn is_armed(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The armed plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_deref()
+    }
+
+    /// The fault injected into `(job, device, attempt)`, if any (`None`
+    /// always when disabled). See [`FaultPlan::fault_for`].
+    pub fn fault_for(&self, job: u64, device: Option<u32>, attempt: u32) -> Option<FaultKind> {
+        self.plan.as_ref().and_then(|p| p.fault_for(job, device, attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_injects() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_armed());
+        for job in 0..50 {
+            assert_eq!(inj.fault_for(job, Some(0), 1), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let plan = FaultPlan::new(42).transient_rate(0.5);
+        let a: Vec<_> = (0..64).map(|j| plan.fault_for(j, Some(1), 1)).collect();
+        let b: Vec<_> = (0..64).map(|j| plan.fault_for(j, Some(1), 1)).collect();
+        assert_eq!(a, b, "same question, same answer");
+        let other = FaultPlan::new(43).transient_rate(0.5);
+        let c: Vec<_> = (0..64).map(|j| plan.fault_for(j, Some(1), 1)).collect();
+        let d: Vec<_> = (0..64).map(|j| other.fault_for(j, Some(1), 1)).collect();
+        assert_ne!(c, d, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn rates_partition_the_unit_interval_in_kind_order() {
+        // With rates summing to 1 every attempt faults, and the observed
+        // mix roughly tracks the configured split.
+        let plan = FaultPlan::new(7).panic_rate(0.2).transient_rate(0.5).hang_rate(0.3);
+        let mut counts = [0usize; 3];
+        for job in 0..2000u64 {
+            match plan.fault_for(job, Some(0), 1) {
+                Some(FaultKind::KernelPanic) => counts[0] += 1,
+                Some(FaultKind::TransientError) => counts[1] += 1,
+                Some(FaultKind::Hang) => counts[2] += 1,
+                None => panic!("rates sum to 1; every attempt must fault"),
+            }
+        }
+        assert!((300..500).contains(&counts[0]), "panic ≈ 20%: {counts:?}");
+        assert!((800..1200).contains(&counts[1]), "transient ≈ 50%: {counts:?}");
+        assert!((400..800).contains(&counts[2]), "hang ≈ 30%: {counts:?}");
+    }
+
+    #[test]
+    fn device_overrides_replace_the_baseline() {
+        let plan = FaultPlan::new(1).dead_device(2).flaky_device(3, 0.0);
+        for job in 0..32u64 {
+            assert_eq!(plan.fault_for(job, Some(2), 1), Some(FaultKind::TransientError));
+            assert_eq!(plan.fault_for(job, Some(3), 1), None, "override replaces, not adds");
+            assert_eq!(plan.fault_for(job, Some(0), 1), None, "baseline is empty");
+            assert_eq!(plan.fault_for(job, None, 1), None, "CPU attempts use the baseline");
+        }
+    }
+
+    #[test]
+    fn attempts_and_devices_decorrelate() {
+        // A 50% flaky device must not fail the same job on every attempt
+        // (otherwise retry-on-same-device could never succeed).
+        let plan = FaultPlan::new(9).flaky_device(0, 0.5);
+        let escaped = (0..200u64)
+            .filter(|&job| (1..=4).any(|a| plan.fault_for(job, Some(0), a).is_none()))
+            .count();
+        assert!(escaped > 180, "almost every job escapes within 4 attempts: {escaped}");
+        // And the CPU stream differs from device 0's.
+        let plan = FaultPlan::new(9).transient_rate(0.5);
+        let dev: Vec<_> = (0..64).map(|j| plan.fault_for(j, Some(0), 1).is_some()).collect();
+        let cpu: Vec<_> = (0..64).map(|j| plan.fault_for(j, None, 1).is_some()).collect();
+        assert_ne!(dev, cpu);
+    }
+
+    #[test]
+    fn hang_cap_is_configurable_and_clamped() {
+        assert_eq!(FaultPlan::new(0).hang_cap_ms(), DEFAULT_HANG_MS);
+        assert_eq!(FaultPlan::new(0).hang_ms(100).hang_cap_ms(), 100);
+        assert_eq!(FaultPlan::new(0).hang_ms(0).hang_cap_ms(), 1);
+    }
+}

@@ -38,7 +38,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, KernelFamilySnapshot, MetricsRegistry,
     MetricsSnapshot, LATENCY_BUCKETS_MS,
 };
-pub use trace::{IterationSpans, JobTimeline, JobTrace, TraceSink};
+pub use trace::{AttemptSpan, IterationSpans, JobTimeline, JobTrace, TraceSink};
 
 use std::sync::Arc;
 

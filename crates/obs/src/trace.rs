@@ -39,6 +39,18 @@ impl IterationSpans {
     }
 }
 
+/// One failed attempt of a supervised job, as the scheduler's retry
+/// supervisor recorded it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptSpan {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Pool device the attempt ran on, if any.
+    pub device: Option<u32>,
+    /// The error that ended the attempt.
+    pub error: String,
+}
+
 /// A frozen copy of one job's trace (see [`JobTrace::snapshot`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobTimeline {
@@ -71,6 +83,9 @@ pub struct JobTimeline {
     /// Per-kernel-family invocation counts and modeled ms recorded while
     /// this job held the launch hook (GPU jobs; empty for pure-CPU ones).
     pub kernels: Vec<KernelFamilySnapshot>,
+    /// Failed attempts that preceded the recorded result, oldest first
+    /// (empty for unsupervised or first-attempt-success jobs).
+    pub attempts: Vec<AttemptSpan>,
 }
 
 impl JobTimeline {
@@ -135,6 +150,17 @@ impl JobTimeline {
         if self.post_pass_ms > 0.0 {
             out.push_str(&format!("  post-pass polish {:.3} ms\n", self.post_pass_ms));
         }
+        for a in &self.attempts {
+            out.push_str(&format!(
+                "  attempt {} failed{}: {}\n",
+                a.attempt,
+                match a.device {
+                    Some(d) => format!(" on device {d}"),
+                    None => String::new(),
+                },
+                a.error
+            ));
+        }
         for k in &self.kernels {
             out.push_str(&format!(
                 "  kernel {:<18} x{:<5} {:>10.3} ms modeled\n",
@@ -158,6 +184,7 @@ struct TraceInner {
     iterations: Vec<IterationSpans>,
     dropped_iterations: u64,
     kernels: BTreeMap<&'static str, (u64, f64)>,
+    attempts: Vec<AttemptSpan>,
 }
 
 /// The live per-job recorder. All methods take `&self` (one short mutex
@@ -254,6 +281,12 @@ impl JobTrace {
         });
     }
 
+    /// Record one failed attempt of a supervised job (the retry
+    /// supervisor calls this before re-placing the job).
+    pub fn record_attempt(&self, attempt: u32, device: Option<u32>, error: &str) {
+        self.with(|t| t.attempts.push(AttemptSpan { attempt, device, error: error.to_string() }));
+    }
+
     /// Record one kernel launch of `family` costing `ms` modeled time
     /// (fed by the SIMT launch hook — see `crate::kernel`).
     pub fn record_kernel(&self, family: &'static str, ms: f64) {
@@ -290,6 +323,7 @@ impl JobTrace {
                     modeled_ms,
                 })
                 .collect(),
+            attempts: t.attempts.clone(),
         }
     }
 }
@@ -376,6 +410,7 @@ mod tests {
         trace.record_kernel("tour", 4.0);
         trace.record_kernel("tour", 4.0);
         trace.record_kernel("update", 1.0);
+        trace.record_attempt(1, Some(0), "device fault: injected");
         let t = trace.snapshot();
         assert_eq!(t.job, 7);
         assert_eq!(t.backend, "gpu-x");
@@ -391,7 +426,16 @@ mod tests {
                 KernelFamilySnapshot { family: "update".into(), invocations: 1, modeled_ms: 1.0 },
             ]
         );
+        assert_eq!(
+            t.attempts,
+            vec![AttemptSpan {
+                attempt: 1,
+                device: Some(0),
+                error: "device fault: injected".into()
+            }]
+        );
         assert!(t.render().contains("job 7 [gpu-x] on device 1"));
+        assert!(t.render().contains("attempt 1 failed on device 0: device fault: injected"));
     }
 
     #[test]

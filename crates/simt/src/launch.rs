@@ -188,6 +188,18 @@ pub fn launch_threads(
     mode: SimMode,
     threads: usize,
 ) -> Result<LaunchResult, SimtError> {
+    // Fault-injection hook (the failure-path twin of the observability
+    // hook at the bottom of this function): a fault armed on this thread
+    // is consumed by its next launch, before any block executes, so a
+    // failed launch leaves memory and counters untouched.
+    if let Some(fault) = aco_faults::launch::take() {
+        match fault {
+            aco_faults::launch::LaunchFault::Panic(msg) => panic!("{msg}"),
+            aco_faults::launch::LaunchFault::Transient(msg) => {
+                return Err(SimtError::DeviceFault(msg))
+            }
+        }
+    }
     validate(dev, cfg)?;
 
     let occ = occupancy(dev, cfg.block, cfg.regs_per_thread, cfg.shared_bytes, cfg.grid);

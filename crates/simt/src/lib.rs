@@ -88,12 +88,19 @@ pub mod prelude {
 pub enum SimtError {
     /// The launch configuration violates a device limit.
     BadLaunch(String),
+    /// The (simulated) device failed the launch transiently — the
+    /// retryable error class fault injection exercises (see
+    /// `aco_faults::launch`; real backends would surface driver/ECC
+    /// errors here). Distinct from [`SimtError::BadLaunch`], which marks
+    /// a misconfigured launch that no retry can fix.
+    DeviceFault(String),
 }
 
 impl std::fmt::Display for SimtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimtError::BadLaunch(m) => write!(f, "bad launch: {m}"),
+            SimtError::DeviceFault(m) => write!(f, "device fault: {m}"),
         }
     }
 }

@@ -10,6 +10,7 @@
 pub use aco_core as core;
 pub use aco_devices as devices;
 pub use aco_engine as engine;
+pub use aco_faults as faults;
 pub use aco_localsearch as localsearch;
 pub use aco_obs as obs;
 pub use aco_simt as simt;

@@ -1,0 +1,372 @@
+//! Integration tests for the fault-tolerance stack: deterministic fault
+//! injection, supervised retry/failover, health/quarantine placement,
+//! graceful CPU degradation, watchdog reclassification, slot-accounting
+//! balance — and the two acceptance invariants: a disarmed injector
+//! changes nothing, and a fixed fault plan yields bit-identical
+//! outcomes at any worker count (including the proptest sweep over
+//! random seeded plans).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    Backend, DeviceAffinity, DeviceId, DeviceProfile, Engine, EngineConfig, EngineError, Failover,
+    FaultKind, FaultPlan, GpuDevice, HealthState, PlacementError, RetryPolicy, SolveReport,
+    SolveRequest,
+};
+use aco_gpu::tsp;
+use proptest::prelude::*;
+
+/// Silence injected-fault panics (they are part of the exercise) while
+/// leaving genuine test-failure panics fully reported.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.as_str())
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|s| s.contains("injected"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Two C1060s (one slower twin) — the failover pair most tests use.
+fn twin_pool() -> Vec<DeviceProfile> {
+    vec![DeviceProfile::tesla_c1060("g0"), DeviceProfile::tesla_c1060("g1").sm_count(15)]
+}
+
+fn gpu_req(inst: &Arc<tsp::TspInstance>, seed: u64) -> SolveRequest {
+    SolveRequest::new(Arc::clone(inst), AcoParams::default().nn(8).ants(10))
+        .backend(Backend::Gpu {
+            device: GpuDevice::TeslaC1060,
+            tour: TourStrategy::NNList,
+            pheromone: PheromoneStrategy::AtomicShared,
+        })
+        .iterations(2)
+        .seed(seed)
+}
+
+/// Acceptance: with no fault plan armed, reports are bit-identical to
+/// the unsupervised engine — attempts = 1, no fault records, and the
+/// new retry plumbing changes nothing about results or placements.
+#[test]
+fn disarmed_engine_is_unchanged_and_reports_single_attempts() {
+    let inst = Arc::new(tsp::uniform_random("flt-base", 26, 500.0, 7));
+    let batch = |retry: RetryPolicy| -> Vec<SolveRequest> {
+        (0..6).map(|j| gpu_req(&inst, 50 + j).retry(retry)).collect()
+    };
+    let run = |retry: RetryPolicy| {
+        Engine::new(EngineConfig::with_workers(2).devices(twin_pool())).run_batch(batch(retry))
+    };
+    let plain = run(RetryPolicy::none());
+    // An armed retry policy with no faults to trigger it must be inert.
+    let supervised = run(RetryPolicy::retries(2).failover(Failover::CpuFallback));
+    assert_eq!(plain, supervised, "idle retry supervision must not change any report");
+    for r in &plain {
+        let r = r.as_ref().expect("fault-free job solves");
+        assert_eq!((r.attempts, r.faults.len()), (1, 0));
+    }
+}
+
+/// Acceptance: under a fixed fault plan the complete trajectory —
+/// outcomes, placements, attempt counts, per-attempt fault records, and
+/// final health states — is bit-identical at 1 and 4 workers.
+#[test]
+fn fixed_fault_plan_is_worker_count_invariant() {
+    quiet_injected_panics();
+    let inst = Arc::new(tsp::uniform_random("flt-det", 24, 500.0, 9));
+    let plan = FaultPlan::new(41).flaky_device(0, 0.45).panic_rate(0.08);
+    let run = |workers: usize| {
+        let engine = Engine::new(
+            EngineConfig::with_workers(workers).devices(twin_pool()).faults(plan.clone()),
+        );
+        let out = engine.run_batch((0..10).map(|j| {
+            gpu_req(&inst, 200 + j).retry(RetryPolicy::retries(2).failover(Failover::HealthyDevice))
+        }));
+        engine.pool().assert_no_slot_leaks();
+        let health: Vec<HealthState> =
+            (0..2).map(|d| engine.pool().health(DeviceId(d)).expect("device exists")).collect();
+        (out, health)
+    };
+    let (serial, serial_health) = run(1);
+    let (parallel, parallel_health) = run(4);
+    assert_eq!(serial, parallel, "fault/retry trajectory must not depend on worker count");
+    assert_eq!(serial_health, parallel_health, "health ledger must not depend on worker count");
+
+    // The plan actually bit: some job needed more than one attempt and
+    // recorded its faults.
+    let retried: Vec<&SolveReport> =
+        serial.iter().filter_map(|r| r.as_ref().ok()).filter(|r| r.attempts > 1).collect();
+    assert!(!retried.is_empty(), "flaky device must force at least one retry");
+    for r in &retried {
+        assert_eq!(r.faults.len() as u32, r.attempts - 1, "one fault record per failed attempt");
+        assert!(r.faults.iter().all(|f| f.injected.is_some()), "faults here are all injected");
+    }
+}
+
+/// A dead device quarantines after `quarantine_after` consecutive
+/// failures: retried jobs fail over to the healthy twin, the quarantine
+/// is visible in the health ledger and event log, and later submissions
+/// are placed around it. The batch *prefers* the dead device — a soft
+/// preference is honoured while the device is merely degraded (unlike
+/// `Any` placements, which soft-avoid it after its first charged
+/// failure), so the health machine walks the full Healthy → Degraded →
+/// Quarantined path.
+#[test]
+fn dead_device_quarantines_and_failover_recovers() {
+    quiet_injected_panics();
+    let inst = Arc::new(tsp::uniform_random("flt-quar", 24, 500.0, 11));
+    let engine = Engine::new(
+        EngineConfig::with_workers(2).devices(twin_pool()).faults(FaultPlan::new(5).dead_device(0)),
+    );
+    let out = engine.run_batch((0..8).map(|j| {
+        gpu_req(&inst, 300 + j)
+            .affinity(DeviceAffinity::Preferred(DeviceId(0)))
+            .retry(RetryPolicy::retries(2).failover(Failover::HealthyDevice))
+    }));
+    for r in &out {
+        let r = r.as_ref().expect("failover to the healthy twin rescues every job");
+        assert_eq!(r.device, Some(DeviceId(1)), "every job must complete on the healthy device");
+    }
+    // Jobs placed on g0 failed there first and recorded the transient.
+    assert!(
+        out.iter().filter_map(|r| r.as_ref().ok()).any(|r| {
+            r.attempts > 1
+                && r.faults.iter().any(|f| {
+                    f.device == Some(DeviceId(0))
+                        && f.injected == Some(FaultKind::TransientError)
+                        && f.error.contains("injected transient device error")
+                })
+        }),
+        "at least one job must have failed on the dead device first"
+    );
+    assert_eq!(engine.pool().health(DeviceId(0)), Some(HealthState::Quarantined));
+    assert_eq!(engine.pool().health(DeviceId(1)), Some(HealthState::Healthy));
+    let events = engine.pool().health_events();
+    assert!(
+        events.iter().any(|e| e.device == DeviceId(0) && e.state == HealthState::Quarantined),
+        "quarantine transition must be on the event log: {events:?}"
+    );
+    engine.pool().assert_no_slot_leaks();
+
+    // Placement now avoids the quarantined device outright.
+    let after = engine.submit(gpu_req(&inst, 999)).wait().expect("post-quarantine job solves");
+    assert_eq!(after.device, Some(DeviceId(1)));
+
+    // And the snapshot/metrics surfaces agree.
+    let snap = engine.device_stats();
+    assert_eq!(snap[0].health, HealthState::Quarantined);
+    assert!(snap[0].quarantines >= 1);
+    let metrics = engine.metrics();
+    let counter =
+        |name: &str| metrics.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0);
+    assert!(counter("aco_engine_retries_total") >= 1);
+    assert!(counter("aco_engine_failovers_total") >= 1);
+    assert!(counter("aco_engine_faults_injected_total") >= 1);
+}
+
+/// Graceful degradation: when every compatible device is dead, a
+/// CpuFallback policy completes the batch on the CPU reference backend —
+/// mid-flight for the jobs that tried the GPU, and at submit time once
+/// the pool is fully quarantined.
+#[test]
+fn cpu_fallback_degrades_gracefully_when_the_pool_dies() {
+    quiet_injected_panics();
+    let inst = Arc::new(tsp::uniform_random("flt-cpu", 24, 500.0, 13));
+    let engine = Engine::new(
+        EngineConfig::with_workers(2)
+            .devices(vec![DeviceProfile::tesla_c1060("solo")])
+            .faults(FaultPlan::new(3).dead_device(0)),
+    );
+    let out = engine.run_batch((0..6).map(|j| {
+        gpu_req(&inst, 400 + j).retry(RetryPolicy::retries(1).failover(Failover::CpuFallback))
+    }));
+    for r in &out {
+        let r = r.as_ref().expect("CPU fallback rescues every job");
+        assert_eq!(r.device, None, "degraded jobs must finish off-device");
+    }
+    // Early jobs degraded mid-flight (GPU attempt first); once the solo
+    // device quarantined, later jobs degraded at submit with no GPU
+    // attempt at all.
+    assert!(out.iter().filter_map(|r| r.as_ref().ok()).any(|r| r.attempts > 1));
+    assert!(out.iter().filter_map(|r| r.as_ref().ok()).any(|r| r.attempts == 1));
+    assert_eq!(engine.pool().health(DeviceId(0)), Some(HealthState::Quarantined));
+    engine.pool().assert_no_slot_leaks();
+}
+
+/// A pin is a contract: a job pinned to a quarantined device is rejected
+/// with the typed placement error (unless its policy degrades to CPU),
+/// and a panic-fault terminal failure carries job/backend/device.
+#[test]
+fn pinned_quarantine_is_typed_and_failures_are_enriched() {
+    quiet_injected_panics();
+    let inst = Arc::new(tsp::uniform_random("flt-pin", 24, 500.0, 17));
+    let engine = Engine::new(
+        EngineConfig::with_workers(1).devices(twin_pool()).faults(FaultPlan::new(7).device_rates(
+            0,
+            aco_gpu::faults::FaultRates { panic: 1.0, transient: 0.0, hang: 0.0 },
+        )),
+    );
+    // No retries: the injected kernel panic is terminal and enriched.
+    let err = engine
+        .submit(gpu_req(&inst, 1).affinity(DeviceAffinity::Pinned(DeviceId(0))))
+        .wait()
+        .expect_err("panic on every attempt is terminal");
+    match &err {
+        EngineError::Failed { job, backend, device, message } => {
+            assert_eq!(*device, Some(DeviceId(0)));
+            assert!(backend.contains("gpu"), "backend label: {backend}");
+            assert!(message.contains("injected kernel panic (job 0, attempt 1)"));
+            assert!(err.to_string().contains(&format!("job {job} failed on")));
+        }
+        other => panic!("expected enriched Failed, got {other:?}"),
+    }
+    // Drive g0 into quarantine via its pinned panics.
+    for seed in 2..5 {
+        let _ = engine
+            .submit(gpu_req(&inst, seed).affinity(DeviceAffinity::Pinned(DeviceId(0))))
+            .wait();
+    }
+    assert_eq!(engine.pool().health(DeviceId(0)), Some(HealthState::Quarantined));
+    let refused = engine
+        .submit(gpu_req(&inst, 10).affinity(DeviceAffinity::Pinned(DeviceId(0))))
+        .wait()
+        .expect_err("pin to a quarantined device is refused");
+    assert_eq!(
+        refused,
+        EngineError::Placement(PlacementError::DeviceQuarantined { device: DeviceId(0) })
+    );
+    engine.pool().assert_no_slot_leaks();
+}
+
+/// Injected hangs end in a bounded, deterministic device fault (the
+/// supervisor's sleep cap, cut short by the attempt watchdog), and a
+/// zero-budget watchdog reclassifies deadline expiry as a retryable hung
+/// attempt rather than a terminal deadline verdict.
+#[test]
+fn hangs_are_bounded_and_watchdogs_reclassify() {
+    quiet_injected_panics();
+    let inst = Arc::new(tsp::uniform_random("flt-hang", 24, 500.0, 19));
+    // Hang plan: every attempt on g0 hangs (capped at 10 ms), healthy
+    // twin rescues on retry.
+    let engine = Engine::new(
+        EngineConfig::with_workers(1).devices(twin_pool()).faults(
+            FaultPlan::new(23)
+                .device_rates(
+                    0,
+                    aco_gpu::faults::FaultRates { panic: 0.0, transient: 0.0, hang: 1.0 },
+                )
+                .hang_ms(10),
+        ),
+    );
+    let report = engine
+        .submit(
+            gpu_req(&inst, 1).affinity(DeviceAffinity::Pinned(DeviceId(0))).retry(
+                RetryPolicy::retries(2)
+                    .failover(Failover::CpuFallback)
+                    .watchdog(Duration::from_millis(5)),
+            ),
+        )
+        .wait()
+        .expect("hung pin degrades to CPU");
+    assert_eq!(report.device, None);
+    assert!(report.attempts > 1);
+    assert!(report.faults[0].error.contains("injected hang (job 0, attempt 1)"));
+    assert_eq!(report.faults[0].injected, Some(FaultKind::Hang));
+
+    // Watchdog reclassification: a zero watchdog expires every attempt
+    // immediately — retryable, and terminal only once attempts run out.
+    let err = engine
+        .submit(
+            SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(8).ants(10))
+                .backend(Backend::CpuSequential { policy: TourPolicy::NearestNeighborList })
+                .iterations(2)
+                .seed(2)
+                .retry(RetryPolicy::retries(1).watchdog(Duration::ZERO)),
+        )
+        .wait()
+        .expect_err("a zero watchdog can never finish");
+    match &err {
+        EngineError::Failed { message, .. } => {
+            assert!(message.contains("watchdog"), "reclassified message: {message}");
+        }
+        other => panic!("expected watchdog Failed, got {other:?}"),
+    }
+    let metrics = engine.metrics();
+    let trips = metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == "aco_engine_watchdog_trips_total")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(trips >= 2, "both zero-watchdog attempts must trip: {trips}");
+    engine.pool().assert_no_slot_leaks();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    /// Property: for ANY seeded fault plan, every job reaches a terminal
+    /// outcome, slot accounting balances, quarantine state is consistent
+    /// — and the whole trajectory (reports, errors, health) is
+    /// bit-identical at 1 and 2 workers.
+    #[test]
+    fn random_fault_plans_terminate_cleanly_and_deterministically(
+        seed in 0u64..1_000,
+        panic in 0.0f64..0.25,
+        transient in 0.0f64..0.35,
+        hang in 0.0f64..0.10,
+    ) {
+        quiet_injected_panics();
+        let inst = Arc::new(tsp::uniform_random("flt-prop", 20, 400.0, 29));
+        let plan = FaultPlan::new(seed)
+            .panic_rate(panic)
+            .transient_rate(transient)
+            .hang_rate(hang)
+            .hang_ms(5);
+        let run = |workers: usize| {
+            let engine = Engine::new(
+                EngineConfig::with_workers(workers).devices(twin_pool()).faults(plan.clone()),
+            );
+            let out = engine.run_batch((0..6).map(|j| {
+                gpu_req(&inst, 500 + j)
+                    .retry(RetryPolicy::retries(2).failover(Failover::CpuFallback))
+            }));
+            engine.pool().assert_no_slot_leaks();
+            let health: Vec<HealthState> = (0..2)
+                .map(|d| engine.pool().health(DeviceId(d)).expect("device exists"))
+                .collect();
+            (out, health)
+        };
+        let (serial, serial_health) = run(1);
+        let (parallel, parallel_health) = run(2);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial_health, parallel_health);
+        for r in &serial {
+            match r {
+                Ok(report) => {
+                    prop_assert!(report.attempts >= 1 && report.attempts <= 3);
+                    prop_assert_eq!(report.faults.len() as u32, report.attempts - 1);
+                }
+                Err(e) => {
+                    // Terminal errors under this policy are exhausted
+                    // retries of the retryable class.
+                    prop_assert!(
+                        matches!(e, EngineError::Failed { .. } | EngineError::Simt(_)),
+                        "unexpected terminal error: {:?}", e
+                    );
+                }
+            }
+        }
+    }
+}
