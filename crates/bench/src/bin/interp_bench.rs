@@ -20,6 +20,13 @@
 //! warm; a future change that reintroduces per-op `Vec` churn shows up
 //! here immediately, long before it is visible in end-to-end numbers.
 //!
+//! The `launches` section measures allocator calls **per
+//! `launch_threads` call** of a read-heavy kernel family at 1 and 4
+//! exec threads — the tripwire for the COW shadow memory: forking a
+//! shadow worker clones buffer *handles*, so allocs/launch must stay
+//! flat however large the read-only inputs are. The `--check` gate
+//! holds each family within the same ±0.5 slack as the per-op rows.
+//!
 //! The artifact keeps a history entry per PR, like `BENCH_engine.json`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -157,6 +164,69 @@ impl Kernel for OpKernel {
     }
 }
 
+/// The COW-shadow workload: each block reads a large read-only buffer
+/// (texture path) and writes one word per lane into a small output — the
+/// allocation shape of the batched-LS hot path, where distance/NN-list
+/// inputs dwarf the per-launch writes. Pre-COW, `launch_threads` with
+/// shadow workers deep-copied every buffer per group; with `Arc`-backed
+/// copy-on-write buffers only the dirtied output materialises, so
+/// allocs/launch stays flat as the big read-only input grows.
+struct ShadowKernel {
+    big: DevicePtr<f32>,
+    out: DevicePtr<u32>,
+}
+
+impl Kernel for ShadowKernel {
+    fn name(&self) -> &'static str {
+        "cow_shadow"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
+        let tid = ctx.global_thread_idx();
+        let _ = ctx.ld_tex_f32(gm, self.big, &tid);
+        ctx.st_global_u32(gm, self.out, &tid, &tid);
+    }
+}
+
+/// Allocator calls per `launch_threads` call of the [`ShadowKernel`]
+/// family at a given exec-thread count (8 blocks over a 64 Ki-word
+/// read-only input). `launches` is the counted sample size; the family
+/// launch count itself is deterministic harness structure.
+struct LaunchAllocResult {
+    family: String,
+    threads: usize,
+    launches: u64,
+    allocs_per_launch: f64,
+}
+
+fn run_launches(threads: usize) -> LaunchAllocResult {
+    let dev = DeviceSpec::tesla_c1060();
+    let mut gm = GlobalMem::new();
+    let blocks = 8u32;
+    let big = gm.alloc_f32(65_536);
+    let out = gm.alloc_u32((blocks * 256) as usize);
+    let k = ShadowKernel { big, out };
+    let cfg = LaunchConfig::new(blocks, 256);
+    // Warm-up launch: pools, caches, and the first shadow forks.
+    launch_threads(&dev, &cfg, &k, &mut gm, SimMode::Full, threads).unwrap();
+    let launches = 32u64;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..launches {
+        launch_threads(&dev, &cfg, &k, &mut gm, SimMode::Full, threads).unwrap();
+    }
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    LaunchAllocResult {
+        family: format!("cow_shadow_t{threads}"),
+        threads,
+        launches,
+        allocs_per_launch: allocs as f64 / launches as f64,
+    }
+}
+
+/// Exec-thread counts the launch-allocation section measures: the
+/// single-threaded reference and a forked-shadow run.
+const LAUNCH_THREADS: [usize; 2] = [1, 4];
+
 const OPS: [&str; 12] = [
     "fmul",
     "fma",
@@ -241,6 +311,34 @@ fn check(path: &std::path::Path, tolerance: f64, reps: u32) -> ! {
             failed = true;
         }
     }
+    // Launch-allocation gate: COW shadows hold allocs/launch flat, so a
+    // rise past the slack means the launch path started deep-copying
+    // buffers again. Entries predating the section are skipped.
+    let launch_baseline: Vec<(&str, f64)> = last
+        .get("launches")
+        .and_then(Json::arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|l| {
+            Some((
+                l.get("family").and_then(Json::str)?,
+                l.get("allocs_per_launch").and_then(Json::num)?,
+            ))
+        })
+        .collect();
+    for &threads in &LAUNCH_THREADS {
+        let fresh = run_launches(threads);
+        let Some(&(_, base)) = launch_baseline.iter().find(|(f, _)| *f == fresh.family) else {
+            continue;
+        };
+        if fresh.allocs_per_launch > base + ALLOC_SLACK {
+            eprintln!(
+                "gate FAIL: {} allocs/launch {:.4} > baseline {base:.4} + {ALLOC_SLACK}",
+                fresh.family, fresh.allocs_per_launch
+            );
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
@@ -274,7 +372,7 @@ fn run_op(op: &'static str, reps: u32) -> OpResult {
     }
 }
 
-fn render(label: &str, results: &[OpResult]) -> String {
+fn render(label: &str, results: &[OpResult], launches: &[LaunchAllocResult]) -> String {
     let rows: Vec<String> = results
         .iter()
         .map(|r| {
@@ -284,10 +382,21 @@ fn render(label: &str, results: &[OpResult]) -> String {
             )
         })
         .collect();
+    let launch_rows: Vec<String> = launches
+        .iter()
+        .map(|l| {
+            format!(
+                "      {{\"family\": \"{}\", \"threads\": {}, \"launches\": {}, \
+                 \"allocs_per_launch\": {:.4}}}",
+                l.family, l.threads, l.launches, l.allocs_per_launch
+            )
+        })
+        .collect();
     format!(
         "    {{\n      \"label\": \"{label}\",\n      \"block\": 256,\n      \"ops\": [\n{}\n      \
-         ]\n    }}",
-        rows.join(",\n")
+         ],\n      \"launches\": [\n{}\n      ]\n    }}",
+        rows.join(",\n"),
+        launch_rows.join(",\n")
     )
 }
 
@@ -324,6 +433,12 @@ fn main() {
     for r in &results {
         println!("{:<14} {:>10.1} {:>12.4}", r.name, r.ns_per_op, r.allocs_per_op);
     }
+    let launches: Vec<LaunchAllocResult> =
+        LAUNCH_THREADS.iter().map(|&t| run_launches(t)).collect();
+    println!("{:<14} {:>10} {:>15}", "family", "launches", "allocs/launch");
+    for l in &launches {
+        println!("{:<14} {:>10} {:>15.4}", l.family, l.launches, l.allocs_per_launch);
+    }
 
     // Keep prior history entries (drop any with the same label).
     let mut entries: Vec<String> = Vec::new();
@@ -351,9 +466,35 @@ fn main() {
                                 )
                             })
                             .collect();
+                        // Pre-PR-8 entries have no launch section; keep
+                        // whatever each entry recorded.
+                        let old_launches: Vec<String> = e
+                            .get("launches")
+                            .and_then(Json::arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|l| {
+                                format!(
+                                    "      {{\"family\": \"{}\", \"threads\": {}, \
+                                     \"launches\": {}, \"allocs_per_launch\": {:.4}}}",
+                                    l.get("family").and_then(Json::str).unwrap_or("?"),
+                                    l.get("threads").and_then(Json::num).unwrap_or(0.0) as u64,
+                                    l.get("launches").and_then(Json::num).unwrap_or(0.0) as u64,
+                                    l.get("allocs_per_launch").and_then(Json::num).unwrap_or(0.0)
+                                )
+                            })
+                            .collect();
+                        let launches_part = if old_launches.is_empty() {
+                            String::new()
+                        } else {
+                            format!(
+                                ",\n      \"launches\": [\n{}\n      ]",
+                                old_launches.join(",\n")
+                            )
+                        };
                         entries.push(format!(
                             "    {{\n      \"label\": \"{lbl}\",\n      \"block\": {},\n      \
-                             \"ops\": [\n{}\n      ]\n    }}",
+                             \"ops\": [\n{}\n      ]{launches_part}\n    }}",
                             e.get("block").and_then(Json::num).unwrap_or(256.0) as u32,
                             ops.join(",\n")
                         ));
@@ -362,7 +503,7 @@ fn main() {
             }
         }
     }
-    entries.push(render(&label, &results));
+    entries.push(render(&label, &results, &launches));
 
     let json = format!(
         "{{\n  \"bench\": \"blockctx_ops\",\n  \"history\": [\n{}\n  ]\n}}\n",

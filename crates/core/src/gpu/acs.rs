@@ -19,7 +19,10 @@
 //! The heuristic weights live in a precomputed `eta^beta` table (the
 //! Choice kernel with `alpha = 0`), since ACS multiplies raw `tau` in.
 
-use aco_localsearch::{LocalSearch, LsScope, LsScratch, TwoOptDev};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use aco_localsearch::{LocalSearch, LsScope, LsScratch, OrOptDev, TwoOptBatchDev, TwoOptDev};
 use aco_simt::prelude::*;
 use aco_simt::rng::PmRng;
 use aco_simt::SimtError;
@@ -318,10 +321,16 @@ pub struct GpuAntColonySystem<'a> {
     nn_host: aco_tsp::NearestNeighborLists,
     local_search: LocalSearch,
     ls_scope: LsScope,
-    /// Device scratch of the 2-opt kernel family (allocated on demand).
+    /// Device scratch of the per-ant 2-opt kernel family (on demand).
     ls_dev: Option<TwoOptDev>,
+    /// Device scratch of the batched all-ants 2-opt family (on demand).
+    ls_batch: Option<TwoOptBatchDev>,
+    /// Device scratch of the `or_opt` kernel family (on demand).
+    ls_oropt: Option<OrOptDev>,
     ls_scratch: LsScratch,
     ls_improvement: u64,
+    /// Engine-donated extra host threads (see `set_thread_donor`).
+    donor: Option<Arc<AtomicUsize>>,
 }
 
 impl<'a> GpuAntColonySystem<'a> {
@@ -371,22 +380,55 @@ impl<'a> GpuAntColonySystem<'a> {
             local_search: LocalSearch::None,
             ls_scope: LsScope::IterationBest,
             ls_dev: None,
+            ls_batch: None,
+            ls_oropt: None,
             ls_scratch: LsScratch::new(),
             ls_improvement: 0,
+            donor: None,
         }
     }
 
     /// Configure the per-iteration local search (see
     /// [`super::GpuAntSystem::set_local_search`]): `TwoOptNn` runs as
-    /// the device kernel family, the other strategies as host passes
-    /// with a device write-back.
+    /// the device kernel family (batched all-ants variant for
+    /// [`LsScope::AllAnts`]), `OrOpt` as the windowed `or_opt` family;
+    /// only the host-only `TwoOpt` remains a host pass with a device
+    /// write-back.
     pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
         self.local_search = ls;
         self.ls_scope = scope;
-        if ls.per_iteration() == LocalSearch::TwoOptNn && self.ls_dev.is_none() {
-            self.ls_dev = Some(TwoOptDev::allocate(
+        if ls.per_iteration() == LocalSearch::TwoOptNn {
+            if scope == LsScope::AllAnts && self.ls_batch.is_none() {
+                self.ls_batch = Some(TwoOptBatchDev::allocate(
+                    &mut self.gm,
+                    self.bufs.n,
+                    self.bufs.m,
+                    self.bufs.nn,
+                    self.bufs.stride,
+                    self.bufs.dist,
+                    self.bufs.tours,
+                    self.bufs.lengths,
+                    self.bufs.nn_list,
+                ));
+            }
+            if scope == LsScope::IterationBest && self.ls_dev.is_none() {
+                self.ls_dev = Some(TwoOptDev::allocate(
+                    &mut self.gm,
+                    self.bufs.n,
+                    self.bufs.nn,
+                    self.bufs.stride,
+                    self.bufs.dist,
+                    self.bufs.tours,
+                    self.bufs.lengths,
+                    self.bufs.nn_list,
+                ));
+            }
+        }
+        if ls.per_iteration() == LocalSearch::OrOpt && self.ls_oropt.is_none() {
+            self.ls_oropt = Some(OrOptDev::allocate(
                 &mut self.gm,
                 self.bufs.n,
+                self.bufs.m,
                 self.bufs.nn,
                 self.bufs.stride,
                 self.bufs.dist,
@@ -409,6 +451,24 @@ impl<'a> GpuAntColonySystem<'a> {
     /// wall clock.
     pub fn set_exec_threads(&mut self, threads: usize) {
         self.exec_threads = threads.max(1);
+    }
+
+    /// Attach the engine's idle-worker donation counter (see
+    /// [`super::GpuAntSystem::set_thread_donor`]); results stay
+    /// bit-identical at any thread count, so donation only trades
+    /// wall-clock.
+    pub fn set_thread_donor(&mut self, donor: Arc<AtomicUsize>) {
+        self.donor = Some(donor);
+    }
+
+    /// Host threads for the next launch: the profile budget plus any
+    /// currently-donated idle engine workers (bounded).
+    fn effective_threads(&self) -> usize {
+        let donated = self
+            .donor
+            .as_ref()
+            .map_or(0, |d| d.load(Ordering::Relaxed).min(super::MAX_DONATED_THREADS));
+        self.exec_threads + donated
     }
 
     /// Best solution so far (exact length).
@@ -439,14 +499,9 @@ impl<'a> GpuAntColonySystem<'a> {
             seed: self.params.seed,
             iteration: self.iteration,
         };
-        let rt = launch_threads(
-            &self.dev,
-            &tk.config(),
-            &tk,
-            &mut self.gm,
-            SimMode::Full,
-            self.exec_threads,
-        )?;
+        let threads = self.effective_threads();
+        let rt =
+            launch_threads(&self.dev, &tk.config(), &tk, &mut self.gm, SimMode::Full, threads)?;
 
         // Host-exact best tracking over the colony, with the configured
         // local search applied before the best-so-far decision (and
@@ -465,9 +520,7 @@ impl<'a> GpuAntColonySystem<'a> {
                 LsScope::IterationBest => vec![super::first_min(&lens)],
                 LsScope::AllAnts => (0..tours.len()).collect(),
             };
-            for ant in ants {
-                ls_ms += self.ls_pass(ant, &mut tours, &mut lens)?;
-            }
+            ls_ms += self.ls_pass(&ants, &mut tours, &mut lens)?;
         }
         let best_ant = super::first_min(&lens) as u32;
         let best_this_iter = lens[best_ant as usize];
@@ -486,32 +539,30 @@ impl<'a> GpuAntColonySystem<'a> {
             best_len: best_len as f32,
             rho: self.params.rho,
         };
-        let ru = launch_threads(
-            &self.dev,
-            &uk.config(),
-            &uk,
-            &mut self.gm,
-            SimMode::Full,
-            self.exec_threads,
-        )?;
+        let threads = self.effective_threads();
+        let ru =
+            launch_threads(&self.dev, &uk.config(), &uk, &mut self.gm, SimMode::Full, threads)?;
 
         self.iteration += 1;
         Ok((best_len, rt.time.total_ms, ru.time.total_ms, ls_ms))
     }
 
-    /// Improve `ant`'s tour with the configured strategy (the shared
-    /// [`super::LsPass`] path), accounting the improvement telemetry.
+    /// Improve the window of ant tours with the configured strategy (the
+    /// shared [`super::LsPass`] path), accounting the improvement
+    /// telemetry.
     fn ls_pass(
         &mut self,
-        ant: usize,
+        ants: &[usize],
         tours: &mut [Tour],
         lens: &mut [u64],
     ) -> Result<f64, SimtError> {
+        let threads = self.effective_threads();
         let GpuAntColonySystem {
             dev,
             bufs,
             ls_dev,
-            exec_threads,
+            ls_batch,
+            ls_oropt,
             local_search,
             inst,
             nn_host,
@@ -524,12 +575,15 @@ impl<'a> GpuAntColonySystem<'a> {
             dev,
             bufs: *bufs,
             ls_dev: *ls_dev,
-            exec_threads: *exec_threads,
+            batch_dev: *ls_batch,
+            oropt_dev: *ls_oropt,
+            exec_threads: threads,
             strategy: local_search.per_iteration(),
         };
-        let before = lens[ant];
-        let ms = pass.improve_ant(gm, inst, nn_host, ls_scratch, ant, tours, lens)?;
-        *ls_improvement += before - lens[ant];
+        let before: u64 = ants.iter().map(|&a| lens[a]).sum();
+        let ms = pass.improve_ants(gm, inst, nn_host, ls_scratch, ants, tours, lens)?;
+        let after: u64 = ants.iter().map(|&a| lens[a]).sum();
+        *ls_improvement += before - after;
         Ok(ms)
     }
 

@@ -27,61 +27,125 @@ pub(crate) fn first_min(lens: &[u64]) -> usize {
     k
 }
 
+/// Cap on threads a colony may add on top of its profile's
+/// `exec_threads` budget when the engine donates idle workers (see
+/// `EngineConfig::donate_idle_threads`). Simulator results are
+/// bit-identical at any host thread count, so donation only trades
+/// wall-clock; the cap bounds oversubscription.
+pub const MAX_DONATED_THREADS: usize = 8;
+
 /// The local-search execution context shared by both GPU colonies:
 /// which strategy runs, on which device, against which colony buffers.
 pub(crate) struct LsPass<'a> {
     pub dev: &'a aco_simt::DeviceSpec,
     pub bufs: ColonyBuffers,
-    /// The 2-opt family's device scratch (present iff the strategy is
-    /// the device-resident `TwoOptNn`; guaranteed by `set_local_search`).
+    /// The per-ant 2-opt family's device scratch (present iff the
+    /// strategy is `TwoOptNn` with the iteration-best scope; guaranteed
+    /// by `set_local_search`).
     pub ls_dev: Option<aco_localsearch::TwoOptDev>,
+    /// The batched all-ants 2-opt family's scratch (present iff the
+    /// strategy is `TwoOptNn` with the all-ants scope).
+    pub batch_dev: Option<aco_localsearch::TwoOptBatchDev>,
+    /// The `or_opt` family's scratch (present iff the strategy is
+    /// `OrOpt`; serves both scopes via windowed launches).
+    pub oropt_dev: Option<aco_localsearch::OrOptDev>,
     pub exec_threads: usize,
     pub strategy: aco_localsearch::LocalSearch,
 }
 
 impl LsPass<'_> {
-    /// Improve `ant`'s tour in place: the device kernel family for
-    /// `TwoOptNn`, a host pass + [`ColonyBuffers::write_tour`] write-back
-    /// for the rest. Returns the modeled kernel milliseconds (0 for host
-    /// passes). Both paths leave device tours, padding and the f32
-    /// length in sync with the host copy, so the subsequent pheromone
-    /// kernels deposit the improved tour; callers account the
-    /// improvement from the `lens` delta.
+    /// Re-read one improved tour row from the device and settle the
+    /// exact host length plus the f32 device length (the kernels' gain
+    /// subtraction is f32-exact at TSPLIB scales; this mirrors the
+    /// host-exact best tracking).
+    fn resync_ant(
+        &self,
+        gm: &mut aco_simt::GlobalMem,
+        inst: &aco_tsp::TspInstance,
+        ant: usize,
+        tours: &mut [aco_tsp::Tour],
+        lens: &mut [u64],
+    ) {
+        let n = self.bufs.n as usize;
+        let stride = self.bufs.stride as usize;
+        let row = &gm.u32(self.bufs.tours)[ant * stride..ant * stride + n];
+        tours[ant] =
+            aco_tsp::Tour::new(row.to_vec()).expect("local search preserves the permutation");
+        lens[ant] = tours[ant].length(inst.matrix());
+        gm.f32_mut(self.bufs.lengths)[ant] = lens[ant] as f32;
+    }
+
+    /// Improve a contiguous window of ant tours in place — `ants` is
+    /// either `[iteration_best]` or `0..m`, matching [`aco_localsearch::LsScope`].
+    ///
+    /// Device strategies batch the whole window into `O(rounds)`
+    /// launches: `TwoOptNn` runs the per-ant family for a single ant and
+    /// the batched all-ants family otherwise; `OrOpt` runs the windowed
+    /// `or_opt` family for any window. The host-only `TwoOpt` falls back
+    /// to per-ant host passes + [`ColonyBuffers::write_tour`]. Returns
+    /// the modeled kernel milliseconds (0 for host passes). All paths
+    /// leave device tours, padding and f32 lengths in sync with the host
+    /// copies, so the subsequent pheromone kernels deposit the improved
+    /// tours; callers account the improvement from the `lens` delta.
     #[allow(clippy::too_many_arguments)]
-    pub fn improve_ant(
+    pub fn improve_ants(
         &self,
         gm: &mut aco_simt::GlobalMem,
         inst: &aco_tsp::TspInstance,
         nn_host: &aco_tsp::NearestNeighborLists,
         scratch: &mut aco_localsearch::LsScratch,
-        ant: usize,
+        ants: &[usize],
         tours: &mut [aco_tsp::Tour],
         lens: &mut [u64],
     ) -> Result<f64, aco_simt::SimtError> {
-        if self.strategy == aco_localsearch::LocalSearch::TwoOptNn {
-            let dev_bufs = self.ls_dev.expect("allocated by set_local_search");
-            let run = aco_localsearch::run_two_opt(
-                self.dev,
-                gm,
-                dev_bufs,
-                ant as u32,
-                self.exec_threads,
-            )?;
-            let n = self.bufs.n as usize;
-            let stride = self.bufs.stride as usize;
-            let row = &gm.u32(self.bufs.tours)[ant * stride..ant * stride + n];
-            tours[ant] = aco_tsp::Tour::new(row.to_vec()).expect("2-opt preserves the permutation");
-            lens[ant] = tours[ant].length(inst.matrix());
-            // Settle the f32 length to the exact value (the kernel's
-            // gain subtraction is f32-exact for TSPLIB-scale distances;
-            // this mirrors the host-exact best tracking).
-            gm.f32_mut(self.bufs.lengths)[ant] = lens[ant] as f32;
-            Ok(run.ms)
-        } else {
-            let gain = self.strategy.improve(&mut tours[ant], inst.matrix(), nn_host, scratch);
-            lens[ant] -= gain;
-            self.bufs.write_tour(gm, ant, &tours[ant], lens[ant]);
-            Ok(0.0)
+        match self.strategy {
+            aco_localsearch::LocalSearch::TwoOptNn if ants.len() > 1 => {
+                let dev_bufs = self.batch_dev.expect("allocated by set_local_search");
+                let run =
+                    aco_localsearch::run_two_opt_all(self.dev, gm, dev_bufs, self.exec_threads)?;
+                for &ant in ants {
+                    self.resync_ant(gm, inst, ant, tours, lens);
+                }
+                Ok(run.ms)
+            }
+            aco_localsearch::LocalSearch::TwoOptNn => {
+                let dev_bufs = self.ls_dev.expect("allocated by set_local_search");
+                let ant = ants[0];
+                let run = aco_localsearch::run_two_opt(
+                    self.dev,
+                    gm,
+                    dev_bufs,
+                    ant as u32,
+                    self.exec_threads,
+                )?;
+                self.resync_ant(gm, inst, ant, tours, lens);
+                Ok(run.ms)
+            }
+            aco_localsearch::LocalSearch::OrOpt => {
+                let dev_bufs = self.oropt_dev.expect("allocated by set_local_search");
+                let first = ants[0] as u32;
+                let run = aco_localsearch::run_or_opt(
+                    self.dev,
+                    gm,
+                    dev_bufs,
+                    first,
+                    ants.len() as u32,
+                    self.exec_threads,
+                )?;
+                for &ant in ants {
+                    self.resync_ant(gm, inst, ant, tours, lens);
+                }
+                Ok(run.ms)
+            }
+            _ => {
+                for &ant in ants {
+                    let gain =
+                        self.strategy.improve(&mut tours[ant], inst.matrix(), nn_host, scratch);
+                    lens[ant] -= gain;
+                    self.bufs.write_tour(gm, ant, &tours[ant], lens[ant]);
+                }
+                Ok(0.0)
+            }
         }
     }
 }

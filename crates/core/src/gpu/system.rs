@@ -7,7 +7,10 @@
 //! [`TourStrategy`] and [`PheromoneStrategy`], tracks the best tour, and
 //! reports per-stage modeled times.
 
-use aco_localsearch::{LocalSearch, LsScope, LsScratch, TwoOptDev};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use aco_localsearch::{LocalSearch, LsScope, LsScratch, OrOptDev, TwoOptBatchDev, TwoOptDev};
 use aco_simt::prelude::*;
 use aco_simt::SimtError;
 use aco_tsp::{NearestNeighborLists, Tour, TspInstance};
@@ -52,10 +55,16 @@ pub struct GpuAntSystem<'a> {
     nn_host: NearestNeighborLists,
     local_search: LocalSearch,
     ls_scope: LsScope,
-    /// Device scratch of the 2-opt kernel family (allocated on demand).
+    /// Device scratch of the per-ant 2-opt kernel family (on demand).
     ls_dev: Option<TwoOptDev>,
+    /// Device scratch of the batched all-ants 2-opt family (on demand).
+    ls_batch: Option<TwoOptBatchDev>,
+    /// Device scratch of the `or_opt` kernel family (on demand).
+    ls_oropt: Option<OrOptDev>,
     ls_scratch: LsScratch,
     ls_improvement: u64,
+    /// Engine-donated extra host threads (see `set_thread_donor`).
+    donor: Option<Arc<AtomicUsize>>,
 }
 
 impl<'a> GpuAntSystem<'a> {
@@ -101,24 +110,59 @@ impl<'a> GpuAntSystem<'a> {
             local_search: LocalSearch::None,
             ls_scope: LsScope::IterationBest,
             ls_dev: None,
+            ls_batch: None,
+            ls_oropt: None,
             ls_scratch: LsScratch::new(),
             ls_improvement: 0,
+            donor: None,
         }
     }
 
     /// Configure the per-iteration local search. [`LocalSearch::TwoOptNn`]
-    /// runs *on the device* as the `two_opt` kernel family (its scratch is
-    /// allocated here, next to the colony buffers); [`LocalSearch::TwoOpt`]
-    /// and [`LocalSearch::OrOpt`] run as host passes whose improved tours
-    /// are written back to device memory before the pheromone update (a
-    /// `cudaMemcpy` round trip, like ACOTSP-hybrid ports do).
+    /// runs *on the device* as the `two_opt` kernel family — the per-ant
+    /// variant for the iteration-best scope, the batched all-ants variant
+    /// (one launch per phase for the whole colony) for
+    /// [`LsScope::AllAnts`] — and [`LocalSearch::OrOpt`] as the windowed
+    /// `or_opt` family. Their scratch is allocated here, next to the
+    /// colony buffers. Only the host-only [`LocalSearch::TwoOpt`] still
+    /// runs as a host pass whose improved tours are written back to
+    /// device memory before the pheromone update (a `cudaMemcpy` round
+    /// trip, like ACOTSP-hybrid ports do).
     pub fn set_local_search(&mut self, ls: LocalSearch, scope: LsScope) {
         self.local_search = ls;
         self.ls_scope = scope;
-        if ls.per_iteration() == LocalSearch::TwoOptNn && self.ls_dev.is_none() {
-            self.ls_dev = Some(TwoOptDev::allocate(
+        if ls.per_iteration() == LocalSearch::TwoOptNn {
+            if scope == LsScope::AllAnts && self.ls_batch.is_none() {
+                self.ls_batch = Some(TwoOptBatchDev::allocate(
+                    &mut self.gm,
+                    self.bufs.n,
+                    self.bufs.m,
+                    self.bufs.nn,
+                    self.bufs.stride,
+                    self.bufs.dist,
+                    self.bufs.tours,
+                    self.bufs.lengths,
+                    self.bufs.nn_list,
+                ));
+            }
+            if scope == LsScope::IterationBest && self.ls_dev.is_none() {
+                self.ls_dev = Some(TwoOptDev::allocate(
+                    &mut self.gm,
+                    self.bufs.n,
+                    self.bufs.nn,
+                    self.bufs.stride,
+                    self.bufs.dist,
+                    self.bufs.tours,
+                    self.bufs.lengths,
+                    self.bufs.nn_list,
+                ));
+            }
+        }
+        if ls.per_iteration() == LocalSearch::OrOpt && self.ls_oropt.is_none() {
+            self.ls_oropt = Some(OrOptDev::allocate(
                 &mut self.gm,
                 self.bufs.n,
+                self.bufs.m,
                 self.bufs.nn,
                 self.bufs.stride,
                 self.bufs.dist,
@@ -142,6 +186,25 @@ impl<'a> GpuAntSystem<'a> {
         self.exec_threads = threads.max(1);
     }
 
+    /// Attach the engine's idle-worker donation counter: each launch adds
+    /// `min(counter, MAX_DONATED_THREADS)` host threads on top of the
+    /// profile budget while other engine workers are parked idle. Purely
+    /// a wall-clock lever — results stay bit-identical at any thread
+    /// count, so reports and placements are donation-invariant.
+    pub fn set_thread_donor(&mut self, donor: Arc<AtomicUsize>) {
+        self.donor = Some(donor);
+    }
+
+    /// Host threads for the next launch: the profile budget plus any
+    /// currently-donated idle engine workers (bounded).
+    fn effective_threads(&self) -> usize {
+        let donated = self
+            .donor
+            .as_ref()
+            .map_or(0, |d| d.load(Ordering::Relaxed).min(super::MAX_DONATED_THREADS));
+        self.exec_threads + donated
+    }
+
     /// The device this colony runs on.
     pub fn device(&self) -> &DeviceSpec {
         &self.dev
@@ -162,6 +225,7 @@ impl<'a> GpuAntSystem<'a> {
     /// `SimMode::Full` keeps functional output exact (needed for quality
     /// studies); sampled modes are for timing tables on large instances.
     pub fn iterate(&mut self, mode: SimMode) -> Result<GpuIterationReport, SimtError> {
+        let threads = self.effective_threads();
         let tour_run = run_tour_threads(
             &self.dev,
             &mut self.gm,
@@ -172,7 +236,7 @@ impl<'a> GpuAntSystem<'a> {
             self.params.seed,
             self.iteration,
             mode,
-            self.exec_threads,
+            threads,
         )?;
 
         // Host-exact best tracking (the device carries f32 lengths; the
@@ -197,9 +261,7 @@ impl<'a> GpuAntSystem<'a> {
                     LsScope::IterationBest => vec![super::first_min(&lens)],
                     LsScope::AllAnts => (0..tours.len()).collect(),
                 };
-                for ant in ants {
-                    ls_ms += self.ls_pass(ant, &mut tours, &mut lens)?;
-                }
+                ls_ms += self.ls_pass(&ants, &mut tours, &mut lens)?;
             }
             let k = super::first_min(&lens);
             iter_best = lens[k];
@@ -208,6 +270,7 @@ impl<'a> GpuAntSystem<'a> {
             }
         }
 
+        let threads = self.effective_threads();
         let ph = run_pheromone_threads(
             &self.dev,
             &mut self.gm,
@@ -215,7 +278,7 @@ impl<'a> GpuAntSystem<'a> {
             self.pheromone_strategy,
             self.params.rho,
             mode,
-            self.exec_threads,
+            threads,
         )?;
 
         self.iteration += 1;
@@ -229,19 +292,22 @@ impl<'a> GpuAntSystem<'a> {
         })
     }
 
-    /// Improve `ant`'s tour with the configured strategy (the shared
-    /// [`super::LsPass`] path), accounting the improvement telemetry.
+    /// Improve the window of ant tours with the configured strategy (the
+    /// shared [`super::LsPass`] path), accounting the improvement
+    /// telemetry.
     fn ls_pass(
         &mut self,
-        ant: usize,
+        ants: &[usize],
         tours: &mut [Tour],
         lens: &mut [u64],
     ) -> Result<f64, SimtError> {
+        let threads = self.effective_threads();
         let GpuAntSystem {
             dev,
             bufs,
             ls_dev,
-            exec_threads,
+            ls_batch,
+            ls_oropt,
             local_search,
             inst,
             nn_host,
@@ -254,12 +320,15 @@ impl<'a> GpuAntSystem<'a> {
             dev,
             bufs: *bufs,
             ls_dev: *ls_dev,
-            exec_threads: *exec_threads,
+            batch_dev: *ls_batch,
+            oropt_dev: *ls_oropt,
+            exec_threads: threads,
             strategy: local_search.per_iteration(),
         };
-        let before = lens[ant];
-        let ms = pass.improve_ant(gm, inst, nn_host, ls_scratch, ant, tours, lens)?;
-        *ls_improvement += before - lens[ant];
+        let before: u64 = ants.iter().map(|&a| lens[a]).sum();
+        let ms = pass.improve_ants(gm, inst, nn_host, ls_scratch, ants, tours, lens)?;
+        let after: u64 = ants.iter().map(|&a| lens[a]).sum();
+        *ls_improvement += before - after;
         Ok(ms)
     }
 

@@ -21,7 +21,10 @@
 use aco_core::gpu::{run_pheromone, run_tour, ColonyBuffers, PheromoneStrategy, TourStrategy};
 use aco_core::{AcoParams, CpuModel, TourPolicy};
 use aco_devices::{DeviceAffinity, DevicePool};
-use aco_localsearch::{probe_round_ms, LocalSearch, LsScope, TwoOptDev};
+use aco_localsearch::{
+    probe_all_round_ms, probe_or_round_ms, probe_round_ms, LocalSearch, LsScope, OrOptDev,
+    TwoOptBatchDev, TwoOptDev,
+};
 use aco_simt::{GlobalMem, SimMode};
 use aco_tsp::TspInstance;
 
@@ -78,12 +81,15 @@ pub const PROBE_SEED: u64 = 0x0A07_0CA5;
 /// CPU candidates (false when the job is pinned to a device).
 ///
 /// `ls` and `scope` fold the job's per-iteration local search into
-/// every candidate: CPU candidates pay the analytic pass model, GPU
-/// candidates pay a *probed* kernel round of the `two_opt` family
-/// (× [`LS_ROUNDS_EST`]) for the device-resident `TwoOptNn` strategy —
-/// or the host model for the host-fallback strategies — and
-/// [`LsScope::AllAnts`] multiplies the pass by the colony size, so
-/// enabling local search genuinely shifts the CPU/GPU crossover.
+/// every candidate: CPU candidates pay the analytic pass model (with
+/// [`LsScope::AllAnts`] multiplying by the colony size), GPU candidates
+/// pay a *probed* kernel round (× [`LS_ROUNDS_EST`]) of the matching
+/// device family — the per-ant `two_opt` round for iteration-best, the
+/// batched all-ants round for [`LsScope::AllAnts`] (one launch per
+/// phase covers the colony, so the all-ants cost is a single batched
+/// round, **not** `round × m`), and the windowed `or_opt` round for
+/// `OrOpt`. Only the host-only full 2-opt is priced as host time. This
+/// is how enabling local search genuinely shifts the CPU/GPU crossover.
 pub fn estimates(
     inst: &TspInstance,
     params: &AcoParams,
@@ -169,31 +175,79 @@ pub fn estimates(
             })
             .and_then(|iter_ms| {
                 // Fold the local-search cost in: the device-resident
-                // TwoOptNn strategy is priced from a probed kernel round
-                // (pos + propose + select) scaled by the round estimate;
-                // the host-fallback strategies cost host time.
-                if ls.per_iteration() == LocalSearch::TwoOptNn {
-                    let round = match ls_round {
-                        Some(r) => r,
-                        None => {
-                            let ls_bufs = TwoOptDev::allocate(
-                                &mut gm,
-                                bufs.n,
-                                bufs.nn,
-                                bufs.stride,
-                                bufs.dist,
-                                bufs.tours,
-                                bufs.lengths,
-                                bufs.nn_list,
-                            );
-                            let r = probe_round_ms(&dev, &mut gm, ls_bufs, 0, mode)?;
-                            ls_round = Some(r);
-                            r
-                        }
-                    };
-                    Ok(iter_ms + LS_ROUNDS_EST as f64 * round * ls_passes)
-                } else {
-                    Ok(iter_ms + host_ls_ms)
+                // strategies are priced from a probed kernel round
+                // scaled by the round estimate. Batched families cover
+                // the whole scope window in one launch per phase, so an
+                // all-ants pass costs one *batched* round — never
+                // `round × m`. Only the host-only full 2-opt still
+                // costs host time.
+                match ls.per_iteration() {
+                    LocalSearch::TwoOptNn => {
+                        let round = match ls_round {
+                            Some(r) => r,
+                            None => {
+                                let r = match scope {
+                                    LsScope::IterationBest => {
+                                        let ls_bufs = TwoOptDev::allocate(
+                                            &mut gm,
+                                            bufs.n,
+                                            bufs.nn,
+                                            bufs.stride,
+                                            bufs.dist,
+                                            bufs.tours,
+                                            bufs.lengths,
+                                            bufs.nn_list,
+                                        );
+                                        probe_round_ms(&dev, &mut gm, ls_bufs, 0, mode)?
+                                    }
+                                    LsScope::AllAnts => {
+                                        let ls_bufs = TwoOptBatchDev::allocate(
+                                            &mut gm,
+                                            bufs.n,
+                                            bufs.m,
+                                            bufs.nn,
+                                            bufs.stride,
+                                            bufs.dist,
+                                            bufs.tours,
+                                            bufs.lengths,
+                                            bufs.nn_list,
+                                        );
+                                        probe_all_round_ms(&dev, &mut gm, ls_bufs, mode)?
+                                    }
+                                };
+                                ls_round = Some(r);
+                                r
+                            }
+                        };
+                        Ok(iter_ms + LS_ROUNDS_EST as f64 * round)
+                    }
+                    LocalSearch::OrOpt => {
+                        let round = match ls_round {
+                            Some(r) => r,
+                            None => {
+                                let ls_bufs = OrOptDev::allocate(
+                                    &mut gm,
+                                    bufs.n,
+                                    bufs.m,
+                                    bufs.nn,
+                                    bufs.stride,
+                                    bufs.dist,
+                                    bufs.tours,
+                                    bufs.lengths,
+                                    bufs.nn_list,
+                                );
+                                let num = match scope {
+                                    LsScope::IterationBest => 1,
+                                    LsScope::AllAnts => bufs.m,
+                                };
+                                let r = probe_or_round_ms(&dev, &mut gm, ls_bufs, 0, num, mode)?;
+                                ls_round = Some(r);
+                                r
+                            }
+                        };
+                        Ok(iter_ms + LS_ROUNDS_EST as f64 * round)
+                    }
+                    _ => Ok(iter_ms + host_ls_ms),
                 }
             });
             if let Ok(ms_per_iter) = probe {

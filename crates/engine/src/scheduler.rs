@@ -71,7 +71,7 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -136,6 +136,16 @@ pub struct EngineConfig {
     /// Thresholds of the per-device health state machine (see
     /// [`aco_devices::HealthPolicy`]).
     pub health: HealthPolicy,
+    /// Donate idle workers' threads to running GPU launches (default
+    /// `true`). A worker whose run queue and steal targets are empty
+    /// parks on the ready condvar; while parked it is counted in a
+    /// shared donation counter, and every GPU colony launch adds
+    /// `min(count, MAX_DONATED_THREADS)` host threads on top of its
+    /// device profile's `exec_threads` budget — returned the moment new
+    /// work wakes the worker. Simulator results are bit-identical at any
+    /// thread count, so placements, reports and progress streams do not
+    /// depend on donation (or the worker count); only wall-clock does.
+    pub donate_idle_threads: bool,
 }
 
 impl Default for EngineConfig {
@@ -150,6 +160,7 @@ impl Default for EngineConfig {
             trace_capacity: aco_obs::DEFAULT_TRACE_CAPACITY,
             fault_plan: None,
             health: HealthPolicy::default(),
+            donate_idle_threads: true,
         }
     }
 }
@@ -200,6 +211,13 @@ impl EngineConfig {
     /// Builder: device health thresholds.
     pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
         self.health = policy;
+        self
+    }
+
+    /// Builder: enable or disable idle-worker thread donation (see
+    /// [`EngineConfig::donate_idle_threads`]).
+    pub fn donate_idle(mut self, enabled: bool) -> Self {
+        self.donate_idle_threads = enabled;
         self
     }
 }
@@ -481,6 +499,12 @@ struct Shared {
     /// The deterministic fault injector (disabled unless the config armed
     /// a [`FaultPlan`]; disabled, every query is one `None` branch).
     injector: FaultInjector,
+    /// Workers currently parked on `ready_cv` with nothing runnable —
+    /// the idle-thread donation counter GPU launches read (see
+    /// [`EngineConfig::donate_idle_threads`]).
+    donated: Arc<AtomicUsize>,
+    /// Whether GPU bindings are handed the donation counter.
+    donate: bool,
 }
 
 /// The scheduler's own metric handles, registered once at engine
@@ -601,7 +625,13 @@ impl Shared {
                 if self.shutdown.load(Ordering::Acquire) {
                     return None;
                 }
+                // Nothing runnable anywhere: donate this thread to any
+                // in-flight GPU launch for as long as we are parked. The
+                // count is reclaimed the instant a submit wakes us, so
+                // new work never waits on a donated thread.
+                self.donated.fetch_add(1, Ordering::Relaxed);
                 ready = self.ready_cv.wait(ready).expect("ready wait");
+                self.donated.fetch_sub(1, Ordering::Relaxed);
             }
         }
         let k = self.queues.len();
@@ -813,6 +843,7 @@ fn run_attempt(
         Some(GpuBinding {
             spec: shared.pool.spec(d)?.clone(),
             exec_threads: shared.pool.profile(d)?.exec_threads,
+            donated: shared.donate.then(|| Arc::clone(&shared.donated)),
         })
     });
     if let Some(trace) = &state.trace {
@@ -1545,6 +1576,8 @@ impl Engine {
             metrics,
             injector,
             started: Instant::now(),
+            donated: Arc::new(AtomicUsize::new(0)),
+            donate: config.donate_idle_threads,
         });
         let handles = (0..workers)
             .map(|w| {

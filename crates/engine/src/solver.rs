@@ -455,18 +455,6 @@ impl SolveRequest {
         self
     }
 
-    /// Builder: 2-opt post-pass on the best tour (the pre-`LocalSearch`
-    /// API; the bool maps onto [`LocalSearch::PostPass`]). Scheduled for
-    /// removal in 0.2.0 — migrate to [`SolveRequest::local_search`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use local_search(LocalSearch::PostPass) instead; will be removed in 0.2.0"
-    )]
-    pub fn two_opt(mut self, enable: bool) -> Self {
-        self.local_search = if enable { LocalSearch::PostPass } else { LocalSearch::None };
-        self
-    }
-
     /// Builder: wall-clock budget from submission.
     pub fn timeout(mut self, budget: Duration) -> Self {
         self.timeout = Some(budget);
@@ -943,6 +931,12 @@ pub struct GpuBinding {
     pub spec: DeviceSpec,
     /// Host threads donated to block-level simulation.
     pub exec_threads: usize,
+    /// Live count of idle engine workers parked on the ready condvar
+    /// (present when `EngineConfig::donate_idle_threads` is on). The
+    /// colony adds `min(count, MAX_DONATED_THREADS)` threads to each
+    /// launch while peers are idle; simulator results are thread-count
+    /// invariant, so reports stay bit-identical either way.
+    pub donated: Option<std::sync::Arc<std::sync::atomic::AtomicUsize>>,
 }
 
 /// Build a concrete solver for a **resolved** backend (callers resolve
@@ -1048,8 +1042,11 @@ pub fn build_solver<'a>(
             })
         }
         Backend::Gpu { device, tour, pheromone } => {
-            let binding =
-                gpu.unwrap_or_else(|| GpuBinding { spec: device.spec(), exec_threads: 1 });
+            let binding = gpu.unwrap_or_else(|| GpuBinding {
+                spec: device.spec(),
+                exec_threads: 1,
+                donated: None,
+            });
             let mut sys = GpuAntSystem::with_artifacts(
                 inst,
                 params.clone(),
@@ -1060,6 +1057,9 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             sys.set_exec_threads(binding.exec_threads);
+            if let Some(donor) = binding.donated {
+                sys.set_thread_donor(donor);
+            }
             sys.set_local_search(local_search, scope);
             Box::new(GpuSolver {
                 sys,
@@ -1070,8 +1070,11 @@ pub fn build_solver<'a>(
             })
         }
         Backend::GpuAcs { device, acs } => {
-            let binding =
-                gpu.unwrap_or_else(|| GpuBinding { spec: device.spec(), exec_threads: 1 });
+            let binding = gpu.unwrap_or_else(|| GpuBinding {
+                spec: device.spec(),
+                exec_threads: 1,
+                donated: None,
+            });
             let mut sys = GpuAntColonySystem::with_artifacts(
                 inst,
                 params.clone(),
@@ -1081,6 +1084,9 @@ pub fn build_solver<'a>(
                 artifacts.c_nn,
             );
             sys.set_exec_threads(binding.exec_threads);
+            if let Some(donor) = binding.donated {
+                sys.set_thread_donor(donor);
+            }
             sys.set_local_search(local_search, scope);
             Box::new(GpuAcsSolver { sys, device: *device, acs: *acs, ms: 0.0 })
         }

@@ -1,56 +1,38 @@
-//! The simulated-device `two_opt` kernel family.
+//! Batched all-ants variants of the `two_opt` kernel family.
 //!
-//! GPU colonies run the [`crate::LocalSearch::TwoOptNn`] pass *on the
-//! device*, as the strongest GPU-ACO systems do (Skinderowicz 2016,
-//! 2020), instead of round-tripping tours to the host. One improvement
-//! **round** is four launches driven by [`run_two_opt`]:
+//! The per-ant family in [`crate::gpu`] launches four kernels per round
+//! *per ant*, so an all-ants pass costs `O(m · rounds)` launches per
+//! iteration. The paper's central lesson — and Skinderowicz's GPU-ACS —
+//! is that GPU ACO wins by restructuring work into few, wide launches.
+//! These variants process **every ant's tour in one launch per phase**
+//! (ant-major layout: one slice of position index, don't-look bits and
+//! reduction scratch per ant), driven by [`run_two_opt_all`], so an
+//! iteration costs `O(rounds)` launches no matter how many ants run.
 //!
-//! 1. [`TwoOptPosKernel`] — scatter `pos[city] = index` for the ant's
-//!    tour and refresh the θ-padding (positions `n..stride` repeat the
-//!    possibly-new start city).
-//! 2. [`TwoOptProposeKernel`] — **one proposed swap per thread**: thread
-//!    `c` scans its city's nearest-neighbour candidates in both tour
-//!    directions (distances through the texture cache, exactly like the
-//!    paper's `*Tex` tour kernels), keeps its best improving move, sets
-//!    the city's *don't-look bit* when nothing improves, and the block
-//!    reduces `(gain, city)` pairs through shared memory to a per-block
-//!    best (ties → lowest city).
-//! 3. [`TwoOptSelectKernel`] — a single block folds the per-block bests
-//!    into the chosen move of the round (same tie-break).
-//! 4. [`TwoOptApplyKernel`] — reverse the shorter side of the chosen
-//!    segment (strided swaps, disjoint pairs), subtract the gain from the
-//!    ant's device length, and clear the don't-look bits of the four
-//!    cities whose edges changed.
-//!
-//! The host reads back one word per round (the chosen gain) to decide
-//! termination — the same single-`cudaMemcpy` loop a real implementation
-//! uses.
-//!
-//! **CPU equivalence.** The family executes exactly the round algorithm
-//! of [`crate::cpu::two_opt_nn`]: identical candidate sets, identical
-//! `f32` gain expression `(removed₁ + removed₂) - (added₁ + added₂)`,
-//! identical strict-`>` scan order, identical `(gain, city)` reduction
-//! tie-break, identical shorter-side reversal and don't-look updates.
-//! On the same input tour both sides therefore produce the **same order
-//! array**, pinned by the cross-crate equivalence tests. And because
-//! every launch goes through [`aco_simt::launch_threads`], counters,
-//! modeled times and memory are bit-identical at any host `exec_threads`
-//! count.
+//! **Equivalence.** Per ant, each batched round executes exactly the
+//! per-ant round: same candidate scan, same `f32` gain expression, same
+//! `(gain, city)` reduction tie-break, same shorter-side reversal and
+//! don't-look updates. The batch keeps rounding until *no* ant proposes
+//! an improving move; an ant whose own move stream dried up has every
+//! city asleep, so the extra rounds are exact no-ops for it. Tours are
+//! therefore bit-identical to running [`crate::gpu::run_two_opt`] (or
+//! the CPU rounds) ant by ant — pinned by the tests below and the
+//! cross-crate suite.
 
 use aco_simt::prelude::*;
 use aco_simt::SimtError;
 
-/// Threads per block for every kernel of the family.
-pub const LS_BLOCK: u32 = 128;
+use crate::gpu::{block_reduce_best, TwoOptRun, LS_BLOCK};
 
-/// Device state of the 2-opt family: the colony buffers it reads
-/// (distances, tours, lengths, candidate lists) plus the family's own
-/// scratch (position index, don't-look bits, reduction buffers).
-/// `Copy` so kernels capture it like `ColonyBuffers`.
+/// Device state of the batched family: the colony buffers it reads plus
+/// per-ant slices of the 2-opt scratch. `Copy` so kernels capture it
+/// like `ColonyBuffers`.
 #[derive(Debug, Clone, Copy)]
-pub struct TwoOptDev {
+pub struct TwoOptBatchDev {
     /// Cities.
     pub n: u32,
+    /// Ant count (tour rows).
+    pub ants: u32,
     /// Candidate-list depth.
     pub nn: u32,
     /// Row stride of the per-ant tour array.
@@ -63,34 +45,36 @@ pub struct TwoOptDev {
     pub lengths: DevicePtr<f32>,
     /// `n x nn` nearest-neighbour lists.
     pub nn_list: DevicePtr<u32>,
-    /// `n` positions: `pos[city] = index` in the current order.
+    /// `m x n` positions: `pos[ant*n + city] = index` in the ant's order.
     pub pos: DevicePtr<u32>,
-    /// `n` don't-look bits (0 = awake).
+    /// `m x n` don't-look bits (0 = awake).
     pub dont_look: DevicePtr<u32>,
-    /// Per-block best gain (`grid` entries).
+    /// Per-block best gain (`m x pgrid` entries, ant-major).
     pub block_gain: DevicePtr<f32>,
-    /// Per-block best move `a` (reverse starts after `a`).
+    /// Per-block best move `a`.
     pub block_a: DevicePtr<u32>,
-    /// Per-block best move `b` (reverse ends at `b`).
+    /// Per-block best move `b`.
     pub block_b: DevicePtr<u32>,
     /// Per-block proposing city (the reduction tie-break key).
     pub block_city: DevicePtr<u32>,
-    /// The round's chosen gain (1 entry; the host's termination read).
+    /// Each ant's chosen gain this round (`m` entries; the host's
+    /// termination read).
     pub chosen_gain: DevicePtr<f32>,
-    /// The round's chosen `a` (1 entry).
+    /// Each ant's chosen `a`.
     pub chosen_a: DevicePtr<u32>,
-    /// The round's chosen `b` (1 entry).
+    /// Each ant's chosen `b`.
     pub chosen_b: DevicePtr<u32>,
 }
 
-impl TwoOptDev {
-    /// Allocate the family's scratch next to an existing colony's
-    /// buffers (distances / tours / lengths / candidate lists are
-    /// borrowed from the colony, not copied).
+impl TwoOptBatchDev {
+    /// Allocate the batched scratch next to an existing colony's buffers
+    /// (distances / tours / lengths / candidate lists are borrowed from
+    /// the colony, not copied).
     #[allow(clippy::too_many_arguments)]
     pub fn allocate(
         gm: &mut GlobalMem,
         n: u32,
+        ants: u32,
         nn: u32,
         stride: u32,
         dist: DevicePtr<f32>,
@@ -98,67 +82,81 @@ impl TwoOptDev {
         lengths: DevicePtr<f32>,
         nn_list: DevicePtr<u32>,
     ) -> Self {
-        let grid = n.div_ceil(LS_BLOCK) as usize;
-        TwoOptDev {
+        let pgrid = n.div_ceil(LS_BLOCK) as usize;
+        let m = ants as usize;
+        TwoOptBatchDev {
             n,
+            ants,
             nn,
             stride,
             dist,
             tours,
             lengths,
             nn_list,
-            pos: gm.alloc_u32(n as usize),
-            dont_look: gm.alloc_u32(n as usize),
-            block_gain: gm.alloc_f32(grid),
-            block_a: gm.alloc_u32(grid),
-            block_b: gm.alloc_u32(grid),
-            block_city: gm.alloc_u32(grid),
-            chosen_gain: gm.alloc_f32(1),
-            chosen_a: gm.alloc_u32(1),
-            chosen_b: gm.alloc_u32(1),
+            pos: gm.alloc_u32(m * n as usize),
+            dont_look: gm.alloc_u32(m * n as usize),
+            block_gain: gm.alloc_f32(m * pgrid),
+            block_a: gm.alloc_u32(m * pgrid),
+            block_b: gm.alloc_u32(m * pgrid),
+            block_city: gm.alloc_u32(m * pgrid),
+            chosen_gain: gm.alloc_f32(m),
+            chosen_a: gm.alloc_u32(m),
+            chosen_b: gm.alloc_u32(m),
         }
     }
 
-    /// Blocks of the propose grid (one thread per city).
-    pub fn grid(&self) -> u32 {
+    /// Propose blocks per ant (one thread per city).
+    pub fn pgrid(&self) -> u32 {
         self.n.div_ceil(LS_BLOCK)
     }
-}
 
-/// Position scatter + padding refresh for one ant's tour row.
-pub struct TwoOptPosKernel {
-    /// Family buffers.
-    pub bufs: TwoOptDev,
-    /// The ant whose row is being improved.
-    pub ant: u32,
-}
-
-impl TwoOptPosKernel {
-    /// One thread per padded tour cell.
-    pub fn config(&self) -> LaunchConfig {
-        LaunchConfig::new(self.bufs.stride.div_ceil(LS_BLOCK), LS_BLOCK).regs(10)
+    /// Position-scatter blocks per ant (one thread per padded cell).
+    fn posgrid(&self) -> u32 {
+        self.stride.div_ceil(LS_BLOCK)
     }
 }
 
-impl Kernel for TwoOptPosKernel {
+/// Position scatter + padding refresh for **every** ant's tour row in
+/// one launch: blocks are ant-major, `posgrid` blocks per ant.
+pub struct TwoOptPosAllKernel {
+    /// Family buffers.
+    pub bufs: TwoOptBatchDev,
+}
+
+impl TwoOptPosAllKernel {
+    /// One thread per padded tour cell, all ants.
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::new(self.bufs.ants * self.bufs.posgrid(), LS_BLOCK).regs(10)
+    }
+}
+
+impl Kernel for TwoOptPosAllKernel {
     fn name(&self) -> &'static str {
-        "two_opt_pos"
+        "two_opt_pos_all"
     }
 
     fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
         let n = self.bufs.n;
-        let base = self.ant * self.bufs.stride;
-        let idx = ctx.global_thread_idx();
+        let per_ant = self.bufs.posgrid();
+        let ant = ctx.block_idx / per_ant;
+        let blk = ctx.block_idx % per_ant;
+        let base = ant * self.bufs.stride;
+        let row = ant * n; // this ant's pos slice
+        let off = ctx.splat_u32(blk * LS_BLOCK);
+        let lane = ctx.thread_idx();
+        let idx = ctx.iadd(&off, &lane);
         let n_reg = ctx.splat_u32(n);
         let in_n = ctx.ult(&idx, &n_reg);
         let base_reg = ctx.splat_u32(base);
+        let row_reg = ctx.splat_u32(row);
         let g_idx = ctx.iadd(&base_reg, &idx);
         ctx.if_then(gm, &in_n, |ctx, gm| {
             let city = ctx.ld_global_u32(gm, self.bufs.tours, &g_idx);
-            ctx.st_global_u32(gm, self.bufs.pos, &city, &idx);
+            let p_idx = ctx.iadd(&row_reg, &city);
+            ctx.st_global_u32(gm, self.bufs.pos, &p_idx, &idx);
         });
-        // Padding cells repeat the (possibly new) start city, so the
-        // pheromone kernels keep seeing their harmless diagonal edges.
+        // Padding cells repeat the (possibly new) start city, exactly as
+        // the per-ant kernel does.
         let stride_reg = ctx.splat_u32(self.bufs.stride);
         let in_pad = ctx.ult(&idx, &stride_reg).and(&in_n.not());
         ctx.if_then(gm, &in_pad, |ctx, gm| {
@@ -169,37 +167,45 @@ impl Kernel for TwoOptPosKernel {
     }
 }
 
-/// Per-city move proposal + per-block best-improvement reduction.
-pub struct TwoOptProposeKernel {
+/// Per-city move proposal + per-block best-improvement reduction for
+/// every ant in one launch (`pgrid` blocks per ant, ant-major).
+pub struct TwoOptProposeAllKernel {
     /// Family buffers.
-    pub bufs: TwoOptDev,
-    /// The ant whose row is being improved.
-    pub ant: u32,
+    pub bufs: TwoOptBatchDev,
 }
 
-impl TwoOptProposeKernel {
-    /// One thread per city; shared memory holds the four reduction
-    /// arrays (gain, a, b, proposing city).
+impl TwoOptProposeAllKernel {
+    /// One thread per city per ant; shared memory holds the four
+    /// reduction arrays (gain, a, b, proposing city).
     pub fn config(&self) -> LaunchConfig {
-        LaunchConfig::new(self.bufs.grid(), LS_BLOCK).regs(30).shared(4 * LS_BLOCK * 4)
+        LaunchConfig::new(self.bufs.ants * self.bufs.pgrid(), LS_BLOCK)
+            .regs(30)
+            .shared(4 * LS_BLOCK * 4)
     }
 }
 
-impl Kernel for TwoOptProposeKernel {
+impl Kernel for TwoOptProposeAllKernel {
     fn name(&self) -> &'static str {
-        "two_opt_propose"
+        "two_opt_propose_all"
     }
 
     fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
         let n = self.bufs.n;
         let nn = self.bufs.nn;
-        let base = self.ant * self.bufs.stride;
-        let tid = ctx.global_thread_idx();
+        let per_ant = self.bufs.pgrid();
+        let ant = ctx.block_idx / per_ant;
+        let blk = ctx.block_idx % per_ant;
+        let base = ant * self.bufs.stride;
+        let prow = ant * n; // this ant's pos / don't-look slice
+        let off = ctx.splat_u32(blk * LS_BLOCK);
+        let lane = ctx.thread_idx();
+        let tid = ctx.iadd(&off, &lane);
         let n_reg = ctx.splat_u32(n);
         let zero_f = ctx.splat_f32(0.0);
         let zero_u = ctx.splat_u32(0);
         let one_u = ctx.splat_u32(1);
         let base_reg = ctx.splat_u32(base);
+        let prow_reg = ctx.splat_u32(prow);
         let nm1 = ctx.splat_u32(n - 1);
 
         // Per-lane best move; lanes out of range or asleep keep the
@@ -210,12 +216,14 @@ impl Kernel for TwoOptProposeKernel {
 
         let in_range = ctx.ult(&tid, &n_reg);
         ctx.if_then(gm, &in_range, |ctx, gm| {
-            let look = ctx.ld_global_u32(gm, self.bufs.dont_look, &tid);
+            let dl_idx = ctx.iadd(&prow_reg, &tid);
+            let look = ctx.ld_global_u32(gm, self.bufs.dont_look, &dl_idx);
             let awake = ctx.ueq(&look, &zero_u);
             ctx.branch(&awake);
             ctx.with_mask(gm, &awake, |ctx, gm| {
                 // succ(c) / pred(c) positions via the scattered index.
-                let my_pos = ctx.ld_global_u32(gm, self.bufs.pos, &tid);
+                let mp_idx = ctx.iadd(&prow_reg, &tid);
+                let my_pos = ctx.ld_global_u32(gm, self.bufs.pos, &mp_idx);
                 let p_plus = ctx.iadd(&my_pos, &one_u);
                 let wrap_s = ctx.ueq(&p_plus, &n_reg);
                 let sp = ctx.select_u32(&wrap_s, &zero_u, &p_plus);
@@ -239,22 +247,16 @@ impl Kernel for TwoOptProposeKernel {
                 let p1_idx = ctx.iadd(&p1_row, &tid);
                 let d1p = ctx.ld_tex_f32(gm, self.bufs.dist, &p1_idx);
 
-                // Scan order matters for exact CPU equivalence: ALL
-                // forward moves first, then all backward moves — the
-                // order `cpu::best_move_for_city` evaluates — so a
-                // forward/backward move with exactly equal f32 gain
-                // resolves to the same winner on both sides (strict `>`
-                // keeps the earlier candidate).
+                // Forward moves first, then backward — the scan order of
+                // `cpu::best_move_for_city`, kept for exact equivalence.
                 for k in 0..nn {
-                    // Forward move: remove (c1, s1) and (c2, s2), add
-                    // (c1, c2) and (s1, s2) — reverse after a = c1 up to
-                    // b = c2.
                     let k_reg = ctx.splat_u32(k);
                     let l_idx = ctx.iadd(&nn_row, &k_reg);
                     let c2 = ctx.ld_global_u32(gm, self.bufs.nn_list, &l_idx);
                     let cc_idx = ctx.iadd(&row, &c2);
                     let dcc = ctx.ld_tex_f32(gm, self.bufs.dist, &cc_idx);
-                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2);
+                    let c2p_idx = ctx.iadd(&prow_reg, &c2);
+                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2p_idx);
                     let c2p1 = ctx.iadd(&c2_pos, &one_u);
                     let wrap = ctx.ueq(&c2p1, &n_reg);
                     let sp2 = ctx.select_u32(&wrap, &zero_u, &c2p1);
@@ -283,15 +285,13 @@ impl Kernel for TwoOptProposeKernel {
                 }
 
                 for k in 0..nn {
-                    // Backward move: remove (p1, c1) and (p2, c2), add
-                    // (c1, c2) and (p1, p2) — reverse after a = p1 up to
-                    // b = p2.
                     let k_reg = ctx.splat_u32(k);
                     let l_idx = ctx.iadd(&nn_row, &k_reg);
                     let c2 = ctx.ld_global_u32(gm, self.bufs.nn_list, &l_idx);
                     let cc_idx = ctx.iadd(&row, &c2);
                     let dcc = ctx.ld_tex_f32(gm, self.bufs.dist, &cc_idx);
-                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2);
+                    let c2p_idx = ctx.iadd(&prow_reg, &c2);
+                    let c2_pos = ctx.ld_global_u32(gm, self.bufs.pos, &c2p_idx);
                     let wrap = ctx.ueq(&c2_pos, &zero_u);
                     let c2m1 = ctx.isub(&c2_pos, &one_u);
                     let ppos2 = ctx.select_u32(&wrap, &nm1, &c2m1);
@@ -323,7 +323,7 @@ impl Kernel for TwoOptProposeKernel {
                 // neighbouring edge changes.
                 let stale = ctx.fle(&best_g, &zero_f);
                 ctx.if_then(gm, &stale, |ctx, gm| {
-                    ctx.st_global_u32(gm, self.bufs.dont_look, &tid, &one_u);
+                    ctx.st_global_u32(gm, self.bufs.dont_look, &dl_idx, &one_u);
                 });
             });
         });
@@ -334,104 +334,40 @@ impl Kernel for TwoOptProposeKernel {
         let max_u = ctx.splat_u32(u32::MAX);
         let best_city = ctx.select_u32(&improved, &tid, &max_u);
 
+        let entry = ant * per_ant + blk;
         block_reduce_best(ctx, gm, &best_g, &best_a, &best_b, &best_city, |ctx, gm, g, a, b, c| {
-            let bidx = ctx.splat_u32(ctx.block_idx);
-            ctx.st_global_f32(gm, self.bufs.block_gain, &bidx, g);
-            ctx.st_global_u32(gm, self.bufs.block_a, &bidx, a);
-            ctx.st_global_u32(gm, self.bufs.block_b, &bidx, b);
-            ctx.st_global_u32(gm, self.bufs.block_city, &bidx, c);
+            let eidx = ctx.splat_u32(entry);
+            ctx.st_global_f32(gm, self.bufs.block_gain, &eidx, g);
+            ctx.st_global_u32(gm, self.bufs.block_a, &eidx, a);
+            ctx.st_global_u32(gm, self.bufs.block_b, &eidx, b);
+            ctx.st_global_u32(gm, self.bufs.block_city, &eidx, c);
         });
     }
 }
 
-/// Shared-memory tree reduction of `(gain, a, b, city)` down to lane 0,
-/// preferring higher gain, then lower proposing city — the block-level
-/// half of the family's canonical move order. `emit` runs under the
-/// lane-0 mask with the winning values. Shared with the batched
-/// all-ants variants in [`crate::gpu_batch`].
-pub(crate) fn block_reduce_best(
-    ctx: &mut BlockCtx,
-    gm: &mut GlobalMem,
-    best_g: &Reg<f32>,
-    best_a: &Reg<u32>,
-    best_b: &Reg<u32>,
-    best_city: &Reg<u32>,
-    emit: impl FnOnce(&mut BlockCtx, &mut GlobalMem, &Reg<f32>, &Reg<u32>, &Reg<u32>, &Reg<u32>),
-) {
-    let lane = ctx.thread_idx();
-    let s_g = ctx.shared_alloc_f32(LS_BLOCK as usize);
-    let s_a = ctx.shared_alloc_u32(LS_BLOCK as usize);
-    let s_b = ctx.shared_alloc_u32(LS_BLOCK as usize);
-    let s_c = ctx.shared_alloc_u32(LS_BLOCK as usize);
-    ctx.sh_st_f32(s_g, &lane, best_g);
-    ctx.sh_st_u32(s_a, &lane, best_a);
-    ctx.sh_st_u32(s_b, &lane, best_b);
-    ctx.sh_st_u32(s_c, &lane, best_city);
-    ctx.sync_threads();
-    let mut off = LS_BLOCK / 2;
-    while off >= 1 {
-        let off_reg = ctx.splat_u32(off);
-        let low = ctx.ult(&lane, &off_reg);
-        ctx.branch(&low);
-        ctx.with_mask(gm, &low, |ctx, _gm| {
-            let other = ctx.iadd(&lane, &off_reg);
-            let g1 = ctx.sh_ld_f32(s_g, &lane);
-            let g2 = ctx.sh_ld_f32(s_g, &other);
-            let c1 = ctx.sh_ld_u32(s_c, &lane);
-            let c2 = ctx.sh_ld_u32(s_c, &other);
-            let gt = ctx.fgt(&g2, &g1);
-            let ge = ctx.fge(&g2, &g1);
-            let le = ctx.fle(&g2, &g1);
-            let eq = ge.and(&le);
-            let lower = ctx.ult(&c2, &c1);
-            let better = gt.or(&eq.and(&lower));
-            let a1 = ctx.sh_ld_u32(s_a, &lane);
-            let a2 = ctx.sh_ld_u32(s_a, &other);
-            let b1 = ctx.sh_ld_u32(s_b, &lane);
-            let b2 = ctx.sh_ld_u32(s_b, &other);
-            let ng = ctx.select_f32(&better, &g2, &g1);
-            let na = ctx.select_u32(&better, &a2, &a1);
-            let nb = ctx.select_u32(&better, &b2, &b1);
-            let nc = ctx.select_u32(&better, &c2, &c1);
-            ctx.sh_st_f32(s_g, &lane, &ng);
-            ctx.sh_st_u32(s_a, &lane, &na);
-            ctx.sh_st_u32(s_b, &lane, &nb);
-            ctx.sh_st_u32(s_c, &lane, &nc);
-        });
-        ctx.sync_threads();
-        off /= 2;
-    }
-    let lane0 = ctx.lane_mask(0);
-    ctx.if_then(gm, &lane0, |ctx, gm| {
-        let zero = ctx.splat_u32(0);
-        let g = ctx.sh_ld_f32(s_g, &zero);
-        let a = ctx.sh_ld_u32(s_a, &zero);
-        let b = ctx.sh_ld_u32(s_b, &zero);
-        let c = ctx.sh_ld_u32(s_c, &zero);
-        emit(ctx, gm, &g, &a, &b, &c);
-    });
-}
-
-/// Fold the per-block bests into the round's chosen move.
-pub struct TwoOptSelectKernel {
+/// Fold each ant's per-block bests into its chosen move — one block per
+/// ant, all ants in one launch.
+pub struct TwoOptSelectAllKernel {
     /// Family buffers.
-    pub bufs: TwoOptDev,
+    pub bufs: TwoOptBatchDev,
 }
 
-impl TwoOptSelectKernel {
-    /// One block; threads stride over the per-block entries.
+impl TwoOptSelectAllKernel {
+    /// One block per ant; threads stride over the ant's entries.
     pub fn config(&self) -> LaunchConfig {
-        LaunchConfig::new(1, LS_BLOCK).regs(18).shared(4 * LS_BLOCK * 4)
+        LaunchConfig::new(self.bufs.ants, LS_BLOCK).regs(18).shared(4 * LS_BLOCK * 4)
     }
 }
 
-impl Kernel for TwoOptSelectKernel {
+impl Kernel for TwoOptSelectAllKernel {
     fn name(&self) -> &'static str {
-        "two_opt_select"
+        "two_opt_select_all"
     }
 
     fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
-        let entries = self.bufs.grid();
+        let entries = self.bufs.pgrid();
+        let ant = ctx.block_idx;
+        let ebase = ctx.splat_u32(ant * entries);
         let lane = ctx.thread_idx();
         let e_reg = ctx.splat_u32(entries);
         let step = ctx.splat_u32(LS_BLOCK);
@@ -445,10 +381,11 @@ impl Kernel for TwoOptSelectKernel {
             let in_range = ctx.ult(&idx, &e_reg);
             ctx.branch(&in_range);
             ctx.with_mask(gm, &in_range, |ctx, gm| {
-                let g2 = ctx.ld_global_f32(gm, self.bufs.block_gain, &idx);
-                let c2 = ctx.ld_global_u32(gm, self.bufs.block_city, &idx);
-                let a2 = ctx.ld_global_u32(gm, self.bufs.block_a, &idx);
-                let b2 = ctx.ld_global_u32(gm, self.bufs.block_b, &idx);
+                let g_idx = ctx.iadd(&ebase, &idx);
+                let g2 = ctx.ld_global_f32(gm, self.bufs.block_gain, &g_idx);
+                let c2 = ctx.ld_global_u32(gm, self.bufs.block_city, &g_idx);
+                let a2 = ctx.ld_global_u32(gm, self.bufs.block_a, &g_idx);
+                let b2 = ctx.ld_global_u32(gm, self.bufs.block_b, &g_idx);
                 let gt = ctx.fgt(&g2, &fold_g);
                 let ge = ctx.fge(&g2, &fold_g);
                 let le = ctx.fle(&g2, &fold_g);
@@ -467,50 +404,63 @@ impl Kernel for TwoOptSelectKernel {
             idx = ctx.iadd(&idx, &step);
         }
         block_reduce_best(ctx, gm, &fold_g, &fold_a, &fold_b, &fold_c, |ctx, gm, g, a, b, _c| {
-            let zero = ctx.splat_u32(0);
-            ctx.st_global_f32(gm, self.bufs.chosen_gain, &zero, g);
-            ctx.st_global_u32(gm, self.bufs.chosen_a, &zero, a);
-            ctx.st_global_u32(gm, self.bufs.chosen_b, &zero, b);
+            let aidx = ctx.splat_u32(ant);
+            ctx.st_global_f32(gm, self.bufs.chosen_gain, &aidx, g);
+            ctx.st_global_u32(gm, self.bufs.chosen_a, &aidx, a);
+            ctx.st_global_u32(gm, self.bufs.chosen_b, &aidx, b);
         });
     }
 }
 
-/// Apply the round's chosen move to the ant's tour row.
-pub struct TwoOptApplyKernel {
+/// Apply each ant's chosen move — one block per ant, all ants in one
+/// launch. Blocks write only their own ant's rows (tours, don't-look,
+/// length), so the launch satisfies the execution-model rule. An ant
+/// whose round found no improving move (chosen gain ≤ 0) is an exact
+/// no-op: its swap span is forced to zero and its wake/length section
+/// is masked off.
+pub struct TwoOptApplyAllKernel {
     /// Family buffers.
-    pub bufs: TwoOptDev,
-    /// The ant whose row is being improved.
-    pub ant: u32,
+    pub bufs: TwoOptBatchDev,
 }
 
-impl TwoOptApplyKernel {
-    /// One block; threads stride over the (disjoint) swap pairs.
+impl TwoOptApplyAllKernel {
+    /// One block per ant; threads stride over the (disjoint) swap pairs.
     pub fn config(&self) -> LaunchConfig {
-        LaunchConfig::new(1, LS_BLOCK).regs(22)
+        LaunchConfig::new(self.bufs.ants, LS_BLOCK).regs(22)
     }
 }
 
-impl Kernel for TwoOptApplyKernel {
+impl Kernel for TwoOptApplyAllKernel {
     fn name(&self) -> &'static str {
-        "two_opt_apply"
+        "two_opt_apply_all"
     }
 
     fn run_block(&self, ctx: &mut BlockCtx, gm: &mut GlobalMem) {
         let n = self.bufs.n;
-        let base = self.ant * self.bufs.stride;
+        let ant = ctx.block_idx;
+        let base = ant * self.bufs.stride;
+        let prow = ant * n;
         let zero_u = ctx.splat_u32(0);
+        let zero_f = ctx.splat_f32(0.0);
         let one_u = ctx.splat_u32(1);
         let n_reg = ctx.splat_u32(n);
         let base_reg = ctx.splat_u32(base);
+        let prow_reg = ctx.splat_u32(prow);
+        let ant_reg = ctx.splat_u32(ant);
 
-        // The chosen move (uniform broadcast loads), and everything that
-        // must be read *before* any cell moves: the removed edges'
-        // successor cities and the two segment boundaries.
-        let gain = ctx.ld_global_f32(gm, self.bufs.chosen_gain, &zero_u);
-        let a = ctx.ld_global_u32(gm, self.bufs.chosen_a, &zero_u);
-        let b = ctx.ld_global_u32(gm, self.bufs.chosen_b, &zero_u);
-        let pa = ctx.ld_global_u32(gm, self.bufs.pos, &a);
-        let pb = ctx.ld_global_u32(gm, self.bufs.pos, &b);
+        // The ant's chosen move (uniform broadcast loads), and everything
+        // that must be read *before* any cell moves. A non-improving ant
+        // holds the select fold's defaults (gain 0, a = b = 0), so the
+        // reads below stay in range and the move is neutralised by the
+        // `active` mask.
+        let gain = ctx.ld_global_f32(gm, self.bufs.chosen_gain, &ant_reg);
+        let active = ctx.fgt(&gain, &zero_f);
+        let a = ctx.ld_global_u32(gm, self.bufs.chosen_a, &ant_reg);
+        let b = ctx.ld_global_u32(gm, self.bufs.chosen_b, &ant_reg);
+        let pa_idx = ctx.iadd(&prow_reg, &a);
+        let pa = ctx.ld_global_u32(gm, self.bufs.pos, &pa_idx);
+        let pb_idx = ctx.iadd(&prow_reg, &b);
+        let pb = ctx.ld_global_u32(gm, self.bufs.pos, &pb_idx);
         let pa1 = ctx.iadd(&pa, &one_u);
         let wrap_a = ctx.ueq(&pa1, &n_reg);
         let spa = ctx.select_u32(&wrap_a, &zero_u, &pa1);
@@ -522,9 +472,7 @@ impl Kernel for TwoOptApplyKernel {
         let spb_g = ctx.iadd(&base_reg, &spb);
         let sb = ctx.ld_global_u32(gm, self.bufs.tours, &spb_g);
 
-        // Shorter-side selection: inner = (pb - pa) mod n; reverse the
-        // inner segment succ(a)..b when 2*inner <= n, else the
-        // complement succ(b)..a — the same rule as the CPU pass.
+        // Shorter-side selection, as in the per-ant apply.
         let pbn = ctx.iadd(&pb, &n_reg);
         let diff = ctx.isub(&pbn, &pa);
         let over = ctx.ule(&n_reg, &diff);
@@ -541,11 +489,12 @@ impl Kernel for TwoOptApplyKernel {
         let span_w = ctx.isub(&span, &n_reg);
         let seg_m1 = ctx.select_u32(&span_over, &span_w, &span);
         let seg = ctx.iadd(&seg_m1, &one_u);
-        let half = ctx.ishr(&seg, &one_u);
+        let half_raw = ctx.ishr(&seg, &one_u);
+        // Inactive ants swap nothing: zero-length span.
+        let half = ctx.select_u32(&active, &half_raw, &zero_u);
 
-        // Strided swap loop: pair t swaps positions (i0 + t) and
-        // (j0 - t); pairs are disjoint, and all boundary reads above
-        // happened before the first store.
+        // Strided swap loop over this ant's row only (disjoint pairs; all
+        // boundary reads above happened before the first store).
         let mut t = ctx.thread_idx();
         let step = ctx.splat_u32(LS_BLOCK);
         ctx.loop_while(gm, |ctx, gm| {
@@ -570,14 +519,14 @@ impl Kernel for TwoOptApplyKernel {
             cont
         });
 
-        // Lane 0: wake the four cities whose edges changed and settle
-        // the ant's device-side length.
-        let lane0 = ctx.lane_mask(0);
+        // Lane 0 of an active ant: wake the four cities whose edges
+        // changed and settle the ant's device-side length.
+        let lane0 = ctx.lane_mask(0).and(&active);
         ctx.if_then(gm, &lane0, |ctx, gm| {
             for city in [&a, &sa, &b, &sb] {
-                ctx.st_global_u32(gm, self.bufs.dont_look, city, &zero_u);
+                let dl_idx = ctx.iadd(&prow_reg, city);
+                ctx.st_global_u32(gm, self.bufs.dont_look, &dl_idx, &zero_u);
             }
-            let ant_reg = ctx.splat_u32(self.ant);
             let len = ctx.ld_global_f32(gm, self.bufs.lengths, &ant_reg);
             let new_len = ctx.fsub(&len, &gain);
             ctx.st_global_f32(gm, self.bufs.lengths, &ant_reg, &new_len);
@@ -585,82 +534,69 @@ impl Kernel for TwoOptApplyKernel {
     }
 }
 
-/// Outcome of one device 2-opt pass over a single ant's tour.
-#[derive(Debug, Clone)]
-pub struct TwoOptRun {
-    /// Proposal rounds executed (the final round finds no move).
-    pub rounds: u32,
-    /// Improving moves applied.
-    pub moves: u32,
-    /// Total modeled milliseconds across every launch of the pass.
-    pub ms: f64,
-    /// Merged counters of every launch.
-    pub stats: KernelStats,
-}
-
-/// Run the 2-opt kernel family on `ant`'s tour row until no candidate
-/// move improves it. Each round launches position-scatter, propose,
-/// select and (when a move was found) apply; the host reads back one
-/// gain word per round. Launches execute across up to `threads` host
-/// threads with bit-identical results at any count.
-pub fn run_two_opt(
+/// Run the batched 2-opt family over **every** ant's tour row until no
+/// ant proposes an improving move. Each round is one launch per phase —
+/// position-scatter, propose, select and (when any ant found a move)
+/// apply — so the pass costs `O(rounds)` launches independent of the
+/// ant count. The host reads back `m` gain words per round. Results are
+/// bit-identical to running [`crate::gpu::run_two_opt`] ant by ant, at
+/// any host `threads` count.
+pub fn run_two_opt_all(
     dev: &DeviceSpec,
     gm: &mut GlobalMem,
-    bufs: TwoOptDev,
-    ant: u32,
+    bufs: TwoOptBatchDev,
     threads: usize,
 ) -> Result<TwoOptRun, SimtError> {
-    // cudaMemset of the don't-look bits: a pass starts with every city
-    // awake.
+    // cudaMemset of every ant's don't-look bits: all cities awake.
     gm.u32_mut(bufs.dont_look).fill(0);
     let mut ms = 0.0;
     let mut stats = KernelStats::for_sms(dev.sm_count as usize);
     let mut rounds = 0u32;
     let mut moves = 0u32;
     loop {
-        let pk = TwoOptPosKernel { bufs, ant };
+        let pk = TwoOptPosAllKernel { bufs };
         let r = launch_threads(dev, &pk.config(), &pk, gm, SimMode::Full, threads)?;
         ms += r.time.total_ms;
         stats.merge(&r.stats);
-        let prk = TwoOptProposeKernel { bufs, ant };
+        let prk = TwoOptProposeAllKernel { bufs };
         let r = launch_threads(dev, &prk.config(), &prk, gm, SimMode::Full, threads)?;
         ms += r.time.total_ms;
         stats.merge(&r.stats);
-        let sk = TwoOptSelectKernel { bufs };
+        let sk = TwoOptSelectAllKernel { bufs };
         let r = launch_threads(dev, &sk.config(), &sk, gm, SimMode::Full, threads)?;
         ms += r.time.total_ms;
         stats.merge(&r.stats);
         rounds += 1;
-        if gm.f32(bufs.chosen_gain)[0] <= 0.0 {
+        let improving = gm.f32(bufs.chosen_gain).iter().filter(|&&g| g > 0.0).count() as u32;
+        if improving == 0 {
             break;
         }
-        let ak = TwoOptApplyKernel { bufs, ant };
+        let ak = TwoOptApplyAllKernel { bufs };
         let r = launch_threads(dev, &ak.config(), &ak, gm, SimMode::Full, threads)?;
         ms += r.time.total_ms;
         stats.merge(&r.stats);
-        moves += 1;
+        moves += improving;
     }
     Ok(TwoOptRun { rounds, moves, ms, stats })
 }
 
-/// Price one proposal round (position-scatter + propose + select) at the
-/// given fidelity without mutating the tour — the engine's cost model
-/// uses this to fold the per-iteration local-search kernel into backend
-/// selection. Deterministic in the inputs.
-pub fn probe_round_ms(
+/// Price one batched proposal round (position-scatter + propose +
+/// select over all ants) at the given fidelity without mutating any
+/// tour — the engine's cost model prices all-ants local search off this
+/// instead of `m ×` the per-ant round. Deterministic in the inputs.
+pub fn probe_all_round_ms(
     dev: &DeviceSpec,
     gm: &mut GlobalMem,
-    bufs: TwoOptDev,
-    ant: u32,
+    bufs: TwoOptBatchDev,
     mode: SimMode,
 ) -> Result<f64, SimtError> {
     gm.u32_mut(bufs.dont_look).fill(0);
     let mut ms = 0.0;
-    let pk = TwoOptPosKernel { bufs, ant };
+    let pk = TwoOptPosAllKernel { bufs };
     ms += launch_threads(dev, &pk.config(), &pk, gm, mode, 1)?.time.total_ms;
-    let prk = TwoOptProposeKernel { bufs, ant };
+    let prk = TwoOptProposeAllKernel { bufs };
     ms += launch_threads(dev, &prk.config(), &prk, gm, mode, 1)?.time.total_ms;
-    let sk = TwoOptSelectKernel { bufs };
+    let sk = TwoOptSelectAllKernel { bufs };
     ms += launch_threads(dev, &sk.config(), &sk, gm, mode, 1)?.time.total_ms;
     Ok(ms)
 }
@@ -672,14 +608,13 @@ mod tests {
     use aco_tsp::{uniform_random, NearestNeighborLists, Tour, TspInstance};
     use rand::SeedableRng;
 
-    /// Minimal device setup mirroring a colony's buffers: distances,
-    /// one-ant tour row (padded), length, candidate lists.
+    /// Device setup mirroring a colony's buffers for `m` ant rows.
     fn device_setup(
         inst: &TspInstance,
         nn: &NearestNeighborLists,
         tours: &[Tour],
         stride: u32,
-    ) -> (GlobalMem, TwoOptDev) {
+    ) -> (GlobalMem, TwoOptBatchDev) {
         let n = inst.n();
         let mut gm = GlobalMem::new();
         let dist = gm.alloc_f32(n * n);
@@ -701,9 +636,10 @@ mod tests {
         gm.write_f32(lengths, &lens);
         let nn_buf = gm.alloc_u32(n * nn.depth());
         gm.write_u32(nn_buf, nn.as_flat());
-        let bufs = TwoOptDev::allocate(
+        let bufs = TwoOptBatchDev::allocate(
             &mut gm,
             n as u32,
+            tours.len() as u32,
             nn.depth() as u32,
             stride,
             dist,
@@ -714,86 +650,89 @@ mod tests {
         (gm, bufs)
     }
 
+    fn random_tours(n: usize, m: usize, seed: u64) -> Vec<Tour> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..m).map(|_| Tour::random(n, &mut rng)).collect()
+    }
+
     #[test]
-    fn kernel_family_matches_cpu_two_opt_nn_exactly() {
-        for (n, seed, depth) in [(32usize, 7u64, 8usize), (61, 21, 12), (96, 3, 16)] {
-            let inst = uniform_random("ls-gpu", n, 1000.0, seed);
+    fn batched_family_matches_cpu_rounds_per_ant_exactly() {
+        for (n, seed, depth, m) in
+            [(32usize, 7u64, 8usize, 4usize), (61, 21, 12, 6), (96, 3, 16, 3)]
+        {
+            let inst = uniform_random("ls-batch", n, 1000.0, seed);
             let nn = NearestNeighborLists::build(inst.matrix(), depth).unwrap();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA5);
-            let tour = Tour::random(n, &mut rng);
+            let tours = random_tours(n, m, seed ^ 0xA5);
             let stride = ((n + 1) as u32).next_multiple_of(256);
-            let (mut gm, bufs) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
+            let (mut gm, bufs) = device_setup(&inst, &nn, &tours, stride);
 
-            let run = run_two_opt(&DeviceSpec::tesla_m2050(), &mut gm, bufs, 0, 1).unwrap();
-            let device_order = gm.u32(bufs.tours)[..n].to_vec();
+            let run = run_two_opt_all(&DeviceSpec::tesla_m2050(), &mut gm, bufs, 1).unwrap();
 
-            let mut host = tour.clone();
-            let mut scratch = LsScratch::new();
-            let moves = two_opt_nn(&mut host, inst.matrix(), &nn, &mut scratch);
-
-            assert_eq!(
-                device_order,
-                host.order().to_vec(),
-                "n={n} seed={seed}: device and host tours must be identical"
-            );
-            assert_eq!(run.moves as usize, moves, "n={n}: same move count");
-            assert!(run.moves > 0, "a random tour on {n} cities must improve");
-            // The device-side f32 length tracks the exact improvement.
-            let exact = host.length(inst.matrix()) as f32;
-            let dev_len = gm.f32(bufs.lengths)[0];
-            assert!(
-                (dev_len - exact).abs() <= exact * 1e-5,
-                "device length {dev_len} vs exact {exact}"
-            );
+            let mut total_moves = 0usize;
+            for (a, t) in tours.iter().enumerate() {
+                let mut host = t.clone();
+                let mut scratch = LsScratch::new();
+                total_moves += two_opt_nn(&mut host, inst.matrix(), &nn, &mut scratch);
+                let row = &gm.u32(bufs.tours)[a * stride as usize..a * stride as usize + n];
+                assert_eq!(
+                    row,
+                    host.order(),
+                    "n={n} seed={seed} ant={a}: batched and host tours must be identical"
+                );
+                let exact = host.length(inst.matrix()) as f32;
+                let dev_len = gm.f32(bufs.lengths)[a];
+                assert!(
+                    (dev_len - exact).abs() <= exact * 1e-5,
+                    "ant {a}: device length {dev_len} vs exact {exact}"
+                );
+            }
+            assert_eq!(run.moves as usize, total_moves, "n={n}: same total move count");
+            assert!(run.moves > 0, "random tours on {n} cities must improve");
         }
     }
 
     #[test]
-    fn kernel_family_is_bit_identical_at_any_exec_thread_count() {
+    fn batched_family_is_bit_identical_at_any_exec_thread_count() {
         let n = 48usize;
-        let inst = uniform_random("ls-thr", n, 900.0, 5);
+        let m = 5usize;
+        let inst = uniform_random("ls-batch-thr", n, 900.0, 5);
         let nn = NearestNeighborLists::build(inst.matrix(), 10).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let tour = Tour::random(n, &mut rng);
+        let tours = random_tours(n, m, 9);
         let stride = ((n + 1) as u32).next_multiple_of(256);
         let dev = DeviceSpec::tesla_c1060();
 
-        let (mut gm1, b1) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
-        let serial = run_two_opt(&dev, &mut gm1, b1, 0, 1).unwrap();
+        let (mut gm1, b1) = device_setup(&inst, &nn, &tours, stride);
+        let serial = run_two_opt_all(&dev, &mut gm1, b1, 1).unwrap();
         for threads in [2, 4, 16] {
-            let (mut gm2, b2) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
-            let parallel = run_two_opt(&dev, &mut gm2, b2, 0, threads).unwrap();
+            let (mut gm2, b2) = device_setup(&inst, &nn, &tours, stride);
+            let parallel = run_two_opt_all(&dev, &mut gm2, b2, threads).unwrap();
             assert_eq!(serial.rounds, parallel.rounds, "{threads} threads");
             assert_eq!(serial.moves, parallel.moves, "{threads} threads");
             assert_eq!(serial.stats, parallel.stats, "{threads} threads: counters");
             assert_eq!(serial.ms.to_bits(), parallel.ms.to_bits(), "{threads} threads: time");
             assert_eq!(gm1.u32(b1.tours), gm2.u32(b2.tours), "{threads} threads: memory");
+            assert_eq!(gm1.f32(b1.lengths), gm2.f32(b2.lengths), "{threads} threads: lengths");
         }
     }
 
     #[test]
-    fn pass_leaves_local_optima_untouched_and_prices_time() {
+    fn batched_launch_count_is_o_rounds_not_o_ants() {
         let n = 40usize;
-        let inst = uniform_random("ls-idem", n, 800.0, 2);
-        let nn = NearestNeighborLists::build(inst.matrix(), 10).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let mut tour = Tour::random(n, &mut rng);
-        let mut scratch = LsScratch::new();
-        // One pass ends at a don't-look-bit fixpoint, not necessarily a
-        // full local optimum (sleeping cities can still own moves), so
-        // iterate fresh passes until none finds anything.
-        while two_opt_nn(&mut tour, inst.matrix(), &nn, &mut scratch) > 0 {}
+        let m = 8usize;
+        let inst = uniform_random("ls-batch-launch", n, 800.0, 11);
+        let nn = NearestNeighborLists::build(inst.matrix(), 8).unwrap();
+        let tours = random_tours(n, m, 13);
         let stride = ((n + 1) as u32).next_multiple_of(256);
-        let (mut gm, bufs) = device_setup(&inst, &nn, std::slice::from_ref(&tour), stride);
-        let dev = DeviceSpec::tesla_m2050();
-        let run = run_two_opt(&dev, &mut gm, bufs, 0, 1).unwrap();
-        assert_eq!(run.moves, 0, "a host local optimum admits no device move");
-        assert_eq!(run.rounds, 1);
-        assert!(run.ms > 0.0, "even an empty pass costs kernel time");
-        assert_eq!(gm.u32(bufs.tours)[..n], *tour.order());
-        // The probe prices a round without touching the tour.
+        let (mut gm, bufs) = device_setup(&inst, &nn, &tours, stride);
+        let run = run_two_opt_all(&DeviceSpec::tesla_m2050(), &mut gm, bufs, 1).unwrap();
+        // 3 phase launches per round + at most one apply per improving
+        // round: the O(rounds) bound, with no m factor.
+        assert!(run.rounds >= 2, "random tours must take several rounds");
+
+        // The probe prices a batched round without touching any tour.
         let before = gm.u32(bufs.tours).to_vec();
-        let ms = probe_round_ms(&dev, &mut gm, bufs, 0, SimMode::Full).unwrap();
+        let ms =
+            probe_all_round_ms(&DeviceSpec::tesla_m2050(), &mut gm, bufs, SimMode::Full).unwrap();
         assert!(ms > 0.0);
         assert_eq!(gm.u32(bufs.tours).to_vec(), before);
     }

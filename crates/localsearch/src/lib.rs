@@ -27,6 +27,13 @@
 //!   distance reads, shared-memory best-improvement reduction per block.
 //!   Counters, modeled times and memory are bit-identical at any host
 //!   `exec_threads` count ([`aco_simt::launch_threads`]).
+//! * [`gpu_batch`] — batched all-ants variants of the same family
+//!   (driven by [`run_two_opt_all`]): every ant's tour in **one launch
+//!   per phase**, so an all-ants pass costs `O(rounds)` launches instead
+//!   of `O(m · rounds)`, with tours bit-identical per ant.
+//! * [`oropt`] — the device `or_opt` kernel family (same
+//!   Propose/Select/Apply shape, first-improvement key reduction),
+//!   replacing the old host-fallback + write-back path on GPU backends.
 //!
 //! Every pass is deterministic (no RNG) and never worsens a tour, so
 //! colonies that apply one keep their bit-identical-at-any-worker-count
@@ -34,9 +41,13 @@
 
 pub mod cpu;
 pub mod gpu;
+pub mod gpu_batch;
+pub mod oropt;
 
 pub use cpu::LsScratch;
 pub use gpu::{probe_round_ms, run_two_opt, TwoOptDev, TwoOptRun};
+pub use gpu_batch::{probe_all_round_ms, run_two_opt_all, TwoOptBatchDev};
+pub use oropt::{probe_or_round_ms, run_or_opt, OrOptDev, OrOptRun};
 
 use aco_tsp::{DistanceMatrix, NearestNeighborLists, Tour};
 
@@ -57,12 +68,12 @@ pub enum LocalSearch {
     TwoOptNn,
     /// Or-opt: relocate segments of 1–3 cities (forward or reversed)
     /// next to a nearest neighbour of the segment head. Catches moves
-    /// 2-opt cannot express; host-only.
+    /// 2-opt cannot express. GPU colonies run it on the device as the
+    /// `or_opt` kernel family ([`oropt`]).
     OrOpt,
     /// No per-iteration work; one `TwoOptNn` polish of the final best
     /// tour, applied by the engine after the run. Select it via
-    /// `SolveRequest::local_search` (the deprecated `two_opt(bool)`
-    /// builder shim maps here until its removal in 0.2.0).
+    /// `SolveRequest::local_search`.
     PostPass,
 }
 

@@ -820,9 +820,8 @@ impl<'a> BlockCtx<'a> {
         val: &Reg<f32>,
     ) {
         self.charge_global_access(gm, ptr.id, idx, true);
-        for lane in self.active().lanes() {
-            gm.store_f32(ptr, idx.0[lane] as usize, val.0[lane]);
-        }
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        gm.store_f32_lanes(ptr, active.lanes().map(|lane| (idx.0[lane] as usize, val.0[lane])));
     }
 
     /// Global store, u32.
@@ -834,9 +833,8 @@ impl<'a> BlockCtx<'a> {
         val: &Reg<u32>,
     ) {
         self.charge_global_access(gm, ptr.id, idx, true);
-        for lane in self.active().lanes() {
-            gm.store_u32(ptr, idx.0[lane] as usize, val.0[lane]);
-        }
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        gm.store_u32_lanes(ptr, active.lanes().map(|lane| (idx.0[lane] as usize, val.0[lane])));
     }
 
     /// Read-only load through the texture cache (32-byte lines, per-SM).
@@ -918,9 +916,11 @@ impl<'a> BlockCtx<'a> {
             stats.st_transactions += distinct * emu;
         }
         self.scratch_counts = addr_counts;
-        for lane in self.active().lanes() {
-            gm.atomic_add_f32(ptr, idx.0[lane] as usize, val.0[lane]);
-        }
+        let active = self.mask_stack.last().expect("mask stack never empty");
+        gm.atomic_add_f32_lanes(
+            ptr,
+            active.lanes().map(|lane| (idx.0[lane] as usize, val.0[lane])),
+        );
     }
 
     // --- device RNG -------------------------------------------------------------

@@ -8,6 +8,7 @@
 //! Section IV-B).
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Typed handle to a device buffer. `Copy`, so kernels capture it freely.
 pub struct DevicePtr<T> {
@@ -27,10 +28,15 @@ impl<T> std::fmt::Debug for DevicePtr<T> {
     }
 }
 
+/// Buffer payload. The vectors sit behind [`Arc`] so a shadow fork is a
+/// handle copy, not a data copy: a shadow that never writes a buffer
+/// shares the base arena's allocation, and the first store into a buffer
+/// ([`Arc::make_mut`]) is what pays for the copy — copy-on-write at
+/// buffer granularity.
 #[derive(Clone)]
 enum Data {
-    F32(Vec<f32>),
-    U32(Vec<u32>),
+    F32(Arc<Vec<f32>>),
+    U32(Arc<Vec<u32>>),
 }
 
 #[derive(Clone)]
@@ -40,9 +46,11 @@ struct Buffer {
 }
 
 /// One logged device-memory mutation. Parallel launches execute blocks
-/// against per-SM shadow copies of memory and then replay the logs onto
-/// the real arena in canonical order (see [`crate::launch`]), so the
-/// committed state is identical for every host thread count.
+/// against per-SM-group copy-on-write shadows of memory and then replay
+/// the logs onto the real arena in canonical order (see
+/// [`crate::launch`]), so the committed state is identical for every
+/// host thread count. The log doubles as the shadow's dirty set: a
+/// buffer absent from every log was never forked off its `Arc`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum LogOp {
     /// Plain f32 store.
@@ -79,8 +87,12 @@ impl GlobalMem {
         GlobalMem { buffers: Vec::new(), next_base: BASE_ALIGN, log: None }
     }
 
-    /// A logging copy of this arena for one SM group of a parallel
-    /// launch: same contents, plus an empty mutation log.
+    /// A logging copy-on-write view of this arena for one SM group of a
+    /// parallel launch: the buffer *handles* are cloned (an `Arc` bump
+    /// each, no data copies), plus an empty mutation log. A buffer's
+    /// contents are only duplicated when the shadow first stores into it,
+    /// so a group that dirties a small slice of the arena allocates
+    /// proportionally to what it touches, not to the arena size.
     pub(crate) fn fork_shadow(&self) -> GlobalMem {
         GlobalMem {
             buffers: self.buffers.clone(),
@@ -118,13 +130,13 @@ impl GlobalMem {
 
     /// Allocate an `f32` buffer of `len` elements, zero-initialised.
     pub fn alloc_f32(&mut self, len: usize) -> DevicePtr<f32> {
-        let id = self.push(4 * len as u64, Data::F32(vec![0.0; len]));
+        let id = self.push(4 * len as u64, Data::F32(Arc::new(vec![0.0; len])));
         DevicePtr { id, _pd: PhantomData }
     }
 
     /// Allocate a `u32` buffer of `len` elements, zero-initialised.
     pub fn alloc_u32(&mut self, len: usize) -> DevicePtr<u32> {
-        let id = self.push(4 * len as u64, Data::U32(vec![0; len]));
+        let id = self.push(4 * len as u64, Data::U32(Arc::new(vec![0; len])));
         DevicePtr { id, _pd: PhantomData }
     }
 
@@ -139,7 +151,7 @@ impl GlobalMem {
     /// Host-side mutable view of an `f32` buffer (like `cudaMemcpy` H→D).
     pub fn f32_mut(&mut self, ptr: DevicePtr<f32>) -> &mut [f32] {
         match &mut self.buffers[ptr.id as usize].data {
-            Data::F32(v) => v,
+            Data::F32(v) => Arc::make_mut(v).as_mut_slice(),
             Data::U32(_) => unreachable!("typed handle guarantees the variant"),
         }
     }
@@ -155,7 +167,7 @@ impl GlobalMem {
     /// Host-side mutable view of a `u32` buffer.
     pub fn u32_mut(&mut self, ptr: DevicePtr<u32>) -> &mut [u32] {
         match &mut self.buffers[ptr.id as usize].data {
-            Data::U32(v) => v,
+            Data::U32(v) => Arc::make_mut(v).as_mut_slice(),
             Data::F32(_) => unreachable!("typed handle guarantees the variant"),
         }
     }
@@ -219,7 +231,7 @@ impl GlobalMem {
     #[inline]
     fn raw_store_f32(&mut self, id: u32, idx: usize, val: f32) {
         let v = match &mut self.buffers[id as usize].data {
-            Data::F32(v) => v,
+            Data::F32(v) => Arc::make_mut(v),
             Data::U32(_) => unreachable!("typed handle guarantees the variant"),
         };
         let len = v.len();
@@ -234,7 +246,7 @@ impl GlobalMem {
     #[inline]
     fn raw_store_u32(&mut self, id: u32, idx: usize, val: u32) {
         let v = match &mut self.buffers[id as usize].data {
-            Data::U32(v) => v,
+            Data::U32(v) => Arc::make_mut(v),
             Data::F32(_) => unreachable!("typed handle guarantees the variant"),
         };
         let len = v.len();
@@ -246,32 +258,94 @@ impl GlobalMem {
         }
     }
 
-    #[inline]
-    pub(crate) fn store_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
-        self.raw_store_f32(ptr.id, idx, val);
-        if let Some(log) = &mut self.log {
-            log.push(LogOp::StF32 { id: ptr.id, idx: idx as u32, val });
+    // Stores arrive lane-batched — one call covers every active lane of a
+    // warp-wide vector operation — so the COW materialisation
+    // (`Arc::make_mut`) is paid **once per operation** instead of once per
+    // lane, which is what keeps the `Arc`-backed buffers from taxing
+    // `global_st`/`atomic_add` (`interp_bench` holds both near their
+    // pre-COW ns/op). Lanes are applied and logged in iteration order, so
+    // same-address races resolve lane-last exactly as before.
+
+    /// Lane-batched global store, f32: `buf[idx] = val` per lane, logged
+    /// as [`LogOp::StF32`] on shadow arenas.
+    pub(crate) fn store_f32_lanes(
+        &mut self,
+        ptr: DevicePtr<f32>,
+        lanes: impl Iterator<Item = (usize, f32)>,
+    ) {
+        let v = match &mut self.buffers[ptr.id as usize].data {
+            Data::F32(v) => Arc::make_mut(v),
+            Data::U32(_) => unreachable!("typed handle guarantees the variant"),
+        };
+        let len = v.len();
+        let log = &mut self.log;
+        for (idx, val) in lanes {
+            match v.get_mut(idx) {
+                Some(x) => *x = val,
+                None => panic!(
+                    "device OOB store: f32 buffer #{} has {len} elements, index {idx}",
+                    ptr.id
+                ),
+            }
+            if let Some(log) = log {
+                log.push(LogOp::StF32 { id: ptr.id, idx: idx as u32, val });
+            }
         }
     }
 
-    #[inline]
-    pub(crate) fn store_u32(&mut self, ptr: DevicePtr<u32>, idx: usize, val: u32) {
-        self.raw_store_u32(ptr.id, idx, val);
-        if let Some(log) = &mut self.log {
-            log.push(LogOp::StU32 { id: ptr.id, idx: idx as u32, val });
+    /// Lane-batched global store, u32: `buf[idx] = val` per lane, logged
+    /// as [`LogOp::StU32`] on shadow arenas.
+    pub(crate) fn store_u32_lanes(
+        &mut self,
+        ptr: DevicePtr<u32>,
+        lanes: impl Iterator<Item = (usize, u32)>,
+    ) {
+        let v = match &mut self.buffers[ptr.id as usize].data {
+            Data::U32(v) => Arc::make_mut(v),
+            Data::F32(_) => unreachable!("typed handle guarantees the variant"),
+        };
+        let len = v.len();
+        let log = &mut self.log;
+        for (idx, val) in lanes {
+            match v.get_mut(idx) {
+                Some(x) => *x = val,
+                None => panic!(
+                    "device OOB store: u32 buffer #{} has {len} elements, index {idx}",
+                    ptr.id
+                ),
+            }
+            if let Some(log) = log {
+                log.push(LogOp::StU32 { id: ptr.id, idx: idx as u32, val });
+            }
         }
     }
 
-    /// Simulated `atomicAdd(&buf[idx], val)`: applied immediately (so the
-    /// owning block can proceed) and logged as an *add* on shadows, so a
-    /// parallel launch's commit accumulates deposits exactly like serial
-    /// execution.
-    #[inline]
-    pub(crate) fn atomic_add_f32(&mut self, ptr: DevicePtr<f32>, idx: usize, val: f32) {
-        let old = self.load_f32(ptr, idx);
-        self.raw_store_f32(ptr.id, idx, old + val);
-        if let Some(log) = &mut self.log {
-            log.push(LogOp::AddF32 { id: ptr.id, idx: idx as u32, val });
+    /// Lane-batched simulated `atomicAdd(&buf[idx], val)`: applied
+    /// immediately (so the owning block can proceed) and logged as an
+    /// *add* ([`LogOp::AddF32`]) on shadows, so a parallel launch's commit
+    /// accumulates deposits exactly like serial execution.
+    pub(crate) fn atomic_add_f32_lanes(
+        &mut self,
+        ptr: DevicePtr<f32>,
+        lanes: impl Iterator<Item = (usize, f32)>,
+    ) {
+        let v = match &mut self.buffers[ptr.id as usize].data {
+            Data::F32(v) => Arc::make_mut(v),
+            Data::U32(_) => unreachable!("typed handle guarantees the variant"),
+        };
+        let len = v.len();
+        let log = &mut self.log;
+        for (idx, val) in lanes {
+            match v.get_mut(idx) {
+                Some(x) => *x += val,
+                None => panic!(
+                    "device OOB load: f32 buffer #{} has {len} elements, index {idx}",
+                    ptr.id
+                ),
+            }
+            if let Some(log) = log {
+                log.push(LogOp::AddF32 { id: ptr.id, idx: idx as u32, val });
+            }
         }
     }
 }
@@ -319,7 +393,7 @@ mod tests {
     fn oob_store_panics() {
         let mut gm = GlobalMem::new();
         let a = gm.alloc_u32(2);
-        gm.store_u32(a, 5, 1);
+        gm.store_u32_lanes(a, std::iter::once((5, 1)));
     }
 
     #[test]

@@ -8,12 +8,21 @@
 //! major*: all of SM 0's blocks in block order, then SM 1's, and so on.
 //! Groups are independent — each owns its per-SM caches and its slice of
 //! the stats — so [`launch_threads`] can run them on a host thread pool.
-//! Parallel groups execute against *shadow copies* of global memory and
-//! log every mutation; the launch then commits the logs in canonical
-//! (SM-major, block-order) order, and per-group stats merge in the same
-//! order. Counters and global-memory contents are therefore **bit
-//! identical for every host thread count**, including the serial path —
-//! pinned by the cross-crate `parallel_launch` tests.
+//!
+//! **COW shadows and the commit-order contract.** Parallel groups
+//! execute against *copy-on-write shadows* of global memory: a fork
+//! clones only the buffer handles (`Arc` bumps), a buffer's data is
+//! duplicated the first time the shadow stores into it, and every
+//! mutation is logged. After all groups join, the launch commits the
+//! logs onto the real arena **in canonical group order** — ascending SM
+//! id, blocks in block order within a group — with plain stores replayed
+//! as overwrites and atomic adds re-applied as adds. That order is
+//! exactly the serial execution order, so counters and global-memory
+//! contents are **bit identical for every host thread count**, including
+//! the serial path (which skips shadows entirely) — pinned by the
+//! cross-crate `parallel_launch` tests. Allocations per launch scale
+//! with the buffers each group actually dirties, not with the arena
+//! size (tracked as `allocs/launch` in `BENCH_interp.json`).
 //!
 //! The model's one execution-model rule (true of real CUDA, too): a
 //! block must not read global memory that another block of the *same

@@ -268,18 +268,21 @@ fn two_opt_post_pass_never_worsens() {
     }
 }
 
-/// The deprecated `two_opt(bool)` builder still compiles and maps onto
-/// the `LocalSearch::PostPass` strategy.
+/// `local_search(LocalSearch::PostPass)` is the one spelling of the
+/// end-of-run polish (the pre-`LocalSearch` `two_opt(bool)` builder is
+/// gone): the strategy round-trips through the builder and solves.
 #[test]
-#[allow(deprecated)]
-fn deprecated_two_opt_builder_maps_to_post_pass() {
+fn post_pass_strategy_round_trips_through_the_builder() {
     let inst = Arc::new(tsp::uniform_random("life-compat", 30, 500.0, 3));
-    let req = seq_req(&inst, 1, 2).two_opt(true);
+    let req = seq_req(&inst, 1, 2).local_search(LocalSearch::PostPass);
     assert_eq!(req.local_search, LocalSearch::PostPass);
-    let req = req.two_opt(false);
+    let req = req.local_search(LocalSearch::None);
     assert_eq!(req.local_search, LocalSearch::None);
     let engine = Engine::new(EngineConfig::with_workers(1));
-    let rep = engine.submit(seq_req(&inst, 1, 2).two_opt(true)).wait().expect("compat job solves");
+    let rep = engine
+        .submit(seq_req(&inst, 1, 2).local_search(LocalSearch::PostPass))
+        .wait()
+        .expect("post-pass job solves");
     assert_eq!(rep.best_len, rep.best_tour.length(inst.matrix()));
 }
 

@@ -156,6 +156,157 @@ fn gpu_colony_local_search_is_exec_thread_invariant() {
     }
 }
 
+/// Acceptance (batched launches): with `LsScope::AllAnts`, the 2-opt
+/// pass runs the `two_opt_*_all` kernels — `O(rounds)` launches per
+/// iteration, **independent of the colony size** — instead of looping
+/// the per-ant family `m` times. Pinned through the obs kernel
+/// profiler: per round the driver launches pos + propose + select, plus
+/// one apply for every round that found an improving ant, so total
+/// batched launches are exactly `4·rounds − 1` whatever `m` is.
+#[test]
+fn all_ants_two_opt_launches_scale_with_rounds_not_colony_size() {
+    let inst = tsp::uniform_random("ls-batch", 44, 850.0, 13);
+    let batched_launches = |ants: usize| {
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).ants(ants).seed(6),
+            DeviceSpec::tesla_m2050(),
+            TourStrategy::NNList,
+            PheromoneStrategy::AtomicShared,
+        );
+        sys.set_local_search(LocalSearch::TwoOptNn, LsScope::AllAnts);
+        let profiler = Arc::new(aco_gpu::obs::KernelProfiler::new());
+        let sink = aco_gpu::obs::KernelSink { trace: None, profiler: Some(Arc::clone(&profiler)) };
+        let scope = aco_gpu::obs::install(sink);
+        sys.iterate(aco_gpu::simt::SimMode::Full).unwrap();
+        drop(scope);
+        let mut by_family = std::collections::BTreeMap::new();
+        for snap in profiler.snapshot() {
+            by_family.insert(snap.family, snap.invocations);
+        }
+        by_family
+    };
+    for ants in [4usize, 12] {
+        let fam = batched_launches(ants);
+        let rounds = fam.get("two_opt_pos_all").copied().unwrap_or(0);
+        assert!(rounds > 0, "m={ants}: the batched family must run");
+        assert_eq!(fam.get("two_opt_propose_all"), Some(&rounds), "m={ants}");
+        assert_eq!(fam.get("two_opt_select_all"), Some(&rounds), "m={ants}");
+        assert_eq!(fam.get("two_opt_apply_all"), Some(&(rounds - 1)), "m={ants}");
+        // The whole pass is O(rounds) launches — and never falls back to
+        // the per-ant family (which would cost O(m · rounds)).
+        for per_ant in ["two_opt_pos", "two_opt_propose", "two_opt_select", "two_opt_apply"] {
+            assert!(
+                !fam.contains_key(per_ant),
+                "m={ants}: all-ants pass must not launch the per-ant `{per_ant}` kernel"
+            );
+        }
+        let batched: u64 = fam
+            .iter()
+            .filter(|(family, _)| family.starts_with("two_opt") && family.ends_with("_all"))
+            .map(|(_, &inv)| inv)
+            .sum();
+        assert_eq!(batched, 4 * rounds - 1, "m={ants}: launches are O(rounds), not O(m·rounds)");
+    }
+}
+
+/// Acceptance: the GPU colony's `or_opt` kernel family produces
+/// *exactly* the tours the CPU `OrOpt` pass produces — pinned end to
+/// end like the 2-opt equivalence test above.
+#[test]
+fn gpu_colony_or_opt_kernel_matches_host_pass_exactly() {
+    let inst = tsp::uniform_random("ls-oropt-eq", 58, 950.0, 29);
+    let params = AcoParams::default().nn(12).seed(11);
+    let mut plain = GpuAntSystem::new(
+        &inst,
+        params.clone(),
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::NNList,
+        PheromoneStrategy::AtomicShared,
+    );
+    plain.iterate(aco_gpu::simt::SimMode::Full).unwrap();
+    let mut ls_colony = GpuAntSystem::new(
+        &inst,
+        params,
+        DeviceSpec::tesla_m2050(),
+        TourStrategy::NNList,
+        PheromoneStrategy::AtomicShared,
+    );
+    ls_colony.set_local_search(LocalSearch::OrOpt, LsScope::IterationBest);
+    let rep = ls_colony.iterate(aco_gpu::simt::SimMode::Full).unwrap();
+    assert!(rep.ls_ms > 0.0, "the or_opt family must cost modeled time");
+
+    let nn = tsp::NearestNeighborLists::build(inst.matrix(), 12).unwrap();
+    let (plain_best, plain_len) = plain.best().expect("ran");
+    let mut host = plain_best.clone();
+    let mut scratch = LsScratch::new();
+    aco_gpu::localsearch::cpu::or_opt(&mut host, inst.matrix(), &nn, &mut scratch);
+    let host_len = host.length(inst.matrix());
+    let (gpu_tour, gpu_len) = ls_colony.best().expect("ran");
+    assert_eq!(gpu_tour.order(), host.order(), "device or_opt must equal the host pass");
+    assert_eq!(gpu_len, host_len);
+    assert!(gpu_len <= plain_len);
+    assert_eq!(ls_colony.local_search_improvement(), plain_len - gpu_len);
+}
+
+/// The `or_opt` family (windowed over the whole colony) is invariant to
+/// the exec-thread budget, like every other kernel family.
+#[test]
+fn gpu_colony_or_opt_is_exec_thread_invariant() {
+    let inst = tsp::uniform_random("ls-oropt-thr", 42, 800.0, 19);
+    let run = |threads: usize| {
+        let mut sys = GpuAntSystem::new(
+            &inst,
+            AcoParams::default().nn(10).ants(6).seed(5),
+            DeviceSpec::tesla_c1060(),
+            TourStrategy::NNList,
+            PheromoneStrategy::AtomicShared,
+        );
+        sys.set_exec_threads(threads);
+        sys.set_local_search(LocalSearch::OrOpt, LsScope::AllAnts);
+        let mut ls_ms = 0.0;
+        for _ in 0..3 {
+            ls_ms += sys.iterate(aco_gpu::simt::SimMode::Full).unwrap().ls_ms;
+        }
+        let (tour, len) = sys.best().expect("ran");
+        (tour.clone(), len, sys.local_search_improvement(), ls_ms)
+    };
+    let (t1, l1, imp1, ms1) = run(1);
+    for threads in [2, 4] {
+        let (t, l, imp, ms) = run(threads);
+        assert_eq!(t1.order(), t.order(), "{threads} exec threads: tours");
+        assert_eq!(l1, l, "{threads} exec threads: lengths");
+        assert_eq!(imp1, imp, "{threads} exec threads: improvement");
+        assert_eq!(ms1.to_bits(), ms.to_bits(), "{threads} exec threads: modeled ms");
+    }
+}
+
+/// Idle-worker thread donation widens exec-thread budgets but — because
+/// simulator results are bit-identical at any thread count — must never
+/// change a report, placement or progress stream. Donation on vs off,
+/// same batch, same worker count: identical results.
+#[test]
+fn thread_donation_never_changes_results() {
+    let inst = Arc::new(tsp::uniform_random("ls-donate", 38, 750.0, 41));
+    let run = |donate: bool| {
+        let engine = Engine::new(EngineConfig::with_workers(4).donate_idle(donate));
+        let handles: Vec<_> = ls_batch(&inst, LocalSearch::TwoOptNn, LsScope::AllAnts)
+            .into_iter()
+            .map(|r| engine.submit(r))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let events: Vec<IterationEvent> = h.progress().collect();
+                (h.wait().expect("job solves"), events)
+            })
+            .collect::<Vec<_>>()
+    };
+    let donated = run(true);
+    let plain = run(false);
+    assert_eq!(donated, plain, "donation must change wall-clock only");
+}
+
 /// Acceptance: LS-enabled batches stay bit-identical at 1 vs 4 workers —
 /// reports *and* progress event sequences — across every backend family
 /// and both scopes.
