@@ -29,8 +29,8 @@ use aco_core::cpu::TourPolicy;
 use aco_core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_core::AcoParams;
 use aco_engine::{
-    Backend, DeviceProfile, Engine, EngineConfig, Failover, FaultPlan, GpuDevice, LocalSearch,
-    LsScope, RetryPolicy, SolveRequest,
+    Backend, DeviceProfile, DynamicsConfig, Engine, EngineConfig, Failover, FaultPlan, GpuDevice,
+    JournalConfig, LocalSearch, LsScope, RetryPolicy, SolveRequest,
 };
 
 /// Submit→first-progress-event latency (ms): how long after `submit`
@@ -230,6 +230,24 @@ struct ObsOverheadRec {
     overhead_pct: f64,
 }
 
+/// The PR-9 search-dynamics section: the same seeded batch run with the
+/// dynamics layer + event journal off and on, 1 worker. Dynamics adds an
+/// O(n²) trail scan per iteration, so unlike the observability pair this
+/// prices real extra work — the `--check` gate still treats it as
+/// **advisory** (warn beyond 5%, never fail) because single-run 1-core
+/// wall clocks cannot hard-gate at that resolution.
+#[derive(Debug, Clone)]
+struct DynamicsRec {
+    jobs: usize,
+    off_jobs_per_sec: f64,
+    on_jobs_per_sec: f64,
+    /// `(off/on − 1) × 100`: percentage throughput lost to dynamics +
+    /// journal recording.
+    overhead_pct: f64,
+    /// Journal lines the on-run recorded (sanity: the sink saw the batch).
+    journal_lines: u64,
+}
+
 /// The PR-7 fault-tolerance section: the same seeded GPU batch run
 /// three ways — default engine, retry supervision armed but never
 /// triggered (prices the supervision plumbing; the `--check` gate warns
@@ -297,6 +315,8 @@ struct HistEntry {
     faults: Option<FaultsRec>,
     /// Batched-LS launch accounting (absent in pre-PR-8 entries).
     batched_ls: Option<BatchedLsRec>,
+    /// Search-dynamics on/off throughput pair (absent in pre-PR-9 entries).
+    dynamics: Option<DynamicsRec>,
 }
 
 fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
@@ -499,6 +519,43 @@ fn measure_obs_overhead(jobs: usize, n: usize, iters: usize) -> ObsOverheadRec {
          ({overhead_pct:+.1}% overhead)"
     );
     ObsOverheadRec { jobs, off_jobs_per_sec, on_jobs_per_sec, overhead_pct }
+}
+
+/// The dynamics on/off pair: the standard seeded batch at 1 worker,
+/// solved once plain and once with dynamics tracking + the event journal
+/// enabled. Off runs first so its cache is equally cold; the write-only
+/// contract (pinned by `tests/dynamics.rs`) guarantees both runs do
+/// identical solve work, so the delta isolates the per-iteration trail
+/// scans plus journal recording.
+fn measure_dynamics_overhead(jobs: usize, n: usize, iters: usize) -> DynamicsRec {
+    let run = |dynamics: bool| {
+        let mut config = EngineConfig::with_workers(1);
+        if dynamics {
+            config = config.dynamics(DynamicsConfig::default()).journal(JournalConfig::default());
+        }
+        let engine = Engine::new(config);
+        let reqs = batch(jobs, n, iters);
+        let t0 = Instant::now();
+        let reports = engine.run_batch(reqs);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, jobs, "dynamics batch must solve");
+        let lines = engine.journal().map(|j| j.len() as u64 + j.evicted()).unwrap_or(0);
+        (ok as f64 / wall_s, lines)
+    };
+    let (off_jobs_per_sec, _) = run(false);
+    let (on_jobs_per_sec, journal_lines) = run(true);
+    let overhead_pct = if on_jobs_per_sec > 0.0 {
+        (off_jobs_per_sec / on_jobs_per_sec - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    assert!(journal_lines > 0, "the journal must have recorded the batch");
+    println!(
+        "dynamics: {off_jobs_per_sec:.1} jobs/s off -> {on_jobs_per_sec:.1} jobs/s on \
+         ({overhead_pct:+.1}% overhead, {journal_lines} journal lines)"
+    );
+    DynamicsRec { jobs, off_jobs_per_sec, on_jobs_per_sec, overhead_pct, journal_lines }
 }
 
 /// The fault-tolerance triple: an explicit GPU batch on a twin-device
@@ -710,6 +767,14 @@ fn render_obs_overhead(o: &ObsOverheadRec) -> String {
     )
 }
 
+fn render_dynamics(d: &DynamicsRec) -> String {
+    format!(
+        "      {{\"jobs\": {}, \"off_jobs_per_sec\": {:.3}, \"on_jobs_per_sec\": {:.3}, \
+         \"overhead_pct\": {:.3}, \"journal_lines\": {}}}",
+        d.jobs, d.off_jobs_per_sec, d.on_jobs_per_sec, d.overhead_pct, d.journal_lines
+    )
+}
+
 fn render_faults(f: &FaultsRec) -> String {
     format!(
         "      {{\"jobs\": {}, \"plain_jobs_per_sec\": {:.3}, \"supervised_jobs_per_sec\": {:.3}, \
@@ -759,10 +824,14 @@ fn render_entry(e: &HistEntry) -> String {
         Some(b) => format!(",\n      \"batched_ls\":\n{}", render_batched_ls(b)),
         None => String::new(),
     };
+    let dynamics = match &e.dynamics {
+        Some(d) => format!(",\n      \"dynamics\":\n{}", render_dynamics(d)),
+        None => String::new(),
+    };
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
          \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
-         \"runs\": [\n{}\n      ]{}{}{}{}{}\n    }}",
+         \"runs\": [\n{}\n      ]{}{}{}{}{}{}\n    }}",
         e.label,
         e.jobs,
         e.n,
@@ -774,7 +843,8 @@ fn render_entry(e: &HistEntry) -> String {
         local_search,
         obs_overhead,
         faults,
-        batched_ls
+        batched_ls,
+        dynamics
     )
 }
 
@@ -868,6 +938,16 @@ fn parse_faults(v: &Json) -> FaultsRec {
     }
 }
 
+fn parse_dynamics(v: &Json) -> DynamicsRec {
+    DynamicsRec {
+        jobs: uint(v.get("jobs")) as usize,
+        off_jobs_per_sec: v.get("off_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        on_jobs_per_sec: v.get("on_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        overhead_pct: v.get("overhead_pct").and_then(Json::num).unwrap_or(0.0),
+        journal_lines: uint(v.get("journal_lines")),
+    }
+}
+
 fn parse_batched_ls(v: &Json) -> BatchedLsRec {
     BatchedLsRec {
         ants: uint(v.get("ants")) as usize,
@@ -894,6 +974,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         obs_overhead: v.get("obs_overhead").map(parse_obs_overhead),
         faults: v.get("faults").map(parse_faults),
         batched_ls: v.get("batched_ls").map(parse_batched_ls),
+        dynamics: v.get("dynamics").map(parse_dynamics),
     }
 }
 
@@ -966,6 +1047,20 @@ fn check(path: &std::path::Path, tolerance: f64) -> ! {
     } else {
         println!("obs overhead advisory OK: {:+.1}% (target <= 5%)", obs.overhead_pct);
     }
+    // Advisory search-dynamics gate: the dynamics + journal pair must
+    // stay within 5% of plain throughput. Same warn-never-fail policy as
+    // the observability pair — the trail scans are real work, but 1-core
+    // single-run wall clocks cannot hard-gate at 5% resolution.
+    let dynamics = measure_dynamics_overhead(last.jobs, last.n, last.iterations);
+    if dynamics.overhead_pct > 5.0 {
+        eprintln!(
+            "gate ADVISORY: dynamics+journal overhead {:.1}% exceeds the 5% target \
+             (off {:.3} -> on {:.3} jobs/s)",
+            dynamics.overhead_pct, dynamics.off_jobs_per_sec, dynamics.on_jobs_per_sec
+        );
+    } else {
+        println!("dynamics overhead advisory OK: {:+.1}% (target <= 5%)", dynamics.overhead_pct);
+    }
     // Advisory retry-supervision gate, same rationale: warn — never
     // fail — and only on *positive* regressions (`overhead_pct` is
     // clamped at 0 when the supervised run measures faster, so a noisy
@@ -1027,6 +1122,7 @@ fn main() {
     let devices = measure_devices(args.n, args.iters);
     let local_search = measure_local_search(args.n, args.iters);
     let obs_overhead = measure_obs_overhead(args.jobs, args.n, args.iters);
+    let dynamics = measure_dynamics_overhead(args.jobs, args.n, args.iters);
     let faults = measure_faults(args.n, args.iters);
     let batched_ls = measure_batched_ls(args.n, args.iters);
     let entry = HistEntry {
@@ -1042,6 +1138,7 @@ fn main() {
         obs_overhead: Some(obs_overhead),
         faults: Some(faults),
         batched_ls: Some(batched_ls),
+        dynamics: Some(dynamics),
     };
 
     let mut history = if args.append {

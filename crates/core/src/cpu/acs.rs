@@ -253,13 +253,28 @@ impl<'a> AntColonySystem<'a> {
 
     /// One ACS iteration; returns the best-so-far length.
     pub fn iterate(&mut self) -> u64 {
+        self.iterate_dynamics(None).0
+    }
+
+    /// [`iterate`](Self::iterate), additionally measuring search dynamics
+    /// when a config is supplied. ACS constructs ants one at a time, so
+    /// tour-length moments are accumulated in-stream
+    /// ([`aco_obs::dynamics::compute_raw_from_moments`]); the O(n²) trail
+    /// scans run only when `dynamics` is `Some`.
+    pub fn iterate_dynamics(
+        &mut self,
+        dynamics: Option<&aco_obs::DynamicsConfig>,
+    ) -> (u64, Option<aco_obs::RawDynamics>) {
         let all_ants = self.ls_scope == LsScope::AllAnts;
         let mut iter_best: Option<(Tour, u64)> = None;
+        let (mut len_sum, mut len_sumsq) = (0.0f64, 0.0f64);
         for _ in 0..self.m {
             let (mut tour, mut len) = self.construct_one();
             if all_ants {
                 self.ls_improve(&mut tour, &mut len);
             }
+            len_sum += len as f64;
+            len_sumsq += len as f64 * len as f64;
             if iter_best.as_ref().is_none_or(|&(_, b)| len < b) {
                 iter_best = Some((tour, len));
             }
@@ -285,7 +300,17 @@ impl<'a> AntColonySystem<'a> {
                 *t = (1.0 - rho) * *t + dep;
             }
         }
-        len
+        let raw = dynamics.map(|cfg| {
+            aco_obs::dynamics::compute_raw_from_moments(
+                cfg,
+                self.m as u64,
+                len_sum,
+                len_sumsq,
+                &self.tau,
+                self.n,
+            )
+        });
+        (len, raw)
     }
 
     /// Run `iters` iterations; returns the best length.
@@ -304,9 +329,9 @@ impl<'a> AntColonySystem<'a> {
         iterations: usize,
         ctx: &crate::lifecycle::SolveCtx,
     ) -> crate::lifecycle::RunOutcome {
-        crate::lifecycle::drive(iterations, ctx, |_| {
-            let best = self.iterate();
-            (self.last_iter_best, best)
+        crate::lifecycle::drive_dynamics(iterations, ctx, |_| {
+            let (best, raw) = self.iterate_dynamics(ctx.dynamics());
+            (self.last_iter_best, best, raw)
         })
     }
 }

@@ -534,6 +534,18 @@ impl<'a> AntSystem<'a> {
     /// One full AS iteration: choice info, construction, local search
     /// (when configured), update.
     pub fn iterate(&mut self, policy: TourPolicy) -> IterationReport {
+        self.iterate_dynamics(policy, None).0
+    }
+
+    /// [`iterate`](Self::iterate), additionally measuring search dynamics
+    /// ([`aco_obs::RawDynamics`]: tour-length moments over the colony plus
+    /// trail entropy and λ-branching at the iteration boundary) when a
+    /// config is supplied — the O(n²) trail scans cost nothing when off.
+    pub fn iterate_dynamics(
+        &mut self,
+        policy: TourPolicy,
+        dynamics: Option<&aco_obs::DynamicsConfig>,
+    ) -> (IterationReport, Option<aco_obs::RawDynamics>) {
         let mut counters = PhaseCounters::default();
         self.compute_choice_info(&mut counters.choice);
         let mut sols = self.construct_solutions(policy, &mut counters.tour);
@@ -544,11 +556,16 @@ impl<'a> AntSystem<'a> {
             self.best = Some((best_tour.0.clone(), iter_best));
         }
         self.update_pheromone(&sols, &mut counters.update);
-        IterationReport {
+        let raw = dynamics.map(|cfg| {
+            let lens: Vec<u64> = sols.iter().map(|&(_, l)| l).collect();
+            aco_obs::dynamics::compute_raw(cfg, &lens, &self.tau, self.n)
+        });
+        let rep = IterationReport {
             iter_best,
             best_so_far: self.best.as_ref().map(|&(_, l)| l).expect("just set"),
             counters,
-        }
+        };
+        (rep, raw)
     }
 
     /// Run `iters` iterations; returns the best length.
@@ -572,10 +589,10 @@ impl<'a> AntSystem<'a> {
         ctx: &crate::lifecycle::SolveCtx,
         mut on_iter: impl FnMut(&IterationReport),
     ) -> crate::lifecycle::RunOutcome {
-        crate::lifecycle::drive(iterations, ctx, |_| {
-            let rep = self.iterate(policy);
+        crate::lifecycle::drive_dynamics(iterations, ctx, |_| {
+            let (rep, raw) = self.iterate_dynamics(policy, ctx.dynamics());
             on_iter(&rep);
-            (rep.iter_best, rep.best_so_far)
+            (rep.iter_best, rep.best_so_far, raw)
         })
     }
 }

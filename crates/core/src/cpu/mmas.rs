@@ -55,6 +55,7 @@ pub struct MaxMinAntSystem<'a> {
     last_iter_best: u64,
     iterations: usize,
     since_improvement: usize,
+    restarts: u64,
     /// Reusable construction scratch (visited flags + roulette slots).
     visited_scratch: Vec<bool>,
     prob_scratch: Vec<f64>,
@@ -111,6 +112,7 @@ impl<'a> MaxMinAntSystem<'a> {
             last_iter_best: u64::MAX,
             iterations: 0,
             since_improvement: 0,
+            restarts: 0,
             visited_scratch: vec![false; n],
             prob_scratch: vec![0.0; nn_depth],
             local_search: LocalSearch::None,
@@ -240,14 +242,29 @@ impl<'a> MaxMinAntSystem<'a> {
 
     /// One MMAS iteration; returns the best-so-far length.
     pub fn iterate(&mut self) -> u64 {
+        self.iterate_dynamics(None).0
+    }
+
+    /// [`iterate`](Self::iterate), additionally measuring search dynamics
+    /// when a config is supplied. Ants are constructed one at a time, so
+    /// tour-length moments accumulate in-stream
+    /// ([`aco_obs::dynamics::compute_raw_from_moments`]); the O(n²) trail
+    /// scans run only when `dynamics` is `Some`.
+    pub fn iterate_dynamics(
+        &mut self,
+        dynamics: Option<&aco_obs::DynamicsConfig>,
+    ) -> (u64, Option<aco_obs::RawDynamics>) {
         self.iterations += 1;
         let all_ants = self.ls_scope == LsScope::AllAnts;
         let mut iter_best: Option<(Tour, u64)> = None;
+        let (mut len_sum, mut len_sumsq) = (0.0f64, 0.0f64);
         for _ in 0..self.m {
             let (mut tour, mut len) = self.construct_one();
             if all_ants {
                 self.ls_improve(&mut tour, &mut len);
             }
+            len_sum += len as f64;
+            len_sumsq += len as f64 * len as f64;
             if iter_best.as_ref().is_none_or(|&(_, b)| len < b) {
                 iter_best = Some((tour, len));
             }
@@ -294,10 +311,29 @@ impl<'a> MaxMinAntSystem<'a> {
         if self.mmas.restart_after > 0 && self.since_improvement >= self.mmas.restart_after {
             self.tau.fill(self.tau_max);
             self.since_improvement = 0;
+            self.restarts += 1;
         }
 
         self.recompute_choice();
-        self.best.as_ref().map(|&(_, l)| l).expect("set above")
+        // Dynamics snapshot the trail state at the iteration boundary —
+        // after deposit, clamp, and any restart.
+        let raw = dynamics.map(|cfg| {
+            aco_obs::dynamics::compute_raw_from_moments(
+                cfg,
+                self.m as u64,
+                len_sum,
+                len_sumsq,
+                &self.tau,
+                self.n,
+            )
+        });
+        (self.best.as_ref().map(|&(_, l)| l).expect("set above"), raw)
+    }
+
+    /// How many stagnation restarts (`restart_after` exceeded, trails
+    /// re-initialised to `tau_max`) have fired so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Run `iters` iterations; returns the best length.
@@ -322,9 +358,9 @@ impl<'a> MaxMinAntSystem<'a> {
         iterations: usize,
         ctx: &crate::lifecycle::SolveCtx,
     ) -> crate::lifecycle::RunOutcome {
-        crate::lifecycle::drive(iterations, ctx, |_| {
-            let best = self.iterate();
-            (self.last_iter_best, best)
+        crate::lifecycle::drive_dynamics(iterations, ctx, |_| {
+            let (best, raw) = self.iterate_dynamics(ctx.dynamics());
+            (self.last_iter_best, best, raw)
         })
     }
 
@@ -395,5 +431,6 @@ mod tests {
         let (_, hi) = mmas.bounds();
         let above_half = mmas.tau().iter().filter(|&&t| t > hi * 0.4).count();
         assert!(above_half > 0, "restart should lift trails toward tau_max");
+        assert!(mmas.restarts() >= 1, "every fired restart is counted");
     }
 }

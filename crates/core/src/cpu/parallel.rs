@@ -97,7 +97,7 @@ pub fn run_parallel_ctx(
         // outcome to their no-solution error).
         return crate::lifecycle::RunOutcome { iterations: 0, stopped: None };
     }
-    crate::lifecycle::drive(iterations, ctx, |k| {
+    crate::lifecycle::drive_dynamics(iterations, ctx, |k| {
         // Match sequential semantics: refresh choice info from the
         // pheromone laid down last iteration before constructing.
         let mut c = super::counter::OpCounter::default();
@@ -112,7 +112,13 @@ pub fn run_parallel_ctx(
         }
         aco.update_pheromone(&sols, &mut c);
         on_iter(&c);
-        (len, best.as_ref().map(|&(_, l)| l).expect("set above"))
+        // Dynamics are measured at the fan-in on the host thread, so they
+        // are as thread-count independent as the tours themselves.
+        let raw = ctx.dynamics().map(|cfg| {
+            let lens: Vec<u64> = sols.iter().map(|&(_, l)| l).collect();
+            aco_obs::dynamics::compute_raw(cfg, &lens, aco.tau(), aco.n())
+        });
+        (len, best.as_ref().map(|&(_, l)| l).expect("set above"), raw)
     })
 }
 

@@ -33,6 +33,9 @@ use super::choice::ChoiceKernel;
 use crate::cpu::acs::AcsParams;
 use crate::params::AcoParams;
 
+/// Per-iteration report: `(best_so_far, tour_ms, update_ms, ls_ms)`.
+pub type AcsIterReport = (u64, f64, f64, f64);
+
 /// ACS tour construction: pseudo-random proportional rule + local update.
 pub struct AcsTourKernel {
     /// Device buffers; `choice` holds `eta^beta` (not `tau^a eta^b`).
@@ -489,7 +492,18 @@ impl<'a> GpuAntColonySystem<'a> {
     /// One ACS iteration; returns `(best_so_far, tour_ms, update_ms,
     /// ls_ms)` where `ls_ms` is the modeled time of the local-search
     /// kernel family (0 without one).
-    pub fn iterate(&mut self) -> Result<(u64, f64, f64, f64), SimtError> {
+    pub fn iterate(&mut self) -> Result<AcsIterReport, SimtError> {
+        self.iterate_dynamics(None).map(|(rep, _)| rep)
+    }
+
+    /// [`iterate`](Self::iterate), additionally measuring search dynamics
+    /// when a config is supplied. The trail is read back after the global
+    /// update kernel, so entropy/λ-branching see the iteration-boundary
+    /// state; the O(n²) scans run only when `dynamics` is `Some`.
+    pub fn iterate_dynamics(
+        &mut self,
+        dynamics: Option<&aco_obs::DynamicsConfig>,
+    ) -> Result<(AcsIterReport, Option<aco_obs::RawDynamics>), SimtError> {
         self.bufs.clear_visited(&mut self.gm);
         let tk = AcsTourKernel {
             bufs: self.bufs,
@@ -544,7 +558,11 @@ impl<'a> GpuAntColonySystem<'a> {
             launch_threads(&self.dev, &uk.config(), &uk, &mut self.gm, SimMode::Full, threads)?;
 
         self.iteration += 1;
-        Ok((best_len, rt.time.total_ms, ru.time.total_ms, ls_ms))
+        let raw = dynamics.map(|cfg| {
+            let tau = &self.gm.f32(self.bufs.tau)[..n * n];
+            aco_obs::dynamics::compute_raw(cfg, &lens, tau, n)
+        });
+        Ok(((best_len, rt.time.total_ms, ru.time.total_ms, ls_ms), raw))
     }
 
     /// Improve the window of ant tours with the configured strategy (the
@@ -612,13 +630,13 @@ impl<'a> GpuAntColonySystem<'a> {
         ctx: &crate::lifecycle::SolveCtx,
         mut on_iter: impl FnMut(f64, f64, f64),
     ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
-        crate::lifecycle::try_drive(iterations, ctx, |k| {
-            let (best, tour_ms, update_ms, ls_ms) = self.iterate()?;
+        crate::lifecycle::try_drive_dynamics(iterations, ctx, |k| {
+            let ((best, tour_ms, update_ms, ls_ms), raw) = self.iterate_dynamics(ctx.dynamics())?;
             if let Some(trace) = ctx.trace() {
                 trace.record_iteration(k, tour_ms, ls_ms, update_ms);
             }
             on_iter(tour_ms, update_ms, ls_ms);
-            Ok((self.last_iter_best, best))
+            Ok((self.last_iter_best, best, raw))
         })
     }
 }

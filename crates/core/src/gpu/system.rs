@@ -225,6 +225,20 @@ impl<'a> GpuAntSystem<'a> {
     /// `SimMode::Full` keeps functional output exact (needed for quality
     /// studies); sampled modes are for timing tables on large instances.
     pub fn iterate(&mut self, mode: SimMode) -> Result<GpuIterationReport, SimtError> {
+        self.iterate_dynamics(mode, None).map(|(rep, _)| rep)
+    }
+
+    /// [`iterate`](Self::iterate), additionally measuring search dynamics
+    /// when a config is supplied (and the mode is [`SimMode::Full`] — the
+    /// host-exact lengths the statistics need only exist there). The trail
+    /// is read back after the pheromone kernel, so entropy/λ-branching see
+    /// the iteration-boundary state; the O(n²) scans run only when
+    /// `dynamics` is `Some`.
+    pub fn iterate_dynamics(
+        &mut self,
+        mode: SimMode,
+        dynamics: Option<&aco_obs::DynamicsConfig>,
+    ) -> Result<(GpuIterationReport, Option<aco_obs::RawDynamics>), SimtError> {
         let threads = self.effective_threads();
         let tour_run = run_tour_threads(
             &self.dev,
@@ -247,6 +261,7 @@ impl<'a> GpuAntSystem<'a> {
         // output).
         let mut iter_best = u64::MAX;
         let mut ls_ms = 0.0;
+        let mut dyn_lens: Option<Vec<u64>> = None;
         if matches!(mode, SimMode::Full) {
             let n = self.bufs.n as usize;
             let mut tours: Vec<Tour> = self
@@ -268,6 +283,9 @@ impl<'a> GpuAntSystem<'a> {
             if self.best.as_ref().is_none_or(|&(_, b)| iter_best < b) {
                 self.best = Some((tours[k].clone(), iter_best));
             }
+            if dynamics.is_some() {
+                dyn_lens = Some(lens);
+            }
         }
 
         let threads = self.effective_threads();
@@ -282,14 +300,23 @@ impl<'a> GpuAntSystem<'a> {
         )?;
 
         self.iteration += 1;
-        Ok(GpuIterationReport {
+        let raw = match (dynamics, dyn_lens) {
+            (Some(cfg), Some(lens)) => {
+                let n = self.bufs.n as usize;
+                let tau = &self.gm.f32(self.bufs.tau)[..n * n];
+                Some(aco_obs::dynamics::compute_raw(cfg, &lens, tau, n))
+            }
+            _ => None,
+        };
+        let rep = GpuIterationReport {
             tour_ms: tour_run.total_ms(),
             pheromone_ms: ph.time.total_ms,
             ls_ms,
             iter_best,
             best_so_far: self.best.as_ref().map_or(u64::MAX, |&(_, l)| l),
             tour_run,
-        })
+        };
+        Ok((rep, raw))
     }
 
     /// Improve the window of ant tours with the configured strategy (the
@@ -351,13 +378,13 @@ impl<'a> GpuAntSystem<'a> {
         ctx: &crate::lifecycle::SolveCtx,
         mut on_iter: impl FnMut(&GpuIterationReport),
     ) -> Result<crate::lifecycle::RunOutcome, SimtError> {
-        crate::lifecycle::try_drive(iterations, ctx, |k| {
-            let rep = self.iterate(SimMode::Full)?;
+        crate::lifecycle::try_drive_dynamics(iterations, ctx, |k| {
+            let (rep, raw) = self.iterate_dynamics(SimMode::Full, ctx.dynamics())?;
             if let Some(trace) = ctx.trace() {
                 trace.record_iteration(k, rep.tour_ms, rep.ls_ms, rep.pheromone_ms);
             }
             on_iter(&rep);
-            Ok((rep.iter_best, rep.best_so_far))
+            Ok((rep.iter_best, rep.best_so_far, raw))
         })
     }
 }

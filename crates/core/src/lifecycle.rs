@@ -61,7 +61,7 @@ pub enum StopReason {
 }
 
 /// One completed colony iteration, as seen by the observer sink.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationEvent {
     /// 0-based iteration index within this run.
     pub iteration: u64,
@@ -74,6 +74,11 @@ pub struct IterationEvent {
     /// (they do not know about pools); a pool-aware scheduler stamps the
     /// id in its observer before fanning the event out.
     pub device: Option<u32>,
+    /// Search-dynamics statistics for this iteration. `None` unless the
+    /// context asked for dynamics ([`SolveCtx::with_dynamics`]) *and*
+    /// the colony computes them. Telemetry only — two runs differing
+    /// solely in this field did identical solve work.
+    pub stats: Option<aco_obs::IterationStats>,
 }
 
 /// The observer sink: called once per completed iteration, on the thread
@@ -90,6 +95,7 @@ pub struct SolveCtx {
     deadline: Option<Instant>,
     observer: Option<Box<IterationObserver>>,
     trace: Option<Arc<aco_obs::JobTrace>>,
+    dynamics: Option<aco_obs::DynamicsConfig>,
 }
 
 impl std::fmt::Debug for SolveCtx {
@@ -99,6 +105,7 @@ impl std::fmt::Debug for SolveCtx {
             .field("deadline", &self.deadline)
             .field("observed", &self.observer.is_some())
             .field("traced", &self.trace.is_some())
+            .field("dynamics", &self.dynamics.is_some())
             .finish()
     }
 }
@@ -138,6 +145,23 @@ impl SolveCtx {
     pub fn with_trace(mut self, trace: Arc<aco_obs::JobTrace>) -> Self {
         self.trace = Some(trace);
         self
+    }
+
+    /// Builder: compute per-iteration search-dynamics statistics (tour
+    /// length distribution, trail entropy, λ-branching, stagnation)
+    /// under `config` and attach them to every emitted
+    /// [`IterationEvent`]. Write-only telemetry — results are
+    /// bit-identical with or without it.
+    pub fn with_dynamics(mut self, config: aco_obs::DynamicsConfig) -> Self {
+        self.dynamics = Some(config);
+        self
+    }
+
+    /// The dynamics configuration, if this run should compute search
+    /// statistics. Colonies consult this to skip the `O(n²)`
+    /// entropy/branching scans when nobody asked.
+    pub fn dynamics(&self) -> Option<&aco_obs::DynamicsConfig> {
+        self.dynamics.as_ref()
     }
 
     /// The trace this run records spans into, if any. Colonies call
@@ -194,14 +218,29 @@ pub fn drive(
     ctx: &SolveCtx,
     mut step: impl FnMut(u64) -> (u64, u64),
 ) -> RunOutcome {
-    for k in 0..iterations {
-        if let Some(reason) = ctx.stop_reason() {
-            return RunOutcome { iterations: k, stopped: Some(reason) };
-        }
-        let (iter_best, best_so_far) = step(k as u64);
-        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far, device: None });
+    drive_dynamics(iterations, ctx, |k| {
+        let (iter_best, best_so_far) = step(k);
+        (iter_best, best_so_far, None)
+    })
+}
+
+/// [`drive`] for colonies that also measure search dynamics: `step`
+/// returns `(iter_best, best_so_far, raw)` where `raw` carries the
+/// iteration's tour-length distribution and trail statistics (`None`
+/// when the context asked for no dynamics — colonies gate the `O(n²)`
+/// scans on [`SolveCtx::dynamics`]). The driver owns the per-run
+/// [`DynamicsTracker`](aco_obs::DynamicsTracker), so improvement deltas
+/// and the stagnation detector behave identically across all six
+/// colonies.
+pub fn drive_dynamics(
+    iterations: usize,
+    ctx: &SolveCtx,
+    mut step: impl FnMut(u64) -> (u64, u64, Option<aco_obs::RawDynamics>),
+) -> RunOutcome {
+    match try_drive_dynamics::<std::convert::Infallible>(iterations, ctx, |k| Ok(step(k))) {
+        Ok(out) => out,
+        Err(e) => match e {},
     }
-    RunOutcome { iterations, stopped: None }
 }
 
 /// [`drive`] for fallible steps (the simulated GPU paths, whose kernel
@@ -211,12 +250,36 @@ pub fn try_drive<E>(
     ctx: &SolveCtx,
     mut step: impl FnMut(u64) -> Result<(u64, u64), E>,
 ) -> Result<RunOutcome, E> {
+    try_drive_dynamics(iterations, ctx, |k| {
+        let (iter_best, best_so_far) = step(k)?;
+        Ok((iter_best, best_so_far, None))
+    })
+}
+
+/// [`drive_dynamics`] for fallible steps. An `Err` aborts the loop
+/// without emitting.
+pub fn try_drive_dynamics<E>(
+    iterations: usize,
+    ctx: &SolveCtx,
+    mut step: impl FnMut(u64) -> Result<(u64, u64, Option<aco_obs::RawDynamics>), E>,
+) -> Result<RunOutcome, E> {
+    let mut tracker = ctx.dynamics.map(aco_obs::DynamicsTracker::new);
     for k in 0..iterations {
         if let Some(reason) = ctx.stop_reason() {
             return Ok(RunOutcome { iterations: k, stopped: Some(reason) });
         }
-        let (iter_best, best_so_far) = step(k as u64)?;
-        ctx.emit(IterationEvent { iteration: k as u64, iter_best, best_so_far, device: None });
+        let (iter_best, best_so_far, raw) = step(k as u64)?;
+        let stats = match (&mut tracker, raw) {
+            (Some(t), Some(raw)) => Some(t.observe(best_so_far, raw)),
+            _ => None,
+        };
+        ctx.emit(IterationEvent {
+            iteration: k as u64,
+            iter_best,
+            best_so_far,
+            device: None,
+            stats,
+        });
     }
     Ok(RunOutcome { iterations, stopped: None })
 }
@@ -269,6 +332,43 @@ mod tests {
         let out = drive(6, &ctx, |k| (k + 10, k + 10));
         assert!(out.completed());
         assert_eq!(seen.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn dynamics_ctx_attaches_stats_to_events() {
+        use aco_obs::{DynamicsConfig, RawDynamics};
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let ctx = SolveCtx::new()
+            .with_dynamics(DynamicsConfig::default().window(2).entropy_floor(0.0))
+            .with_observer(move |ev| seen2.lock().unwrap().push(ev));
+        let out = drive_dynamics(4, &ctx, |k| {
+            let best = 100 - k.min(1) * 10; // one improvement at k = 1, then flat
+            let raw =
+                RawDynamics { mean_len: best as f64 + 5.0, entropy: 0.9, ..Default::default() };
+            (best, best, Some(raw))
+        });
+        assert!(out.completed());
+        let evs = seen.lock().expect("events");
+        assert_eq!(evs.len(), 4);
+        let s1 = evs[1].stats.expect("stats attached");
+        assert_eq!(s1.improvement, 10);
+        assert_eq!(s1.stagnant_iterations, 0);
+        let s3 = evs[3].stats.expect("stats attached");
+        assert_eq!(s3.stagnant_iterations, 2);
+        assert!(s3.stagnant, "2 flat iterations hit the window of 2");
+        assert!((s3.mean_len - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_drive_emits_no_stats() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let ctx = SolveCtx::new()
+            .with_dynamics(aco_obs::DynamicsConfig::default())
+            .with_observer(move |ev| seen2.lock().unwrap().push(ev));
+        drive(2, &ctx, |_| (7, 7));
+        assert!(seen.lock().expect("events").iter().all(|ev| ev.stats.is_none()));
     }
 
     #[test]

@@ -48,6 +48,19 @@
 //!   per-kernel-family profiles from the simulated launch path. Purely
 //!   write-only: solve results, placements and progress sequences are
 //!   bit-identical with observability on or off.
+//! * **Search dynamics & event journal** (opt in via
+//!   [`EngineConfig::dynamics`] / [`EngineConfig::journal`]): per-iteration
+//!   colony statistics — mean/stddev tour length, best-so-far improvement,
+//!   pheromone trail entropy, mean λ-branching factor, and a configurable
+//!   stagnation detector — computed by every backend at iteration
+//!   boundaries, surfaced on [`IterationEvent`] and folded into each
+//!   timeline's [`DynamicsSummary`]; plus a bounded engine-wide JSONL
+//!   flight recorder ([`Journal`]) of submit / placement / attempt /
+//!   iteration-sample / stagnation / completion events, exportable via
+//!   [`Engine::journal_export`] and replayable offline with
+//!   [`replay_timeline`]. [`Engine::render_dashboard`] renders both as a
+//!   textual live view. The write-only contract extends to both layers:
+//!   results are bit-identical with dynamics/journal on or off.
 //! * **Fault tolerance** ([`aco_faults`], armed via
 //!   [`EngineConfig::faults`]): a seeded, deterministic fault injector
 //!   (kernel panics, transient device errors, hangs — pure functions of
@@ -107,8 +120,9 @@ pub use aco_devices::{
 pub use aco_faults::{FaultInjector, FaultKind, FaultPlan, FaultRates};
 pub use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 pub use aco_obs::{
-    HistogramSnapshot, IterationSpans, JobTimeline, KernelFamilySnapshot, MetricsSnapshot,
-    LATENCY_BUCKETS_MS,
+    replay_timeline, sparkline, DynamicsConfig, DynamicsSummary, HistogramSnapshot, IterationSpans,
+    IterationStats, JobTimeline, Journal, JournalConfig, KernelFamilySnapshot, MetricsSnapshot,
+    RawDynamics, LATENCY_BUCKETS_MS,
 };
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};

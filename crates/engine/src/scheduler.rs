@@ -84,7 +84,7 @@ use aco_devices::{
 };
 use aco_faults::{FaultInjector, FaultKind, FaultPlan};
 use aco_obs::{
-    Counter, Gauge, Histogram, JobTimeline, JobTrace, KernelSink, MetricsSnapshot, Obs,
+    sparkline, Counter, Gauge, Histogram, JobTimeline, JobTrace, KernelSink, MetricsSnapshot, Obs,
     LATENCY_BUCKETS_MS,
 };
 use aco_simt::SimtError;
@@ -146,6 +146,23 @@ pub struct EngineConfig {
     /// thread count, so placements, reports and progress streams do not
     /// depend on donation (or the worker count); only wall-clock does.
     pub donate_idle_threads: bool,
+    /// Per-iteration search-dynamics measurement (default `None`: off,
+    /// zero cost). Armed, every colony computes mean/stddev tour length,
+    /// trail entropy and λ-branching at each iteration boundary and the
+    /// lifecycle driver folds them through the config's stagnation
+    /// detector; the stats ride on each `IterationEvent`, fold into the
+    /// job's [`JobTimeline`], and bridge into per-job gauges. Write-only
+    /// like the rest of observability: reports, placements and the
+    /// non-stats event fields are bit-identical on or off.
+    pub dynamics: Option<aco_obs::DynamicsConfig>,
+    /// Engine-wide structured event journal (default `None`: off). Armed,
+    /// the engine appends one JSONL record per lifecycle event — submit,
+    /// placement, failed attempt, iteration sample, stagnation onset,
+    /// completion — to a bounded in-memory ring (and optionally a file);
+    /// export with [`Engine::journal_export`], replay with
+    /// [`aco_obs::replay_timeline`]. Write-only: recording never feeds
+    /// back into scheduling or solving.
+    pub journal: Option<aco_obs::JournalConfig>,
 }
 
 impl Default for EngineConfig {
@@ -161,6 +178,8 @@ impl Default for EngineConfig {
             fault_plan: None,
             health: HealthPolicy::default(),
             donate_idle_threads: true,
+            dynamics: None,
+            journal: None,
         }
     }
 }
@@ -218,6 +237,20 @@ impl EngineConfig {
     /// [`EngineConfig::donate_idle_threads`]).
     pub fn donate_idle(mut self, enabled: bool) -> Self {
         self.donate_idle_threads = enabled;
+        self
+    }
+
+    /// Builder: arm per-iteration search-dynamics measurement (see
+    /// [`EngineConfig::dynamics`]).
+    pub fn dynamics(mut self, config: aco_obs::DynamicsConfig) -> Self {
+        self.dynamics = Some(config);
+        self
+    }
+
+    /// Builder: arm the engine-wide event journal (see
+    /// [`EngineConfig::journal`]).
+    pub fn journal(mut self, config: aco_obs::JournalConfig) -> Self {
+        self.journal = Some(config);
         self
     }
 }
@@ -505,6 +538,19 @@ struct Shared {
     donated: Arc<AtomicUsize>,
     /// Whether GPU bindings are handed the donation counter.
     donate: bool,
+    /// Search-dynamics config handed to every job's `SolveCtx` (`None`:
+    /// colonies skip the measurement entirely).
+    dynamics: Option<aco_obs::DynamicsConfig>,
+    /// The engine-wide event journal (`None`: journalling off).
+    journal: Option<Arc<aco_obs::Journal>>,
+}
+
+impl Shared {
+    /// Journal timestamp: milliseconds since engine construction (wall
+    /// clock, never fed back into scheduling).
+    fn journal_ts_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
 }
 
 /// The scheduler's own metric handles, registered once at engine
@@ -539,6 +585,12 @@ struct SchedMetrics {
     faults_injected: Counter,
     /// Attempts reclassified as hung by the per-attempt watchdog.
     watchdog_trips: Counter,
+    /// Healthy→stagnant transitions the dynamics detector flagged
+    /// (counted once per onset, across all jobs).
+    stagnation_events: Counter,
+    /// Colony stagnation restarts surfaced by completed reports (MMAS
+    /// trail re-initialisations).
+    restarts: Counter,
 }
 
 impl SchedMetrics {
@@ -560,6 +612,8 @@ impl SchedMetrics {
             cpu_fallbacks: reg.counter("aco_engine_cpu_fallbacks_total"),
             faults_injected: reg.counter("aco_engine_faults_injected_total"),
             watchdog_trips: reg.counter("aco_engine_watchdog_trips_total"),
+            stagnation_events: reg.counter("aco_engine_stagnation_events_total"),
+            restarts: reg.counter("aco_engine_restarts_total"),
         }
     }
 }
@@ -732,9 +786,20 @@ impl Shared {
 /// latency (once, on the first event) into the scheduler histogram and
 /// the job's trace — pure recording, so it cannot perturb the event
 /// sequence.
-fn job_ctx(shared: &Shared, state: &Arc<JobState>, deadline: Option<Instant>) -> SolveCtx {
+///
+/// With [`EngineConfig::dynamics`] armed the ctx carries the config (so
+/// colonies measure and the driver attaches [`aco_obs::IterationStats`]
+/// to each event), and the observer additionally folds the stats into
+/// the job's timeline, samples iteration records into the journal, and
+/// journals/counts stagnation *onsets* (healthy→stagnant edges) — all
+/// write-only.
+fn job_ctx(shared: &Shared, id: u64, state: &Arc<JobState>, deadline: Option<Instant>) -> SolveCtx {
     let trace = state.trace.clone();
     let first_event_ms = shared.metrics.first_event_ms.clone();
+    let stagnation_metric = shared.metrics.stagnation_events.clone();
+    let journal = shared.journal.clone();
+    let started = shared.started;
+    let was_stagnant = AtomicBool::new(false);
     let obs_state = Arc::clone(state);
     let mut ctx = SolveCtx::new().with_cancel(state.cancel.clone()).with_observer(move |mut ev| {
         if !obs_state.first_event.swap(true, Ordering::Relaxed) {
@@ -745,8 +810,42 @@ fn job_ctx(shared: &Shared, state: &Arc<JobState>, deadline: Option<Instant>) ->
             }
         }
         ev.device = obs_state.device_id().map(|d| d.0);
+        // Healthy → stagnant edges count once per entry (the detector
+        // state lives here, per attempt, not in the colony).
+        let mut onset = false;
+        if let Some(stats) = ev.stats {
+            if let Some(trace) = &obs_state.trace {
+                trace.record_dynamics(ev.iteration, ev.best_so_far, &stats);
+            }
+            let prev = was_stagnant.swap(stats.stagnant, Ordering::Relaxed);
+            onset = stats.stagnant && !prev;
+            if onset {
+                stagnation_metric.inc();
+            }
+        }
+        if let Some(j) = &journal {
+            let ts = started.elapsed().as_secs_f64() * 1e3;
+            if ev.iteration % j.sample_every() == 0 {
+                // Iteration samples are journaled with or without
+                // dynamics; the stats fields simply stay absent.
+                j.record_iteration(
+                    ts,
+                    id,
+                    ev.iteration,
+                    ev.iter_best,
+                    ev.best_so_far,
+                    ev.stats.as_ref(),
+                );
+            }
+            if let (true, Some(stats)) = (onset, ev.stats) {
+                j.record_stagnation(ts, id, ev.iteration, stats.stagnant_iterations, stats.entropy);
+            }
+        }
         obs_state.progress.push(ev);
     });
+    if let Some(cfg) = shared.dynamics {
+        ctx = ctx.with_dynamics(cfg);
+    }
     if let Some(d) = deadline {
         ctx = ctx.with_deadline(d);
     }
@@ -1094,7 +1193,7 @@ fn run_supervised(
             (None, Some(dog)) => Some(attempt_start + dog),
             (None, None) => None,
         };
-        let ctx = job_ctx(shared, state, attempt_deadline);
+        let ctx = job_ctx(shared, id, state, attempt_deadline);
         let entered_with = state.device_id();
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_attempt(shared, id, state, req, &ctx, attempt, force_cpu)
@@ -1178,6 +1277,15 @@ fn run_supervised(
         let error = err.to_string();
         if let Some(trace) = &state.trace {
             trace.record_attempt(attempt, device.map(|d| d.0), &error);
+        }
+        if let Some(journal) = &shared.journal {
+            journal.record_attempt(
+                shared.journal_ts_ms(),
+                id,
+                attempt,
+                device.map(|d| d.0),
+                &error,
+            );
         }
         faults.push(AttemptFault {
             attempt,
@@ -1269,6 +1377,15 @@ fn run_supervised(
     }
 }
 
+/// The stable journal spelling of a [`JobOutcome`].
+fn outcome_label(outcome: &JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Completed => "completed",
+        JobOutcome::Cancelled => "cancelled",
+        JobOutcome::DeadlineExpired => "deadline-expired",
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
     while let Some(QueueEntry { id, state, req, .. }) = shared.next_job(worker) {
         shared.metrics.queue_depth.dec();
@@ -1298,6 +1415,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         }
         // Drop cancelled / already-expired jobs before execution: no
         // solver is built and no cache entry is touched.
+        let mut solve_wall_ms = 0.0;
+        let mut cache_hit = None;
         let outcome = if state.cancel.is_cancelled() {
             if let Some(d) = admitted {
                 shared.pool.cancel_admit(d);
@@ -1316,19 +1435,58 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             // retry/failover re-placement.
             let result = run_supervised(&shared, id, &state, &req);
             let wall = t0.elapsed();
+            solve_wall_ms = wall.as_secs_f64() * 1e3;
             shared.metrics.jobs_running.dec();
             if let Some(trace) = &state.trace {
                 trace.record_solve_wall_ms(wall.as_secs_f64() * 1e3);
                 // The job ran (even if it failed mid-run): its timeline
                 // goes to the engine-wide ring. Never-ran jobs (eager
                 // cancel/expiry) have no spans worth keeping.
-                shared.obs.sink().push(trace.snapshot());
+                let snapshot = trace.snapshot();
+                cache_hit = snapshot.artifact_cache_hit;
+                shared.obs.sink().push(snapshot);
             }
             result
         };
         match &outcome {
-            Ok(_) => shared.metrics.jobs_completed.inc(),
+            Ok(report) => {
+                shared.metrics.jobs_completed.inc();
+                shared.metrics.restarts.add(report.restarts);
+            }
             Err(_) => shared.metrics.jobs_failed.inc(),
+        }
+        if let Some(journal) = &shared.journal {
+            let ts = shared.journal_ts_ms();
+            match &outcome {
+                Ok(report) => journal.record_complete(
+                    ts,
+                    id,
+                    outcome_label(&report.outcome),
+                    &report.backend.label(),
+                    report.device.map(|d| d.0),
+                    report.best_len,
+                    report.iterations,
+                    queue_wait_ms,
+                    solve_wall_ms,
+                    cache_hit,
+                    report.attempts,
+                    report.restarts,
+                ),
+                Err(_) => journal.record_complete(
+                    ts,
+                    id,
+                    "failed",
+                    &req.backend.label(),
+                    state.device_id().map(|d| d.0),
+                    0,
+                    0,
+                    queue_wait_ms,
+                    solve_wall_ms,
+                    cache_hit,
+                    0,
+                    0,
+                ),
+            }
         }
         shared.post(id, &state, outcome);
     }
@@ -1578,6 +1736,8 @@ impl Engine {
             started: Instant::now(),
             donated: Arc::new(AtomicUsize::new(0)),
             donate: config.donate_idle_threads,
+            dynamics: config.dynamics,
+            journal: config.journal.map(|cfg| Arc::new(aco_obs::Journal::new(cfg))),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -1671,6 +1831,27 @@ impl Engine {
         let trace = self.shared.obs.job_trace(id);
         if let Some(trace) = &trace {
             trace.record_placement_ms(placement_ms);
+        }
+        if let Some(journal) = &self.shared.journal {
+            let ts = self.shared.journal_ts_ms();
+            journal.record_submit(
+                ts,
+                id,
+                &req.backend.label(),
+                req.instance.name(),
+                req.instance.n(),
+                req.iterations,
+                req.effective_seed(),
+            );
+            if let Ok(Some(p)) = &placement {
+                let name = self
+                    .shared
+                    .pool
+                    .profile(p.device)
+                    .map(|prof| prof.name.clone())
+                    .unwrap_or_default();
+                journal.record_placement(ts, id, p.device.0, &name);
+            }
         }
         let submitted = Instant::now();
         let state = Arc::new(JobState {
@@ -1780,19 +1961,18 @@ impl Engine {
         let reg = self.shared.obs.metrics();
         if self.shared.obs.is_enabled() {
             let elapsed = self.shared.started.elapsed().as_secs_f64();
+            // Label values flow through `labelled`, which escapes `\`,
+            // `"` and newlines per the Prometheus text format — a
+            // hostile device name must not corrupt the whole export.
+            let dev = |base: &str, name: &str| aco_obs::metrics::labelled(base, "device", name);
             for d in self.shared.pool.snapshot() {
                 let name = &d.name;
-                reg.gauge(&format!("aco_device_queued{{device=\"{name}\"}}")).set(d.queued as i64);
-                reg.gauge(&format!("aco_device_running{{device=\"{name}\"}}"))
-                    .set(d.running as i64);
-                reg.counter(&format!("aco_device_completed_total{{device=\"{name}\"}}"))
-                    .set(d.completed);
-                reg.counter(&format!("aco_device_admission_waits_total{{device=\"{name}\"}}"))
-                    .set(d.admission_waits);
-                reg.gauge(&format!("aco_device_busy_ms{{device=\"{name}\"}}"))
-                    .set(d.busy_ms as i64);
-                reg.gauge(&format!("aco_device_assigned_ms{{device=\"{name}\"}}"))
-                    .set(d.assigned_ms as i64);
+                reg.gauge(&dev("aco_device_queued", name)).set(d.queued as i64);
+                reg.gauge(&dev("aco_device_running", name)).set(d.running as i64);
+                reg.counter(&dev("aco_device_completed_total", name)).set(d.completed);
+                reg.counter(&dev("aco_device_admission_waits_total", name)).set(d.admission_waits);
+                reg.gauge(&dev("aco_device_busy_ms", name)).set(d.busy_ms as i64);
+                reg.gauge(&dev("aco_device_assigned_ms", name)).set(d.assigned_ms as i64);
                 // Utilization in basis points (gauges are integers):
                 // busy wall time over the engine's lifetime so far.
                 let util_bp = if elapsed > 0.0 {
@@ -1800,13 +1980,25 @@ impl Engine {
                 } else {
                     0
                 };
-                reg.gauge(&format!("aco_device_utilization_bp{{device=\"{name}\"}}")).set(util_bp);
-                reg.gauge(&format!("aco_device_health{{device=\"{name}\"}}"))
-                    .set(d.health.code() as i64);
-                reg.counter(&format!("aco_device_quarantines_total{{device=\"{name}\"}}"))
-                    .set(d.quarantines);
-                reg.counter(&format!("aco_device_faults_observed_total{{device=\"{name}\"}}"))
-                    .set(d.faults_observed);
+                reg.gauge(&dev("aco_device_utilization_bp", name)).set(util_bp);
+                reg.gauge(&dev("aco_device_health", name)).set(d.health.code() as i64);
+                reg.counter(&dev("aco_device_quarantines_total", name)).set(d.quarantines);
+                reg.counter(&dev("aco_device_faults_observed_total", name)).set(d.faults_observed);
+            }
+            // Per-job search-dynamics gauges for every timeline still in
+            // the ring. Entropy is exported in milli-units (gauges are
+            // integers).
+            let job =
+                |base: &str, id: u64| aco_obs::metrics::labelled(base, "job", &id.to_string());
+            for t in self.shared.obs.sink().recent() {
+                if let Some(d) = &t.dynamics {
+                    reg.gauge(&job("aco_job_entropy_milli", t.job))
+                        .set((d.final_entropy * 1e3).round() as i64);
+                    reg.gauge(&job("aco_job_stagnant_iterations", t.job))
+                        .set(d.stagnant_iterations as i64);
+                    reg.gauge(&job("aco_job_lambda_branching_milli", t.job))
+                        .set((d.final_lambda_branching * 1e3).round() as i64);
+                }
             }
             let cs = self.shared.cache.stats();
             reg.counter("aco_cache_artifact_hits_total").set(cs.artifact_hits);
@@ -1831,6 +2023,85 @@ impl Engine {
     /// far (how much history the bound has discarded).
     pub fn timelines_evicted(&self) -> u64 {
         self.shared.obs.sink().evicted()
+    }
+
+    /// The engine's event journal, when [`EngineConfig::journal`]
+    /// configured one.
+    pub fn journal(&self) -> Option<&aco_obs::Journal> {
+        self.shared.journal.as_deref()
+    }
+
+    /// The retained journal as one JSONL document (oldest line first),
+    /// or `None` when no journal is configured. Feed one job's worth to
+    /// [`aco_obs::replay_timeline`] to reconstruct its timeline offline.
+    pub fn journal_export(&self) -> Option<String> {
+        self.shared.journal.as_ref().map(|j| j.export())
+    }
+
+    /// A textual live view of the engine: one row per pool device
+    /// (queue depth, running jobs, utilisation, health) and one row per
+    /// recent job with a best-so-far convergence sparkline and the final
+    /// dynamics numbers. Purely observational — rendering reads the same
+    /// snapshots the metrics export does.
+    pub fn render_dashboard(&self) -> String {
+        let elapsed = self.shared.started.elapsed().as_secs_f64();
+        let mut out = format!(
+            "aco-engine dashboard  t+{elapsed:.1}s  workers {}  journal {}\n",
+            self.handles.len(),
+            match &self.shared.journal {
+                Some(j) => format!("{} lines", j.len()),
+                None => "off".to_string(),
+            },
+        );
+        let devices = self.shared.pool.snapshot();
+        if devices.is_empty() {
+            out.push_str("devices: none\n");
+        } else {
+            out.push_str("devices:\n");
+            for d in devices {
+                let util = if elapsed > 0.0 { d.busy_ms / (elapsed * 1e3) * 1e2 } else { 0.0 };
+                out.push_str(&format!(
+                    "  [{}] {:<12} queued {:>3}  running {:>2}  done {:>4}  util {:>5.1}%  {}\n",
+                    d.id.0,
+                    d.name,
+                    d.queued,
+                    d.running,
+                    d.completed,
+                    util,
+                    d.health.label(),
+                ));
+            }
+        }
+        let timelines = self.shared.obs.sink().recent();
+        if timelines.is_empty() {
+            out.push_str("jobs: none completed yet\n");
+        } else {
+            out.push_str("jobs (most recent last):\n");
+            for t in timelines {
+                let device = match t.device {
+                    Some(d) => format!("dev{d}"),
+                    None => "cpu".to_string(),
+                };
+                match &t.dynamics {
+                    Some(d) => out.push_str(&format!(
+                        "  job {:>3} {:<22} {device:<5} best {:>8}  {}  entropy {:.3}  \
+                         lambda {:.2}  stagnant {}\n",
+                        t.job,
+                        t.backend,
+                        if d.final_best == u64::MAX { 0 } else { d.final_best },
+                        sparkline(&d.best_trajectory.values(), 24),
+                        d.final_entropy,
+                        d.final_lambda_branching,
+                        d.stagnant_iterations,
+                    )),
+                    None => out.push_str(&format!(
+                        "  job {:>3} {:<22} {device:<5} wall {:.1}ms\n",
+                        t.job, t.backend, t.solve_wall_ms,
+                    )),
+                }
+            }
+        }
+        out
     }
 }
 

@@ -539,6 +539,10 @@ pub struct SolveReport {
     /// per-iteration passes inside the colony plus the engine's
     /// [`LocalSearch::PostPass`] polish. 0 when no local search ran.
     pub local_search_improvement: u64,
+    /// Stagnation restarts the colony fired during the run (trail
+    /// re-initialisations after `restart_after` unimproved iterations).
+    /// Only MMAS restarts today; every other backend reports 0.
+    pub restarts: u64,
     /// Attempts the supervisor ran to produce this report (1 without
     /// retries: the unsupervised engine reports exactly 1).
     pub attempts: u32,
@@ -566,6 +570,12 @@ pub trait Solver {
     /// Tour-length reduction the colony's per-iteration local search has
     /// contributed so far (0 for colonies without one).
     fn local_search_improvement(&self) -> u64 {
+        0
+    }
+
+    /// Stagnation restarts the colony has fired so far (0 for colonies
+    /// without a restart mechanism; MMAS overrides).
+    fn restarts(&self) -> u64 {
         0
     }
 
@@ -601,6 +611,7 @@ pub trait Solver {
             outcome: outcome.stopped.into(),
             device: None, // filled by the scheduler, which owns the placement
             local_search_improvement: self.local_search_improvement(),
+            restarts: self.restarts(),
             attempts: 1, // the supervisor overwrites this on retried jobs
             faults: Vec::new(),
         })
@@ -808,6 +819,10 @@ impl Solver for CpuMmasSolver<'_> {
 
     fn local_search_improvement(&self) -> u64 {
         self.mmas.local_search_improvement()
+    }
+
+    fn restarts(&self) -> u64 {
+        self.mmas.restarts()
     }
 }
 

@@ -1,0 +1,545 @@
+//! Search-dynamics statistics: what the *search* is doing, not what the
+//! machinery costs.
+//!
+//! The paper reports quality-over-iterations curves; its follow-ups
+//! (Skinderowicz's GPU MMAS, the supply-chain deployment in PAPERS.md)
+//! drive restarts and wall-clock budgets off convergence statistics.
+//! This module computes those statistics per iteration:
+//!
+//! * **tour-length distribution** — best / mean / stddev over the
+//!   colony's ants, the classic convergence curve;
+//! * **best-so-far improvement deltas** — how much each iteration
+//!   actually moved the needle;
+//! * **pheromone trail entropy** — normalised Shannon entropy of the τ
+//!   matrix: 1.0 for uniform trails (exploration), → 0 as the colony
+//!   commits to few edges (exploitation/stagnation);
+//! * **mean λ-branching factor** — Gambardella & Dorigo's per-city count
+//!   of edges whose trail exceeds `τ_min + λ(τ_max − τ_min)`: ≈ n at
+//!   start, → 2 when one tour dominates;
+//! * a configurable **stagnation detector** combining a no-improvement
+//!   window with an entropy floor.
+//!
+//! Colonies hand the raw per-iteration measurements ([`RawDynamics`]) to
+//! the lifecycle driver; a [`DynamicsTracker`] (one per run) folds them
+//! into the cross-iteration state ([`IterationStats`]). Everything here
+//! is write-only telemetry — computing statistics never feeds back into
+//! construction, update, or scheduling.
+
+/// Knobs for the per-iteration statistics and the stagnation detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsConfig {
+    /// Flag the run stagnant after this many iterations without a
+    /// best-so-far improvement (0 disables the window criterion).
+    pub stagnation_window: u64,
+    /// Flag the run stagnant when trail entropy falls to or below this
+    /// normalised floor (≤ 0 disables the entropy criterion).
+    pub entropy_floor: f64,
+    /// The λ of the λ-branching factor: an edge counts as "usable" from
+    /// a city when its trail exceeds `τ_min + λ(τ_max − τ_min)` over
+    /// that city's row.
+    pub lambda: f64,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig { stagnation_window: 50, entropy_floor: 0.05, lambda: 0.05 }
+    }
+}
+
+impl DynamicsConfig {
+    /// Builder: set the no-improvement window (0 disables).
+    pub fn window(mut self, iterations: u64) -> Self {
+        self.stagnation_window = iterations;
+        self
+    }
+
+    /// Builder: set the entropy floor (≤ 0 disables).
+    pub fn entropy_floor(mut self, floor: f64) -> Self {
+        self.entropy_floor = floor;
+        self
+    }
+
+    /// Builder: set the λ-branching threshold factor.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+}
+
+/// The per-iteration measurements a colony computes from its own state
+/// (ant tour lengths + pheromone matrix) when dynamics are requested.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RawDynamics {
+    /// Mean ant tour length this iteration.
+    pub mean_len: f64,
+    /// Population standard deviation of ant tour lengths.
+    pub stddev_len: f64,
+    /// Normalised Shannon entropy of the trail matrix, in `[0, 1]`.
+    pub entropy: f64,
+    /// Mean λ-branching factor over cities, in `[0, n]`.
+    pub lambda_branching: f64,
+}
+
+/// One iteration's search-dynamics statistics, as carried on
+/// `IterationEvent::stats` and folded into timelines/journals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Mean ant tour length this iteration.
+    pub mean_len: f64,
+    /// Population standard deviation of ant tour lengths.
+    pub stddev_len: f64,
+    /// How much the best-so-far improved this iteration (0 when it
+    /// did not).
+    pub improvement: u64,
+    /// Normalised trail entropy, in `[0, 1]`.
+    pub entropy: f64,
+    /// Mean λ-branching factor over cities.
+    pub lambda_branching: f64,
+    /// Consecutive iterations (including this one) without a
+    /// best-so-far improvement.
+    pub stagnant_iterations: u64,
+    /// Did the stagnation detector fire this iteration?
+    pub stagnant: bool,
+}
+
+/// Cross-iteration state of the stagnation detector; one per ctx-driven
+/// run. The lifecycle driver owns it and feeds it each iteration's
+/// `(best_so_far, RawDynamics)` pair.
+#[derive(Debug, Clone)]
+pub struct DynamicsTracker {
+    cfg: DynamicsConfig,
+    prev_best: u64,
+    stagnant_iterations: u64,
+}
+
+impl DynamicsTracker {
+    /// A fresh tracker for one run.
+    pub fn new(cfg: DynamicsConfig) -> Self {
+        DynamicsTracker { cfg, prev_best: u64::MAX, stagnant_iterations: 0 }
+    }
+
+    /// Fold one iteration's measurements into [`IterationStats`].
+    pub fn observe(&mut self, best_so_far: u64, raw: RawDynamics) -> IterationStats {
+        let improvement =
+            if self.prev_best == u64::MAX { 0 } else { self.prev_best.saturating_sub(best_so_far) };
+        if best_so_far < self.prev_best {
+            self.stagnant_iterations = 0;
+        } else {
+            self.stagnant_iterations += 1;
+        }
+        self.prev_best = self.prev_best.min(best_so_far);
+        let window_hit = self.cfg.stagnation_window > 0
+            && self.stagnant_iterations >= self.cfg.stagnation_window;
+        let entropy_hit = self.cfg.entropy_floor > 0.0 && raw.entropy <= self.cfg.entropy_floor;
+        IterationStats {
+            mean_len: raw.mean_len,
+            stddev_len: raw.stddev_len,
+            improvement,
+            entropy: raw.entropy,
+            lambda_branching: raw.lambda_branching,
+            stagnant_iterations: self.stagnant_iterations,
+            stagnant: window_hit || entropy_hit,
+        }
+    }
+}
+
+/// Mean and population standard deviation of a set of tour lengths.
+pub fn mean_stddev(lens: &[u64]) -> (f64, f64) {
+    if lens.is_empty() {
+        return (0.0, 0.0);
+    }
+    let m = lens.len() as f64;
+    let mean = lens.iter().map(|&l| l as f64).sum::<f64>() / m;
+    let var = lens.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / m;
+    (mean, var.sqrt())
+}
+
+/// Normalised Shannon entropy of a trail matrix: treat the positive
+/// entries as a probability distribution and divide by `ln(count)`, so
+/// uniform trails score 1.0 and a single dominant edge scores → 0.
+/// Works for both the CPU (`f64`) and GPU (`f32`) matrices.
+pub fn trail_entropy<T: Copy + Into<f64>>(tau: &[T]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for &t in tau {
+        let t: f64 = t.into();
+        if t > 0.0 {
+            sum += t;
+            count += 1;
+        }
+    }
+    if count < 2 || sum <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &t in tau {
+        let t: f64 = t.into();
+        if t > 0.0 {
+            let p = t / sum;
+            h -= p * p.ln();
+        }
+    }
+    (h / (count as f64).ln()).clamp(0.0, 1.0)
+}
+
+/// Mean λ-branching factor of an `n × n` trail matrix: per city, the
+/// number of incident edges whose trail exceeds
+/// `τ_min + λ(τ_max − τ_min)` over that city's row, averaged over
+/// cities. Self-edges are excluded.
+pub fn lambda_branching<T: Copy + Into<f64>>(tau: &[T], n: usize, lambda: f64) -> f64 {
+    if n < 2 || tau.len() < n * n {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    for i in 0..n {
+        let row = &tau[i * n..(i + 1) * n];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (j, &t) in row.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let t: f64 = t.into();
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let threshold = lo + lambda * (hi - lo);
+        let mut branches = 0u64;
+        for (j, &t) in row.iter().enumerate() {
+            if j != i && t.into() >= threshold {
+                branches += 1;
+            }
+        }
+        total += branches;
+    }
+    total as f64 / n as f64
+}
+
+/// Compute one iteration's [`RawDynamics`] from the final per-ant tour
+/// lengths and the trail matrix. The `O(n²)` entropy/branching scans run
+/// only when a caller asked for dynamics.
+pub fn compute_raw<T: Copy + Into<f64>>(
+    cfg: &DynamicsConfig,
+    lens: &[u64],
+    tau: &[T],
+    n: usize,
+) -> RawDynamics {
+    let (mean_len, stddev_len) = mean_stddev(lens);
+    RawDynamics {
+        mean_len,
+        stddev_len,
+        entropy: trail_entropy(tau),
+        lambda_branching: lambda_branching(tau, n, cfg.lambda),
+    }
+}
+
+/// [`compute_raw`] from a pre-accumulated `(count, Σlen, Σlen²)` triple,
+/// for colonies that construct ants one at a time and never hold the
+/// whole length vector.
+pub fn compute_raw_from_moments<T: Copy + Into<f64>>(
+    cfg: &DynamicsConfig,
+    count: u64,
+    len_sum: f64,
+    len_sumsq: f64,
+    tau: &[T],
+    n: usize,
+) -> RawDynamics {
+    let (mean_len, stddev_len) = if count == 0 {
+        (0.0, 0.0)
+    } else {
+        let m = count as f64;
+        let mean = len_sum / m;
+        ((mean), (len_sumsq / m - mean * mean).max(0.0).sqrt())
+    };
+    RawDynamics {
+        mean_len,
+        stddev_len,
+        entropy: trail_entropy(tau),
+        lambda_branching: lambda_branching(tau, n, cfg.lambda),
+    }
+}
+
+/// The glyph ramp [`sparkline`] renders with.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a unicode sparkline of at most `width` glyphs
+/// (downsampled by striding when longer). Non-finite values render as
+/// spaces; a flat series renders as a low bar.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let sampled: Vec<f64> = if values.len() <= width {
+        values.to_vec()
+    } else {
+        (0..width).map(|i| values[i * values.len() / width]).collect()
+    };
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &sampled {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        return " ".repeat(sampled.len());
+    }
+    let span = hi - lo;
+    sampled
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if span <= 0.0 {
+                SPARK[0]
+            } else {
+                let k = ((v - lo) / span * 7.0).round() as usize;
+                SPARK[k.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// A bounded, stride-doubling sample of one job's convergence: when the
+/// buffer fills, every other sample is dropped and the stride doubles,
+/// so the kept points always span the whole run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trajectory {
+    samples: Vec<(u64, f64)>,
+    stride: u64,
+    capacity: usize,
+}
+
+impl Trajectory {
+    /// A trajectory keeping at most `capacity` `(iteration, value)`
+    /// samples.
+    pub fn new(capacity: usize) -> Self {
+        Trajectory { samples: Vec::new(), stride: 1, capacity: capacity.max(2) }
+    }
+
+    /// Offer one sample; kept only when `iteration` lands on the current
+    /// stride.
+    pub fn push(&mut self, iteration: u64, value: f64) {
+        if iteration % self.stride != 0 {
+            return;
+        }
+        if self.samples.len() >= self.capacity {
+            let mut i = 0;
+            self.samples.retain(|_| {
+                i += 1;
+                i % 2 == 1
+            });
+            self.stride *= 2;
+            if iteration % self.stride != 0 {
+                return;
+            }
+        }
+        self.samples.push((iteration, value));
+    }
+
+    /// The kept `(iteration, value)` samples, oldest first.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Just the values, for [`sparkline`].
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+/// The per-job dynamics summary frozen into a `JobTimeline`: the state
+/// of the search when the job finished, plus a bounded best-so-far
+/// trajectory for dashboards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsSummary {
+    /// Iterations that carried dynamics statistics.
+    pub iterations: u64,
+    /// Final best-so-far tour length.
+    pub final_best: u64,
+    /// Final mean ant tour length.
+    pub final_mean_len: f64,
+    /// Trail entropy at the last observed iteration.
+    pub final_entropy: f64,
+    /// Minimum trail entropy observed over the run.
+    pub min_entropy: f64,
+    /// λ-branching factor at the last observed iteration.
+    pub final_lambda_branching: f64,
+    /// Total best-so-far improvement across observed iterations.
+    pub total_improvement: u64,
+    /// Consecutive no-improvement iterations at the end of the run.
+    pub stagnant_iterations: u64,
+    /// How many times the detector newly entered the stagnant state.
+    pub stagnation_events: u64,
+    /// Was the detector firing at the last observed iteration?
+    pub last_stagnant: bool,
+    /// Bounded best-so-far samples over the run (for sparklines).
+    pub best_trajectory: Trajectory,
+}
+
+impl DynamicsSummary {
+    /// An empty summary (no iterations observed yet).
+    pub fn new(trajectory_capacity: usize) -> Self {
+        DynamicsSummary {
+            iterations: 0,
+            final_best: u64::MAX,
+            final_mean_len: 0.0,
+            final_entropy: 0.0,
+            min_entropy: f64::INFINITY,
+            final_lambda_branching: 0.0,
+            total_improvement: 0,
+            stagnant_iterations: 0,
+            stagnation_events: 0,
+            last_stagnant: false,
+            best_trajectory: Trajectory::new(trajectory_capacity),
+        }
+    }
+
+    /// Fold one iteration's statistics in (healthy → stagnant edges are
+    /// counted once per entry).
+    pub fn record(&mut self, iteration: u64, best_so_far: u64, stats: &IterationStats) {
+        if stats.stagnant && !self.last_stagnant {
+            self.stagnation_events += 1;
+        }
+        self.iterations += 1;
+        self.final_best = best_so_far;
+        self.final_mean_len = stats.mean_len;
+        self.final_entropy = stats.entropy;
+        self.min_entropy = self.min_entropy.min(stats.entropy);
+        self.final_lambda_branching = stats.lambda_branching;
+        self.total_improvement += stats.improvement;
+        self.stagnant_iterations = stats.stagnant_iterations;
+        self.last_stagnant = stats.stagnant;
+        self.best_trajectory.push(iteration, best_so_far as f64);
+    }
+
+    /// One-line rendering for timeline output.
+    pub fn render(&self) -> String {
+        format!(
+            "dynamics: {} iters, best {}, mean {:.1}, entropy {:.3} (min {:.3}), \
+             lambda {:.2}, improvement {}, stagnant {} iters ({} events)",
+            self.iterations,
+            if self.final_best == u64::MAX { 0 } else { self.final_best },
+            self.final_mean_len,
+            self.final_entropy,
+            if self.min_entropy.is_finite() { self.min_entropy } else { 0.0 },
+            self.final_lambda_branching,
+            self.total_improvement,
+            self.stagnant_iterations,
+            self.stagnation_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stddev_matches_hand_computation() {
+        let (m, s) = mean_stddev(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn entropy_is_one_for_uniform_and_drops_when_concentrated() {
+        let uniform = vec![0.5f64; 16];
+        assert!((trail_entropy(&uniform) - 1.0).abs() < 1e-12);
+        let mut peaked = vec![1e-9f64; 16];
+        peaked[3] = 1.0;
+        let e = trail_entropy(&peaked);
+        assert!(e < 0.1, "peaked distribution should have low entropy, got {e}");
+        assert_eq!(trail_entropy::<f64>(&[]), 0.0);
+        // f32 matrices (GPU colonies) go through the same helper.
+        let uniform32 = vec![0.25f32; 8];
+        assert!((trail_entropy(&uniform32) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_branching_spans_uniform_to_dominant() {
+        let n = 6;
+        // Uniform trails: every off-diagonal edge clears the threshold.
+        let uniform = vec![1.0f64; n * n];
+        assert!((lambda_branching(&uniform, n, 0.05) - (n - 1) as f64).abs() < 1e-12);
+        // One dominant out-edge per city: branching collapses toward 1.
+        let mut dominant = vec![1e-6f64; n * n];
+        for i in 0..n {
+            dominant[i * n + (i + 1) % n] = 1.0;
+        }
+        let b = lambda_branching(&dominant, n, 0.05);
+        assert!(b <= 1.5, "dominant tour should collapse branching, got {b}");
+    }
+
+    #[test]
+    fn tracker_counts_improvements_and_fires_on_window() {
+        let mut t = DynamicsTracker::new(DynamicsConfig::default().window(3).entropy_floor(0.0));
+        let raw = RawDynamics { entropy: 0.9, ..Default::default() };
+        let s0 = t.observe(100, raw);
+        assert_eq!((s0.improvement, s0.stagnant_iterations, s0.stagnant), (0, 0, false));
+        let s1 = t.observe(90, raw);
+        assert_eq!((s1.improvement, s1.stagnant_iterations), (10, 0));
+        let s2 = t.observe(90, raw);
+        let s3 = t.observe(90, raw);
+        let s4 = t.observe(90, raw);
+        assert_eq!(s2.stagnant_iterations, 1);
+        assert!(!s3.stagnant, "window 3 not reached at 2");
+        assert!(s4.stagnant, "3 no-improvement iterations fire the window");
+    }
+
+    #[test]
+    fn tracker_entropy_floor_fires_independently() {
+        let mut t = DynamicsTracker::new(DynamicsConfig::default().window(0).entropy_floor(0.2));
+        let hot = t.observe(50, RawDynamics { entropy: 0.8, ..Default::default() });
+        assert!(!hot.stagnant);
+        let cold = t.observe(40, RawDynamics { entropy: 0.1, ..Default::default() });
+        assert!(cold.stagnant, "entropy 0.1 <= floor 0.2 fires even while improving");
+    }
+
+    #[test]
+    fn sparkline_renders_bounded_width() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[5.0, 5.0, 5.0], 10);
+        assert_eq!(flat.chars().count(), 3);
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&vals, 16);
+        assert_eq!(s.chars().count(), 16);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn trajectory_stays_bounded_and_spans_the_run() {
+        let mut t = Trajectory::new(8);
+        for k in 0..1000u64 {
+            t.push(k, 1000.0 - k as f64);
+        }
+        assert!(t.samples().len() <= 8);
+        assert_eq!(t.samples()[0].0, 0, "oldest sample kept");
+        let last = t.samples().last().unwrap().0;
+        assert!(last >= 512, "samples span the run, last at {last}");
+    }
+
+    #[test]
+    fn summary_counts_stagnation_edges_once() {
+        let mut sum = DynamicsSummary::new(16);
+        let mk = |stagnant, stagnant_iterations| IterationStats {
+            mean_len: 10.0,
+            stddev_len: 1.0,
+            improvement: 0,
+            entropy: 0.5,
+            lambda_branching: 2.0,
+            stagnant_iterations,
+            stagnant,
+        };
+        sum.record(0, 100, &mk(false, 0));
+        sum.record(1, 100, &mk(true, 1));
+        sum.record(2, 100, &mk(true, 2));
+        sum.record(3, 90, &mk(false, 0));
+        sum.record(4, 90, &mk(true, 1));
+        assert_eq!(sum.stagnation_events, 2);
+        assert_eq!(sum.iterations, 5);
+        assert_eq!(sum.final_best, 90);
+        assert!(sum.render().contains("2 events"));
+    }
+}

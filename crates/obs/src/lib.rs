@@ -18,6 +18,15 @@
 //! * [`kernel`] — the thread-local launch hook the SIMT simulator
 //!   reports per-kernel-family invocations and modeled ms through, and
 //!   the engine-wide [`KernelProfiler`] aggregate.
+//! * [`dynamics`] — per-iteration *search* statistics (best/mean/stddev
+//!   tour lengths, improvement deltas, trail entropy, λ-branching) and
+//!   a configurable stagnation detector, computed by the colonies and
+//!   folded by the lifecycle driver.
+//! * [`Journal`] ([`journal`]) — a bounded engine-wide JSONL event
+//!   journal (submit / placement / attempt / iteration-sample /
+//!   stagnation / completion, stable flat schemas) with optional file
+//!   persistence, [`Journal::export`], and [`replay_timeline`] back
+//!   into a [`JobTimeline`] for post-mortems.
 //!
 //! **Determinism contract.** Everything here is write-only telemetry:
 //! recording never influences scheduling, placement, seeding or solving,
@@ -29,10 +38,16 @@
 //! atomic, no lock (the `obs_overhead` section of `engine_bench` gates
 //! the end-to-end overhead advisory at ≤ 5%).
 
+pub mod dynamics;
+pub mod journal;
 pub mod kernel;
 pub mod metrics;
 pub mod trace;
 
+pub use dynamics::{
+    sparkline, DynamicsConfig, DynamicsSummary, DynamicsTracker, IterationStats, RawDynamics,
+};
+pub use journal::{replay_timeline, Journal, JournalConfig, DEFAULT_JOURNAL_CAPACITY};
 pub use kernel::{install, record, KernelProfiler, KernelScope, KernelSink};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, KernelFamilySnapshot, MetricsRegistry,

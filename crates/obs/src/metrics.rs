@@ -321,6 +321,53 @@ fn base_name(name: &str) -> &str {
     name.split('{').next().unwrap_or(name)
 }
 
+/// JSON string escaping: backslash, quote, and control characters (the
+/// latter as `\n`/`\r`/`\t` or `\u00XX`). Metric names built from
+/// user-supplied labels (device names, instance names) pass through
+/// here on export, so hostile names round-trip instead of corrupting
+/// the document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus label-*value* escaping (text exposition v0.0.4): backslash
+/// → `\\`, quote → `\"`, newline → `\n` (other control characters are
+/// also `\n`-folded — the format forbids raw control bytes).
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Build a label-embedded metric name — `base{key="value"}` — with the
+/// value escaped for the Prometheus text format. Every bridging site
+/// that interpolates an external name (device, job, backend) into a
+/// metric name must come through here so a name containing `"`, `\`,
+/// `{` or a newline cannot break the exposition.
+pub fn labelled(base: &str, key: &str, value: &str) -> String {
+    format!("{base}{{{key}=\"{}\"}}", escape_label_value(value))
+}
+
 fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v:.1}") // keep a decimal point so JSON/Prom floats read as floats
@@ -332,13 +379,11 @@ fn fmt_f64(v: f64) -> String {
 impl MetricsSnapshot {
     /// Render as a JSON object:
     /// `{"counters":{…},"gauges":{…},"histograms":{…},"kernels":{…}}`.
-    /// Hand-rolled (the workspace is dependency-free); names contain no
-    /// characters needing escapes beyond quotes/backslashes, which are
-    /// escaped anyway.
+    /// Hand-rolled (the workspace is dependency-free); names are escaped
+    /// with [`json_escape`], so label values containing quotes,
+    /// backslashes, braces or newlines round-trip.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
+        let esc = json_escape;
         let mut out = String::from("{\"counters\":{");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -528,6 +573,40 @@ mod tests {
         let text = reg.snapshot().to_prometheus();
         assert_eq!(text.matches("# TYPE aco_device_queued gauge").count(), 1);
         assert!(text.contains("aco_device_queued{device=\"gpu0\"} 1\n"));
+    }
+
+    #[test]
+    fn hostile_label_values_escape_for_both_exports() {
+        let hostile = "we\"ird\\gpu{0}\nline";
+        let reg = MetricsRegistry::new(true);
+        reg.gauge(&labelled("aco_device_queued", "device", hostile)).set(3);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        // The registered name holds the Prometheus-escaped label value
+        // (`we\"ird\\gpu{0}\nline`); JSON export escapes each backslash
+        // and quote again, so no raw quote or newline survives in a key.
+        assert!(json.contains(r#"we\\\"ird\\\\gpu{0}\\nline"#));
+        assert!(!json.contains('\n'));
+        let prom = snap.to_prometheus();
+        // One sample line, label value escaped, base name intact.
+        assert!(prom.contains("# TYPE aco_device_queued gauge\n"));
+        assert!(prom.contains("aco_device_queued{device=\"we\\\"ird\\\\gpu{0}\\nline\"} 3\n"));
+        // Every line is either a comment or `name{labels} value`; raw
+        // newlines inside a label value would break this invariant.
+        for line in prom.lines() {
+            assert!(
+                line.starts_with("# ") || line.rsplit_once(' ').is_some(),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_helpers_cover_the_hostile_set() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r{"), "a\\\"b\\\\c\\nd\\te\\r{");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(labelled("m", "k", "v\"x"), "m{k=\"v\\\"x\"}");
     }
 
     #[test]

@@ -15,7 +15,13 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::dynamics::{DynamicsSummary, IterationStats};
 use crate::metrics::KernelFamilySnapshot;
+
+/// Bound on the best-so-far trajectory samples a timeline's
+/// [`DynamicsSummary`] retains (stride-doubling, so the kept points
+/// always span the run).
+pub const DYNAMICS_TRAJECTORY_CAPACITY: usize = 64;
 
 /// Per-iteration modeled phase spans (milliseconds), as the colonies
 /// report them: construction (choice info + tours), local search, and
@@ -86,6 +92,9 @@ pub struct JobTimeline {
     /// Failed attempts that preceded the recorded result, oldest first
     /// (empty for unsupervised or first-attempt-success jobs).
     pub attempts: Vec<AttemptSpan>,
+    /// Search-dynamics summary (`None` when the run computed no
+    /// dynamics statistics).
+    pub dynamics: Option<DynamicsSummary>,
 }
 
 impl JobTimeline {
@@ -167,6 +176,9 @@ impl JobTimeline {
                 k.family, k.invocations, k.modeled_ms
             ));
         }
+        if let Some(d) = &self.dynamics {
+            out.push_str(&format!("  {}\n", d.render()));
+        }
         out
     }
 }
@@ -185,6 +197,7 @@ struct TraceInner {
     dropped_iterations: u64,
     kernels: BTreeMap<&'static str, (u64, f64)>,
     attempts: Vec<AttemptSpan>,
+    dynamics: Option<DynamicsSummary>,
 }
 
 /// The live per-job recorder. All methods take `&self` (one short mutex
@@ -281,6 +294,17 @@ impl JobTrace {
         });
     }
 
+    /// Fold one iteration's search-dynamics statistics into the running
+    /// [`DynamicsSummary`] (the engine's observer calls this for events
+    /// that carry stats).
+    pub fn record_dynamics(&self, iteration: u64, best_so_far: u64, stats: &IterationStats) {
+        self.with(|t| {
+            t.dynamics
+                .get_or_insert_with(|| DynamicsSummary::new(DYNAMICS_TRAJECTORY_CAPACITY))
+                .record(iteration, best_so_far, stats);
+        });
+    }
+
     /// Record one failed attempt of a supervised job (the retry
     /// supervisor calls this before re-placing the job).
     pub fn record_attempt(&self, attempt: u32, device: Option<u32>, error: &str) {
@@ -324,6 +348,7 @@ impl JobTrace {
                 })
                 .collect(),
             attempts: t.attempts.clone(),
+            dynamics: t.dynamics.clone(),
         }
     }
 }
@@ -448,6 +473,30 @@ mod tests {
         assert_eq!(t.iterations.len(), 2);
         assert_eq!(t.dropped_iterations, 3);
         assert!(t.render().contains("+3 iterations past the trace bound"));
+    }
+
+    #[test]
+    fn dynamics_fold_into_the_snapshot() {
+        let trace = JobTrace::new(3, 8);
+        let stats = IterationStats {
+            mean_len: 50.0,
+            stddev_len: 2.0,
+            improvement: 5,
+            entropy: 0.8,
+            lambda_branching: 4.0,
+            stagnant_iterations: 0,
+            stagnant: false,
+        };
+        trace.record_dynamics(0, 45, &stats);
+        trace.record_dynamics(1, 40, &IterationStats { improvement: 5, entropy: 0.6, ..stats });
+        let t = trace.snapshot();
+        let d = t.dynamics.as_ref().expect("dynamics recorded");
+        assert_eq!(d.iterations, 2);
+        assert_eq!(d.final_best, 40);
+        assert_eq!(d.total_improvement, 10);
+        assert!((d.min_entropy - 0.6).abs() < 1e-12);
+        assert!(t.render().contains("dynamics: 2 iters"));
+        assert!(JobTrace::new(4, 8).snapshot().dynamics.is_none());
     }
 
     #[test]

@@ -2,48 +2,98 @@
 //! sequential Ant System and two GPU strategies, written as CSV — the
 //! quality-over-time view behind the paper's "results are similar" remark.
 //!
+//! The series are produced through the batch engine with search-dynamics
+//! tracking on: each backend runs as one submitted job, the per-iteration
+//! values arrive on the job's [`JobHandle::progress`] stream, and every
+//! event carries the colony's trail entropy and mean λ-branching factor,
+//! which land in the CSV next to the tour lengths.
+//!
 //! ```text
 //! cargo run --release --example convergence -- [n] [iters]
 //! ```
 
-use aco_gpu::core::cpu::{AntSystem, TourPolicy};
-use aco_gpu::core::gpu::{GpuAntSystem, PheromoneStrategy, TourStrategy};
-use aco_gpu::core::AcoParams;
-use aco_gpu::simt::{DeviceSpec, SimMode};
+use std::sync::Arc;
+
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::{AcoParams, TourPolicy};
+use aco_gpu::engine::{Backend, DynamicsConfig, Engine, EngineConfig, GpuDevice, SolveRequest};
 use aco_gpu::tsp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(80);
     let iters: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(40);
-    let inst = tsp::uniform_random("conv", n, 1000.0, 23);
+    let inst = Arc::new(tsp::uniform_random("conv", n, 1000.0, 23));
     let params = AcoParams::default().nn(15.min(n - 1)).seed(5);
 
-    let mut cpu = AntSystem::new(&inst, params.clone());
-    let mut gpu_task = GpuAntSystem::new(
-        &inst,
-        params.clone(),
-        DeviceSpec::tesla_m2050(),
-        TourStrategy::NNListSharedTex,
-        PheromoneStrategy::AtomicShared,
-    );
-    let mut gpu_dp = GpuAntSystem::new(
-        &inst,
-        params,
-        DeviceSpec::tesla_m2050(),
-        TourStrategy::DataParallelTex,
-        PheromoneStrategy::AtomicShared,
-    );
+    let engine =
+        Engine::new(EngineConfig::with_workers(3).dynamics(DynamicsConfig::default().window(10)));
+    let series = [
+        ("cpu", Backend::CpuSequential { policy: TourPolicy::NearestNeighborList }),
+        (
+            "gpu_task_nn",
+            Backend::Gpu {
+                device: GpuDevice::TeslaM2050,
+                tour: TourStrategy::NNListSharedTex,
+                pheromone: PheromoneStrategy::AtomicShared,
+            },
+        ),
+        (
+            "gpu_data_parallel",
+            Backend::Gpu {
+                device: GpuDevice::TeslaM2050,
+                tour: TourStrategy::DataParallelTex,
+                pheromone: PheromoneStrategy::AtomicShared,
+            },
+        ),
+    ];
+    let handles: Vec<_> = series
+        .iter()
+        .map(|(_, backend)| {
+            engine.submit(
+                SolveRequest::new(Arc::clone(&inst), params.clone())
+                    .backend(backend.clone())
+                    .iterations(iters)
+                    .progress_events(iters),
+            )
+        })
+        .collect();
+    // Drain the complete event stream of each job (the buffers are sized
+    // to the iteration count, so nothing is dropped).
+    let streams: Vec<Vec<_>> = handles.iter().map(|h| h.progress().collect()).collect();
+    for (h, (name, _)) in handles.iter().zip(&series) {
+        let report = h.wait().expect("job succeeds");
+        println!("{name:>18}: best {} ({} iterations)", report.best_len, report.iterations);
+    }
 
-    let mut csv = String::from("iteration,cpu,gpu_task_nn,gpu_data_parallel\n");
-    println!("{:>5} {:>12} {:>14} {:>18}", "iter", "cpu", "gpu task NN", "gpu data-parallel");
-    for it in 1..=iters {
-        let c = cpu.iterate(TourPolicy::NearestNeighborList).best_so_far;
-        let t = gpu_task.iterate(SimMode::Full).expect("valid launch").best_so_far;
-        let d = gpu_dp.iterate(SimMode::Full).expect("valid launch").best_so_far;
-        csv.push_str(&format!("{it},{c},{t},{d}\n"));
-        if it % 5 == 0 || it == 1 {
-            println!("{it:>5} {c:>12} {t:>14} {d:>18}");
+    let mut csv = String::from("iteration");
+    for (name, _) in &series {
+        csv.push_str(&format!(",{name},{name}_entropy,{name}_branching"));
+    }
+    csv.push('\n');
+    println!(
+        "\n{:>5} {:>12} {:>14} {:>18}  (entropy / branching per series in the CSV)",
+        "iter", "cpu", "gpu task NN", "gpu data-parallel"
+    );
+    for it in 0..iters {
+        csv.push_str(&format!("{}", it + 1));
+        for events in &streams {
+            let ev = events[it];
+            let stats = ev.stats.expect("dynamics on: every event carries stats");
+            csv.push_str(&format!(
+                ",{},{:.6},{:.4}",
+                ev.best_so_far, stats.entropy, stats.lambda_branching
+            ));
+        }
+        csv.push('\n');
+        if (it + 1) % 5 == 0 || it == 0 {
+            println!(
+                "{:>5} {:>12} {:>14} {:>18}",
+                it + 1,
+                streams[0][it].best_so_far,
+                streams[1][it].best_so_far,
+                streams[2][it].best_so_far,
+            );
         }
     }
 

@@ -1,0 +1,84 @@
+//! Search dynamics, the event journal, and the live dashboard.
+//!
+//! Runs a mixed batch with dynamics tracking and the JSONL event journal
+//! enabled, then renders the engine dashboard (per-device utilisation +
+//! per-job convergence sparklines), prints a slice of the journal, and
+//! replays one job's timeline purely from the exported journal text —
+//! no live engine required.
+//!
+//! ```text
+//! cargo run --release --example dashboard
+//! ```
+
+use std::sync::Arc;
+
+use aco_gpu::core::cpu::TourPolicy;
+use aco_gpu::core::gpu::{PheromoneStrategy, TourStrategy};
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    replay_timeline, Backend, DynamicsConfig, Engine, EngineConfig, GpuDevice, JournalConfig,
+    SolveRequest,
+};
+use aco_gpu::tsp;
+
+fn main() {
+    let inst = Arc::new(tsp::uniform_random("dash", 60, 800.0, 13));
+    let params = AcoParams::default().nn(12);
+
+    // Dynamics and the journal are opt-in; both are write-only, so every
+    // solve result is bit-identical with them on or off.
+    let engine = Engine::new(
+        EngineConfig::with_workers(3)
+            .dynamics(DynamicsConfig::default().window(15).entropy_floor(0.05))
+            .journal(JournalConfig::default().capacity(2048).sample_every(4)),
+    );
+
+    let backends = [
+        Backend::CpuSequential { policy: TourPolicy::NearestNeighborList },
+        Backend::CpuParallel { policy: TourPolicy::NearestNeighborList, threads: 3 },
+        Backend::CpuMmas(Default::default()),
+        Backend::Gpu {
+            device: GpuDevice::TeslaM2050,
+            tour: TourStrategy::NNListSharedTex,
+            pheromone: PheromoneStrategy::AtomicShared,
+        },
+        Backend::Auto,
+    ];
+    let handles: Vec<_> = backends
+        .iter()
+        .enumerate()
+        .map(|(seed, backend)| {
+            engine.submit(
+                SolveRequest::new(Arc::clone(&inst), params.clone())
+                    .backend(backend.clone())
+                    .iterations(30)
+                    .seed(seed as u64),
+            )
+        })
+        .collect();
+    for h in &handles {
+        let rep = h.wait().expect("job solves");
+        println!(
+            "{:<22} best {:>6}  restarts {}  outcome {:?}",
+            rep.backend.label(),
+            rep.best_len,
+            rep.restarts,
+            rep.outcome
+        );
+    }
+
+    println!("\n=== dashboard ===");
+    print!("{}", engine.render_dashboard());
+
+    let journal = engine.journal_export().expect("journal configured");
+    println!("\n=== journal (first 8 of {} lines) ===", journal.lines().count());
+    for line in journal.lines().take(8) {
+        println!("{line}");
+    }
+
+    // Offline replay: rebuild job 0's timeline from nothing but the
+    // exported JSONL text.
+    let replayed = replay_timeline(&journal, 0).expect("job 0 completed");
+    println!("\n=== job 0 replayed from the journal ===");
+    println!("{}", replayed.render());
+}
