@@ -30,7 +30,7 @@ use aco_core::gpu::{PheromoneStrategy, TourStrategy};
 use aco_core::AcoParams;
 use aco_engine::{
     Backend, DeviceProfile, DynamicsConfig, Engine, EngineConfig, Failover, FaultPlan, GpuDevice,
-    JournalConfig, LocalSearch, LsScope, RetryPolicy, SolveRequest,
+    JournalConfig, LocalSearch, LsScope, RetryPolicy, SolveRequest, WindowConfig,
 };
 
 /// Submit→first-progress-event latency (ms): how long after `submit`
@@ -230,6 +230,22 @@ struct ObsOverheadRec {
     overhead_pct: f64,
 }
 
+/// The PR-10 serving section: the same seeded batch run with the
+/// observability endpoint off and on (rolling windows + journal + a live
+/// idle HTTP server + its sampler thread), 1 worker. Serving is strictly
+/// read-only, so both runs do identical solve work; the delta prices the
+/// sampler's periodic snapshot bridging plus the idle endpoint threads.
+/// The `--check` gate treats it as **advisory** (warn beyond 5%, never
+/// fail), like every wall-clock pair on the 1-core container.
+#[derive(Debug, Clone)]
+struct ObsServeRec {
+    jobs: usize,
+    off_jobs_per_sec: f64,
+    on_jobs_per_sec: f64,
+    /// `(off/on − 1) × 100`: percentage throughput lost to idle serving.
+    overhead_pct: f64,
+}
+
 /// The PR-9 search-dynamics section: the same seeded batch run with the
 /// dynamics layer + event journal off and on, 1 worker. Dynamics adds an
 /// O(n²) trail scan per iteration, so unlike the observability pair this
@@ -317,6 +333,8 @@ struct HistEntry {
     batched_ls: Option<BatchedLsRec>,
     /// Search-dynamics on/off throughput pair (absent in pre-PR-9 entries).
     dynamics: Option<DynamicsRec>,
+    /// Serving on/off throughput pair (absent in pre-PR-10 entries).
+    obs_serve: Option<ObsServeRec>,
 }
 
 fn measure(workers: usize, jobs: usize, n: usize, iters: usize) -> RunRec {
@@ -558,6 +576,46 @@ fn measure_dynamics_overhead(jobs: usize, n: usize, iters: usize) -> DynamicsRec
     DynamicsRec { jobs, off_jobs_per_sec, on_jobs_per_sec, overhead_pct, journal_lines }
 }
 
+/// The serving on/off pair: the standard seeded batch at 1 worker,
+/// solved once plain and once with the full read side live — rolling
+/// windows, journal, and an idle `serve_observability` endpoint (sampler
+/// thread ticking, no client traffic). Off runs first so its cache is
+/// equally cold; serving is read-only (pinned by `tests/obs_serve.rs`),
+/// so the delta isolates the sampler + endpoint cost.
+fn measure_obs_serve(jobs: usize, n: usize, iters: usize) -> ObsServeRec {
+    let run = |serve: bool| {
+        let mut config = EngineConfig::with_workers(1);
+        if serve {
+            config = config
+                .windows(WindowConfig::default().bucket_ms(100))
+                .journal(JournalConfig::default());
+        }
+        let engine = Engine::new(config);
+        let server =
+            serve.then(|| engine.serve_observability("127.0.0.1:0").expect("bind endpoint"));
+        let reqs = batch(jobs, n, iters);
+        let t0 = Instant::now();
+        let reports = engine.run_batch(reqs);
+        let wall_s = t0.elapsed().as_secs_f64();
+        drop(server); // graceful shutdown, outside the timed region's use
+        let ok = reports.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, jobs, "serving batch must solve");
+        ok as f64 / wall_s
+    };
+    let off_jobs_per_sec = run(false);
+    let on_jobs_per_sec = run(true);
+    let overhead_pct = if on_jobs_per_sec > 0.0 {
+        (off_jobs_per_sec / on_jobs_per_sec - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "obs serve: {off_jobs_per_sec:.1} jobs/s off -> {on_jobs_per_sec:.1} jobs/s serving idle \
+         ({overhead_pct:+.1}% overhead)"
+    );
+    ObsServeRec { jobs, off_jobs_per_sec, on_jobs_per_sec, overhead_pct }
+}
+
 /// The fault-tolerance triple: an explicit GPU batch on a twin-device
 /// pool run (1) on the default engine, (2) with retry supervision armed
 /// but no faults to trigger it, and (3) under a flaky-device plan with
@@ -767,6 +825,14 @@ fn render_obs_overhead(o: &ObsOverheadRec) -> String {
     )
 }
 
+fn render_obs_serve(s: &ObsServeRec) -> String {
+    format!(
+        "      {{\"jobs\": {}, \"off_jobs_per_sec\": {:.3}, \"on_jobs_per_sec\": {:.3}, \
+         \"overhead_pct\": {:.3}}}",
+        s.jobs, s.off_jobs_per_sec, s.on_jobs_per_sec, s.overhead_pct
+    )
+}
+
 fn render_dynamics(d: &DynamicsRec) -> String {
     format!(
         "      {{\"jobs\": {}, \"off_jobs_per_sec\": {:.3}, \"on_jobs_per_sec\": {:.3}, \
@@ -828,10 +894,14 @@ fn render_entry(e: &HistEntry) -> String {
         Some(d) => format!(",\n      \"dynamics\":\n{}", render_dynamics(d)),
         None => String::new(),
     };
+    let obs_serve = match &e.obs_serve {
+        Some(s) => format!(",\n      \"obs_serve\":\n{}", render_obs_serve(s)),
+        None => String::new(),
+    };
     format!(
         "    {{\n      \"label\": \"{}\",\n      \"jobs\": {},\n      \"n\": {},\n      \
          \"iterations\": {},\n      \"host_cpus\": {},\n      \"first_event_ms\": {:.3},\n      \
-         \"runs\": [\n{}\n      ]{}{}{}{}{}{}\n    }}",
+         \"runs\": [\n{}\n      ]{}{}{}{}{}{}{}\n    }}",
         e.label,
         e.jobs,
         e.n,
@@ -844,7 +914,8 @@ fn render_entry(e: &HistEntry) -> String {
         obs_overhead,
         faults,
         batched_ls,
-        dynamics
+        dynamics,
+        obs_serve
     )
 }
 
@@ -938,6 +1009,15 @@ fn parse_faults(v: &Json) -> FaultsRec {
     }
 }
 
+fn parse_obs_serve(v: &Json) -> ObsServeRec {
+    ObsServeRec {
+        jobs: uint(v.get("jobs")) as usize,
+        off_jobs_per_sec: v.get("off_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        on_jobs_per_sec: v.get("on_jobs_per_sec").and_then(Json::num).unwrap_or(0.0),
+        overhead_pct: v.get("overhead_pct").and_then(Json::num).unwrap_or(0.0),
+    }
+}
+
 fn parse_dynamics(v: &Json) -> DynamicsRec {
     DynamicsRec {
         jobs: uint(v.get("jobs")) as usize,
@@ -975,6 +1055,7 @@ fn parse_entry(v: &Json, fallback_label: &str) -> HistEntry {
         faults: v.get("faults").map(parse_faults),
         batched_ls: v.get("batched_ls").map(parse_batched_ls),
         dynamics: v.get("dynamics").map(parse_dynamics),
+        obs_serve: v.get("obs_serve").map(parse_obs_serve),
     }
 }
 
@@ -1061,6 +1142,20 @@ fn check(path: &std::path::Path, tolerance: f64) -> ! {
     } else {
         println!("dynamics overhead advisory OK: {:+.1}% (target <= 5%)", dynamics.overhead_pct);
     }
+    // Advisory serving gate: the full read side (windows + journal +
+    // idle HTTP endpoint + sampler) must stay within 5% of plain
+    // throughput. Warn — never fail — for the usual 1-core wall-clock
+    // reason.
+    let serve = measure_obs_serve(last.jobs, last.n, last.iterations);
+    if serve.overhead_pct > 5.0 {
+        eprintln!(
+            "gate ADVISORY: idle-serving overhead {:.1}% exceeds the 5% target \
+             (off {:.3} -> serving {:.3} jobs/s)",
+            serve.overhead_pct, serve.off_jobs_per_sec, serve.on_jobs_per_sec
+        );
+    } else {
+        println!("obs serve overhead advisory OK: {:+.1}% (target <= 5%)", serve.overhead_pct);
+    }
     // Advisory retry-supervision gate, same rationale: warn — never
     // fail — and only on *positive* regressions (`overhead_pct` is
     // clamped at 0 when the supervised run measures faster, so a noisy
@@ -1123,6 +1218,7 @@ fn main() {
     let local_search = measure_local_search(args.n, args.iters);
     let obs_overhead = measure_obs_overhead(args.jobs, args.n, args.iters);
     let dynamics = measure_dynamics_overhead(args.jobs, args.n, args.iters);
+    let obs_serve = measure_obs_serve(args.jobs, args.n, args.iters);
     let faults = measure_faults(args.n, args.iters);
     let batched_ls = measure_batched_ls(args.n, args.iters);
     let entry = HistEntry {
@@ -1139,6 +1235,7 @@ fn main() {
         faults: Some(faults),
         batched_ls: Some(batched_ls),
         dynamics: Some(dynamics),
+        obs_serve: Some(obs_serve),
     };
 
     let mut history = if args.append {

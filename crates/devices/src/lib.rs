@@ -44,6 +44,6 @@ mod profile;
 
 pub use pool::{
     DeviceAffinity, DeviceId, DevicePool, DeviceSnapshot, HealthEvent, HealthPolicy, HealthState,
-    Placement, PlacementError, PlacementStrategy,
+    HealthSummary, Placement, PlacementError, PlacementStrategy,
 };
 pub use profile::{DeviceModel, DeviceProfile};

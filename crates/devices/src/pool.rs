@@ -846,6 +846,23 @@ impl DevicePool {
         t.busy_us.fetch_add(wall.as_micros() as u64, Ordering::Relaxed);
     }
 
+    /// Pool-wide health roll-up: how many devices sit in each state
+    /// right now. The serving layer's `/healthz` aggregate — one ledger
+    /// lock, no per-device allocation.
+    pub fn health_summary(&self) -> HealthSummary {
+        let ledger = self.ledger.lock().expect("ledger lock");
+        let mut summary = HealthSummary::default();
+        for h in &ledger.health {
+            match h.state {
+                HealthState::Healthy => summary.healthy += 1,
+                HealthState::Degraded => summary.degraded += 1,
+                HealthState::Probation => summary.probation += 1,
+                HealthState::Quarantined => summary.quarantined += 1,
+            }
+        }
+        summary
+    }
+
     /// Point-in-time view of every device.
     pub fn snapshot(&self) -> Vec<DeviceSnapshot> {
         let ledger = self.ledger.lock().expect("ledger lock");
@@ -873,6 +890,31 @@ impl DevicePool {
                 faults_observed: t.faults.load(Ordering::Relaxed),
             })
             .collect()
+    }
+}
+
+/// Pool-wide device-health roll-up (see [`DevicePool::health_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSummary {
+    /// Devices in [`HealthState::Healthy`].
+    pub healthy: usize,
+    /// Devices in [`HealthState::Degraded`].
+    pub degraded: usize,
+    /// Devices in [`HealthState::Probation`].
+    pub probation: usize,
+    /// Devices in [`HealthState::Quarantined`].
+    pub quarantined: usize,
+}
+
+impl HealthSummary {
+    /// Devices counted, across all states.
+    pub fn total(&self) -> usize {
+        self.healthy + self.degraded + self.probation + self.quarantined
+    }
+
+    /// Is every device fully healthy?
+    pub fn all_healthy(&self) -> bool {
+        self.total() == self.healthy
     }
 }
 

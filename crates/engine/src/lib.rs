@@ -75,6 +75,17 @@
 //!   fault/retry/quarantine trajectory is bit-identical at any worker
 //!   count; with injection disarmed the engine is byte-identical to one
 //!   without the fault layer.
+//! * **Serving & alerting** ([`serve`], opt in via
+//!   [`EngineConfig::windows`] + [`Engine::serve_observability`]):
+//!   rolling time-bucketed windows over the bridged metrics (per-window
+//!   throughput, failure rate, queue-wait/solve-wall p50/p95/p99,
+//!   per-device utilisation and fault rates), a declarative SLO board
+//!   with multi-window burn-rate alerting ([`SloSpec`], [`AlertState`]
+//!   timelines, hysteresis), and a std-only blocking HTTP endpoint
+//!   ([`ObsServer`]) exposing `/metrics`, `/metrics.json`, `/healthz`,
+//!   `/slo`, `/dashboard` and the `/events` SSE journal stream with
+//!   exact `Last-Event-ID` resume. Serving is strictly read-only; the
+//!   write-only determinism contract is unchanged with serving on.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -110,25 +121,29 @@
 pub mod auto;
 pub mod cache;
 pub mod scheduler;
+pub mod serve;
 pub mod solver;
 
 pub use aco_core::lifecycle::{CancelToken, IterationEvent, RunOutcome, SolveCtx, StopReason};
 pub use aco_devices::{
     DeviceAffinity, DeviceId, DeviceModel, DevicePool, DeviceProfile, DeviceSnapshot, HealthEvent,
-    HealthPolicy, HealthState, Placement, PlacementError, PlacementStrategy,
+    HealthPolicy, HealthState, HealthSummary, Placement, PlacementError, PlacementStrategy,
 };
 pub use aco_faults::{FaultInjector, FaultKind, FaultPlan, FaultRates};
 pub use aco_localsearch::{LocalSearch, LsScope, LsScratch};
 pub use aco_obs::{
-    replay_timeline, sparkline, DynamicsConfig, DynamicsSummary, HistogramSnapshot, IterationSpans,
-    IterationStats, JobTimeline, Journal, JournalConfig, KernelFamilySnapshot, MetricsSnapshot,
-    RawDynamics, LATENCY_BUCKETS_MS,
+    default_slos, journal_epoch_ms, replay_timeline, sparkline, AlertState, AlertTransition, Clock,
+    DynamicsConfig, DynamicsSummary, HistogramSnapshot, IterationSpans, IterationStats,
+    JobTimeline, Journal, JournalConfig, KernelFamilySnapshot, ManualClock, MetricsSnapshot,
+    MonotonicClock, Quantiles, RawDynamics, SloBoard, SloObjective, SloSpec, SloStatus,
+    WindowConfig, WindowStats, LATENCY_BUCKETS_MS,
 };
 pub use auto::{choose, estimates, resolve, CandidateEstimate};
 pub use cache::{ArtifactCache, CacheStats, InstanceArtifacts};
 pub use scheduler::{
     default_devices, Engine, EngineConfig, JobHandle, JobId, JobStatus, ProgressStream,
 };
+pub use serve::ObsServer;
 pub use solver::{
     build_solver, AttemptFault, Backend, EngineError, Failover, GpuBinding, GpuDevice, JobOutcome,
     Priority, RetryPolicy, SolveReport, SolveRequest, Solver, DEFAULT_PROGRESS_EVENTS,

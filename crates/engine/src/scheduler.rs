@@ -84,8 +84,9 @@ use aco_devices::{
 };
 use aco_faults::{FaultInjector, FaultKind, FaultPlan};
 use aco_obs::{
-    sparkline, Counter, Gauge, Histogram, JobTimeline, JobTrace, KernelSink, MetricsSnapshot, Obs,
-    LATENCY_BUCKETS_MS,
+    default_slos, sparkline, AlertState, Clock, Counter, Gauge, Histogram, JobTimeline, JobTrace,
+    KernelSink, MetricsSnapshot, MonotonicClock, Obs, RollingWindow, SloBoard, SloSpec, SloStatus,
+    WindowConfig, WindowStats, LATENCY_BUCKETS_MS,
 };
 use aco_simt::SimtError;
 
@@ -161,8 +162,27 @@ pub struct EngineConfig {
     /// completion — to a bounded in-memory ring (and optionally a file);
     /// export with [`Engine::journal_export`], replay with
     /// [`aco_obs::replay_timeline`]. Write-only: recording never feeds
-    /// back into scheduling or solving.
+    /// back into scheduling or solving. A config without an explicit
+    /// [`aco_obs::JournalConfig::epoch_ms`] is anchored once at engine
+    /// construction (one wall-clock read; never in the hot path), so
+    /// exported journals from different runs can be time-aligned.
     pub journal: Option<aco_obs::JournalConfig>,
+    /// Rolling-window aggregation for the serving layer (default `None`:
+    /// off, zero cost). Armed, the engine keeps an [`RollingWindow`] a
+    /// sampler feeds with bridged metrics snapshots ([`Engine::tick_windows`]
+    /// manually, or the [`Engine::serve_observability`] sampler thread)
+    /// and evaluates the configured SLOs on each tick. Strictly read-side:
+    /// windows observe the same snapshots the Prometheus export does and
+    /// never feed back into scheduling or solving.
+    pub windows: Option<WindowConfig>,
+    /// SLO specs evaluated on each window tick; empty means
+    /// [`default_slos`] when `windows` is armed.
+    pub slos: Vec<SloSpec>,
+    /// Clock driving the window/SLO layer (default `None`: a
+    /// [`MonotonicClock`] built at engine construction). Inject an
+    /// [`aco_obs::ManualClock`] in tests to make every window and
+    /// burn-rate computation deterministic.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for EngineConfig {
@@ -180,6 +200,9 @@ impl Default for EngineConfig {
             donate_idle_threads: true,
             dynamics: None,
             journal: None,
+            windows: None,
+            slos: Vec::new(),
+            clock: None,
         }
     }
 }
@@ -251,6 +274,27 @@ impl EngineConfig {
     /// [`EngineConfig::journal`]).
     pub fn journal(mut self, config: aco_obs::JournalConfig) -> Self {
         self.journal = Some(config);
+        self
+    }
+
+    /// Builder: arm rolling-window aggregation (see
+    /// [`EngineConfig::windows`]).
+    pub fn windows(mut self, config: WindowConfig) -> Self {
+        self.windows = Some(config);
+        self
+    }
+
+    /// Builder: the SLO specs the window layer evaluates (see
+    /// [`EngineConfig::slos`]).
+    pub fn slos(mut self, specs: Vec<SloSpec>) -> Self {
+        self.slos = specs;
+        self
+    }
+
+    /// Builder: inject the window layer's clock (see
+    /// [`EngineConfig::clock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 }
@@ -508,7 +552,16 @@ struct Board {
     jobs: HashMap<u64, JobSlot>,
 }
 
-struct Shared {
+/// The rolling-window/SLO state one engine owns when
+/// [`EngineConfig::windows`] is armed. Serving-path only: the solve hot
+/// path never reads or writes any of it.
+pub(crate) struct WindowState {
+    clock: Arc<dyn Clock>,
+    window: RollingWindow,
+    slos: Mutex<SloBoard>,
+}
+
+pub(crate) struct Shared {
     queues: Vec<Mutex<BinaryHeap<QueueEntry>>>,
     /// One run queue per pool device; GPU jobs wait here for their
     /// placed device's slot budget.
@@ -543,6 +596,8 @@ struct Shared {
     dynamics: Option<aco_obs::DynamicsConfig>,
     /// The engine-wide event journal (`None`: journalling off).
     journal: Option<Arc<aco_obs::Journal>>,
+    /// Rolling windows + SLO board (`None`: window layer off).
+    windows: Option<WindowState>,
 }
 
 impl Shared {
@@ -550,6 +605,234 @@ impl Shared {
     /// clock, never fed back into scheduling).
     fn journal_ts_ms(&self) -> f64 {
         self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// The full engine snapshot behind `Engine::metrics`: scheduler
+    /// series plus per-device, per-job-dynamics and cache series bridged
+    /// from their native counters here, at snapshot time, so neither
+    /// subsystem depends on the metrics registry. Lives on `Shared` so
+    /// the serving layer can snapshot without an `Engine` borrow.
+    pub(crate) fn bridged_snapshot(&self) -> MetricsSnapshot {
+        let reg = self.obs.metrics();
+        if self.obs.is_enabled() {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            // Label values flow through `labelled`, which escapes `\`,
+            // `"` and newlines per the Prometheus text format — a
+            // hostile device name must not corrupt the whole export.
+            let dev = |base: &str, name: &str| aco_obs::metrics::labelled(base, "device", name);
+            for d in self.pool.snapshot() {
+                let name = &d.name;
+                reg.gauge(&dev("aco_device_queued", name)).set(d.queued as i64);
+                reg.gauge(&dev("aco_device_running", name)).set(d.running as i64);
+                reg.counter(&dev("aco_device_completed_total", name)).set(d.completed);
+                reg.counter(&dev("aco_device_admission_waits_total", name)).set(d.admission_waits);
+                reg.gauge(&dev("aco_device_busy_ms", name)).set(d.busy_ms as i64);
+                reg.gauge(&dev("aco_device_assigned_ms", name)).set(d.assigned_ms as i64);
+                // Utilization in basis points (gauges are integers):
+                // busy wall time over the engine's lifetime so far.
+                let util_bp = if elapsed > 0.0 {
+                    (d.busy_ms / (elapsed * 1e3) * 1e4).round() as i64
+                } else {
+                    0
+                };
+                reg.gauge(&dev("aco_device_utilization_bp", name)).set(util_bp);
+                reg.gauge(&dev("aco_device_health", name)).set(d.health.code() as i64);
+                reg.counter(&dev("aco_device_quarantines_total", name)).set(d.quarantines);
+                reg.counter(&dev("aco_device_faults_observed_total", name)).set(d.faults_observed);
+            }
+            // Per-job search-dynamics gauges for every timeline still in
+            // the ring. The `*_milli` integer series keep their
+            // long-stable Prometheus names; the float twins carry the
+            // unquantised values (full precision in the JSON snapshot).
+            let job =
+                |base: &str, id: u64| aco_obs::metrics::labelled(base, "job", &id.to_string());
+            for t in self.obs.sink().recent() {
+                if let Some(d) = &t.dynamics {
+                    reg.gauge(&job("aco_job_entropy_milli", t.job))
+                        .set((d.final_entropy * 1e3).round() as i64);
+                    reg.gauge(&job("aco_job_stagnant_iterations", t.job))
+                        .set(d.stagnant_iterations as i64);
+                    reg.gauge(&job("aco_job_lambda_branching_milli", t.job))
+                        .set((d.final_lambda_branching * 1e3).round() as i64);
+                    reg.float_gauge(&job("aco_job_entropy", t.job)).set(d.final_entropy);
+                    reg.float_gauge(&job("aco_job_lambda_branching", t.job))
+                        .set(d.final_lambda_branching);
+                }
+            }
+            let cs = self.cache.stats();
+            reg.counter("aco_cache_artifact_hits_total").set(cs.artifact_hits);
+            reg.counter("aco_cache_artifact_misses_total").set(cs.artifact_misses);
+            reg.counter("aco_cache_decision_hits_total").set(cs.decision_hits);
+            reg.counter("aco_cache_decision_misses_total").set(cs.decision_misses);
+            reg.counter("aco_cache_evictions_total")
+                .set(cs.artifact_evictions + cs.decision_evictions);
+        }
+        self.obs.snapshot()
+    }
+
+    /// Per-device health codes for the SLO bridge, as the plain view
+    /// `aco-obs` understands (it depends on no other crate).
+    fn device_health_view(&self) -> aco_obs::DeviceHealthView {
+        self.pool.snapshot().into_iter().map(|d| (d.name, d.health.code())).collect()
+    }
+
+    /// One window tick: record the bridged snapshot at the clock's
+    /// current time, then evaluate every SLO. See `Engine::tick_windows`.
+    pub(crate) fn tick_windows(&self) -> Option<AlertState> {
+        let ws = self.windows.as_ref()?;
+        let now = ws.clock.now_ms();
+        ws.window.record(now, self.bridged_snapshot());
+        let devices = self.device_health_view();
+        Some(ws.slos.lock().expect("slo lock").evaluate(&ws.window, &devices, now))
+    }
+
+    /// See `Engine::window_stats`.
+    pub(crate) fn window_stats(&self, window_ms: u64) -> Option<WindowStats> {
+        let ws = self.windows.as_ref()?;
+        ws.window.stats(ws.clock.now_ms(), window_ms)
+    }
+
+    /// See `Engine::slo_statuses`.
+    pub(crate) fn slo_statuses(&self) -> Vec<SloStatus> {
+        match &self.windows {
+            Some(ws) => ws.slos.lock().expect("slo lock").statuses(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `/slo` document: the SLO board as JSON (`[]` when the window
+    /// layer is off).
+    pub(crate) fn slo_json(&self) -> String {
+        match &self.windows {
+            Some(ws) => ws.slos.lock().expect("slo lock").to_json(),
+            None => "[]".to_string(),
+        }
+    }
+
+    /// Worst alert state on the board (`Ok` when the window layer is
+    /// off — no alerting configured means nothing is firing).
+    fn worst_alert(&self) -> AlertState {
+        match &self.windows {
+            Some(ws) => ws.slos.lock().expect("slo lock").worst(),
+            None => AlertState::Ok,
+        }
+    }
+
+    /// The `/healthz` document: engine uptime and queue state, job
+    /// counters, per-device health, and the alert board's worst state.
+    pub(crate) fn healthz_json(&self) -> String {
+        use aco_obs::metrics::json_escape;
+        let worst = self.worst_alert();
+        let health = self.pool.health_summary();
+        let outstanding = self.board.lock().expect("board lock").jobs.len();
+        let mut out = format!(
+            "{{\"status\":\"{}\",\"uptime_ms\":{},\"workers\":{},\"outstanding\":{},\
+             \"jobs\":{{\"submitted\":{},\"completed\":{},\"failed\":{}}},\
+             \"devices_quarantined\":{},\"devices\":[",
+            worst.label(),
+            (self.started.elapsed().as_secs_f64() * 1e3) as u64,
+            self.queues.len(),
+            outstanding,
+            self.metrics.jobs_submitted.get(),
+            self.metrics.jobs_completed.get(),
+            self.metrics.jobs_failed.get(),
+            health.quarantined,
+        );
+        for (i, d) in self.pool.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"health\":\"{}\",\"queued\":{},\"running\":{},\
+                 \"completed\":{},\"faults\":{}}}",
+                json_escape(&d.name),
+                d.health.label(),
+                d.queued,
+                d.running,
+                d.completed,
+                d.faults_observed,
+            ));
+        }
+        out.push_str(&format!("],\"alerts\":{}}}", self.slo_json()));
+        out
+    }
+
+    /// The journal, for the serving layer's `/events` stream.
+    pub(crate) fn journal_arc(&self) -> Option<Arc<aco_obs::Journal>> {
+        self.journal.clone()
+    }
+
+    /// Is the rolling-window layer armed?
+    pub(crate) fn has_windows(&self) -> bool {
+        self.windows.is_some()
+    }
+
+    /// The armed window's bucket width, for the sampler cadence.
+    pub(crate) fn window_bucket_ms(&self) -> Option<u64> {
+        self.windows.as_ref().map(|ws| ws.window.bucket_ms())
+    }
+
+    /// The dashboard render behind `Engine::render_dashboard` (on
+    /// `Shared` so the serving layer can render it).
+    pub(crate) fn render_dashboard(&self) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut out = format!(
+            "aco-engine dashboard  t+{elapsed:.1}s  workers {}  journal {}\n",
+            self.queues.len(),
+            match &self.journal {
+                Some(j) => format!("{} lines", j.len()),
+                None => "off".to_string(),
+            },
+        );
+        let devices = self.pool.snapshot();
+        if devices.is_empty() {
+            out.push_str("devices: none\n");
+        } else {
+            out.push_str("devices:\n");
+            for d in devices {
+                let util = if elapsed > 0.0 { d.busy_ms / (elapsed * 1e3) * 1e2 } else { 0.0 };
+                out.push_str(&format!(
+                    "  [{}] {:<12} queued {:>3}  running {:>2}  done {:>4}  util {:>5.1}%  {}\n",
+                    d.id.0,
+                    d.name,
+                    d.queued,
+                    d.running,
+                    d.completed,
+                    util,
+                    d.health.label(),
+                ));
+            }
+        }
+        let timelines = self.obs.sink().recent();
+        if timelines.is_empty() {
+            out.push_str("jobs: none completed yet\n");
+        } else {
+            out.push_str("jobs (most recent last):\n");
+            for t in timelines {
+                let device = match t.device {
+                    Some(d) => format!("dev{d}"),
+                    None => "cpu".to_string(),
+                };
+                match &t.dynamics {
+                    Some(d) => out.push_str(&format!(
+                        "  job {:>3} {:<22} {device:<5} best {:>8}  {}  entropy {:.3}  \
+                         lambda {:.2}  stagnant {}\n",
+                        t.job,
+                        t.backend,
+                        if d.final_best == u64::MAX { 0 } else { d.final_best },
+                        sparkline(&d.best_trajectory.values(), 24),
+                        d.final_entropy,
+                        d.final_lambda_branching,
+                        d.stagnant_iterations,
+                    )),
+                    None => out.push_str(&format!(
+                        "  job {:>3} {:<22} {device:<5} wall {:.1}ms\n",
+                        t.job, t.backend, t.solve_wall_ms,
+                    )),
+                }
+            }
+        }
+        out
     }
 }
 
@@ -574,6 +857,10 @@ struct SchedMetrics {
     queue_wait_ms: Histogram,
     first_event_ms: Histogram,
     placement_ms: Histogram,
+    /// Wall time of the supervised solve (jobs that actually ran —
+    /// eagerly cancelled/expired jobs are excluded), the serving layer's
+    /// solve-latency SLI.
+    solve_wall_ms: Histogram,
     /// Failed attempts that were retried by the supervisor.
     retries: Counter,
     /// Retries that moved to a different device than the failed attempt.
@@ -607,6 +894,7 @@ impl SchedMetrics {
             queue_wait_ms: reg.histogram("aco_engine_queue_wait_ms", &LATENCY_BUCKETS_MS),
             first_event_ms: reg.histogram("aco_engine_first_event_ms", &LATENCY_BUCKETS_MS),
             placement_ms: reg.histogram("aco_engine_placement_ms", &LATENCY_BUCKETS_MS),
+            solve_wall_ms: reg.histogram("aco_engine_solve_wall_ms", &LATENCY_BUCKETS_MS),
             retries: reg.counter("aco_engine_retries_total"),
             failovers: reg.counter("aco_engine_failovers_total"),
             cpu_fallbacks: reg.counter("aco_engine_cpu_fallbacks_total"),
@@ -1436,6 +1724,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             let result = run_supervised(&shared, id, &state, &req);
             let wall = t0.elapsed();
             solve_wall_ms = wall.as_secs_f64() * 1e3;
+            shared.metrics.solve_wall_ms.observe(solve_wall_ms);
             shared.metrics.jobs_running.dec();
             if let Some(trace) = &state.trace {
                 trace.record_solve_wall_ms(wall.as_secs_f64() * 1e3);
@@ -1699,7 +1988,7 @@ impl JobHandle {
 /// }
 /// ```
 pub struct Engine {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
 }
@@ -1720,6 +2009,16 @@ impl Engine {
             .clone()
             .map(FaultInjector::new)
             .unwrap_or_else(FaultInjector::disabled);
+        let windows = config.windows.map(|wcfg| {
+            let clock: Arc<dyn Clock> =
+                config.clock.clone().unwrap_or_else(|| Arc::new(MonotonicClock::new()));
+            let specs = if config.slos.is_empty() { default_slos() } else { config.slos.clone() };
+            WindowState {
+                clock,
+                window: RollingWindow::new(wcfg),
+                slos: Mutex::new(SloBoard::new(specs)),
+            }
+        });
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(BinaryHeap::new())).collect(),
             device_queues: (0..pool.len()).map(|_| Mutex::new(BinaryHeap::new())).collect(),
@@ -1737,7 +2036,21 @@ impl Engine {
             donated: Arc::new(AtomicUsize::new(0)),
             donate: config.donate_idle_threads,
             dynamics: config.dynamics,
-            journal: config.journal.map(|cfg| Arc::new(aco_obs::Journal::new(cfg))),
+            journal: config.journal.map(|mut cfg| {
+                // Anchor the journal to the wall clock once, here at
+                // construction — never per event in the hot path — so
+                // exports from different runs can be time-aligned.
+                if cfg.epoch_ms.is_none() {
+                    cfg.epoch_ms = Some(
+                        std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.as_millis() as u64)
+                            .unwrap_or(0),
+                    );
+                }
+                Arc::new(aco_obs::Journal::new(cfg))
+            }),
+            windows,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -1958,57 +2271,7 @@ impl Engine {
     /// kernel profiles. Export via [`MetricsSnapshot::to_prometheus`] or
     /// [`MetricsSnapshot::to_json`]. Empty when observability is off.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let reg = self.shared.obs.metrics();
-        if self.shared.obs.is_enabled() {
-            let elapsed = self.shared.started.elapsed().as_secs_f64();
-            // Label values flow through `labelled`, which escapes `\`,
-            // `"` and newlines per the Prometheus text format — a
-            // hostile device name must not corrupt the whole export.
-            let dev = |base: &str, name: &str| aco_obs::metrics::labelled(base, "device", name);
-            for d in self.shared.pool.snapshot() {
-                let name = &d.name;
-                reg.gauge(&dev("aco_device_queued", name)).set(d.queued as i64);
-                reg.gauge(&dev("aco_device_running", name)).set(d.running as i64);
-                reg.counter(&dev("aco_device_completed_total", name)).set(d.completed);
-                reg.counter(&dev("aco_device_admission_waits_total", name)).set(d.admission_waits);
-                reg.gauge(&dev("aco_device_busy_ms", name)).set(d.busy_ms as i64);
-                reg.gauge(&dev("aco_device_assigned_ms", name)).set(d.assigned_ms as i64);
-                // Utilization in basis points (gauges are integers):
-                // busy wall time over the engine's lifetime so far.
-                let util_bp = if elapsed > 0.0 {
-                    (d.busy_ms / (elapsed * 1e3) * 1e4).round() as i64
-                } else {
-                    0
-                };
-                reg.gauge(&dev("aco_device_utilization_bp", name)).set(util_bp);
-                reg.gauge(&dev("aco_device_health", name)).set(d.health.code() as i64);
-                reg.counter(&dev("aco_device_quarantines_total", name)).set(d.quarantines);
-                reg.counter(&dev("aco_device_faults_observed_total", name)).set(d.faults_observed);
-            }
-            // Per-job search-dynamics gauges for every timeline still in
-            // the ring. Entropy is exported in milli-units (gauges are
-            // integers).
-            let job =
-                |base: &str, id: u64| aco_obs::metrics::labelled(base, "job", &id.to_string());
-            for t in self.shared.obs.sink().recent() {
-                if let Some(d) = &t.dynamics {
-                    reg.gauge(&job("aco_job_entropy_milli", t.job))
-                        .set((d.final_entropy * 1e3).round() as i64);
-                    reg.gauge(&job("aco_job_stagnant_iterations", t.job))
-                        .set(d.stagnant_iterations as i64);
-                    reg.gauge(&job("aco_job_lambda_branching_milli", t.job))
-                        .set((d.final_lambda_branching * 1e3).round() as i64);
-                }
-            }
-            let cs = self.shared.cache.stats();
-            reg.counter("aco_cache_artifact_hits_total").set(cs.artifact_hits);
-            reg.counter("aco_cache_artifact_misses_total").set(cs.artifact_misses);
-            reg.counter("aco_cache_decision_hits_total").set(cs.decision_hits);
-            reg.counter("aco_cache_decision_misses_total").set(cs.decision_misses);
-            reg.counter("aco_cache_evictions_total")
-                .set(cs.artifact_evictions + cs.decision_evictions);
-        }
-        self.shared.obs.snapshot()
+        self.shared.bridged_snapshot()
     }
 
     /// The most recent completed-job timelines (bounded ring of
@@ -2044,64 +2307,37 @@ impl Engine {
     /// dynamics numbers. Purely observational — rendering reads the same
     /// snapshots the metrics export does.
     pub fn render_dashboard(&self) -> String {
-        let elapsed = self.shared.started.elapsed().as_secs_f64();
-        let mut out = format!(
-            "aco-engine dashboard  t+{elapsed:.1}s  workers {}  journal {}\n",
-            self.handles.len(),
-            match &self.shared.journal {
-                Some(j) => format!("{} lines", j.len()),
-                None => "off".to_string(),
-            },
-        );
-        let devices = self.shared.pool.snapshot();
-        if devices.is_empty() {
-            out.push_str("devices: none\n");
-        } else {
-            out.push_str("devices:\n");
-            for d in devices {
-                let util = if elapsed > 0.0 { d.busy_ms / (elapsed * 1e3) * 1e2 } else { 0.0 };
-                out.push_str(&format!(
-                    "  [{}] {:<12} queued {:>3}  running {:>2}  done {:>4}  util {:>5.1}%  {}\n",
-                    d.id.0,
-                    d.name,
-                    d.queued,
-                    d.running,
-                    d.completed,
-                    util,
-                    d.health.label(),
-                ));
-            }
-        }
-        let timelines = self.shared.obs.sink().recent();
-        if timelines.is_empty() {
-            out.push_str("jobs: none completed yet\n");
-        } else {
-            out.push_str("jobs (most recent last):\n");
-            for t in timelines {
-                let device = match t.device {
-                    Some(d) => format!("dev{d}"),
-                    None => "cpu".to_string(),
-                };
-                match &t.dynamics {
-                    Some(d) => out.push_str(&format!(
-                        "  job {:>3} {:<22} {device:<5} best {:>8}  {}  entropy {:.3}  \
-                         lambda {:.2}  stagnant {}\n",
-                        t.job,
-                        t.backend,
-                        if d.final_best == u64::MAX { 0 } else { d.final_best },
-                        sparkline(&d.best_trajectory.values(), 24),
-                        d.final_entropy,
-                        d.final_lambda_branching,
-                        d.stagnant_iterations,
-                    )),
-                    None => out.push_str(&format!(
-                        "  job {:>3} {:<22} {device:<5} wall {:.1}ms\n",
-                        t.job, t.backend, t.solve_wall_ms,
-                    )),
-                }
-            }
-        }
-        out
+        self.shared.render_dashboard()
+    }
+
+    /// Record one window frame (the bridged metrics snapshot at the
+    /// configured clock's current time) and evaluate every SLO against
+    /// it, returning the board's worst [`AlertState`]. `None` when
+    /// [`EngineConfig::windows`] is off. The
+    /// [`Engine::serve_observability`] sampler calls this on a cadence;
+    /// tests drive it manually under an [`aco_obs::ManualClock`].
+    pub fn tick_windows(&self) -> Option<AlertState> {
+        self.shared.tick_windows()
+    }
+
+    /// The rolling serving summary for the last `window_ms` milliseconds
+    /// (throughput, failure rate, latency quantiles, per-device
+    /// utilisation/fault rates). `None` when the window layer is off or
+    /// fewer than two frames have been recorded.
+    pub fn window_stats(&self, window_ms: u64) -> Option<WindowStats> {
+        self.shared.window_stats(window_ms)
+    }
+
+    /// Current status of every configured SLO (state, burn rates, cause,
+    /// transition timeline). Empty when the window layer is off.
+    pub fn slo_statuses(&self) -> Vec<SloStatus> {
+        self.shared.slo_statuses()
+    }
+
+    /// The aggregated health document served at `/healthz` (engine
+    /// uptime/queue state, per-device health, worst alert state).
+    pub fn healthz_json(&self) -> String {
+        self.shared.healthz_json()
     }
 }
 

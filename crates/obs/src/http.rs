@@ -1,0 +1,529 @@
+//! A minimal, std-only blocking HTTP server for the observability
+//! endpoint: `TcpListener` + a bounded acceptor pool + a graceful
+//! shutdown handle. No async runtime, no dependencies — serving
+//! telemetry needs exactly `GET` with small text bodies, plus
+//! Server-Sent Events for the journal stream.
+//!
+//! The server is transport only: routing lives behind the [`ObsHandler`]
+//! trait (the engine implements it over its own snapshots), and the
+//! journal stream behind [`EventSource`] (sequence-cursored reads, which
+//! makes `Last-Event-ID` resume exact). Handlers are strictly read-only
+//! by contract — the serving layer must never influence solving, which
+//! is pinned by the determinism suite in `tests/obs_serve.rs`.
+//!
+//! Connection model: `threads` acceptor threads block on a shared
+//! listener; each serves its connection to completion (one
+//! request/response per connection, `Connection: close`), so the thread
+//! pool bounds concurrent connections with zero queueing machinery.
+//! Shutdown sets a flag and pokes each acceptor awake with a loopback
+//! connection, then joins — bounded, no `SO_REUSEADDR` games, no leaked
+//! threads.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers). Anything larger is
+/// rejected with `431` — observability clients send tiny requests.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Read timeout while parsing a request head.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Poll cadence of the SSE loop between journal reads.
+const SSE_POLL: Duration = Duration::from_millis(20);
+
+/// One parsed request (method, path, query, headers — bodies are not
+/// read: the endpoint is `GET`-only).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method.
+    pub method: String,
+    /// Path without the query string (e.g. `/metrics`).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter named `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A sequence-cursored event feed (the journal, behind a trait so this
+/// module stays engine-agnostic).
+pub trait EventSource: Send + Sync {
+    /// Retained `(sequence, payload)` pairs with `sequence ≥ from_seq`,
+    /// ascending. Payloads must be single-line (JSONL).
+    fn events_from(&self, from_seq: u64) -> Vec<(u64, String)>;
+}
+
+/// What a handler returns.
+pub enum Reply {
+    /// A complete text response.
+    Text {
+        /// HTTP status code.
+        status: u16,
+        /// `Content-Type` value.
+        content_type: &'static str,
+        /// The body.
+        body: String,
+    },
+    /// A Server-Sent-Events stream over an [`EventSource`]: each event
+    /// is written as `id: <seq>` + `data: <payload>`, so a client can
+    /// resume exactly with `Last-Event-ID`.
+    Events {
+        /// First sequence to deliver.
+        from_seq: u64,
+        /// Close the stream after this many events (`None`: stream until
+        /// client disconnect or server shutdown).
+        max_events: Option<u64>,
+        /// The feed.
+        source: Arc<dyn EventSource>,
+    },
+}
+
+impl Reply {
+    /// `200` with an arbitrary content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Reply::Text { status: 200, content_type, body: body.into() }
+    }
+
+    /// `200 text/plain`.
+    pub fn text(body: impl Into<String>) -> Self {
+        Self::ok("text/plain; charset=utf-8", body)
+    }
+
+    /// `200 application/json`.
+    pub fn json(body: impl Into<String>) -> Self {
+        Self::ok("application/json", body)
+    }
+
+    /// `200` in the Prometheus text exposition content type.
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Self::ok("text/plain; version=0.0.4; charset=utf-8", body)
+    }
+
+    /// `404` with a one-line body.
+    pub fn not_found(what: &str) -> Self {
+        Reply::Text {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("not found: {what}\n"),
+        }
+    }
+}
+
+/// The routing surface: map one request to one reply. Implementations
+/// must be read-only with respect to anything that affects solving.
+pub trait ObsHandler: Send + Sync {
+    /// Handle one `GET`.
+    fn handle(&self, req: &Request) -> Reply;
+}
+
+/// A running server; dropping (or [`HttpServer::shutdown`]) stops it
+/// gracefully.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .field("stopped", &self.stop.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve
+    /// `handler` on `threads` acceptor threads (clamped to ≥ 1).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn ObsHandler>,
+        threads: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads = (0..threads.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("aco-obs-http-{i}"))
+                    .spawn(move || accept_loop(listener, handler, stop))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(HttpServer { addr, stop, threads })
+    }
+
+    /// The bound address (resolves the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: flag every acceptor, poke each awake, join
+    /// all of them. Idempotent; also performed on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // One wake-up connection per acceptor thread: each sees the flag
+        // either before its accept returns or on the poked connection.
+        for _ in 0..self.threads.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Arc<dyn ObsHandler>, stop: Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::Acquire) {
+                    return; // the shutdown poke
+                }
+                // Per-connection errors (parse failures, client hangups)
+                // must never take the acceptor down.
+                let _ = serve_connection(stream, &*handler, &stop);
+            }
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &dyn ObsHandler,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true).ok();
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(status) => {
+            let r = write_error(&mut stream, status);
+            // Drain what the client is still sending before closing:
+            // closing with unread bytes queued makes the kernel RST the
+            // connection, clobbering the error response in flight.
+            drain(&mut stream);
+            return r;
+        }
+    };
+    let Some(req) = parse_request(&head) else {
+        return write_error(&mut stream, 400);
+    };
+    if req.method != "GET" {
+        return write_error(&mut stream, 405);
+    }
+    match handler.handle(&req) {
+        Reply::Text { status, content_type, body } => {
+            write_text(&mut stream, status, content_type, &body)
+        }
+        Reply::Events { from_seq, max_events, source } => {
+            stream_events(&mut stream, from_seq, max_events, &*source, stop)
+        }
+    }
+}
+
+/// Discard (bounded) whatever the peer is still sending, so the
+/// subsequent close is a clean FIN rather than an RST.
+fn drain(stream: &mut TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_millis(250))).ok();
+    let mut buf = [0u8; 4096];
+    let mut total = 0usize;
+    while total < 256 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+/// Read the request head (through the blank line), capped.
+fn read_head(stream: &mut TcpStream) -> Result<String, u16> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf).map_err(|_| 408u16)?;
+        if n == 0 {
+            return Err(400);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            return String::from_utf8(head).map_err(|_| 400);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(431);
+        }
+    }
+}
+
+fn parse_request(head: &str) -> Option<Request> {
+    let mut lines = head.lines();
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_ascii_uppercase();
+    let target = parts.next()?;
+    parts.next()?.strip_prefix("HTTP/")?;
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let headers = lines
+        .take_while(|l| !l.trim().is_empty())
+        .filter_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    Some(Request { method, path: path.to_string(), query, headers })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    }
+}
+
+fn write_text(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn write_error(stream: &mut TcpStream, status: u16) -> io::Result<()> {
+    let body = format!("{status} {}\n", status_text(status));
+    write_text(stream, status, "text/plain; charset=utf-8", &body)
+}
+
+/// The SSE loop: drain everything at or past the cursor, then poll the
+/// source until the event budget is spent, the client disconnects (a
+/// write error), or the server shuts down.
+fn stream_events(
+    stream: &mut TcpStream,
+    from_seq: u64,
+    max_events: Option<u64>,
+    source: &dyn EventSource,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+         Cache-Control: no-cache\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut cursor = from_seq;
+    let mut sent = 0u64;
+    loop {
+        for (seq, payload) in source.events_from(cursor) {
+            write!(stream, "id: {seq}\ndata: {payload}\n\n")?;
+            cursor = seq + 1;
+            sent += 1;
+            if max_events.is_some_and(|m| sent >= m) {
+                return stream.flush();
+            }
+        }
+        stream.flush()?;
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        std::thread::sleep(SSE_POLL);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Router;
+
+    impl ObsHandler for Router {
+        fn handle(&self, req: &Request) -> Reply {
+            match req.path.as_str() {
+                "/ping" => Reply::text("pong\n"),
+                "/json" => Reply::json("{\"ok\":true}"),
+                "/echo" => Reply::text(format!(
+                    "q={} h={}",
+                    req.query_param("q").unwrap_or("-"),
+                    req.header("X-Probe").unwrap_or("-"),
+                )),
+                "/stream" => {
+                    let from = req
+                        .query_param("from")
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| {
+                            req.header("Last-Event-ID")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .map(|id| id + 1)
+                        })
+                        .unwrap_or(0);
+                    let max = req.query_param("max").and_then(|v| v.parse().ok());
+                    Reply::Events {
+                        from_seq: from,
+                        max_events: max,
+                        source: Arc::new(FixedSource {
+                            events: Mutex::new(
+                                (0u64..6).map(|s| (s, format!("{{\"n\":{s}}}"))).collect(),
+                            ),
+                        }),
+                    }
+                }
+                other => Reply::not_found(other),
+            }
+        }
+    }
+
+    struct FixedSource {
+        events: Mutex<Vec<(u64, String)>>,
+    }
+
+    impl EventSource for FixedSource {
+        fn events_from(&self, from_seq: u64) -> Vec<(u64, String)> {
+            self.events.lock().unwrap().iter().filter(|(s, _)| *s >= from_seq).cloned().collect()
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str, extra_header: Option<&str>) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let extra = extra_header.map(|h| format!("{h}\r\n")).unwrap_or_default();
+        write!(s, "GET {target} HTTP/1.1\r\nHost: test\r\n{extra}Connection: close\r\n\r\n")
+            .expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_text_json_and_404_with_clean_shutdown() {
+        let mut srv = HttpServer::bind("127.0.0.1:0", Arc::new(Router), 2).expect("bind");
+        let addr = srv.local_addr();
+        let pong = get(addr, "/ping", None);
+        assert!(pong.starts_with("HTTP/1.1 200 OK\r\n"), "{pong}");
+        assert!(pong.contains("Content-Length: 5"));
+        assert!(pong.ends_with("pong\n"));
+        let json = get(addr, "/json", None);
+        assert!(json.contains("Content-Type: application/json"));
+        assert!(json.ends_with("{\"ok\":true}"));
+        let missing = get(addr, "/nope", None);
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        let echo = get(addr, "/echo?q=42", Some("X-Probe: seen"));
+        assert!(echo.ends_with("q=42 h=seen"), "{echo}");
+        srv.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err()
+                || get_safe(addr).is_none()
+        );
+    }
+
+    /// After shutdown the port may be grabbed by someone else; "either
+    /// refused or not our server" is the strongest portable assertion.
+    fn get_safe(addr: SocketAddr) -> Option<String> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_millis(300)).ok()?;
+        s.set_read_timeout(Some(Duration::from_millis(300))).ok()?;
+        write!(s, "GET /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").ok()?;
+        let mut out = String::new();
+        s.read_to_string(&mut out).ok()?;
+        out.contains("pong").then_some(out)
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(Router), 1).expect("bind");
+        let mut s = TcpStream::connect(srv.local_addr()).expect("connect");
+        write!(s, "POST /ping HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn sse_streams_with_ids_and_resumes_from_last_event_id() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(Router), 1).expect("bind");
+        let addr = srv.local_addr();
+        let full = get(addr, "/stream?max=6", None);
+        assert!(full.contains("Content-Type: text/event-stream"));
+        assert!(full.contains("id: 0\ndata: {\"n\":0}\n\n"));
+        assert!(full.contains("id: 5\ndata: {\"n\":5}\n\n"));
+        // Resume after event 3: exactly the suffix 4..=5.
+        let resumed = get(addr, "/stream?max=2", Some("Last-Event-ID: 3"));
+        assert!(!resumed.contains("data: {\"n\":3}"));
+        assert!(resumed.contains("id: 4\n"));
+        assert!(resumed.contains("id: 5\n"));
+        // Cursor query form.
+        let from = get(addr, "/stream?from=5&max=1", None);
+        assert!(from.contains("id: 5\n") && !from.contains("id: 4\n"));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected() {
+        let srv = HttpServer::bind("127.0.0.1:0", Arc::new(Router), 1).expect("bind");
+        let mut s = TcpStream::connect(srv.local_addr()).expect("connect");
+        let huge = "x".repeat(MAX_HEAD_BYTES + 1024);
+        // The server may reject and close mid-write; EPIPE here is fine.
+        let _ = write!(s, "GET /ping?{huge} HTTP/1.1\r\nHost: t\r\n\r\n");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 431"), "{}", &out[..out.len().min(64)]);
+    }
+}

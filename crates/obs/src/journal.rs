@@ -13,6 +13,19 @@
 //! start, so journal *content* varies run to run — only solve results
 //! must stay bit-identical, and those never read the journal.
 //!
+//! **Anchoring.** `ts_ms` alone cannot align journals from different
+//! runs, so a journal configured with an engine-start epoch
+//! ([`JournalConfig::epoch_ms`] — injected once at construction, never
+//! `SystemTime::now()` on the hot path) emits a leading
+//! `{"ev":"meta","epoch_ms":…}` header line; absolute event time is
+//! `epoch_ms + ts_ms`. [`journal_epoch_ms`] recovers the anchor from an
+//! exported document, and [`replay_timeline`] skips the header.
+//!
+//! **Sequencing.** Every line (the meta header included) carries an
+//! implicit monotone sequence number starting at 0; [`Journal::export_from`]
+//! reads the retained suffix from any cursor, which is what the `/events`
+//! Server-Sent-Events endpoint uses for `Last-Event-ID` resume.
+//!
 //! [`replay_timeline`] parses an exported journal back into a
 //! `JobTimeline` for one job, reconstructing backend, device, attempts,
 //! cache attribution, wall times and the dynamics summary without the
@@ -43,11 +56,23 @@ pub struct JournalConfig {
     /// path disables persistence and is reported via
     /// [`Journal::file_error`], never a panic).
     pub path: Option<PathBuf>,
+    /// Wall-clock anchor (Unix epoch ms) of the journal's `ts_ms = 0`,
+    /// injected by the owner at construction — the engine captures it
+    /// once at startup, so the hot path never reads the system clock.
+    /// When set, the journal's first line is a `{"ev":"meta"}` header
+    /// carrying it, and exported documents from different runs become
+    /// alignable (`epoch_ms + ts_ms`).
+    pub epoch_ms: Option<u64>,
 }
 
 impl Default for JournalConfig {
     fn default() -> Self {
-        JournalConfig { capacity: DEFAULT_JOURNAL_CAPACITY, sample_every: 1, path: None }
+        JournalConfig {
+            capacity: DEFAULT_JOURNAL_CAPACITY,
+            sample_every: 1,
+            path: None,
+            epoch_ms: None,
+        }
     }
 }
 
@@ -69,6 +94,13 @@ impl JournalConfig {
         self.path = Some(path.into());
         self
     }
+
+    /// Builder: anchor `ts_ms = 0` at this wall-clock instant (Unix
+    /// epoch ms). See [`JournalConfig::epoch_ms`].
+    pub fn epoch_ms(mut self, epoch_ms: u64) -> Self {
+        self.epoch_ms = Some(epoch_ms);
+        self
+    }
 }
 
 struct JournalInner {
@@ -83,12 +115,14 @@ struct JournalInner {
 pub struct Journal {
     capacity: usize,
     sample_every: u64,
+    epoch_ms: Option<u64>,
     inner: Mutex<JournalInner>,
 }
 
 impl Journal {
     /// Open a journal. File persistence failures are recorded, not
-    /// raised — an engine must not fail to start over telemetry.
+    /// raised — an engine must not fail to start over telemetry. A
+    /// configured epoch emits the `{"ev":"meta"}` header as line 0.
     pub fn new(cfg: JournalConfig) -> Self {
         let (file, file_error) = match &cfg.path {
             None => (None, None),
@@ -97,11 +131,16 @@ impl Journal {
                 Err(e) => (None, Some(format!("{}: {e}", p.display()))),
             },
         };
-        Journal {
+        let journal = Journal {
             capacity: cfg.capacity.max(1),
             sample_every: cfg.sample_every.max(1),
+            epoch_ms: cfg.epoch_ms,
             inner: Mutex::new(JournalInner { ring: VecDeque::new(), evicted: 0, file, file_error }),
+        };
+        if let Some(epoch) = cfg.epoch_ms {
+            journal.push(format!("{{\"ev\":\"meta\",\"epoch_ms\":{epoch},\"schema\":1}}"));
         }
+        journal
     }
 
     /// The iteration sampling stride (≥ 1).
@@ -129,6 +168,20 @@ impl Journal {
         self.inner.lock().expect("journal lock").evicted
     }
 
+    /// The wall-clock anchor of `ts_ms = 0`, when configured.
+    pub fn epoch_ms(&self) -> Option<u64> {
+        self.epoch_ms
+    }
+
+    /// The sequence number the *next* recorded line will get. Sequence
+    /// numbers are assigned monotonically from 0 (the meta header, when
+    /// configured, is line 0) and survive ring eviction: the retained
+    /// line at ring index `i` has sequence `evicted + i`.
+    pub fn next_seq(&self) -> u64 {
+        let inner = self.inner.lock().expect("journal lock");
+        inner.evicted + inner.ring.len() as u64
+    }
+
     /// The retained lines as one JSONL document (oldest first, trailing
     /// newline).
     pub fn export(&self) -> String {
@@ -139,6 +192,23 @@ impl Journal {
             out.push('\n');
         }
         out
+    }
+
+    /// The retained `(sequence, line)` suffix starting at `from_seq`
+    /// (inclusive). A cursor older than the ring returns everything
+    /// still retained; a cursor at or past [`Journal::next_seq`] returns
+    /// nothing. This is the `/events` resume surface: replaying from a
+    /// mid-stream cursor yields exactly the journal suffix.
+    pub fn export_from(&self, from_seq: u64) -> Vec<(u64, String)> {
+        let inner = self.inner.lock().expect("journal lock");
+        let base = inner.evicted;
+        inner
+            .ring
+            .iter()
+            .enumerate()
+            .map(|(i, line)| (base + i as u64, line.clone()))
+            .filter(|(seq, _)| *seq >= from_seq)
+            .collect()
     }
 
     fn push(&self, line: String) {
@@ -465,10 +535,27 @@ fn get_u64(fields: &[(String, Val)], key: &str) -> Option<u64> {
     get_num(fields, key).map(|v| v as u64)
 }
 
+/// The wall-clock anchor of an exported journal: the `epoch_ms` of its
+/// `{"ev":"meta"}` header line, when the recording engine configured one
+/// (see [`JournalConfig::epoch_ms`]). Absolute event time is
+/// `epoch_ms + ts_ms`.
+pub fn journal_epoch_ms(jsonl: &str) -> Option<u64> {
+    jsonl.lines().find_map(|line| {
+        let fields = parse_flat(line)?;
+        if get(&fields, "ev").and_then(Val::str) == Some("meta") {
+            get_u64(&fields, "epoch_ms")
+        } else {
+            None
+        }
+    })
+}
+
 /// Rebuild one completed job's [`JobTimeline`] from an exported journal
 /// (see [`Journal::export`]). Returns `None` when the journal holds no
 /// `complete` event for `job` — an in-flight or evicted job cannot be
-/// replayed. Iteration *phase spans* are not journaled, so the replayed
+/// replayed. A leading `{"ev":"meta"}` header (journals recorded with an
+/// epoch anchor — recover it with [`journal_epoch_ms`]) is accepted and
+/// skipped. Iteration *phase spans* are not journaled, so the replayed
 /// timeline carries wall/queue/cache/attempt/dynamics data but an empty
 /// `iterations` list.
 pub fn replay_timeline(jsonl: &str, job: u64) -> Option<JobTimeline> {
@@ -569,6 +656,51 @@ mod tests {
         assert!(text.lines().all(|l| parse_flat(l).is_some()), "every line parses");
         assert!(text.contains("\"job\":4"));
         assert!(!text.contains("\"job\":0"), "oldest lines evicted");
+    }
+
+    #[test]
+    fn epoch_meta_line_anchors_and_replay_skips_it() {
+        let j = Journal::new(JournalConfig::default().epoch_ms(1_700_000_000_123));
+        assert_eq!(j.epoch_ms(), Some(1_700_000_000_123));
+        assert_eq!(j.len(), 1, "meta header is line 0");
+        j.record_submit(0.1, 5, "auto", "inst", 8, 2, 0);
+        j.record_complete(3.0, 5, "completed", "cpu-seq", None, 42, 2, 0.2, 2.8, Some(false), 1, 0);
+        let text = j.export();
+        assert!(text.starts_with("{\"ev\":\"meta\",\"epoch_ms\":1700000000123"));
+        assert_eq!(journal_epoch_ms(&text), Some(1_700_000_000_123));
+        let t = replay_timeline(&text, 5).expect("meta line does not break replay");
+        assert_eq!(t.backend, "cpu-seq");
+        // No epoch configured → no header, no anchor.
+        let bare = Journal::new(JournalConfig::default());
+        bare.record_placement(1.0, 1, 0, "g0");
+        assert_eq!(bare.epoch_ms(), None);
+        assert_eq!(journal_epoch_ms(&bare.export()), None);
+    }
+
+    #[test]
+    fn sequence_numbers_survive_eviction_and_resume_from_cursor() {
+        let j = Journal::new(JournalConfig::default().capacity(4));
+        for job in 0..10u64 {
+            j.record_submit(job as f64, job, "auto", "inst", 8, 1, job);
+        }
+        assert_eq!(j.next_seq(), 10);
+        assert_eq!(j.evicted(), 6);
+        // The full retained suffix: sequences 6..=9.
+        let all = j.export_from(0);
+        assert_eq!(all.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        // A mid-stream cursor replays exactly the suffix at that cursor.
+        let tail = j.export_from(8);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 8);
+        assert!(tail[0].1.contains("\"job\":8"), "sequence matches the recorded line");
+        assert!(j.export_from(10).is_empty(), "cursor at next_seq yields nothing");
+        // export() and export_from(0) agree on content.
+        let pairs = j.export_from(0);
+        let doc = j.export();
+        assert_eq!(
+            doc.lines().collect::<Vec<_>>(),
+            pairs.iter().map(|(_, l)| l.as_str()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -25,8 +25,22 @@
 //! * [`Journal`] ([`journal`]) — a bounded engine-wide JSONL event
 //!   journal (submit / placement / attempt / iteration-sample /
 //!   stagnation / completion, stable flat schemas) with optional file
-//!   persistence, [`Journal::export`], and [`replay_timeline`] back
-//!   into a [`JobTimeline`] for post-mortems.
+//!   persistence, epoch anchoring, sequence-cursored export
+//!   ([`Journal::export_from`]), and [`replay_timeline`] back into a
+//!   [`JobTimeline`] for post-mortems.
+//! * [`RollingWindow`] ([`window`]) — time-bucketed rolling aggregation
+//!   over metrics snapshots behind an injectable [`Clock`]
+//!   ([`MonotonicClock`] in prod, [`ManualClock`] in tests): per-window
+//!   throughput, failure rate, latency p50/p95/p99 from the pinned
+//!   buckets, per-device utilisation and fault rates.
+//! * [`SloSpec`] / [`SloBoard`] ([`slo`]) — declarative objectives with
+//!   a multi-window burn-rate evaluator (hysteresis, one-level
+//!   step-down) producing an [`AlertState`] timeline, including a
+//!   bridge from the `aco-devices` health machine.
+//! * [`HttpServer`] ([`http`]) — a std-only blocking `TcpListener`
+//!   server (bounded acceptor pool, graceful shutdown) the engine mounts
+//!   `/metrics`, `/metrics.json`, `/healthz`, `/slo`, `/dashboard` and
+//!   the `/events` SSE journal stream on.
 //!
 //! **Determinism contract.** Everything here is write-only telemetry:
 //! recording never influences scheduling, placement, seeding or solving,
@@ -39,21 +53,35 @@
 //! the end-to-end overhead advisory at ≤ 5%).
 
 pub mod dynamics;
+pub mod http;
 pub mod journal;
 pub mod kernel;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
+pub mod window;
 
 pub use dynamics::{
     sparkline, DynamicsConfig, DynamicsSummary, DynamicsTracker, IterationStats, RawDynamics,
 };
-pub use journal::{replay_timeline, Journal, JournalConfig, DEFAULT_JOURNAL_CAPACITY};
+pub use http::{EventSource, HttpServer, ObsHandler, Reply, Request};
+pub use journal::{
+    journal_epoch_ms, replay_timeline, Journal, JournalConfig, DEFAULT_JOURNAL_CAPACITY,
+};
 pub use kernel::{install, record, KernelProfiler, KernelScope, KernelSink};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, KernelFamilySnapshot, MetricsRegistry,
-    MetricsSnapshot, LATENCY_BUCKETS_MS,
+    Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, KernelFamilySnapshot,
+    MetricsRegistry, MetricsSnapshot, LATENCY_BUCKETS_MS,
+};
+pub use slo::{
+    default_slos, AlertState, AlertTransition, DeviceHealthView, SloBoard, SloEvaluator,
+    SloObjective, SloSpec, SloStatus,
 };
 pub use trace::{AttemptSpan, IterationSpans, JobTimeline, JobTrace, TraceSink};
+pub use window::{
+    Clock, DeviceWindow, ManualClock, MonotonicClock, Quantiles, RollingWindow, WindowConfig,
+    WindowStats,
+};
 
 use std::sync::Arc;
 

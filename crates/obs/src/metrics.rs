@@ -105,6 +105,36 @@ impl Gauge {
     }
 }
 
+/// A full-precision floating-point gauge handle (`f64` bits in an
+/// `AtomicU64`). Exists because integer [`Gauge`]s quantise — the
+/// `*_milli` job gauges truncate to milli-units for Prometheus name
+/// stability, and the float twin carries the true value into the JSON
+/// snapshot. No-op when disabled.
+#[derive(Clone, Default)]
+pub struct FloatGauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl FloatGauge {
+    /// A handle that records nothing.
+    pub fn noop() -> Self {
+        FloatGauge { cell: None }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.cell {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        self.cell.as_ref().map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
 /// Shared histogram storage: bounds are fixed at registration, so
 /// observation is bucket-search + three relaxed RMWs — allocation-free.
 struct HistogramCell {
@@ -152,6 +182,7 @@ impl Histogram {
 enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicI64>),
+    FloatGauge(Arc<AtomicU64>),
     Histogram(Arc<HistogramCell>),
 }
 
@@ -212,6 +243,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// Get or register the float gauge `name` (no-op on kind mismatch).
+    pub fn float_gauge(&self, name: &str) -> FloatGauge {
+        if !self.enabled {
+            return FloatGauge::noop();
+        }
+        let mut map = self.metrics.lock().expect("metrics lock");
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::FloatGauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))));
+        match m {
+            Metric::FloatGauge(g) => FloatGauge { cell: Some(Arc::clone(g)) },
+            _ => {
+                debug_assert!(false, "metric {name:?} registered with a different kind");
+                FloatGauge::noop()
+            }
+        }
+    }
+
     /// Get or register the histogram `name` with the given bucket upper
     /// bounds (ascending; an `+Inf` bucket is implicit). The bounds of
     /// the *first* registration win; later calls reuse them.
@@ -250,6 +299,9 @@ impl MetricsRegistry {
                     snap.counters.push((name.clone(), c.load(Ordering::Relaxed)));
                 }
                 Metric::Gauge(g) => snap.gauges.push((name.clone(), g.load(Ordering::Relaxed))),
+                Metric::FloatGauge(g) => snap
+                    .float_gauges
+                    .push((name.clone(), f64::from_bits(g.load(Ordering::Relaxed)))),
                 Metric::Histogram(h) => snap.histograms.push(HistogramSnapshot {
                     name: name.clone(),
                     bounds: h.bounds.to_vec(),
@@ -309,6 +361,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// `(name, value)` per gauge.
     pub gauges: Vec<(String, i64)>,
+    /// `(name, value)` per full-precision float gauge.
+    pub float_gauges: Vec<(String, f64)>,
     /// Every histogram.
     pub histograms: Vec<HistogramSnapshot>,
     /// Kernel-family profile (empty unless filled by the owner).
@@ -377,8 +431,8 @@ fn fmt_f64(v: f64) -> String {
 }
 
 impl MetricsSnapshot {
-    /// Render as a JSON object:
-    /// `{"counters":{…},"gauges":{…},"histograms":{…},"kernels":{…}}`.
+    /// Render as a JSON object: `{"counters":{…},"gauges":{…},
+    /// "float_gauges":{…},"histograms":{…},"kernels":{…}}`.
     /// Hand-rolled (the workspace is dependency-free); names are escaped
     /// with [`json_escape`], so label values containing quotes,
     /// backslashes, braces or newlines round-trip.
@@ -397,6 +451,13 @@ impl MetricsSnapshot {
                 out.push(',');
             }
             out.push_str(&format!("\"{}\":{v}", esc(name)));
+        }
+        out.push_str("},\"float_gauges\":{");
+        for (i, (name, v)) in self.float_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", esc(name), fmt_f64(*v)));
         }
         out.push_str("},\"histograms\":{");
         for (i, h) in self.histograms.iter().enumerate() {
@@ -452,6 +513,10 @@ impl MetricsSnapshot {
         for (name, v) in &self.gauges {
             type_line(&mut out, name, "gauge");
             out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.float_gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {}\n", fmt_f64(*v)));
         }
         for h in &self.histograms {
             type_line(&mut out, &h.name, "histogram");
@@ -607,6 +672,29 @@ mod tests {
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(labelled("m", "k", "v\"x"), "m{k=\"v\\\"x\"}");
+    }
+
+    #[test]
+    fn float_gauges_keep_full_precision_in_both_exports() {
+        let reg = MetricsRegistry::new(true);
+        let fg = reg.float_gauge("aco_job_entropy{job=\"1\"}");
+        fg.set(0.123_456_789);
+        assert!((fg.get() - 0.123_456_789).abs() < 1e-15);
+        let snap = reg.snapshot();
+        assert_eq!(snap.float_gauges.len(), 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"float_gauges\":{\"aco_job_entropy{job=\\\"1\\\"}\":0.123456789}"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE aco_job_entropy gauge\n"));
+        assert!(prom.contains("aco_job_entropy{job=\"1\"} 0.123456789\n"));
+        // Whole values keep a decimal point so they still parse as floats.
+        reg.float_gauge("aco_whole").set(2.0);
+        assert!(reg.snapshot().to_prometheus().contains("aco_whole 2.0\n"));
+        // Disabled registries hand out no-ops.
+        let off = MetricsRegistry::new(false);
+        let noop = off.float_gauge("x");
+        noop.set(9.0);
+        assert_eq!(noop.get(), 0.0);
     }
 
     #[test]

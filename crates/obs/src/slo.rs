@@ -1,0 +1,648 @@
+//! Declarative SLOs with multi-window burn-rate alerting.
+//!
+//! An [`SloSpec`] names an objective (an error budget over a service
+//! level indicator), a pair of lookback windows, and burn-rate
+//! thresholds. The evaluator computes the SLI from the rolling-window
+//! layer ([`crate::window`]), divides by the budget to get a **burn
+//! rate** (1.0 = consuming budget exactly as fast as the objective
+//! allows), and applies the classic multi-window rule: an alert level is
+//! *entered* only when **both** the long and the short window burn above
+//! its threshold — the long window filters blips, the short window makes
+//! the alert reset quickly once the problem stops.
+//!
+//! **Hysteresis.** Raising severity is immediate; lowering requires the
+//! burn to stay below `hysteresis × threshold` for `clear_after`
+//! consecutive evaluations, so an alert flickering around its threshold
+//! produces one transition, not a strobe. Every transition is recorded
+//! on a bounded timeline with a cause label.
+//!
+//! Device health flows through the same surface:
+//! [`SloObjective::DeviceHealth`] maps the `aco-devices` health machine
+//! (bridged as `aco_device_health` gauges) straight to alert states —
+//! a quarantined device is `Critical`, a degraded/probation device is
+//! `Warning` — and [`SloObjective::DeviceFaultRate`] turns a rising
+//! per-device fault rate into a burn-rate alert. Cause labels name the
+//! offending device.
+//!
+//! Everything here is deterministic under a [`crate::window::ManualClock`]:
+//! evaluation is a pure function of the recorded frames and the
+//! evaluation times.
+
+use crate::metrics::json_escape as esc;
+use crate::window::RollingWindow;
+
+/// Alert severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum AlertState {
+    /// Burn within budget.
+    #[default]
+    Ok,
+    /// Warning thresholds exceeded on both windows.
+    Warning,
+    /// Critical thresholds exceeded on both windows.
+    Critical,
+}
+
+impl AlertState {
+    /// Stable lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Critical => "critical",
+        }
+    }
+}
+
+/// What an SLO measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloObjective {
+    /// SLI = `failed / (completed + failed)` from the engine job
+    /// counters; `budget` is the tolerated failure fraction (e.g.
+    /// `0.01` for 99% availability).
+    FailureRate {
+        /// Tolerated bad fraction (> 0).
+        budget: f64,
+    },
+    /// SLI = fraction of `histogram`'s windowed observations above
+    /// `threshold_ms`; `budget` is the tolerated slow fraction (e.g.
+    /// `0.05` for "95% of jobs under 25 ms").
+    LatencyAbove {
+        /// The histogram series name (e.g. `aco_engine_queue_wait_ms`).
+        histogram: String,
+        /// The latency objective (best aligned with a pinned bucket
+        /// bound — fractions resolve at bucket granularity).
+        threshold_ms: f64,
+        /// Tolerated slow fraction (> 0).
+        budget: f64,
+    },
+    /// Direct bridge from the device health machine: `Critical` while
+    /// any device's bridged `aco_device_health` gauge reads quarantined,
+    /// `Warning` while any reads degraded or probation. Burn thresholds
+    /// are ignored; hysteresis still applies on the way down.
+    DeviceHealth,
+    /// SLI = worst per-device fault rate (faults/s) from the bridged
+    /// `aco_device_faults_observed_total` counters; burn = rate /
+    /// `budget_per_sec`.
+    DeviceFaultRate {
+        /// Tolerated faults per second per device (> 0).
+        budget_per_sec: f64,
+    },
+}
+
+/// One declarative SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable name (export key).
+    pub name: String,
+    /// What to measure.
+    pub objective: SloObjective,
+    /// Long lookback (ms): smooths the burn estimate.
+    pub long_window_ms: u64,
+    /// Short lookback (ms): makes enter/exit responsive.
+    pub short_window_ms: u64,
+    /// Burn rate at or above which both windows must agree to enter
+    /// `Warning`.
+    pub warning_burn: f64,
+    /// Burn rate at or above which both windows must agree to enter
+    /// `Critical`.
+    pub critical_burn: f64,
+    /// Exit factor: to *leave* a level, burn must stay below
+    /// `hysteresis × that level's threshold` (clamped to (0, 1]).
+    pub hysteresis: f64,
+    /// Consecutive below-exit evaluations required before the state
+    /// steps down one level (≥ 1).
+    pub clear_after: u32,
+}
+
+impl SloSpec {
+    /// An SLO with the conventional multi-window defaults: 60 s long /
+    /// 15 s short windows, warn at burn ≥ 1, critical at burn ≥ 6,
+    /// hysteresis 0.8, two clean evaluations to step down.
+    pub fn new(name: impl Into<String>, objective: SloObjective) -> Self {
+        SloSpec {
+            name: name.into(),
+            objective,
+            long_window_ms: 60_000,
+            short_window_ms: 15_000,
+            warning_burn: 1.0,
+            critical_burn: 6.0,
+            hysteresis: 0.8,
+            clear_after: 2,
+        }
+    }
+
+    /// Builder: the long/short window pair (ms).
+    pub fn windows(mut self, long_ms: u64, short_ms: u64) -> Self {
+        self.long_window_ms = long_ms.max(1);
+        self.short_window_ms = short_ms.max(1);
+        self
+    }
+
+    /// Builder: warning / critical burn thresholds.
+    pub fn burns(mut self, warning: f64, critical: f64) -> Self {
+        self.warning_burn = warning.max(0.0);
+        self.critical_burn = critical.max(self.warning_burn);
+        self
+    }
+
+    /// Builder: exit hysteresis factor and consecutive-clear count.
+    pub fn hysteresis(mut self, factor: f64, clear_after: u32) -> Self {
+        self.hysteresis = if factor > 0.0 { factor.min(1.0) } else { 0.8 };
+        self.clear_after = clear_after.max(1);
+        self
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Evaluation time (clock ms).
+    pub at_ms: u64,
+    /// State left.
+    pub from: AlertState,
+    /// State entered.
+    pub to: AlertState,
+    /// Human-readable reason (includes the offending device for the
+    /// health/fault objectives).
+    pub cause: String,
+}
+
+/// Bound on each evaluator's retained transition timeline.
+const MAX_TRANSITIONS: usize = 256;
+
+/// Point-in-time view of one SLO (see [`SloBoard::statuses`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's stable name.
+    pub name: String,
+    /// Current alert state.
+    pub state: AlertState,
+    /// Last long-window burn (0 before the first evaluation).
+    pub burn_long: f64,
+    /// Last short-window burn.
+    pub burn_short: f64,
+    /// Cause label of the last transition (empty if never transitioned).
+    pub cause: String,
+    /// The recorded transitions, oldest first.
+    pub timeline: Vec<AlertTransition>,
+}
+
+/// The per-spec evaluator: spec + current state + hysteresis countdown +
+/// transition timeline.
+#[derive(Debug, Clone)]
+pub struct SloEvaluator {
+    spec: SloSpec,
+    state: AlertState,
+    /// Consecutive evaluations whose desired level sat below the current
+    /// state with burn under the exit threshold.
+    clear_streak: u32,
+    burn_long: f64,
+    burn_short: f64,
+    last_cause: String,
+    timeline: Vec<AlertTransition>,
+}
+
+/// The worst per-device view the device objectives evaluate: `(name,
+/// health code)` pairs bridged from the latest device snapshot (codes
+/// per `aco-devices`: 0 healthy, 1 degraded, 2 probation, 3
+/// quarantined). Plain data so `aco-obs` stays dependency-free.
+pub type DeviceHealthView = Vec<(String, u8)>;
+
+impl SloEvaluator {
+    /// A fresh evaluator in `Ok`.
+    pub fn new(spec: SloSpec) -> Self {
+        SloEvaluator {
+            spec,
+            state: AlertState::Ok,
+            clear_streak: 0,
+            burn_long: 0.0,
+            burn_short: 0.0,
+            last_cause: String::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The spec under evaluation.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AlertState {
+        self.state
+    }
+
+    /// The recorded transitions, oldest first.
+    pub fn timeline(&self) -> &[AlertTransition] {
+        &self.timeline
+    }
+
+    /// Evaluate once at `now_ms` against the rolling windows (and, for
+    /// the device objectives, the bridged device health view). Returns
+    /// the (possibly new) state. Deterministic: same frames, same
+    /// devices, same times → same timeline.
+    pub fn evaluate(
+        &mut self,
+        windows: &RollingWindow,
+        devices: &DeviceHealthView,
+        now_ms: u64,
+    ) -> AlertState {
+        let (desired, burn_long, burn_short, cause) = self.measure(windows, devices, now_ms);
+        self.burn_long = burn_long;
+        self.burn_short = burn_short;
+        use std::cmp::Ordering::*;
+        match desired.cmp(&self.state) {
+            Greater => {
+                // Raising severity is immediate.
+                self.transition(now_ms, desired, cause);
+                self.clear_streak = 0;
+            }
+            Equal => self.clear_streak = 0,
+            Less => {
+                // Stepping down requires the burn to sit below the exit
+                // threshold (hysteresis × the *current* level's entry
+                // burn) for `clear_after` consecutive evaluations.
+                let entry_burn = match self.state {
+                    AlertState::Critical => self.spec.critical_burn,
+                    _ => self.spec.warning_burn,
+                };
+                let exit = self.spec.hysteresis * entry_burn;
+                let below_exit = match self.spec.objective {
+                    // Health has no burn: desired < state is the signal.
+                    SloObjective::DeviceHealth => true,
+                    _ => burn_long < exit && burn_short < exit,
+                };
+                if below_exit {
+                    self.clear_streak += 1;
+                    if self.clear_streak >= self.spec.clear_after {
+                        // One level at a time, so Critical → Warning → Ok
+                        // leaves a legible timeline.
+                        let next = match self.state {
+                            AlertState::Critical => AlertState::Warning.max(desired),
+                            _ => AlertState::Ok,
+                        };
+                        self.transition(now_ms, next, cause);
+                        self.clear_streak = 0;
+                    }
+                } else {
+                    self.clear_streak = 0;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// The raw measurement: desired state ignoring hysteresis, both
+    /// burns, and a cause label.
+    fn measure(
+        &self,
+        windows: &RollingWindow,
+        devices: &DeviceHealthView,
+        now_ms: u64,
+    ) -> (AlertState, f64, f64, String) {
+        let spec = &self.spec;
+        let burn_pair = |sli: &dyn Fn(u64) -> f64, budget: f64| {
+            let b = budget.max(1e-12);
+            (sli(spec.long_window_ms) / b, sli(spec.short_window_ms) / b)
+        };
+        match &spec.objective {
+            SloObjective::FailureRate { budget } => {
+                let sli = |win: u64| {
+                    let failed = windows
+                        .counter_delta(crate::window::FAILED_TOTAL, now_ms, win)
+                        .unwrap_or(0);
+                    let done = windows
+                        .counter_delta(crate::window::COMPLETED_TOTAL, now_ms, win)
+                        .unwrap_or(0);
+                    let finished = failed + done;
+                    if finished == 0 {
+                        0.0
+                    } else {
+                        failed as f64 / finished as f64
+                    }
+                };
+                let (long, short) = burn_pair(&sli, *budget);
+                let desired = desired_state(spec, long, short);
+                let cause = format!(
+                    "failure-rate burn {long:.2}x/{short:.2}x over {}s/{}s (budget {budget})",
+                    spec.long_window_ms / 1_000,
+                    spec.short_window_ms / 1_000,
+                );
+                (desired, long, short, cause)
+            }
+            SloObjective::LatencyAbove { histogram, threshold_ms, budget } => {
+                let sli = |win: u64| {
+                    windows.fraction_above(histogram, *threshold_ms, now_ms, win).unwrap_or(0.0)
+                };
+                let (long, short) = burn_pair(&sli, *budget);
+                let desired = desired_state(spec, long, short);
+                let cause = format!(
+                    "{histogram} >{threshold_ms}ms burn {long:.2}x/{short:.2}x (budget {budget})"
+                );
+                (desired, long, short, cause)
+            }
+            SloObjective::DeviceHealth => {
+                let worst = devices.iter().max_by_key(|(_, code)| *code);
+                match worst {
+                    Some((name, code)) if *code >= 3 => {
+                        (AlertState::Critical, 0.0, 0.0, format!("device {name} quarantined"))
+                    }
+                    Some((name, code)) if *code >= 1 => (
+                        AlertState::Warning,
+                        0.0,
+                        0.0,
+                        format!(
+                            "device {name} {}",
+                            if *code == 2 { "on probation" } else { "degraded" }
+                        ),
+                    ),
+                    _ => (AlertState::Ok, 0.0, 0.0, "all devices healthy".to_string()),
+                }
+            }
+            SloObjective::DeviceFaultRate { budget_per_sec } => {
+                // Worst device per window; the cause names the long
+                // window's offender.
+                let worst = |win: u64| {
+                    windows
+                        .stats(now_ms, win)
+                        .map(|s| {
+                            s.devices
+                                .into_iter()
+                                .map(|d| (d.fault_rate_per_sec, d.name))
+                                .max_by(|a, b| a.0.total_cmp(&b.0))
+                                .unwrap_or((0.0, String::new()))
+                        })
+                        .unwrap_or((0.0, String::new()))
+                };
+                let b = budget_per_sec.max(1e-12);
+                let (rate_long, device) = worst(spec.long_window_ms);
+                let (rate_short, _) = worst(spec.short_window_ms);
+                let (long, short) = (rate_long / b, rate_short / b);
+                let desired = desired_state(spec, long, short);
+                let cause = if device.is_empty() {
+                    "no device faults".to_string()
+                } else {
+                    format!(
+                        "device {device} fault rate {rate_long:.2}/s \
+                         (burn {long:.2}x/{short:.2}x, budget {budget_per_sec}/s)"
+                    )
+                };
+                (desired, long, short, cause)
+            }
+        }
+    }
+
+    fn transition(&mut self, at_ms: u64, to: AlertState, cause: String) {
+        if to == self.state {
+            return;
+        }
+        if self.timeline.len() >= MAX_TRANSITIONS {
+            self.timeline.remove(0);
+        }
+        self.timeline.push(AlertTransition { at_ms, from: self.state, to, cause: cause.clone() });
+        self.last_cause = cause;
+        self.state = to;
+    }
+
+    /// Point-in-time status view.
+    pub fn status(&self) -> SloStatus {
+        SloStatus {
+            name: self.spec.name.clone(),
+            state: self.state,
+            burn_long: self.burn_long,
+            burn_short: self.burn_short,
+            cause: self.last_cause.clone(),
+            timeline: self.timeline.clone(),
+        }
+    }
+}
+
+/// The multi-window entry rule: both windows must agree.
+fn desired_state(spec: &SloSpec, burn_long: f64, burn_short: f64) -> AlertState {
+    if burn_long >= spec.critical_burn && burn_short >= spec.critical_burn {
+        AlertState::Critical
+    } else if burn_long >= spec.warning_burn && burn_short >= spec.warning_burn {
+        AlertState::Warning
+    } else {
+        AlertState::Ok
+    }
+}
+
+/// A set of evaluators sharing one rolling window — what the engine
+/// hangs off its serving layer.
+#[derive(Debug, Default)]
+pub struct SloBoard {
+    evaluators: Vec<SloEvaluator>,
+}
+
+impl SloBoard {
+    /// A board over `specs`.
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        SloBoard { evaluators: specs.into_iter().map(SloEvaluator::new).collect() }
+    }
+
+    /// Number of SLOs on the board.
+    pub fn len(&self) -> usize {
+        self.evaluators.len()
+    }
+
+    /// Is the board empty?
+    pub fn is_empty(&self) -> bool {
+        self.evaluators.is_empty()
+    }
+
+    /// Evaluate every SLO once; returns the worst resulting state.
+    pub fn evaluate(
+        &mut self,
+        windows: &RollingWindow,
+        devices: &DeviceHealthView,
+        now_ms: u64,
+    ) -> AlertState {
+        self.evaluators
+            .iter_mut()
+            .map(|e| e.evaluate(windows, devices, now_ms))
+            .max()
+            .unwrap_or(AlertState::Ok)
+    }
+
+    /// Point-in-time status of every SLO.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.evaluators.iter().map(SloEvaluator::status).collect()
+    }
+
+    /// The worst current state across the board.
+    pub fn worst(&self) -> AlertState {
+        self.evaluators.iter().map(|e| e.state).max().unwrap_or(AlertState::Ok)
+    }
+
+    /// Render the board as a JSON document (hand-rolled like every
+    /// export in this crate): an array of
+    /// `{"name","state","burn_long","burn_short","cause","timeline":[…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.statuses().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"state\":\"{}\",\"burn_long\":{:.4},\"burn_short\":{:.4},\
+                 \"cause\":\"{}\",\"timeline\":[",
+                esc(&s.name),
+                s.state.label(),
+                s.burn_long,
+                s.burn_short,
+                esc(&s.cause),
+            ));
+            for (k, t) in s.timeline.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at_ms\":{},\"from\":\"{}\",\"to\":\"{}\",\"cause\":\"{}\"}}",
+                    t.at_ms,
+                    t.from.label(),
+                    t.to.label(),
+                    esc(&t.cause),
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The default board the engine serves when the caller configures
+/// windows without explicit SLOs: job availability (99%), queue-wait
+/// latency (95% under 25 ms), the device health bridge, and a per-device
+/// fault-rate alarm (0.5 faults/s budget).
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::new("job-availability", SloObjective::FailureRate { budget: 0.01 }),
+        SloSpec::new(
+            "queue-wait-p95",
+            SloObjective::LatencyAbove {
+                histogram: crate::window::QUEUE_WAIT_MS.to_string(),
+                threshold_ms: 25.0,
+                budget: 0.05,
+            },
+        ),
+        SloSpec::new("device-health", SloObjective::DeviceHealth),
+        SloSpec::new("device-fault-rate", SloObjective::DeviceFaultRate { budget_per_sec: 0.5 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::window::{RollingWindow, WindowConfig, COMPLETED_TOTAL, FAILED_TOTAL};
+
+    /// Drive a failure-rate SLO through Ok → Warning → Critical → Ok and
+    /// assert the hysteresis shape of the timeline.
+    #[test]
+    fn burn_rate_alert_walks_the_full_cycle_with_hysteresis() {
+        let windows = RollingWindow::new(WindowConfig::default().bucket_ms(1_000).buckets(600));
+        let spec = SloSpec::new("avail", SloObjective::FailureRate { budget: 0.01 })
+            .windows(10_000, 2_000)
+            .burns(1.0, 20.0)
+            .hysteresis(0.8, 2);
+        let mut eval = SloEvaluator::new(spec);
+        let reg = MetricsRegistry::new(true);
+        let done = reg.counter(COMPLETED_TOTAL);
+        let failed = reg.counter(FAILED_TOTAL);
+        let devices: DeviceHealthView = vec![("gpu0".into(), 0)];
+        let tick = |t: u64, ok: u64, bad: u64, eval: &mut SloEvaluator| {
+            done.add(ok);
+            failed.add(bad);
+            windows.record(t, reg.snapshot());
+            eval.evaluate(&windows, &devices, t)
+        };
+        // Healthy traffic: 100 jobs/s, no failures.
+        assert_eq!(tick(0, 0, 0, &mut eval), AlertState::Ok);
+        assert_eq!(tick(1_000, 100, 0, &mut eval), AlertState::Ok);
+        assert_eq!(tick(2_000, 100, 0, &mut eval), AlertState::Ok);
+        // 5% failures: burn 5x ≥ warning(1) on both windows, < critical.
+        assert_eq!(tick(3_000, 95, 5, &mut eval), AlertState::Warning);
+        // 30% failures sustained: burn ≥ 20 on the short window quickly,
+        // but the long window still averages in the clean history.
+        let mut t = 4_000;
+        while eval.state() != AlertState::Critical && t < 20_000 {
+            assert_ne!(tick(t, 70, 30, &mut eval), AlertState::Ok, "never drops mid-incident");
+            t += 1_000;
+        }
+        assert_eq!(eval.state(), AlertState::Critical, "sustained burn goes critical");
+        // Recovery: clean traffic. The short window clears first; the
+        // state must step down Critical → Warning → Ok, each step only
+        // after 2 consecutive clean evaluations.
+        let mut states = Vec::new();
+        for _ in 0..40 {
+            states.push(tick(t, 100, 0, &mut eval));
+            t += 1_000;
+        }
+        assert_eq!(*states.last().unwrap(), AlertState::Ok, "fully recovers");
+        // The timeline is exactly the four transitions, in order.
+        let kinds: Vec<(AlertState, AlertState)> =
+            eval.timeline().iter().map(|tr| (tr.from, tr.to)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (AlertState::Ok, AlertState::Warning),
+                (AlertState::Warning, AlertState::Critical),
+                (AlertState::Critical, AlertState::Warning),
+                (AlertState::Warning, AlertState::Ok),
+            ]
+        );
+        // Hysteresis: each downward transition needed 2 clean evals.
+        let down: Vec<u64> = eval.timeline()[2..].iter().map(|tr| tr.at_ms).collect();
+        assert!(down[1] >= down[0] + 2_000, "second step waits its own clear streak");
+        assert!(eval.timeline()[0].cause.contains("failure-rate burn"));
+    }
+
+    #[test]
+    fn device_health_bridge_maps_codes_to_states_with_cause() {
+        let windows = RollingWindow::new(WindowConfig::default());
+        let mut eval = SloEvaluator::new(
+            SloSpec::new("health", SloObjective::DeviceHealth).hysteresis(0.8, 1),
+        );
+        let healthy: DeviceHealthView = vec![("gpu0".into(), 0), ("gpu1".into(), 0)];
+        let degraded: DeviceHealthView = vec![("gpu0".into(), 0), ("gpu1".into(), 1)];
+        let quarantined: DeviceHealthView = vec![("gpu0".into(), 3), ("gpu1".into(), 1)];
+        assert_eq!(eval.evaluate(&windows, &healthy, 0), AlertState::Ok);
+        assert_eq!(eval.evaluate(&windows, &degraded, 1_000), AlertState::Warning);
+        assert!(eval.timeline().last().unwrap().cause.contains("gpu1 degraded"));
+        assert_eq!(eval.evaluate(&windows, &quarantined, 2_000), AlertState::Critical);
+        assert!(eval.timeline().last().unwrap().cause.contains("gpu0 quarantined"));
+        // Recovery steps down one level per clean evaluation (clear_after=1).
+        assert_eq!(eval.evaluate(&windows, &healthy, 3_000), AlertState::Warning);
+        assert_eq!(eval.evaluate(&windows, &healthy, 4_000), AlertState::Ok);
+    }
+
+    #[test]
+    fn board_reports_worst_state_and_renders_json() {
+        let windows = RollingWindow::new(WindowConfig::default());
+        let mut board = SloBoard::new(default_slos());
+        assert_eq!(board.len(), 4);
+        let quarantined: DeviceHealthView = vec![("gpu0".into(), 3)];
+        assert_eq!(board.evaluate(&windows, &quarantined, 0), AlertState::Critical);
+        assert_eq!(board.worst(), AlertState::Critical);
+        let json = board.to_json();
+        assert!(json.contains("\"name\":\"device-health\""));
+        assert!(json.contains("\"state\":\"critical\""));
+        assert!(json.contains("device gpu0 quarantined"));
+        // Flat-JSON well-formedness: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn no_traffic_is_ok_not_an_alert() {
+        let windows = RollingWindow::new(WindowConfig::default().bucket_ms(1_000));
+        let reg = MetricsRegistry::new(true);
+        windows.record(0, reg.snapshot());
+        windows.record(1_000, reg.snapshot());
+        let mut board = SloBoard::new(default_slos());
+        assert_eq!(board.evaluate(&windows, &Vec::new(), 1_000), AlertState::Ok);
+    }
+}

@@ -1,0 +1,641 @@
+//! Rolling, time-bucketed aggregation over metrics snapshots: the
+//! serving layer's answer to "what happened in the last minute", as
+//! opposed to the registry's lifetime-cumulative counters.
+//!
+//! The mechanism is deliberately snapshot-based: a sampler calls
+//! [`RollingWindow::record`] with the engine's bridged
+//! [`MetricsSnapshot`] at each clock tick, and every windowed quantity —
+//! throughput, failure rate, latency quantiles, per-device utilisation
+//! and fault rates — is derived from the *difference* between the newest
+//! frame and the frame at the window's far edge. Nothing here touches
+//! the hot path: counters and histograms keep their lock-free handles,
+//! and windowing reads them exactly as the Prometheus export does.
+//!
+//! Time is injected through the [`Clock`] trait. Production uses
+//! [`MonotonicClock`] (milliseconds since engine start); tests use
+//! [`ManualClock`], which makes every window computation — bucket
+//! placement, rates, p50/p95/p99, burn rates — a pure function of the
+//! recorded values, bit-for-bit deterministic and instant to drive
+//! through hours of simulated time.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// A millisecond time source for the windowing layer. Implementations
+/// must be monotone non-decreasing; the epoch is arbitrary (the prod
+/// clock uses its own construction time).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Milliseconds since this clock's epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: milliseconds since construction, from
+/// [`Instant`] (never the wall clock, so suspends/NTP steps cannot run
+/// a window backwards).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    started: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        MonotonicClock { started: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: starts at 0 (or
+/// [`ManualClock::at`]), moves only when told to.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock frozen at `ms`.
+    pub fn at(ms: u64) -> Self {
+        ManualClock { now: AtomicU64::new(ms) }
+    }
+
+    /// Jump to an absolute time (must not move backwards; a backwards
+    /// set is clamped to the current time).
+    pub fn set(&self, ms: u64) {
+        self.now.fetch_max(ms, Ordering::SeqCst);
+    }
+
+    /// Advance by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// Default bucket width for [`WindowConfig`] (one frame per second).
+pub const DEFAULT_BUCKET_MS: u64 = 1_000;
+
+/// Default frame retention (two minutes of 1 s buckets).
+pub const DEFAULT_WINDOW_BUCKETS: usize = 120;
+
+/// Knobs for the rolling-window layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Time-bucket width: two samples landing in the same bucket
+    /// collapse to the newer one, so the sampler cadence bounds frame
+    /// growth but never correctness.
+    pub bucket_ms: u64,
+    /// Retained frame bound (oldest evicted first); `bucket_ms ×
+    /// buckets` is the longest answerable window.
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig { bucket_ms: DEFAULT_BUCKET_MS, buckets: DEFAULT_WINDOW_BUCKETS }
+    }
+}
+
+impl WindowConfig {
+    /// Builder: bucket width in milliseconds (clamped to ≥ 1).
+    pub fn bucket_ms(mut self, ms: u64) -> Self {
+        self.bucket_ms = ms.max(1);
+        self
+    }
+
+    /// Builder: retained bucket count (clamped to ≥ 2 — one delta needs
+    /// two frames).
+    pub fn buckets(mut self, buckets: usize) -> Self {
+        self.buckets = buckets.max(2);
+        self
+    }
+}
+
+/// One recorded frame: a full snapshot stamped with its sample time.
+#[derive(Debug, Clone)]
+struct Frame {
+    ts_ms: u64,
+    snap: MetricsSnapshot,
+}
+
+/// The bounded frame ring. All methods take `&self`; recording holds
+/// one short mutex (serving-path only — the solve hot path never calls
+/// in here).
+#[derive(Debug)]
+pub struct RollingWindow {
+    bucket_ms: u64,
+    capacity: usize,
+    frames: Mutex<VecDeque<Frame>>,
+}
+
+/// Latency quantiles interpolated from fixed histogram buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quantiles {
+    /// Median estimate (ms).
+    pub p50: f64,
+    /// 95th percentile estimate (ms).
+    pub p95: f64,
+    /// 99th percentile estimate (ms).
+    pub p99: f64,
+    /// Observations inside the window.
+    pub count: u64,
+}
+
+/// Per-device rolling telemetry (derived from the bridged
+/// `aco_device_*{device="…"}` series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceWindow {
+    /// The device's profile name (unescaped label value).
+    pub name: String,
+    /// Busy wall time over window span, 0..=1-ish (can exceed 1 with
+    /// multiple resident slots).
+    pub utilization: f64,
+    /// Faults observed inside the window.
+    pub faults: u64,
+    /// Faults per second inside the window.
+    pub fault_rate_per_sec: f64,
+    /// Jobs completed inside the window.
+    pub completed: u64,
+}
+
+/// Everything the serving layer reports about one lookback window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// The requested lookback (ms).
+    pub window_ms: u64,
+    /// The span actually covered (start frame → end frame); shorter
+    /// than `window_ms` while history is still filling.
+    pub span_ms: u64,
+    /// Jobs submitted inside the window.
+    pub submitted: u64,
+    /// Jobs completed inside the window.
+    pub completed: u64,
+    /// Jobs failed inside the window.
+    pub failed: u64,
+    /// Completed jobs per second.
+    pub throughput_per_sec: f64,
+    /// `failed / (completed + failed)`, 0 when nothing finished.
+    pub failure_rate: f64,
+    /// Queue-wait quantiles over the window's observations.
+    pub queue_wait: Quantiles,
+    /// Solve-wall quantiles over the window's observations.
+    pub solve_wall: Quantiles,
+    /// Per-device utilisation / fault rates.
+    pub devices: Vec<DeviceWindow>,
+}
+
+/// The engine counter names the summary reads (the engine's stable
+/// export surface — pinned by `tests/obs_serve.rs`).
+pub const SUBMITTED_TOTAL: &str = "aco_engine_jobs_submitted_total";
+/// Completed-jobs counter name.
+pub const COMPLETED_TOTAL: &str = "aco_engine_jobs_completed_total";
+/// Failed-jobs counter name.
+pub const FAILED_TOTAL: &str = "aco_engine_jobs_failed_total";
+/// Queue-wait histogram name.
+pub const QUEUE_WAIT_MS: &str = "aco_engine_queue_wait_ms";
+/// Solve-wall histogram name.
+pub const SOLVE_WALL_MS: &str = "aco_engine_solve_wall_ms";
+
+impl RollingWindow {
+    /// An empty ring under `cfg`.
+    pub fn new(cfg: WindowConfig) -> Self {
+        RollingWindow {
+            bucket_ms: cfg.bucket_ms.max(1),
+            capacity: cfg.buckets.max(2),
+            frames: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The bucket width (ms).
+    pub fn bucket_ms(&self) -> u64 {
+        self.bucket_ms
+    }
+
+    /// Frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.lock().expect("window lock").len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record a snapshot at `now_ms`. A sample landing in the same time
+    /// bucket as the newest frame *replaces* it (the newer cumulative
+    /// values subsume the older); otherwise it appends, evicting the
+    /// oldest frame past the capacity. Out-of-order samples (older than
+    /// the newest frame) are dropped.
+    pub fn record(&self, now_ms: u64, snap: MetricsSnapshot) {
+        let mut frames = self.frames.lock().expect("window lock");
+        if let Some(last) = frames.back() {
+            if now_ms < last.ts_ms {
+                return;
+            }
+            if now_ms / self.bucket_ms == last.ts_ms / self.bucket_ms {
+                frames.pop_back();
+            }
+        }
+        frames.push_back(Frame { ts_ms: now_ms, snap });
+        while frames.len() > self.capacity {
+            frames.pop_front();
+        }
+    }
+
+    /// The start/end frames bracketing `[now − window, now]`: the end is
+    /// the newest frame, the start the newest frame at or before the far
+    /// edge (or the oldest retained one while history is short). `None`
+    /// until two distinct-time frames exist.
+    fn bracket(&self, now_ms: u64, window_ms: u64) -> Option<(Frame, Frame)> {
+        let frames = self.frames.lock().expect("window lock");
+        let end = frames.back()?.clone();
+        let edge = now_ms.saturating_sub(window_ms);
+        let start =
+            frames.iter().rev().find(|f| f.ts_ms <= edge).unwrap_or(frames.front()?).clone();
+        (end.ts_ms > start.ts_ms).then_some((start, end))
+    }
+
+    /// The increase of counter `name` inside the window (saturating:
+    /// a bridged counter that resets reads as 0, never underflows).
+    pub fn counter_delta(&self, name: &str, now_ms: u64, window_ms: u64) -> Option<u64> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        Some(counter_value(&end.snap, name).saturating_sub(counter_value(&start.snap, name)))
+    }
+
+    /// Per-second rate of counter `name` inside the window.
+    pub fn counter_rate(&self, name: &str, now_ms: u64, window_ms: u64) -> Option<f64> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        let delta = counter_value(&end.snap, name).saturating_sub(counter_value(&start.snap, name));
+        let span_s = (end.ts_ms - start.ts_ms) as f64 / 1e3;
+        Some(delta as f64 / span_s)
+    }
+
+    /// The change of gauge `name` inside the window (signed).
+    pub fn gauge_delta(&self, name: &str, now_ms: u64, window_ms: u64) -> Option<i64> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        Some(gauge_value(&end.snap, name)? - gauge_value(&start.snap, name).unwrap_or(0))
+    }
+
+    /// Quantile estimates for histogram `name` over the window's
+    /// observations (bucket-delta interpolation — see [`quantiles`]).
+    pub fn quantiles(&self, name: &str, now_ms: u64, window_ms: u64) -> Option<Quantiles> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        let hist = find_hist(&end.snap, name)?;
+        let deltas = bucket_deltas(hist, find_hist(&start.snap, name));
+        Some(quantiles(&hist.bounds, &deltas))
+    }
+
+    /// The fraction of histogram `name`'s windowed observations strictly
+    /// above `threshold_ms` (resolved to bucket granularity: the
+    /// threshold is rounded up to the nearest bucket bound, so a
+    /// threshold equal to a bound is exact). `None` until two frames
+    /// exist; 0 when the window saw no observations.
+    pub fn fraction_above(
+        &self,
+        name: &str,
+        threshold_ms: f64,
+        now_ms: u64,
+        window_ms: u64,
+    ) -> Option<f64> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        let hist = find_hist(&end.snap, name)?;
+        let deltas = bucket_deltas(hist, find_hist(&start.snap, name));
+        let total: u64 = deltas.iter().sum();
+        if total == 0 {
+            return Some(0.0);
+        }
+        let below: u64 = deltas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| hist.bounds.get(*i).is_some_and(|&b| b <= threshold_ms))
+            .map(|(_, &d)| d)
+            .sum();
+        Some((total - below) as f64 / total as f64)
+    }
+
+    /// The full serving summary for one lookback window, reading the
+    /// engine's exported series by their stable names. `None` until two
+    /// distinct-time frames exist.
+    pub fn stats(&self, now_ms: u64, window_ms: u64) -> Option<WindowStats> {
+        let (start, end) = self.bracket(now_ms, window_ms)?;
+        let span_ms = end.ts_ms - start.ts_ms;
+        let span_s = span_ms as f64 / 1e3;
+        let delta = |name: &str| {
+            counter_value(&end.snap, name).saturating_sub(counter_value(&start.snap, name))
+        };
+        let submitted = delta(SUBMITTED_TOTAL);
+        let completed = delta(COMPLETED_TOTAL);
+        let failed = delta(FAILED_TOTAL);
+        let finished = completed + failed;
+        let quant = |name: &str| {
+            find_hist(&end.snap, name)
+                .map(|h| quantiles(&h.bounds, &bucket_deltas(h, find_hist(&start.snap, name))))
+                .unwrap_or_default()
+        };
+        // Per-device series: enumerate devices from the end frame's
+        // bridged busy_ms gauges, then delta each series.
+        let mut devices = Vec::new();
+        for (name, busy_end) in end.snap.gauges.iter().filter_map(|(n, v)| {
+            Some((label_value(n.strip_prefix("aco_device_busy_ms{device=")?)?, *v))
+        }) {
+            let series = |base: &str| {
+                format!("{base}{{device=\"{}\"}}", crate::metrics::escape_label_value(&name))
+            };
+            let busy_start = gauge_value(&start.snap, &series("aco_device_busy_ms")).unwrap_or(0);
+            let faults = counter_value(&end.snap, &series("aco_device_faults_observed_total"))
+                .saturating_sub(counter_value(
+                    &start.snap,
+                    &series("aco_device_faults_observed_total"),
+                ));
+            let completed = counter_value(&end.snap, &series("aco_device_completed_total"))
+                .saturating_sub(counter_value(&start.snap, &series("aco_device_completed_total")));
+            devices.push(DeviceWindow {
+                name,
+                utilization: ((busy_end - busy_start).max(0) as f64 / 1e3 / span_s).max(0.0),
+                faults,
+                fault_rate_per_sec: faults as f64 / span_s,
+                completed,
+            });
+        }
+        Some(WindowStats {
+            window_ms,
+            span_ms,
+            submitted,
+            completed,
+            failed,
+            throughput_per_sec: completed as f64 / span_s,
+            failure_rate: if finished == 0 { 0.0 } else { failed as f64 / finished as f64 },
+            queue_wait: quant(QUEUE_WAIT_MS),
+            solve_wall: quant(SOLVE_WALL_MS),
+            devices,
+        })
+    }
+}
+
+fn counter_value(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+}
+
+fn gauge_value(snap: &MetricsSnapshot, name: &str) -> Option<i64> {
+    snap.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+fn find_hist<'a>(snap: &'a MetricsSnapshot, name: &str) -> Option<&'a HistogramSnapshot> {
+    snap.histograms.iter().find(|h| h.name == name)
+}
+
+/// Per-bucket observation counts inside the window: end minus start,
+/// saturating per bucket (a start frame missing the histogram — it was
+/// registered later — reads as all-zero).
+fn bucket_deltas(end: &HistogramSnapshot, start: Option<&HistogramSnapshot>) -> Vec<u64> {
+    match start {
+        Some(s) if s.buckets.len() == end.buckets.len() => {
+            end.buckets.iter().zip(&s.buckets).map(|(&e, &st)| e.saturating_sub(st)).collect()
+        }
+        _ => end.buckets.to_vec(),
+    }
+}
+
+/// p50/p95/p99 from non-cumulative bucket counts via the standard
+/// fixed-bucket estimate: find the bucket holding the target rank, then
+/// interpolate linearly inside it (the `+Inf` bucket clamps to the last
+/// finite bound — the estimate cannot exceed what the buckets resolve).
+pub fn quantiles(bounds: &[f64], buckets: &[u64]) -> Quantiles {
+    let count: u64 = buckets.iter().sum();
+    let q = |q: f64| estimate_quantile(bounds, buckets, count, q);
+    Quantiles { p50: q(0.50), p95: q(0.95), p99: q(0.99), count }
+}
+
+fn estimate_quantile(bounds: &[f64], buckets: &[u64], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = q * count as f64;
+    let mut cum = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        let prev = cum as f64;
+        cum += b;
+        if (cum as f64) >= rank && b > 0 {
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let upper = match bounds.get(i) {
+                Some(&u) => u,
+                // +Inf bucket: clamp to the last finite bound.
+                None => return bounds.last().copied().unwrap_or(0.0),
+            };
+            let within = (rank - prev) / b as f64;
+            return lower + (upper - lower) * within.clamp(0.0, 1.0);
+        }
+    }
+    bounds.last().copied().unwrap_or(0.0)
+}
+
+/// Parse the leading quoted, escaped label value out of `"value"}`…
+/// (the tail of a `base{key="value"}` series name), undoing
+/// [`crate::metrics::escape_label_value`].
+fn label_value(tail: &str) -> Option<String> {
+    let mut chars = tail.chars();
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                c => {
+                    out.push('\\');
+                    out.push(c);
+                }
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{labelled, MetricsRegistry, LATENCY_BUCKETS_MS};
+
+    fn snap_with(counter: &str, v: u64) -> MetricsSnapshot {
+        let reg = MetricsRegistry::new(true);
+        reg.counter(counter).add(v);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn manual_clock_is_monotone_and_deterministic() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        c.set(100); // backwards set clamps
+        assert_eq!(c.now_ms(), 250);
+        c.set(1_000);
+        assert_eq!(c.now_ms(), 1_000);
+    }
+
+    #[test]
+    fn same_bucket_samples_collapse_and_capacity_evicts() {
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(100).buckets(3));
+        w.record(10, snap_with("c", 1));
+        w.record(50, snap_with("c", 2)); // same 100ms bucket: replaces
+        assert_eq!(w.len(), 1);
+        w.record(150, snap_with("c", 3));
+        w.record(250, snap_with("c", 4));
+        w.record(350, snap_with("c", 5));
+        assert_eq!(w.len(), 3, "capacity bound holds");
+        // Oldest frame is now ts=150 → window of 1s sees 5-3=2.
+        assert_eq!(w.counter_delta("c", 350, 1_000), Some(2));
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(10).buckets(8));
+        w.record(100, snap_with("c", 5));
+        w.record(50, snap_with("c", 99));
+        assert_eq!(w.len(), 1);
+        w.record(200, snap_with("c", 7));
+        assert_eq!(w.counter_delta("c", 200, 1_000), Some(2));
+    }
+
+    #[test]
+    fn rates_and_deltas_use_the_window_edge_frame() {
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(1_000).buckets(10));
+        for (t, v) in [(0u64, 0u64), (1_000, 10), (2_000, 30), (3_000, 60)] {
+            w.record(t, snap_with("jobs", v));
+        }
+        // 2s window at t=3000 → start frame t=1000 (v=10): delta 50 over 2s.
+        assert_eq!(w.counter_delta("jobs", 3_000, 2_000), Some(50));
+        assert!((w.counter_rate("jobs", 3_000, 2_000).unwrap() - 25.0).abs() < 1e-9);
+        // Window longer than history → oldest frame, delta 60 over 3s.
+        assert_eq!(w.counter_delta("jobs", 3_000, 60_000), Some(60));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations uniform in the (1.0, 2.5] bucket.
+        let bounds = LATENCY_BUCKETS_MS.to_vec();
+        let mut buckets = vec![0u64; bounds.len() + 1];
+        buckets[5] = 100; // le=1.0 is index 4; (1.0, 2.5] is index 5
+        let q = quantiles(&bounds, &buckets);
+        assert_eq!(q.count, 100);
+        assert!((q.p50 - 1.75).abs() < 1e-9, "p50 {}", q.p50);
+        assert!((q.p95 - (1.0 + 1.5 * 0.95)).abs() < 1e-9);
+        // All mass in +Inf clamps to the last finite bound.
+        let mut inf = vec![0u64; bounds.len() + 1];
+        inf[bounds.len()] = 7;
+        assert_eq!(quantiles(&bounds, &inf).p99, 100.0);
+        // Empty window: zeros.
+        assert_eq!(quantiles(&bounds, &vec![0; bounds.len() + 1]), Quantiles::default());
+    }
+
+    #[test]
+    fn windowed_quantiles_see_only_the_windows_observations() {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("lat", &[1.0, 10.0, 100.0]);
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(1_000).buckets(10));
+        h.observe(0.5);
+        h.observe(0.5);
+        w.record(0, reg.snapshot());
+        // Second bucket epoch: all new mass lands in (10, 100].
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        w.record(1_000, reg.snapshot());
+        let q = w.quantiles("lat", 1_000, 1_000).expect("two frames");
+        assert_eq!(q.count, 10, "the two pre-window observations are excluded");
+        assert!(q.p50 > 10.0 && q.p50 <= 100.0);
+        let frac = w.fraction_above("lat", 10.0, 1_000, 1_000).unwrap();
+        assert!((frac - 1.0).abs() < 1e-9, "all windowed observations above 10ms");
+        assert_eq!(w.fraction_above("lat", 100.0, 1_000, 1_000), Some(0.0));
+    }
+
+    #[test]
+    fn stats_summarise_throughput_failure_rate_and_devices() {
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(1_000).buckets(10));
+        let frame = |sub: u64, done: u64, failed: u64, busy: i64, faults: u64| {
+            let reg = MetricsRegistry::new(true);
+            reg.counter(SUBMITTED_TOTAL).add(sub);
+            reg.counter(COMPLETED_TOTAL).add(done);
+            reg.counter(FAILED_TOTAL).add(failed);
+            let h = reg.histogram(QUEUE_WAIT_MS, &LATENCY_BUCKETS_MS);
+            for _ in 0..done {
+                h.observe(0.2);
+            }
+            let s = reg.histogram(SOLVE_WALL_MS, &LATENCY_BUCKETS_MS);
+            for _ in 0..done {
+                s.observe(4.0);
+            }
+            reg.gauge(&labelled("aco_device_busy_ms", "device", "gpu0")).set(busy);
+            reg.counter(&labelled("aco_device_faults_observed_total", "device", "gpu0"))
+                .add(faults);
+            reg.counter(&labelled("aco_device_completed_total", "device", "gpu0")).add(done);
+            reg.snapshot()
+        };
+        w.record(0, frame(0, 0, 0, 0, 0));
+        w.record(2_000, frame(12, 8, 2, 1_000, 4));
+        let s = w.stats(2_000, 10_000).expect("two frames");
+        assert_eq!((s.submitted, s.completed, s.failed), (12, 8, 2));
+        assert!((s.throughput_per_sec - 4.0).abs() < 1e-9);
+        assert!((s.failure_rate - 0.2).abs() < 1e-9);
+        assert_eq!(s.queue_wait.count, 8);
+        assert!(s.queue_wait.p95 <= 0.25, "all mass in the le=0.25 bucket");
+        assert_eq!(s.solve_wall.count, 8);
+        assert!(s.solve_wall.p50 > 2.5 && s.solve_wall.p50 <= 5.0);
+        assert_eq!(s.devices.len(), 1);
+        let d = &s.devices[0];
+        assert_eq!(d.name, "gpu0");
+        assert!((d.utilization - 0.5).abs() < 1e-9, "1s busy over a 2s span");
+        assert_eq!(d.faults, 4);
+        assert!((d.fault_rate_per_sec - 2.0).abs() < 1e-9);
+        assert_eq!(d.completed, 8);
+    }
+
+    #[test]
+    fn one_frame_answers_nothing() {
+        let w = RollingWindow::new(WindowConfig::default());
+        assert!(w.stats(0, 1_000).is_none());
+        w.record(0, snap_with("c", 1));
+        assert!(w.counter_delta("c", 0, 1_000).is_none(), "a delta needs two frames");
+    }
+
+    #[test]
+    fn hostile_device_labels_round_trip_through_stats() {
+        let hostile = "we\"ird\\gpu\nline";
+        let reg = MetricsRegistry::new(true);
+        reg.gauge(&labelled("aco_device_busy_ms", "device", hostile)).set(500);
+        let w = RollingWindow::new(WindowConfig::default().bucket_ms(1_000));
+        w.record(0, MetricsSnapshot::default());
+        w.record(1_000, reg.snapshot());
+        let s = w.stats(1_000, 5_000).expect("two frames");
+        assert_eq!(s.devices.len(), 1);
+        assert_eq!(s.devices[0].name, hostile, "escaped label value decodes back");
+    }
+}

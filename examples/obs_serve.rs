@@ -1,0 +1,94 @@
+//! The HTTP observability endpoint: serve metrics, health, SLOs and the
+//! journal stream while a batch runs, then fetch them back over plain
+//! `TcpStream` (no HTTP client needed — the endpoint is std-only on both
+//! sides).
+//!
+//! Boots [`Engine::serve_observability`] on an ephemeral port, runs a
+//! mixed batch with rolling windows + journal enabled, GETs `/metrics`,
+//! `/healthz` and a bounded slice of `/events`, prints excerpts, and
+//! shuts the endpoint down cleanly. The CI `obs-serve` job runs exactly
+//! this binary.
+//!
+//! ```text
+//! cargo run --release --example obs_serve
+//! ```
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use aco_gpu::core::AcoParams;
+use aco_gpu::engine::{
+    Backend, Engine, EngineConfig, JournalConfig, SloObjective, SloSpec, SolveRequest, WindowConfig,
+};
+use aco_gpu::tsp;
+
+/// Minimal blocking GET; returns the body (panics on malformed replies —
+/// this is an example/CI driver, not a client library).
+fn http_get(addr: SocketAddr, target: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {target} HTTP/1.1\r\nHost: example\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    let (head, body) = out.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "GET {target}: {head}");
+    body.to_string()
+}
+
+fn main() {
+    // Structural SLOs only: the default board also watches queue-wait
+    // latency, whose alert state depends on real wall-clock waits and
+    // therefore on machine load — fine for production, not for a CI
+    // driver that asserts `"status":"ok"` below.
+    let slos = vec![
+        SloSpec::new("job-availability", SloObjective::FailureRate { budget: 0.01 }),
+        SloSpec::new("device-health", SloObjective::DeviceHealth),
+        SloSpec::new("device-fault-rate", SloObjective::DeviceFaultRate { budget_per_sec: 0.5 }),
+    ];
+    let engine = Engine::new(
+        EngineConfig::with_workers(3)
+            .windows(WindowConfig::default().bucket_ms(100))
+            .slos(slos)
+            .journal(JournalConfig::default()),
+    );
+    // Port 0: the OS picks a free port; read it back from the server.
+    let mut server = engine.serve_observability("127.0.0.1:0").expect("bind endpoint");
+    let addr = server.local_addr();
+    println!("observability endpoint on http://{addr}");
+
+    let inst = Arc::new(tsp::uniform_random("serve", 48, 800.0, 42));
+    let handles: Vec<_> = (0..6)
+        .map(|seed| {
+            engine.submit(
+                SolveRequest::new(Arc::clone(&inst), AcoParams::default().nn(10))
+                    .backend(Backend::Auto)
+                    .iterations(8)
+                    .seed(seed),
+            )
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("job solves");
+    }
+
+    let metrics = http_get(addr, "/metrics");
+    println!("\n=== GET /metrics ({} lines, first 12) ===", metrics.lines().count());
+    for line in metrics.lines().take(12) {
+        println!("{line}");
+    }
+    assert!(metrics.contains("aco_engine_jobs_completed_total 6"), "all jobs counted");
+
+    let health = http_get(addr, "/healthz");
+    println!("\n=== GET /healthz ===\n{health}");
+    assert!(health.contains("\"status\":\"ok\""), "healthy engine");
+
+    // A bounded journal read: ?max= keeps the SSE stream finite so a
+    // plain read-to-EOF works.
+    let events = http_get(addr, "/events?max=5");
+    println!("=== GET /events?max=5 ===\n{events}");
+    assert!(events.contains("id: 0"), "stream starts at the epoch meta line");
+
+    server.shutdown();
+    println!("endpoint shut down cleanly");
+}
